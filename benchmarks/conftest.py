@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper table or figure, prints the
+reproduced table, saves it under ``benchmarks/results/``, and asserts
+the paper's qualitative claim for that artefact.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The pytest-benchmark timing column then reports the cost of
+regenerating each artefact; the reproduced tables are in
+``benchmarks/results/*.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_report(results_dir):
+    """Save a reproduced table and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

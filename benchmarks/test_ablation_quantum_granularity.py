@@ -1,0 +1,56 @@
+"""Ablation: quantum size vs fairness granularity and overhead.
+
+The quantum trades responsiveness against overhead (paper §3.3).  This
+ablation sweeps Q and verifies both sides of the trade-off on the
+weighted-fair workload, where coarse quanta visibly distort the
+(k+1)/2k finish-time ratio: a weight-10 turn spans 10 quanta, and a
+job's batch must contain many turns for the ratio to converge.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.metrics import format_us, mean, render_table
+from repro.workloads import homogeneous_workload, with_weights
+from benchmarks.conftest import run_once
+
+QUANTA = (0.3e-3, 1.2e-3, 4e-3)
+K = 10
+EXPECTED = (K + 1) / (2 * K)
+
+
+def _measure():
+    ratios = {}
+    for quantum in QUANTA:
+        config = ExperimentConfig(scale=0.05, seed=3, quantum=quantum)
+        base = homogeneous_workload(num_clients=10, num_batches=10)
+        specs = with_weights(base, [K] * 5 + [1] * 5)
+        run = run_workload(specs, scheduler="weighted", config=config)
+        times = run.finish_times
+        heavy = mean([times[f"c{i}"] for i in range(5)])
+        light = mean([times[f"c{i}"] for i in range(5, 10)])
+        ratios[quantum] = heavy / light
+    return ratios
+
+
+def test_ablation_quantum_granularity(benchmark, record_report):
+    ratios = run_once(benchmark, _measure)
+    rows = [
+        [format_us(q), f"{r:.3f}", f"{EXPECTED:.3f}"]
+        for q, r in ratios.items()
+    ]
+    record_report(
+        "ablation_quantum_granularity",
+        render_table(
+            ["quantum", "measured 10:1 ratio", "theory (k+1)/2k"],
+            rows,
+            title="Ablation: weighted-fair ratio convergence vs quantum size",
+        ),
+    )
+    # Finer quanta converge to the theoretical ratio ...
+    errors = {q: abs(r - EXPECTED) for q, r in ratios.items()}
+    assert errors[QUANTA[0]] < 0.02
+    # ... and the error grows monotonically with quantum coarseness.
+    assert errors[QUANTA[0]] <= errors[QUANTA[1]] <= errors[QUANTA[2]] + 0.01
+    # Even the coarsest quantum keeps the heavy class clearly ahead.
+    assert all(r < 0.9 for r in ratios.values())

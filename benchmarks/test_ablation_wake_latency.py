@@ -1,0 +1,53 @@
+"""Ablation: wake-latency sensitivity of the Overhead-Q curve.
+
+DESIGN.md §4.2: Olympian's Q-dependent overhead comes from the cost of
+waking a suspended gang (condition-variable broadcast + OS scheduling +
+pipeline refill).  This ablation varies that cost and checks the causal
+chain: more wake latency -> higher overhead at small Q -> larger
+selected quantum for the same tolerance.
+"""
+
+from repro.core.profiler import OfflineProfiler
+from repro.experiments import get_graph
+from repro.metrics import render_table, format_percent, format_us
+from benchmarks.conftest import run_once
+
+WAKE_LATENCIES = (10e-6, 60e-6, 200e-6)
+Q_VALUES = (0.5e-3, 1.2e-3, 3e-3, 8e-3)
+
+
+def _measure():
+    graph = get_graph("inception_v4", 0.05, 1)
+    curves = {}
+    for wake in WAKE_LATENCIES:
+        profiler = OfflineProfiler(seed=7, wake_latency=wake, curve_batches=3)
+        curves[wake] = profiler.overhead_q_curve(graph, 100, q_values=Q_VALUES)
+    return curves
+
+
+def test_ablation_wake_latency(benchmark, record_report):
+    curves = run_once(benchmark, _measure)
+    rows = [
+        [format_us(wake)] + [format_percent(o) for o in curve.overheads]
+        for wake, curve in curves.items()
+    ]
+    record_report(
+        "ablation_wake_latency",
+        render_table(
+            ["wake latency"] + [format_us(q) for q in Q_VALUES],
+            rows,
+            title="Ablation: Overhead-Q vs gang wake latency",
+        ),
+    )
+    # At the smallest quantum, overhead increases with wake latency.
+    small_q = [curves[w].overheads[0] for w in WAKE_LATENCIES]
+    assert small_q[0] < small_q[1] < small_q[2]
+    # The selected Q for a fixed tolerance grows with wake latency.
+    tolerance = 0.04
+    selected = [curves[w].q_for_tolerance(tolerance) for w in WAKE_LATENCIES]
+    assert selected[0] <= selected[1] <= selected[2]
+    assert selected[2] > selected[0]
+    # At the largest quantum the curves converge (per-switch cost is
+    # amortised away).
+    large_q = [curves[w].overheads[-1] for w in WAKE_LATENCIES]
+    assert max(large_q) - min(large_q) < 0.04

@@ -1,0 +1,23 @@
+"""Extension: energy cost of isolation (paper future work §7.2).
+
+The paper flags power as unevaluated.  Using the two-state device power
+model: Olympian's switch gaps idle the GPU slightly, trading a small
+amount of energy (and makespan) for predictability.
+"""
+
+from repro.experiments import energy_comparison
+from benchmarks.conftest import run_once
+
+
+def test_ext_energy_comparison(benchmark, record_report):
+    result = run_once(benchmark, energy_comparison)
+    record_report("ext_energy", result.report())
+    baseline = result.energy["tf-serving"]
+    for kind in ("fair", "weighted", "priority"):
+        # Isolation is cheap in energy: within 10% of stock TF-Serving.
+        assert result.energy[kind] < baseline * 1.10
+        assert result.energy[kind] > baseline * 0.95
+    # Sanity: energy per request is in a physically plausible band for
+    # a 250 W part running ~100 ms-scale batches.
+    for kind in result.energy:
+        assert 0.5 < result.joules_per_request(kind) < 50

@@ -1,0 +1,20 @@
+"""Extension: multi-GPU serving (paper future work §7.2).
+
+One Olympian scheduler per GPU, client-sticky placement.  Claim: the
+single-GPU guarantees (fairness) survive, and throughput scales with
+devices.
+"""
+
+from repro.experiments import multigpu_scaling
+from benchmarks.conftest import run_once
+
+
+def test_ext_multigpu_scaling(benchmark, record_report):
+    result = run_once(benchmark, multigpu_scaling, gpu_counts=(1, 2, 4))
+    record_report("ext_multigpu_scaling", result.report())
+    # Near-linear scaling for an embarrassingly parallel client mix.
+    assert result.speedup(2) > 1.7
+    assert result.speedup(4) > 3.0
+    # Olympian's fairness is preserved on every cluster size.
+    for count in result.gpu_counts:
+        assert result.fairness[count] > 0.98

@@ -1,0 +1,28 @@
+"""Extension: SLO attainment under overload.
+
+The payoff of predictability (paper §1's motivation): because Olympian
+makes completion times computable from offline profiles, an admission
+controller can promise SLOs and keep them.  Under ~1.3x overload,
+systems without admission control miss most SLOs (the backlog grows
+without bound); Olympian + admission sheds exactly the excess and
+delivers every SLO it accepts — and still completes the most requests
+within their SLO (goodput).
+"""
+
+from repro.experiments import slo_attainment
+from benchmarks.conftest import run_once
+
+
+def test_ext_slo_admission(benchmark, record_report):
+    result = run_once(benchmark, slo_attainment)
+    record_report("ext_slo_admission", result.report())
+    # Without admission, overload destroys attainment.
+    assert result.attainment["tf-serving"] < 0.5
+    assert result.attainment["fair"] < 0.5
+    # With admission: everything admitted meets its SLO ...
+    assert result.attainment["fair+admission"] > 0.95
+    # ... load is actually shed ...
+    assert result.rejected["fair+admission"] > 0
+    # ... and goodput beats both uncontrolled systems.
+    assert result.goodput["fair+admission"] > result.goodput["tf-serving"]
+    assert result.goodput["fair+admission"] > result.goodput["fair"]

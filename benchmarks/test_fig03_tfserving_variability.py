@@ -1,0 +1,25 @@
+"""Figure 3: TF-Serving finish-time unpredictability.
+
+Paper: ten identical Inception clients finish at times spread by up to
+1.7x, and the spread pattern changes between runs.
+"""
+
+from repro.experiments import fig3_tfserving_variability
+from benchmarks.conftest import run_once
+
+
+def test_fig3_tfserving_variability(benchmark, record_report):
+    result = run_once(
+        benchmark, fig3_tfserving_variability, seeds=(1, 2, 3)
+    )
+    record_report("fig03_tfserving_variability", result.report())
+    # Unpredictability: a clearly visible spread in at least one run.
+    assert result.max_spread > 1.2
+    # Bounded: the driver remains work-conserving, not starving anyone.
+    assert result.max_spread < 2.5
+    # Run-to-run variability: per-client times differ across seeds.
+    seeds = sorted(result.runs)
+    first, second = result.runs[seeds[0]], result.runs[seeds[1]]
+    assert any(
+        abs(first[cid] - second[cid]) / first[cid] > 0.02 for cid in first
+    )

@@ -1,0 +1,24 @@
+"""Figure 4: node-duration CDF for Inception at two batch sizes.
+
+Paper: over 80% of nodes take less than 20us and over 90% less than
+1ms; the batch-10 CDF sits left of the batch-100 CDF.
+"""
+
+from repro.experiments import fig4_node_duration_cdf
+from benchmarks.conftest import run_once
+
+
+def test_fig4_node_duration_cdf(benchmark, record_report):
+    result = run_once(benchmark, fig4_node_duration_cdf, batch_sizes=(10, 100))
+    record_report("fig04_node_durations", result.report())
+    # The paper's headline CDF facts at batch 100.
+    assert result.fraction_under(100, 20e-6) >= 0.6
+    assert result.fraction_under(100, 1e-3) >= 0.9
+    # Batch 10 is strictly "faster": CDF dominates at every threshold.
+    for threshold in (10e-6, 20e-6, 100e-6, 500e-6):
+        assert result.fraction_under(10, threshold) >= result.fraction_under(
+            100, threshold
+        )
+    # Node durations stay well below the millisecond quantum, the
+    # precondition for node-granularity interleaving (§3.1).
+    assert max(result.durations[100]) < 2e-3

@@ -1,0 +1,21 @@
+"""Figure 6: online cost-profiler overhead across the seven DNNs.
+
+Paper: attaching the cost profiler to a live run inflates execution
+times by 21-29%, which is why Olympian profiles offline.
+"""
+
+from repro.experiments import fig6_online_profiler_overhead
+from benchmarks.conftest import run_once
+
+
+def test_fig6_online_profiler_overhead(benchmark, record_report):
+    result = run_once(benchmark, fig6_online_profiler_overhead)
+    record_report("fig06_online_profiler_overhead", result.report())
+    low, high = result.overhead_range
+    # All seven models suffer substantial, broadly similar overhead.
+    assert low > 0.10
+    assert high < 0.45
+    assert len(result.rows) == 7
+    # The overhead is far above Olympian's serving-time budget (~2.5%),
+    # which is the argument for offline profiling.
+    assert low > 0.025 * 4

@@ -1,0 +1,24 @@
+"""Figure 11: fair sharing on a homogeneous workload.
+
+Paper: under Olympian all ten clients finish within a tight band
+(48-50s), while stock TF-Serving spreads them (42-50s).
+"""
+
+from repro.experiments import fig11_fair_homogeneous
+from benchmarks.conftest import run_once
+
+
+def test_fig11_fair_homogeneous(benchmark, record_report):
+    result = run_once(benchmark, fig11_fair_homogeneous)
+    record_report("fig11_fair_homogeneous", result.report())
+    # Olympian's band is tight (paper's is ~1.04x wide).
+    assert result.olympian_spread < 1.05
+    # TF-Serving is visibly less predictable.
+    assert result.tf_spread > result.olympian_spread * 1.05
+    # The profiler picked a low-millisecond quantum.
+    assert 0.3e-3 <= result.quantum <= 8e-3
+    # Fairness costs little: Olympian's slowest client is within ~10%
+    # of TF-Serving's slowest.
+    slowest_tf = max(result.tf_serving.values())
+    slowest_ol = max(result.olympian.values())
+    assert (slowest_ol - slowest_tf) / slowest_tf < 0.10

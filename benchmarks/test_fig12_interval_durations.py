@@ -1,0 +1,22 @@
+"""Figure 12: scheduling-interval durations.
+
+Paper: the average interval between scheduling decisions is ~1.8 ms —
+millisecond-timescale interleaving — while individual intervals vary
+widely because cost does not accumulate evenly.
+"""
+
+from repro.experiments import fig12_scheduling_intervals
+from benchmarks.conftest import run_once
+
+
+def test_fig12_interval_durations(benchmark, record_report):
+    result = run_once(benchmark, fig12_scheduling_intervals)
+    record_report("fig12_interval_durations", result.report())
+    summary = result.summary
+    # Millisecond-timescale interleaving (paper: 1.8 ms average).
+    assert 0.5e-3 <= summary.mean <= 4e-3
+    # Individual intervals vary widely (paper's key observation).
+    assert summary.relative_stddev > 0.1
+    assert summary.maximum > 1.5 * summary.mean
+    # Plenty of scheduling decisions happened.
+    assert summary.count > 100

@@ -1,0 +1,27 @@
+"""Figure 13: fair sharing on a heterogeneous workload.
+
+Paper: 5 Inception + 5 ResNet-152 clients; same-model clients finish
+together, the two model classes differ (even with the batch-150
+equalisation, because Olympian fair-shares the GPU, not the CPU).
+"""
+
+from repro.experiments import fig13_fair_heterogeneous
+from repro.metrics import spread_ratio
+from benchmarks.conftest import run_once
+
+
+def test_fig13_fair_heterogeneous(benchmark, record_report):
+    result = run_once(benchmark, fig13_fair_heterogeneous)
+    record_report("fig13_fair_heterogeneous", result.report())
+    for label, finish in result.variants.items():
+        inception = [finish[f"c{i}"] for i in range(5)]
+        resnet = [finish[f"c{i}"] for i in range(5, 10)]
+        # Same-model clients finish together.
+        assert spread_ratio(inception) < 1.05
+        assert spread_ratio(resnet) < 1.05
+    # With batch 100 the classes clearly differ (ResNet's solo runtime
+    # at batch 100 is larger than Inception's).
+    base = result.variants["inception-100"]
+    inception_mean = sum(base[f"c{i}"] for i in range(5)) / 5
+    resnet_mean = sum(base[f"c{i}"] for i in range(5, 10)) / 5
+    assert abs(resnet_mean - inception_mean) / inception_mean > 0.02

@@ -1,0 +1,24 @@
+"""Figure 14: per-quantum GPU durations on the heterogeneous workload.
+
+Paper: every client's average GPU duration per quantum is nearly
+identical (1084-1257us) and close to the profiler-predicted Q (1190us).
+"""
+
+import pytest
+
+from repro.experiments import fig14_quantum_durations
+from benchmarks.conftest import run_once
+
+
+def test_fig14_quantum_durations(benchmark, record_report):
+    result = run_once(benchmark, fig14_quantum_durations)
+    record_report("fig14_quantum_durations", result.report())
+    lo, hi = result.mean_range
+    # All clients' mean quanta sit in a narrow band around Q ...
+    assert hi / lo < 1.15
+    # ... and that band brackets/approaches the predicted Q.
+    assert lo == pytest.approx(result.quantum, rel=0.15)
+    assert hi == pytest.approx(result.quantum, rel=0.15)
+    # Both model classes are present and equally served.
+    models = set(result.models.values())
+    assert models == {"inception_v4", "resnet_152"}

@@ -1,0 +1,29 @@
+"""Figure 16: the complex workload — 14 clients over 7 different DNNs.
+
+Paper: even with seven models at different batch sizes, every client's
+average GPU duration per quantum is comparable (1438-1662us around
+Q=1620us) and the observed overhead (1.8%) matches the predicted one
+(2%).
+"""
+
+import pytest
+
+from repro.experiments import fig16_complex_workload
+from benchmarks.conftest import run_once
+
+
+def test_fig16_complex_workload(benchmark, record_report):
+    result = run_once(benchmark, fig16_complex_workload)
+    record_report("fig16_complex_workload", result.report())
+    lo, hi = result.mean_range
+    # Comparable quanta across all seven models (paper band is ~1.16x).
+    assert hi / lo < 1.25
+    # The band tracks the predicted Q.
+    assert (lo + hi) / 2 == pytest.approx(result.quantum, rel=0.15)
+    # Observed overhead is small and close to the curve's prediction.
+    assert result.observed_overhead < max(
+        2.5 * result.predicted_overhead, 0.05
+    )
+    assert result.observed_overhead > -0.02
+    # All 14 clients contributed quanta.
+    assert len(result.per_client) == 14

@@ -1,0 +1,35 @@
+"""Figure 18: priority scheduling.
+
+Paper: with 10 distinct priorities clients are effectively serialised;
+with 2 levels the high class fair-shares internally and finishes at
+~half the total time, after which the low class runs.
+"""
+
+import pytest
+
+from repro.experiments import fig18_priority
+from repro.metrics import mean, spread_ratio
+from benchmarks.conftest import run_once
+
+
+def test_fig18_priority(benchmark, record_report):
+    result = run_once(benchmark, fig18_priority)
+    record_report("fig18_priority", result.report())
+
+    # 10-level: strictly increasing finish times, roughly even steps.
+    ten = [result.ten_level[f"c{i}"] for i in range(10)]
+    assert ten == sorted(ten)
+    steps = [ten[0]] + [b - a for a, b in zip(ten, ten[1:])]
+    assert min(steps) > 0
+    assert max(steps) / min(steps) < 3.0
+
+    # 2-level: high class finishes together, before any low client.
+    high = [result.two_level[c] for c in result.high_clients]
+    low = [result.two_level[c] for c in result.low_clients]
+    assert spread_ratio(high) < 1.05
+    assert spread_ratio(low) < 1.05
+    assert max(high) < min(low)
+    assert mean(high) == pytest.approx(mean(low) / 2, rel=0.15)
+
+    # Serialised total equals the shared total (work conservation).
+    assert ten[-1] == pytest.approx(max(low), rel=0.1)

@@ -1,0 +1,26 @@
+"""Figure 20: linear cost models across batch sizes.
+
+Paper: node-cost profiles fit on batches 50 and 100 predict batches 25,
+75 and 150 well enough that fairness is comparable to direct profiling
+(Figure 11).
+"""
+
+from repro.experiments import fig20_linear_cost_model
+from benchmarks.conftest import run_once
+
+
+def test_fig20_linear_cost_model(benchmark, record_report):
+    result = run_once(benchmark, fig20_linear_cost_model)
+    record_report("fig20_linear_cost_model", result.report())
+    assert result.train_batches == (50, 100)
+    assert set(result.runs) == {25, 75, 150}
+    # Fairness comparable to Figure 11 at every predicted batch size —
+    # including 25 and 150, both *outside* the fitted range.
+    for batch in result.runs:
+        assert result.spread(batch) < 1.06
+    # Bigger batches take longer end-to-end (sanity of the regression).
+    mean_finish = {
+        batch: sum(times.values()) / len(times)
+        for batch, times in result.runs.items()
+    }
+    assert mean_finish[25] < mean_finish[75] < mean_finish[150]

@@ -1,0 +1,23 @@
+"""Figure 21: portability to a different GPU (Titan X testbed).
+
+Paper: rerunning the fair-sharing experiment on different hardware
+changes absolute finish times but preserves fairness, with no changes
+to Olympian.
+"""
+
+from repro.experiments import fig21_portability
+from benchmarks.conftest import run_once
+
+
+def test_fig21_portability(benchmark, record_report):
+    result = run_once(benchmark, fig21_portability)
+    record_report("fig21_portability", result.report())
+    # Fairness preserved on the second device.
+    assert result.spread < 1.05
+    assert result.reference_spread < 1.05
+    # Absolute times differ: the Titan X is slower than the 1080 Ti.
+    mean_titan = sum(result.finish.values()) / len(result.finish)
+    mean_ref = sum(result.reference_finish.values()) / len(
+        result.reference_finish
+    )
+    assert mean_titan > mean_ref * 1.1

@@ -1,0 +1,39 @@
+"""§4.3: scalability — device memory and thread-pool limits.
+
+Paper: both systems are limited by GPU memory at about 45 concurrent
+clients on the 1080 Ti; Olympian additionally holds pool threads for
+longer (suspended gangs keep their threads), so it presses the inter-op
+pool harder than TF-Serving at the same client count.
+"""
+
+from repro.experiments import scalability_sweep
+from benchmarks.conftest import run_once
+
+
+def test_scalability_sweep(benchmark, record_report):
+    result = run_once(benchmark, scalability_sweep)
+    record_report("scale_scalability", result.report())
+
+    # Memory limit: the analytic capacity is about 45 clients ...
+    assert 40 <= result.memory_client_limit <= 50
+    # ... and the sweep observes it: runs at or under the limit have no
+    # OOM failures, runs above it do.
+    for point in result.points:
+        if point.num_clients <= result.memory_client_limit:
+            assert point.oom_failures == 0
+        else:
+            assert point.oom_failures > 0
+    # Olympian's suspended gangs hold threads: at equal client counts
+    # its peak pool usage is at least TF-Serving's.
+    by_count = {}
+    for point in result.points:
+        by_count.setdefault(point.num_clients, {})[point.scheduler] = point
+    compared = 0
+    for count, kinds in by_count.items():
+        if "tf-serving" in kinds and "fair" in kinds:
+            assert (
+                kinds["fair"].peak_pool_threads
+                >= 0.8 * kinds["tf-serving"].peak_pool_threads
+            )
+            compared += 1
+    assert compared >= 3

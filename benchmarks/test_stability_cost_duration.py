@@ -1,0 +1,22 @@
+"""§4.4: stability of cost and GPU duration across repeated solo runs.
+
+Paper (Inception, batch 100, 100 runs): total cost mean 4,058,477 with
+std 100,536 (2.5%); GPU duration mean 262,773 with std 4,462 (1.7%).
+The reproduced claim: both quantities have std << mean, validating the
+offline-profiling assumption.
+"""
+
+from repro.experiments import stability_check
+from benchmarks.conftest import run_once
+
+
+def test_stability_cost_duration(benchmark, record_report):
+    result = run_once(benchmark, stability_check, repeats=30)
+    record_report("stability_cost_duration", result.report())
+    cost = result.cost_summary
+    duration = result.duration_summary
+    # std << mean for both quantities (paper: 2.5% and 1.7%).
+    assert cost.relative_stddev < 0.05
+    assert duration.relative_stddev < 0.05
+    # Cost is an order of magnitude above duration (C_j >> D_j).
+    assert cost.mean / duration.mean > 5

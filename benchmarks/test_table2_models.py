@@ -1,0 +1,18 @@
+"""Table 2: model inventory (nodes, GPU nodes, solo runtimes)."""
+
+import pytest
+
+from repro.experiments import table2_model_inventory
+from benchmarks.conftest import run_once
+
+
+def test_table2_model_inventory(benchmark, record_report):
+    result = run_once(benchmark, table2_model_inventory)
+    record_report("table2_models", result.report())
+    for row in result.rows:
+        # Node counts must match the paper's Table 2 exactly (scaled).
+        assert row.nodes == row.paper_nodes
+        assert row.gpu_nodes == row.paper_gpu_nodes
+        # Measured solo runtime within 20% of the scaled Table 2 value.
+        target = row.paper_runtime * result.scale
+        assert row.measured_runtime == pytest.approx(target, rel=0.2)

@@ -1,0 +1,24 @@
+"""§4.3: GPU utilization under TF-Serving vs Olympian's policies.
+
+Paper: TF-Serving 84.74%, Olympian fair 78.62%, weighted 78.10%,
+priority 76.35% — Olympian sacrifices some utilization for isolation.
+Our substrate is more work-conserving than the real stack (see
+EXPERIMENTS.md), so the absolute losses are smaller; the *direction* —
+Olympian never exceeds TF-Serving — is the reproduced claim.
+"""
+
+from repro.experiments import utilization_comparison
+from benchmarks.conftest import run_once
+
+
+def test_utilization_comparison(benchmark, record_report):
+    result = run_once(benchmark, utilization_comparison)
+    record_report("util_utilization", result.report())
+    util = result.utilization
+    # TF-Serving sets the ceiling; each Olympian policy pays a cost.
+    for kind in ("fair", "weighted", "priority"):
+        assert util[kind] <= util["tf-serving"] + 1e-6
+        assert result.loss_vs_baseline(kind) < 0.15
+    # Everything stays in a sane utilization band.
+    for value in util.values():
+        assert 0.7 <= value <= 1.0

@@ -1,0 +1,87 @@
+"""Capacity planning: how many clients fit on one GPU?
+
+An operator's view of §4.3: sweep concurrent Inception clients and
+watch the two scaling walls — device memory (hard failures) and the
+inter-op thread pool (saturation, degraded latency) — plus the
+utilization cost of Olympian's isolation.  Finishes with a
+request-batching demo (the serving-system feature from §2.1).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.experiments import ExperimentConfig, run_workload, scalability_sweep
+from repro.metrics import format_percent, render_table
+from repro.serving import Batcher, Client, ModelServer, ServerConfig
+from repro.sim import Simulator
+from repro.workloads import homogeneous_workload
+from repro.zoo import INCEPTION_V4
+
+
+def scaling_walls():
+    result = scalability_sweep(
+        client_counts=(10, 30, 45, 50),
+        schedulers=("tf-serving", "fair"),
+        scale=0.02,
+        pool_size=128,
+    )
+    print(result.report())
+    print(
+        f"\n-> plan for at most {result.memory_client_limit} concurrent "
+        f"clients of {INCEPTION_V4.display_name} "
+        f"({result.per_client_mb} MB each on an 11 GB device)"
+    )
+
+
+def isolation_cost():
+    config = ExperimentConfig(scale=0.05, seed=5, quantum=1.2e-3)
+    specs = homogeneous_workload(num_clients=8, num_batches=6)
+    rows = []
+    for kind in ("tf-serving", "fair"):
+        run = run_workload(specs, scheduler=kind, config=config)
+        makespan = max(run.finish_time_list())
+        rows.append([kind, f"{makespan:.2f} s",
+                     format_percent(run.utilization())])
+    print()
+    print(render_table(
+        ["scheduler", "makespan", "GPU utilization"], rows,
+        title="The price of isolation (paper §4.3)",
+    ))
+
+
+def batching_demo():
+    """Single-image requests batched into GPU-friendly groups."""
+    sim = Simulator()
+    server = ModelServer(sim, ServerConfig(track_memory=False, seed=9))
+    graph = server.load_spec(INCEPTION_V4, scale=0.02, seed=1)
+
+    def dispatch(batch):
+        job = server.make_job("batcher", graph.name, max(len(batch), 1))
+        return server.submit(job)
+
+    batcher = Batcher(sim, dispatch, max_batch_size=16, batch_timeout=0.002)
+    latencies = []
+
+    def request(arrival, index):
+        yield sim.timeout(arrival)
+        start = sim.now
+        yield batcher.submit(f"img{index}")
+        latencies.append(sim.now - start)
+
+    for i in range(64):
+        sim.process(request(0.0005 * i, i))
+    sim.run()
+    print(
+        f"\nbatching demo: 64 single-image requests -> "
+        f"{batcher.batches_dispatched} GPU batches; "
+        f"mean latency {sum(latencies) / len(latencies) * 1e3:.1f} ms"
+    )
+
+
+def main():
+    scaling_walls()
+    isolation_cost()
+    batching_demo()
+
+
+if __name__ == "__main__":
+    main()

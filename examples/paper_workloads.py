@@ -1,0 +1,81 @@
+"""The paper's evaluation workflow end-to-end, in ~60 lines of API use.
+
+Reproduces the core of §4.1 at experiment scale: profile the zoo models
+offline (Overhead-Q curves, Q selection at a 2.5 % tolerance), run the
+homogeneous and heterogeneous workloads under stock TF-Serving and
+Olympian fair sharing, and print the headline comparisons.
+
+Run:  python examples/paper_workloads.py [scale]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.metrics import (
+    format_ms,
+    format_ratio,
+    format_seconds,
+    format_us,
+    mean,
+    render_table,
+    spread_ratio,
+)
+from repro.workloads import heterogeneous_workload, homogeneous_workload
+
+
+def main(scale: float = 0.05):
+    config = ExperimentConfig(scale=scale, seed=3)
+
+    # ------------------------------------------------------------------
+    # Homogeneous: 10 Inception clients, 10 batches each (Figs 11/12)
+    # ------------------------------------------------------------------
+    specs = homogeneous_workload()
+    baseline = run_workload(specs, scheduler="tf-serving", config=config)
+    fair = run_workload(specs, scheduler="fair", config=config)
+
+    print(f"profiler-selected quantum: {format_us(fair.quantum)}")
+    rows = [
+        [cid, format_seconds(baseline.finish_times[cid]),
+         format_seconds(fair.finish_times[cid])]
+        for cid in sorted(baseline.finish_times)
+    ]
+    rows.append([
+        "spread",
+        format_ratio(spread_ratio(baseline.finish_time_list())),
+        format_ratio(spread_ratio(fair.finish_time_list())),
+    ])
+    print(render_table(
+        ["client", "TF-Serving", "Olympian fair"], rows,
+        title="\nHomogeneous workload finish times (Figure 11)",
+    ))
+    intervals = fair.scheduling_intervals()
+    print(
+        f"\nscheduling intervals: n={len(intervals)}, "
+        f"mean={format_ms(mean(intervals))} (Figure 12; paper: ~1.8 ms)"
+    )
+
+    # ------------------------------------------------------------------
+    # Heterogeneous: 5 Inception + 5 ResNet-152 (Figs 13/14)
+    # ------------------------------------------------------------------
+    hetero = heterogeneous_workload()
+    hetero_fair = run_workload(hetero, scheduler="fair", config=config)
+    quanta = hetero_fair.quantum_gpu_durations()
+    rows = [
+        [cid, spec.model, format_us(mean(quanta[cid]))]
+        for cid, spec in zip(sorted(quanta), hetero)
+    ]
+    print(render_table(
+        ["client", "model", "avg GPU duration / quantum"], rows,
+        title=(
+            "\nHeterogeneous workload per-quantum GPU durations "
+            f"(Figure 14; predicted Q = {format_us(hetero_fair.quantum)})"
+        ),
+    ))
+    print(
+        "\nGPU utilization: baseline "
+        f"{baseline.utilization():.1%}, Olympian {fair.utilization():.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

@@ -1,0 +1,139 @@
+"""A production serving lifecycle: traces, versions, re-profiling.
+
+One continuous story on a single simulated GPU:
+
+1. Deploy ``ranker`` v1, profile it, serve a bursty request trace under
+   Olympian fair sharing.
+2. Hot-swap to v2 (a heavier retrained model) while traffic flows —
+   old version drains, new requests route to v2.
+3. The version manager reports v2 as unprofiled; serving it with v1's
+   thresholds trips the drift monitor; re-profiling fixes the quanta.
+
+Run:  python examples/production_lifecycle.py
+"""
+
+from repro.core import (
+    FairSharing,
+    OfflineProfiler,
+    OlympianScheduler,
+    ProfileStore,
+    QuantumMonitor,
+)
+from repro.serving import ModelServer, ServerConfig
+from repro.serving.versioning import ModelVersionManager, versioned_name
+from repro.sim import Simulator
+from repro.workloads import bursty_trace
+from repro.zoo import INCEPTION_V4, RESNET_152, generate_graph
+
+QUANTUM = 1.2e-3
+BATCH = 100
+
+
+def main():
+    v1_graph = generate_graph(INCEPTION_V4, scale=0.04, seed=1)
+    v2_graph = generate_graph(RESNET_152, scale=0.04, seed=2)
+
+    # ------------------------------------------------------------------
+    # Offline profiling for v1 (the CI/CD step)
+    # ------------------------------------------------------------------
+    profiler = OfflineProfiler(seed=7)
+    store = ProfileStore()
+    v1_profile = profiler.profile_model(v1_graph, BATCH)
+    v1_profile.model_name = versioned_name("ranker", 1)
+    store.add(v1_profile)
+    print(
+        f"profiled ranker@v1: D={v1_profile.gpu_duration * 1e3:.1f} ms, "
+        f"T_j(Q)={v1_profile.threshold(QUANTUM):.4f}"
+    )
+
+    # ------------------------------------------------------------------
+    # Serve a bursty trace against v1
+    # ------------------------------------------------------------------
+    sim = Simulator()
+    scheduler = OlympianScheduler(sim, FairSharing(), QUANTUM, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=21), scheduler=scheduler
+    )
+    manager = ModelVersionManager(server)
+    manager.deploy("ranker", v1_graph)
+    monitor = QuantumMonitor(server, scheduler, tolerance=0.35, window=24)
+
+    demand = v1_profile.gpu_duration
+    trace = bursty_trace(
+        burst_rate=2.5 / demand,
+        idle_rate=0.1 / demand,
+        mean_burst=6 * demand,
+        mean_idle=10 * demand,
+        duration=60 * demand,
+        model="ranker",
+        batch_size=BATCH,
+        seed=3,
+    )
+    completed = []
+
+    def track(job, done):
+        yield done
+        completed.append(job.latency)
+
+    def drive():
+        start = sim.now
+        swapped = False
+        for index, request in enumerate(trace):
+            delay = start + request.arrival - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            # Mid-trace: the retrained model ships.
+            if not swapped and index == len(trace) // 2:
+                version = manager.deploy("ranker", v2_graph)
+                print(
+                    f"t={sim.now * 1e3:6.1f} ms: hot-swapped ranker to "
+                    f"v{version}; loaded versions = "
+                    f"{manager.loaded_versions('ranker')}"
+                )
+                missing = manager.unprofiled_versions(store, BATCH)
+                print(f"   unprofiled versions: {missing}")
+                # Ops shortcut: reuse v1's profile for v2 (wrong!), so
+                # serving continues — the monitor will notice.
+                borrowed = store.exact(versioned_name("ranker", 1), BATCH)
+                from repro.core import OlympianProfile
+
+                stale_profile = OlympianProfile(
+                    model_name=versioned_name("ranker", 2),
+                    batch_size=BATCH,
+                    node_costs=dict(borrowed.node_costs),
+                    gpu_duration=borrowed.gpu_duration,
+                )
+                store.add(stale_profile)
+                swapped = True
+            job = manager.make_job(f"r{index}", "ranker", BATCH)
+            sim.process(track(job, manager.submit(job)))
+
+    sim.process(drive(), name="lifecycle")
+    sim.run()
+    monitor.scan()
+
+    print(f"\nserved {len(completed)} requests across the swap")
+    print(f"v1 unloaded after draining: {('ranker', 1) in manager.unloaded_log}")
+    if monitor.drifting_models:
+        drifted = monitor.alerts[0]
+        print(
+            f"drift detected on {drifted.model_name}: quanta "
+            f"{drifted.observed_mean * 1e6:.0f} us vs expected "
+            f"{drifted.expected * 1e6:.0f} us ({drifted.relative_error:+.0%})"
+        )
+        # The fix: profile v2 properly and reset the monitor.
+        v2_profile = profiler.profile_model(v2_graph, BATCH)
+        v2_profile.model_name = versioned_name("ranker", 2)
+        store.add(v2_profile)
+        monitor.reset_model(drifted.model_name)
+        print(
+            f"re-profiled ranker@v2: D={v2_profile.gpu_duration * 1e3:.1f} ms "
+            f"(v1 was {v1_profile.gpu_duration * 1e3:.1f} ms) -> thresholds "
+            "corrected"
+        )
+    else:
+        print("no drift detected (borrowed profile happened to fit)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Quickstart: share one GPU fairly between two custom models.
+
+Builds two small dataflow graphs by hand, profiles them offline, and
+serves two concurrent clients twice — once on stock TF-Serving (GPU
+driver decides everything) and once under Olympian fair sharing — then
+compares finish times and GPU shares.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FairSharing, OfflineProfiler, OlympianScheduler
+from repro.graph import GraphBuilder
+from repro.metrics import format_percent, format_seconds, render_table
+from repro.serving import Client, ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+def build_model(name: str, conv_ms: float) -> "Graph":
+    """A toy CNN: decode -> 3 conv blocks of 4 branches -> classifier."""
+    b = GraphBuilder(name)
+    ref_batch = 64
+    tail = b.add("decode", "decode", 50e-6, ref_batch)
+    for block in range(3):
+        branches = []
+        for branch in range(4):
+            node = b.add(
+                f"b{block}/conv{branch}", "conv2d", conv_ms * 1e-3, ref_batch,
+                parents=[tail],
+            )
+            node = b.add(
+                f"b{block}/relu{branch}", "elementwise", 10e-6, ref_batch,
+                parents=[node],
+            )
+            branches.append(node)
+        tail = b.add(f"b{block}/join", "pool", 40e-6, ref_batch,
+                     parents=branches)
+    b.add("classifier", "matmul", 120e-6, ref_batch, parents=[tail])
+    return b.build()
+
+
+def serve(models, scheduler_factory, batches=6, seed=1):
+    """Run one client per model; return (clients, server)."""
+    sim = Simulator()
+    scheduler = scheduler_factory(sim) if scheduler_factory else None
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=seed), scheduler=scheduler
+    )
+    for graph in models:
+        server.load_model(graph)
+    clients = [
+        Client(sim, server, f"client-{graph.name}", graph.name, 64,
+               num_batches=batches)
+        for graph in models
+    ]
+    for client in clients:
+        client.start()
+    sim.run()
+    return clients, server
+
+
+def main():
+    # Two models with different kernel weights: "small" and "large".
+    small = build_model("smallnet", conv_ms=0.15)
+    large = build_model("largenet", conv_ms=0.40)
+
+    # --- offline profiling (once per model, on an idle GPU) -----------
+    profiler = OfflineProfiler(seed=7)
+    output = profiler.build(
+        [(small, 64), (large, 64)],
+        tolerance=0.05,
+        q_values=(0.3e-3, 0.8e-3, 2e-3),
+    )
+    print(f"profiler selected quantum Q = {output.quantum * 1e6:.0f} us")
+    for name in ("smallnet", "largenet"):
+        profile = output.store.lookup(name, 64)
+        print(
+            f"  {name}: C={profile.total_cost:.4f} cost-units, "
+            f"D={profile.gpu_duration * 1e3:.2f} ms, "
+            f"T_j(Q)={profile.threshold(output.quantum):.5f}"
+        )
+
+    # --- serve under both systems --------------------------------------
+    baseline_clients, baseline_server = serve([small, large], None)
+    olympian_clients, olympian_server = serve(
+        [small, large],
+        lambda sim: OlympianScheduler(
+            sim, FairSharing(), quantum=output.quantum, profiles=output.store
+        ),
+    )
+
+    rows = []
+    for base, olym in zip(baseline_clients, olympian_clients):
+        rows.append(
+            [
+                base.client_id,
+                format_seconds(base.finish_time, 3),
+                format_seconds(olym.finish_time, 3),
+                format_seconds(base.total_gpu_duration(), 3),
+                format_seconds(olym.total_gpu_duration(), 3),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["client", "TF-Serving finish", "Olympian finish",
+             "TF-Serving GPU", "Olympian GPU"],
+            rows,
+            title="Two concurrent clients, one GPU",
+        )
+    )
+    print()
+    window = max(c.finished_at for c in olympian_clients)
+    print(
+        "GPU utilization under Olympian: "
+        + format_percent(olympian_server.utilization(0, window))
+    )
+    intervals = len(olympian_server.scheduler.decisions)
+    print(f"scheduling decisions made: {intervals}")
+
+
+if __name__ == "__main__":
+    main()

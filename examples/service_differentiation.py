@@ -1,0 +1,76 @@
+"""Service differentiation: paid tiers on one shared GPU.
+
+The capability the paper's introduction motivates: a cloud operator
+serving gold/silver/bronze customers from one GPU, using Olympian's
+weighted fair sharing — and an interactive-vs-batch split using
+priority scheduling.
+
+Run:  python examples/service_differentiation.py
+"""
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.metrics import format_seconds, mean, render_table
+from repro.workloads import homogeneous_workload, with_priorities, with_weights
+
+CONFIG = ExperimentConfig(scale=0.05, seed=11, quantum=0.6e-3)
+
+# Three gold clients (weight 4), three silver (2), three bronze (1).
+TIERS = [("gold", 4)] * 3 + [("silver", 2)] * 3 + [("bronze", 1)] * 3
+
+
+def weighted_tiers():
+    base = homogeneous_workload(num_clients=len(TIERS), num_batches=8)
+    specs = with_weights(base, [weight for _tier, weight in TIERS])
+    run = run_workload(specs, scheduler="weighted", config=CONFIG)
+    rows = []
+    for spec, (tier, weight) in zip(specs, TIERS):
+        rows.append(
+            [spec.client_id, tier, weight,
+             format_seconds(run.finish_times[spec.client_id])]
+        )
+    print(render_table(
+        ["client", "tier", "weight", "finish time"], rows,
+        title="Weighted fair sharing: gold finishes first, bronze last",
+    ))
+    by_tier = {}
+    for spec, (tier, _w) in zip(specs, TIERS):
+        by_tier.setdefault(tier, []).append(run.finish_times[spec.client_id])
+    print("tier means:", {t: f"{mean(v):.2f} s" for t, v in by_tier.items()})
+    return by_tier
+
+
+def interactive_vs_batch():
+    """Two interactive clients must preempt six batch clients."""
+    base = homogeneous_workload(num_clients=8, num_batches=6)
+    specs = with_priorities(base, [10, 10, 0, 0, 0, 0, 0, 0])
+    run = run_workload(specs, scheduler="priority", config=CONFIG)
+    rows = [
+        [spec.client_id,
+         "interactive" if spec.priority else "batch",
+         format_seconds(run.finish_times[spec.client_id])]
+        for spec in specs
+    ]
+    print()
+    print(render_table(
+        ["client", "class", "finish time"], rows,
+        title="Priority scheduling: interactive clients are served first",
+    ))
+    interactive = [run.finish_times[f"c{i}"] for i in range(2)]
+    batch = [run.finish_times[f"c{i}"] for i in range(2, 8)]
+    assert max(interactive) < min(batch)
+    print(
+        f"\ninteractive mean {mean(interactive):.2f} s "
+        f"vs batch mean {mean(batch):.2f} s"
+    )
+
+
+def main():
+    by_tier = weighted_tiers()
+    assert mean(by_tier["gold"]) < mean(by_tier["silver"]) < mean(
+        by_tier["bronze"]
+    )
+    interactive_vs_batch()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Olympian reproduction: fair GPU time-slicing for DNN model serving.
+
+A full-system reproduction of "Olympian: Scheduling GPU Usage in a Deep
+Neural Network Model Serving System" (Middleware 2018) on a
+deterministic discrete-event simulated substrate.
+
+Layers (bottom-up):
+
+* :mod:`repro.sim` — discrete-event simulation kernel
+* :mod:`repro.graph` — dataflow-graph framework (the TensorFlow analogue)
+* :mod:`repro.zoo` — synthetic models calibrated to the paper's Table 2
+* :mod:`repro.gpu` / :mod:`repro.host` — GPU + host hardware models
+* :mod:`repro.serving` — the TF-Serving clone (Algorithm 1)
+* :mod:`repro.core` — Olympian: profiler, scheduler, policies (Algorithm 2)
+* :mod:`repro.metrics` / :mod:`repro.workloads` / :mod:`repro.experiments`
+  — measurement, workload construction, and one entry point per paper
+  table/figure
+* :mod:`repro.cluster` / :mod:`repro.slo` / :mod:`repro.analysis` —
+  future-work extensions: multi-GPU serving, SLO admission control,
+  and trace/timeline tooling
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "cluster",
+    "core",
+    "experiments",
+    "gpu",
+    "graph",
+    "host",
+    "metrics",
+    "serving",
+    "sim",
+    "slo",
+    "workloads",
+    "zoo",
+]

@@ -1,0 +1,13 @@
+"""Run analysis: Chrome-trace export and text-mode timelines."""
+
+from .chrome_trace import build_trace_events, export_chrome_trace
+from .summary import summarize_run
+from .timeline import render_gantt, render_histogram
+
+__all__ = [
+    "build_trace_events",
+    "export_chrome_trace",
+    "render_gantt",
+    "render_histogram",
+    "summarize_run",
+]

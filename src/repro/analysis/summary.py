@@ -1,0 +1,76 @@
+"""One-call run summaries.
+
+``summarize_run`` turns an :class:`~repro.experiments.runner.ExperimentResult`
+into a single comprehensive text report — finish times, GPU shares,
+quantum statistics, scheduling intervals, utilization — the first thing
+to look at when a serving run behaves unexpectedly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..experiments.runner import ExperimentResult
+from ..metrics import stats
+from ..metrics.report import (
+    format_ms,
+    format_percent,
+    format_seconds,
+    format_us,
+    render_table,
+)
+
+__all__ = ["summarize_run"]
+
+
+def summarize_run(result: ExperimentResult) -> str:
+    """Render a full text summary of one experiment run."""
+    sections: List[str] = []
+
+    header = (
+        f"run summary: scheduler={result.scheduler_kind}, "
+        f"clients={len(result.clients)}, scale={result.config.scale}"
+    )
+    if result.quantum is not None:
+        header += f", Q={format_us(result.quantum)}"
+    sections.append(header)
+
+    finish = result.finish_times
+    rows = [
+        [cid, format_seconds(t, 3)] for cid, t in sorted(finish.items())
+    ]
+    values = list(finish.values())
+    rows.append(["spread", f"{stats.spread_ratio(values):.3f}x"])
+    sections.append(render_table(["client", "finish"], rows,
+                                 title="finish times"))
+
+    shares = result.client_gpu_durations()
+    rows = [
+        [cid, format_seconds(s, 3)] for cid, s in sorted(shares.items())
+    ]
+    rows.append(["Jain index", f"{stats.jain_index(list(shares.values())):.4f}"])
+    sections.append(render_table(["client", "GPU time"], rows,
+                                 title="GPU shares"))
+
+    if result.scheduler is not None:
+        quanta = [
+            value
+            for values in result.quantum_gpu_durations().values()
+            for value in values
+        ]
+        intervals = result.scheduling_intervals()
+        rows = [
+            ["quanta observed", str(len(quanta))],
+            ["mean quantum GPU duration", format_us(stats.mean(quanta))],
+            ["quantum rel. std", format_percent(stats.relative_stddev(quanta))],
+            ["mean scheduling interval", format_ms(stats.mean(intervals))],
+            ["token switches", str(result.scheduler.switch_count)],
+        ]
+        sections.append(render_table(["metric", "value"], rows,
+                                     title="scheduler"))
+
+    sections.append(
+        f"GPU utilization over the serving window: "
+        f"{format_percent(result.utilization())}"
+    )
+    return "\n\n".join(sections)

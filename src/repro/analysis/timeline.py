@@ -1,0 +1,94 @@
+"""Text-mode timeline and histogram rendering.
+
+Terminal-friendly views of a run: a gantt chart of which job occupied
+the GPU when (the Figure 9 picture), and histograms of per-quantum
+durations (the Figure 12 picture).  Useful in examples, notebooks, and
+failure triage without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gpu.device import GPU_GLOBAL_KEY
+from ..serving.server import ModelServer
+
+__all__ = ["render_gantt", "render_histogram"]
+
+
+def render_gantt(
+    server: ModelServer,
+    window: Tuple[float, float],
+    width: int = 80,
+    max_rows: int = 12,
+) -> str:
+    """ASCII gantt of per-job GPU occupancy over ``window``.
+
+    Each row is one job; a ``#`` cell means the job's kernels were
+    running for the majority of that time slice, ``-`` means partially,
+    space means idle.
+    """
+    lo, hi = window
+    if hi <= lo:
+        raise ValueError("window must have positive length")
+    if width < 10:
+        raise ValueError(f"width too small: {width}")
+    jobs = [key for key in server.tracer.keys() if key != GPU_GLOBAL_KEY]
+    jobs = jobs[:max_rows]
+    if not jobs:
+        return "(no GPU activity recorded)"
+    slot = (hi - lo) / width
+    label_width = max(len(str(job)) for job in jobs)
+    lines = []
+    for job in jobs:
+        cells = []
+        for i in range(width):
+            cell_lo = lo + i * slot
+            cell_hi = cell_lo + slot
+            busy = server.tracer.duration_between(job, cell_lo, cell_hi)
+            if busy >= 0.5 * slot:
+                cells.append("#")
+            elif busy > 0:
+                cells.append("-")
+            else:
+                cells.append(" ")
+        lines.append(f"{str(job).rjust(label_width)} |{''.join(cells)}|")
+    header = (
+        f"{' ' * label_width} +{'-' * width}+  "
+        f"[{lo * 1e3:.1f} ms .. {hi * 1e3:.1f} ms]"
+    )
+    return "\n".join([header] + lines)
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    unit: float = 1e-6,
+    unit_label: str = "us",
+) -> str:
+    """ASCII histogram of ``values`` (durations by default, in us)."""
+    if not values:
+        raise ValueError("histogram of empty sequence")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1: {bins}")
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        hi = lo + max(abs(lo), 1e-12)
+    span = (hi - lo) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - lo) / span), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        bin_lo = (lo + i * span) / unit
+        bin_hi = (lo + (i + 1) * span) / unit
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(
+            f"{bin_lo:9.1f}-{bin_hi:9.1f} {unit_label} | "
+            f"{bar.ljust(width)} {count}"
+        )
+    return "\n".join(lines)

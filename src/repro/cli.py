@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Four commands cover the operator workflow of Figure 7:
+
+* ``repro models`` — the servable model zoo (Table 2 view).
+* ``repro profile`` — run the offline profiler for some (model, batch)
+  pairs and persist the bundle (profiles, curves, selected Q) to JSON.
+* ``repro serve`` — run a serving experiment under a chosen scheduler,
+  optionally loading a persisted profile bundle.
+* ``repro reproduce`` — regenerate one of the paper's tables/figures.
+
+Invoke as ``python -m repro <command> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from .metrics.report import render_table
+    from .zoo import PAPER_MODELS
+
+    rows = [
+        [
+            spec.name,
+            spec.display_name,
+            spec.ref_batch,
+            spec.num_nodes,
+            spec.num_gpu_nodes,
+            f"{spec.solo_runtime:.2f} s",
+            f"{spec.memory_mb} MB",
+        ]
+        for spec in PAPER_MODELS
+    ]
+    print(
+        render_table(
+            ["name", "model", "batch", "nodes", "GPU nodes", "solo runtime",
+             "memory"],
+            rows,
+            title="Servable models (calibrated to the paper's Table 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core import OfflineProfiler, save_profiler_output
+    from .experiments import get_graph
+    from .zoo import MODEL_REGISTRY
+
+    entries = []
+    for item in args.model:
+        if ":" in item:
+            name, batch_text = item.split(":", 1)
+            batch = int(batch_text)
+        else:
+            name, batch = item, None
+        if name not in MODEL_REGISTRY:
+            print(f"error: unknown model {name!r}", file=sys.stderr)
+            return 2
+        if batch is None:
+            batch = MODEL_REGISTRY[name].ref_batch
+        entries.append((get_graph(name, args.scale, args.graph_seed), batch))
+
+    profiler = OfflineProfiler(seed=args.seed)
+    output = profiler.build(
+        entries,
+        tolerance=args.tolerance,
+        with_curves=args.quantum is None,
+        fixed_quantum=args.quantum,
+    )
+    save_profiler_output(output, args.out)
+    print(f"profiled {len(entries)} (model, batch) pair(s)")
+    print(f"selected quantum Q = {output.quantum * 1e6:.0f} us")
+    print(f"saved profile bundle to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core import load_profiler_output
+    from .experiments import ExperimentConfig, run_workload
+    from .metrics.report import format_seconds, render_table
+    from .workloads import homogeneous_workload
+
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, quantum=args.quantum
+    )
+    specs = homogeneous_workload(
+        num_clients=args.clients,
+        model=args.model,
+        batch_size=args.batch,
+        num_batches=args.batches,
+    )
+    bundle = None
+    if args.profiles:
+        bundle = load_profiler_output(args.profiles)
+    result = run_workload(
+        specs, scheduler=args.scheduler, config=config, profiler_output=bundle
+    )
+    rows = [
+        [cid, format_seconds(t, 3)]
+        for cid, t in sorted(result.finish_times.items())
+    ]
+    print(
+        render_table(
+            ["client", "finish time"],
+            rows,
+            title=(
+                f"{args.clients} x {args.model} (batch {args.batch}) under "
+                f"{args.scheduler}"
+            ),
+        )
+    )
+    if result.quantum is not None:
+        print(f"quantum Q = {result.quantum * 1e6:.0f} us")
+    print(f"GPU utilization = {result.utilization():.1%}")
+    return 0
+
+
+# Artefact registry for `reproduce`.
+def _artefacts() -> Dict[str, Callable[[], object]]:
+    from . import experiments as ex
+
+    return {
+        "table2": ex.table2_model_inventory,
+        "fig3": ex.fig3_tfserving_variability,
+        "fig4": ex.fig4_node_duration_cdf,
+        "fig6": ex.fig6_online_profiler_overhead,
+        "fig8": ex.fig8_overhead_q_curves,
+        "fig11": ex.fig11_fair_homogeneous,
+        "fig12": ex.fig12_scheduling_intervals,
+        "fig13": ex.fig13_fair_heterogeneous,
+        "fig14": ex.fig14_quantum_durations,
+        "fig16": ex.fig16_complex_workload,
+        "fig17": ex.fig17_weighted_fair,
+        "fig18": ex.fig18_priority,
+        "fig19": ex.fig19_cpu_timer_ablation,
+        "fig20": ex.fig20_linear_cost_model,
+        "fig21": ex.fig21_portability,
+        "utilization": ex.utilization_comparison,
+        "scalability": ex.scalability_sweep,
+        "stability": ex.stability_check,
+        "ext-latency": ex.latency_predictability,
+        "ext-multigpu": ex.multigpu_scaling,
+        "ext-energy": ex.energy_comparison,
+        "ext-slo": ex.slo_attainment,
+    }
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .zoo import MODEL_REGISTRY, PAPER_MODELS, validate_calibration
+
+    names = args.model or [spec.name for spec in PAPER_MODELS]
+    all_passed = True
+    for name in names:
+        if name not in MODEL_REGISTRY:
+            print(f"error: unknown model {name!r}", file=sys.stderr)
+            return 2
+        report = validate_calibration(
+            MODEL_REGISTRY[name], scale=args.scale,
+            measure_runtime=args.runtime,
+        )
+        print(report.report())
+        print()
+        all_passed = all_passed and report.passed
+    return 0 if all_passed else 1
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    artefacts = _artefacts()
+    if args.artefact == "list" or args.artefact is None:
+        print("available artefacts:")
+        for name in artefacts:
+            print(f"  {name}")
+        return 0
+    runner = artefacts.get(args.artefact)
+    if runner is None:
+        print(
+            f"error: unknown artefact {args.artefact!r}; "
+            f"try `reproduce list`",
+            file=sys.stderr,
+        )
+        return 2
+    result = runner()
+    print(result.report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Olympian (Middleware 2018) reproduction: fair GPU "
+            "time-slicing for DNN model serving."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("models", help="list the servable model zoo")
+
+    profile = sub.add_parser(
+        "profile", help="run the offline profiler and save a bundle"
+    )
+    profile.add_argument(
+        "model",
+        nargs="+",
+        help="model name or name:batch (default batch = Table 2 reference)",
+    )
+    profile.add_argument("--out", default="profiles.json")
+    profile.add_argument("--scale", type=float, default=0.05)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--graph-seed", type=int, default=1)
+    profile.add_argument("--tolerance", type=float, default=0.025)
+    profile.add_argument(
+        "--quantum", type=float, default=None,
+        help="fixed quantum in seconds (skips Overhead-Q measurement)",
+    )
+
+    serve = sub.add_parser("serve", help="run a serving experiment")
+    serve.add_argument("--model", default="inception_v4")
+    serve.add_argument("--batch", type=int, default=100)
+    serve.add_argument("--clients", type=int, default=10)
+    serve.add_argument("--batches", type=int, default=10)
+    serve.add_argument(
+        "--scheduler",
+        default="fair",
+        choices=[
+            "tf-serving", "fair", "weighted", "priority", "timer",
+            "deficit-rr", "lottery", "edf", "srw",
+        ],
+    )
+    serve.add_argument("--scale", type=float, default=0.05)
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument("--quantum", type=float, default=None)
+    serve.add_argument(
+        "--profiles", default=None, help="profile bundle from `profile`"
+    )
+
+    validate = sub.add_parser(
+        "validate", help="check zoo calibration against the Table 2 specs"
+    )
+    validate.add_argument("model", nargs="*", help="models (default: all)")
+    validate.add_argument("--scale", type=float, default=0.05)
+    validate.add_argument(
+        "--runtime", action="store_true",
+        help="also measure solo runtimes (slower)",
+    )
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate a paper table/figure"
+    )
+    reproduce.add_argument(
+        "artefact", nargs="?", default=None,
+        help="artefact id (e.g. fig11) or `list`",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "profile": _cmd_profile,
+        "serve": _cmd_serve,
+        "validate": _cmd_validate,
+        "reproduce": _cmd_reproduce,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 0
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

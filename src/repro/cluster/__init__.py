@@ -1,0 +1,20 @@
+"""Multi-GPU serving: the paper's future-work extension (§7.2)."""
+
+from .placement import (
+    LeastLoadedPlacement,
+    MemoryAwarePlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    StickyClientPlacement,
+)
+from .server import GpuWorker, MultiGpuServer
+
+__all__ = [
+    "LeastLoadedPlacement",
+    "MemoryAwarePlacement",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "StickyClientPlacement",
+    "GpuWorker",
+    "MultiGpuServer",
+]

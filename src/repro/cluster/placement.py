@@ -1,0 +1,103 @@
+"""Job placement policies for multi-GPU serving.
+
+The paper defers multi-GPU support to future work ("expand Olympian to
+serve more DNN models and support multiple GPUs within a single
+server", §7.2).  This module provides the placement half of that
+extension: given a job and the per-GPU workers, decide which GPU serves
+it.  Scheduling *within* each GPU remains plain Olympian — one token,
+one profiled quantum — so all single-GPU guarantees carry over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..serving.request import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import GpuWorker
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "LeastLoadedPlacement",
+    "MemoryAwarePlacement",
+    "StickyClientPlacement",
+]
+
+
+class PlacementPolicy:
+    """Chooses a worker for each submitted job."""
+
+    name = "abstract"
+
+    def choose(self, workers: List["GpuWorker"], job: Job) -> "GpuWorker":
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through GPUs in order, ignoring load."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, workers: List["GpuWorker"], job: Job) -> "GpuWorker":
+        worker = workers[self._next % len(workers)]
+        self._next += 1
+        return worker
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Send the job to the GPU with the fewest active jobs.
+
+    Ties break towards the lowest GPU index, which keeps placement
+    deterministic.
+    """
+
+    name = "least-loaded"
+
+    def choose(self, workers: List["GpuWorker"], job: Job) -> "GpuWorker":
+        return min(workers, key=lambda w: (w.server.active_jobs, w.index))
+
+
+class MemoryAwarePlacement(PlacementPolicy):
+    """Least-loaded among GPUs with room for the job's model.
+
+    Falls back to plain least-loaded when nothing fits (the submit will
+    then raise GpuOutOfMemory, surfacing the capacity problem instead
+    of hiding it).
+    """
+
+    name = "memory-aware"
+
+    def choose(self, workers: List["GpuWorker"], job: Job) -> "GpuWorker":
+        footprint = workers[0].server.model_memory_mb(job.model_name)
+        fitting = [
+            w for w in workers if w.server.memory.fits(footprint)
+        ]
+        candidates = fitting or workers
+        return min(candidates, key=lambda w: (w.server.active_jobs, w.index))
+
+
+class StickyClientPlacement(PlacementPolicy):
+    """Pin each client to one GPU (hash by client id).
+
+    Keeps a client's sequential batches on the same device — the model
+    stays resident, mirroring session affinity in real deployments.
+    """
+
+    name = "sticky-client"
+
+    def __init__(self):
+        self._assignment = {}
+        self._next = 0
+
+    def choose(self, workers: List["GpuWorker"], job: Job) -> "GpuWorker":
+        index = self._assignment.get(job.client_id)
+        if index is None:
+            index = self._next % len(workers)
+            self._assignment[job.client_id] = index
+            self._next += 1
+        return workers[index]

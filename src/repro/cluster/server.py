@@ -1,0 +1,151 @@
+"""Multi-GPU model serving: the paper's first future-work item.
+
+:class:`MultiGpuServer` runs one single-GPU serving stack
+(:class:`~repro.serving.server.ModelServer`) per device — the standard
+one-TF-Serving-per-GPU deployment — on a shared host (CPU cores and
+inter-op thread pool are common).  Jobs are routed to a device by a
+:class:`~repro.cluster.placement.PlacementPolicy`; within each device
+an independent Olympian scheduler enforces the usual quantum
+guarantees, so per-GPU fairness and predictability carry over
+unchanged.
+
+The class quacks like a single :class:`ModelServer` for
+:class:`~repro.serving.client.Client`, so all workload and metric
+machinery works on clusters too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..host.cpu import HostCpu
+from ..host.threadpool import ThreadPool
+from ..serving.hooks import SchedulerHook
+from ..serving.request import Job
+from ..serving.server import ModelServer, ServerConfig
+from ..sim.core import Event, Simulator
+from ..sim.rng import derive_seed
+from ..zoo.spec import ModelSpec
+from .placement import LeastLoadedPlacement, PlacementPolicy
+
+__all__ = ["GpuWorker", "MultiGpuServer"]
+
+SchedulerFactory = Callable[[Simulator, ModelServer], Optional[SchedulerHook]]
+
+
+class GpuWorker:
+    """One GPU's serving stack inside a multi-GPU server."""
+
+    def __init__(self, index: int, server: ModelServer):
+        self.index = index
+        self.server = server
+        self.jobs_routed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GpuWorker({self.index}, active={self.server.active_jobs})"
+
+
+class MultiGpuServer:
+    """N single-GPU serving stacks behind one placement policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_gpus: int,
+        config: Optional[ServerConfig] = None,
+        scheduler_factory: Optional[SchedulerFactory] = None,
+        placement: Optional[PlacementPolicy] = None,
+        share_host: bool = True,
+    ):
+        if num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1: {num_gpus}")
+        self.sim = sim
+        self.config = config or ServerConfig()
+        self.placement = placement or LeastLoadedPlacement()
+        shared_cpu = HostCpu(sim, self.config.n_cores) if share_host else None
+        shared_pool = ThreadPool(self.config.pool_size) if share_host else None
+        self.workers: List[GpuWorker] = []
+        for index in range(num_gpus):
+            worker_config = self.config.with_seed(
+                derive_seed(self.config.seed, f"gpu-worker:{index}")
+            )
+            server = ModelServer(
+                sim, worker_config, cpu=shared_cpu, pool=shared_pool
+            )
+            if scheduler_factory is not None:
+                scheduler = scheduler_factory(sim, server)
+                if scheduler is not None:
+                    server.scheduler = scheduler
+            self.workers.append(GpuWorker(index, server))
+        self._job_worker: Dict[str, GpuWorker] = {}
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.workers)
+
+    # ------------------------------------------------------------------
+    # ModelServer-compatible surface (used by Client)
+    # ------------------------------------------------------------------
+
+    def load_model(self, graph, memory_mb: int = 240) -> None:
+        """Load a model replica onto every GPU."""
+        for worker in self.workers:
+            worker.server.load_model(graph, memory_mb=memory_mb)
+
+    def load_spec(self, spec: ModelSpec, scale: float = 1.0, seed: int = 0):
+        from ..zoo.generate import generate_graph
+
+        graph = generate_graph(spec, scale=scale, seed=seed)
+        self.load_model(graph, memory_mb=spec.memory_mb)
+        return graph
+
+    @property
+    def model_names(self) -> List[str]:
+        return self.workers[0].server.model_names
+
+    def make_job(
+        self,
+        client_id: Any,
+        model_name: str,
+        batch_size: int,
+        weight: int = 1,
+        priority: int = 0,
+    ) -> Job:
+        return self.workers[0].server.make_job(
+            client_id, model_name, batch_size, weight=weight, priority=priority
+        )
+
+    def submit(self, job: Job) -> Event:
+        """Route the job to a GPU and start serving it there."""
+        worker = self.placement.choose(self.workers, job)
+        worker.jobs_routed += 1
+        self._job_worker[job.job_id] = worker
+        return worker.server.submit(job)
+
+    def gpu_duration_of(self, job: Job) -> float:
+        worker = self._job_worker.get(job.job_id)
+        if worker is None:
+            return 0.0
+        return worker.server.gpu_duration_of(job)
+
+    # ------------------------------------------------------------------
+    # Cluster metrics
+    # ------------------------------------------------------------------
+
+    def worker_of(self, job: Job) -> Optional[GpuWorker]:
+        return self._job_worker.get(job.job_id)
+
+    def utilization(self, window_start: float, window_end: float) -> float:
+        """Mean busy fraction across all devices."""
+        values = [
+            worker.server.utilization(window_start, window_end)
+            for worker in self.workers
+        ]
+        return sum(values) / len(values)
+
+    def routing_counts(self) -> List[int]:
+        return [worker.jobs_routed for worker in self.workers]
+
+    @property
+    def active_jobs(self) -> int:
+        return sum(worker.server.active_jobs for worker in self.workers)

@@ -1,0 +1,84 @@
+"""Olympian: the paper's contribution.
+
+Offline profiler, cost-accumulation accounting, gang scheduler, and the
+three scheduling policies (fair, weighted fair, priority), plus the
+CPU-timer ablation.
+"""
+
+from .accounting import OlympianProfile, ProfileStore
+from .policies import (
+    FairSharing,
+    PriorityScheduling,
+    SchedulingPolicy,
+    WeightedFairSharing,
+)
+from .policies_ext import (
+    AgedPriorityScheduling,
+    DeficitRoundRobin,
+    EarliestDeadlineFirst,
+    LotteryScheduling,
+    ShortestRemainingWork,
+)
+from .monitor import DriftAlert, QuantumMonitor
+from .persistence import (
+    load_profiler_output,
+    output_from_dict,
+    output_to_dict,
+    save_profiler_output,
+    store_from_dict,
+    store_to_dict,
+)
+from .profiler import OfflineProfiler, ProfilerOutput, SoloRun
+from .quantum import DEFAULT_Q_GRID, OverheadQCurve, select_quantum
+from .regression import (
+    LinearFit,
+    LinearProfileModel,
+    fit_linear,
+    fit_linear_profile_model,
+)
+from .scheduler import (
+    DEFAULT_WAKE_LATENCY,
+    CpuTimerScheduler,
+    GangScheduler,
+    OlympianScheduler,
+    SchedulingDecision,
+    Tenure,
+)
+
+__all__ = [
+    "OlympianProfile",
+    "ProfileStore",
+    "FairSharing",
+    "PriorityScheduling",
+    "SchedulingPolicy",
+    "WeightedFairSharing",
+    "AgedPriorityScheduling",
+    "DeficitRoundRobin",
+    "EarliestDeadlineFirst",
+    "LotteryScheduling",
+    "ShortestRemainingWork",
+    "DriftAlert",
+    "QuantumMonitor",
+    "load_profiler_output",
+    "output_from_dict",
+    "output_to_dict",
+    "save_profiler_output",
+    "store_from_dict",
+    "store_to_dict",
+    "OfflineProfiler",
+    "ProfilerOutput",
+    "SoloRun",
+    "DEFAULT_Q_GRID",
+    "OverheadQCurve",
+    "select_quantum",
+    "LinearFit",
+    "LinearProfileModel",
+    "fit_linear",
+    "fit_linear_profile_model",
+    "DEFAULT_WAKE_LATENCY",
+    "CpuTimerScheduler",
+    "GangScheduler",
+    "OlympianScheduler",
+    "SchedulingDecision",
+    "Tenure",
+]

@@ -1,0 +1,154 @@
+"""Olympian's resource accounting: profiles, rates, thresholds.
+
+The paper's central accounting identity (§3.3):
+
+    T_j = Q * C_j / D_j
+
+where ``C_j`` is the summed node cost of DNN *j* (from the cost-model
+API), ``D_j`` its solo GPU duration, and ``Q`` the desired quantum.  A
+job has used one quantum's worth of GPU when its accumulated node cost
+reaches ``T_j``; ``C_j / D_j`` is the *cost accumulation rate*.
+
+:class:`OlympianProfile` packages (C_j, D_j, per-node costs) for one
+(model, batch) pair; :class:`ProfileStore` is the lookup table the
+scheduler consults, with optional linear-regression fallback for
+unprofiled batch sizes (paper §4.4, Figure 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.costmodel import NodeCostProfile
+
+__all__ = ["OlympianProfile", "ProfileStore"]
+
+
+@dataclass
+class OlympianProfile:
+    """Offline profile of one (model, batch size) pair.
+
+    Attributes
+    ----------
+    model_name / batch_size:
+        What was profiled.
+    node_costs:
+        Per-GPU-node cost observations (averaged), in cost units.
+    gpu_duration:
+        ``D_j``: solo GPU duration of one job, in seconds (Figure 5).
+    solo_runtime:
+        End-to-end solo runtime of one job, in seconds (for reporting).
+    """
+
+    model_name: str
+    batch_size: int
+    node_costs: Dict[int, float]
+    gpu_duration: float
+    solo_runtime: float = 0.0
+
+    def __post_init__(self):
+        if self.gpu_duration <= 0:
+            raise ValueError(
+                f"profile for {self.model_name!r} has non-positive "
+                f"GPU duration: {self.gpu_duration}"
+            )
+        if not self.node_costs:
+            raise ValueError(f"profile for {self.model_name!r} has no node costs")
+
+    @property
+    def total_cost(self) -> float:
+        """``C_j``: summed node cost."""
+        return sum(self.node_costs.values())
+
+    @property
+    def cost_rate(self) -> float:
+        """``C_j / D_j``: cost units accumulated per second of GPU time."""
+        return self.total_cost / self.gpu_duration
+
+    def threshold(self, quantum: float) -> float:
+        """``T_j = Q * C_j / D_j``: cost budget of one quantum."""
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive: {quantum}")
+        return quantum * self.cost_rate
+
+    def cost(self, node_id: int) -> float:
+        """Cost of one node (0.0 for nodes absent from the profile)."""
+        return self.node_costs.get(node_id, 0.0)
+
+    @classmethod
+    def from_cost_profile(
+        cls,
+        costs: NodeCostProfile,
+        gpu_duration: float,
+        solo_runtime: float = 0.0,
+    ) -> "OlympianProfile":
+        return cls(
+            model_name=costs.model_name,
+            batch_size=costs.batch_size,
+            node_costs=dict(costs.node_costs),
+            gpu_duration=gpu_duration,
+            solo_runtime=solo_runtime,
+        )
+
+
+class ProfileStore:
+    """Profiles indexed by (model, batch), with regression fallback.
+
+    Exact profiles are preferred.  When ``allow_regression`` is on and a
+    model has at least two profiled batch sizes, a lookup at an
+    unprofiled batch size fits per-node linear cost models and predicts
+    a profile (Figure 20's mechanism).  Predicted profiles are cached.
+    """
+
+    def __init__(self, allow_regression: bool = True):
+        self.allow_regression = allow_regression
+        self._profiles: Dict[Tuple[str, int], OlympianProfile] = {}
+        self._predicted: Dict[Tuple[str, int], OlympianProfile] = {}
+
+    def add(self, profile: OlympianProfile) -> None:
+        key = (profile.model_name, profile.batch_size)
+        self._profiles[key] = profile
+        # A new exact profile invalidates earlier predictions.
+        self._predicted = {
+            k: v for k, v in self._predicted.items() if k[0] != profile.model_name
+        }
+
+    def profiled_batches(self, model_name: str) -> List[int]:
+        return sorted(
+            batch for (name, batch) in self._profiles if name == model_name
+        )
+
+    def exact(self, model_name: str, batch_size: int) -> Optional[OlympianProfile]:
+        return self._profiles.get((model_name, batch_size))
+
+    def lookup(self, model_name: str, batch_size: int) -> OlympianProfile:
+        """Exact profile if available, regression prediction otherwise."""
+        key = (model_name, batch_size)
+        profile = self._profiles.get(key)
+        if profile is not None:
+            return profile
+        predicted = self._predicted.get(key)
+        if predicted is not None:
+            return predicted
+        if self.allow_regression:
+            batches = self.profiled_batches(model_name)
+            if len(batches) >= 2:
+                from .regression import fit_linear_profile_model
+
+                model = fit_linear_profile_model(
+                    [self._profiles[(model_name, b)] for b in batches]
+                )
+                predicted = model.predict(batch_size)
+                self._predicted[key] = predicted
+                return predicted
+        raise KeyError(
+            f"no profile for {model_name!r} at batch {batch_size} "
+            f"(profiled batches: {self.profiled_batches(model_name)})"
+        )
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)

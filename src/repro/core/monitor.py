@@ -1,0 +1,111 @@
+"""Runtime drift detection for Olympian's offline profiles.
+
+The paper's correctness rests on DNN predictability; its discussion
+(§7.3) notes that "continuous monitoring or adaptive re-profiling might
+be needed" if models stop behaving like their profiles.  This module is
+that monitor: it watches the per-quantum GPU durations the scheduler
+actually delivers and compares their rolling mean against the
+configured quantum ``Q``.  A sustained deviation beyond tolerance means
+the cost-accumulation thresholds no longer translate into the intended
+GPU time — a stale or wrong profile — and triggers a callback (e.g. to
+kick off re-profiling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..serving.server import ModelServer
+from .scheduler import OlympianScheduler
+
+__all__ = ["DriftAlert", "QuantumMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """One detected deviation between delivered quanta and Q."""
+
+    time: float
+    model_name: str
+    observed_mean: float
+    expected: float
+
+    @property
+    def relative_error(self) -> float:
+        return (self.observed_mean - self.expected) / self.expected
+
+
+class QuantumMonitor:
+    """Rolling per-model check of delivered quantum durations.
+
+    Call :meth:`scan` periodically (or once at the end of a run); it
+    consumes newly closed tenures, maintains a rolling window of GPU
+    durations per model, and raises an alert whenever a full window's
+    mean deviates from ``Q`` by more than ``tolerance``.
+    """
+
+    def __init__(
+        self,
+        server: ModelServer,
+        scheduler: OlympianScheduler,
+        tolerance: float = 0.25,
+        window: int = 32,
+        on_drift: Optional[Callable[[DriftAlert], None]] = None,
+    ):
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive: {tolerance}")
+        if window < 4:
+            raise ValueError(f"window must be >= 4: {window}")
+        self.server = server
+        self.scheduler = scheduler
+        self.tolerance = tolerance
+        self.window = window
+        self.on_drift = on_drift
+        self.alerts: List[DriftAlert] = []
+        self._consumed = 0
+        self._rolling: Dict[str, Deque[float]] = {}
+        self._alerted_models: set = set()
+
+    def scan(self) -> List[DriftAlert]:
+        """Process tenures closed since the last scan; return new alerts."""
+        tenures = self.scheduler.closed_tenures()
+        new_alerts: List[DriftAlert] = []
+        for tenure in tenures[self._consumed:]:
+            if tenure.end is None:
+                continue
+            duration = self.server.tracer.duration_between(
+                tenure.job_id, tenure.start, tenure.end
+            )
+            rolling = self._rolling.setdefault(
+                tenure.model_name, deque(maxlen=self.window)
+            )
+            rolling.append(duration)
+            if len(rolling) == self.window:
+                observed = sum(rolling) / len(rolling)
+                expected = self.scheduler.quantum
+                if abs(observed - expected) > self.tolerance * expected:
+                    if tenure.model_name not in self._alerted_models:
+                        alert = DriftAlert(
+                            time=tenure.end,
+                            model_name=tenure.model_name,
+                            observed_mean=observed,
+                            expected=expected,
+                        )
+                        new_alerts.append(alert)
+                        self._alerted_models.add(tenure.model_name)
+                        if self.on_drift is not None:
+                            self.on_drift(alert)
+        self._consumed = len(tenures)
+        self.alerts.extend(new_alerts)
+        return new_alerts
+
+    def reset_model(self, model_name: str) -> None:
+        """Forget a model's history (call after re-profiling it)."""
+        self._rolling.pop(model_name, None)
+        self._alerted_models.discard(model_name)
+
+    @property
+    def drifting_models(self) -> List[str]:
+        return sorted(self._alerted_models)

@@ -1,0 +1,115 @@
+"""Persistence for profiler outputs.
+
+Olympian's profiles are computed offline and consumed by serving
+processes later (Figure 7: the profiler feeds TF-Serving through stored
+models of GPU resource usage), so they need a storage format.  This
+module serialises :class:`OlympianProfile`, :class:`ProfileStore`,
+Overhead-Q curves and complete :class:`ProfilerOutput` bundles to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .accounting import OlympianProfile, ProfileStore
+from .profiler import ProfilerOutput
+from .quantum import OverheadQCurve
+
+__all__ = [
+    "profile_to_dict",
+    "profile_from_dict",
+    "store_to_dict",
+    "store_from_dict",
+    "curve_to_dict",
+    "curve_from_dict",
+    "output_to_dict",
+    "output_from_dict",
+    "save_profiler_output",
+    "load_profiler_output",
+]
+
+_PathLike = Union[str, Path]
+
+
+def profile_to_dict(profile: OlympianProfile) -> Dict[str, Any]:
+    return {
+        "model_name": profile.model_name,
+        "batch_size": profile.batch_size,
+        "node_costs": {str(k): v for k, v in profile.node_costs.items()},
+        "gpu_duration": profile.gpu_duration,
+        "solo_runtime": profile.solo_runtime,
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> OlympianProfile:
+    return OlympianProfile(
+        model_name=data["model_name"],
+        batch_size=data["batch_size"],
+        node_costs={int(k): v for k, v in data["node_costs"].items()},
+        gpu_duration=data["gpu_duration"],
+        solo_runtime=data.get("solo_runtime", 0.0),
+    )
+
+
+def store_to_dict(store: ProfileStore) -> Dict[str, Any]:
+    profiles = []
+    for (model, batch) in sorted(
+        (key for key in store._profiles), key=lambda k: (k[0], k[1])
+    ):
+        profiles.append(profile_to_dict(store.exact(model, batch)))
+    return {
+        "allow_regression": store.allow_regression,
+        "profiles": profiles,
+    }
+
+
+def store_from_dict(data: Dict[str, Any]) -> ProfileStore:
+    store = ProfileStore(allow_regression=data.get("allow_regression", True))
+    for entry in data["profiles"]:
+        store.add(profile_from_dict(entry))
+    return store
+
+
+def curve_to_dict(curve: OverheadQCurve) -> Dict[str, Any]:
+    return {
+        "model_name": curve.model_name,
+        "batch_size": curve.batch_size,
+        "points": [[q, o] for q, o in curve.points],
+    }
+
+
+def curve_from_dict(data: Dict[str, Any]) -> OverheadQCurve:
+    return OverheadQCurve(
+        model_name=data["model_name"],
+        batch_size=data["batch_size"],
+        points=[(q, o) for q, o in data["points"]],
+    )
+
+
+def output_to_dict(output: ProfilerOutput) -> Dict[str, Any]:
+    return {
+        "quantum": output.quantum,
+        "tolerance": output.tolerance,
+        "store": store_to_dict(output.store),
+        "curves": [curve_to_dict(curve) for curve in output.curves],
+    }
+
+
+def output_from_dict(data: Dict[str, Any]) -> ProfilerOutput:
+    return ProfilerOutput(
+        quantum=data["quantum"],
+        store=store_from_dict(data["store"]),
+        curves=[curve_from_dict(entry) for entry in data["curves"]],
+        tolerance=data.get("tolerance", 0.025),
+    )
+
+
+def save_profiler_output(output: ProfilerOutput, path: _PathLike) -> None:
+    """Persist a complete profiler bundle (profiles, curves, Q)."""
+    Path(path).write_text(json.dumps(output_to_dict(output), indent=2))
+
+
+def load_profiler_output(path: _PathLike) -> ProfilerOutput:
+    return output_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,127 @@
+"""Scheduling policies: who gets the next quantum (paper §3.4).
+
+The scheduler mechanism (token + gang suspend/resume) is policy-free;
+these classes decide only *which* registered job receives the token at
+each decision point.  The paper implements three policies, all present
+here:
+
+* :class:`FairSharing` — round-robin, one quantum per turn.
+* :class:`WeightedFairSharing` — a job with integer weight ``w``
+  receives ``w`` consecutive quanta per turn.
+* :class:`PriorityScheduling` — the highest-priority active job gets
+  every quantum (ties share round-robin).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..serving.request import Job
+
+__all__ = [
+    "SchedulingPolicy",
+    "FairSharing",
+    "WeightedFairSharing",
+    "PriorityScheduling",
+]
+
+
+class SchedulingPolicy:
+    """Base class: tracks the active-job set in registration order."""
+
+    name = "abstract"
+
+    def __init__(self):
+        self._active: List[Job] = []
+
+    @property
+    def active_jobs(self) -> List[Job]:
+        return list(self._active)
+
+    def on_register(self, job: Job) -> None:
+        if job in self._active:
+            raise ValueError(f"job {job.job_id!r} registered twice")
+        self._active.append(job)
+
+    def on_deregister(self, job: Job) -> None:
+        try:
+            self._active.remove(job)
+        except ValueError:
+            raise ValueError(f"job {job.job_id!r} was not registered")
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        """Choose the next token holder.
+
+        ``current`` is the job whose quantum just ended (it may have
+        deregistered already, in which case it is no longer active).
+        Returns ``None`` when no job is active.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helper
+    # ------------------------------------------------------------------
+
+    def _after(self, current: Optional[Job], candidates: List[Job]) -> Optional[Job]:
+        """Next candidate in cyclic registration order after ``current``."""
+        if not candidates:
+            return None
+        if current is None or current not in candidates:
+            return candidates[0]
+        index = candidates.index(current)
+        return candidates[(index + 1) % len(candidates)]
+
+
+class FairSharing(SchedulingPolicy):
+    """Round-robin: each active job gets one quantum per turn."""
+
+    name = "fair"
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        return self._after(current, self._active)
+
+
+class WeightedFairSharing(SchedulingPolicy):
+    """Round-robin where a job's turn lasts ``job.weight`` quanta.
+
+    For two job classes with weights ``k`` and 1, the expected ratio of
+    class finish times is ``(k + 1) / (2 k)`` (paper §4.2) — verified by
+    the Figure 17 benchmark.
+    """
+
+    name = "weighted-fair"
+
+    def __init__(self):
+        super().__init__()
+        self._quanta_in_turn = 0
+
+    def on_deregister(self, job: Job) -> None:
+        super().on_deregister(job)
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        if current is not None and current in self._active:
+            self._quanta_in_turn += 1
+            if self._quanta_in_turn < current.weight:
+                return current
+        nxt = self._after(current, self._active)
+        self._quanta_in_turn = 0
+        return nxt
+
+
+class PriorityScheduling(SchedulingPolicy):
+    """Strict priority: the highest-priority job gets every quantum.
+
+    Larger ``job.priority`` wins.  Jobs at the same priority level share
+    the GPU round-robin, which is what lets the paper's two-level
+    experiment (Figure 18) show the first class fair-sharing internally
+    and the second class starting only after the first completes.
+    """
+
+    name = "priority"
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        if not self._active:
+            return None
+        top = max(job.priority for job in self._active)
+        contenders = [job for job in self._active if job.priority == top]
+        return self._after(current, contenders)

@@ -1,0 +1,232 @@
+"""Extended scheduling policies beyond the paper's three (§7.2).
+
+The paper implements fair, weighted-fair and priority scheduling and
+lists "expanding the set of supported policies" as future work.  These
+policies plug into the same :class:`~repro.core.scheduler.GangScheduler`
+token machinery, so they inherit all of Olympian's isolation and
+accounting properties:
+
+* :class:`DeficitRoundRobin` — proportional sharing with *fractional*
+  weights via per-job quantum credits (classic DRR adapted to quanta).
+* :class:`LotteryScheduling` — randomized proportional share; each
+  quantum is a lottery drawing over job weights (tickets).
+* :class:`EarliestDeadlineFirst` — the job with the soonest absolute
+  deadline gets every quantum; deadline-less jobs run only when no
+  deadline is pending.
+* :class:`ShortestRemainingWork` — the job with the least estimated
+  remaining GPU work wins (SRPT-style, minimises mean latency);
+  progress is estimated from executed GPU-node counts so the policy
+  needs no profile access.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..serving.request import Job
+from .policies import SchedulingPolicy
+
+__all__ = [
+    "DeficitRoundRobin",
+    "LotteryScheduling",
+    "EarliestDeadlineFirst",
+    "ShortestRemainingWork",
+    "AgedPriorityScheduling",
+]
+
+
+class DeficitRoundRobin(SchedulingPolicy):
+    """Deficit round robin over quanta.
+
+    Each job carries a credit counter; completing a cycle of the active
+    list tops every job up by its ``share`` (from ``job.weight``, but
+    fractional shares are supported via :meth:`set_share`).  A job runs
+    while it has at least one quantum of credit; credits are capped so
+    an idle-ish job cannot hoard a burst.
+    """
+
+    name = "deficit-round-robin"
+
+    def __init__(self, credit_cap: float = 4.0):
+        super().__init__()
+        if credit_cap < 1.0:
+            raise ValueError(f"credit_cap must be >= 1: {credit_cap}")
+        self.credit_cap = credit_cap
+        self._credits: Dict[str, float] = {}
+        self._shares: Dict[str, float] = {}
+
+    def set_share(self, job: Job, share: float) -> None:
+        """Override the (possibly fractional) share of a job."""
+        if share <= 0:
+            raise ValueError(f"share must be positive: {share}")
+        self._shares[job.job_id] = share
+
+    def _share(self, job: Job) -> float:
+        return self._shares.get(job.job_id, float(job.weight))
+
+    def on_register(self, job: Job) -> None:
+        super().on_register(job)
+        self._credits[job.job_id] = self._share(job)
+
+    def on_deregister(self, job: Job) -> None:
+        super().on_deregister(job)
+        self._credits.pop(job.job_id, None)
+        self._shares.pop(job.job_id, None)
+
+    def _replenish(self) -> None:
+        for job in self._active:
+            credit = self._credits.get(job.job_id, 0.0) + self._share(job)
+            self._credits[job.job_id] = min(credit, self.credit_cap)
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        if current is not None and current.job_id in self._credits:
+            self._credits[current.job_id] -= 1.0
+        if not self._active:
+            return None
+        # DRR serves a queue's whole accumulated credit in one visit:
+        # stay on the current job while it still has a quantum's worth.
+        if (
+            current is not None
+            and self._credits.get(current.job_id, 0.0) >= 1.0
+        ):
+            return current
+        # Otherwise walk the cyclic order starting after `current`;
+        # replenish and retry if nobody has a full quantum of credit.
+        for _round in range(2):
+            candidate = self._after(current, self._active)
+            for _ in range(len(self._active)):
+                if self._credits.get(candidate.job_id, 0.0) >= 1.0:
+                    return candidate
+                candidate = self._after(candidate, self._active)
+            self._replenish()
+        # Degenerate shares; fall back to plain round robin.
+        return self._after(current, self._active)
+
+
+class LotteryScheduling(SchedulingPolicy):
+    """Each quantum is a lottery over ``job.weight`` tickets.
+
+    Proportional share in expectation, with no per-job state; the
+    classic Waldspurger/Weihl design mapped onto quanta.  Deterministic
+    given the seed.
+    """
+
+    name = "lottery"
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        self.rng = random.Random(seed)
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        if not self._active:
+            return None
+        total = sum(job.weight for job in self._active)
+        draw = self.rng.uniform(0.0, total)
+        acc = 0.0
+        for job in self._active:
+            acc += job.weight
+            if draw <= acc:
+                return job
+        return self._active[-1]
+
+
+class EarliestDeadlineFirst(SchedulingPolicy):
+    """The pending job with the soonest deadline gets every quantum.
+
+    Jobs without a deadline are background work: they share round-robin
+    among themselves but run only when no deadline job is active.
+    """
+
+    name = "edf"
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        if not self._active:
+            return None
+        with_deadline = [job for job in self._active if job.deadline is not None]
+        if with_deadline:
+            return min(
+                with_deadline,
+                key=lambda job: (job.deadline, self._active.index(job)),
+            )
+        return self._after(current, self._active)
+
+
+class ShortestRemainingWork(SchedulingPolicy):
+    """SRPT over estimated remaining GPU work.
+
+    Remaining work is estimated as the unexecuted fraction of the job's
+    GPU nodes times its solo GPU duration — no profile access needed,
+    and the estimate sharpens as the job progresses.  Ties (e.g. fresh
+    identical jobs) break round-robin.
+    """
+
+    name = "shortest-remaining-work"
+
+    @staticmethod
+    def remaining_work(job: Job) -> float:
+        total = job.graph.num_gpu_nodes
+        if total == 0:
+            return 0.0
+        fraction_left = 1.0 - job.gpu_nodes_executed / total
+        return fraction_left * job.graph.gpu_duration(job.batch_size)
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        if not self._active:
+            return None
+        best = min(self.remaining_work(job) for job in self._active)
+        contenders = [
+            job
+            for job in self._active
+            if self.remaining_work(job) <= best * 1.05 + 1e-12
+        ]
+        return self._after(current, contenders)
+
+
+class AgedPriorityScheduling(SchedulingPolicy):
+    """Priority with aging: waiting raises effective priority.
+
+    Strict priority (the paper's policy) starves low classes while high
+    classes stay busy — fine for their two-level experiment, fatal for
+    an always-loaded production tier.  Aging fixes it: every quantum a
+    job waits adds ``aging_rate`` to its effective priority, so any job
+    eventually outbids the top class.  ``aging_rate=0`` degenerates to
+    strict priority.
+    """
+
+    name = "aged-priority"
+
+    def __init__(self, aging_rate: float = 0.05):
+        super().__init__()
+        if aging_rate < 0:
+            raise ValueError(f"aging_rate must be >= 0: {aging_rate}")
+        self.aging_rate = aging_rate
+        self._ages: Dict[str, float] = {}
+
+    def on_register(self, job: Job) -> None:
+        super().on_register(job)
+        self._ages[job.job_id] = 0.0
+
+    def on_deregister(self, job: Job) -> None:
+        super().on_deregister(job)
+        self._ages.pop(job.job_id, None)
+
+    def effective_priority(self, job: Job) -> float:
+        return job.priority + self.aging_rate * self._ages.get(job.job_id, 0.0)
+
+    def select_next(self, current: Optional[Job]) -> Optional[Job]:
+        if not self._active:
+            return None
+        top = max(self.effective_priority(job) for job in self._active)
+        contenders = [
+            job
+            for job in self._active
+            if self.effective_priority(job) >= top - 1e-12
+        ]
+        chosen = self._after(current, contenders)
+        for job in self._active:
+            if job is chosen:
+                self._ages[job.job_id] = 0.0
+            else:
+                self._ages[job.job_id] = self._ages.get(job.job_id, 0.0) + 1.0
+        return chosen

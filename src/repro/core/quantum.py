@@ -1,0 +1,109 @@
+"""Quantum selection via Overhead-Q curves (paper §3.3, Figure 8).
+
+Time-slicing has a per-switch cost, so smaller quanta mean more
+overhead.  Olympian characterises the trade-off offline: for a grid of
+candidate quanta ``Q`` it runs two instances of a model under plain
+TF-Serving and under Olympian and records the relative finish-time
+inflation.  The operator specifies an overhead *tolerance* (the paper
+uses 2-2.5 %); the chosen ``Q`` is the smallest quantum whose overhead
+is within tolerance — maximised across all served models so no model
+exceeds the tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["OverheadQCurve", "select_quantum", "DEFAULT_Q_GRID"]
+
+# Candidate quanta, seconds.  Spans the 0.3-8 ms range of Figure 8.
+DEFAULT_Q_GRID: Tuple[float, ...] = (
+    0.3e-3,
+    0.5e-3,
+    0.8e-3,
+    1.2e-3,
+    2.0e-3,
+    3.0e-3,
+    5.0e-3,
+    8.0e-3,
+)
+
+
+@dataclass
+class OverheadQCurve:
+    """Measured overhead as a function of quantum for one model.
+
+    ``points`` are ``(q_seconds, overhead_fraction)`` sorted by ``q``.
+    Overheads are measurements and may be slightly noisy (even slightly
+    negative); lookups are robust to that.
+    """
+
+    model_name: str
+    batch_size: int
+    points: List[Tuple[float, float]]
+
+    def __post_init__(self):
+        if len(self.points) < 1:
+            raise ValueError("curve needs at least one point")
+        self.points = sorted(self.points)
+        qs = [q for q, _ in self.points]
+        if len(set(qs)) != len(qs):
+            raise ValueError("duplicate Q values in curve")
+        if any(q <= 0 for q in qs):
+            raise ValueError("Q values must be positive")
+
+    @property
+    def q_values(self) -> List[float]:
+        return [q for q, _ in self.points]
+
+    @property
+    def overheads(self) -> List[float]:
+        return [o for _, o in self.points]
+
+    def overhead_at(self, q: float) -> float:
+        """Piecewise-linear interpolation, clamped at the curve's ends."""
+        points = self.points
+        if q <= points[0][0]:
+            return points[0][1]
+        if q >= points[-1][0]:
+            return points[-1][1]
+        for (q_lo, o_lo), (q_hi, o_hi) in zip(points, points[1:]):
+            if q_lo <= q <= q_hi:
+                frac = (q - q_lo) / (q_hi - q_lo)
+                return o_lo + frac * (o_hi - o_lo)
+        raise AssertionError("unreachable: q inside curve bounds")
+
+    def q_for_tolerance(self, tolerance: float) -> float:
+        """Smallest measured-or-interpolated Q with overhead <= tolerance.
+
+        If even the largest candidate quantum exceeds the tolerance the
+        largest quantum is returned (the best available).
+        """
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive: {tolerance}")
+        points = self.points
+        # Find the first grid point within tolerance; interpolate the
+        # crossing from its predecessor if that predecessor is above.
+        for index, (q, overhead) in enumerate(points):
+            if overhead <= tolerance:
+                if index == 0:
+                    return q
+                q_prev, o_prev = points[index - 1]
+                if o_prev <= tolerance:
+                    # Noise made an earlier point pass too; just use q.
+                    return q
+                frac = (o_prev - tolerance) / (o_prev - overhead)
+                return q_prev + frac * (q - q_prev)
+        return points[-1][0]
+
+
+def select_quantum(
+    curves: Iterable[OverheadQCurve], tolerance: float = 0.025
+) -> float:
+    """The paper's rule: the largest per-model Q so no model exceeds
+    the tolerance (§3.3: "takes the largest Q among them")."""
+    curve_list = list(curves)
+    if not curve_list:
+        raise ValueError("need at least one Overhead-Q curve")
+    return max(curve.q_for_tolerance(tolerance) for curve in curve_list)

@@ -1,0 +1,282 @@
+"""Olympian's gang scheduler (paper Algorithm 2).
+
+Mechanism
+---------
+At any moment at most one job — the *token holder* — may start new
+nodes.  Gang threads call :meth:`GangScheduler.yield_` before every
+compute (Algorithm 2 line 12); threads of non-holders park on their
+job's condition variable.  When a quantum expires the scheduler asks the
+policy for the next holder and wakes that job's gang (cooperative
+co-scheduling, §3.2).
+
+Two quantum definitions are provided:
+
+* :class:`OlympianScheduler` — the paper's design: the quantum expires
+  when the job's accumulated *profiled node cost* reaches
+  ``T_j = Q * C_j / D_j`` (cost-accumulation accounting, §3.3).
+* :class:`CpuTimerScheduler` — the §4.4 ablation: the quantum expires
+  after ``Q`` of wall-clock time, no profiling.  Figure 19 shows why
+  this is not enough.
+
+Overflow semantics (Figures 10 and 15): a gang thread that has already
+entered compute when the token moves finishes its node — its kernel may
+run on the GPU after the switch — and the node's cost is still charged
+to the original job's ``cumulated_cost``, exactly as the paper
+describes.  This falls out of the hook placement: accounting happens in
+``on_node_done``, on the thread that launched the node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..graph.node import Node
+from ..serving.hooks import SchedulerHook
+from ..serving.request import Job
+from ..sim.core import Simulator
+from ..sim.resources import ConditionVariable
+from .accounting import OlympianProfile, ProfileStore
+from .policies import SchedulingPolicy
+
+__all__ = [
+    "SchedulingDecision",
+    "Tenure",
+    "GangScheduler",
+    "OlympianScheduler",
+    "CpuTimerScheduler",
+    "DEFAULT_WAKE_LATENCY",
+]
+
+# Cost of getting a parked gang running again (condition-variable
+# broadcast + OS scheduling + pipeline refill).  This is the per-switch
+# overhead that makes the Overhead-Q curve fall with Q (Figure 8).
+DEFAULT_WAKE_LATENCY = 60e-6
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """One token hand-off."""
+
+    time: float
+    prev_job_id: Optional[str]
+    next_job_id: Optional[str]
+
+
+@dataclass
+class Tenure:
+    """One contiguous token-holding span of a job (= one quantum)."""
+
+    job_id: str
+    client_id: object
+    model_name: str
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError("tenure still open")
+        return self.end - self.start
+
+
+class GangScheduler(SchedulerHook):
+    """Token + gang suspend/resume mechanics, policy- and quantum-agnostic."""
+
+    name = "gang"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: SchedulingPolicy,
+        wake_latency: float = DEFAULT_WAKE_LATENCY,
+    ):
+        if wake_latency < 0:
+            raise ValueError(f"wake latency must be >= 0: {wake_latency}")
+        self.sim = sim
+        self.policy = policy
+        self.wake_latency = wake_latency
+        self.holder: Optional[Job] = None
+        self.decisions: List[SchedulingDecision] = []
+        self.tenures: List[Tenure] = []
+        self.switch_count = 0
+        self._conditions: Dict[str, ConditionVariable] = {}
+        self._current_tenure: Optional[Tenure] = None
+
+    # ------------------------------------------------------------------
+    # SchedulerHook interface
+    # ------------------------------------------------------------------
+
+    def register(self, job: Job) -> None:
+        self._conditions[job.job_id] = ConditionVariable(self.sim)
+        self._prepare_job(job)
+        self.policy.on_register(job)
+        if self.holder is None:
+            self._grant(job, prev=None, wake=False)
+
+    def on_cancel(self, job: Job) -> None:
+        """Wake the job's parked gang so it can observe cancellation."""
+        condition = self._conditions.get(job.job_id)
+        if condition is not None:
+            condition.notify_all()
+
+    def deregister(self, job: Job) -> None:
+        self.policy.on_deregister(job)
+        condition = self._conditions.pop(job.job_id, None)
+        if condition is not None:
+            condition.notify_all()
+        self._forget_job(job)
+        if self.holder is job:
+            self._switch(job)
+
+    def yield_(self, job: Job) -> Iterator:
+        while self.holder is not job:
+            if job.cancelled:
+                # Cancelled jobs drain without waiting for the token.
+                return
+            condition = self._conditions.get(job.job_id)
+            if condition is None:
+                # Defensive: an unregistered job is never blocked.
+                return
+            yield condition.wait()
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    def _prepare_job(self, job: Job) -> None:
+        """Called on register, before the policy sees the job."""
+
+    def _forget_job(self, job: Job) -> None:
+        """Called on deregister."""
+
+    # ------------------------------------------------------------------
+    # Token machinery
+    # ------------------------------------------------------------------
+
+    def _switch(self, from_job: Job) -> None:
+        """Quantum boundary: hand the token to the policy's next choice."""
+        nxt = self.policy.select_next(from_job)
+        self._grant(nxt, prev=from_job, wake=True)
+
+    def _grant(self, job: Optional[Job], prev: Optional[Job], wake: bool) -> None:
+        now = self.sim.now
+        if self._current_tenure is not None:
+            self._current_tenure.end = now
+            self.tenures.append(self._current_tenure)
+            self._current_tenure = None
+        self.decisions.append(
+            SchedulingDecision(
+                time=now,
+                prev_job_id=prev.job_id if prev is not None else None,
+                next_job_id=job.job_id if job is not None else None,
+            )
+        )
+        self.holder = job
+        if job is None:
+            return
+        self._current_tenure = Tenure(
+            job_id=job.job_id,
+            client_id=job.client_id,
+            model_name=job.model_name,
+            start=now,
+        )
+        if job is not prev:
+            self.switch_count += 1
+            if wake:
+                condition = self._conditions.get(job.job_id)
+                if condition is not None:
+                    condition.notify_all(self.wake_latency)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def closed_tenures(self) -> List[Tenure]:
+        return list(self.tenures)
+
+    def decision_times(self) -> List[float]:
+        return [decision.time for decision in self.decisions]
+
+
+class OlympianScheduler(GangScheduler):
+    """The paper's scheduler: cost-accumulation quanta from offline profiles."""
+
+    name = "olympian"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: SchedulingPolicy,
+        quantum: float,
+        profiles: ProfileStore,
+        wake_latency: float = DEFAULT_WAKE_LATENCY,
+    ):
+        super().__init__(sim, policy, wake_latency)
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive: {quantum}")
+        self.quantum = quantum
+        self.profiles = profiles
+        self._job_profiles: Dict[str, OlympianProfile] = {}
+        self._thresholds: Dict[str, float] = {}
+
+    def _prepare_job(self, job: Job) -> None:
+        profile = self.profiles.lookup(job.model_name, job.batch_size)
+        self._job_profiles[job.job_id] = profile
+        self._thresholds[job.job_id] = profile.threshold(self.quantum)
+
+    def _forget_job(self, job: Job) -> None:
+        self._job_profiles.pop(job.job_id, None)
+        self._thresholds.pop(job.job_id, None)
+
+    def threshold_of(self, job: Job) -> float:
+        return self._thresholds[job.job_id]
+
+    def on_node_done(self, job: Job, node: Node) -> None:
+        """Algorithm 2 lines 14-18: accumulate cost, maybe hand off."""
+        if not node.is_gpu:
+            return
+        profile = self._job_profiles.get(job.job_id)
+        if profile is None:
+            return
+        job.cumulated_cost += profile.cost(node.node_id)
+        threshold = self._thresholds[job.job_id]
+        # Only a holder's threshold crossing triggers a hand-off; an
+        # overflow node of a switched-out job keeps accumulating and
+        # shortens that job's *next* quantum instead (Figure 15).
+        if self.holder is job and job.cumulated_cost >= threshold:
+            job.cumulated_cost -= threshold
+            self._switch(job)
+
+
+class CpuTimerScheduler(GangScheduler):
+    """Ablation (§4.4): wall-clock quanta, no GPU-usage profiling.
+
+    The gang mechanics are identical to Olympian's; only the expiry test
+    differs — elapsed wall time since the tenure began, checked at node
+    boundaries (the switch is still cooperative).  Figure 19 shows this
+    produces unequal finish times on homogeneous workloads and wildly
+    varying GPU durations on heterogeneous ones, because a wall-clock
+    quantum buys very different amounts of GPU time depending on the
+    job's current CPU/GPU phase.
+    """
+
+    name = "cpu-timer"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: SchedulingPolicy,
+        quantum: float,
+        wake_latency: float = DEFAULT_WAKE_LATENCY,
+    ):
+        super().__init__(sim, policy, wake_latency)
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive: {quantum}")
+        self.quantum = quantum
+
+    def on_node_done(self, job: Job, node: Node) -> None:
+        if self.holder is not job or self._current_tenure is None:
+            return
+        if self.sim.now - self._current_tenure.start >= self.quantum:
+            self._switch(job)

@@ -1,0 +1,450 @@
+"""Extension experiments beyond the paper's evaluation.
+
+The paper's future-work list (§7.2) names more realistic workloads,
+multiple GPUs, and power measurement.  Each gets a quantitative
+experiment here, built from the same substrate as the reproduction:
+
+* :func:`latency_predictability` — an *open-loop* Poisson arrival
+  stream (the paper's workloads are closed-loop).  The claim under
+  test: Olympian makes per-request latency predictable (tight
+  p99/p50), while stock TF-Serving's arbitrary driver arbitration
+  produces a heavy latency tail at the same throughput.
+* :func:`multigpu_scaling` — throughput scaling across 1..N GPUs with
+  per-GPU Olympian schedulers and client-sticky placement.
+* :func:`energy_comparison` — energy per request under TF-Serving vs
+  Olympian's policies, using the two-state device power model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.placement import StickyClientPlacement
+from ..cluster.server import MultiGpuServer
+from ..core.policies import FairSharing
+from ..core.scheduler import OlympianScheduler
+from ..gpu.power import GTX_1080_TI_POWER, PowerModel, energy_joules
+from ..metrics import stats
+from ..metrics.report import (
+    format_ms,
+    format_percent,
+    format_ratio,
+    format_seconds,
+    render_table,
+)
+from ..serving.client import Client
+from ..serving.server import ModelServer, ServerConfig
+from ..sim.core import Simulator
+from ..sim.rng import derive_seed
+from ..workloads.scenarios import homogeneous_workload, with_priorities, with_weights
+from ..zoo.catalog import INCEPTION_V4
+from .runner import DEFAULT_SCALE, ExperimentConfig, get_graph, get_profiler_output, run_workload
+
+__all__ = [
+    "latency_predictability",
+    "LatencyResult",
+    "multigpu_scaling",
+    "MultiGpuResult",
+    "energy_comparison",
+    "EnergyResult",
+    "slo_attainment",
+    "SloResult",
+]
+
+
+# ----------------------------------------------------------------------
+# Open-loop latency predictability
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LatencyResult:
+    """Latency distributions for one open-loop run per scheduler."""
+
+    arrival_rate: float
+    num_requests: int
+    latencies: Dict[str, List[float]]  # scheduler kind -> request latencies
+
+    def p50(self, kind: str) -> float:
+        return stats.percentile(self.latencies[kind], 50)
+
+    def p99(self, kind: str) -> float:
+        return stats.percentile(self.latencies[kind], 99)
+
+    def tail_ratio(self, kind: str) -> float:
+        """p99 / p50 — the predictability metric (1.0 = deterministic)."""
+        return self.p99(kind) / self.p50(kind)
+
+    def report(self) -> str:
+        rows = []
+        for kind in self.latencies:
+            rows.append(
+                [
+                    kind,
+                    format_ms(self.p50(kind)),
+                    format_ms(self.p99(kind)),
+                    format_ratio(self.tail_ratio(kind)),
+                    format_percent(stats.relative_stddev(self.latencies[kind])),
+                ]
+            )
+        return render_table(
+            ["scheduler", "p50 latency", "p99 latency", "p99/p50", "CoV"],
+            rows,
+            title=(
+                "Extension: open-loop Poisson arrivals "
+                f"(rate={self.arrival_rate:.0f}/s, n={self.num_requests}) — "
+                "latency predictability"
+            ),
+        )
+
+
+def _open_loop_run(
+    scheduler_kind: str,
+    arrival_rate: float,
+    num_requests: int,
+    batch_size: int,
+    scale: float,
+    seed: int,
+    quantum: float,
+) -> List[float]:
+    graph = get_graph(INCEPTION_V4.name, scale, 1)
+    config = ExperimentConfig(scale=scale, seed=seed, quantum=quantum)
+    sim = Simulator()
+    if scheduler_kind == "fair":
+        output = get_profiler_output(
+            [(INCEPTION_V4.name, batch_size)], config
+        )
+        scheduler = OlympianScheduler(
+            sim, FairSharing(), quantum=output.quantum, profiles=output.store
+        )
+    else:
+        scheduler = None
+    server = ModelServer(
+        sim,
+        ServerConfig(track_memory=False, seed=derive_seed(seed, scheduler_kind)),
+        scheduler=scheduler,
+    )
+    server.load_model(graph)
+    rng = random.Random(derive_seed(seed, f"arrivals:{scheduler_kind}"))
+    latencies: List[float] = []
+
+    def request_stream():
+        for index in range(num_requests):
+            yield sim.timeout(rng.expovariate(arrival_rate))
+            job = server.make_job(f"req{index}", graph.name, batch_size)
+            sim.process(_track(job))
+
+    def _track(job):
+        done = server.submit(job)
+        yield done
+        latencies.append(job.latency)
+
+    sim.process(request_stream(), name="open-loop-arrivals")
+    sim.run()
+    if len(latencies) != num_requests:
+        raise RuntimeError(
+            f"open-loop run lost requests: {len(latencies)}/{num_requests}"
+        )
+    return latencies
+
+
+def latency_predictability(
+    arrival_rate: Optional[float] = None,
+    num_requests: int = 120,
+    batch_size: int = 100,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 5,
+    quantum: float = 1.2e-3,
+    target_load: float = 0.7,
+) -> LatencyResult:
+    """Open-loop comparison at ~``target_load`` device utilization."""
+    graph = get_graph(INCEPTION_V4.name, scale, 1)
+    if arrival_rate is None:
+        service_time = graph.gpu_duration(batch_size)
+        arrival_rate = target_load / service_time
+    latencies = {
+        kind: _open_loop_run(
+            kind, arrival_rate, num_requests, batch_size, scale, seed, quantum
+        )
+        for kind in ("tf-serving", "fair")
+    }
+    return LatencyResult(
+        arrival_rate=arrival_rate,
+        num_requests=num_requests,
+        latencies=latencies,
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-GPU scaling
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MultiGpuResult:
+    """Makespan and fairness for the same workload on 1..N GPUs."""
+
+    gpu_counts: List[int]
+    makespans: Dict[int, float]
+    fairness: Dict[int, float]  # Jain index of per-client GPU time
+
+    def speedup(self, num_gpus: int) -> float:
+        return self.makespans[self.gpu_counts[0]] / self.makespans[num_gpus]
+
+    def report(self) -> str:
+        rows = [
+            [
+                n,
+                format_seconds(self.makespans[n]),
+                f"{self.speedup(n):.2f}x",
+                f"{self.fairness[n]:.4f}",
+            ]
+            for n in self.gpu_counts
+        ]
+        return render_table(
+            ["GPUs", "makespan", "speedup", "Jain fairness"],
+            rows,
+            title=(
+                "Extension: multi-GPU scaling with per-GPU Olympian "
+                "fair sharing (paper future work §7.2)"
+            ),
+        )
+
+
+def multigpu_scaling(
+    gpu_counts: Sequence[int] = (1, 2, 4),
+    num_clients: int = 8,
+    num_batches: int = 4,
+    batch_size: int = 100,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 5,
+    quantum: float = 1.2e-3,
+) -> MultiGpuResult:
+    graph = get_graph(INCEPTION_V4.name, scale, 1)
+    config = ExperimentConfig(scale=scale, seed=seed, quantum=quantum)
+    output = get_profiler_output([(INCEPTION_V4.name, batch_size)], config)
+    makespans: Dict[int, float] = {}
+    fairness: Dict[int, float] = {}
+    for num_gpus in gpu_counts:
+        sim = Simulator()
+
+        def factory(sim_, server):
+            return OlympianScheduler(
+                sim_, FairSharing(), quantum=output.quantum,
+                profiles=output.store,
+            )
+
+        cluster = MultiGpuServer(
+            sim,
+            num_gpus,
+            config=ServerConfig(track_memory=False, seed=seed),
+            scheduler_factory=factory,
+            placement=StickyClientPlacement(),
+        )
+        cluster.load_model(graph)
+        clients = [
+            Client(sim, cluster, f"c{i}", graph.name, batch_size,
+                   num_batches=num_batches)
+            for i in range(num_clients)
+        ]
+        for client in clients:
+            client.start()
+        sim.run()
+        makespans[num_gpus] = max(c.finished_at for c in clients)
+        fairness[num_gpus] = stats.jain_index(
+            [c.total_gpu_duration() for c in clients]
+        )
+    return MultiGpuResult(
+        gpu_counts=list(gpu_counts), makespans=makespans, fairness=fairness
+    )
+
+
+# ----------------------------------------------------------------------
+# Energy
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EnergyResult:
+    """Energy per run and per request under each scheduler."""
+
+    power_model: PowerModel
+    num_requests: int
+    energy: Dict[str, float]  # scheduler -> joules over its serving window
+    makespans: Dict[str, float]
+
+    def joules_per_request(self, kind: str) -> float:
+        return self.energy[kind] / self.num_requests
+
+    def report(self) -> str:
+        rows = [
+            [
+                kind,
+                format_seconds(self.makespans[kind]),
+                f"{self.energy[kind]:.1f} J",
+                f"{self.joules_per_request(kind):.2f} J",
+            ]
+            for kind in self.energy
+        ]
+        return render_table(
+            ["scheduler", "makespan", "total energy", "energy/request"],
+            rows,
+            title=(
+                "Extension: energy under each scheduler "
+                f"({self.power_model.name}, two-state power model; "
+                "paper lists power as unevaluated future work)"
+            ),
+        )
+
+
+def energy_comparison(
+    num_clients: int = 10,
+    num_batches: int = 6,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 5,
+    power_model: PowerModel = GTX_1080_TI_POWER,
+) -> EnergyResult:
+    config = ExperimentConfig(scale=scale, seed=seed)
+    base = homogeneous_workload(num_clients=num_clients, num_batches=num_batches)
+    half = num_clients // 2
+    workloads = {
+        "tf-serving": base,
+        "fair": base,
+        "weighted": with_weights(base, [2] * half + [1] * (num_clients - half)),
+        "priority": with_priorities(base, list(range(num_clients, 0, -1))),
+    }
+    energy: Dict[str, float] = {}
+    makespans: Dict[str, float] = {}
+    for kind, specs in workloads.items():
+        run = run_workload(specs, scheduler=kind, config=config)
+        lo = min(job.submitted_at for c in run.clients for job in c.jobs)
+        hi = max(c.finished_at for c in run.clients)
+        energy[kind] = energy_joules(run.server.device, power_model, lo, hi)
+        makespans[kind] = hi - lo
+    return EnergyResult(
+        power_model=power_model,
+        num_requests=num_clients * num_batches,
+        energy=energy,
+        makespans=makespans,
+    )
+
+
+# ----------------------------------------------------------------------
+# SLO attainment under overload
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SloResult:
+    """SLO attainment for three systems under the same overload."""
+
+    slo: float
+    num_requests: int
+    attainment: Dict[str, float]   # met-SLO fraction of *completed* jobs
+    goodput: Dict[str, int]        # requests finished within SLO
+    rejected: Dict[str, int]
+
+    def report(self) -> str:
+        rows = [
+            [
+                system,
+                format_percent(self.attainment[system]),
+                self.goodput[system],
+                self.rejected[system],
+            ]
+            for system in self.attainment
+        ]
+        return render_table(
+            ["system", "SLO attainment", "goodput", "rejected"],
+            rows,
+            title=(
+                "Extension: SLO attainment under ~1.3x overload "
+                f"(SLO = {format_ms(self.slo)}, n={self.num_requests}) — "
+                "predictability enables admission control"
+            ),
+        )
+
+
+def slo_attainment(
+    num_requests: int = 100,
+    scale: float = DEFAULT_SCALE,
+    batch_size: int = 100,
+    seed: int = 9,
+    quantum: float = 1.2e-3,
+    overload: float = 1.3,
+    slo_multiplier: float = 5.0,
+) -> SloResult:
+    """Open-loop overload: TF-Serving and Olympian without admission
+    control versus Olympian + SLO admission (repro.slo)."""
+    from ..slo import FairShareEstimator, SloAdmissionController
+
+    graph = get_graph(INCEPTION_V4.name, scale, 1)
+    config = ExperimentConfig(scale=scale, seed=seed, quantum=quantum)
+    output = get_profiler_output([(INCEPTION_V4.name, batch_size)], config)
+    demand = output.store.lookup(INCEPTION_V4.name, batch_size).gpu_duration
+    slo = slo_multiplier * demand
+    arrival_rate = overload / demand
+
+    attainment: Dict[str, float] = {}
+    goodput: Dict[str, int] = {}
+    rejected: Dict[str, int] = {}
+
+    for system in ("tf-serving", "fair", "fair+admission"):
+        sim = Simulator()
+        if system == "tf-serving":
+            scheduler = None
+        else:
+            scheduler = OlympianScheduler(
+                sim, FairSharing(), quantum=output.quantum,
+                profiles=output.store,
+            )
+        server = ModelServer(
+            sim,
+            ServerConfig(track_memory=False, seed=derive_seed(seed, system)),
+            scheduler=scheduler,
+        )
+        server.load_model(graph)
+        controller = None
+        if system == "fair+admission":
+            estimator = FairShareEstimator(
+                output.store, overhead=0.05, host_fraction=0.2
+            )
+            controller = SloAdmissionController(server, estimator)
+        rng = random.Random(derive_seed(seed, f"slo-arrivals"))
+        outcomes: List[bool] = []
+        rejected_count = [0]
+
+        def track(job, admitted_at, done):
+            yield done
+            outcomes.append(job.finished_at - admitted_at <= slo)
+
+        def arrivals():
+            for index in range(num_requests):
+                yield sim.timeout(rng.expovariate(arrival_rate))
+                job = server.make_job(f"r{index}", graph.name, batch_size)
+                if controller is not None:
+                    done = controller.try_submit(job, slo=slo)
+                    if done is None:
+                        rejected_count[0] += 1
+                        continue
+                else:
+                    done = server.submit(job)
+                sim.process(track(job, sim.now, done))
+
+        sim.process(arrivals(), name="slo-arrivals")
+        sim.run()
+        completed = len(outcomes)
+        met = sum(outcomes)
+        attainment[system] = met / completed if completed else 0.0
+        goodput[system] = met
+        rejected[system] = rejected_count[0]
+
+    return SloResult(
+        slo=slo,
+        num_requests=num_requests,
+        attainment=attainment,
+        goodput=goodput,
+        rejected=rejected,
+    )

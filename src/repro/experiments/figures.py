@@ -1,0 +1,940 @@
+"""One entry point per paper figure (see DESIGN.md §3 for the index).
+
+Every function runs the corresponding experiment on the simulated stack
+and returns a result object carrying the reproduced data plus a
+``report()`` method that renders it as a paper-style table.  Benchmarks
+call these functions and assert the paper's qualitative claims.
+
+Defaults are tuned so each figure runs in seconds at the standard
+experiment scale; pass a larger ``scale`` / ``num_batches`` for higher
+fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.quantum import OverheadQCurve
+from ..gpu.specs import GTX_1080_TI, TITAN_X, GpuSpec
+from ..metrics import stats
+from ..metrics.report import (
+    format_ms,
+    format_percent,
+    format_ratio,
+    format_seconds,
+    format_us,
+    render_table,
+)
+from ..workloads.scenarios import (
+    ClientSpec,
+    complex_workload,
+    heterogeneous_workload,
+    homogeneous_workload,
+    with_priorities,
+    with_weights,
+)
+from ..zoo.catalog import INCEPTION_V4, MODEL_REGISTRY, PAPER_MODELS
+from .runner import (
+    DEFAULT_SCALE,
+    ExperimentConfig,
+    ExperimentResult,
+    get_graph,
+    get_profiler_output,
+    run_workload,
+)
+
+__all__ = [
+    "fig3_tfserving_variability",
+    "fig4_node_duration_cdf",
+    "fig6_online_profiler_overhead",
+    "fig8_overhead_q_curves",
+    "fig11_fair_homogeneous",
+    "fig12_scheduling_intervals",
+    "fig13_fair_heterogeneous",
+    "fig14_quantum_durations",
+    "fig16_complex_workload",
+    "fig17_weighted_fair",
+    "fig18_priority",
+    "fig19_cpu_timer_ablation",
+    "fig20_linear_cost_model",
+    "fig21_portability",
+]
+
+
+def _default_config(scale: float, **overrides) -> ExperimentConfig:
+    return ExperimentConfig(scale=scale, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — TF-Serving finish-time unpredictability
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig3Result:
+    """Finish times of N identical clients under stock TF-Serving."""
+
+    runs: Dict[int, Dict[object, float]]  # seed -> client -> finish time
+
+    def spread(self, seed: int) -> float:
+        return stats.spread_ratio(list(self.runs[seed].values()))
+
+    @property
+    def max_spread(self) -> float:
+        return max(self.spread(seed) for seed in self.runs)
+
+    def report(self) -> str:
+        seeds = sorted(self.runs)
+        clients = sorted(self.runs[seeds[0]])
+        rows = [
+            [cid] + [format_seconds(self.runs[s][cid]) for s in seeds]
+            for cid in clients
+        ]
+        rows.append(
+            ["spread"] + [format_ratio(self.spread(s)) for s in seeds]
+        )
+        return render_table(
+            ["client"] + [f"run-{i + 1}" for i in range(len(seeds))],
+            rows,
+            title=(
+                "Figure 3: finish times for concurrent clients in "
+                "TF-Serving, two runs (paper: varies by up to 1.7x)"
+            ),
+        )
+
+
+def fig3_tfserving_variability(
+    num_clients: int = 10,
+    num_batches: int = 10,
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (1, 2),
+) -> Fig3Result:
+    runs: Dict[int, Dict[object, float]] = {}
+    for seed in seeds:
+        specs = homogeneous_workload(
+            num_clients=num_clients, num_batches=num_batches
+        )
+        result = run_workload(
+            specs, scheduler="tf-serving", config=_default_config(scale, seed=seed)
+        )
+        runs[seed] = result.finish_times
+    return Fig3Result(runs=runs)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — node-duration CDF
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig4Result:
+    """Per-node GPU durations of one Inception job at two batch sizes."""
+
+    durations: Dict[int, List[float]]  # batch -> sorted durations (s)
+
+    def fraction_under(self, batch: int, threshold: float) -> float:
+        return stats.cdf_at(self.durations[batch], threshold)
+
+    def cdf(self, batch: int) -> List[Tuple[float, float]]:
+        return stats.empirical_cdf(self.durations[batch])
+
+    def report(self) -> str:
+        thresholds = (20e-6, 100e-6, 500e-6, 1e-3)
+        rows = []
+        for batch in sorted(self.durations):
+            rows.append(
+                [f"batch {batch}"]
+                + [
+                    format_percent(self.fraction_under(batch, t))
+                    for t in thresholds
+                ]
+            )
+        return render_table(
+            ["workload"] + [f"<= {format_us(t)}" for t in thresholds],
+            rows,
+            title=(
+                "Figure 4: Inception node-duration CDF (paper: >80% "
+                "below 20us, >90% below 1ms)"
+            ),
+        )
+
+
+def fig4_node_duration_cdf(
+    batch_sizes: Sequence[int] = (10, 100),
+    scale: float = DEFAULT_SCALE,
+    graph_seed: int = 1,
+) -> Fig4Result:
+    graph = get_graph(INCEPTION_V4.name, scale, graph_seed)
+    durations = {
+        batch: sorted(node.duration(batch) for node in graph.nodes if node.is_gpu)
+        for batch in batch_sizes
+    }
+    return Fig4Result(durations=durations)
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — online cost-profiler overhead
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig6Result:
+    """Solo runtimes with and without the online cost profiler."""
+
+    rows: List[Tuple[str, float, float]]  # (model, clean, instrumented)
+
+    def overhead(self, model: str) -> float:
+        for name, clean, online in self.rows:
+            if name == model:
+                return (online - clean) / clean
+        raise KeyError(model)
+
+    @property
+    def overhead_range(self) -> Tuple[float, float]:
+        overheads = [(online - clean) / clean for _, clean, online in self.rows]
+        return min(overheads), max(overheads)
+
+    def report(self) -> str:
+        table_rows = [
+            [
+                name,
+                format_seconds(clean, 3),
+                format_seconds(online, 3),
+                format_percent((online - clean) / clean),
+            ]
+            for name, clean, online in self.rows
+        ]
+        return render_table(
+            ["model", "clean", "online profiler", "overhead"],
+            table_rows,
+            title=(
+                "Figure 6: online cost-profiler overhead "
+                "(paper: inflates runtimes by 21-29%)"
+            ),
+        )
+
+
+def fig6_online_profiler_overhead(
+    scale: float = DEFAULT_SCALE,
+    models: Optional[Sequence[str]] = None,
+    profile_seed: int = 7,
+    graph_seed: int = 1,
+) -> Fig6Result:
+    from ..core.profiler import OfflineProfiler
+
+    names = list(models) if models else [spec.name for spec in PAPER_MODELS]
+    profiler = OfflineProfiler(seed=profile_seed)
+    rows = []
+    for name in names:
+        spec = MODEL_REGISTRY[name]
+        graph = get_graph(name, scale, graph_seed)
+        clean, _ = profiler.measure_solo(graph, spec.ref_batch, online=False)
+        online, _ = profiler.measure_solo(graph, spec.ref_batch, online=True)
+        rows.append((spec.display_name, clean.runtime, online.runtime))
+    return Fig6Result(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — Overhead-Q curves
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig8Result:
+    curves: List[OverheadQCurve]
+    tolerance: float
+    selected_quantum: float
+
+    def report(self) -> str:
+        qs = self.curves[0].q_values
+        rows = []
+        for curve in self.curves:
+            rows.append(
+                [MODEL_REGISTRY[curve.model_name].display_name]
+                + [format_percent(o) for o in curve.overheads]
+            )
+        table = render_table(
+            ["model"] + [format_ms(q, 1) for q in qs],
+            rows,
+            title=(
+                "Figure 8: Overhead-Q curves (paper: overhead falls "
+                "as Q grows)"
+            ),
+        )
+        return table + (
+            f"\nselected Q for tolerance {format_percent(self.tolerance)}: "
+            f"{format_us(self.selected_quantum)}"
+        )
+
+
+def fig8_overhead_q_curves(
+    scale: float = DEFAULT_SCALE,
+    models: Optional[Sequence[str]] = None,
+    q_values: Optional[Sequence[float]] = None,
+    tolerance: float = 0.025,
+    config: Optional[ExperimentConfig] = None,
+) -> Fig8Result:
+    from ..core.quantum import select_quantum
+
+    names = list(models) if models else [spec.name for spec in PAPER_MODELS]
+    config = config or ExperimentConfig(scale=scale, tolerance=tolerance)
+    if q_values is not None:
+        config = replace(config, q_values=tuple(q_values))
+    entries = [(name, MODEL_REGISTRY[name].ref_batch) for name in names]
+    output = get_profiler_output(entries, config, with_curves=True)
+    return Fig8Result(
+        curves=output.curves,
+        tolerance=tolerance,
+        selected_quantum=select_quantum(output.curves, tolerance),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — fair sharing, homogeneous workload
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig11Result:
+    tf_serving: Dict[object, float]
+    olympian: Dict[object, float]
+    quantum: float
+
+    @property
+    def tf_spread(self) -> float:
+        return stats.spread_ratio(list(self.tf_serving.values()))
+
+    @property
+    def olympian_spread(self) -> float:
+        return stats.spread_ratio(list(self.olympian.values()))
+
+    def report(self) -> str:
+        clients = sorted(self.tf_serving)
+        rows = [
+            [
+                cid,
+                format_seconds(self.tf_serving[cid]),
+                format_seconds(self.olympian[cid]),
+            ]
+            for cid in clients
+        ]
+        rows.append(
+            [
+                "spread",
+                format_ratio(self.tf_spread),
+                format_ratio(self.olympian_spread),
+            ]
+        )
+        table = render_table(
+            ["client", "TF-Serving", "Olympian fair"],
+            rows,
+            title=(
+                "Figure 11: fair sharing, homogeneous workload "
+                "(paper: Olympian 48-50s band vs TF-Serving 42-50s)"
+            ),
+        )
+        return table + f"\nquantum Q = {format_us(self.quantum)}"
+
+
+def fig11_fair_homogeneous(
+    num_clients: int = 10,
+    num_batches: int = 10,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 3,
+    config: Optional[ExperimentConfig] = None,
+    return_runs: bool = False,
+):
+    config = config or _default_config(scale, seed=seed)
+    specs = homogeneous_workload(num_clients=num_clients, num_batches=num_batches)
+    baseline = run_workload(specs, scheduler="tf-serving", config=config)
+    fair = run_workload(specs, scheduler="fair", config=config)
+    result = Fig11Result(
+        tf_serving=baseline.finish_times,
+        olympian=fair.finish_times,
+        quantum=fair.quantum,
+    )
+    if return_runs:
+        return result, baseline, fair
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — scheduling-interval durations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig12Result:
+    intervals: List[float]
+
+    @property
+    def mean_interval(self) -> float:
+        return stats.mean(self.intervals)
+
+    @property
+    def summary(self) -> stats.Summary:
+        return stats.summarize(self.intervals)
+
+    def report(self) -> str:
+        s = self.summary
+        rows = [
+            ["count", str(s.count)],
+            ["mean", format_ms(s.mean)],
+            ["stddev", format_ms(s.stddev)],
+            ["min", format_ms(s.minimum)],
+            ["max", format_ms(s.maximum)],
+            ["p90", format_ms(stats.percentile(self.intervals, 90))],
+        ]
+        return render_table(
+            ["statistic", "value"],
+            rows,
+            title=(
+                "Figure 12: scheduling-interval durations (paper: "
+                "average 1.8 ms, individual intervals vary widely)"
+            ),
+        )
+
+
+def fig12_scheduling_intervals(
+    num_clients: int = 10,
+    num_batches: int = 10,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 3,
+    fair_run: Optional[ExperimentResult] = None,
+) -> Fig12Result:
+    if fair_run is None:
+        specs = homogeneous_workload(
+            num_clients=num_clients, num_batches=num_batches
+        )
+        fair_run = run_workload(
+            specs, scheduler="fair", config=_default_config(scale, seed=seed)
+        )
+    return Fig12Result(intervals=fair_run.scheduling_intervals())
+
+
+# ----------------------------------------------------------------------
+# Figures 13 & 14 — heterogeneous workload
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig13Result:
+    variants: Dict[str, Dict[object, float]]  # label -> finish times
+
+    def report(self) -> str:
+        labels = sorted(self.variants)
+        clients = sorted(self.variants[labels[0]])
+        rows = [
+            [cid] + [format_seconds(self.variants[lbl][cid]) for lbl in labels]
+            for cid in clients
+        ]
+        return render_table(
+            ["client"] + labels,
+            rows,
+            title=(
+                "Figure 13: fair sharing, heterogeneous workload "
+                "(clients 0-4 Inception, 5-9 ResNet-152)"
+            ),
+        )
+
+
+def fig13_fair_heterogeneous(
+    scale: float = DEFAULT_SCALE,
+    num_batches: int = 10,
+    seed: int = 3,
+    equalized_inception_batch: int = 150,
+) -> Fig13Result:
+    variants = {}
+    for label, inception_batch in (
+        ("inception-100", 100),
+        (f"inception-{equalized_inception_batch}", equalized_inception_batch),
+    ):
+        specs = heterogeneous_workload(
+            inception_batch=inception_batch, num_batches=num_batches
+        )
+        run = run_workload(
+            specs, scheduler="fair", config=_default_config(scale, seed=seed)
+        )
+        variants[label] = run.finish_times
+    return Fig13Result(variants=variants)
+
+
+@dataclass
+class Fig14Result:
+    quantum: float
+    per_client: Dict[object, stats.Summary]
+    models: Dict[object, str]
+
+    @property
+    def mean_range(self) -> Tuple[float, float]:
+        means = [s.mean for s in self.per_client.values()]
+        return min(means), max(means)
+
+    @property
+    def max_relative_stddev(self) -> float:
+        return max(s.relative_stddev for s in self.per_client.values())
+
+    def report(self) -> str:
+        rows = [
+            [
+                cid,
+                MODEL_REGISTRY[self.models[cid]].display_name,
+                format_us(self.per_client[cid].mean),
+                format_percent(self.per_client[cid].relative_stddev),
+            ]
+            for cid in sorted(self.per_client)
+        ]
+        table = render_table(
+            ["client", "model", "avg GPU duration/quantum", "std"],
+            rows,
+            title=(
+                "Figure 14: per-quantum GPU durations, heterogeneous "
+                "workload (paper: 1084-1257us around Q=1190us)"
+            ),
+        )
+        return table + f"\npredicted Q = {format_us(self.quantum)}"
+
+
+def fig14_quantum_durations(
+    scale: float = DEFAULT_SCALE,
+    num_batches: int = 10,
+    seed: int = 3,
+    inception_batch: int = 100,
+) -> Fig14Result:
+    specs = heterogeneous_workload(
+        inception_batch=inception_batch, num_batches=num_batches
+    )
+    run = run_workload(
+        specs, scheduler="fair", config=_default_config(scale, seed=seed)
+    )
+    durations = run.quantum_gpu_durations()
+    per_client = {
+        cid: stats.summarize(values) for cid, values in durations.items()
+    }
+    models = {spec.client_id: spec.model for spec in specs}
+    return Fig14Result(
+        quantum=run.quantum, per_client=per_client, models=models
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 16 — complex workload (7 models, 14 clients)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig16Result:
+    quantum: float
+    per_client: Dict[object, stats.Summary]
+    models: Dict[object, str]
+    observed_overhead: float
+    predicted_overhead: float
+
+    @property
+    def mean_range(self) -> Tuple[float, float]:
+        means = [s.mean for s in self.per_client.values()]
+        return min(means), max(means)
+
+    def report(self) -> str:
+        rows = [
+            [
+                cid,
+                MODEL_REGISTRY[self.models[cid]].display_name,
+                format_us(self.per_client[cid].mean),
+                format_percent(self.per_client[cid].relative_stddev),
+            ]
+            for cid in sorted(self.per_client)
+        ]
+        table = render_table(
+            ["client", "model", "avg GPU duration/quantum", "std"],
+            rows,
+            title=(
+                "Figure 16: per-quantum GPU durations, complex "
+                "workload of 7 DNNs (paper: 1438-1662us around "
+                "Q=1620us, overhead 1.8% vs 2% predicted)"
+            ),
+        )
+        return table + (
+            f"\npredicted Q = {format_us(self.quantum)}; observed overhead "
+            f"{format_percent(self.observed_overhead)} vs predicted "
+            f"{format_percent(self.predicted_overhead)}"
+        )
+
+
+def fig16_complex_workload(
+    scale: float = DEFAULT_SCALE,
+    num_batches: int = 6,
+    seed: int = 3,
+    tolerance: float = 0.02,
+) -> Fig16Result:
+    specs = complex_workload(num_batches=num_batches)
+    config = _default_config(scale, seed=seed, tolerance=tolerance)
+    fair = run_workload(specs, scheduler="fair", config=config)
+    baseline = run_workload(specs, scheduler="tf-serving", config=config)
+    durations = fair.quantum_gpu_durations()
+    per_client = {
+        cid: stats.summarize(values)
+        for cid, values in durations.items()
+        if len(values) >= 2
+    }
+    fair_makespan = max(fair.finish_time_list())
+    base_makespan = max(baseline.finish_time_list())
+    observed = (fair_makespan - base_makespan) / base_makespan
+    models = {spec.client_id: spec.model for spec in specs}
+    predicted = max(
+        curve.overhead_at(fair.quantum) for curve in fair.profiler_output.curves
+    )
+    return Fig16Result(
+        quantum=fair.quantum,
+        per_client=per_client,
+        models=models,
+        observed_overhead=observed,
+        predicted_overhead=predicted,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 17 — weighted fair sharing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig17Result:
+    """Finish times under k:1 weighted sharing, for each k."""
+
+    runs: Dict[int, Dict[object, float]]  # k -> finish times
+    heavy_clients: List[object]
+    light_clients: List[object]
+
+    def finish_ratio(self, k: int) -> float:
+        """Mean heavy-class finish over mean light-class finish."""
+        times = self.runs[k]
+        heavy = stats.mean([times[c] for c in self.heavy_clients])
+        light = stats.mean([times[c] for c in self.light_clients])
+        return heavy / light
+
+    @staticmethod
+    def expected_ratio(k: int) -> float:
+        """Paper §4.2: finish-time ratio (k+1)/(2k) for weights k vs 1."""
+        return (k + 1) / (2 * k)
+
+    def report(self) -> str:
+        ks = sorted(self.runs)
+        clients = sorted(self.runs[ks[0]])
+        rows = [
+            [cid] + [format_seconds(self.runs[k][cid]) for k in ks]
+            for cid in clients
+        ]
+        ratio_row = ["ratio (measured/expected)"] + [
+            f"{self.finish_ratio(k):.2f}/{self.expected_ratio(k):.2f}"
+            for k in ks
+        ]
+        rows.append(ratio_row)
+        return render_table(
+            ["client"] + [f"weights {k}:1" for k in ks],
+            rows,
+            title=(
+                "Figure 17: weighted fair sharing (paper: ratio "
+                "matches (k+1)/2k, e.g. 0.75 for 2:1)"
+            ),
+        )
+
+
+def fig17_weighted_fair(
+    weight_ratios: Sequence[int] = (2, 10),
+    num_clients: int = 10,
+    num_batches: int = 10,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 3,
+) -> Fig17Result:
+    half = num_clients // 2
+    runs = {}
+    for k in weight_ratios:
+        base = homogeneous_workload(
+            num_clients=num_clients, num_batches=num_batches
+        )
+        weights = [k] * half + [1] * (num_clients - half)
+        specs = with_weights(base, weights)
+        run = run_workload(
+            specs, scheduler="weighted", config=_default_config(scale, seed=seed)
+        )
+        runs[k] = run.finish_times
+    heavy = [f"c{i}" for i in range(half)]
+    light = [f"c{i}" for i in range(half, num_clients)]
+    return Fig17Result(runs=runs, heavy_clients=heavy, light_clients=light)
+
+
+# ----------------------------------------------------------------------
+# Figure 18 — priority scheduling
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig18Result:
+    ten_level: Dict[object, float]
+    two_level: Dict[object, float]
+    high_clients: List[object]
+    low_clients: List[object]
+
+    def two_level_class_means(self) -> Tuple[float, float]:
+        high = stats.mean([self.two_level[c] for c in self.high_clients])
+        low = stats.mean([self.two_level[c] for c in self.low_clients])
+        return high, low
+
+    def report(self) -> str:
+        clients = sorted(self.ten_level)
+        rows = [
+            [
+                cid,
+                format_seconds(self.ten_level[cid]),
+                format_seconds(self.two_level[cid]),
+            ]
+            for cid in clients
+        ]
+        return render_table(
+            ["client", "10-level priority", "2-level priority"],
+            rows,
+            title=(
+                "Figure 18: priority scheduling (paper: 10-level "
+                "serialises clients; 2-level finishes the high class "
+                "first at ~half the total time)"
+            ),
+        )
+
+
+def fig18_priority(
+    num_clients: int = 10,
+    num_batches: int = 10,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 3,
+) -> Fig18Result:
+    base = homogeneous_workload(num_clients=num_clients, num_batches=num_batches)
+    # 10-level: client 0 highest priority ... client N-1 lowest.
+    ten = with_priorities(base, list(range(num_clients, 0, -1)))
+    ten_run = run_workload(
+        ten, scheduler="priority", config=_default_config(scale, seed=seed)
+    )
+    half = num_clients // 2
+    two = with_priorities(base, [1] * half + [0] * (num_clients - half))
+    two_run = run_workload(
+        two, scheduler="priority", config=_default_config(scale, seed=seed)
+    )
+    return Fig18Result(
+        ten_level=ten_run.finish_times,
+        two_level=two_run.finish_times,
+        high_clients=[f"c{i}" for i in range(half)],
+        low_clients=[f"c{i}" for i in range(half, num_clients)],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 19 — CPU-timer ablation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig19Result:
+    homogeneous_finish: Dict[object, float]
+    hetero_quanta: Dict[object, stats.Summary]
+    hetero_models: Dict[object, str]
+    quantum: float
+
+    @property
+    def homogeneous_spread(self) -> float:
+        return stats.spread_ratio(list(self.homogeneous_finish.values()))
+
+    @property
+    def hetero_mean_spread(self) -> float:
+        means = [s.mean for s in self.hetero_quanta.values()]
+        return max(means) / min(means)
+
+    def report(self) -> str:
+        left = render_table(
+            ["client", "finish"],
+            [
+                [cid, format_seconds(t)]
+                for cid, t in sorted(self.homogeneous_finish.items())
+            ],
+            title=(
+                "Figure 19 (left): CPU-timer quanta, homogeneous "
+                "workload — unequal finish times"
+            ),
+        )
+        right = render_table(
+            ["client", "model", "avg GPU duration/quantum"],
+            [
+                [
+                    cid,
+                    MODEL_REGISTRY[self.hetero_models[cid]].display_name,
+                    format_us(self.hetero_quanta[cid].mean),
+                ]
+                for cid in sorted(self.hetero_quanta)
+            ],
+            title=(
+                "Figure 19 (right): CPU-timer quanta, heterogeneous "
+                "workload — widely varying GPU durations"
+            ),
+        )
+        return left + "\n\n" + right
+
+
+def fig19_cpu_timer_ablation(
+    scale: float = DEFAULT_SCALE,
+    num_batches: int = 10,
+    seed: int = 3,
+    quantum: Optional[float] = None,
+) -> Fig19Result:
+    # Use the same Q Olympian would pick, but as a wall-clock timer.
+    config = _default_config(scale, seed=seed, quantum=quantum)
+    homo = homogeneous_workload(num_batches=num_batches)
+    homo_run = run_workload(homo, scheduler="timer", config=config)
+    hetero = heterogeneous_workload(num_batches=num_batches)
+    hetero_run = run_workload(hetero, scheduler="timer", config=config)
+    quanta = {
+        cid: stats.summarize(values)
+        for cid, values in hetero_run.quantum_gpu_durations().items()
+        if len(values) >= 2
+    }
+    return Fig19Result(
+        homogeneous_finish=homo_run.finish_times,
+        hetero_quanta=quanta,
+        hetero_models={spec.client_id: spec.model for spec in hetero},
+        quantum=homo_run.quantum,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 20 — linear cost models across batch sizes
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig20Result:
+    train_batches: Tuple[int, ...]
+    runs: Dict[int, Dict[object, float]]  # test batch -> finish times
+    quantum: float
+
+    def spread(self, batch: int) -> float:
+        return stats.spread_ratio(list(self.runs[batch].values()))
+
+    @property
+    def max_spread(self) -> float:
+        return max(self.spread(b) for b in self.runs)
+
+    def report(self) -> str:
+        batches = sorted(self.runs)
+        clients = sorted(self.runs[batches[0]])
+        rows = [
+            [cid] + [format_seconds(self.runs[b][cid]) for b in batches]
+            for cid in clients
+        ]
+        rows.append(["spread"] + [format_ratio(self.spread(b)) for b in batches])
+        return render_table(
+            ["client"] + [f"batch-{b}" for b in batches],
+            rows,
+            title=(
+                "Figure 20: fairness with linear-regression cost "
+                f"profiles (fit on batches {list(self.train_batches)}; "
+                "paper: comparable to Figure 11)"
+            ),
+        )
+
+
+def fig20_linear_cost_model(
+    train_batches: Tuple[int, int] = (50, 100),
+    test_batches: Sequence[int] = (25, 75, 150),
+    num_clients: int = 10,
+    num_batches: int = 6,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 3,
+    quantum: float = 1.2e-3,
+) -> Fig20Result:
+    config = _default_config(scale, seed=seed, quantum=quantum)
+    entries = [(INCEPTION_V4.name, b) for b in train_batches]
+    # Profiles exist only for the training batches; lookups at the test
+    # batches go through the per-node linear regression.
+    output = get_profiler_output(entries, config, with_curves=False)
+    runs = {}
+    for batch in test_batches:
+        specs = homogeneous_workload(
+            num_clients=num_clients, batch_size=batch, num_batches=num_batches
+        )
+        run = run_workload(
+            specs, scheduler="fair", config=config, profiler_output=output
+        )
+        runs[batch] = run.finish_times
+    return Fig20Result(
+        train_batches=tuple(train_batches), runs=runs, quantum=quantum
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 21 — portability to a different GPU
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig21Result:
+    device_name: str
+    finish: Dict[object, float]
+    reference_finish: Dict[object, float]
+    reference_device: str
+
+    @property
+    def spread(self) -> float:
+        return stats.spread_ratio(list(self.finish.values()))
+
+    @property
+    def reference_spread(self) -> float:
+        return stats.spread_ratio(list(self.reference_finish.values()))
+
+    def report(self) -> str:
+        clients = sorted(self.finish)
+        rows = [
+            [
+                cid,
+                format_seconds(self.reference_finish[cid]),
+                format_seconds(self.finish[cid]),
+            ]
+            for cid in clients
+        ]
+        rows.append(
+            [
+                "spread",
+                format_ratio(self.reference_spread),
+                format_ratio(self.spread),
+            ]
+        )
+        return render_table(
+            ["client", self.reference_device, self.device_name],
+            rows,
+            title=(
+                "Figure 21: fair sharing on a different GPU (paper: "
+                "absolute times differ, fairness preserved)"
+            ),
+        )
+
+
+def fig21_portability(
+    num_clients: int = 10,
+    num_batches: int = 10,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 3,
+    device: GpuSpec = TITAN_X,
+) -> Fig21Result:
+    specs = homogeneous_workload(num_clients=num_clients, num_batches=num_batches)
+    reference = run_workload(
+        specs, scheduler="fair", config=_default_config(scale, seed=seed)
+    )
+    ported = run_workload(
+        specs,
+        scheduler="fair",
+        config=_default_config(scale, seed=seed, gpu_spec=device),
+    )
+    return Fig21Result(
+        device_name=device.name,
+        finish=ported.finish_times,
+        reference_finish=reference.finish_times,
+        reference_device=GTX_1080_TI.name,
+    )

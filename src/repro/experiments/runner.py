@@ -1,0 +1,347 @@
+"""The experiment runner: one harness for every table and figure.
+
+``run_workload`` materialises a workload (list of
+:class:`~repro.workloads.ClientSpec`) against a freshly built simulated
+serving stack under a chosen scheduler, runs it to completion, and
+returns an :class:`ExperimentResult` with accessors for every metric
+the paper reports.
+
+Profiling is the expensive step (solo runs + Overhead-Q sweeps), so
+profiler outputs are cached per (models, scale, seeds, Q-grid,
+tolerance) within the process; all figures that share a workload share
+the profile, exactly as the real Olympian profiles once per model.
+
+All experiments run at a configurable ``scale`` (see DESIGN.md): node
+counts and total work shrink proportionally, node durations and the
+quantum stay realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.policies import FairSharing, PriorityScheduling, WeightedFairSharing
+from ..core.policies_ext import (
+    DeficitRoundRobin,
+    EarliestDeadlineFirst,
+    LotteryScheduling,
+    ShortestRemainingWork,
+)
+from ..core.profiler import OfflineProfiler, ProfilerOutput
+from ..core.quantum import DEFAULT_Q_GRID
+from ..core.scheduler import (
+    DEFAULT_WAKE_LATENCY,
+    CpuTimerScheduler,
+    GangScheduler,
+    OlympianScheduler,
+)
+from ..graph.graph import Graph
+from ..gpu.specs import GTX_1080_TI, GpuSpec
+from ..metrics import collectors
+from ..serving.client import Client
+from ..serving.server import ModelServer, ServerConfig
+from ..sim.core import Simulator
+from ..sim.rng import derive_seed
+from ..workloads.scenarios import ClientSpec
+from ..zoo.catalog import MODEL_REGISTRY
+from ..zoo.generate import generate_graph
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "SCHEDULER_KINDS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "get_graph",
+    "get_profiler_output",
+    "run_workload",
+    "clear_caches",
+]
+
+DEFAULT_SCALE = 0.05
+
+SCHEDULER_KINDS = (
+    "tf-serving",
+    "fair",
+    "weighted",
+    "priority",
+    "timer",
+    # Extended policies (beyond the paper's three; see policies_ext):
+    "deficit-rr",
+    "lottery",
+    "edf",
+    "srw",
+)
+
+_graph_cache: Dict[Tuple[str, float, int], Graph] = {}
+_profile_cache: Dict[tuple, ProfilerOutput] = {}
+
+
+def clear_caches() -> None:
+    """Drop cached graphs and profiler outputs (mainly for tests)."""
+    _graph_cache.clear()
+    _profile_cache.clear()
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    ``quantum=None`` means "let the profiler pick Q from Overhead-Q
+    curves at ``tolerance``" — the paper's procedure.  Setting an
+    explicit quantum skips curve measurement (used by sweeps).
+    """
+
+    scale: float = DEFAULT_SCALE
+    seed: int = 0
+    graph_seed: int = 1
+    profile_seed: int = 7
+    gpu_spec: GpuSpec = GTX_1080_TI
+    n_cores: int = 12
+    pool_size: int = 512
+    tolerance: float = 0.025
+    quantum: Optional[float] = None
+    q_values: Tuple[float, ...] = DEFAULT_Q_GRID
+    wake_latency: float = DEFAULT_WAKE_LATENCY
+    curve_batches: int = 4
+    track_memory: bool = False
+
+
+def get_graph(model: str, scale: float, graph_seed: int) -> Graph:
+    """Cached synthetic graph for a registry model."""
+    key = (model, scale, graph_seed)
+    graph = _graph_cache.get(key)
+    if graph is None:
+        graph = generate_graph(MODEL_REGISTRY[model], scale=scale, seed=graph_seed)
+        _graph_cache[key] = graph
+    return graph
+
+
+def get_profiler_output(
+    entries: Sequence[Tuple[str, int]],
+    config: ExperimentConfig,
+    with_curves: Optional[bool] = None,
+) -> ProfilerOutput:
+    """Cached profiler build for a set of (model, batch) pairs.
+
+    ``with_curves`` defaults to "only if no explicit quantum was set".
+    """
+    if with_curves is None:
+        with_curves = config.quantum is None
+    key = (
+        tuple(sorted(entries)),
+        config.scale,
+        config.graph_seed,
+        config.profile_seed,
+        config.quantum,
+        config.tolerance,
+        config.q_values if with_curves else None,
+        config.wake_latency,
+        config.curve_batches,
+        config.gpu_spec.name,
+    )
+    output = _profile_cache.get(key)
+    if output is not None:
+        return output
+    profiler = OfflineProfiler(
+        base_config=ServerConfig(
+            gpu_spec=config.gpu_spec,
+            n_cores=config.n_cores,
+            pool_size=config.pool_size,
+            track_memory=False,
+        ),
+        seed=config.profile_seed,
+        wake_latency=config.wake_latency,
+        curve_batches=config.curve_batches,
+    )
+    graph_entries = [
+        (get_graph(model, config.scale, config.graph_seed), batch)
+        for model, batch in sorted(set(entries))
+    ]
+    output = profiler.build(
+        graph_entries,
+        tolerance=config.tolerance,
+        q_values=config.q_values,
+        with_curves=with_curves,
+        fixed_quantum=config.quantum,
+    )
+    _profile_cache[key] = output
+    return output
+
+
+def _make_scheduler(
+    kind: str,
+    sim: Simulator,
+    config: ExperimentConfig,
+    profiler_output: Optional[ProfilerOutput],
+) -> Optional[GangScheduler]:
+    if kind == "tf-serving":
+        return None
+    if kind == "timer":
+        quantum = config.quantum
+        if quantum is None:
+            if profiler_output is None:
+                raise ValueError("timer scheduler needs a quantum or profiles")
+            quantum = profiler_output.quantum
+        return CpuTimerScheduler(
+            sim, FairSharing(), quantum=quantum, wake_latency=config.wake_latency
+        )
+    if profiler_output is None:
+        raise ValueError(f"scheduler {kind!r} requires profiler output")
+    policies = {
+        "fair": FairSharing,
+        "weighted": WeightedFairSharing,
+        "priority": PriorityScheduling,
+        "deficit-rr": DeficitRoundRobin,
+        "lottery": lambda: LotteryScheduling(seed=config.seed),
+        "edf": EarliestDeadlineFirst,
+        "srw": ShortestRemainingWork,
+    }
+    try:
+        policy_cls = policies[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler kind {kind!r}; choose from {SCHEDULER_KINDS}"
+        )
+    return OlympianScheduler(
+        sim,
+        policy_cls(),
+        quantum=profiler_output.quantum,
+        profiles=profiler_output.store,
+        wake_latency=config.wake_latency,
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """A completed run plus metric accessors."""
+
+    scheduler_kind: str
+    config: ExperimentConfig
+    sim: Simulator
+    server: ModelServer
+    scheduler: Optional[GangScheduler]
+    clients: List[Client]
+    profiler_output: Optional[ProfilerOutput]
+    quantum: Optional[float]
+
+    # ------------------------------------------------------------------
+    # Metric accessors (paper quantities)
+    # ------------------------------------------------------------------
+
+    @property
+    def finish_times(self) -> Dict[object, float]:
+        return collectors.finish_times(self.clients)
+
+    def finish_time_list(self) -> List[float]:
+        return [client.finish_time for client in self.clients]
+
+    def all_active_window(self) -> Tuple[float, float]:
+        return collectors.all_active_window(self.clients)
+
+    def quantum_gpu_durations(
+        self, windowed: bool = True
+    ) -> Dict[object, List[float]]:
+        if self.scheduler is None:
+            raise ValueError("no middleware scheduler in this run")
+        window = self.all_active_window() if windowed else None
+        return collectors.quantum_gpu_durations(
+            self.server, self.scheduler, window=window
+        )
+
+    def scheduling_intervals(self, windowed: bool = True) -> List[float]:
+        if self.scheduler is None:
+            raise ValueError("no middleware scheduler in this run")
+        window = self.all_active_window() if windowed else None
+        return collectors.scheduling_interval_durations(
+            self.scheduler, window=window
+        )
+
+    def client_gpu_durations(self) -> Dict[object, float]:
+        return collectors.client_gpu_durations(self.server, self.clients)
+
+    def utilization(self) -> float:
+        return collectors.window_utilization(self.server, self.clients)
+
+    @property
+    def completed(self) -> bool:
+        return all(client.completed for client in self.clients)
+
+
+def run_workload(
+    specs: Sequence[ClientSpec],
+    scheduler: str = "fair",
+    config: Optional[ExperimentConfig] = None,
+    profiler_output: Optional[ProfilerOutput] = None,
+    require_completion: bool = True,
+) -> ExperimentResult:
+    """Run a workload under a scheduler kind and collect everything.
+
+    ``scheduler`` is one of :data:`SCHEDULER_KINDS`.  A cached profiler
+    output is built automatically when the scheduler needs one.
+    """
+    config = config or ExperimentConfig()
+    if scheduler not in SCHEDULER_KINDS:
+        raise ValueError(
+            f"unknown scheduler kind {scheduler!r}; choose from {SCHEDULER_KINDS}"
+        )
+    entries = sorted({(spec.model, spec.batch_size) for spec in specs})
+    needs_profiles = scheduler not in ("tf-serving", "timer") or (
+        scheduler == "timer" and config.quantum is None
+    )
+    if needs_profiles and profiler_output is None:
+        profiler_output = get_profiler_output(entries, config)
+
+    sim = Simulator()
+    gang_scheduler = _make_scheduler(scheduler, sim, config, profiler_output)
+    server_config = ServerConfig(
+        gpu_spec=config.gpu_spec,
+        n_cores=config.n_cores,
+        pool_size=config.pool_size,
+        track_memory=config.track_memory,
+        seed=derive_seed(config.seed, f"run:{scheduler}"),
+    )
+    server = ModelServer(sim, server_config, scheduler=gang_scheduler)
+    for model in sorted({spec.model for spec in specs}):
+        graph = get_graph(model, config.scale, config.graph_seed)
+        server.load_model(graph, memory_mb=MODEL_REGISTRY[model].memory_mb)
+
+    clients = [
+        Client(
+            sim,
+            server,
+            client_id=spec.client_id,
+            model_name=spec.model,
+            batch_size=spec.batch_size,
+            num_batches=spec.num_batches,
+            weight=spec.weight,
+            priority=spec.priority,
+            think_time=spec.think_time,
+            start_delay=spec.start_delay,
+        )
+        for spec in specs
+    ]
+    for client in clients:
+        client.start()
+    sim.run()
+
+    if require_completion:
+        stuck = [c.client_id for c in clients if not c.completed]
+        if stuck:
+            raise RuntimeError(
+                f"clients did not complete under {scheduler!r}: {stuck}"
+            )
+
+    quantum = None
+    if gang_scheduler is not None:
+        quantum = getattr(gang_scheduler, "quantum", None)
+    return ExperimentResult(
+        scheduler_kind=scheduler,
+        config=config,
+        sim=sim,
+        server=server,
+        scheduler=gang_scheduler,
+        clients=clients,
+        profiler_output=profiler_output,
+        quantum=quantum,
+    )

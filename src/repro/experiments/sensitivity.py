@@ -1,0 +1,103 @@
+"""Scale-sensitivity analysis.
+
+Every experiment in this repository runs at a reduced ``scale`` (see
+DESIGN.md), which is only defensible if the reproduced *shapes* are
+scale-invariant.  :func:`scale_sensitivity` reruns the headline
+comparison — TF-Serving's finish-time spread vs Olympian's — across a
+range of scales and checks that the qualitative result never changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..metrics import stats
+from ..metrics.report import format_percent, format_us, render_table
+from ..workloads.scenarios import homogeneous_workload
+from .runner import ExperimentConfig, run_workload
+
+__all__ = ["ScalePoint", "ScaleSensitivityResult", "scale_sensitivity"]
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """The headline metrics measured at one scale."""
+
+    scale: float
+    baseline_spread: float
+    olympian_spread: float
+    overhead: float
+    mean_quantum: float
+
+
+@dataclass
+class ScaleSensitivityResult:
+    points: List[ScalePoint]
+    quantum: float
+
+    def report(self) -> str:
+        rows = [
+            [
+                f"{p.scale:g}",
+                f"{p.baseline_spread:.2f}x",
+                f"{p.olympian_spread:.3f}x",
+                format_percent(p.overhead),
+                format_us(p.mean_quantum),
+            ]
+            for p in self.points
+        ]
+        return render_table(
+            ["scale", "TF-Serving spread", "Olympian spread",
+             "Olympian overhead", "mean quantum"],
+            rows,
+            title=(
+                "Scale sensitivity: the headline comparison across "
+                f"graph scales (fixed Q = {format_us(self.quantum)})"
+            ),
+        )
+
+    def invariant(self) -> bool:
+        """The qualitative result at every scale."""
+        return all(
+            p.olympian_spread < 1.1 < p.baseline_spread
+            and p.overhead < 0.10
+            for p in self.points
+        )
+
+
+def scale_sensitivity(
+    scales: Sequence[float] = (0.02, 0.05, 0.1),
+    num_clients: int = 8,
+    num_batches: int = 5,
+    seed: int = 3,
+    quantum: float = 1.2e-3,
+) -> ScaleSensitivityResult:
+    """Measure the headline metrics at each scale with a fixed Q."""
+    points = []
+    for scale in scales:
+        config = ExperimentConfig(scale=scale, seed=seed, quantum=quantum)
+        specs = homogeneous_workload(
+            num_clients=num_clients, num_batches=num_batches
+        )
+        baseline = run_workload(specs, scheduler="tf-serving", config=config)
+        fair = run_workload(specs, scheduler="fair", config=config)
+        base_makespan = max(baseline.finish_time_list())
+        fair_makespan = max(fair.finish_time_list())
+        quanta = [
+            value
+            for values in fair.quantum_gpu_durations().values()
+            for value in values
+        ]
+        points.append(
+            ScalePoint(
+                scale=scale,
+                baseline_spread=stats.spread_ratio(
+                    baseline.finish_time_list()
+                ),
+                olympian_spread=stats.spread_ratio(fair.finish_time_list()),
+                overhead=(fair_makespan - base_makespan) / base_makespan,
+                mean_quantum=stats.mean(quanta),
+            )
+        )
+    return ScaleSensitivityResult(points=points, quantum=quantum)

@@ -1,0 +1,378 @@
+"""Table-style experiments: Table 2 and the §4.3/§4.4 results.
+
+* :func:`table2_model_inventory` — regenerate Table 2 (node counts, GPU
+  node counts, solo runtimes) from the synthetic zoo and compare with
+  the paper's numbers.
+* :func:`utilization_comparison` — §4.3: GPU utilization under stock
+  TF-Serving vs Olympian's three policies (paper: 84.74 % vs
+  78.62 / 78.10 / 76.35 %; a 6-8 point loss).
+* :func:`scalability_sweep` — §4.3: how many concurrent clients fit,
+  and which resource (device memory vs thread pool) limits each system.
+* :func:`stability_check` — §4.4: total cost and GPU duration are
+  stable across repeated solo runs (std << mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.profiler import OfflineProfiler
+from ..gpu.memory import GpuOutOfMemory
+from ..metrics import stats
+from ..metrics.report import (
+    format_percent,
+    format_seconds,
+    format_us,
+    render_table,
+)
+from ..workloads.scenarios import (
+    homogeneous_workload,
+    scaling_workload,
+    with_priorities,
+    with_weights,
+)
+from ..zoo.catalog import INCEPTION_V4, MODEL_REGISTRY, PAPER_MODELS
+from .runner import (
+    DEFAULT_SCALE,
+    ExperimentConfig,
+    get_graph,
+    run_workload,
+)
+
+__all__ = [
+    "table2_model_inventory",
+    "utilization_comparison",
+    "scalability_sweep",
+    "stability_check",
+]
+
+
+# ----------------------------------------------------------------------
+# Table 2 — model inventory
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Table2Row:
+    model: str
+    batch_size: int
+    nodes: int
+    gpu_nodes: int
+    paper_nodes: int
+    paper_gpu_nodes: int
+    measured_runtime: float
+    paper_runtime: float
+
+
+@dataclass
+class Table2Result:
+    scale: float
+    rows: List[Table2Row]
+
+    def report(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    row.model,
+                    row.batch_size,
+                    f"{row.nodes} ({row.paper_nodes})",
+                    f"{row.gpu_nodes} ({row.paper_gpu_nodes})",
+                    f"{format_seconds(row.measured_runtime, 3)} "
+                    f"({format_seconds(row.paper_runtime * self.scale, 3)})",
+                ]
+            )
+        return render_table(
+            ["model", "batch", "nodes (paper*scale)", "GPU nodes", "runtime (target)"],
+            table_rows,
+            title=(
+                f"Table 2: model inventory at scale={self.scale} "
+                "(parenthesised values are the paper's, scaled)"
+            ),
+        )
+
+
+def table2_model_inventory(
+    scale: float = DEFAULT_SCALE,
+    graph_seed: int = 1,
+    profile_seed: int = 7,
+) -> Table2Result:
+    profiler = OfflineProfiler(seed=profile_seed)
+    rows = []
+    for spec in PAPER_MODELS:
+        graph = get_graph(spec.name, scale, graph_seed)
+        solo, _ = profiler.measure_solo(graph, spec.ref_batch, online=False)
+        expected_total, expected_gpu = spec.scaled_counts(scale)
+        rows.append(
+            Table2Row(
+                model=spec.display_name,
+                batch_size=spec.ref_batch,
+                nodes=graph.num_nodes,
+                gpu_nodes=graph.num_gpu_nodes,
+                paper_nodes=expected_total,
+                paper_gpu_nodes=expected_gpu,
+                measured_runtime=solo.runtime,
+                paper_runtime=spec.solo_runtime,
+            )
+        )
+    return Table2Result(scale=scale, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# §4.3 — utilization
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class UtilizationResult:
+    utilization: Dict[str, float]  # scheduler kind -> busy fraction
+
+    def loss_vs_baseline(self, kind: str) -> float:
+        return self.utilization["tf-serving"] - self.utilization[kind]
+
+    def report(self) -> str:
+        paper = {
+            "tf-serving": 0.8474,
+            "fair": 0.7862,
+            "weighted": 0.7810,
+            "priority": 0.7635,
+        }
+        rows = [
+            [
+                kind,
+                format_percent(self.utilization[kind]),
+                format_percent(paper.get(kind, float("nan"))),
+            ]
+            for kind in self.utilization
+        ]
+        return render_table(
+            ["scheduler", "measured utilization", "paper"],
+            rows,
+            title=(
+                "§4.3: GPU utilization (paper: Olympian sacrifices "
+                "6-8 points vs TF-Serving; priority lowest)"
+            ),
+        )
+
+
+def utilization_comparison(
+    num_clients: int = 10,
+    num_batches: int = 10,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 3,
+) -> UtilizationResult:
+    config = ExperimentConfig(scale=scale, seed=seed)
+    base = homogeneous_workload(num_clients=num_clients, num_batches=num_batches)
+    half = num_clients // 2
+    workloads = {
+        "tf-serving": base,
+        "fair": base,
+        "weighted": with_weights(base, [2] * half + [1] * (num_clients - half)),
+        "priority": with_priorities(base, list(range(num_clients, 0, -1))),
+    }
+    utilization = {}
+    for kind, specs in workloads.items():
+        run = run_workload(specs, scheduler=kind, config=config)
+        utilization[kind] = run.utilization()
+    return UtilizationResult(utilization=utilization)
+
+
+# ----------------------------------------------------------------------
+# §4.3 — scalability
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ScalabilityPoint:
+    num_clients: int
+    scheduler: str
+    completed_clients: int
+    oom_failures: int
+    pool_saturation_events: int
+    peak_pool_threads: int
+
+
+@dataclass
+class ScalabilityResult:
+    points: List[ScalabilityPoint]
+    memory_capacity_mb: int
+    per_client_mb: int
+    pool_size: int
+
+    @property
+    def memory_client_limit(self) -> int:
+        """Clients that fit in device memory (analytic)."""
+        return self.memory_capacity_mb // self.per_client_mb
+
+    def max_clients_without_oom(self, scheduler: str) -> int:
+        ok = [
+            p.num_clients
+            for p in self.points
+            if p.scheduler == scheduler and p.oom_failures == 0
+        ]
+        return max(ok) if ok else 0
+
+    def first_saturation(self, scheduler: str) -> Optional[int]:
+        sat = [
+            p.num_clients
+            for p in self.points
+            if p.scheduler == scheduler and p.pool_saturation_events > 0
+        ]
+        return min(sat) if sat else None
+
+    def report(self) -> str:
+        rows = [
+            [
+                p.scheduler,
+                p.num_clients,
+                p.completed_clients,
+                p.oom_failures,
+                p.peak_pool_threads,
+                p.pool_saturation_events,
+            ]
+            for p in self.points
+        ]
+        table = render_table(
+            [
+                "scheduler",
+                "clients",
+                "completed",
+                "OOM",
+                "peak pool threads",
+                "saturation events",
+            ],
+            rows,
+            title=(
+                "§4.3: scalability sweep (paper: both memory-limited "
+                "near 45 clients; Olympian holds pool threads longer)"
+            ),
+        )
+        return table + (
+            f"\nanalytic memory limit: {self.memory_client_limit} clients "
+            f"({self.per_client_mb} MB each of {self.memory_capacity_mb} MB); "
+            f"pool size {self.pool_size}"
+        )
+
+
+def scalability_sweep(
+    client_counts: Sequence[int] = (10, 30, 45, 50, 60),
+    schedulers: Sequence[str] = ("tf-serving", "fair"),
+    scale: float = 0.02,
+    num_batches: int = 1,
+    pool_size: int = 256,
+    seed: int = 3,
+    quantum: float = 1.2e-3,
+) -> ScalabilityResult:
+    spec = MODEL_REGISTRY[INCEPTION_V4.name]
+    points = []
+    for scheduler in schedulers:
+        for count in client_counts:
+            config = ExperimentConfig(
+                scale=scale,
+                seed=seed,
+                pool_size=pool_size,
+                track_memory=True,
+                quantum=quantum,
+            )
+            specs = scaling_workload(count, num_batches=num_batches)
+            run = run_workload(
+                specs,
+                scheduler=scheduler,
+                config=config,
+                require_completion=False,
+            )
+            oom = sum(
+                1
+                for client in run.clients
+                if isinstance(client.failure, GpuOutOfMemory)
+            )
+            points.append(
+                ScalabilityPoint(
+                    num_clients=count,
+                    scheduler=scheduler,
+                    completed_clients=sum(
+                        1 for client in run.clients if client.completed
+                    ),
+                    oom_failures=oom,
+                    pool_saturation_events=run.server.pool.saturation_events,
+                    peak_pool_threads=run.server.pool.peak_in_use,
+                )
+            )
+    return ScalabilityResult(
+        points=points,
+        memory_capacity_mb=ExperimentConfig().gpu_spec.memory_mb,
+        per_client_mb=spec.memory_mb,
+        pool_size=pool_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# §4.4 — cost/duration stability
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StabilityResult:
+    model: str
+    batch_size: int
+    total_costs: List[float]
+    gpu_durations: List[float]
+
+    @property
+    def cost_summary(self) -> stats.Summary:
+        return stats.summarize(self.total_costs)
+
+    @property
+    def duration_summary(self) -> stats.Summary:
+        return stats.summarize(self.gpu_durations)
+
+    def report(self) -> str:
+        cost = self.cost_summary
+        duration = self.duration_summary
+        rows = [
+            [
+                "total cost (units)",
+                f"{cost.mean:.5f}",
+                f"{cost.stddev:.5f}",
+                format_percent(cost.relative_stddev, 2),
+            ],
+            [
+                "GPU duration",
+                format_us(duration.mean),
+                format_us(duration.stddev, 2),
+                format_percent(duration.relative_stddev, 2),
+            ],
+        ]
+        return render_table(
+            ["quantity", "mean", "stddev", "rel. std"],
+            rows,
+            title=(
+                f"§4.4: stability of {self.model} cost/duration over "
+                f"{len(self.total_costs)} runs (paper: std << mean)"
+            ),
+        )
+
+
+def stability_check(
+    model: str = INCEPTION_V4.name,
+    batch_size: int = 100,
+    repeats: int = 20,
+    scale: float = DEFAULT_SCALE,
+    graph_seed: int = 1,
+    profile_seed: int = 7,
+) -> StabilityResult:
+    graph = get_graph(model, scale, graph_seed)
+    profiler = OfflineProfiler(seed=profile_seed)
+    total_costs = []
+    gpu_durations = []
+    for run_index in range(repeats):
+        profile = profiler.profile_model(graph, batch_size, run_seed=run_index)
+        total_costs.append(profile.total_cost)
+        gpu_durations.append(profile.gpu_duration)
+    return StabilityResult(
+        model=model,
+        batch_size=batch_size,
+        total_costs=total_costs,
+        gpu_durations=gpu_durations,
+    )

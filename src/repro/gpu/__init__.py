@@ -1,0 +1,27 @@
+"""Simulated GPU substrate: device, driver, kernels, memory, NVML."""
+
+from .device import GPU_GLOBAL_KEY, GpuDevice
+from .driver import Driver
+from .kernel import Kernel
+from .memory import GpuOutOfMemory, MemoryPool
+from .nvml import NvmlSampler
+from .power import GTX_1080_TI_POWER, TITAN_X_POWER, PowerModel, energy_joules
+from .specs import GPU_SPECS, GTX_1080_TI, TITAN_X, GpuSpec
+
+__all__ = [
+    "GPU_GLOBAL_KEY",
+    "GpuDevice",
+    "Driver",
+    "Kernel",
+    "GpuOutOfMemory",
+    "MemoryPool",
+    "NvmlSampler",
+    "GTX_1080_TI_POWER",
+    "TITAN_X_POWER",
+    "PowerModel",
+    "energy_joules",
+    "GPU_SPECS",
+    "GTX_1080_TI",
+    "TITAN_X",
+    "GpuSpec",
+]

@@ -1,0 +1,106 @@
+"""The simulated GPU device: a serial compute engine fed by the driver.
+
+TensorFlow's large-batch DNN kernels saturate the device, so kernels
+from different jobs cannot usefully run side by side — the paper
+observes that "two concurrent Inception jobs take twice as long as one"
+(§2.3) and concludes multiplexing is *temporal*.  The device model is
+therefore a serial executor: it repeatedly asks the driver for the next
+kernel (the driver decides *whose* kernel that is) and executes it for
+its duration times the device's ``compute_scale`` plus a fixed
+per-kernel overhead.
+
+The device records busy intervals per job (and globally) into an
+:class:`~repro.sim.trace.IntervalTracer`, which is how experiments
+measure GPU duration (Figure 5) and utilization (§4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from ..sim.core import Process, Simulator
+from ..sim.trace import IntervalTracer
+from .driver import Driver
+from .kernel import Kernel
+from .specs import GpuSpec
+
+__all__ = ["GpuDevice", "GPU_GLOBAL_KEY"]
+
+# Tracer key under which the device records *all* busy time, used for
+# utilization measurement.
+GPU_GLOBAL_KEY = "__gpu__"
+
+
+class GpuDevice:
+    """Serial compute engine pulling kernels from a :class:`Driver`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: GpuSpec,
+        driver: Driver,
+        tracer: Optional[IntervalTracer] = None,
+        rng: Optional["random.Random"] = None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.driver = driver
+        self.tracer = tracer if tracer is not None else IntervalTracer()
+        self.kernels_executed = 0
+        self.busy_time = 0.0
+        self.current_kernel: Optional[Kernel] = None
+        # Effective clock state for this device instance (thermal/boost
+        # variation across runs, paper §4.4).
+        if spec.clock_jitter > 0 and rng is not None:
+            self.clock_factor = max(0.5, rng.gauss(1.0, spec.clock_jitter))
+        else:
+            self.clock_factor = 1.0
+        self._process: Process = sim.process(self._run(), name=f"gpu:{spec.name}")
+
+    @property
+    def queue_depth(self) -> int:
+        return self.driver.total_queued
+
+    def execution_time(self, kernel: Kernel) -> float:
+        """Wall time ``kernel`` occupies the engine on this device."""
+        return (
+            kernel.duration * self.spec.compute_scale * self.clock_factor
+            + self.spec.kernel_overhead
+        )
+
+    def _run(self):
+        while True:
+            kernel: Kernel = yield self.driver.next_kernel()
+            self.current_kernel = kernel
+            start = self.sim.now
+            kernel.started_at = start
+            yield self.sim.timeout(self.execution_time(kernel))
+            end = self.sim.now
+            kernel.finished_at = end
+            self.kernels_executed += 1
+            self.busy_time += end - start
+            self.tracer.record(kernel.job_id, start, end, tag=kernel.node_id)
+            self.tracer.record(GPU_GLOBAL_KEY, start, end, tag=kernel.job_id)
+            self.current_kernel = None
+            kernel.done.succeed(kernel)
+
+    def set_clock_factor(self, factor: float) -> None:
+        """Change the effective clock mid-run (thermal throttling /
+        boost).  Takes effect from the next kernel; the drift monitor
+        (:mod:`repro.core.monitor`) exists to catch exactly this."""
+        if factor <= 0:
+            raise ValueError(f"clock factor must be positive: {factor}")
+        self.clock_factor = factor
+
+    def job_gpu_duration(self, job_id: Any) -> float:
+        """Total GPU duration attributed to ``job_id`` (Figure 5 metric)."""
+        return self.tracer.duration(job_id)
+
+    def utilization(self, window_start: float, window_end: float) -> float:
+        """Exact busy fraction over a window (the NVML-average analogue)."""
+        from ..sim.trace import busy_fraction
+
+        return busy_fraction(
+            self.tracer.spans(GPU_GLOBAL_KEY), window_start, window_end
+        )

@@ -1,0 +1,167 @@
+"""The GPU driver: per-stream kernel queues, job-agnostic scheduling.
+
+This is the layer at which the paper locates the root cause of
+TF-Serving's unpredictability: "the driver cannot distinguish between
+kernels belonging to different DNNs or client requests" (§2.2).  Each
+session owns a CUDA stream, so the driver sees one FIFO *per job* and
+schedules between streams with no fairness guarantee.
+
+The simulated driver reproduces the *documented* part of the real
+one's behaviour — kernels within a stream execute in order — and models
+the undocumented part, cross-stream arbitration, as what it empirically
+is: arbitrary and unfair.  Each stream is assigned a random static
+arbitration rank at creation; at every pick the device serves the
+non-empty stream with the highest rank-plus-noise score, so service is
+*biased* towards lucky streams without fully starving the rest
+(``arbitration_noise`` sets the bias strength; 0 = strict priority,
+large = fair random).  Ranks are re-drawn per stream (one stream per
+job, one job per client batch), so over a 10-batch run every client
+experiences a random sequence of lucky and unlucky batches — the
+mechanism behind the up-to-1.7x finish-time spread of Figure 3.  The
+arbitration is work-conserving, so aggregate throughput (and
+utilization, §4.3) is unaffected.
+
+Olympian never modifies this layer; it controls *which* job is allowed
+to submit at all.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from ..graph.node import Node
+from ..sim.core import Event, Simulator
+from .kernel import Kernel
+
+__all__ = ["Driver", "DEFAULT_ARBITRATION_NOISE"]
+
+# Calibrated so ten homogeneous TF-Serving clients show finish-time
+# spreads in the paper's observed band (roughly 1.2x-1.8x, Figure 3).
+DEFAULT_ARBITRATION_NOISE = 3.2
+
+
+class Driver:
+    """Per-stream (per-job) kernel queues with unfair arbitration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[random.Random] = None,
+        arbitration_noise: float = DEFAULT_ARBITRATION_NOISE,
+    ):
+        if arbitration_noise < 0:
+            raise ValueError(f"arbitration_noise must be >= 0: {arbitration_noise}")
+        self.sim = sim
+        self.rng = rng if rng is not None else random.Random(0)
+        self.arbitration_noise = arbitration_noise
+        self._queues: Dict[Any, Deque[Kernel]] = {}
+        self._ranks: Dict[Any, float] = {}
+        self._current_stream: Optional[Any] = None
+        self._waiter: Optional[Event] = None
+        self.submission_counts: Dict[Any, int] = {}
+        self.max_queue_depth = 0
+        self.stream_switches = 0
+
+    # ------------------------------------------------------------------
+    # Submission side (called by gang threads)
+    # ------------------------------------------------------------------
+
+    def launch(
+        self, job_id: Any, node: Node, batch_size: int, slowdown: float = 0.0
+    ) -> Kernel:
+        """Submit one kernel for ``node`` on behalf of ``job_id``.
+
+        Returns the :class:`Kernel`; its ``done`` event fires when the
+        device finishes executing it.  ``slowdown`` adds extra execution
+        time (used to model online profiling instrumentation).
+        """
+        duration = node.duration(batch_size) + slowdown
+        kernel = Kernel(self.sim, job_id, node.node_id, duration)
+        kernel.submitted_at = self.sim.now
+        self.submission_counts[job_id] = self.submission_counts.get(job_id, 0) + 1
+        queue = self._queues.get(job_id)
+        if queue is None:
+            queue = deque()
+            self._queues[job_id] = queue
+            # Stream creation: draw this stream's arbitration rank.
+            self._ranks[job_id] = self.rng.random()
+        queue.append(kernel)
+        depth = self.total_queued
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed(self._pop())
+        return kernel
+
+    # ------------------------------------------------------------------
+    # Device side
+    # ------------------------------------------------------------------
+
+    def next_kernel(self) -> Event:
+        """Event that fires with the next kernel to execute.
+
+        Fires immediately if work is queued; otherwise when the next
+        submission arrives.  Only one outstanding request (one device)
+        is supported.
+        """
+        if self._waiter is not None:
+            raise RuntimeError("driver already has a pending device request")
+        event = Event(self.sim)
+        kernel = self._pop()
+        if kernel is not None:
+            event.succeed(kernel)
+        else:
+            self._waiter = event
+        return event
+
+    def _pop(self) -> Optional[Kernel]:
+        """Serve the highest-ranked non-empty stream."""
+        nonempty = [job_id for job_id, queue in self._queues.items() if queue]
+        if not nonempty:
+            return None
+        if len(nonempty) == 1:
+            chosen = nonempty[0]
+        else:
+            ranks = self._ranks
+            noise = self.arbitration_noise
+            rng = self.rng
+            chosen = max(
+                nonempty,
+                key=lambda job_id: ranks[job_id] + noise * rng.random(),
+            )
+        if chosen != self._current_stream:
+            self.stream_switches += 1
+        self._current_stream = chosen
+        # Opportunistic cleanup of long-empty stream queues.
+        if len(self._queues) > 4 * len(nonempty) + 8:
+            keep = set(nonempty)
+            keep.add(chosen)
+            self._queues = {
+                job_id: queue
+                for job_id, queue in self._queues.items()
+                if job_id in keep
+            }
+            self._ranks = {
+                job_id: rank
+                for job_id, rank in self._ranks.items()
+                if job_id in self._queues
+            }
+        return self._queues[chosen].popleft()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_queued(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def queued_for(self, job_id: Any) -> int:
+        queue = self._queues.get(job_id)
+        return len(queue) if queue is not None else 0
+
+    def submissions_for(self, job_id: Any) -> int:
+        return self.submission_counts.get(job_id, 0)

@@ -1,0 +1,68 @@
+"""GPU memory accounting.
+
+The paper's scalability experiment (§4.3) finds both TF-Serving and
+Olympian limited by device memory at roughly 45 concurrent clients on
+the GTX 1080 Ti.  This module provides the allocator that enforces that
+limit in the simulated server: each client session reserves its model's
+footprint for its lifetime, and an allocation beyond capacity raises
+:class:`GpuOutOfMemory`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["GpuOutOfMemory", "MemoryPool"]
+
+
+class GpuOutOfMemory(Exception):
+    """Raised when an allocation would exceed device memory."""
+
+    def __init__(self, requested_mb: int, free_mb: int):
+        super().__init__(
+            f"GPU out of memory: requested {requested_mb} MB, "
+            f"only {free_mb} MB free"
+        )
+        self.requested_mb = requested_mb
+        self.free_mb = free_mb
+
+
+class MemoryPool:
+    """Tracks per-owner reservations against device capacity."""
+
+    def __init__(self, capacity_mb: int):
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_mb}")
+        self.capacity_mb = capacity_mb
+        self._reservations: Dict[Any, int] = {}
+
+    @property
+    def used_mb(self) -> int:
+        return sum(self._reservations.values())
+
+    @property
+    def free_mb(self) -> int:
+        return self.capacity_mb - self.used_mb
+
+    def allocate(self, owner: Any, size_mb: int) -> None:
+        """Reserve ``size_mb`` for ``owner``; raises on exhaustion."""
+        if size_mb < 0:
+            raise ValueError(f"allocation size negative: {size_mb}")
+        if owner in self._reservations:
+            raise ValueError(f"owner {owner!r} already holds a reservation")
+        if size_mb > self.free_mb:
+            raise GpuOutOfMemory(size_mb, self.free_mb)
+        self._reservations[owner] = size_mb
+
+    def release(self, owner: Any) -> int:
+        """Release the reservation held by ``owner``; returns its size."""
+        try:
+            return self._reservations.pop(owner)
+        except KeyError:
+            raise KeyError(f"owner {owner!r} holds no reservation")
+
+    def holds(self, owner: Any) -> bool:
+        return owner in self._reservations
+
+    def fits(self, size_mb: int) -> bool:
+        return size_mb <= self.free_mb

@@ -1,0 +1,58 @@
+"""NVML-style utilization sampling.
+
+The paper measures utilization with ``nvidia-smi``, which *samples* the
+GPU's busy state periodically rather than integrating busy time exactly
+(§4.3).  :class:`NvmlSampler` reproduces that measurement methodology on
+the simulated device: a background process polls "is the stream busy?"
+at a fixed period and reports the busy fraction of samples.
+
+:meth:`GpuDevice.utilization` gives the exact integral for comparison;
+tests check the sampler converges to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..sim.core import Simulator
+from .device import GpuDevice
+
+__all__ = ["NvmlSampler"]
+
+
+class NvmlSampler:
+    """Periodic busy-state sampler over a :class:`GpuDevice`."""
+
+    def __init__(self, sim: Simulator, device: GpuDevice, period: float = 0.01):
+        if period <= 0:
+            raise ValueError(f"sampling period must be positive: {period}")
+        self.sim = sim
+        self.device = device
+        self.period = period
+        self.samples: List[Tuple[float, bool]] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling; idempotent."""
+        if not self._running:
+            self._running = True
+            self.sim.process(self._run(), name="nvml-sampler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self):
+        while self._running:
+            busy = self.device.current_kernel is not None
+            self.samples.append((self.sim.now, busy))
+            yield self.sim.timeout(self.period)
+
+    def utilization(self, window_start: float = 0.0, window_end: float = None) -> float:
+        """Busy fraction of samples within the window (percent / 100)."""
+        end = window_end if window_end is not None else float("inf")
+        in_window = [
+            busy for when, busy in self.samples if window_start <= when < end
+        ]
+        if not in_window:
+            return 0.0
+        return sum(in_window) / len(in_window)

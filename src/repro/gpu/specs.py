@@ -1,0 +1,82 @@
+"""Simulated GPU device specifications.
+
+Two devices matching the paper's testbeds:
+
+* **GTX 1080 Ti** — the primary platform (§3.5: i7-8700, 32 GB RAM).
+* **Titan X** — the secondary platform used for the portability
+  experiment (Figure 21: Xeon E5-2603 v4, 16 GB RAM).
+
+``compute_scale`` multiplies kernel durations: the model zoo durations
+are calibrated on the 1080 Ti, and the Titan X (Maxwell) is slower, so
+the same workload takes proportionally longer — which is exactly the
+effect Figure 21 shows (different absolute finish times, identical
+fairness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "GTX_1080_TI", "TITAN_X", "GPU_SPECS"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    compute_scale:
+        Kernel-duration multiplier relative to the calibration device.
+    memory_mb:
+        Device memory available for model clients.
+    sm_count:
+        Streaming multiprocessors (descriptive; the compute stream is
+        serial for large-batch DNN kernels — see DESIGN.md §4.1).
+    kernel_overhead:
+        Fixed device-side cost per kernel dequeue/launch, seconds.
+    clock_jitter:
+        Relative std-dev of the device's effective clock across runs
+        (thermal/boost state).  Drawn once per device instance; it is
+        why repeated solo runs show a small GPU-duration spread
+        (paper §4.4 measures ~1.7 % for the Titan-class parts).
+    """
+
+    name: str
+    compute_scale: float
+    memory_mb: int
+    sm_count: int
+    kernel_overhead: float = 1.5e-6
+    clock_jitter: float = 0.012
+
+    def __post_init__(self):
+        if self.clock_jitter < 0:
+            raise ValueError(f"clock_jitter negative: {self.clock_jitter}")
+        if self.compute_scale <= 0:
+            raise ValueError(f"compute_scale must be positive: {self.compute_scale}")
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive: {self.memory_mb}")
+        if self.kernel_overhead < 0:
+            raise ValueError(f"kernel_overhead negative: {self.kernel_overhead}")
+
+
+GTX_1080_TI = GpuSpec(
+    name="GeForce GTX 1080 Ti",
+    compute_scale=1.0,
+    memory_mb=11264,
+    sm_count=28,
+)
+
+TITAN_X = GpuSpec(
+    name="NVIDIA Titan X",
+    compute_scale=1.35,
+    memory_mb=12288,
+    sm_count=24,
+)
+
+GPU_SPECS = {
+    "gtx_1080_ti": GTX_1080_TI,
+    "titan_x": TITAN_X,
+}

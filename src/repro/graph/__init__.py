@@ -1,0 +1,50 @@
+"""Dataflow-graph framework: the TensorFlow analogue.
+
+Provides graphs of placed, costed operations plus the cost-model API
+Olympian's profiler consumes.
+"""
+
+from .builder import GraphBuilder
+from .costmodel import (
+    DEFAULT_COST_NOISE,
+    DEFAULT_INSTRUMENTATION_COST,
+    CostModel,
+    NodeCostProfile,
+)
+from .graph import Graph, GraphValidationError
+from .node import DurationModel, Node
+from .ops import OP_CATALOG, Device, OpType, op_by_name
+from .serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_graph,
+    save_profile,
+)
+
+__all__ = [
+    "GraphBuilder",
+    "CostModel",
+    "NodeCostProfile",
+    "DEFAULT_COST_NOISE",
+    "DEFAULT_INSTRUMENTATION_COST",
+    "Graph",
+    "GraphValidationError",
+    "DurationModel",
+    "Node",
+    "Device",
+    "OpType",
+    "OP_CATALOG",
+    "op_by_name",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_profile",
+    "load_profile",
+]

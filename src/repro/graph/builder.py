@@ -1,0 +1,101 @@
+"""Fluent construction API for dataflow graphs.
+
+Used by the model zoo generators and directly by tests/examples to build
+small hand-crafted graphs:
+
+>>> from repro.graph import GraphBuilder
+>>> b = GraphBuilder("tiny")
+>>> root = b.add("input", "decode", duration=10e-6, ref_batch=100)
+>>> conv = b.add("conv1", "conv2d", duration=500e-6, ref_batch=100,
+...              parents=[root])
+>>> out = b.add("softmax", "matmul", duration=50e-6, ref_batch=100,
+...             parents=[conv])
+>>> g = b.build()
+>>> g.num_nodes
+3
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .graph import Graph
+from .node import DurationModel, Node
+from .ops import OpType, op_by_name
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incrementally assemble a :class:`Graph`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: List[Node] = []
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add(
+        self,
+        name: str,
+        op: str,
+        duration: float,
+        ref_batch: int,
+        parents: Optional[Sequence[Node]] = None,
+        batch_scaling: Optional[float] = None,
+    ) -> Node:
+        """Add a node.
+
+        Parameters
+        ----------
+        name:
+            Human-readable node name.
+        op:
+            Op-catalogue name (see :mod:`repro.graph.ops`).
+        duration:
+            True duration in seconds at ``ref_batch``.
+        ref_batch:
+            Batch size at which ``duration`` holds.
+        parents:
+            Dependency predecessors (already-added nodes).
+        batch_scaling:
+            Override for the op archetype's batch-scaling fraction.
+        """
+        op_type: OpType = op_by_name(op)
+        scaling = op_type.batch_scaling if batch_scaling is None else batch_scaling
+        model = DurationModel.from_reference(duration, ref_batch, scaling)
+        node = Node(self._next_id, name, op_type, model)
+        self._next_id += 1
+        self._nodes.append(node)
+        for parent in parents or []:
+            parent.add_child(node)
+        return node
+
+    def chain(
+        self,
+        prefix: str,
+        op: str,
+        durations: Sequence[float],
+        ref_batch: int,
+        parent: Node,
+    ) -> Node:
+        """Add a linear chain of nodes under ``parent``; return the tail."""
+        tail = parent
+        for i, duration in enumerate(durations):
+            tail = self.add(
+                f"{prefix}/{i}", op, duration, ref_batch, parents=[tail]
+            )
+        return tail
+
+    def join(self, name: str, op: str, duration: float, ref_batch: int,
+             parents: Sequence[Node]) -> Node:
+        """Add a node that joins several branches."""
+        if not parents:
+            raise ValueError("join requires at least one parent")
+        return self.add(name, op, duration, ref_batch, parents=parents)
+
+    def build(self, root: Optional[Node] = None) -> Graph:
+        """Validate and return the assembled graph."""
+        return Graph(self.name, self._nodes, root=root)

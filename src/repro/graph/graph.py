@@ -1,0 +1,160 @@
+"""The dataflow graph: a validated DAG of :class:`~repro.graph.node.Node`.
+
+This is the unit a model server loads and a session executes.  The
+class provides the structural queries Olympian and the experiments need:
+node counts by device, topological order, per-batch duration totals, and
+DAG validation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+from .node import Node
+from .ops import Device
+
+__all__ = ["Graph", "GraphValidationError"]
+
+
+class GraphValidationError(Exception):
+    """Raised when a graph fails structural validation."""
+
+
+class Graph:
+    """A rooted DAG of operations for one model.
+
+    Parameters
+    ----------
+    name:
+        Model identifier (e.g. ``"inception_v4"``).
+    nodes:
+        All nodes; the first node whose ``num_parents`` is zero is the
+        root unless ``root`` is given explicitly.
+    """
+
+    def __init__(self, name: str, nodes: List[Node], root: Optional[Node] = None):
+        if not nodes:
+            raise GraphValidationError("graph has no nodes")
+        self.name = name
+        self.nodes = nodes
+        self._by_id: Dict[int, Node] = {}
+        for node in nodes:
+            if node.node_id in self._by_id:
+                raise GraphValidationError(
+                    f"duplicate node id {node.node_id} in graph {name!r}"
+                )
+            self._by_id[node.node_id] = node
+        if root is None:
+            roots = [n for n in nodes if n.num_parents == 0]
+            if len(roots) != 1:
+                raise GraphValidationError(
+                    f"graph {name!r} must have exactly one root, found {len(roots)}"
+                )
+            root = roots[0]
+        self.root = root
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self._by_id[node_id]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_gpu_nodes(self) -> int:
+        return sum(1 for n in self.nodes if n.is_gpu)
+
+    @property
+    def num_cpu_nodes(self) -> int:
+        return self.num_nodes - self.num_gpu_nodes
+
+    def nodes_on(self, device: Device) -> List[Node]:
+        return [n for n in self.nodes if n.device is device]
+
+    def validate(self) -> None:
+        """Check the graph is a connected DAG with consistent in-degrees.
+
+        Raises :class:`GraphValidationError` on any violation.
+        """
+        indegree = {n.node_id: 0 for n in self.nodes}
+        for node in self.nodes:
+            for child in node.children:
+                if child.node_id not in self._by_id:
+                    raise GraphValidationError(
+                        f"edge to unknown node {child.node_id} in {self.name!r}"
+                    )
+                indegree[child.node_id] += 1
+        for node in self.nodes:
+            if indegree[node.node_id] != node.num_parents:
+                raise GraphValidationError(
+                    f"node {node.node_id} num_parents={node.num_parents} "
+                    f"but in-degree is {indegree[node.node_id]}"
+                )
+        if indegree[self.root.node_id] != 0:
+            raise GraphValidationError("root node has parents")
+        # Kahn's algorithm doubles as cycle + reachability check.
+        order = list(self.topological_order())
+        if len(order) != len(self.nodes):
+            raise GraphValidationError(
+                f"graph {self.name!r} has a cycle or unreachable nodes "
+                f"({len(order)} of {len(self.nodes)} orderable)"
+            )
+
+    def topological_order(self) -> Iterator[Node]:
+        """Yield nodes in a topological order (Kahn's algorithm)."""
+        indegree = {n.node_id: n.num_parents for n in self.nodes}
+        ready = deque(n for n in self.nodes if indegree[n.node_id] == 0)
+        while ready:
+            node = ready.popleft()
+            yield node
+            for child in node.children:
+                indegree[child.node_id] -= 1
+                if indegree[child.node_id] == 0:
+                    ready.append(child)
+
+    def depth(self) -> int:
+        """Longest path length (in nodes) from root to any sink."""
+        depth: Dict[int, int] = {}
+        longest = 0
+        for node in self.topological_order():
+            d = depth.get(node.node_id, 1)
+            longest = max(longest, d)
+            for child in node.children:
+                if depth.get(child.node_id, 0) < d + 1:
+                    depth[child.node_id] = d + 1
+        return longest
+
+    # ------------------------------------------------------------------
+    # Duration aggregates
+    # ------------------------------------------------------------------
+
+    def total_duration(self, batch_size: int, device: Optional[Device] = None) -> float:
+        """Sum of node durations at ``batch_size``, optionally per device.
+
+        On a serial GPU stream this equals the solo GPU duration ``D_j``
+        of the paper for ``device=Device.GPU``.
+        """
+        return sum(
+            n.duration(batch_size)
+            for n in self.nodes
+            if device is None or n.device is device
+        )
+
+    def gpu_duration(self, batch_size: int) -> float:
+        """Solo GPU duration ``D_j`` at ``batch_size`` (serial stream)."""
+        return self.total_duration(batch_size, Device.GPU)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Graph({self.name!r}, nodes={self.num_nodes}, "
+            f"gpu_nodes={self.num_gpu_nodes})"
+        )

@@ -1,0 +1,116 @@
+"""Graph nodes and their duration models.
+
+A :class:`Node` is the unit at which Olympian interleaves DNNs (paper
+§3.1: "we interleave DNNs at the granularity of a Tensorflow node").
+Every node carries a :class:`DurationModel` that maps batch size to true
+execution duration; the cost model observes these durations with noise
+and inflation (see :mod:`repro.graph.costmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .ops import Device, OpType
+
+__all__ = ["DurationModel", "Node"]
+
+
+@dataclass(frozen=True)
+class DurationModel:
+    """Linear duration-vs-batch model: ``duration(b) = fixed + slope * b``.
+
+    This linearity is a *property of the workload*, not an assumption of
+    Olympian: the paper exploits it only in §4.4 (Figure 20) where node
+    costs at unprofiled batch sizes are estimated by linear regression.
+    Durations are in seconds.
+    """
+
+    fixed: float
+    slope: float
+
+    def __post_init__(self):
+        if self.fixed < 0 or self.slope < 0:
+            raise ValueError(f"negative duration model: {self}")
+
+    def duration(self, batch_size: int) -> float:
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1: {batch_size}")
+        return self.fixed + self.slope * batch_size
+
+    @classmethod
+    def from_reference(
+        cls, duration_at_ref: float, ref_batch: int, batch_scaling: float
+    ) -> "DurationModel":
+        """Build a model from a duration at a reference batch size.
+
+        ``batch_scaling`` is the fraction of the reference duration that
+        scales with batch (from the op archetype).
+        """
+        if duration_at_ref < 0:
+            raise ValueError(f"negative duration: {duration_at_ref}")
+        scaling_part = duration_at_ref * batch_scaling
+        return cls(
+            fixed=duration_at_ref - scaling_part,
+            slope=scaling_part / ref_batch,
+        )
+
+
+class Node:
+    """A single operation in a dataflow graph.
+
+    Children are dependency successors: a child becomes *ready* once all
+    of its parents have executed.  GPU nodes are dispatched
+    asynchronously by the serving loop (Algorithm 1).
+    """
+
+    __slots__ = (
+        "node_id",
+        "name",
+        "op",
+        "duration_model",
+        "children",
+        "num_parents",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        op: OpType,
+        duration_model: DurationModel,
+    ):
+        self.node_id = node_id
+        self.name = name
+        self.op = op
+        self.duration_model = duration_model
+        self.children: List["Node"] = []
+        self.num_parents = 0
+
+    @property
+    def device(self) -> Device:
+        return self.op.device
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.op.device is Device.GPU
+
+    @property
+    def is_async(self) -> bool:
+        """Whether the serving loop hands this node to a fresh thread."""
+        return self.op.is_async
+
+    def duration(self, batch_size: int) -> float:
+        """True execution duration at ``batch_size``, in seconds."""
+        return self.duration_model.duration(batch_size)
+
+    def add_child(self, child: "Node") -> None:
+        self.children.append(child)
+        child.num_parents += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Node({self.node_id}, {self.name!r}, op={self.op.name}, "
+            f"device={self.op.device.value})"
+        )

@@ -1,0 +1,98 @@
+"""Operation catalogue for the dataflow-graph framework.
+
+Each :class:`OpType` describes an *archetype* of computation: which
+device it prefers, how its duration scales with batch size, and how much
+the cost-model number it reports is inflated relative to its true
+duration (the TensorFlow cost model counts per-node wall time that
+overlaps with other nodes, so summed *cost* exceeds wall-clock GPU
+*duration* by an order of magnitude — paper §4.4 measures a ratio of
+roughly 15x for Inception).
+
+The catalogue is deliberately small: Olympian never inspects op
+semantics, only placement and cost, so a handful of archetypes covering
+the duration mixture of Figure 4 is sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+__all__ = ["Device", "OpType", "OP_CATALOG", "op_by_name"]
+
+
+class Device(Enum):
+    """Placement of a node: host CPU or the accelerator."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class OpType:
+    """An operation archetype.
+
+    Attributes
+    ----------
+    name:
+        Catalogue identifier (e.g. ``"conv2d"``).
+    device:
+        Preferred placement.
+    batch_scaling:
+        Fraction of the node's reference duration that scales linearly
+        with batch size (the rest is fixed launch/setup work).  1.0 means
+        perfectly data-parallel; 0.0 means batch-independent.
+    cost_inflation:
+        Multiplier applied by the cost model: the reported *cost* of the
+        node is ``duration * cost_inflation`` (plus noise).  GPU ops that
+        overlap heavily with neighbours have high inflation.
+    is_async:
+        Whether the serving loop dispatches the node on a fresh thread
+        (Algorithm 1 line 11): true for GPU kernels.
+    """
+
+    name: str
+    device: Device
+    batch_scaling: float
+    cost_inflation: float
+    is_async: bool
+
+    def __post_init__(self):
+        if not 0.0 <= self.batch_scaling <= 1.0:
+            raise ValueError(f"batch_scaling out of range: {self.batch_scaling}")
+        if self.cost_inflation <= 0:
+            raise ValueError(f"cost_inflation must be positive: {self.cost_inflation}")
+
+
+# The archetypes: three GPU duration classes matching the Figure 4
+# mixture (tiny element-wise ops, medium kernels, large convolutions)
+# plus host-side ops.
+OP_CATALOG: Dict[str, OpType] = {
+    op.name: op
+    for op in [
+        # GPU ops.  Cost inflation is deliberately *similar* across op
+        # types: the cost model's per-node number tracks the node's true
+        # duration closely (it is wall time, just overlap-inflated), and
+        # that tightness is what keeps Olympian's per-quantum GPU
+        # durations within ~5-10 % of each other (paper Figure 14).
+        OpType("elementwise", Device.GPU, 0.30, 15.5, True),
+        OpType("pool", Device.GPU, 0.70, 15.0, True),
+        OpType("matmul", Device.GPU, 0.90, 14.5, True),
+        OpType("conv2d", Device.GPU, 0.95, 14.0, True),
+        # CPU ops ------------------------------------------------------
+        OpType("shape", Device.CPU, 0.00, 1.0, False),
+        OpType("control", Device.CPU, 0.00, 1.0, False),
+        OpType("decode", Device.CPU, 0.85, 1.0, False),
+        OpType("concat_host", Device.CPU, 0.50, 1.0, False),
+    ]
+}
+
+
+def op_by_name(name: str) -> OpType:
+    """Look up an op archetype, raising ``KeyError`` with a useful list."""
+    try:
+        return OP_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(OP_CATALOG))
+        raise KeyError(f"unknown op {name!r}; catalogue has: {known}")

@@ -1,0 +1,100 @@
+"""JSON round-trip for graphs and cost profiles.
+
+Olympian's profiler runs offline and its output must be persisted and
+reloaded by the serving system; this module is that storage layer.
+Graphs themselves can also be exported, which the examples use to show
+model inventories.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .costmodel import NodeCostProfile
+from .graph import Graph
+from .node import DurationModel, Node
+from .ops import op_by_name
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_profile",
+    "load_profile",
+]
+
+_PathLike = Union[str, Path]
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Serialise a graph to a JSON-compatible dict."""
+    return {
+        "name": graph.name,
+        "root": graph.root.node_id,
+        "nodes": [
+            {
+                "id": node.node_id,
+                "name": node.name,
+                "op": node.op.name,
+                "fixed": node.duration_model.fixed,
+                "slope": node.duration_model.slope,
+                "children": [child.node_id for child in node.children],
+            }
+            for node in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    nodes: Dict[int, Node] = {}
+    for entry in data["nodes"]:
+        nodes[entry["id"]] = Node(
+            entry["id"],
+            entry["name"],
+            op_by_name(entry["op"]),
+            DurationModel(entry["fixed"], entry["slope"]),
+        )
+    for entry in data["nodes"]:
+        parent = nodes[entry["id"]]
+        for child_id in entry["children"]:
+            parent.add_child(nodes[child_id])
+    ordered = [nodes[entry["id"]] for entry in data["nodes"]]
+    return Graph(data["name"], ordered, root=nodes[data["root"]])
+
+
+def save_graph(graph: Graph, path: _PathLike) -> None:
+    Path(path).write_text(json.dumps(graph_to_dict(graph)))
+
+
+def load_graph(path: _PathLike) -> Graph:
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def profile_to_dict(profile: NodeCostProfile) -> Dict[str, Any]:
+    return {
+        "model_name": profile.model_name,
+        "batch_size": profile.batch_size,
+        "node_costs": {str(k): v for k, v in profile.node_costs.items()},
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> NodeCostProfile:
+    return NodeCostProfile(
+        data["model_name"],
+        data["batch_size"],
+        {int(k): v for k, v in data["node_costs"].items()},
+    )
+
+
+def save_profile(profile: NodeCostProfile, path: _PathLike) -> None:
+    Path(path).write_text(json.dumps(profile_to_dict(profile)))
+
+
+def load_profile(path: _PathLike) -> NodeCostProfile:
+    return profile_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,6 @@
+"""Host-side substrate: CPU cores and the inter-op thread pool."""
+
+from .cpu import HostCpu
+from .threadpool import ThreadPool, ThreadPoolExhausted, ThreadTicket
+
+__all__ = ["HostCpu", "ThreadPool", "ThreadPoolExhausted", "ThreadTicket"]

@@ -1,0 +1,45 @@
+"""Host CPU model: a fixed number of cores shared by all gang threads.
+
+CPU nodes of a dataflow graph execute here.  Contention for cores is a
+real (if secondary) effect in the paper's testbed — an i7-8700 serving
+ten clients' gangs — and is one of the noise sources behind TF-Serving's
+run-to-run variability (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Simulator
+from ..sim.resources import Resource
+
+__all__ = ["HostCpu"]
+
+
+class HostCpu:
+    """``n_cores`` CPU cores as a counted resource.
+
+    ``execute`` is a process fragment (generator) that occupies one core
+    for ``duration`` seconds; callers ``yield from`` it.
+    """
+
+    def __init__(self, sim: Simulator, n_cores: int = 12):
+        self.sim = sim
+        self.cores = Resource(sim, capacity=n_cores)
+        self.busy_time = 0.0
+
+    @property
+    def n_cores(self) -> int:
+        return self.cores.capacity
+
+    def execute(self, duration: float):
+        """Occupy one core for ``duration`` seconds (yield from this)."""
+        if duration < 0:
+            raise ValueError(f"negative CPU duration: {duration}")
+        request = self.cores.request()
+        yield request
+        try:
+            yield self.sim.timeout(duration)
+            self.busy_time += duration
+        finally:
+            self.cores.release(request)

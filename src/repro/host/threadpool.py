@@ -1,0 +1,89 @@
+"""The bounded inter-op thread pool (TF-Serving's ``threadPool``).
+
+Algorithm 1 line 14: when a session encounters an asynchronous (GPU)
+child node it *fetches a thread from the pool* to process it; "if no
+threads are available, execution may be delayed".  We reproduce that
+contract:
+
+* :meth:`try_fetch` returns a ticket or ``None`` — on ``None`` the
+  session executes the child inline on its current thread (the delay).
+* Saturation events are counted; the scalability experiment (§4.3) uses
+  them to find the client count at which Olympian — whose suspended
+  gangs *hold* their threads — exhausts the pool long before TF-Serving
+  does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ThreadTicket", "ThreadPool", "ThreadPoolExhausted"]
+
+
+class ThreadPoolExhausted(Exception):
+    """Raised by :meth:`ThreadPool.fetch` when no thread is available."""
+
+
+class ThreadTicket:
+    """A claim on one pool thread; must be returned via ``release``."""
+
+    __slots__ = ("pool", "released")
+
+    def __init__(self, pool: "ThreadPool"):
+        self.pool = pool
+        self.released = False
+
+    def release(self) -> None:
+        if not self.released:
+            self.released = True
+            self.pool._return_thread()
+
+
+class ThreadPool:
+    """A counted pool of host threads."""
+
+    def __init__(self, size: int = 512):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1: {size}")
+        self.size = size
+        self._in_use = 0
+        self.peak_in_use = 0
+        self.saturation_events = 0
+        self.total_fetches = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.size - self._in_use
+
+    @property
+    def saturated(self) -> bool:
+        return self._in_use >= self.size
+
+    def try_fetch(self) -> Optional[ThreadTicket]:
+        """Claim a thread if one is free; records saturation otherwise."""
+        self.total_fetches += 1
+        if self._in_use >= self.size:
+            self.saturation_events += 1
+            return None
+        self._in_use += 1
+        if self._in_use > self.peak_in_use:
+            self.peak_in_use = self._in_use
+        return ThreadTicket(self)
+
+    def fetch(self) -> ThreadTicket:
+        """Claim a thread; raises :class:`ThreadPoolExhausted` if none."""
+        ticket = self.try_fetch()
+        if ticket is None:
+            raise ThreadPoolExhausted(
+                f"all {self.size} pool threads in use"
+            )
+        return ticket
+
+    def _return_thread(self) -> None:
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise RuntimeError("thread pool released more threads than fetched")

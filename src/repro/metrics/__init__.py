@@ -1,0 +1,57 @@
+"""Measurement: statistics, metric collectors, and report rendering."""
+
+from .collectors import (
+    all_active_window,
+    client_gpu_durations,
+    finish_times,
+    quantum_gpu_durations,
+    scheduling_interval_durations,
+    serving_window,
+    window_utilization,
+)
+from .report import (
+    format_ms,
+    format_percent,
+    format_ratio,
+    format_seconds,
+    format_us,
+    render_table,
+)
+from .stats import (
+    Summary,
+    cdf_at,
+    empirical_cdf,
+    jain_index,
+    mean,
+    percentile,
+    relative_stddev,
+    spread_ratio,
+    stddev,
+    summarize,
+)
+
+__all__ = [
+    "all_active_window",
+    "client_gpu_durations",
+    "finish_times",
+    "quantum_gpu_durations",
+    "scheduling_interval_durations",
+    "serving_window",
+    "window_utilization",
+    "format_ms",
+    "format_percent",
+    "format_ratio",
+    "format_seconds",
+    "format_us",
+    "render_table",
+    "Summary",
+    "cdf_at",
+    "empirical_cdf",
+    "jain_index",
+    "mean",
+    "percentile",
+    "relative_stddev",
+    "spread_ratio",
+    "stddev",
+    "summarize",
+]

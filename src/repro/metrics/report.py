@@ -1,0 +1,66 @@
+"""Plain-text report rendering for the experiment harness.
+
+The benchmark suite prints each reproduced table/figure as an aligned
+monospace table with a caption referencing the paper artefact, so a run
+of ``pytest benchmarks/ --benchmark-only -s`` reads like the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "render_table",
+    "format_seconds",
+    "format_us",
+    "format_ms",
+    "format_percent",
+    "format_ratio",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_seconds(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f} s"
+
+
+def format_ms(value: float, digits: int = 2) -> str:
+    return f"{value * 1e3:.{digits}f} ms"
+
+
+def format_us(value: float, digits: int = 0) -> str:
+    return f"{value * 1e6:.{digits}f} us"
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{value * 100:.{digits}f} %"
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}x"

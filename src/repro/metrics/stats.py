@@ -1,0 +1,145 @@
+"""Statistics helpers used by experiments and tests.
+
+Small, dependency-light implementations of the summary statistics the
+paper reports: means, sample standard deviations (the paper quotes
+"std dev of 4.9 % to 10.1 %" *relative* to the mean), empirical CDFs
+(Figure 4), and Jain's fairness index, which we use as a quantitative
+fairness score for finish times and GPU shares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "Summary",
+    "mean",
+    "stddev",
+    "relative_stddev",
+    "percentile",
+    "empirical_cdf",
+    "jain_index",
+    "spread_ratio",
+    "summarize",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); zero for a single value."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("stddev of empty sequence")
+    if n == 1:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def relative_stddev(values: Sequence[float]) -> float:
+    """Std dev as a fraction of the mean (the paper's "std of X %")."""
+    mu = mean(values)
+    if mu == 0:
+        raise ValueError("relative stddev undefined for zero mean")
+    return stddev(values) / abs(mu)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile, ``p`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Sorted ``(value, cumulative_fraction)`` pairs."""
+    if not values:
+        raise ValueError("CDF of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold."""
+    if not values:
+        raise ValueError("CDF of empty sequence")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal shares.
+
+    ``(sum x)^2 / (n * sum x^2)``; ranges from ``1/n`` (one job gets
+    everything) to 1 (all equal).
+    """
+    if not values:
+        raise ValueError("Jain index of empty sequence")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        raise ValueError("Jain index undefined for all-zero values")
+    return (total * total) / (len(values) * squares)
+
+
+def spread_ratio(values: Sequence[float]) -> float:
+    """max/min ratio — the paper's "finish times vary by up to 1.7x"."""
+    if not values:
+        raise ValueError("spread of empty sequence")
+    lo = min(values)
+    if lo <= 0:
+        raise ValueError("spread ratio requires positive values")
+    return max(values) / lo
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Compact numeric summary of a sample."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def relative_stddev(self) -> float:
+        if self.mean == 0:
+            raise ValueError("relative stddev undefined for zero mean")
+        return self.stddev / abs(self.mean)
+
+    @property
+    def spread_ratio(self) -> float:
+        if self.minimum <= 0:
+            raise ValueError("spread ratio requires positive values")
+        return self.maximum / self.minimum
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("summary of empty sequence")
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stddev=stddev(values),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,26 @@
+"""The serving system: a faithful port of TF-Serving's execution model."""
+
+from .batching import Batcher, PendingRequest
+from .cancellation import JobCancelled
+from .client import Client
+from .hooks import NullSchedulerHook, SchedulerHook
+from .request import Job
+from .server import ModelServer, ServerConfig
+from .session import Session
+from .versioning import ModelVersionManager, VersionedModel, versioned_name
+
+__all__ = [
+    "Batcher",
+    "PendingRequest",
+    "JobCancelled",
+    "Client",
+    "NullSchedulerHook",
+    "SchedulerHook",
+    "Job",
+    "ModelServer",
+    "ServerConfig",
+    "Session",
+    "ModelVersionManager",
+    "VersionedModel",
+    "versioned_name",
+]

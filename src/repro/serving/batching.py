@@ -1,0 +1,98 @@
+"""Request batching: grouping single inference requests into batches.
+
+TF-Serving batches incoming requests to keep the GPU efficient (§2.1);
+the paper's experiments fix the batch size per client, but a serving
+system needs the batcher itself.  :class:`Batcher` implements the
+standard size-or-deadline policy: a batch is dispatched when it reaches
+``max_batch_size`` or when its oldest request has waited
+``batch_timeout``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..sim.core import Event, Simulator
+
+__all__ = ["Batcher", "PendingRequest"]
+
+
+class PendingRequest:
+    """A single queued request awaiting batching."""
+
+    __slots__ = ("payload", "arrived_at", "done")
+
+    def __init__(self, sim: Simulator, payload: Any):
+        self.payload = payload
+        self.arrived_at = sim.now
+        self.done: Event = sim.event()
+
+
+class Batcher:
+    """Size-or-deadline request batcher.
+
+    ``dispatch`` is called with the list of :class:`PendingRequest` in a
+    batch; it must return an event that fires when the batch has been
+    served, at which point every request's ``done`` event fires with the
+    batch result.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dispatch: Callable[[List[PendingRequest]], Event],
+        max_batch_size: int = 32,
+        batch_timeout: float = 0.005,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1: {max_batch_size}")
+        if batch_timeout < 0:
+            raise ValueError(f"batch_timeout must be >= 0: {batch_timeout}")
+        self.sim = sim
+        self.dispatch = dispatch
+        self.max_batch_size = max_batch_size
+        self.batch_timeout = batch_timeout
+        self._pending: List[PendingRequest] = []
+        self._deadline_seq = 0
+        self.batches_dispatched = 0
+        self.requests_batched = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pending)
+
+    def submit(self, payload: Any) -> Event:
+        """Queue one request; returns its completion event."""
+        request = PendingRequest(self.sim, payload)
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch_size:
+            self._flush()
+        elif len(self._pending) == 1:
+            self._arm_deadline()
+        return request.done
+
+    def _arm_deadline(self) -> None:
+        self._deadline_seq += 1
+        seq = self._deadline_seq
+
+        def _deadline():
+            yield self.sim.timeout(self.batch_timeout)
+            # Only flush if no flush happened since this timer was armed.
+            if self._pending and seq == self._deadline_seq:
+                self._flush()
+
+        self.sim.process(_deadline(), name="batcher-deadline")
+
+    def _flush(self) -> None:
+        batch, self._pending = self._pending, []
+        self._deadline_seq += 1  # invalidate any armed deadline
+        self.batches_dispatched += 1
+        self.requests_batched += len(batch)
+
+        def _serve():
+            done = self.dispatch(batch)
+            result = yield done
+            for request in batch:
+                request.done.succeed(result)
+
+        self.sim.process(_serve(), name="batcher-serve")

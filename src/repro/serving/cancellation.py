@@ -1,0 +1,25 @@
+"""Job cancellation.
+
+Serving systems must let callers abandon requests (client timeouts,
+dropped connections).  Cancellation here is *cooperative*, mirroring
+Olympian's suspension mechanics: the flag is observed at node
+boundaries, in-flight kernels run to completion (GPU work cannot be
+revoked, paper §3.2), and the job's ``done`` event fails with
+:class:`JobCancelled` once the gang has drained.
+"""
+
+from __future__ import annotations
+
+__all__ = ["JobCancelled"]
+
+
+class JobCancelled(Exception):
+    """Raised to waiters of a job whose execution was cancelled."""
+
+    def __init__(self, job_id: str, nodes_executed: int, total_nodes: int):
+        super().__init__(
+            f"job {job_id!r} cancelled after {nodes_executed}/{total_nodes} nodes"
+        )
+        self.job_id = job_id
+        self.nodes_executed = nodes_executed
+        self.total_nodes = total_nodes

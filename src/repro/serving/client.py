@@ -1,0 +1,149 @@
+"""Clients: the workload drivers of every experiment.
+
+A client submits ``num_batches`` inference requests *sequentially* —
+batch ``i+1`` goes out only after batch ``i``'s response arrives — which
+is the paper's workload model ("each client has 10 batches of input
+data", Figure 3).  The client's *finish time* is when its last response
+arrives; Figures 3, 11, 13, 17, 18, 20, 21 all plot this quantity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..sim.core import Process, Simulator
+from .cancellation import JobCancelled
+from .request import Job
+from .server import ModelServer
+
+__all__ = ["Client"]
+
+
+class Client:
+    """A sequential-batch inference client."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: ModelServer,
+        client_id: Any,
+        model_name: str,
+        batch_size: int,
+        num_batches: int = 10,
+        weight: int = 1,
+        priority: int = 0,
+        think_time: float = 0.0,
+        start_delay: float = 0.0,
+        batch_timeout: Optional[float] = None,
+    ):
+        if num_batches < 1:
+            raise ValueError(f"num_batches must be >= 1: {num_batches}")
+        if think_time < 0 or start_delay < 0:
+            raise ValueError("think_time/start_delay must be non-negative")
+        if batch_timeout is not None and batch_timeout <= 0:
+            raise ValueError(f"batch_timeout must be positive: {batch_timeout}")
+        self.sim = sim
+        self.server = server
+        self.client_id = client_id
+        self.model_name = model_name
+        self.batch_size = batch_size
+        self.num_batches = num_batches
+        self.weight = weight
+        self.priority = priority
+        self.think_time = think_time
+        self.start_delay = start_delay
+        self.batch_timeout = batch_timeout
+        self.jobs: List[Job] = []
+        self.timed_out_batches = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.failure: Optional[BaseException] = None
+        self._process: Optional[Process] = None
+
+    def start(self) -> Process:
+        """Launch the client's submission loop."""
+        if self._process is not None:
+            raise RuntimeError(f"client {self.client_id!r} already started")
+        self._process = self.sim.process(
+            self._run(), name=f"client:{self.client_id}"
+        )
+        return self._process
+
+    def _run(self):
+        if self.start_delay > 0.0:
+            yield self.sim.timeout(self.start_delay)
+        self.started_at = self.sim.now
+        for batch_index in range(self.num_batches):
+            job = self.server.make_job(
+                self.client_id,
+                self.model_name,
+                self.batch_size,
+                weight=self.weight,
+                priority=self.priority,
+            )
+            job.job_id = f"{self.client_id}/b{batch_index}"
+            self.jobs.append(job)
+            try:
+                done = self.server.submit(job)
+            except Exception as exc:  # e.g. GpuOutOfMemory in scaling runs
+                self.failure = exc
+                return
+            if self.batch_timeout is not None:
+                try:
+                    yield self.sim.any_of(
+                        [done, self.sim.timeout(self.batch_timeout)]
+                    )
+                except JobCancelled:
+                    # Cancelled externally while we raced the timeout.
+                    self.timed_out_batches += 1
+                    continue
+                if not done.triggered:
+                    # Abandon the batch; wait for the gang to drain so
+                    # the next batch starts on a clean server.
+                    self.server.cancel(job)
+                    self.timed_out_batches += 1
+                    try:
+                        yield done
+                    except JobCancelled:
+                        pass
+                else:
+                    # Done may have *failed* (cancelled elsewhere).
+                    try:
+                        yield done
+                    except JobCancelled:
+                        self.timed_out_batches += 1
+            else:
+                yield done
+            if self.think_time > 0.0 and batch_index < self.num_batches - 1:
+                yield self.sim.timeout(self.think_time)
+        self.finished_at = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def finish_time(self) -> float:
+        """Wall time from client start to last response (paper metric)."""
+        if self.finished_at is None or self.started_at is None:
+            raise RuntimeError(
+                f"client {self.client_id!r} has not finished "
+                f"(failure={self.failure!r})"
+            )
+        return self.finished_at - self.started_at
+
+    @property
+    def completed(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def batch_latencies(self) -> List[float]:
+        return [
+            job.latency
+            for job in self.jobs
+            if job.latency is not None and not job.cancelled
+        ]
+
+    def total_gpu_duration(self) -> float:
+        """Total GPU duration across all of this client's jobs."""
+        return sum(self.server.gpu_duration_of(job) for job in self.jobs)

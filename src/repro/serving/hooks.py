@@ -1,0 +1,58 @@
+"""Scheduler hook interface: where Olympian plugs into the serving loop.
+
+The paper's key engineering claim is that time-slicing can be added to
+TF-Serving's processing loop with a handful of call sites (Algorithm 2
+vs Algorithm 1): ``register``/``deregister`` around the session,
+``yield`` before each node's compute, and cost accounting after each
+GPU node.  :class:`SchedulerHook` is exactly that seam; the default
+:class:`NullSchedulerHook` reproduces stock TF-Serving (the GPU driver
+alone decides execution order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, TYPE_CHECKING
+
+from ..graph.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .request import Job
+
+__all__ = ["SchedulerHook", "NullSchedulerHook"]
+
+
+class SchedulerHook:
+    """Interface the session executor calls into.
+
+    Subclasses: :class:`~repro.core.scheduler.OlympianScheduler` and the
+    :class:`~repro.core.timer_scheduler.CpuTimerScheduler` ablation.
+    """
+
+    name = "abstract"
+
+    def register(self, job: "Job") -> None:
+        """Algorithm 2 line 4: a new session announces itself."""
+
+    def deregister(self, job: "Job") -> None:
+        """Algorithm 2 line 7: the session has fully completed."""
+
+    def yield_(self, job: "Job") -> Iterator:
+        """Algorithm 2 line 12: called by a gang thread before compute.
+
+        Returns an iterator of simulation events the thread must wait
+        on (empty if the job may proceed immediately).  Executors use
+        ``yield from scheduler.yield_(job)``.
+        """
+        return iter(())
+
+    def on_node_done(self, job: "Job", node: Node) -> None:
+        """Algorithm 2 lines 14-18: node finished; account its cost."""
+
+    def on_cancel(self, job: "Job") -> None:
+        """The job was cancelled; wake anything parked on its behalf."""
+
+
+class NullSchedulerHook(SchedulerHook):
+    """Stock TF-Serving: no middleware scheduling at all."""
+
+    name = "tf-serving"

@@ -1,0 +1,109 @@
+"""Jobs: the serving system's unit of work.
+
+A *job* is one ``Session::Run`` invocation — one input batch pushed
+through one model's graph (the paper's ``srInfo``).  A client submits a
+sequence of jobs; the scheduler's unit of allocation is the job's whole
+CPU thread gang.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from ..graph.graph import Graph
+from ..sim.core import Event, Simulator
+
+__all__ = ["Job"]
+
+_job_counter = itertools.count()
+
+
+class Job:
+    """One inference request travelling through the serving system.
+
+    Attributes
+    ----------
+    job_id:
+        Unique string, e.g. ``"client3/b2#17"``.
+    client_id:
+        Owning client (finish times are reported per client).
+    graph / batch_size:
+        What to execute.
+    weight / priority / deadline:
+        Scheduling-policy inputs: weighted fair sharing uses ``weight``;
+        priority scheduling uses ``priority`` (larger = more important);
+        earliest-deadline-first uses ``deadline`` (absolute sim time).
+    cumulated_cost:
+        Algorithm 2's ``cumulatedCost`` — scheduler scratch shared by
+        the whole gang.
+    """
+
+    __slots__ = (
+        "job_id",
+        "client_id",
+        "model_name",
+        "graph",
+        "batch_size",
+        "weight",
+        "priority",
+        "deadline",
+        "done",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "nodes_executed",
+        "gpu_nodes_executed",
+        "cumulated_cost",
+        "gang_threads_peak",
+        "gang_threads_now",
+        "cancelled",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client_id: Any,
+        graph: Graph,
+        batch_size: int,
+        weight: int = 1,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        job_id: Optional[str] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1: {batch_size}")
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1: {weight}")
+        self.job_id = job_id or f"{client_id}#{next(_job_counter)}"
+        self.client_id = client_id
+        self.model_name = graph.name
+        self.graph = graph
+        self.batch_size = batch_size
+        self.weight = weight
+        self.priority = priority
+        self.deadline = deadline
+        self.done: Event = sim.event()
+        self.submitted_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.nodes_executed = 0
+        self.gpu_nodes_executed = 0
+        self.cumulated_cost = 0.0
+        self.gang_threads_peak = 0
+        self.gang_threads_now = 0
+        self.cancelled = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-finish latency, once the job has completed."""
+        if self.submitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def complete(self) -> bool:
+        return self.nodes_executed >= self.graph.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Job({self.job_id!r}, model={self.model_name!r})"

@@ -1,0 +1,245 @@
+"""The model server: TF-Serving's role in the stack.
+
+Owns the simulated hardware (GPU device + driver, host CPU, inter-op
+thread pool, device memory), the loaded model graphs, and the active
+scheduler hook.  Clients submit :class:`~repro.serving.request.Job`
+objects; each runs as a :class:`~repro.serving.session.Session`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..graph.costmodel import CostModel, NodeCostProfile
+from ..graph.graph import Graph
+from ..graph.node import Node
+from ..gpu.device import GpuDevice
+from ..gpu.driver import Driver
+from ..gpu.memory import MemoryPool
+from ..gpu.specs import GTX_1080_TI, GpuSpec
+from ..host.cpu import HostCpu
+from ..host.threadpool import ThreadPool
+from ..sim.core import Event, Simulator
+from ..sim.rng import RngRegistry
+from ..sim.trace import IntervalTracer
+from ..zoo.generate import generate_graph
+from ..zoo.spec import ModelSpec
+from .hooks import NullSchedulerHook, SchedulerHook
+from .request import Job
+from .session import Session
+
+__all__ = ["ServerConfig", "ModelServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Static configuration of a model server.
+
+    Defaults model the paper's primary testbed: i7-8700 (12 hardware
+    threads), GTX 1080 Ti, TF-Serving 1.2 inter-op pool.
+
+    ``dispatch_jitter`` is the OS thread-scheduling noise when a gang
+    thread is handed a GPU node; it is the stochastic ingredient behind
+    TF-Serving's run-to-run unpredictability (Figure 3).
+    """
+
+    gpu_spec: GpuSpec = GTX_1080_TI
+    n_cores: int = 12
+    pool_size: int = 512
+    launch_latency: float = 1e-6
+    dispatch_latency: float = 1e-6
+    dispatch_jitter: float = 8e-6
+    online_profiling: bool = False
+    track_memory: bool = True
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "ServerConfig":
+        return replace(self, seed=seed)
+
+
+class ModelServer:
+    """A single-GPU model serving system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[ServerConfig] = None,
+        scheduler: Optional[SchedulerHook] = None,
+        cpu: Optional[HostCpu] = None,
+        pool: Optional[ThreadPool] = None,
+    ):
+        self.sim = sim
+        self.config = config or ServerConfig()
+        self.rngs = RngRegistry(self.config.seed)
+        self._dispatch_rng = self.rngs.stream("dispatch")
+        self._cost_rng = self.rngs.stream("cost-observation")
+        self.tracer = IntervalTracer()
+        self.driver = Driver(sim, rng=self.rngs.stream("driver"))
+        self.device = GpuDevice(
+            sim,
+            self.config.gpu_spec,
+            self.driver,
+            self.tracer,
+            rng=self.rngs.stream("gpu-clock"),
+        )
+        # Host-side resources may be shared between servers (one serving
+        # stack per GPU on a common host — the multi-GPU deployment).
+        self.cpu = cpu if cpu is not None else HostCpu(sim, self.config.n_cores)
+        self.pool = pool if pool is not None else ThreadPool(self.config.pool_size)
+        self.memory = MemoryPool(self.config.gpu_spec.memory_mb)
+        self.scheduler: SchedulerHook = scheduler or NullSchedulerHook()
+        self.cost_model = CostModel()
+        self._models: Dict[str, Tuple[Graph, int]] = {}
+        self.completed_jobs: List[Job] = []
+        self.active_jobs = 0
+        # Cost observations recorded during online-profiled runs:
+        # (model, batch) -> node_id -> list of observed costs.
+        self._observations: Dict[Tuple[str, int], Dict[int, List[float]]] = (
+            defaultdict(lambda: defaultdict(list))
+        )
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+
+    def load_model(self, graph: Graph, memory_mb: int = 240) -> None:
+        """Make ``graph`` servable under its own name."""
+        if graph.name in self._models:
+            raise ValueError(f"model {graph.name!r} already loaded")
+        self._models[graph.name] = (graph, memory_mb)
+
+    def load_spec(
+        self, spec: ModelSpec, scale: float = 1.0, seed: int = 0
+    ) -> Graph:
+        """Generate a zoo model at ``scale`` and load it."""
+        graph = generate_graph(spec, scale=scale, seed=seed)
+        self.load_model(graph, memory_mb=spec.memory_mb)
+        return graph
+
+    def model(self, name: str) -> Graph:
+        try:
+            return self._models[name][0]
+        except KeyError:
+            known = ", ".join(sorted(self._models))
+            raise KeyError(f"model {name!r} not loaded; have: {known}")
+
+    def model_memory_mb(self, name: str) -> int:
+        return self._models[name][1]
+
+    @property
+    def model_names(self) -> List[str]:
+        return sorted(self._models)
+
+    # ------------------------------------------------------------------
+    # Job submission
+    # ------------------------------------------------------------------
+
+    def make_job(
+        self,
+        client_id: Any,
+        model_name: str,
+        batch_size: int,
+        weight: int = 1,
+        priority: int = 0,
+    ) -> Job:
+        """Build a job against a loaded model."""
+        return Job(
+            self.sim,
+            client_id,
+            self.model(model_name),
+            batch_size,
+            weight=weight,
+            priority=priority,
+        )
+
+    def submit(self, job: Job) -> Event:
+        """Start serving ``job``; returns its completion event.
+
+        Raises :class:`~repro.gpu.memory.GpuOutOfMemory` if the device
+        cannot hold another client of this model.
+        """
+        if self.config.track_memory:
+            footprint = self._models[job.model_name][1]
+            self.memory.allocate(job.job_id, footprint)
+        job.submitted_at = self.sim.now
+        self.active_jobs += 1
+        session = Session(self, job)
+        self.sim.process(session.run(), name=f"session:{job.job_id}")
+        return job.done
+
+    def cancel(self, job: Job) -> bool:
+        """Cooperatively cancel an in-flight job.
+
+        In-flight kernels complete (GPU work cannot be revoked); the
+        gang drains at the next node boundaries and the job's ``done``
+        event fails with :class:`~repro.serving.cancellation.JobCancelled`.
+        Returns False if the job already finished or was cancelled.
+        """
+        if job.done.triggered or job.cancelled:
+            return False
+        job.cancelled = True
+        self.scheduler.on_cancel(job)
+        return True
+
+    def _finish_job(self, job: Job) -> None:
+        self.active_jobs -= 1
+        self.completed_jobs.append(job)
+        if self.config.track_memory and self.memory.holds(job.job_id):
+            self.memory.release(job.job_id)
+
+    # ------------------------------------------------------------------
+    # Hooks used by sessions
+    # ------------------------------------------------------------------
+
+    def dispatch_delay(self) -> float:
+        """Latency before a freshly fetched gang thread starts running."""
+        jitter = self.config.dispatch_jitter
+        if jitter <= 0.0:
+            return self.config.dispatch_latency
+        return self.config.dispatch_latency + self._dispatch_rng.uniform(0.0, jitter)
+
+    def instrumentation_slowdown(self) -> float:
+        """Per-node slowdown when the online cost profiler is attached."""
+        if not self.config.online_profiling:
+            return 0.0
+        return self.cost_model.instrumentation_cost
+
+    def _observe_cost(self, job: Job, node: Node) -> None:
+        """Record a cost-model observation during an instrumented run."""
+        if not node.is_gpu:
+            return
+        observed = self.cost_model.node_cost(node, job.batch_size, self._cost_rng)
+        # The profiler measures wall time, so the observation carries
+        # this run's effective device clock (paper §4.4: total cost has
+        # a small but correlated run-to-run spread).
+        observed *= self.device.clock_factor
+        self._observations[(job.model_name, job.batch_size)][node.node_id].append(
+            observed
+        )
+
+    def observed_profile(self, model_name: str, batch_size: int) -> NodeCostProfile:
+        """Average the instrumented-run observations into a profile."""
+        key = (model_name, batch_size)
+        if key not in self._observations:
+            raise KeyError(
+                f"no online-profiled observations for {model_name!r} "
+                f"at batch {batch_size}"
+            )
+        node_costs = {
+            node_id: sum(costs) / len(costs)
+            for node_id, costs in self._observations[key].items()
+        }
+        return NodeCostProfile(model_name, batch_size, node_costs)
+
+    # ------------------------------------------------------------------
+    # Measurement conveniences
+    # ------------------------------------------------------------------
+
+    def gpu_duration_of(self, job: Job) -> float:
+        """GPU duration (Figure 5 union metric) attributed to ``job``."""
+        return self.tracer.duration(job.job_id)
+
+    def utilization(self, window_start: float, window_end: float) -> float:
+        return self.device.utilization(window_start, window_end)

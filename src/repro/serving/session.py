@@ -1,0 +1,184 @@
+"""The session executor: TF-Serving's processing loop (Algorithm 1).
+
+One :class:`Session` executes one job.  The *main session thread* (a
+simulated process) traverses the dataflow graph breadth-first from the
+root; each node is computed when all its parents have finished.
+Synchronous (host) children are pushed onto the current thread's queue;
+asynchronous (GPU) children are handed to a fresh thread fetched from
+the inter-op pool (Algorithm 1 line 14).  The set of threads working on
+one job is the job's *gang* — the unit Olympian suspends and resumes.
+
+Scheduler integration (Algorithm 2) is confined to three hook calls:
+``scheduler.yield_`` before each compute, ``scheduler.on_node_done``
+after it, and ``register``/``deregister`` around the whole session.
+
+If the pool has no free thread, the child is executed inline on the
+current thread ("execution may be delayed", §2.1) — this is what makes
+Olympian degrade gracefully rather than deadlock when suspended gangs
+hold the whole pool (§4.3 scalability).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, TYPE_CHECKING
+
+from ..graph.node import Node
+from ..host.threadpool import ThreadTicket
+from .cancellation import JobCancelled
+from .request import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import ModelServer
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Executes one job's graph on the server's resources."""
+
+    def __init__(self, server: "ModelServer", job: Job):
+        self.server = server
+        self.sim = server.sim
+        self.job = job
+        graph = job.graph
+        # Per-session dependency counters, indexed by node id.
+        max_id = max(node.node_id for node in graph.nodes)
+        self._remaining = [0] * (max_id + 1)
+        for node in graph.nodes:
+            self._remaining[node.node_id] = node.num_parents
+
+    # ------------------------------------------------------------------
+    # Top-level session process (Algorithm 1/2 SESSION::RUN)
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """The main session thread; drive the job to completion."""
+        job = self.job
+        job.started_at = self.sim.now
+        self.server.scheduler.register(job)
+        ticket = self.server.pool.try_fetch()
+        try:
+            yield from self._thread_body(job.graph.root, ticket=None)
+            # Other gang threads may still be working; wait for the last
+            # node.  ``complete`` guards against waiting on an event that
+            # has already fired; a cancelled job's ``done`` fails, which
+            # is expected here.
+            if not job.complete:
+                try:
+                    yield job.done
+                except JobCancelled:
+                    pass
+        finally:
+            if ticket is not None:
+                ticket.release()
+            if job.finished_at is None:
+                job.finished_at = self.sim.now
+            self.server.scheduler.deregister(job)
+            self.server._finish_job(job)
+
+    # ------------------------------------------------------------------
+    # Gang threads (Algorithm 1/2 PROCESS)
+    # ------------------------------------------------------------------
+
+    def _thread_body(self, start_node: Node, ticket: Optional[ThreadTicket]):
+        job = self.job
+        job.gang_threads_now += 1
+        if job.gang_threads_now > job.gang_threads_peak:
+            job.gang_threads_peak = job.gang_threads_now
+        try:
+            queue = deque((start_node,))
+            scheduler = self.server.scheduler
+            while queue:
+                if job.cancelled:
+                    break
+                node = queue.popleft()
+                yield from scheduler.yield_(job)
+                if job.cancelled:
+                    break
+                yield from self._compute(node)
+                self._finish_node(node, queue)
+        finally:
+            job.gang_threads_now -= 1
+            if (
+                job.cancelled
+                and job.gang_threads_now == 0
+                and not job.done.triggered
+            ):
+                # Last gang thread drained a cancelled job: report it.
+                job.finished_at = self.sim.now
+                job.done.fail(
+                    JobCancelled(
+                        job.job_id, job.nodes_executed, job.graph.num_nodes
+                    )
+                )
+            if ticket is not None:
+                ticket.release()
+
+    def _spawned_thread(self, node: Node, ticket: ThreadTicket):
+        """Body of a freshly fetched gang thread for an async child."""
+        delay = self.server.dispatch_delay()
+        if delay > 0.0:
+            yield self.sim.timeout(delay)
+        yield from self._thread_body(node, ticket)
+
+    # ------------------------------------------------------------------
+    # Node execution
+    # ------------------------------------------------------------------
+
+    def _compute(self, node: Node):
+        """Execute one node on the appropriate device."""
+        job = self.job
+        slowdown = self.server.instrumentation_slowdown()
+        if node.is_gpu:
+            launch = self.server.config.launch_latency
+            if launch > 0.0:
+                yield self.sim.timeout(launch)
+            kernel = self.server.driver.launch(
+                job.job_id, node, job.batch_size, slowdown=slowdown
+            )
+            yield kernel.done
+        else:
+            duration = node.duration(job.batch_size) + slowdown
+            yield from self.server.cpu.execute(duration)
+        if self.server.config.online_profiling:
+            self.server._observe_cost(job, node)
+
+    def _finish_node(self, node: Node, queue: deque) -> None:
+        """Post-compute bookkeeping: accounting and child dispatch."""
+        job = self.job
+        self.server.scheduler.on_node_done(job, node)
+        job.nodes_executed += 1
+        if node.is_gpu:
+            job.gpu_nodes_executed += 1
+        if job.nodes_executed == job.graph.num_nodes:
+            # Stamp completion before firing ``done`` so any waiter
+            # resumed by the event sees a finished job.
+            job.finished_at = self.sim.now
+            job.done.succeed(job)
+            return
+        remaining = self._remaining
+        inline_slot_free = True
+        for child in node.children:
+            left = remaining[child.node_id] - 1
+            remaining[child.node_id] = left
+            if left != 0:
+                continue
+            if inline_slot_free:
+                # The first ready child continues on the current thread
+                # (the executor's continuation optimisation, which keeps
+                # the GPU pipeline fed along kernel chains).
+                queue.append(child)
+                inline_slot_free = False
+            else:
+                # Further ready children fan out onto fresh inter-op
+                # pool threads (Algorithm 1 line 14).
+                ticket = self.server.pool.try_fetch()
+                if ticket is not None:
+                    self.sim.process(
+                        self._spawned_thread(child, ticket),
+                        name=f"{job.job_id}/n{child.node_id}",
+                    )
+                else:
+                    # Pool exhausted: delayed, runs inline on this thread.
+                    queue.append(child)

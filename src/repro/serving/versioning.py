@@ -1,0 +1,172 @@
+"""Model versioning and hot-swap: the servable lifecycle.
+
+TF-Serving's defining middleware feature is serving *versioned*
+servables: a new model version is loaded alongside the old one, new
+requests route to it, and the old version unloads once its in-flight
+work drains.  The paper's discussion (§7.3) flags exactly this
+scenario — "frequent model updates, A/B testing, or cold starts" — as
+the operational reason profiling must integrate with the deployment
+pipeline: a new version is a new profile.
+
+:class:`VersionedModel` tracks the version chain for one model name;
+:class:`ModelVersionManager` drives load / swap / drain / unload
+against a :class:`~repro.serving.server.ModelServer`, and reports which
+(model, version) pairs still need offline profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graph.graph import Graph
+from .request import Job
+from .server import ModelServer
+
+__all__ = ["VersionedModel", "ModelVersionManager", "versioned_name"]
+
+
+def versioned_name(model: str, version: int) -> str:
+    """The internal graph name of one version (``resnet@v3``)."""
+    return f"{model}@v{version}"
+
+
+@dataclass
+class VersionedModel:
+    """The version chain of one logical model."""
+
+    model: str
+    active_version: int
+    versions: Dict[int, Graph] = field(default_factory=dict)
+    draining: Set[int] = field(default_factory=set)
+
+    @property
+    def active_graph(self) -> Graph:
+        return self.versions[self.active_version]
+
+    @property
+    def loaded_versions(self) -> List[int]:
+        return sorted(self.versions)
+
+
+class ModelVersionManager:
+    """Versioned serving on top of a :class:`ModelServer`.
+
+    The manager owns the mapping from logical model names to versioned
+    graph names; submit through :meth:`make_job` so requests always hit
+    the active version.
+    """
+
+    def __init__(self, server: ModelServer):
+        self.server = server
+        self._models: Dict[str, VersionedModel] = {}
+        # (model, version) pairs whose jobs are in flight.
+        self._inflight: Dict[Tuple[str, int], int] = {}
+        self.unloaded_log: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def deploy(self, model: str, graph: Graph, memory_mb: int = 240) -> int:
+        """Load a new version of ``model``; returns the version number.
+
+        The first deploy activates immediately; later deploys load the
+        new version alongside the old one and switch new requests over
+        (the old version begins draining).
+        """
+        entry = self._models.get(model)
+        version = 1 if entry is None else max(entry.versions) + 1
+        internal = versioned_name(model, version)
+        # Clone the graph under the versioned name so several versions
+        # can coexist in the server's model table.
+        named = Graph(internal, graph.nodes, root=graph.root)
+        self.server.load_model(named, memory_mb=memory_mb)
+        if entry is None:
+            self._models[model] = VersionedModel(
+                model=model, active_version=version, versions={version: named}
+            )
+        else:
+            entry.versions[version] = named
+            entry.draining.add(entry.active_version)
+            entry.active_version = version
+            self._try_unload(model)
+        return version
+
+    def active_version(self, model: str) -> int:
+        return self._entry(model).active_version
+
+    def loaded_versions(self, model: str) -> List[int]:
+        return self._entry(model).loaded_versions
+
+    def _entry(self, model: str) -> VersionedModel:
+        try:
+            return self._models[model]
+        except KeyError:
+            known = ", ".join(sorted(self._models))
+            raise KeyError(f"unknown model {model!r}; deployed: {known}")
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def make_job(
+        self,
+        client_id,
+        model: str,
+        batch_size: int,
+        weight: int = 1,
+        priority: int = 0,
+    ) -> Job:
+        """A job against the model's *active* version."""
+        entry = self._entry(model)
+        internal = versioned_name(model, entry.active_version)
+        return self.server.make_job(
+            client_id, internal, batch_size, weight=weight, priority=priority
+        )
+
+    def submit(self, job: Job):
+        """Submit a job made by :meth:`make_job`; tracks drain state."""
+        model, version = self._parse(job.model_name)
+        key = (model, version)
+        self._inflight[key] = self._inflight.get(key, 0) + 1
+        done = self.server.submit(job)
+        done.add_callback(lambda _event: self._job_finished(key))
+        return done
+
+    def _parse(self, internal: str) -> Tuple[str, int]:
+        model, _, version_text = internal.rpartition("@v")
+        return model, int(version_text)
+
+    def _job_finished(self, key: Tuple[str, int]) -> None:
+        self._inflight[key] -= 1
+        if self._inflight[key] == 0:
+            del self._inflight[key]
+        self._try_unload(key[0])
+
+    def _try_unload(self, model: str) -> None:
+        """Unload drained non-active versions (frees their memory)."""
+        entry = self._models.get(model)
+        if entry is None:
+            return
+        for version in sorted(entry.draining):
+            if self._inflight.get((model, version), 0) == 0:
+                entry.draining.discard(version)
+                del entry.versions[version]
+                self.unloaded_log.append((model, version))
+
+    # ------------------------------------------------------------------
+    # Profiling integration (§7.3)
+    # ------------------------------------------------------------------
+
+    def unprofiled_versions(self, store, batch_size: int) -> List[str]:
+        """Versioned names lacking a profile in ``store`` — the work a
+        CI/CD re-profiling step must do before the version can be
+        served under Olympian."""
+        missing = []
+        for entry in self._models.values():
+            for version in entry.loaded_versions:
+                internal = versioned_name(entry.model, version)
+                if store.exact(internal, batch_size) is None:
+                    missing.append(internal)
+        return sorted(missing)

@@ -1,0 +1,51 @@
+"""Discrete-event simulation kernel: the substrate for the reproduction.
+
+Public surface:
+
+* :class:`Simulator`, :class:`Event`, :class:`Process`, :class:`Timeout`
+* :class:`Resource`, :class:`Store`, :class:`ConditionVariable`
+* :class:`RngRegistry` for seeded, named randomness
+* :class:`IntervalTracer` and interval-union helpers (GPU-duration math)
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import ConditionVariable, Request, Resource, Store
+from .rng import RngRegistry, derive_seed
+from .trace import (
+    Interval,
+    IntervalTracer,
+    busy_fraction,
+    merge_intervals,
+    union_duration,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "ConditionVariable",
+    "Request",
+    "Resource",
+    "Store",
+    "RngRegistry",
+    "derive_seed",
+    "Interval",
+    "IntervalTracer",
+    "busy_fraction",
+    "merge_intervals",
+    "union_duration",
+]

@@ -1,0 +1,390 @@
+"""Discrete-event simulation kernel.
+
+This module is the substrate for every other subsystem in the
+reproduction.  It implements a small, deterministic, SimPy-style
+process-based simulator:
+
+* :class:`Simulator` owns the virtual clock and the event queue.
+* :class:`Event` is a one-shot occurrence that processes can wait on.
+* :class:`Process` wraps a Python generator; the generator *yields*
+  events (or other processes) and is resumed when they fire.
+* :class:`Timeout` is an event that fires after a fixed delay.
+
+All times are floats in **simulated seconds**.  The kernel is fully
+deterministic: ties in the event queue are broken by insertion order, so
+two runs of the same program produce identical schedules.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker("a", 2.0))
+>>> _ = sim.process(worker("b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "no value yet" from a triggered None value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` (or
+    :meth:`fail`) triggers it, schedules it on the simulator queue, and
+    eventually runs its callbacks — resuming any process that yielded it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with ``value`` at the current sim time."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event has ``exc`` raised at its yield
+        point.
+        """
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exc = exc
+        self._value = None
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Wraps a generator that yields :class:`Event` instances.  The process
+    itself is an event that fires with the generator's return value, so
+    processes can wait for one another by yielding them.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator)!r}"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the generator at the current time.
+        bootstrap = Event(sim)
+        bootstrap._value = None
+        sim._schedule(bootstrap, 0.0)
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            # Detach from whatever the process was waiting on.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup._exc = Interrupt(cause)
+        wakeup._value = None
+        self.sim._schedule(wakeup, 0.0)
+        wakeup.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event._exc is not None:
+                target = self.generator.throw(event._exc)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self.sim._schedule(self, 0.0)
+            return
+        except Interrupt as exc:
+            # An un-caught interrupt terminates the process cleanly.
+            self._exc = exc
+            self._value = None
+            self.sim._schedule(self, 0.0)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AnyOf(Event):
+    """Fires when any of the given events fires.
+
+    The value is a dict mapping each fired event to its value.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self._value = {}
+            sim._schedule(self, 0.0)
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            # Fail fast: a failed constituent fails the combinator.
+            self._exc = event._exc
+            self._value = None
+            self.sim._schedule(self, 0.0)
+            return
+        self._value = {
+            e: e._value for e in self.events if e.processed
+        }
+        self.sim._schedule(self, 0.0)
+
+
+class AllOf(Event):
+    """Fires when all of the given events have fired."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self._value = {}
+            sim._schedule(self, 0.0)
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            # Fail fast: a failed constituent fails the combinator.
+            self._exc = event._exc
+            self._value = None
+            self.sim._schedule(self, 0.0)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._value = {e: e._value for e in self.events}
+            self.sim._schedule(self, 0.0)
+
+
+class Simulator:
+    """The simulation environment: virtual clock plus event queue."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling / running
+    # ------------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if event._scheduled:
+            raise SimulationError("event scheduled twice")
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def step(self) -> None:
+        """Process the next event on the queue."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._fire()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue empty."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until!r}) is in the past (now={self._now!r})"
+            )
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,200 @@
+"""Shared-resource primitives built on the simulation kernel.
+
+These mirror the concurrency primitives the real Olympian implementation
+uses on the host side:
+
+* :class:`Resource` — counted resource with FIFO queueing (models CPU
+  cores and the bounded inter-op thread pool).
+* :class:`Store` — unbounded FIFO of items with blocking ``get`` (models
+  the GPU driver's kernel submission queue).
+* :class:`ConditionVariable` — wait/notify for process gangs (models the
+  pthread condition variables Olympian uses to suspend and resume the
+  CPU thread gang of a DNN job).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "Store", "ConditionVariable"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Yielded by a process; fires once the resource grants a slot.  Must be
+    released via :meth:`Resource.release` when done.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: Simulator, resource: "Resource"):
+        super().__init__(sim)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    >>> sim = Simulator()
+    >>> cores = Resource(sim, capacity=2)
+    >>> def use():
+    ...     req = cores.request()
+    ...     yield req
+    ...     yield sim.timeout(1.0)
+    ...     cores.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Claim one slot; the returned event fires when granted."""
+        req = Request(self.sim, self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiters.append(req)
+        return req
+
+    def try_request(self) -> Optional[Request]:
+        """Claim a slot only if one is free right now, else ``None``."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req = Request(self.sim, self)
+            req.succeed()
+            return req
+        return None
+
+    def release(self, request: Request) -> None:
+        """Return the slot held by ``request``."""
+        if request.resource is not self:
+            raise SimulationError("release of a request from another resource")
+        if self._waiters:
+            # Hand the slot straight to the next waiter; _in_use unchanged.
+            nxt = self._waiters.popleft()
+            nxt.succeed()
+        else:
+            self._in_use -= 1
+            if self._in_use < 0:
+                raise SimulationError("resource released more than acquired")
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued request that has not been granted yet."""
+        if request.triggered:
+            raise SimulationError("cannot cancel a granted request")
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            raise SimulationError("request not queued on this resource")
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the
+    next item as soon as one is available.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Pop the next item if present, else ``None`` (non-blocking)."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class ConditionVariable:
+    """Wait/notify primitive for suspending process gangs.
+
+    Olympian parks every CPU thread of a de-scheduled DNN job on a
+    condition variable and wakes the whole gang when the job regains the
+    token.  The simulated analogue: processes yield :meth:`wait`; the
+    scheduler calls :meth:`notify_all` with an optional wake latency that
+    models the cost of the OS actually getting the threads running again.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._waiters: List[Event] = []
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        """Return an event that fires at the next notify."""
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+    def notify_all(self, wake_latency: float = 0.0) -> int:
+        """Wake every waiter after ``wake_latency`` seconds.
+
+        Returns the number of processes woken.
+        """
+        waiters, self._waiters = self._waiters, []
+        if wake_latency > 0.0:
+            def _wake(waiters=waiters):
+                yield self.sim.timeout(wake_latency)
+                for event in waiters:
+                    event.succeed()
+            self.sim.process(_wake(), name="cv-wake")
+        else:
+            for event in waiters:
+                event.succeed()
+        return len(waiters)
+
+    def notify_one(self) -> bool:
+        """Wake a single waiter (FIFO).  Returns True if one was woken."""
+        if not self._waiters:
+            return False
+        self._waiters.pop(0).succeed()
+        return True

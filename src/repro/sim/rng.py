@@ -1,0 +1,61 @@
+"""Named, seeded random-number streams.
+
+Every source of randomness in the reproduction draws from a named stream
+derived from a single experiment seed.  This gives two properties the
+experiments rely on:
+
+* **Reproducibility** — the same seed replays an identical simulation.
+* **Decoupling** — adding draws to one subsystem (say, the driver's
+  submission jitter) does not perturb another subsystem's stream, so
+  ablations change only what they claim to change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Derive a child seed from ``(seed, name)`` stably across runs.
+
+    Uses SHA-256 rather than ``hash()`` because the latter is salted per
+    interpreter process.
+    """
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """A family of independent :class:`random.Random` streams.
+
+    >>> rngs = RngRegistry(seed=7)
+    >>> a = rngs.stream("driver")
+    >>> b = rngs.stream("threadpool")
+    >>> a is rngs.stream("driver")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def reseed(self, seed: int) -> None:
+        """Reset the registry to a new base seed, dropping all streams."""
+        self.seed = seed
+        self._streams.clear()
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of this one's."""
+        return RngRegistry(derive_seed(self.seed, f"spawn:{name}"))

@@ -1,0 +1,153 @@
+"""Interval tracing: the measurement backbone of the reproduction.
+
+Olympian's core quantity is *GPU duration*: the total time during which
+at least one node of a job runs on the GPU (paper Figure 5 — the union of
+the busy intervals, ``t1 + t2 + t3`` in their example).  This module
+provides:
+
+* :class:`Interval` — a tagged ``[start, end)`` span.
+* :class:`IntervalTracer` — records intervals as the simulation runs.
+* :func:`union_duration` — length of the union of intervals (Figure 5).
+* :func:`busy_fraction` — utilization over a window (the NVML analogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Interval",
+    "IntervalTracer",
+    "union_duration",
+    "merge_intervals",
+    "busy_fraction",
+]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open span ``[start, end)`` attributed to ``tag``."""
+
+    start: float
+    end: float
+    tag: Any = None
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def clipped(self, lo: float, hi: float) -> Optional["Interval"]:
+        """The part of this interval inside ``[lo, hi)``, or ``None``."""
+        start = max(self.start, lo)
+        end = min(self.end, hi)
+        if end <= start:
+            return None
+        return Interval(start, end, self.tag)
+
+
+def merge_intervals(spans: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge overlapping/adjacent ``(start, end)`` spans into a union."""
+    ordered = sorted(spans)
+    merged: List[Tuple[float, float]] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def union_duration(spans: Iterable[Tuple[float, float]]) -> float:
+    """Length of the union of spans — the paper's GPU-duration metric."""
+    return sum(end - start for start, end in merge_intervals(spans))
+
+
+def busy_fraction(
+    spans: Iterable[Tuple[float, float]], window_start: float, window_end: float
+) -> float:
+    """Fraction of ``[window_start, window_end)`` covered by the spans."""
+    if window_end <= window_start:
+        return 0.0
+    clipped = []
+    for start, end in spans:
+        lo = max(start, window_start)
+        hi = min(end, window_end)
+        if hi > lo:
+            clipped.append((lo, hi))
+    return union_duration(clipped) / (window_end - window_start)
+
+
+class IntervalTracer:
+    """Records tagged intervals during a simulation run.
+
+    Intervals are grouped by ``key`` (typically a job id) so that
+    per-job GPU durations can be computed afterwards.
+    """
+
+    def __init__(self):
+        self._open: Dict[Any, float] = {}
+        self._intervals: Dict[Any, List[Interval]] = {}
+        self._all: List[Interval] = []
+
+    def begin(self, key: Any, now: float) -> None:
+        """Open an interval for ``key`` at time ``now``."""
+        if key in self._open:
+            raise ValueError(f"interval for {key!r} already open")
+        self._open[key] = now
+
+    def end(self, key: Any, now: float, tag: Any = None) -> Interval:
+        """Close the open interval for ``key`` and record it."""
+        try:
+            start = self._open.pop(key)
+        except KeyError:
+            raise ValueError(f"no open interval for {key!r}")
+        interval = Interval(start, now, tag)
+        self._intervals.setdefault(key, []).append(interval)
+        self._all.append(interval)
+        return interval
+
+    def record(self, key: Any, start: float, end: float, tag: Any = None) -> Interval:
+        """Record a complete interval directly."""
+        interval = Interval(start, end, tag)
+        self._intervals.setdefault(key, []).append(interval)
+        self._all.append(interval)
+        return interval
+
+    def intervals(self, key: Any) -> List[Interval]:
+        return list(self._intervals.get(key, []))
+
+    def keys(self) -> List[Any]:
+        return list(self._intervals.keys())
+
+    def all_intervals(self) -> List[Interval]:
+        return list(self._all)
+
+    def spans(self, key: Any) -> List[Tuple[float, float]]:
+        return [(iv.start, iv.end) for iv in self._intervals.get(key, [])]
+
+    def duration(self, key: Any) -> float:
+        """Union duration of all intervals recorded for ``key``."""
+        return union_duration(self.spans(key))
+
+    def duration_between(self, key: Any, lo: float, hi: float) -> float:
+        """Union duration for ``key`` restricted to ``[lo, hi)``."""
+        clipped = []
+        for interval in self._intervals.get(key, []):
+            part = interval.clipped(lo, hi)
+            if part is not None:
+                clipped.append((part.start, part.end))
+        return union_duration(clipped)
+
+    def clear(self) -> None:
+        self._open.clear()
+        self._intervals.clear()
+        self._all.clear()

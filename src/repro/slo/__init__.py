@@ -1,0 +1,15 @@
+"""SLO-aware serving: latency estimation and admission control.
+
+Built on Olympian's predictability — the capability the paper's
+introduction argues unpredictable GPU sharing forecloses.
+"""
+
+from .admission import AdmissionDecision, JobRejected, SloAdmissionController
+from .estimator import FairShareEstimator
+
+__all__ = [
+    "AdmissionDecision",
+    "JobRejected",
+    "SloAdmissionController",
+    "FairShareEstimator",
+]

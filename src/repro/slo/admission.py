@@ -1,0 +1,135 @@
+"""SLO-aware admission control on top of Olympian.
+
+An operator promises a latency SLO per request class.  Because Olympian
+makes completion times predictable (see
+:mod:`repro.slo.estimator`), the controller can check *before admitting
+a job* whether its SLO is attainable at the current load, and shed the
+request immediately otherwise — fast rejection instead of a slow
+miss.  On stock TF-Serving no trustworthy estimate exists, so the same
+workload produces silent SLO violations instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..serving.request import Job
+from ..serving.server import ModelServer
+from ..sim.core import Event
+from .estimator import FairShareEstimator
+
+__all__ = ["JobRejected", "AdmissionDecision", "SloAdmissionController"]
+
+
+class JobRejected(Exception):
+    """The controller declined a job: its SLO is not attainable now."""
+
+    def __init__(self, job_id: str, estimate: float, slo: float):
+        super().__init__(
+            f"job {job_id!r} rejected: estimated latency {estimate * 1e3:.1f} ms "
+            f"exceeds SLO {slo * 1e3:.1f} ms"
+        )
+        self.job_id = job_id
+        self.estimate = estimate
+        self.slo = slo
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Audit record of one admission decision."""
+
+    time: float
+    job_id: str
+    admitted: bool
+    estimate: float
+    slo: float
+
+
+@dataclass
+class _Outcome:
+    job: Job
+    slo: float
+    admitted_at: float
+
+
+class SloAdmissionController:
+    """Admit jobs only when their SLO is predicted attainable."""
+
+    def __init__(self, server: ModelServer, estimator: FairShareEstimator):
+        self.server = server
+        self.estimator = estimator
+        self.decisions: List[AdmissionDecision] = []
+        self._outcomes: List[_Outcome] = []
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def try_submit(self, job: Job, slo: float) -> Optional[Event]:
+        """Admit and submit, or return ``None`` if the SLO is hopeless."""
+        if slo <= 0:
+            raise ValueError(f"SLO must be positive: {slo}")
+        estimate = self.estimator.estimate_for(
+            self.server, job.model_name, job.batch_size
+        )
+        admitted = estimate <= slo
+        self.decisions.append(
+            AdmissionDecision(
+                time=self.server.sim.now,
+                job_id=job.job_id,
+                admitted=admitted,
+                estimate=estimate,
+                slo=slo,
+            )
+        )
+        if not admitted:
+            return None
+        done = self.server.submit(job)
+        self._outcomes.append(
+            _Outcome(job=job, slo=slo, admitted_at=self.server.sim.now)
+        )
+        return done
+
+    def submit(self, job: Job, slo: float) -> Event:
+        """Like :meth:`try_submit` but raises :class:`JobRejected`."""
+        done = self.try_submit(job, slo)
+        if done is None:
+            decision = self.decisions[-1]
+            raise JobRejected(job.job_id, decision.estimate, decision.slo)
+        return done
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def admitted_count(self) -> int:
+        return sum(1 for d in self.decisions if d.admitted)
+
+    @property
+    def rejected_count(self) -> int:
+        return sum(1 for d in self.decisions if not d.admitted)
+
+    def attainment(self) -> float:
+        """Fraction of *admitted, finished* jobs that met their SLO."""
+        finished = [
+            o for o in self._outcomes if o.job.finished_at is not None
+        ]
+        if not finished:
+            raise ValueError("no admitted jobs have finished yet")
+        met = sum(
+            1
+            for o in finished
+            if o.job.finished_at - o.admitted_at <= o.slo
+        )
+        return met / len(finished)
+
+    def goodput(self) -> int:
+        """Number of admitted jobs that finished within their SLO."""
+        return sum(
+            1
+            for o in self._outcomes
+            if o.job.finished_at is not None
+            and o.job.finished_at - o.admitted_at <= o.slo
+        )

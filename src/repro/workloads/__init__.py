@@ -1,0 +1,49 @@
+"""Workload construction: scenarios and arrival patterns."""
+
+from .generators import (
+    bursty_think_times,
+    poisson_arrivals,
+    simultaneous,
+    staggered,
+)
+from .trace import (
+    ReplayOutcome,
+    RequestTrace,
+    TraceRequest,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    replay,
+)
+from .scenarios import (
+    DEFAULT_NUM_BATCHES,
+    ClientSpec,
+    complex_workload,
+    heterogeneous_workload,
+    homogeneous_workload,
+    scaling_workload,
+    with_priorities,
+    with_weights,
+)
+
+__all__ = [
+    "bursty_think_times",
+    "poisson_arrivals",
+    "simultaneous",
+    "staggered",
+    "DEFAULT_NUM_BATCHES",
+    "ClientSpec",
+    "complex_workload",
+    "heterogeneous_workload",
+    "homogeneous_workload",
+    "scaling_workload",
+    "with_priorities",
+    "with_weights",
+    "ReplayOutcome",
+    "RequestTrace",
+    "TraceRequest",
+    "bursty_trace",
+    "diurnal_trace",
+    "poisson_trace",
+    "replay",
+]

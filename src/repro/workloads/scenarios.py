@@ -1,0 +1,162 @@
+"""Workload definitions for the paper's experiments.
+
+A workload is a list of :class:`ClientSpec`; the experiment runner
+materialises them into :class:`~repro.serving.client.Client` objects.
+The four scenarios here are the paper's:
+
+* **homogeneous** — N identical Inception clients (Figures 3, 11, 12,
+  17, 18, 19-left, 20, 21).
+* **heterogeneous** — half Inception, half ResNet-152 (Figures 13, 14,
+  19-right), optionally with the batch-150 equalisation the paper uses.
+* **complex** — 14 clients over all seven Table 2 models at their
+  reference batch sizes (Figure 16).
+* **scaling** — K clients of one model (the §4.3 scalability sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from ..zoo.catalog import INCEPTION_V4, PAPER_MODELS, RESNET_152
+
+__all__ = [
+    "ClientSpec",
+    "homogeneous_workload",
+    "heterogeneous_workload",
+    "complex_workload",
+    "scaling_workload",
+    "with_weights",
+    "with_priorities",
+]
+
+DEFAULT_NUM_BATCHES = 10
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """One client to run: model, batch size, policy inputs."""
+
+    client_id: str
+    model: str
+    batch_size: int
+    num_batches: int = DEFAULT_NUM_BATCHES
+    weight: int = 1
+    priority: int = 0
+    start_delay: float = 0.0
+    think_time: float = 0.0
+
+    @property
+    def models_used(self) -> str:
+        return self.model
+
+
+def homogeneous_workload(
+    num_clients: int = 10,
+    model: str = INCEPTION_V4.name,
+    batch_size: int = 100,
+    num_batches: int = DEFAULT_NUM_BATCHES,
+) -> List[ClientSpec]:
+    """The paper's default workload (§3.5): N identical clients."""
+    return [
+        ClientSpec(
+            client_id=f"c{i}",
+            model=model,
+            batch_size=batch_size,
+            num_batches=num_batches,
+        )
+        for i in range(num_clients)
+    ]
+
+
+def heterogeneous_workload(
+    clients_per_model: int = 5,
+    inception_batch: int = 100,
+    resnet_batch: int = 100,
+    num_batches: int = DEFAULT_NUM_BATCHES,
+) -> List[ClientSpec]:
+    """Figure 13/14: first half Inception, second half ResNet-152.
+
+    The paper's second variant sets ``inception_batch=150`` to roughly
+    equalise per-batch runtimes between the two models.
+    """
+    specs = [
+        ClientSpec(
+            client_id=f"c{i}",
+            model=INCEPTION_V4.name,
+            batch_size=inception_batch,
+            num_batches=num_batches,
+        )
+        for i in range(clients_per_model)
+    ]
+    specs += [
+        ClientSpec(
+            client_id=f"c{clients_per_model + i}",
+            model=RESNET_152.name,
+            batch_size=resnet_batch,
+            num_batches=num_batches,
+        )
+        for i in range(clients_per_model)
+    ]
+    return specs
+
+
+def complex_workload(
+    clients_per_model: int = 2,
+    num_batches: int = DEFAULT_NUM_BATCHES,
+) -> List[ClientSpec]:
+    """Figure 16: 14 clients across all seven models, Table 2 batches."""
+    specs: List[ClientSpec] = []
+    index = 0
+    for model_spec in PAPER_MODELS:
+        for _ in range(clients_per_model):
+            specs.append(
+                ClientSpec(
+                    client_id=f"c{index}",
+                    model=model_spec.name,
+                    batch_size=model_spec.ref_batch,
+                    num_batches=num_batches,
+                )
+            )
+            index += 1
+    return specs
+
+
+def scaling_workload(
+    num_clients: int,
+    model: str = INCEPTION_V4.name,
+    batch_size: int = 100,
+    num_batches: int = 2,
+) -> List[ClientSpec]:
+    """§4.3 scalability sweep: K concurrent clients of one model."""
+    return [
+        ClientSpec(
+            client_id=f"c{i}",
+            model=model,
+            batch_size=batch_size,
+            num_batches=num_batches,
+        )
+        for i in range(num_clients)
+    ]
+
+
+def with_weights(
+    specs: Sequence[ClientSpec], weights: Sequence[int]
+) -> List[ClientSpec]:
+    """Assign per-client weights (Figure 17's weighted fair sharing)."""
+    if len(weights) != len(specs):
+        raise ValueError(
+            f"{len(weights)} weights for {len(specs)} clients"
+        )
+    return [replace(spec, weight=w) for spec, w in zip(specs, weights)]
+
+
+def with_priorities(
+    specs: Sequence[ClientSpec], priorities: Sequence[int]
+) -> List[ClientSpec]:
+    """Assign per-client priorities (Figure 18; larger = higher)."""
+    if len(priorities) != len(specs):
+        raise ValueError(
+            f"{len(priorities)} priorities for {len(specs)} clients"
+        )
+    return [replace(spec, priority=p) for spec, p in zip(specs, priorities)]

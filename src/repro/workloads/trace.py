@@ -1,0 +1,305 @@
+"""Trace-driven workloads: record, generate, and replay request traces.
+
+Production serving systems are driven by request logs, not by closed
+loops of synthetic clients.  This module gives the reproduction that
+missing piece (paper future work: "more realistic and dynamic
+workloads"):
+
+* :class:`TraceRequest` / :class:`RequestTrace` — a timestamped request
+  log (arrival time, model, batch size, optional SLO), with JSON
+  round-trip.
+* Generators for the standard shapes: steady Poisson, diurnal
+  (sinusoidal rate), and bursty on/off (a two-state MMPP) — the
+  "intermittent and bursty GPU usage" the paper's introduction
+  motivates multiplexing with.
+* :func:`replay` — drive any server with a trace and collect per-request
+  outcomes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..sim.core import Simulator
+from ..sim.rng import derive_seed
+
+__all__ = [
+    "TraceRequest",
+    "RequestTrace",
+    "poisson_trace",
+    "diurnal_trace",
+    "bursty_trace",
+    "replay",
+    "ReplayOutcome",
+]
+
+_PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request in a trace."""
+
+    arrival: float
+    model: str
+    batch_size: int
+    slo: Optional[float] = None
+
+    def __post_init__(self):
+        if self.arrival < 0:
+            raise ValueError(f"negative arrival time: {self.arrival}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch size must be >= 1: {self.batch_size}")
+        if self.slo is not None and self.slo <= 0:
+            raise ValueError(f"SLO must be positive: {self.slo}")
+
+
+@dataclass
+class RequestTrace:
+    """An ordered request log."""
+
+    requests: List[TraceRequest] = field(default_factory=list)
+
+    def __post_init__(self):
+        arrivals = [r.arrival for r in self.requests]
+        if arrivals != sorted(arrivals):
+            self.requests = sorted(self.requests, key=lambda r: r.arrival)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Span from first to last arrival."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival - self.requests[0].arrival
+
+    @property
+    def models(self) -> List[str]:
+        return sorted({r.model for r in self.requests})
+
+    def mean_rate(self) -> float:
+        """Average arrivals per second over the trace span."""
+        if len(self.requests) < 2 or self.duration == 0:
+            raise ValueError("rate undefined for traces shorter than 2 requests")
+        return (len(self.requests) - 1) / self.duration
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": [
+                {
+                    "arrival": r.arrival,
+                    "model": r.model,
+                    "batch_size": r.batch_size,
+                    "slo": r.slo,
+                }
+                for r in self.requests
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RequestTrace":
+        return cls(
+            requests=[
+                TraceRequest(
+                    arrival=entry["arrival"],
+                    model=entry["model"],
+                    batch_size=entry["batch_size"],
+                    slo=entry.get("slo"),
+                )
+                for entry in data["requests"]
+            ]
+        )
+
+    def save(self, path: _PathLike) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: _PathLike) -> "RequestTrace":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def poisson_trace(
+    rate: float,
+    duration: float,
+    model: str,
+    batch_size: int,
+    seed: int = 0,
+    slo: Optional[float] = None,
+) -> RequestTrace:
+    """Steady Poisson arrivals at ``rate``/s for ``duration`` seconds."""
+    if rate <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    rng = random.Random(derive_seed(seed, "trace:poisson"))
+    requests = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t > duration:
+            break
+        requests.append(TraceRequest(t, model, batch_size, slo))
+    return RequestTrace(requests)
+
+
+def diurnal_trace(
+    base_rate: float,
+    peak_rate: float,
+    duration: float,
+    model: str,
+    batch_size: int,
+    period: Optional[float] = None,
+    seed: int = 0,
+    slo: Optional[float] = None,
+) -> RequestTrace:
+    """Sinusoidally modulated arrivals (the daily load curve, scaled).
+
+    Rate varies between ``base_rate`` and ``peak_rate`` over ``period``
+    (default: the full duration is one day-night cycle).  Generated by
+    thinning a Poisson process at the peak rate.
+    """
+    if not 0 < base_rate <= peak_rate:
+        raise ValueError("need 0 < base_rate <= peak_rate")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    period = period if period is not None else duration
+    rng = random.Random(derive_seed(seed, "trace:diurnal"))
+    requests = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak_rate)
+        if t > duration:
+            break
+        phase = math.sin(2 * math.pi * t / period - math.pi / 2)  # trough first
+        rate = base_rate + (peak_rate - base_rate) * (phase + 1) / 2
+        if rng.random() <= rate / peak_rate:
+            requests.append(TraceRequest(t, model, batch_size, slo))
+    return RequestTrace(requests)
+
+
+def bursty_trace(
+    burst_rate: float,
+    idle_rate: float,
+    mean_burst: float,
+    mean_idle: float,
+    duration: float,
+    model: str,
+    batch_size: int,
+    seed: int = 0,
+    slo: Optional[float] = None,
+) -> RequestTrace:
+    """Two-state on/off arrivals (MMPP-2): bursts of ``burst_rate``
+    separated by quiet periods — the "intermittent and bursty" usage
+    of the paper's introduction."""
+    if burst_rate <= 0 or idle_rate < 0:
+        raise ValueError("rates must be positive (idle may be 0)")
+    if mean_burst <= 0 or mean_idle <= 0 or duration <= 0:
+        raise ValueError("durations must be positive")
+    rng = random.Random(derive_seed(seed, "trace:bursty"))
+    requests = []
+    t = 0.0
+    bursting = True
+    phase_end = rng.expovariate(1.0 / mean_burst)
+    while t < duration:
+        rate = burst_rate if bursting else idle_rate
+        if rate <= 0:
+            t = phase_end
+        else:
+            t += rng.expovariate(rate)
+            if t <= min(phase_end, duration):
+                requests.append(TraceRequest(t, model, batch_size, slo))
+        if t >= phase_end:
+            bursting = not bursting
+            mean = mean_burst if bursting else mean_idle
+            phase_end = t + rng.expovariate(1.0 / mean)
+    return RequestTrace(requests)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReplayOutcome:
+    """Per-request results of one trace replay."""
+
+    latencies: List[float]
+    slo_hits: int
+    slo_misses: int
+    rejected: int
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    def slo_attainment(self) -> float:
+        total = self.slo_hits + self.slo_misses
+        if total == 0:
+            raise ValueError("trace carried no SLOs")
+        return self.slo_hits / total
+
+
+def replay(
+    sim: Simulator,
+    server,
+    trace: RequestTrace,
+    admission_controller=None,
+) -> ReplayOutcome:
+    """Replay ``trace`` against ``server``; returns the outcome.
+
+    ``server`` is anything with ``make_job``/``submit`` (a
+    :class:`~repro.serving.server.ModelServer` or a
+    :class:`~repro.cluster.server.MultiGpuServer`).  With an
+    ``admission_controller`` (:mod:`repro.slo`), requests carrying an
+    SLO go through admission.  The caller runs ``sim.run()`` afterwards.
+    """
+    outcome = ReplayOutcome(latencies=[], slo_hits=0, slo_misses=0, rejected=0)
+
+    def track(request, job, done):
+        submitted = sim.now
+        yield done
+        latency = job.finished_at - submitted
+        outcome.latencies.append(latency)
+        if request.slo is not None:
+            if latency <= request.slo:
+                outcome.slo_hits += 1
+            else:
+                outcome.slo_misses += 1
+
+    def driver():
+        start = sim.now
+        for index, request in enumerate(trace):
+            delay = start + request.arrival - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            job = server.make_job(f"trace{index}", request.model,
+                                  request.batch_size)
+            if admission_controller is not None and request.slo is not None:
+                done = admission_controller.try_submit(job, slo=request.slo)
+                if done is None:
+                    outcome.rejected += 1
+                    continue
+            else:
+                done = server.submit(job)
+            sim.process(track(request, job, done))
+
+    sim.process(driver(), name="trace-replay")
+    return outcome

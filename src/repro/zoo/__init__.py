@@ -1,0 +1,43 @@
+"""Model zoo: synthetic stand-ins for the paper's seven DNNs.
+
+Graph generators calibrated to the paper's Table 2 (node counts, solo
+runtimes) and Figure 4 (node-duration CDF).
+"""
+
+from .catalog import (
+    ALEXNET,
+    GOOGLENET,
+    INCEPTION_V4,
+    MODEL_REGISTRY,
+    PAPER_MODELS,
+    RESNET_50,
+    RESNET_101,
+    RESNET_152,
+    VGG,
+    get_spec,
+    paper_table2_rows,
+)
+from .generate import generate_graph, sample_gpu_durations
+from .validate import CalibrationCheck, CalibrationReport, validate_calibration
+from .spec import DurationMixture, ModelSpec
+
+__all__ = [
+    "ALEXNET",
+    "GOOGLENET",
+    "INCEPTION_V4",
+    "MODEL_REGISTRY",
+    "PAPER_MODELS",
+    "RESNET_50",
+    "RESNET_101",
+    "RESNET_152",
+    "VGG",
+    "get_spec",
+    "paper_table2_rows",
+    "generate_graph",
+    "sample_gpu_durations",
+    "CalibrationCheck",
+    "CalibrationReport",
+    "validate_calibration",
+    "DurationMixture",
+    "ModelSpec",
+]

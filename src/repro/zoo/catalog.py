@@ -1,0 +1,194 @@
+"""The seven paper models (Table 2) plus a registry.
+
+Calibration sources:
+
+* Node counts, GPU-node counts, batch sizes and solo runtimes: paper
+  Table 2.
+* Duration mixtures: paper Figure 4 (Inception: ~80 % of nodes below
+  20 µs, >90 % below 1 ms); per-model variations reflect the
+  architectures (VGG/AlexNet have fewer, larger convolutions; ResNets
+  have many small element-wise residual ops).
+* Memory footprints: sized so a GTX 1080 Ti (11 GB) supports about 45
+  concurrent clients (paper §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .spec import DurationMixture, ModelSpec
+
+__all__ = [
+    "INCEPTION_V4",
+    "GOOGLENET",
+    "ALEXNET",
+    "VGG",
+    "RESNET_50",
+    "RESNET_101",
+    "RESNET_152",
+    "PAPER_MODELS",
+    "MODEL_REGISTRY",
+    "get_spec",
+    "paper_table2_rows",
+]
+
+INCEPTION_V4 = ModelSpec(
+    name="inception_v4",
+    display_name="Inception",
+    ref_batch=150,
+    num_nodes=15599,
+    num_gpu_nodes=13309,
+    solo_runtime=0.81,
+    branch_width=4,
+    memory_mb=240,
+    mixture=DurationMixture(
+        tiny_fraction=0.80,
+        medium_fraction=0.15,
+        tiny_range=(3e-6, 25e-6),
+        medium_range=(30e-6, 400e-6),
+        large_range=(150e-6, 700e-6),
+    ),
+)
+
+GOOGLENET = ModelSpec(
+    name="googlenet",
+    display_name="GoogLeNet",
+    ref_batch=200,
+    num_nodes=18980,
+    num_gpu_nodes=15948,
+    solo_runtime=1.09,
+    branch_width=4,
+    memory_mb=220,
+    mixture=DurationMixture(
+        tiny_fraction=0.78,
+        medium_fraction=0.17,
+        tiny_range=(3e-6, 22e-6),
+        medium_range=(25e-6, 350e-6),
+        large_range=(140e-6, 650e-6),
+    ),
+)
+
+ALEXNET = ModelSpec(
+    name="alexnet",
+    display_name="AlexNet",
+    ref_batch=256,
+    num_nodes=23774,
+    num_gpu_nodes=19902,
+    solo_runtime=1.13,
+    branch_width=3,
+    memory_mb=260,
+    mixture=DurationMixture(
+        tiny_fraction=0.84,
+        medium_fraction=0.12,
+        tiny_range=(2e-6, 20e-6),
+        medium_range=(30e-6, 300e-6),
+        large_range=(200e-6, 900e-6),
+    ),
+)
+
+VGG = ModelSpec(
+    name="vgg",
+    display_name="VGG",
+    ref_batch=120,
+    num_nodes=11297,
+    num_gpu_nodes=9965,
+    solo_runtime=0.83,
+    branch_width=3,
+    memory_mb=250,
+    mixture=DurationMixture(
+        tiny_fraction=0.76,
+        medium_fraction=0.16,
+        tiny_range=(3e-6, 25e-6),
+        medium_range=(40e-6, 450e-6),
+        large_range=(200e-6, 900e-6),
+    ),
+)
+
+RESNET_50 = ModelSpec(
+    name="resnet_50",
+    display_name="ResNet-50",
+    ref_batch=144,
+    num_nodes=14472,
+    num_gpu_nodes=12280,
+    solo_runtime=0.79,
+    branch_width=3,
+    memory_mb=230,
+    mixture=DurationMixture(
+        tiny_fraction=0.82,
+        medium_fraction=0.13,
+        tiny_range=(3e-6, 22e-6),
+        medium_range=(30e-6, 350e-6),
+        large_range=(150e-6, 700e-6),
+    ),
+)
+
+RESNET_101 = ModelSpec(
+    name="resnet_101",
+    display_name="ResNet-101",
+    ref_batch=128,
+    num_nodes=14034,
+    num_gpu_nodes=12082,
+    solo_runtime=0.85,
+    branch_width=3,
+    memory_mb=235,
+    mixture=DurationMixture(
+        tiny_fraction=0.82,
+        medium_fraction=0.13,
+        tiny_range=(3e-6, 22e-6),
+        medium_range=(30e-6, 350e-6),
+        large_range=(150e-6, 700e-6),
+    ),
+)
+
+RESNET_152 = ModelSpec(
+    name="resnet_152",
+    display_name="ResNet-152",
+    ref_batch=100,
+    num_nodes=12495,
+    num_gpu_nodes=10963,
+    solo_runtime=0.80,
+    branch_width=3,
+    memory_mb=245,
+    mixture=DurationMixture(
+        tiny_fraction=0.82,
+        medium_fraction=0.13,
+        tiny_range=(3e-6, 22e-6),
+        medium_range=(30e-6, 350e-6),
+        large_range=(150e-6, 700e-6),
+    ),
+)
+
+PAPER_MODELS: List[ModelSpec] = [
+    INCEPTION_V4,
+    GOOGLENET,
+    ALEXNET,
+    VGG,
+    RESNET_50,
+    RESNET_101,
+    RESNET_152,
+]
+
+MODEL_REGISTRY: Dict[str, ModelSpec] = {spec.name: spec for spec in PAPER_MODELS}
+
+
+def get_spec(name: str) -> ModelSpec:
+    """Look up a spec by registry name (raises with the known names)."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; registry has: {known}")
+
+
+def paper_table2_rows() -> List[Dict[str, object]]:
+    """The paper's Table 2 as data, for the reproduction harness."""
+    return [
+        {
+            "model": spec.display_name,
+            "batch_size": spec.ref_batch,
+            "nodes": spec.num_nodes,
+            "gpu_nodes": spec.num_gpu_nodes,
+            "runtime_s": spec.solo_runtime,
+        }
+        for spec in PAPER_MODELS
+    ]

@@ -1,0 +1,207 @@
+"""Synthetic model-graph generator.
+
+Turns a :class:`~repro.zoo.spec.ModelSpec` into a concrete dataflow
+graph whose aggregate statistics match the paper's calibration targets:
+
+* exact node and GPU-node counts (Table 2, optionally scaled down),
+* GPU-node duration mixture matching the Figure 4 CDF,
+* total solo GPU duration matching the Table 2 runtime,
+* block/branch structure giving the gang its characteristic width.
+
+Generation is deterministic given ``(spec, scale, seed)``.
+
+Scale factor
+------------
+``scale`` shrinks node counts *and total work* proportionally while
+keeping individual node durations realistic.  This preserves every
+relationship Olympian depends on (node duration << quantum << job
+duration) while letting the experiment suite run in minutes on a CPU.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Deque, List, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+from ..sim.rng import derive_seed
+from .spec import ModelSpec
+
+__all__ = ["generate_graph", "sample_gpu_durations"]
+
+# Number of host-side preprocessing nodes at the head of the graph.
+_INPUT_STAGE_NODES = 3
+# Host-side work as a fraction of solo runtime (the remainder of the
+# spec's gpu_busy_fraction, split between overlapped and tail work).
+_CPU_BUDGET_FRACTION = 0.05
+
+
+def _log_uniform(rng: random.Random, lo: float, hi: float) -> float:
+    return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+
+def sample_gpu_durations(
+    spec: ModelSpec, count: int, rng: random.Random
+) -> List[Tuple[str, float]]:
+    """Sample ``count`` (op, duration) pairs from the spec's mixture.
+
+    Durations are normalised so their sum equals the spec's target GPU
+    duration scaled by ``count / spec.num_gpu_nodes`` — i.e. mean node
+    duration is preserved at any scale.
+    """
+    mixture = spec.mixture
+    n_tiny = round(count * mixture.tiny_fraction)
+    n_medium = round(count * mixture.medium_fraction)
+    n_large = max(1, count - n_tiny - n_medium)
+    n_tiny = count - n_medium - n_large
+
+    samples: List[Tuple[str, float]] = []
+    for _ in range(n_tiny):
+        samples.append(("elementwise", _log_uniform(rng, *mixture.tiny_range)))
+    for i in range(n_medium):
+        op = "pool" if i % 2 == 0 else "matmul"
+        samples.append((op, _log_uniform(rng, *mixture.medium_range)))
+    for _ in range(n_large):
+        samples.append(("conv2d", _log_uniform(rng, *mixture.large_range)))
+
+    target = spec.target_gpu_duration * (count / spec.num_gpu_nodes)
+    raw_total = sum(duration for _op, duration in samples)
+    factor = target / raw_total
+    normalised = [(op, duration * factor) for op, duration in samples]
+    rng.shuffle(normalised)
+    return normalised
+
+
+def _sample_cpu_durations(
+    spec: ModelSpec, count: int, rng: random.Random
+) -> List[Tuple[str, float]]:
+    """Sample host-node (op, duration) pairs, normalised to the budget."""
+    samples: List[Tuple[str, float]] = []
+    ops = ["shape", "control", "decode", "concat_host"]
+    for i in range(count):
+        samples.append((ops[i % len(ops)], _log_uniform(rng, 2e-6, 40e-6)))
+    target = (
+        spec.solo_runtime
+        * _CPU_BUDGET_FRACTION
+        * (count / max(1, spec.num_cpu_nodes))
+    )
+    raw_total = sum(duration for _op, duration in samples)
+    factor = target / raw_total
+    normalised = [(op, duration * factor) for op, duration in samples]
+    rng.shuffle(normalised)
+    return normalised
+
+
+def generate_graph(spec: ModelSpec, scale: float = 1.0, seed: int = 0) -> Graph:
+    """Generate the graph for ``spec`` at ``scale``.
+
+    The result has exactly ``spec.scaled_counts(scale)`` nodes, a block
+    structure of ``spec.branch_width`` parallel branches, and GPU/CPU
+    durations matching the calibrated mixtures.
+    """
+    rng = random.Random(derive_seed(seed, f"zoo:{spec.name}:{scale}"))
+    total_count, gpu_count = spec.scaled_counts(scale)
+    cpu_count = total_count - gpu_count
+
+    gpu_pool: Deque[Tuple[str, float]] = deque(
+        sample_gpu_durations(spec, gpu_count, rng)
+    )
+    cpu_pool: Deque[Tuple[str, float]] = deque(
+        _sample_cpu_durations(spec, cpu_count, rng)
+    )
+
+    builder = GraphBuilder(spec.name)
+    ref = spec.ref_batch
+
+    # --- input stage: host-side decode/preprocess chain ---------------
+    op, duration = cpu_pool.popleft()
+    root = builder.add("input", op, duration, ref)
+    tail = root
+    for i in range(min(_INPUT_STAGE_NODES - 1, len(cpu_pool))):
+        op, duration = cpu_pool.popleft()
+        tail = builder.add(f"preprocess/{i}", op, duration, ref, parents=[tail])
+
+    cpu_body_budget = len(cpu_pool)
+    gpu_total = len(gpu_pool)
+    block_index = 0
+
+    # --- body: blocks of parallel branches -----------------------------
+    while gpu_pool:
+        width = max(1, round(rng.gauss(spec.branch_width, 0.8)))
+        branch_tails = []
+        for branch in range(width):
+            if not gpu_pool:
+                break
+            branch_tail = tail
+            length = rng.randint(2, 6)
+            for i in range(length):
+                if not gpu_pool:
+                    break
+                op, duration = gpu_pool.popleft()
+                branch_tail = builder.add(
+                    f"block{block_index}/b{branch}/{op}{i}",
+                    op,
+                    duration,
+                    ref,
+                    parents=[branch_tail],
+                )
+            branch_tails.append(branch_tail)
+        if len(branch_tails) > 1:
+            if gpu_pool:
+                op, duration = gpu_pool.popleft()
+                tail = builder.add(
+                    f"block{block_index}/join", op, duration, ref,
+                    parents=branch_tails,
+                )
+            elif cpu_pool:
+                op, duration = cpu_pool.popleft()
+                tail = builder.add(
+                    f"block{block_index}/join", op, duration, ref,
+                    parents=branch_tails,
+                )
+            else:
+                tail = branch_tails[0]
+        elif branch_tails:
+            tail = branch_tails[0]
+
+        # Drain host nodes in proportion to GPU progress so CPU work is
+        # interspersed through the body, as in real graphs.  They hang
+        # *off* the spine rather than on it: host-side bookkeeping runs
+        # concurrently with the next block's kernels, it does not stall
+        # the GPU pipeline.
+        gpu_used_fraction = 1.0 - len(gpu_pool) / gpu_total
+        host_index = 0
+        while cpu_pool and (
+            (cpu_body_budget - len(cpu_pool)) / max(1, cpu_body_budget)
+            < gpu_used_fraction - 0.05
+        ):
+            op, duration = cpu_pool.popleft()
+            builder.add(
+                f"block{block_index}/host{host_index}",
+                op,
+                duration,
+                ref,
+                parents=[tail],
+            )
+            host_index += 1
+        block_index += 1
+
+    # --- output stage: leftover host nodes fan out from the tail -------
+    # (response assembly work; runs on the inter-op pool in parallel)
+    output_index = 0
+    while cpu_pool:
+        op, duration = cpu_pool.popleft()
+        builder.add(f"output/{output_index}", op, duration, ref, parents=[tail])
+        output_index += 1
+
+    graph = builder.build(root=root)
+    assert graph.num_nodes == total_count, (
+        f"generator produced {graph.num_nodes} nodes, wanted {total_count}"
+    )
+    assert graph.num_gpu_nodes == gpu_count, (
+        f"generator produced {graph.num_gpu_nodes} GPU nodes, wanted {gpu_count}"
+    )
+    return graph

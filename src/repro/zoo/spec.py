@@ -1,0 +1,130 @@
+"""Model specifications: the calibration targets for synthetic graphs.
+
+Each :class:`ModelSpec` captures what the paper publishes about a model
+(Table 2: node counts, GPU-node counts, solo runtime at a reference
+batch size) plus the structural knobs the generator uses (branch width,
+duration mixture).  The generator in :mod:`repro.zoo.generate` turns a
+spec into a concrete :class:`~repro.graph.Graph` whose aggregate
+statistics match the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["DurationMixture", "ModelSpec"]
+
+
+@dataclass(frozen=True)
+class DurationMixture:
+    """Mixture of GPU-node duration classes (paper Figure 4).
+
+    Fractions are of GPU nodes; ranges are log-uniform sampling bounds in
+    seconds *before* normalisation to the spec's target GPU duration.
+    The defaults give ~80 % of nodes below 20 µs and >90 % below 1 ms at
+    the reference batch, matching the Inception CDF in Figure 4.
+    """
+
+    tiny_fraction: float = 0.80
+    medium_fraction: float = 0.15
+    tiny_range: Tuple[float, float] = (3e-6, 25e-6)
+    medium_range: Tuple[float, float] = (30e-6, 400e-6)
+    large_range: Tuple[float, float] = (150e-6, 700e-6)
+
+    def __post_init__(self):
+        if not 0.0 < self.tiny_fraction < 1.0:
+            raise ValueError(f"tiny_fraction out of range: {self.tiny_fraction}")
+        if not 0.0 <= self.medium_fraction < 1.0:
+            raise ValueError(f"medium_fraction out of range: {self.medium_fraction}")
+        if self.tiny_fraction + self.medium_fraction >= 1.0:
+            raise ValueError("mixture fractions must leave room for large nodes")
+        for lo, hi in (self.tiny_range, self.medium_range, self.large_range):
+            if not 0 < lo < hi:
+                raise ValueError(f"bad duration range: ({lo}, {hi})")
+
+    @property
+    def large_fraction(self) -> float:
+        return 1.0 - self.tiny_fraction - self.medium_fraction
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Calibration targets and structure knobs for one model.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"inception_v4"``).
+    display_name:
+        Paper-style label (e.g. ``"Inception"``).
+    ref_batch:
+        Batch size at which the Table 2 numbers were measured.
+    num_nodes / num_gpu_nodes:
+        Table 2 graph sizes at full scale.
+    solo_runtime:
+        Table 2 per-batch runtime (seconds) with exclusive GPU access.
+    gpu_busy_fraction:
+        Fraction of the solo runtime during which the (serial) GPU
+        stream is busy; the rest is host-side work.
+    branch_width:
+        Typical number of parallel branches per block — drives how many
+        kernels a job keeps in flight (the gang's effective width).
+    memory_mb:
+        Per-client GPU memory footprint (weights + activations),
+        used by the scalability experiment.
+    mixture:
+        GPU-node duration mixture.
+    """
+
+    name: str
+    display_name: str
+    ref_batch: int
+    num_nodes: int
+    num_gpu_nodes: int
+    solo_runtime: float
+    gpu_busy_fraction: float = 0.88
+    branch_width: int = 4
+    memory_mb: int = 240
+    mixture: DurationMixture = field(default_factory=DurationMixture)
+
+    def __post_init__(self):
+        if self.num_gpu_nodes >= self.num_nodes:
+            raise ValueError(
+                f"{self.name}: GPU nodes ({self.num_gpu_nodes}) must be fewer "
+                f"than total nodes ({self.num_nodes})"
+            )
+        if not 0.0 < self.gpu_busy_fraction <= 1.0:
+            raise ValueError(
+                f"{self.name}: gpu_busy_fraction out of range: "
+                f"{self.gpu_busy_fraction}"
+            )
+        if self.solo_runtime <= 0:
+            raise ValueError(f"{self.name}: solo_runtime must be positive")
+        if self.branch_width < 1:
+            raise ValueError(f"{self.name}: branch_width must be >= 1")
+
+    @property
+    def num_cpu_nodes(self) -> int:
+        return self.num_nodes - self.num_gpu_nodes
+
+    @property
+    def target_gpu_duration(self) -> float:
+        """Solo GPU duration ``D_j`` at the reference batch (seconds)."""
+        return self.solo_runtime * self.gpu_busy_fraction
+
+    @property
+    def mean_gpu_node_duration(self) -> float:
+        return self.target_gpu_duration / self.num_gpu_nodes
+
+    def scaled_counts(self, scale: float) -> Tuple[int, int]:
+        """(total, gpu) node counts at a given scale factor.
+
+        Scaling preserves the GPU-node fraction and keeps at least a
+        small viable graph so tests can run at 1 % scale.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1]: {scale}")
+        gpu = max(20, round(self.num_gpu_nodes * scale))
+        cpu = max(5, round(self.num_cpu_nodes * scale))
+        return gpu + cpu, gpu

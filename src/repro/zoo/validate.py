@@ -1,0 +1,177 @@
+"""Calibration validation: does a generated graph match its spec?
+
+The experiments are only as faithful as the zoo's calibration, so the
+calibration is checked, not assumed.  :func:`validate_calibration`
+measures a generated graph against every target its
+:class:`~repro.zoo.spec.ModelSpec` encodes — node counts, GPU duration,
+solo runtime, duration-CDF shape — and returns a structured report.
+Used by tests, and exposed as ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..graph.graph import Graph
+from .generate import generate_graph
+from .spec import ModelSpec
+
+__all__ = ["CalibrationCheck", "CalibrationReport", "validate_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One measured quantity vs its target."""
+
+    name: str
+    measured: float
+    target: float
+    tolerance: float  # relative, e.g. 0.1 = +-10%
+
+    @property
+    def passed(self) -> bool:
+        if self.target == 0:
+            return self.measured == 0
+        return abs(self.measured - self.target) <= self.tolerance * abs(self.target)
+
+    @property
+    def relative_error(self) -> float:
+        if self.target == 0:
+            return 0.0 if self.measured == 0 else float("inf")
+        return (self.measured - self.target) / self.target
+
+
+@dataclass
+class CalibrationReport:
+    """All checks for one (spec, scale) pair."""
+
+    model_name: str
+    scale: float
+    checks: List[CalibrationCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> List[CalibrationCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def report(self) -> str:
+        from ..metrics.report import render_table
+
+        rows = [
+            [
+                check.name,
+                f"{check.measured:.6g}",
+                f"{check.target:.6g}",
+                f"{check.relative_error:+.1%}",
+                "ok" if check.passed else "FAIL",
+            ]
+            for check in self.checks
+        ]
+        return render_table(
+            ["check", "measured", "target", "error", "status"],
+            rows,
+            title=(
+                f"Calibration report: {self.model_name} at scale "
+                f"{self.scale} -> {'PASS' if self.passed else 'FAIL'}"
+            ),
+        )
+
+
+def validate_calibration(
+    spec: ModelSpec,
+    scale: float = 1.0,
+    seed: int = 1,
+    graph: Optional[Graph] = None,
+    measure_runtime: bool = False,
+) -> CalibrationReport:
+    """Generate (or accept) a graph and check it against its spec.
+
+    ``measure_runtime`` additionally runs the model solo on a fresh
+    simulated server and compares the measured runtime to the scaled
+    Table 2 target (slower; off by default).
+    """
+    if graph is None:
+        graph = generate_graph(spec, scale=scale, seed=seed)
+    total_target, gpu_target = spec.scaled_counts(scale)
+    scale_ratio = gpu_target / spec.num_gpu_nodes
+    report = CalibrationReport(model_name=spec.name, scale=scale)
+
+    report.checks.append(
+        CalibrationCheck("total nodes", graph.num_nodes, total_target, 0.0)
+    )
+    report.checks.append(
+        CalibrationCheck("GPU nodes", graph.num_gpu_nodes, gpu_target, 0.0)
+    )
+    report.checks.append(
+        CalibrationCheck(
+            "solo GPU duration D_j (s)",
+            graph.gpu_duration(spec.ref_batch),
+            spec.target_gpu_duration * scale_ratio,
+            0.001,
+        )
+    )
+
+    durations = sorted(
+        node.duration(spec.ref_batch) for node in graph.nodes if node.is_gpu
+    )
+    n = len(durations)
+    # The mixture's CDF shape is defined relative to the calibration
+    # models' mean node duration (~53 us for Inception at Table 2
+    # batch); normalise the threshold by this spec's own mean so the
+    # check is meaningful for specs with different runtime/node ratios.
+    reference_mean = 53e-6
+    tiny_threshold = 25e-6 * max(
+        spec.mean_gpu_node_duration / reference_mean, 1.0
+    )
+    tiny_measured = sum(1 for d in durations if d <= tiny_threshold) / n
+    report.checks.append(
+        CalibrationCheck(
+            "tiny-node fraction (mean-normalised CDF)",
+            tiny_measured,
+            spec.mixture.tiny_fraction,
+            0.25,
+        )
+    )
+    under_1ms = sum(1 for d in durations if d <= 1e-3) / n
+    report.checks.append(
+        CalibrationCheck("fraction of nodes <= 1ms", under_1ms, 1.0, 0.10)
+    )
+    mean_duration = sum(durations) / n
+    report.checks.append(
+        CalibrationCheck(
+            "mean GPU-node duration (s)",
+            mean_duration,
+            spec.mean_gpu_node_duration,
+            0.001,
+        )
+    )
+    # Structure: joins exist (branch width > 1 somewhere).
+    joins = sum(1 for node in graph.nodes if node.num_parents > 1)
+    report.checks.append(
+        CalibrationCheck(
+            "join nodes present (fraction)",
+            joins / graph.num_nodes,
+            0.05,
+            0.95,  # loose: just meaningfully non-zero
+        )
+    )
+
+    if measure_runtime:
+        from ..core.profiler import OfflineProfiler
+
+        solo, _ = OfflineProfiler(seed=7).measure_solo(
+            graph, spec.ref_batch, online=False
+        )
+        report.checks.append(
+            CalibrationCheck(
+                "solo runtime (s)",
+                solo.runtime,
+                spec.solo_runtime * scale_ratio,
+                0.20,
+            )
+        )
+    return report

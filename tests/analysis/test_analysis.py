@@ -1,0 +1,180 @@
+"""Tests for Chrome-trace export and text timelines."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    build_trace_events,
+    export_chrome_trace,
+    render_gantt,
+    render_histogram,
+)
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.graph import CostModel
+from repro.serving import Client, ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def fair_run(tiny_graph):
+    sim = Simulator()
+    costs = CostModel(noise=0.0).exact(tiny_graph, 100)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=tiny_graph.gpu_duration(100)
+    )
+    store = ProfileStore()
+    store.add(profile)
+    scheduler = OlympianScheduler(sim, FairSharing(), 0.5e-3, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=1), scheduler=scheduler
+    )
+    server.load_model(tiny_graph)
+    clients = [
+        Client(sim, server, f"c{i}", tiny_graph.name, 100, num_batches=2)
+        for i in range(2)
+    ]
+    for client in clients:
+        client.start()
+    sim.run()
+    return server, scheduler, clients
+
+
+class TestChromeTrace:
+    def test_kernel_events_match_executed_kernels(self, fair_run):
+        server, scheduler, _ = fair_run
+        events = build_trace_events(server)
+        kernels = [e for e in events if e.get("cat") == "kernel"]
+        assert len(kernels) == server.device.kernels_executed
+
+    def test_tenure_track_present_with_scheduler(self, fair_run):
+        server, scheduler, _ = fair_run
+        events = build_trace_events(server, scheduler=scheduler)
+        tenures = [e for e in events if e.get("cat") == "tenure"]
+        assert len(tenures) == len(scheduler.closed_tenures())
+
+    def test_event_fields_are_trace_format(self, fair_run):
+        server, scheduler, _ = fair_run
+        events = build_trace_events(server, scheduler=scheduler)
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+
+    def test_window_filters_events(self, fair_run):
+        server, scheduler, clients = fair_run
+        makespan = max(c.finished_at for c in clients)
+        full = build_trace_events(server)
+        half = build_trace_events(server, window=(0.0, makespan / 2))
+        full_kernels = [e for e in full if e.get("cat") == "kernel"]
+        half_kernels = [e for e in half if e.get("cat") == "kernel"]
+        assert 0 < len(half_kernels) < len(full_kernels)
+
+    def test_export_writes_valid_json(self, fair_run, tmp_path):
+        server, scheduler, _ = fair_run
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(server, path, scheduler=scheduler)
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_metadata_names_jobs(self, fair_run):
+        server, _, clients = fair_run
+        events = build_trace_events(server)
+        thread_names = [
+            e["args"]["name"]
+            for e in events
+            if e.get("name") == "thread_name"
+        ]
+        for client in clients:
+            for job in client.jobs:
+                assert f"job {job.job_id}" in thread_names
+
+
+class TestGantt:
+    def test_rows_per_job_and_busy_cells(self, fair_run):
+        server, _, clients = fair_run
+        makespan = max(c.finished_at for c in clients)
+        gantt = render_gantt(server, (0.0, makespan), width=60)
+        lines = gantt.splitlines()
+        jobs = sum(len(c.jobs) for c in clients)
+        assert len(lines) == 1 + min(jobs, 12)
+        assert "#" in gantt
+
+    def test_exclusive_access_visible(self, fair_run):
+        """At any gantt column, at most ~one job is solidly busy
+        (Olympian exclusivity, modulo overflow at boundaries)."""
+        server, _, clients = fair_run
+        makespan = max(c.finished_at for c in clients)
+        gantt = render_gantt(server, (0.0, makespan), width=60)
+        rows = [line.split("|")[1] for line in gantt.splitlines()[1:]]
+        solid_overlaps = 0
+        for col in range(60):
+            solid = sum(1 for row in rows if row[col] == "#")
+            if solid > 1:
+                solid_overlaps += 1
+        assert solid_overlaps <= 6  # boundaries only
+
+    def test_validation(self, fair_run):
+        server, _, _ = fair_run
+        with pytest.raises(ValueError):
+            render_gantt(server, (1.0, 1.0))
+        with pytest.raises(ValueError):
+            render_gantt(server, (0.0, 1.0), width=5)
+
+    def test_empty_server(self, sim):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        assert "no GPU activity" in render_gantt(server, (0.0, 1.0))
+
+
+class TestHistogram:
+    def test_counts_sum_to_samples(self):
+        values = [1e-3, 1.5e-3, 2e-3, 2.5e-3, 3e-3]
+        rendered = render_histogram(values, bins=4)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in rendered.splitlines()]
+        assert sum(counts) == len(values)
+
+    def test_single_value(self):
+        rendered = render_histogram([5e-3], bins=3)
+        assert rendered.count("#") > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_histogram([])
+        with pytest.raises(ValueError):
+            render_histogram([1.0], bins=0)
+
+
+class TestRunSummary:
+    def test_summarize_fair_run(self):
+        from repro.analysis import summarize_run
+        from repro.experiments import ExperimentConfig, run_workload
+        from repro.workloads import homogeneous_workload
+
+        config = ExperimentConfig(scale=0.02, quantum=0.8e-3)
+        specs = homogeneous_workload(num_clients=3, num_batches=2)
+        result = run_workload(specs, scheduler="fair", config=config)
+        text = summarize_run(result)
+        assert "scheduler=fair" in text
+        assert "finish times" in text
+        assert "Jain index" in text
+        assert "mean quantum GPU duration" in text
+        assert "GPU utilization" in text
+
+    def test_summarize_baseline_run_omits_scheduler_section(self):
+        from repro.analysis import summarize_run
+        from repro.experiments import ExperimentConfig, run_workload
+        from repro.workloads import homogeneous_workload
+
+        config = ExperimentConfig(scale=0.02, quantum=0.8e-3)
+        specs = homogeneous_workload(num_clients=2, num_batches=1)
+        result = run_workload(specs, scheduler="tf-serving", config=config)
+        text = summarize_run(result)
+        assert "scheduler=tf-serving" in text
+        assert "token switches" not in text

@@ -1,0 +1,161 @@
+"""Tests for the multi-GPU serving extension."""
+
+import pytest
+
+from repro.cluster import (
+    LeastLoadedPlacement,
+    MemoryAwarePlacement,
+    MultiGpuServer,
+    RoundRobinPlacement,
+    StickyClientPlacement,
+)
+from repro.core import FairSharing, OlympianProfile, OlympianScheduler, ProfileStore
+from repro.graph import CostModel
+from repro.metrics import jain_index, spread_ratio
+from repro.serving import Client, ServerConfig
+from repro.sim import Simulator
+
+
+def make_store(graph, batch=100):
+    costs = CostModel(noise=0.0).exact(graph, batch)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=graph.gpu_duration(batch)
+    )
+    store = ProfileStore()
+    store.add(profile)
+    return store
+
+
+def build_cluster(graph, num_gpus, placement=None, olympian=True, seed=0):
+    sim = Simulator()
+    store = make_store(graph) if olympian else None
+
+    def factory(sim_, server):
+        if not olympian:
+            return None
+        return OlympianScheduler(
+            sim_, FairSharing(), quantum=0.5e-3, profiles=store
+        )
+
+    cluster = MultiGpuServer(
+        sim,
+        num_gpus,
+        config=ServerConfig(track_memory=False, seed=seed),
+        scheduler_factory=factory,
+        placement=placement,
+    )
+    cluster.load_model(graph)
+    return sim, cluster
+
+
+def run_clients(sim, cluster, graph, n_clients, num_batches=3):
+    clients = [
+        Client(sim, cluster, f"c{i}", graph.name, 100, num_batches=num_batches)
+        for i in range(n_clients)
+    ]
+    for client in clients:
+        client.start()
+    sim.run()
+    return clients
+
+
+class TestConstruction:
+    def test_num_gpus_validated(self, tiny_graph):
+        with pytest.raises(ValueError):
+            MultiGpuServer(Simulator(), 0)
+
+    def test_model_loaded_on_every_gpu(self, tiny_graph):
+        _, cluster = build_cluster(tiny_graph, 3)
+        for worker in cluster.workers:
+            assert tiny_graph.name in worker.server.model_names
+        assert cluster.model_names == [tiny_graph.name]
+
+    def test_each_gpu_has_its_own_scheduler(self, tiny_graph):
+        _, cluster = build_cluster(tiny_graph, 2)
+        schedulers = {id(w.server.scheduler) for w in cluster.workers}
+        assert len(schedulers) == 2
+
+
+class TestExecution:
+    def test_all_clients_complete(self, tiny_graph):
+        sim, cluster = build_cluster(tiny_graph, 2)
+        clients = run_clients(sim, cluster, tiny_graph, 6)
+        assert all(c.completed for c in clients)
+
+    def test_two_gpus_nearly_halve_makespan(self, tiny_graph):
+        def makespan(num_gpus):
+            sim, cluster = build_cluster(tiny_graph, num_gpus)
+            clients = run_clients(sim, cluster, tiny_graph, 8, num_batches=3)
+            return max(c.finished_at for c in clients)
+
+        one = makespan(1)
+        two = makespan(2)
+        assert two < one * 0.65
+
+    def test_per_gpu_fairness_preserved(self, tiny_graph):
+        """Olympian guarantees hold inside each GPU of the cluster."""
+        sim, cluster = build_cluster(
+            tiny_graph, 2, placement=StickyClientPlacement()
+        )
+        clients = run_clients(sim, cluster, tiny_graph, 8, num_batches=3)
+        shares = [c.total_gpu_duration() for c in clients]
+        assert jain_index(shares) > 0.97
+        assert spread_ratio([c.finish_time for c in clients]) < 1.1
+
+    def test_gpu_duration_tracked_per_worker(self, tiny_graph):
+        sim, cluster = build_cluster(tiny_graph, 2)
+        clients = run_clients(sim, cluster, tiny_graph, 4)
+        for client in clients:
+            assert client.total_gpu_duration() > 0
+
+    def test_cluster_utilization(self, tiny_graph):
+        sim, cluster = build_cluster(tiny_graph, 2)
+        clients = run_clients(sim, cluster, tiny_graph, 6)
+        end = max(c.finished_at for c in clients)
+        assert 0.3 < cluster.utilization(0.0, end) <= 1.0
+
+
+class TestPlacement:
+    def test_round_robin_cycles(self, tiny_graph):
+        sim, cluster = build_cluster(
+            tiny_graph, 3, placement=RoundRobinPlacement()
+        )
+        run_clients(sim, cluster, tiny_graph, 6, num_batches=1)
+        assert cluster.routing_counts() == [2, 2, 2]
+
+    def test_sticky_client_pins_batches(self, tiny_graph):
+        sim, cluster = build_cluster(
+            tiny_graph, 2, placement=StickyClientPlacement()
+        )
+        clients = run_clients(sim, cluster, tiny_graph, 4, num_batches=3)
+        for client in clients:
+            workers = {cluster.worker_of(job).index for job in client.jobs}
+            assert len(workers) == 1
+
+    def test_least_loaded_balances(self, tiny_graph):
+        sim, cluster = build_cluster(
+            tiny_graph, 2, placement=LeastLoadedPlacement()
+        )
+        run_clients(sim, cluster, tiny_graph, 8, num_batches=2)
+        counts = cluster.routing_counts()
+        assert max(counts) - min(counts) <= 4
+
+    def test_memory_aware_spills_to_free_gpu(self, tiny_graph):
+        sim = Simulator()
+        cluster = MultiGpuServer(
+            sim,
+            2,
+            config=ServerConfig(track_memory=True, seed=0),
+            placement=MemoryAwarePlacement(),
+        )
+        # Footprint so large only one job fits per GPU.
+        cluster.load_model(tiny_graph, memory_mb=8000)
+        clients = [
+            Client(sim, cluster, f"c{i}", tiny_graph.name, 100, num_batches=1)
+            for i in range(2)
+        ]
+        for client in clients:
+            client.start()
+        sim.run()
+        assert all(c.completed for c in clients)
+        assert cluster.routing_counts() == [1, 1]

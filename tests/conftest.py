@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.serving import ModelServer, ServerConfig
+from repro.sim import Simulator
+from repro.zoo import INCEPTION_V4, generate_graph
+from repro.zoo.spec import DurationMixture, ModelSpec
+
+# A small spec so graph generation in tests is fast but structurally
+# representative (branches, joins, host nodes).
+TINY_SPEC = ModelSpec(
+    name="tiny_model",
+    display_name="Tiny",
+    ref_batch=100,
+    num_nodes=260,
+    num_gpu_nodes=220,
+    solo_runtime=0.02,
+    branch_width=3,
+    memory_mb=100,
+    mixture=DurationMixture(),
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_graph():
+    return generate_graph(TINY_SPEC, scale=1.0, seed=5)
+
+
+@pytest.fixture
+def tiny_spec():
+    return TINY_SPEC
+
+
+@pytest.fixture
+def small_inception():
+    """Inception at 2% scale: ~290 nodes, runs in well under a second."""
+    return generate_graph(INCEPTION_V4, scale=0.02, seed=1)
+
+
+@pytest.fixture
+def server(sim):
+    srv = ModelServer(sim, ServerConfig(track_memory=False, seed=0))
+    return srv
+
+
+def build_diamond(name: str = "diamond"):
+    """A 4-node diamond graph used across executor tests.
+
+          root (cpu)
+          /        \\
+       left(gpu)  right(gpu)
+          \\        /
+           out (gpu)
+    """
+    b = GraphBuilder(name)
+    root = b.add("root", "decode", 10e-6, 100)
+    left = b.add("left", "conv2d", 200e-6, 100, parents=[root])
+    right = b.add("right", "matmul", 150e-6, 100, parents=[root])
+    b.add("out", "elementwise", 20e-6, 100, parents=[left, right])
+    return b.build()
+
+
+@pytest.fixture
+def diamond_graph():
+    return build_diamond()

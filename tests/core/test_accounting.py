@@ -1,0 +1,106 @@
+"""Unit tests for profiles, cost rates, thresholds, and the store."""
+
+import pytest
+
+from repro.core import OlympianProfile, ProfileStore
+
+
+def make_profile(model="m", batch=100, costs=None, duration=0.01):
+    return OlympianProfile(
+        model_name=model,
+        batch_size=batch,
+        node_costs=costs or {0: 0.05, 1: 0.10},
+        gpu_duration=duration,
+        solo_runtime=duration * 1.1,
+    )
+
+
+class TestOlympianProfile:
+    def test_total_cost(self):
+        assert make_profile().total_cost == pytest.approx(0.15)
+
+    def test_cost_rate_is_c_over_d(self):
+        profile = make_profile(duration=0.01)
+        assert profile.cost_rate == pytest.approx(0.15 / 0.01)
+
+    def test_threshold_formula(self):
+        """T_j = Q * C_j / D_j (the paper's central identity)."""
+        profile = make_profile(duration=0.01)
+        quantum = 1.2e-3
+        assert profile.threshold(quantum) == pytest.approx(
+            quantum * profile.total_cost / profile.gpu_duration
+        )
+
+    def test_threshold_scales_linearly_with_q(self):
+        profile = make_profile()
+        assert profile.threshold(2e-3) == pytest.approx(2 * profile.threshold(1e-3))
+
+    def test_missing_node_cost_is_zero(self):
+        assert make_profile().cost(999) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_profile(duration=0.0)
+        with pytest.raises(ValueError):
+            OlympianProfile("m", 100, {}, gpu_duration=1.0)
+        with pytest.raises(ValueError):
+            make_profile().threshold(0.0)
+
+
+class TestProfileStore:
+    def test_exact_lookup(self):
+        store = ProfileStore()
+        profile = make_profile(batch=100)
+        store.add(profile)
+        assert store.lookup("m", 100) is profile
+
+    def test_missing_lookup_raises_with_batches(self):
+        store = ProfileStore()
+        store.add(make_profile(batch=100))
+        with pytest.raises(KeyError, match=r"\[100\]"):
+            store.lookup("m", 50)
+
+    def test_regression_fallback_with_two_batches(self):
+        store = ProfileStore()
+        store.add(make_profile(batch=50, costs={0: 0.05}, duration=0.005))
+        store.add(make_profile(batch=100, costs={0: 0.10}, duration=0.010))
+        predicted = store.lookup("m", 75)
+        assert predicted.cost(0) == pytest.approx(0.075, rel=1e-6)
+        assert predicted.gpu_duration == pytest.approx(0.0075, rel=1e-6)
+
+    def test_regression_disabled(self):
+        store = ProfileStore(allow_regression=False)
+        store.add(make_profile(batch=50))
+        store.add(make_profile(batch=100))
+        with pytest.raises(KeyError):
+            store.lookup("m", 75)
+
+    def test_prediction_cached(self):
+        store = ProfileStore()
+        store.add(make_profile(batch=50, costs={0: 0.05}, duration=0.005))
+        store.add(make_profile(batch=100, costs={0: 0.10}, duration=0.010))
+        first = store.lookup("m", 75)
+        assert store.lookup("m", 75) is first
+
+    def test_new_exact_profile_invalidates_predictions(self):
+        store = ProfileStore()
+        store.add(make_profile(batch=50, costs={0: 0.05}, duration=0.005))
+        store.add(make_profile(batch=100, costs={0: 0.10}, duration=0.010))
+        predicted = store.lookup("m", 75)
+        exact = make_profile(batch=75, costs={0: 0.2}, duration=0.02)
+        store.add(exact)
+        assert store.lookup("m", 75) is exact
+        assert store.lookup("m", 75) is not predicted
+
+    def test_profiled_batches_sorted(self):
+        store = ProfileStore()
+        store.add(make_profile(batch=100))
+        store.add(make_profile(batch=50))
+        assert store.profiled_batches("m") == [50, 100]
+
+    def test_contains_and_len(self):
+        store = ProfileStore()
+        store.add(make_profile(batch=100))
+        assert ("m", 100) in store
+        assert ("m", 50) not in store
+        assert len(store) == 1

@@ -1,0 +1,192 @@
+"""Tests for the quantum-drift monitor and profiler persistence."""
+
+import pytest
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+    ProfilerOutput,
+    QuantumMonitor,
+    load_profiler_output,
+    output_from_dict,
+    output_to_dict,
+    save_profiler_output,
+    store_from_dict,
+    store_to_dict,
+)
+from repro.core.quantum import OverheadQCurve
+from repro.graph import CostModel
+from repro.serving import Client, ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+def exact_profile(graph, batch=100, duration_scale=1.0):
+    """An offline profile; ``duration_scale`` != 1 fakes a stale D_j.
+
+    Note that uniformly scaling *costs* would cancel out (thresholds and
+    accumulation both use them); a stale profile manifests as a wrong
+    measured GPU duration — e.g. the device clock changed since
+    profiling — which skews the cost-accumulation rate.
+    """
+    costs = CostModel(noise=0.0).exact(graph, batch)
+    return OlympianProfile.from_cost_profile(
+        costs,
+        gpu_duration=graph.gpu_duration(batch) * duration_scale,
+        solo_runtime=0.01,
+    )
+
+
+def run_with_profile(graph, profile, quantum=2e-3, clients=3):
+    store = ProfileStore()
+    store.add(profile)
+    sim = Simulator()
+    scheduler = OlympianScheduler(sim, FairSharing(), quantum, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=6), scheduler=scheduler
+    )
+    server.load_model(graph)
+    monitor = QuantumMonitor(server, scheduler, tolerance=0.3, window=16)
+    cs = [
+        Client(sim, server, f"c{i}", graph.name, 100, num_batches=3)
+        for i in range(clients)
+    ]
+    for c in cs:
+        c.start()
+    sim.run()
+    monitor.scan()
+    return monitor
+
+
+class TestQuantumMonitor:
+    def test_accurate_profile_raises_no_alert(self, tiny_graph):
+        monitor = run_with_profile(tiny_graph, exact_profile(tiny_graph))
+        assert monitor.alerts == []
+        assert monitor.drifting_models == []
+
+    def test_stale_profile_detected(self, tiny_graph):
+        """A profile whose D_j is 3x reality makes the rate (and hence
+        the threshold) 3x too small, so delivered quanta are ~Q/3."""
+        stale = exact_profile(tiny_graph, duration_scale=3.0)
+        monitor = run_with_profile(tiny_graph, stale)
+        assert monitor.drifting_models == [tiny_graph.name]
+        alert = monitor.alerts[0]
+        assert alert.relative_error < -0.3
+
+    def test_one_alert_per_model(self, tiny_graph):
+        stale = exact_profile(tiny_graph, duration_scale=3.0)
+        monitor = run_with_profile(tiny_graph, stale)
+        assert len(monitor.alerts) == 1
+
+    def test_reset_allows_realerting(self, tiny_graph):
+        stale = exact_profile(tiny_graph, duration_scale=3.0)
+        monitor = run_with_profile(tiny_graph, stale)
+        monitor.reset_model(tiny_graph.name)
+        assert monitor.drifting_models == []
+
+    def test_callback_invoked(self, tiny_graph):
+        seen = []
+        store = ProfileStore()
+        store.add(exact_profile(tiny_graph, duration_scale=3.0))
+        sim = Simulator()
+        scheduler = OlympianScheduler(sim, FairSharing(), 2e-3, store)
+        server = ModelServer(
+            sim, ServerConfig(track_memory=False, seed=6), scheduler=scheduler
+        )
+        server.load_model(tiny_graph)
+        monitor = QuantumMonitor(
+            server, scheduler, tolerance=0.3, window=16,
+            on_drift=seen.append,
+        )
+        clients = [
+            Client(sim, server, f"c{i}", tiny_graph.name, 100, num_batches=3)
+            for i in range(3)
+        ]
+        for c in clients:
+            c.start()
+        sim.run()
+        monitor.scan()
+        assert len(seen) == 1
+        assert seen[0].model_name == tiny_graph.name
+
+    def test_validation(self, tiny_graph):
+        store = ProfileStore()
+        store.add(exact_profile(tiny_graph))
+        sim = Simulator()
+        scheduler = OlympianScheduler(sim, FairSharing(), 0.5e-3, store)
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        with pytest.raises(ValueError):
+            QuantumMonitor(server, scheduler, tolerance=0.0)
+        with pytest.raises(ValueError):
+            QuantumMonitor(server, scheduler, window=2)
+
+
+class TestPersistence:
+    def _output(self, tiny_graph):
+        store = ProfileStore()
+        store.add(exact_profile(tiny_graph, batch=100))
+        store.add(exact_profile(tiny_graph, batch=50))
+        curve = OverheadQCurve(
+            tiny_graph.name, 100, [(0.5e-3, 0.04), (2e-3, 0.01)]
+        )
+        return ProfilerOutput(
+            quantum=1.2e-3, store=store, curves=[curve], tolerance=0.025
+        )
+
+    def test_store_round_trip(self, tiny_graph):
+        store = ProfileStore()
+        profile = exact_profile(tiny_graph)
+        store.add(profile)
+        restored = store_from_dict(store_to_dict(store))
+        loaded = restored.lookup(tiny_graph.name, 100)
+        assert loaded.total_cost == pytest.approx(profile.total_cost)
+        assert loaded.gpu_duration == pytest.approx(profile.gpu_duration)
+        assert loaded.node_costs == profile.node_costs
+
+    def test_output_round_trip(self, tiny_graph):
+        output = self._output(tiny_graph)
+        restored = output_from_dict(output_to_dict(output))
+        assert restored.quantum == output.quantum
+        assert restored.tolerance == output.tolerance
+        assert len(restored.curves) == 1
+        assert restored.curves[0].points == output.curves[0].points
+        assert restored.store.profiled_batches(tiny_graph.name) == [50, 100]
+
+    def test_file_round_trip(self, tiny_graph, tmp_path):
+        output = self._output(tiny_graph)
+        path = tmp_path / "profiles.json"
+        save_profiler_output(output, path)
+        restored = load_profiler_output(path)
+        assert restored.quantum == output.quantum
+
+    def test_restored_output_drives_scheduler(self, tiny_graph, tmp_path):
+        """A persisted profile bundle serves jobs identically."""
+        output = self._output(tiny_graph)
+        path = tmp_path / "profiles.json"
+        save_profiler_output(output, path)
+        restored = load_profiler_output(path)
+
+        def run(bundle):
+            sim = Simulator()
+            scheduler = OlympianScheduler(
+                sim, FairSharing(), bundle.quantum, bundle.store
+            )
+            server = ModelServer(
+                sim, ServerConfig(track_memory=False, seed=1),
+                scheduler=scheduler,
+            )
+            server.load_model(tiny_graph)
+            client = Client(sim, server, "c", tiny_graph.name, 100,
+                            num_batches=2)
+            client.start()
+            sim.run()
+            return client.finish_time
+
+        assert run(output) == run(restored)
+
+    def test_regression_survives_round_trip(self, tiny_graph):
+        output = self._output(tiny_graph)
+        restored = output_from_dict(output_to_dict(output))
+        predicted = restored.store.lookup(tiny_graph.name, 75)
+        assert predicted.batch_size == 75

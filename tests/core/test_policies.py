@@ -1,0 +1,127 @@
+"""Unit tests for the scheduling policies (§3.4)."""
+
+import pytest
+
+from repro.core import FairSharing, PriorityScheduling, WeightedFairSharing
+from repro.serving import Job
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def jobs(sim, diamond_graph):
+    def make(client, weight=1, priority=0):
+        return Job(sim, client, diamond_graph, 100, weight=weight,
+                   priority=priority)
+
+    return make
+
+
+class TestRegistration:
+    def test_double_register_rejected(self, jobs):
+        policy = FairSharing()
+        job = jobs("a")
+        policy.on_register(job)
+        with pytest.raises(ValueError):
+            policy.on_register(job)
+
+    def test_deregister_unknown_rejected(self, jobs):
+        with pytest.raises(ValueError):
+            FairSharing().on_deregister(jobs("a"))
+
+    def test_active_jobs_snapshot(self, jobs):
+        policy = FairSharing()
+        a, b = jobs("a"), jobs("b")
+        policy.on_register(a)
+        policy.on_register(b)
+        assert policy.active_jobs == [a, b]
+        policy.on_deregister(a)
+        assert policy.active_jobs == [b]
+
+
+class TestFairSharing:
+    def test_round_robin_cycles(self, jobs):
+        policy = FairSharing()
+        a, b, c = jobs("a"), jobs("b"), jobs("c")
+        for job in (a, b, c):
+            policy.on_register(job)
+        assert policy.select_next(a) is b
+        assert policy.select_next(b) is c
+        assert policy.select_next(c) is a
+
+    def test_empty_returns_none(self, jobs):
+        assert FairSharing().select_next(None) is None
+
+    def test_departed_current_falls_back_to_head(self, jobs):
+        policy = FairSharing()
+        a, b = jobs("a"), jobs("b")
+        policy.on_register(a)
+        policy.on_register(b)
+        policy.on_deregister(a)
+        assert policy.select_next(a) is b
+
+    def test_single_job_keeps_token(self, jobs):
+        policy = FairSharing()
+        a = jobs("a")
+        policy.on_register(a)
+        assert policy.select_next(a) is a
+
+
+class TestWeightedFairSharing:
+    def test_weight_grants_consecutive_quanta(self, jobs):
+        policy = WeightedFairSharing()
+        heavy, light = jobs("h", weight=3), jobs("l", weight=1)
+        policy.on_register(heavy)
+        policy.on_register(light)
+        sequence = []
+        current = heavy
+        for _ in range(8):
+            current = policy.select_next(current)
+            sequence.append(current.client_id)
+        # heavy holds 3 quanta per turn, light 1
+        assert sequence == ["h", "h", "l", "h", "h", "h", "l", "h"]
+
+    def test_weight_one_degenerates_to_fair(self, jobs):
+        policy = WeightedFairSharing()
+        a, b = jobs("a"), jobs("b")
+        policy.on_register(a)
+        policy.on_register(b)
+        assert policy.select_next(a) is b
+        assert policy.select_next(b) is a
+
+    def test_departed_heavy_moves_on(self, jobs):
+        policy = WeightedFairSharing()
+        heavy, light = jobs("h", weight=5), jobs("l")
+        policy.on_register(heavy)
+        policy.on_register(light)
+        policy.on_deregister(heavy)
+        assert policy.select_next(heavy) is light
+
+
+class TestPriorityScheduling:
+    def test_highest_priority_wins(self, jobs):
+        policy = PriorityScheduling()
+        low, high = jobs("low", priority=1), jobs("high", priority=5)
+        policy.on_register(low)
+        policy.on_register(high)
+        assert policy.select_next(low) is high
+        assert policy.select_next(high) is high
+
+    def test_ties_round_robin(self, jobs):
+        policy = PriorityScheduling()
+        a, b = jobs("a", priority=5), jobs("b", priority=5)
+        low = jobs("low", priority=0)
+        for job in (a, b, low):
+            policy.on_register(job)
+        assert policy.select_next(a) is b
+        assert policy.select_next(b) is a
+
+    def test_low_runs_after_high_departs(self, jobs):
+        policy = PriorityScheduling()
+        low, high = jobs("low", priority=1), jobs("high", priority=5)
+        policy.on_register(low)
+        policy.on_register(high)
+        policy.on_deregister(high)
+        assert policy.select_next(high) is low
+
+    def test_empty_returns_none(self, jobs):
+        assert PriorityScheduling().select_next(None) is None

@@ -1,0 +1,298 @@
+"""Unit and integration tests for the extended scheduling policies."""
+
+import pytest
+
+from repro.core import (
+    DeficitRoundRobin,
+    EarliestDeadlineFirst,
+    LotteryScheduling,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+    ShortestRemainingWork,
+)
+from repro.graph import CostModel
+from repro.metrics import mean
+from repro.serving import Client, Job, ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def jobs(sim, diamond_graph):
+    def make(client, weight=1, priority=0, deadline=None):
+        return Job(sim, client, diamond_graph, 100, weight=weight,
+                   priority=priority, deadline=deadline)
+
+    return make
+
+
+class TestDeficitRoundRobin:
+    def test_integer_weights_proportional(self, jobs):
+        policy = DeficitRoundRobin()
+        heavy, light = jobs("h", weight=2), jobs("l", weight=1)
+        policy.on_register(heavy)
+        policy.on_register(light)
+        sequence = []
+        current = heavy
+        for _ in range(12):
+            current = policy.select_next(current)
+            sequence.append(current.client_id)
+        counts = {c: sequence.count(c) for c in ("h", "l")}
+        assert counts["h"] == pytest.approx(2 * counts["l"], abs=2)
+
+    def test_fractional_shares(self, jobs):
+        policy = DeficitRoundRobin()
+        a, b = jobs("a"), jobs("b")
+        policy.on_register(a)
+        policy.on_register(b)
+        policy.set_share(a, 1.5)
+        policy.set_share(b, 1.0)
+        sequence = []
+        current = a
+        for _ in range(25):
+            current = policy.select_next(current)
+            sequence.append(current.client_id)
+        ratio = sequence.count("a") / sequence.count("b")
+        assert ratio == pytest.approx(1.5, abs=0.3)
+
+    def test_credit_cap_limits_bursts(self, jobs):
+        policy = DeficitRoundRobin(credit_cap=2.0)
+        a = jobs("a", weight=10)
+        policy.on_register(a)
+        # Many replenishes cannot push credit beyond the cap.
+        for _ in range(5):
+            policy._replenish()
+        assert policy._credits[a.job_id] <= 2.0
+
+    def test_validation(self, jobs):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(credit_cap=0.5)
+        policy = DeficitRoundRobin()
+        job = jobs("a")
+        policy.on_register(job)
+        with pytest.raises(ValueError):
+            policy.set_share(job, 0.0)
+
+    def test_empty_returns_none(self):
+        assert DeficitRoundRobin().select_next(None) is None
+
+
+class TestLotteryScheduling:
+    def test_proportional_in_expectation(self, jobs):
+        policy = LotteryScheduling(seed=42)
+        heavy, light = jobs("h", weight=3), jobs("l", weight=1)
+        policy.on_register(heavy)
+        policy.on_register(light)
+        wins = {"h": 0, "l": 0}
+        current = None
+        for _ in range(2000):
+            current = policy.select_next(current)
+            wins[current.client_id] += 1
+        assert wins["h"] / wins["l"] == pytest.approx(3.0, rel=0.2)
+
+    def test_deterministic_given_seed(self, jobs):
+        def draw_sequence(seed):
+            policy = LotteryScheduling(seed=seed)
+            a, b = jobs("a"), jobs("b")
+            policy.on_register(a)
+            policy.on_register(b)
+            return [policy.select_next(None).client_id for _ in range(20)]
+
+        assert draw_sequence(7) == draw_sequence(7)
+
+    def test_single_job_always_wins(self, jobs):
+        policy = LotteryScheduling()
+        only = jobs("only")
+        policy.on_register(only)
+        assert policy.select_next(None) is only
+
+    def test_empty_returns_none(self):
+        assert LotteryScheduling().select_next(None) is None
+
+
+class TestEarliestDeadlineFirst:
+    def test_soonest_deadline_wins(self, jobs):
+        policy = EarliestDeadlineFirst()
+        late = jobs("late", deadline=10.0)
+        soon = jobs("soon", deadline=1.0)
+        policy.on_register(late)
+        policy.on_register(soon)
+        assert policy.select_next(None) is soon
+        assert policy.select_next(soon) is soon
+
+    def test_background_jobs_wait_for_deadlines(self, jobs):
+        policy = EarliestDeadlineFirst()
+        background = jobs("bg")
+        urgent = jobs("urgent", deadline=5.0)
+        policy.on_register(background)
+        policy.on_register(urgent)
+        assert policy.select_next(background) is urgent
+        policy.on_deregister(urgent)
+        assert policy.select_next(urgent) is background
+
+    def test_deadline_free_round_robin(self, jobs):
+        policy = EarliestDeadlineFirst()
+        a, b = jobs("a"), jobs("b")
+        policy.on_register(a)
+        policy.on_register(b)
+        assert policy.select_next(a) is b
+        assert policy.select_next(b) is a
+
+
+class TestShortestRemainingWork:
+    def test_less_remaining_wins(self, jobs):
+        policy = ShortestRemainingWork()
+        fresh, nearly_done = jobs("fresh"), jobs("nearly")
+        nearly_done.gpu_nodes_executed = 2  # diamond has 3 GPU nodes
+        policy.on_register(fresh)
+        policy.on_register(nearly_done)
+        assert policy.select_next(None) is nearly_done
+
+    def test_remaining_work_estimate(self, jobs):
+        job = jobs("a")
+        total = ShortestRemainingWork.remaining_work(job)
+        assert total == pytest.approx(job.graph.gpu_duration(100))
+        job.gpu_nodes_executed = job.graph.num_gpu_nodes
+        assert ShortestRemainingWork.remaining_work(job) == 0.0
+
+    def test_ties_round_robin(self, jobs):
+        policy = ShortestRemainingWork()
+        a, b = jobs("a"), jobs("b")
+        policy.on_register(a)
+        policy.on_register(b)
+        assert policy.select_next(a) is b
+
+
+class TestEndToEnd:
+    """Extended policies drive full serving runs correctly."""
+
+    def _run(self, policy_factory, tiny_graph, n_clients=4, deadlines=None):
+        sim = Simulator()
+        costs = CostModel(noise=0.0).exact(tiny_graph, 100)
+        profile = OlympianProfile.from_cost_profile(
+            costs, gpu_duration=tiny_graph.gpu_duration(100)
+        )
+        store = ProfileStore()
+        store.add(profile)
+        scheduler = OlympianScheduler(
+            sim, policy_factory(), quantum=0.5e-3, profiles=store
+        )
+        server = ModelServer(
+            sim, ServerConfig(track_memory=False, seed=4), scheduler=scheduler
+        )
+        server.load_model(tiny_graph)
+        clients = [
+            Client(sim, server, f"c{i}", tiny_graph.name, 100, num_batches=2)
+            for i in range(n_clients)
+        ]
+        for client in clients:
+            client.start()
+        if deadlines:
+            # Stamp deadlines on jobs as they are created.
+            def stamper():
+                yield sim.timeout(0.0)
+                for client, rel in zip(clients, deadlines):
+                    for job in client.jobs:
+                        job.deadline = rel
+
+            sim.process(stamper())
+        sim.run()
+        assert all(client.completed for client in clients)
+        return clients
+
+    def test_drr_completes_all(self, tiny_graph):
+        self._run(DeficitRoundRobin, tiny_graph)
+
+    def test_lottery_completes_all_and_roughly_fair(self, tiny_graph):
+        clients = self._run(lambda: LotteryScheduling(seed=3), tiny_graph)
+        shares = [c.total_gpu_duration() for c in clients]
+        assert max(shares) / min(shares) < 1.2
+
+    def test_edf_completes_all(self, tiny_graph):
+        self._run(EarliestDeadlineFirst, tiny_graph)
+
+    def test_srw_favours_short_jobs(self, tiny_graph, small_inception):
+        """Under SRPT, a short job finishes before a long one started
+        at the same time."""
+        sim = Simulator()
+        store = ProfileStore()
+        for graph in (tiny_graph, small_inception):
+            costs = CostModel(noise=0.0).exact(graph, 100)
+            store.add(OlympianProfile.from_cost_profile(
+                costs, gpu_duration=graph.gpu_duration(100)
+            ))
+        scheduler = OlympianScheduler(
+            sim, ShortestRemainingWork(), quantum=0.5e-3, profiles=store
+        )
+        server = ModelServer(
+            sim, ServerConfig(track_memory=False, seed=4), scheduler=scheduler
+        )
+        server.load_model(tiny_graph)
+        server.load_model(small_inception)
+        # small_inception at 2% scale has less GPU work than tiny_graph
+        # at batch 100, so it is the "short" job here.
+        short = Client(sim, server, "short", small_inception.name, 100,
+                       num_batches=1)
+        long = Client(sim, server, "long", tiny_graph.name, 100, num_batches=1)
+        long.start()
+        short.start()
+        sim.run()
+        assert short.finished_at < long.finished_at
+
+
+class TestAgedPriorityScheduling:
+    def test_strict_when_aging_zero(self, jobs):
+        from repro.core import AgedPriorityScheduling
+
+        policy = AgedPriorityScheduling(aging_rate=0.0)
+        low, high = jobs("low", priority=1), jobs("high", priority=5)
+        policy.on_register(low)
+        policy.on_register(high)
+        for _ in range(20):
+            assert policy.select_next(None) is high
+
+    def test_aging_prevents_starvation(self, jobs):
+        from repro.core import AgedPriorityScheduling
+
+        policy = AgedPriorityScheduling(aging_rate=0.5)
+        low, high = jobs("low", priority=1), jobs("high", priority=5)
+        policy.on_register(low)
+        policy.on_register(high)
+        winners = [policy.select_next(None).client_id for _ in range(30)]
+        # The low-priority job runs within a bounded number of quanta
+        # ((5-1)/0.5 = 8 waits) and keeps getting turns afterwards.
+        assert "low" in winners[:10]
+        assert winners.count("low") >= 2
+
+    def test_higher_aging_means_more_low_priority_turns(self, jobs):
+        from repro.core import AgedPriorityScheduling
+
+        def turns(rate):
+            policy = AgedPriorityScheduling(aging_rate=rate)
+            low, high = jobs("low", priority=1), jobs("high", priority=5)
+            policy.on_register(low)
+            policy.on_register(high)
+            winners = [policy.select_next(None).client_id for _ in range(50)]
+            return winners.count("low")
+
+        assert turns(1.0) > turns(0.2)
+
+    def test_age_resets_when_served(self, jobs):
+        from repro.core import AgedPriorityScheduling
+
+        policy = AgedPriorityScheduling(aging_rate=10.0)
+        low, high = jobs("low", priority=1), jobs("high", priority=5)
+        policy.on_register(low)
+        policy.on_register(high)
+        first = policy.select_next(None)   # high (no ages yet)
+        second = policy.select_next(first)  # low aged past high
+        assert second is low
+        third = policy.select_next(second)  # ages: high aged now
+        assert third is high
+
+    def test_validation(self):
+        from repro.core import AgedPriorityScheduling
+
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            AgedPriorityScheduling(aging_rate=-1.0)

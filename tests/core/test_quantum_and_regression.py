@@ -1,0 +1,159 @@
+"""Unit tests for Overhead-Q curves, Q selection, and linear cost models."""
+
+import pytest
+
+from repro.core import (
+    LinearFit,
+    OlympianProfile,
+    OverheadQCurve,
+    fit_linear,
+    fit_linear_profile_model,
+    select_quantum,
+)
+
+
+class TestOverheadQCurve:
+    def _curve(self):
+        return OverheadQCurve(
+            "m", 100,
+            [(1e-3, 0.05), (2e-3, 0.03), (4e-3, 0.02), (8e-3, 0.01)],
+        )
+
+    def test_points_sorted_on_init(self):
+        curve = OverheadQCurve("m", 100, [(4e-3, 0.02), (1e-3, 0.05)])
+        assert curve.q_values == [1e-3, 4e-3]
+
+    def test_interpolation_between_points(self):
+        curve = self._curve()
+        assert curve.overhead_at(1.5e-3) == pytest.approx(0.04)
+
+    def test_clamped_at_ends(self):
+        curve = self._curve()
+        assert curve.overhead_at(0.1e-3) == 0.05
+        assert curve.overhead_at(100e-3) == 0.01
+
+    def test_q_for_tolerance_interpolates_crossing(self):
+        curve = self._curve()
+        # tolerance 0.04 crosses halfway between 1ms and 2ms
+        assert curve.q_for_tolerance(0.04) == pytest.approx(1.5e-3)
+
+    def test_q_for_tolerance_at_first_point(self):
+        assert self._curve().q_for_tolerance(0.10) == 1e-3
+
+    def test_q_for_tolerance_unreachable_returns_largest(self):
+        assert self._curve().q_for_tolerance(0.001) == 8e-3
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            self._curve().q_for_tolerance(0.0)
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            OverheadQCurve("m", 100, [])
+        with pytest.raises(ValueError):
+            OverheadQCurve("m", 100, [(1e-3, 0.1), (1e-3, 0.2)])
+        with pytest.raises(ValueError):
+            OverheadQCurve("m", 100, [(0.0, 0.1)])
+
+    def test_noisy_non_monotonic_curve_handled(self):
+        curve = OverheadQCurve(
+            "m", 100, [(1e-3, 0.05), (2e-3, 0.02), (3e-3, 0.03), (4e-3, 0.01)]
+        )
+        q = curve.q_for_tolerance(0.025)
+        assert 1e-3 < q <= 2e-3
+
+
+class TestSelectQuantum:
+    def test_max_across_models(self):
+        fast = OverheadQCurve("fast", 100, [(1e-3, 0.01), (2e-3, 0.005)])
+        slow = OverheadQCurve("slow", 100, [(1e-3, 0.08), (2e-3, 0.02)])
+        # fast is fine at 1 ms, slow needs ~1.83 ms; pick the larger.
+        q = select_quantum([fast, slow], tolerance=0.025)
+        assert q > 1.5e-3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_quantum([], tolerance=0.025)
+
+
+class TestLinearFit:
+    def test_exact_two_point_fit(self):
+        fit = fit_linear([50, 100], [0.5, 1.0])
+        assert fit.predict(75) == pytest.approx(0.75)
+        assert fit.slope == pytest.approx(0.01)
+        assert fit.intercept == pytest.approx(0.0, abs=1e-12)
+
+    def test_least_squares_three_points(self):
+        fit = fit_linear([1, 2, 3], [2.1, 3.9, 6.0])
+        assert fit.predict(2) == pytest.approx(4.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [2])
+        with pytest.raises(ValueError):
+            fit_linear([1, 1], [2, 3])
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1])
+
+
+class TestLinearProfileModel:
+    def _profiles(self):
+        return [
+            OlympianProfile("m", 50, {0: 0.5, 1: 1.0}, gpu_duration=0.005,
+                            solo_runtime=0.006),
+            OlympianProfile("m", 100, {0: 1.0, 1: 2.0}, gpu_duration=0.010,
+                            solo_runtime=0.012),
+        ]
+
+    def test_interpolation(self):
+        model = fit_linear_profile_model(self._profiles())
+        predicted = model.predict(75)
+        assert predicted.cost(0) == pytest.approx(0.75)
+        assert predicted.cost(1) == pytest.approx(1.5)
+        assert predicted.gpu_duration == pytest.approx(0.0075)
+        assert predicted.batch_size == 75
+
+    def test_extrapolation(self):
+        model = fit_linear_profile_model(self._profiles())
+        predicted = model.predict(150)
+        assert predicted.cost(0) == pytest.approx(1.5)
+
+    def test_extrapolation_clamped_positive(self):
+        profiles = [
+            OlympianProfile("m", 50, {0: 1.0}, gpu_duration=0.005),
+            OlympianProfile("m", 100, {0: 0.5}, gpu_duration=0.004),
+        ]
+        model = fit_linear_profile_model(profiles)
+        predicted = model.predict(500)  # would extrapolate negative
+        assert predicted.cost(0) > 0
+        assert predicted.gpu_duration > 0
+
+    def test_node_missing_from_one_profile_gets_flat_fit(self):
+        profiles = [
+            OlympianProfile("m", 50, {0: 0.5}, gpu_duration=0.005),
+            OlympianProfile("m", 100, {0: 1.0, 7: 0.3}, gpu_duration=0.010),
+        ]
+        model = fit_linear_profile_model(profiles)
+        assert model.predict(75).cost(7) == pytest.approx(0.3)
+
+    def test_threshold_consistency_of_prediction(self):
+        """Predicted profiles preserve the rate, so thresholds scale."""
+        model = fit_linear_profile_model(self._profiles())
+        predicted = model.predict(75)
+        original_rate = self._profiles()[0].cost_rate
+        assert predicted.cost_rate == pytest.approx(original_rate, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear_profile_model(self._profiles()[:1])
+        mixed = self._profiles()
+        mixed[1].model_name = "other"
+        with pytest.raises(ValueError):
+            fit_linear_profile_model(mixed)
+        same_batch = self._profiles()
+        same_batch[1].batch_size = 50
+        with pytest.raises(ValueError):
+            fit_linear_profile_model(same_batch)
+        model = fit_linear_profile_model(self._profiles())
+        with pytest.raises(ValueError):
+            model.predict(0)

@@ -1,0 +1,154 @@
+"""Small-scale smoke tests for every figure/table entry point.
+
+The benchmarks run these at full experiment scale with shape
+assertions; here each function runs at minimal scale to verify the
+experiment plumbing and ``report()`` rendering end-to-end.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig3_tfserving_variability,
+    fig4_node_duration_cdf,
+    fig6_online_profiler_overhead,
+    fig8_overhead_q_curves,
+    fig11_fair_homogeneous,
+    fig12_scheduling_intervals,
+    fig13_fair_heterogeneous,
+    fig14_quantum_durations,
+    fig17_weighted_fair,
+    fig18_priority,
+    fig19_cpu_timer_ablation,
+    fig20_linear_cost_model,
+    fig21_portability,
+    scalability_sweep,
+    stability_check,
+    table2_model_inventory,
+    utilization_comparison,
+)
+
+SCALE = 0.02
+BATCHES = 2
+
+
+class TestFigureFunctions:
+    def test_fig3(self):
+        result = fig3_tfserving_variability(
+            num_clients=4, num_batches=BATCHES, scale=SCALE, seeds=(1, 2)
+        )
+        assert "Figure 3" in result.report()
+        assert result.max_spread >= 1.0
+
+    def test_fig4(self):
+        result = fig4_node_duration_cdf(batch_sizes=(10, 50), scale=SCALE)
+        assert "Figure 4" in result.report()
+        assert result.fraction_under(50, 1.0) == 1.0
+
+    def test_fig6(self):
+        result = fig6_online_profiler_overhead(
+            scale=SCALE, models=["vgg", "alexnet"]
+        )
+        assert "Figure 6" in result.report()
+        low, high = result.overhead_range
+        assert 0 < low <= high
+
+    def test_fig8(self):
+        result = fig8_overhead_q_curves(
+            scale=SCALE,
+            models=["inception_v4"],
+            q_values=(0.5e-3, 2e-3),
+            config=ExperimentConfig(scale=SCALE, curve_batches=2),
+        )
+        assert "Figure 8" in result.report()
+        assert len(result.curves) == 1
+
+    def test_fig11_and_12_share_run(self):
+        result, _baseline, fair = fig11_fair_homogeneous(
+            num_clients=3, num_batches=BATCHES, scale=SCALE,
+            config=ExperimentConfig(scale=SCALE, quantum=0.8e-3),
+            return_runs=True,
+        )
+        assert "Figure 11" in result.report()
+        intervals = fig12_scheduling_intervals(fair_run=fair)
+        assert "Figure 12" in intervals.report()
+        assert intervals.mean_interval > 0
+
+    def test_fig13(self):
+        result = fig13_fair_heterogeneous(scale=SCALE, num_batches=BATCHES)
+        assert "Figure 13" in result.report()
+        assert len(result.variants) == 2
+
+    def test_fig14(self):
+        result = fig14_quantum_durations(scale=SCALE, num_batches=BATCHES)
+        assert "Figure 14" in result.report()
+        lo, hi = result.mean_range
+        assert 0 < lo <= hi
+
+    def test_fig17(self):
+        result = fig17_weighted_fair(
+            weight_ratios=(2,), num_clients=4, num_batches=BATCHES, scale=SCALE
+        )
+        assert "Figure 17" in result.report()
+        assert 0 < result.finish_ratio(2) < 1.2
+
+    def test_fig18(self):
+        result = fig18_priority(
+            num_clients=4, num_batches=BATCHES, scale=SCALE
+        )
+        assert "Figure 18" in result.report()
+        high, low = result.two_level_class_means()
+        assert high < low
+
+    def test_fig19(self):
+        result = fig19_cpu_timer_ablation(
+            scale=SCALE, num_batches=BATCHES, quantum=0.8e-3
+        )
+        assert "Figure 19" in result.report()
+        assert result.hetero_mean_spread >= 1.0
+
+    def test_fig20(self):
+        result = fig20_linear_cost_model(
+            num_clients=3, num_batches=BATCHES, scale=SCALE,
+            test_batches=(25, 150),
+        )
+        assert "Figure 20" in result.report()
+        assert set(result.runs) == {25, 150}
+
+    def test_fig21(self):
+        result = fig21_portability(
+            num_clients=3, num_batches=BATCHES, scale=SCALE
+        )
+        assert "Figure 21" in result.report()
+        assert result.spread >= 1.0
+
+
+class TestTableFunctions:
+    def test_table2(self):
+        result = table2_model_inventory(scale=SCALE)
+        assert "Table 2" in result.report()
+        assert len(result.rows) == 7
+        for row in result.rows:
+            assert row.nodes == row.paper_nodes
+
+    def test_utilization(self):
+        result = utilization_comparison(
+            num_clients=3, num_batches=BATCHES, scale=SCALE
+        )
+        assert "utilization" in result.report().lower()
+        assert set(result.utilization) == {
+            "tf-serving", "fair", "weighted", "priority"
+        }
+
+    def test_scalability(self):
+        result = scalability_sweep(
+            client_counts=(5, 50), schedulers=("tf-serving",),
+            scale=0.01, pool_size=64,
+        )
+        assert "scalability" in result.report()
+        assert result.memory_client_limit > 0
+
+    def test_stability(self):
+        result = stability_check(repeats=4, scale=SCALE)
+        assert "stability" in result.report()
+        assert result.cost_summary.relative_stddev < 0.2

@@ -1,0 +1,55 @@
+"""Tests for the seed-replication harness."""
+
+import pytest
+
+from repro.experiments import (
+    ReplicationResult,
+    fairness_replication,
+    replicate,
+)
+
+
+class TestReplicate:
+    def test_metric_called_per_seed(self):
+        calls = []
+        result = replicate("probe", lambda seed: float(seed), seeds=(1, 2, 3))
+        assert result.values == [1.0, 2.0, 3.0]
+        assert result.mean == 2.0
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValueError):
+            replicate("x", float, seeds=(1,))
+
+    def test_confidence_interval_brackets_mean(self):
+        result = ReplicationResult("x", (1, 2, 3, 4), [1.0, 1.2, 0.8, 1.0])
+        lo, hi = result.confidence_interval()
+        assert lo < result.mean < hi
+
+    def test_ci_narrows_with_level(self):
+        result = ReplicationResult("x", (1, 2, 3, 4), [1.0, 1.2, 0.8, 1.0])
+        lo95, hi95 = result.confidence_interval(0.95)
+        lo80, hi80 = result.confidence_interval(0.80)
+        assert (hi80 - lo80) < (hi95 - lo95)
+
+    def test_ci_requires_replicates(self):
+        result = ReplicationResult("x", (1,), [1.0])
+        with pytest.raises(ValueError):
+            result.confidence_interval()
+
+    def test_zero_variance(self):
+        result = ReplicationResult("x", (1, 2), [2.0, 2.0])
+        lo, hi = result.confidence_interval()
+        assert lo == hi == 2.0
+
+
+class TestFairnessReplication:
+    def test_claim_is_seed_robust(self):
+        """The fairness separation holds across seeds with CIs apart."""
+        result = fairness_replication(
+            seeds=(1, 2, 3, 4, 5), num_clients=6, num_batches=3, scale=0.02,
+            quantum=0.8e-3,
+        )
+        assert result.separated()
+        assert result.olympian.mean < 1.05
+        assert result.baseline.mean > 1.1
+        assert "Replication" in result.report()

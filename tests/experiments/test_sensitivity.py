@@ -1,0 +1,38 @@
+"""Unit tests for the scale-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import scale_sensitivity
+
+
+class TestScaleSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scale_sensitivity(
+            scales=(0.02, 0.04), num_clients=4, num_batches=2,
+            quantum=0.8e-3,
+        )
+
+    def test_one_point_per_scale(self, result):
+        assert [p.scale for p in result.points] == [0.02, 0.04]
+
+    def test_qualitative_result_at_each_scale(self, result):
+        for point in result.points:
+            assert point.olympian_spread < point.baseline_spread
+
+    def test_quanta_track_fixed_q(self, result):
+        for point in result.points:
+            assert point.mean_quantum == pytest.approx(
+                result.quantum, rel=0.3
+            )
+
+    def test_invariant_predicate(self, result):
+        assert result.invariant() == all(
+            p.olympian_spread < 1.1 < p.baseline_spread and p.overhead < 0.10
+            for p in result.points
+        )
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "Scale sensitivity" in text
+        assert "0.02" in text and "0.04" in text

@@ -1,0 +1,123 @@
+"""Unit tests for GPU memory accounting and the NVML sampler."""
+
+import pytest
+
+from repro.gpu import (
+    Driver,
+    GpuDevice,
+    GpuOutOfMemory,
+    GTX_1080_TI,
+    MemoryPool,
+    NvmlSampler,
+)
+from repro.graph import DurationModel, Node, op_by_name
+from repro.sim import Simulator
+
+
+class TestMemoryPool:
+    def test_allocate_and_release(self):
+        pool = MemoryPool(1000)
+        pool.allocate("a", 400)
+        assert pool.used_mb == 400
+        assert pool.free_mb == 600
+        assert pool.release("a") == 400
+        assert pool.used_mb == 0
+
+    def test_oom_raises_with_details(self):
+        pool = MemoryPool(1000)
+        pool.allocate("a", 800)
+        with pytest.raises(GpuOutOfMemory) as excinfo:
+            pool.allocate("b", 300)
+        assert excinfo.value.requested_mb == 300
+        assert excinfo.value.free_mb == 200
+
+    def test_double_allocate_same_owner_rejected(self):
+        pool = MemoryPool(1000)
+        pool.allocate("a", 100)
+        with pytest.raises(ValueError):
+            pool.allocate("a", 100)
+
+    def test_release_unknown_owner_raises(self):
+        with pytest.raises(KeyError):
+            MemoryPool(1000).release("ghost")
+
+    def test_fits_and_holds(self):
+        pool = MemoryPool(1000)
+        assert pool.fits(1000)
+        pool.allocate("a", 600)
+        assert not pool.fits(500)
+        assert pool.holds("a")
+        assert not pool.holds("b")
+
+    def test_paper_scalability_limit(self):
+        """§4.3: a 1080 Ti holds about 45 Inception clients at 240 MB."""
+        pool = MemoryPool(GTX_1080_TI.memory_mb)
+        count = 0
+        while pool.fits(240):
+            pool.allocate(f"client{count}", 240)
+            count += 1
+        assert 43 <= count <= 48
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+        pool = MemoryPool(10)
+        with pytest.raises(ValueError):
+            pool.allocate("a", -1)
+
+
+class TestNvmlSampler:
+    def _busy_device(self, sim, busy_ms=10, idle_ms=10):
+        driver = Driver(sim)
+        device = GpuDevice(sim, GTX_1080_TI, driver)
+        node = Node(0, "n", op_by_name("conv2d"),
+                    DurationModel.from_reference(busy_ms * 1e-3, 100, 0.0))
+
+        def load():
+            # busy for busy_ms, idle for idle_ms, repeated
+            for _ in range(10):
+                kernel = driver.launch("a", node, 100)
+                yield kernel.done
+                yield sim.timeout(idle_ms * 1e-3)
+
+        sim.process(load())
+        return device
+
+    def test_sampler_converges_to_duty_cycle(self, sim):
+        device = self._busy_device(sim, busy_ms=10, idle_ms=10)
+        sampler = NvmlSampler(sim, device, period=1e-4)
+        sampler.start()
+        sim.run(until=0.19)
+        sampler.stop()
+        measured = sampler.utilization()
+        assert measured == pytest.approx(0.5, abs=0.08)
+
+    def test_sampler_idempotent_start(self, sim):
+        device = self._busy_device(sim)
+        sampler = NvmlSampler(sim, device, period=1e-3)
+        sampler.start()
+        sampler.start()
+        sim.run(until=0.01)
+        sampler.stop()
+        times = [t for t, _ in sampler.samples]
+        assert len(times) == len(set(times))  # no duplicated sampling loops
+
+    def test_window_restriction(self, sim):
+        device = self._busy_device(sim)
+        sampler = NvmlSampler(sim, device, period=1e-3)
+        sampler.start()
+        sim.run(until=0.05)
+        sampler.stop()
+        full = sampler.utilization()
+        early = sampler.utilization(0.0, 0.01)  # first kernel: all busy
+        assert early >= full
+
+    def test_no_samples_is_zero(self, sim):
+        device = self._busy_device(sim)
+        sampler = NvmlSampler(sim, device, period=1e-3)
+        assert sampler.utilization() == 0.0
+
+    def test_period_validation(self, sim):
+        device = self._busy_device(sim)
+        with pytest.raises(ValueError):
+            NvmlSampler(sim, device, period=0.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the GPU power/energy model."""
+
+import pytest
+
+from repro.gpu import (
+    Driver,
+    GpuDevice,
+    GTX_1080_TI,
+    GTX_1080_TI_POWER,
+    PowerModel,
+    energy_joules,
+)
+from repro.graph import DurationModel, Node, op_by_name
+from repro.sim import Simulator
+
+
+class TestPowerModel:
+    def test_average_power_interpolates(self):
+        model = PowerModel("m", idle_watts=50, busy_watts=250)
+        assert model.average_power(0.0) == 50
+        assert model.average_power(1.0) == 250
+        assert model.average_power(0.5) == 150
+
+    def test_energy_formula(self):
+        model = PowerModel("m", idle_watts=50, busy_watts=250)
+        # 10 s window, 4 s busy: 50*10 + 200*4 = 1300 J
+        assert model.energy(busy_time=4.0, window=10.0) == pytest.approx(1300)
+
+    def test_idle_only_energy(self):
+        model = PowerModel("m", idle_watts=50, busy_watts=250)
+        assert model.energy(0.0, 10.0) == pytest.approx(500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel("m", idle_watts=-1, busy_watts=100)
+        with pytest.raises(ValueError):
+            PowerModel("m", idle_watts=100, busy_watts=50)
+        model = PowerModel("m", 50, 250)
+        with pytest.raises(ValueError):
+            model.average_power(1.5)
+        with pytest.raises(ValueError):
+            model.energy(5.0, 4.0)
+
+
+class TestEnergyFromDevice:
+    def test_energy_tracks_busy_trace(self, sim):
+        driver = Driver(sim)
+        device = GpuDevice(sim, GTX_1080_TI, driver)
+        node = Node(0, "k", op_by_name("conv2d"),
+                    DurationModel.from_reference(10e-3, 100, 0.0))
+        driver.launch("a", node, 100)
+        sim.run()
+        window_end = 20e-3
+        busy = 10e-3 + GTX_1080_TI.kernel_overhead
+        expected = GTX_1080_TI_POWER.energy(busy, window_end)
+        measured = energy_joules(device, GTX_1080_TI_POWER, 0.0, window_end)
+        assert measured == pytest.approx(expected, rel=1e-6)
+
+    def test_idle_device_burns_idle_power(self, sim):
+        driver = Driver(sim)
+        device = GpuDevice(sim, GTX_1080_TI, driver)
+        energy = energy_joules(device, GTX_1080_TI_POWER, 0.0, 1.0)
+        assert energy == pytest.approx(GTX_1080_TI_POWER.idle_watts)
+
+    def test_window_validation(self, sim):
+        driver = Driver(sim)
+        device = GpuDevice(sim, GTX_1080_TI, driver)
+        with pytest.raises(ValueError):
+            energy_joules(device, GTX_1080_TI_POWER, 1.0, 1.0)

@@ -1,0 +1,60 @@
+"""Unit tests for the GraphBuilder fluent API."""
+
+import pytest
+
+from repro.graph import GraphBuilder
+
+
+class TestBuilder:
+    def test_sequential_ids(self):
+        b = GraphBuilder("g")
+        root = b.add("a", "decode", 1e-6, 100)
+        child = b.add("b", "conv2d", 1e-6, 100, parents=[root])
+        assert (root.node_id, child.node_id) == (0, 1)
+
+    def test_len_tracks_nodes(self):
+        b = GraphBuilder("g")
+        root = b.add("a", "decode", 1e-6, 100)
+        b.add("b", "conv2d", 1e-6, 100, parents=[root])
+        assert len(b) == 2
+
+    def test_chain_returns_tail(self):
+        b = GraphBuilder("g")
+        root = b.add("a", "decode", 1e-6, 100)
+        tail = b.chain("c", "conv2d", [1e-6, 2e-6, 3e-6], 100, root)
+        graph = b.build()
+        assert graph.num_nodes == 4
+        assert tail.name == "c/2"
+        assert graph.depth() == 4
+
+    def test_join_requires_parents(self):
+        b = GraphBuilder("g")
+        with pytest.raises(ValueError):
+            b.join("j", "elementwise", 1e-6, 100, parents=[])
+
+    def test_join_merges_branches(self):
+        b = GraphBuilder("g")
+        root = b.add("r", "decode", 1e-6, 100)
+        left = b.add("l", "conv2d", 1e-6, 100, parents=[root])
+        right = b.add("x", "conv2d", 1e-6, 100, parents=[root])
+        join = b.join("j", "elementwise", 1e-6, 100, parents=[left, right])
+        assert join.num_parents == 2
+        graph = b.build()
+        assert graph.num_nodes == 4
+
+    def test_batch_scaling_override(self):
+        b = GraphBuilder("g")
+        node = b.add("a", "conv2d", 100e-6, 100, batch_scaling=0.0)
+        assert node.duration(1) == node.duration(1000)
+
+    def test_unknown_op_raises(self):
+        b = GraphBuilder("g")
+        with pytest.raises(KeyError):
+            b.add("a", "warpdrive", 1e-6, 100)
+
+    def test_build_validates(self):
+        b = GraphBuilder("g")
+        b.add("a", "decode", 1e-6, 100)
+        b.add("b", "decode", 1e-6, 100)  # second root
+        with pytest.raises(Exception):
+            b.build()

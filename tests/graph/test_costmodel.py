@@ -1,0 +1,82 @@
+"""Unit tests for the cost-model API (the TF cost profiler analogue)."""
+
+import random
+
+import pytest
+
+from repro.graph import CostModel, NodeCostProfile
+
+
+class TestNodeCostProfile:
+    def test_total_cost(self):
+        profile = NodeCostProfile("m", 100, {0: 1.0, 1: 2.0})
+        assert profile.total_cost == 3.0
+
+    def test_missing_node_costs_zero(self):
+        profile = NodeCostProfile("m", 100, {0: 1.0})
+        assert profile.cost(99) == 0.0
+
+    def test_scaled(self):
+        profile = NodeCostProfile("m", 100, {0: 1.0, 1: 2.0})
+        doubled = profile.scaled(2.0)
+        assert doubled.cost(1) == 4.0
+        assert profile.cost(1) == 2.0  # original untouched
+
+
+class TestCostModel:
+    def test_exact_profile_is_inflated_duration(self, diamond_graph):
+        model = CostModel(noise=0.0)
+        profile = model.exact(diamond_graph, 100)
+        for node in diamond_graph.nodes:
+            if node.is_gpu:
+                expected = node.duration(100) * node.op.cost_inflation
+                assert profile.cost(node.node_id) == pytest.approx(expected)
+
+    def test_gpu_only_excludes_cpu_nodes(self, diamond_graph):
+        profile = CostModel(noise=0.0).exact(diamond_graph, 100, gpu_only=True)
+        cpu_ids = {n.node_id for n in diamond_graph.nodes if not n.is_gpu}
+        assert not cpu_ids & set(profile.node_costs)
+
+    def test_gpu_only_false_includes_cpu(self, diamond_graph):
+        profile = CostModel(noise=0.0).exact(diamond_graph, 100, gpu_only=False)
+        assert len(profile.node_costs) == diamond_graph.num_nodes
+
+    def test_measure_noise_perturbs_costs(self, diamond_graph):
+        model = CostModel(noise=0.05)
+        rng = random.Random(0)
+        a = model.measure(diamond_graph, 100, rng=rng)
+        b = model.measure(diamond_graph, 100, rng=rng)
+        assert a.node_costs != b.node_costs
+
+    def test_measure_noise_is_small_relative(self, diamond_graph):
+        model = CostModel(noise=0.02)
+        rng = random.Random(1)
+        exact = model.exact(diamond_graph, 100)
+        measured = model.measure(diamond_graph, 100, rng=rng)
+        for node_id, cost in measured.node_costs.items():
+            assert cost == pytest.approx(exact.cost(node_id), rel=0.25)
+
+    def test_zero_noise_measure_equals_exact(self, diamond_graph):
+        model = CostModel(noise=0.0)
+        assert (
+            model.measure(diamond_graph, 100).node_costs
+            == model.exact(diamond_graph, 100).node_costs
+        )
+
+    def test_costs_never_negative(self, diamond_graph):
+        model = CostModel(noise=1.0)  # absurd noise
+        rng = random.Random(2)
+        for _ in range(20):
+            profile = model.measure(diamond_graph, 100, rng=rng)
+            assert all(c >= 0 for c in profile.node_costs.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(noise=-0.1)
+        with pytest.raises(ValueError):
+            CostModel(instrumentation_cost=-1e-6)
+
+    def test_online_slowdown_constant_per_node(self, diamond_graph):
+        model = CostModel(instrumentation_cost=13e-6)
+        node = diamond_graph.nodes[1]
+        assert model.online_slowdown(node, 100) == 13e-6

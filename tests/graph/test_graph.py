@@ -1,0 +1,99 @@
+"""Unit tests for the Graph DAG container and its validation."""
+
+import pytest
+
+from repro.graph import (
+    Device,
+    DurationModel,
+    Graph,
+    GraphBuilder,
+    GraphValidationError,
+    Node,
+    op_by_name,
+)
+
+
+def make_node(node_id, op="conv2d", duration=100e-6):
+    return Node(
+        node_id, f"n{node_id}", op_by_name(op),
+        DurationModel.from_reference(duration, 100, op_by_name(op).batch_scaling),
+    )
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph("empty", [])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph("dup", [make_node(0), make_node(0)])
+
+    def test_two_roots_rejected_without_explicit_root(self):
+        a, b = make_node(0), make_node(1)
+        with pytest.raises(GraphValidationError):
+            Graph("two-roots", [a, b])
+
+    def test_cycle_rejected(self):
+        a, b = make_node(0), make_node(1)
+        a.add_child(b)
+        b.add_child(a)
+        with pytest.raises(GraphValidationError):
+            Graph("cycle", [a, b], root=a)
+
+    def test_unreachable_node_rejected(self):
+        a, b, c = make_node(0), make_node(1), make_node(2)
+        a.add_child(b)
+        c.add_child(c)  # self-loop, unreachable from a
+        with pytest.raises(GraphValidationError):
+            Graph("unreachable", [a, b, c], root=a)
+
+    def test_root_with_parents_rejected(self):
+        a, b = make_node(0), make_node(1)
+        a.add_child(b)
+        with pytest.raises(GraphValidationError):
+            Graph("bad-root", [a, b], root=b)
+
+
+class TestStructure:
+    def test_counts_by_device(self, diamond_graph):
+        assert diamond_graph.num_nodes == 4
+        assert diamond_graph.num_gpu_nodes == 3
+        assert diamond_graph.num_cpu_nodes == 1
+
+    def test_nodes_on_device(self, diamond_graph):
+        cpu_nodes = diamond_graph.nodes_on(Device.CPU)
+        assert [n.name for n in cpu_nodes] == ["root"]
+
+    def test_node_lookup(self, diamond_graph):
+        assert diamond_graph.node(0).name == "root"
+
+    def test_topological_order_respects_edges(self, diamond_graph):
+        order = [n.name for n in diamond_graph.topological_order()]
+        assert order.index("root") < order.index("left")
+        assert order.index("left") < order.index("out")
+        assert order.index("right") < order.index("out")
+        assert len(order) == 4
+
+    def test_depth_of_diamond(self, diamond_graph):
+        assert diamond_graph.depth() == 3
+
+    def test_depth_of_chain(self):
+        b = GraphBuilder("chain")
+        root = b.add("r", "decode", 1e-6, 100)
+        b.chain("c", "conv2d", [1e-6] * 5, 100, root)
+        assert b.build().depth() == 6
+
+
+class TestDurations:
+    def test_gpu_duration_is_sum_of_gpu_nodes(self, diamond_graph):
+        expected = sum(
+            n.duration(100) for n in diamond_graph.nodes if n.is_gpu
+        )
+        assert diamond_graph.gpu_duration(100) == pytest.approx(expected)
+
+    def test_total_duration_includes_cpu(self, diamond_graph):
+        assert diamond_graph.total_duration(100) > diamond_graph.gpu_duration(100)
+
+    def test_durations_scale_with_batch(self, diamond_graph):
+        assert diamond_graph.gpu_duration(200) > diamond_graph.gpu_duration(50)

@@ -1,0 +1,107 @@
+"""Unit tests for the op catalogue, duration models and nodes."""
+
+import pytest
+
+from repro.graph import (
+    OP_CATALOG,
+    Device,
+    DurationModel,
+    Node,
+    OpType,
+    op_by_name,
+)
+
+
+class TestOpCatalog:
+    def test_known_ops_present(self):
+        for name in ("conv2d", "matmul", "elementwise", "pool", "shape", "decode"):
+            assert name in OP_CATALOG
+
+    def test_gpu_ops_are_async(self):
+        for op in OP_CATALOG.values():
+            if op.device is Device.GPU:
+                assert op.is_async
+
+    def test_cpu_ops_are_sync(self):
+        for op in OP_CATALOG.values():
+            if op.device is Device.CPU:
+                assert not op.is_async
+
+    def test_lookup_unknown_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="conv2d"):
+            op_by_name("not_an_op")
+
+    def test_gpu_cost_inflation_order_of_magnitude(self):
+        # C_j >> D_j in the paper (ratio ~15); every GPU op must carry a
+        # similar inflation so the ratio is stable across graph phases.
+        gpu_inflations = [
+            op.cost_inflation
+            for op in OP_CATALOG.values()
+            if op.device is Device.GPU
+        ]
+        assert min(gpu_inflations) > 10
+        assert max(gpu_inflations) / min(gpu_inflations) < 1.2
+
+    def test_invalid_optype_validation(self):
+        with pytest.raises(ValueError):
+            OpType("bad", Device.GPU, batch_scaling=1.5, cost_inflation=1.0, is_async=True)
+        with pytest.raises(ValueError):
+            OpType("bad", Device.GPU, batch_scaling=0.5, cost_inflation=0.0, is_async=True)
+
+
+class TestDurationModel:
+    def test_linear_evaluation(self):
+        model = DurationModel(fixed=10e-6, slope=1e-6)
+        assert model.duration(100) == pytest.approx(110e-6)
+
+    def test_from_reference_recovers_reference(self):
+        model = DurationModel.from_reference(100e-6, ref_batch=50, batch_scaling=0.8)
+        assert model.duration(50) == pytest.approx(100e-6)
+
+    def test_from_reference_scaling_split(self):
+        model = DurationModel.from_reference(100e-6, ref_batch=100, batch_scaling=0.8)
+        # Fixed part is 20% of reference; batch part scales linearly.
+        assert model.fixed == pytest.approx(20e-6)
+        assert model.duration(200) == pytest.approx(180e-6)
+
+    def test_zero_scaling_is_batch_independent(self):
+        model = DurationModel.from_reference(50e-6, ref_batch=10, batch_scaling=0.0)
+        assert model.duration(1) == model.duration(1000) == pytest.approx(50e-6)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            DurationModel(fixed=-1.0, slope=0.0)
+        with pytest.raises(ValueError):
+            DurationModel(fixed=0.0, slope=-1.0)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            DurationModel(1e-6, 0.0).duration(0)
+
+
+class TestNode:
+    def _node(self, node_id=0, op="conv2d"):
+        return Node(node_id, f"n{node_id}", op_by_name(op),
+                    DurationModel.from_reference(100e-6, 100, 0.9))
+
+    def test_device_and_async_derive_from_op(self):
+        gpu = self._node(op="conv2d")
+        cpu = self._node(op="shape")
+        assert gpu.is_gpu and gpu.is_async
+        assert not cpu.is_gpu and not cpu.is_async
+        assert gpu.device is Device.GPU
+
+    def test_add_child_updates_parent_count(self):
+        parent = self._node(0)
+        child = self._node(1)
+        parent.add_child(child)
+        assert child.num_parents == 1
+        assert parent.children == [child]
+
+    def test_diamond_parent_counts(self):
+        nodes = [self._node(i) for i in range(4)]
+        nodes[0].add_child(nodes[1])
+        nodes[0].add_child(nodes[2])
+        nodes[1].add_child(nodes[3])
+        nodes[2].add_child(nodes[3])
+        assert nodes[3].num_parents == 2

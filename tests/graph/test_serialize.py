@@ -1,0 +1,69 @@
+"""Round-trip tests for graph and profile serialization."""
+
+import pytest
+
+from repro.graph import (
+    CostModel,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_graph,
+    save_profile,
+)
+
+
+class TestGraphRoundTrip:
+    def test_dict_round_trip_preserves_structure(self, diamond_graph):
+        restored = graph_from_dict(graph_to_dict(diamond_graph))
+        assert restored.name == diamond_graph.name
+        assert restored.num_nodes == diamond_graph.num_nodes
+        assert restored.num_gpu_nodes == diamond_graph.num_gpu_nodes
+        assert restored.root.name == diamond_graph.root.name
+
+    def test_dict_round_trip_preserves_edges(self, diamond_graph):
+        restored = graph_from_dict(graph_to_dict(diamond_graph))
+        for original, copy in zip(diamond_graph.nodes, restored.nodes):
+            assert [c.node_id for c in original.children] == [
+                c.node_id for c in copy.children
+            ]
+
+    def test_dict_round_trip_preserves_durations(self, diamond_graph):
+        restored = graph_from_dict(graph_to_dict(diamond_graph))
+        for original, copy in zip(diamond_graph.nodes, restored.nodes):
+            assert copy.duration(137) == pytest.approx(original.duration(137))
+
+    def test_file_round_trip(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(diamond_graph, path)
+        restored = load_graph(path)
+        assert restored.num_nodes == diamond_graph.num_nodes
+
+    def test_zoo_graph_round_trip(self, tiny_graph):
+        restored = graph_from_dict(graph_to_dict(tiny_graph))
+        assert restored.num_nodes == tiny_graph.num_nodes
+        assert restored.gpu_duration(100) == pytest.approx(
+            tiny_graph.gpu_duration(100)
+        )
+
+
+class TestProfileRoundTrip:
+    def test_dict_round_trip(self, diamond_graph):
+        profile = CostModel(noise=0.0).exact(diamond_graph, 100)
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert restored.model_name == profile.model_name
+        assert restored.batch_size == profile.batch_size
+        assert restored.node_costs == profile.node_costs
+
+    def test_node_ids_stay_ints(self, diamond_graph):
+        profile = CostModel(noise=0.0).exact(diamond_graph, 100)
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert all(isinstance(k, int) for k in restored.node_costs)
+
+    def test_file_round_trip(self, diamond_graph, tmp_path):
+        profile = CostModel(noise=0.0).exact(diamond_graph, 100)
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        assert load_profile(path).total_cost == pytest.approx(profile.total_cost)

@@ -1,0 +1,158 @@
+"""End-to-end integration tests of the paper's qualitative claims.
+
+These run small-scale versions of the headline experiments and assert
+the *shape* of each result: who wins, in what direction, by roughly
+what factor.  The benchmarks in ``benchmarks/`` run larger versions and
+print the full tables.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.metrics import jain_index, mean, spread_ratio
+from repro.workloads import (
+    complex_workload,
+    heterogeneous_workload,
+    homogeneous_workload,
+    with_priorities,
+    with_weights,
+)
+
+FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
+CLIENTS = 6
+BATCHES = 4
+
+
+@pytest.fixture(scope="module")
+def fair_vs_baseline():
+    specs = homogeneous_workload(num_clients=CLIENTS, num_batches=BATCHES)
+    baseline = run_workload(specs, scheduler="tf-serving", config=FAST)
+    fair = run_workload(specs, scheduler="fair", config=FAST)
+    return baseline, fair
+
+
+class TestFairSharing:
+    def test_olympian_equalizes_finish_times(self, fair_vs_baseline):
+        """Figure 11: Olympian's finish times are nearly identical."""
+        _, fair = fair_vs_baseline
+        assert spread_ratio(fair.finish_time_list()) < 1.05
+
+    def test_tf_serving_less_predictable(self, fair_vs_baseline):
+        """Figure 3/11: stock TF-Serving spreads finish times."""
+        baseline, fair = fair_vs_baseline
+        assert spread_ratio(baseline.finish_time_list()) > spread_ratio(
+            fair.finish_time_list()
+        )
+
+    def test_overhead_is_small(self, fair_vs_baseline):
+        """Olympian costs only a few percent of makespan."""
+        baseline, fair = fair_vs_baseline
+        base = max(baseline.finish_time_list())
+        olym = max(fair.finish_time_list())
+        assert (olym - base) / base < 0.10
+
+    def test_gpu_shares_fair(self, fair_vs_baseline):
+        """Jain index of total per-client GPU time is ~1 under fair."""
+        _, fair = fair_vs_baseline
+        shares = list(fair.client_gpu_durations().values())
+        assert jain_index(shares) > 0.99
+
+    def test_interleaving_at_millisecond_scale(self, fair_vs_baseline):
+        """Headline claim: DNNs interleave at 1-2 ms timescales."""
+        _, fair = fair_vs_baseline
+        intervals = fair.scheduling_intervals()
+        assert 0.2e-3 < mean(intervals) < 5e-3
+
+    def test_quanta_match_target(self, fair_vs_baseline):
+        """Per-quantum GPU durations track the configured Q."""
+        _, fair = fair_vs_baseline
+        for values in fair.quantum_gpu_durations().values():
+            assert mean(values) == pytest.approx(FAST.quantum, rel=0.25)
+
+
+class TestHeterogeneous:
+    def test_quanta_equal_across_models(self):
+        """Figure 14: Inception and ResNet get the same GPU per quantum."""
+        specs = heterogeneous_workload(clients_per_model=3, num_batches=BATCHES)
+        fair = run_workload(specs, scheduler="fair", config=FAST)
+        means = {
+            cid: mean(values)
+            for cid, values in fair.quantum_gpu_durations().items()
+        }
+        assert spread_ratio(list(means.values())) < 1.15
+
+    def test_complex_workload_runs_and_shares(self):
+        """Figure 16 shape at reduced scale: 7 models, comparable quanta."""
+        specs = complex_workload(clients_per_model=1, num_batches=2)
+        fair = run_workload(specs, scheduler="fair", config=FAST)
+        means = [
+            mean(values)
+            for values in fair.quantum_gpu_durations().values()
+            if len(values) >= 2
+        ]
+        assert len(means) >= 5
+        assert spread_ratio(means) < 1.3
+
+
+class TestWeightedFair:
+    def test_finish_ratio_tracks_theory(self):
+        """Figure 17: class finish-time ratio approximates (k+1)/2k."""
+        k = 2
+        specs = with_weights(
+            homogeneous_workload(num_clients=CLIENTS, num_batches=BATCHES),
+            [k] * (CLIENTS // 2) + [1] * (CLIENTS - CLIENTS // 2),
+        )
+        run = run_workload(specs, scheduler="weighted", config=FAST)
+        times = run.finish_times
+        heavy = mean([times[f"c{i}"] for i in range(CLIENTS // 2)])
+        light = mean([times[f"c{i}"] for i in range(CLIENTS // 2, CLIENTS)])
+        expected = (k + 1) / (2 * k)
+        assert heavy / light == pytest.approx(expected, abs=0.08)
+
+
+class TestPriority:
+    def test_strict_priorities_serialize(self):
+        """Figure 18: distinct priorities run one client after another."""
+        specs = with_priorities(
+            homogeneous_workload(num_clients=4, num_batches=2),
+            [4, 3, 2, 1],
+        )
+        run = run_workload(specs, scheduler="priority", config=FAST)
+        times = [run.finish_times[f"c{i}"] for i in range(4)]
+        assert times == sorted(times)
+        # Serialisation: each client's finish is roughly i+1 equal steps.
+        steps = [times[0]] + [b - a for a, b in zip(times, times[1:])]
+        assert all(step > 0.3 * steps[0] for step in steps)
+
+    def test_two_level_classes(self):
+        """Figure 18: the high class finishes before the low class starts
+        finishing, at roughly half the total time."""
+        specs = with_priorities(
+            homogeneous_workload(num_clients=CLIENTS, num_batches=BATCHES),
+            [1] * (CLIENTS // 2) + [0] * (CLIENTS - CLIENTS // 2),
+        )
+        run = run_workload(specs, scheduler="priority", config=FAST)
+        times = run.finish_times
+        high = [times[f"c{i}"] for i in range(CLIENTS // 2)]
+        low = [times[f"c{i}"] for i in range(CLIENTS // 2, CLIENTS)]
+        assert max(high) < min(low)
+        assert mean(high) == pytest.approx(mean(low) / 2, rel=0.2)
+
+
+class TestCpuTimerAblation:
+    def test_timer_less_fair_on_heterogeneous_gpu_durations(self):
+        """Figure 19 (right): wall-clock quanta give unequal GPU time
+        per quantum across models, cost-based quanta do not."""
+        specs = heterogeneous_workload(clients_per_model=3, num_batches=BATCHES)
+        timer = run_workload(specs, scheduler="timer", config=FAST)
+        fair = run_workload(specs, scheduler="fair", config=FAST)
+
+        def mean_spread(run):
+            means = [
+                mean(values)
+                for values in run.quantum_gpu_durations().values()
+                if len(values) >= 2
+            ]
+            return spread_ratio(means)
+
+        assert mean_spread(timer) > mean_spread(fair)

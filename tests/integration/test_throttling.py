@@ -1,0 +1,102 @@
+"""Integration: thermal throttling mid-run and drift detection.
+
+The §7.3 scenario end-to-end: a profile taken on a healthy device goes
+stale when the device throttles mid-run.  The scheduler keeps charging
+profiled costs, so delivered quanta inflate — and the monitor catches
+it.
+"""
+
+import pytest
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+    QuantumMonitor,
+)
+from repro.graph import CostModel
+from repro.metrics import mean, spread_ratio
+from repro.serving import Client, ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def stack(tiny_graph):
+    sim = Simulator()
+    costs = CostModel(noise=0.0).exact(tiny_graph, 100)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=tiny_graph.gpu_duration(100)
+    )
+    store = ProfileStore()
+    store.add(profile)
+    scheduler = OlympianScheduler(sim, FairSharing(), 2e-3, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=4), scheduler=scheduler
+    )
+    server.load_model(tiny_graph)
+    return sim, server, scheduler
+
+
+class TestThrottling:
+    def test_clock_change_inflates_quanta_and_alerts(self, stack, tiny_graph):
+        sim, server, scheduler = stack
+        monitor = QuantumMonitor(server, scheduler, tolerance=0.3, window=16)
+        clients = [
+            Client(sim, server, f"c{i}", tiny_graph.name, 100, num_batches=4)
+            for i in range(3)
+        ]
+        for client in clients:
+            client.start()
+
+        def throttle():
+            # Let the healthy phase fill the monitor's window first.
+            yield sim.timeout(0.08)
+            server.device.set_clock_factor(server.device.clock_factor * 2.0)
+
+        sim.process(throttle())
+        sim.run()
+        monitor.scan()
+        # The throttled device delivers ~2x Q per threshold: drift.
+        assert monitor.drifting_models == [tiny_graph.name]
+        alert = monitor.alerts[0]
+        assert alert.relative_error > 0.3
+        assert alert.time > 0.08
+
+    def test_no_alert_without_throttling(self, stack, tiny_graph):
+        sim, server, scheduler = stack
+        monitor = QuantumMonitor(server, scheduler, tolerance=0.3, window=16)
+        clients = [
+            Client(sim, server, f"c{i}", tiny_graph.name, 100, num_batches=4)
+            for i in range(3)
+        ]
+        for client in clients:
+            client.start()
+        sim.run()
+        monitor.scan()
+        assert monitor.alerts == []
+
+    def test_fairness_survives_throttling(self, stack, tiny_graph):
+        """Throttling slows everyone equally: fairness is preserved
+        even while absolute quanta drift (the monitor's job is accuracy,
+        not fairness)."""
+        sim, server, scheduler = stack
+        clients = [
+            Client(sim, server, f"c{i}", tiny_graph.name, 100, num_batches=4)
+            for i in range(3)
+        ]
+        for client in clients:
+            client.start()
+
+        def throttle():
+            yield sim.timeout(0.05)
+            server.device.set_clock_factor(server.device.clock_factor * 1.8)
+
+        sim.process(throttle())
+        sim.run()
+        assert spread_ratio([c.finish_time for c in clients]) < 1.05
+
+    def test_clock_factor_validation(self, stack):
+        _, server, _ = stack
+        with pytest.raises(ValueError):
+            server.device.set_clock_factor(0.0)

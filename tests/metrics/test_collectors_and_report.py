@@ -1,0 +1,129 @@
+"""Unit tests for metric collectors and report rendering."""
+
+import pytest
+
+from repro.core import FairSharing, OlympianProfile, OlympianScheduler, ProfileStore
+from repro.graph import CostModel
+from repro.metrics import (
+    all_active_window,
+    client_gpu_durations,
+    finish_times,
+    format_ms,
+    format_percent,
+    format_ratio,
+    format_seconds,
+    format_us,
+    quantum_gpu_durations,
+    render_table,
+    scheduling_interval_durations,
+    serving_window,
+    window_utilization,
+)
+from repro.serving import Client, ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def fair_run(tiny_graph):
+    sim = Simulator()
+    costs = CostModel(noise=0.0).exact(tiny_graph, 100)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=tiny_graph.gpu_duration(100)
+    )
+    store = ProfileStore()
+    store.add(profile)
+    scheduler = OlympianScheduler(
+        sim, FairSharing(), quantum=0.5e-3, profiles=store
+    )
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=2), scheduler=scheduler
+    )
+    server.load_model(tiny_graph)
+    clients = [
+        Client(sim, server, f"c{i}", tiny_graph.name, 100, num_batches=3)
+        for i in range(3)
+    ]
+    for client in clients:
+        client.start()
+    sim.run()
+    return sim, server, scheduler, clients
+
+
+class TestCollectors:
+    def test_finish_times_keys(self, fair_run):
+        _, _, _, clients = fair_run
+        times = finish_times(clients)
+        assert set(times) == {"c0", "c1", "c2"}
+        assert all(t > 0 for t in times.values())
+
+    def test_all_active_window_inside_serving_window(self, fair_run):
+        _, _, _, clients = fair_run
+        active_lo, active_hi = all_active_window(clients)
+        serve_lo, serve_hi = serving_window(clients)
+        assert serve_lo <= active_lo < active_hi <= serve_hi
+
+    def test_quantum_durations_grouped_by_client(self, fair_run):
+        _, server, scheduler, clients = fair_run
+        durations = quantum_gpu_durations(server, scheduler)
+        assert set(durations) <= {"c0", "c1", "c2"}
+        for values in durations.values():
+            assert all(v >= 0 for v in values)
+
+    def test_quantum_durations_sum_conserved(self, fair_run):
+        """Summed per-tenure GPU durations equal each job's total GPU
+        duration (no busy time lost or double-counted)."""
+        _, server, scheduler, clients = fair_run
+        durations = quantum_gpu_durations(server, scheduler, window=None)
+        for client in clients:
+            total = sum(durations.get(client.client_id, []))
+            expected = client.total_gpu_duration()
+            assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_window_filter_reduces_count(self, fair_run):
+        _, server, scheduler, clients = fair_run
+        unwindowed = quantum_gpu_durations(server, scheduler, window=None)
+        windowed = quantum_gpu_durations(
+            server, scheduler, window=all_active_window(clients)
+        )
+        assert sum(map(len, windowed.values())) <= sum(
+            map(len, unwindowed.values())
+        )
+
+    def test_scheduling_intervals_positive(self, fair_run):
+        _, _, scheduler, _ = fair_run
+        intervals = scheduling_interval_durations(scheduler)
+        assert intervals
+        assert all(i >= 0 for i in intervals)
+
+    def test_client_gpu_durations_near_equal_under_fair(self, fair_run):
+        _, server, _, clients = fair_run
+        durations = client_gpu_durations(server, clients)
+        values = list(durations.values())
+        assert max(values) / min(values) < 1.1
+
+    def test_window_utilization_bounds(self, fair_run):
+        _, server, _, clients = fair_run
+        utilization = window_utilization(server, clients)
+        assert 0.5 < utilization <= 1.0
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_render_table_wrong_width_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_formatters(self):
+        assert format_seconds(1.5) == "1.50 s"
+        assert format_ms(0.0018) == "1.80 ms"
+        assert format_us(1.2e-3) == "1200 us"
+        assert format_percent(0.025) == "2.5 %"
+        assert format_ratio(1.701) == "1.70x"

@@ -1,0 +1,106 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+
+from repro.metrics import (
+    cdf_at,
+    empirical_cdf,
+    jain_index,
+    mean,
+    percentile,
+    relative_stddev,
+    spread_ratio,
+    stddev,
+    summarize,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stddev_sample(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_stddev_single_value_is_zero(self):
+        assert stddev([5.0]) == 0.0
+
+    def test_relative_stddev(self):
+        values = [90, 100, 110]
+        assert relative_stddev(values) == pytest.approx(stddev(values) / 100)
+
+    def test_relative_stddev_zero_mean_raises(self):
+        with pytest.raises(ValueError):
+            relative_stddev([-1, 1])
+
+
+class TestPercentileAndCdf:
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_percentile_bounds(self):
+        values = [3, 1, 2]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 3
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_empirical_cdf(self):
+        cdf = empirical_cdf([3, 1, 2])
+        assert cdf == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
+
+    def test_cdf_at(self):
+        values = [1, 2, 3, 4]
+        assert cdf_at(values, 2.5) == 0.5
+        assert cdf_at(values, 0) == 0.0
+        assert cdf_at(values, 10) == 1.0
+
+
+class TestFairnessMetrics:
+    def test_jain_equal_shares_is_one(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_jain_single_hog_is_one_over_n(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_jain_intermediate(self):
+        assert 0.25 < jain_index([10, 5, 0, 0]) < 1.0
+
+    def test_jain_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([0, 0])
+
+    def test_spread_ratio(self):
+        assert spread_ratio([42, 50, 70]) == pytest.approx(70 / 42)
+
+    def test_spread_requires_positive(self):
+        with pytest.raises(ValueError):
+            spread_ratio([0, 1])
+
+
+class TestSummary:
+    def test_summarize_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.relative_stddev == pytest.approx(stddev([1, 2, 3]) / 2)
+        assert s.spread_ratio == 3.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,93 @@
+"""Property-based tests for the request batcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import Batcher
+from repro.sim import Simulator
+
+
+@given(
+    arrivals=st.lists(
+        st.floats(min_value=0.0, max_value=0.05), min_size=1, max_size=40
+    ),
+    max_batch=st.integers(min_value=1, max_value=8),
+    timeout=st.floats(min_value=1e-4, max_value=0.02),
+    service=st.floats(min_value=1e-5, max_value=5e-3),
+)
+@settings(max_examples=50, deadline=None)
+def test_batcher_conservation_and_bounds(arrivals, max_batch, timeout, service):
+    """Every request is served exactly once, in arrival order, in a
+    batch no larger than the cap; no batch waits longer than the
+    deadline once its first request arrived (modulo in-flight serve)."""
+    sim = Simulator()
+    batches = []
+
+    def dispatch(batch):
+        batches.append([req.payload for req in batch])
+        done = sim.event()
+
+        def serve():
+            yield sim.timeout(service)
+            done.succeed(len(batches))
+
+        sim.process(serve())
+        return done
+
+    batcher = Batcher(
+        sim, dispatch, max_batch_size=max_batch, batch_timeout=timeout
+    )
+    served = []
+
+    def request(index, delay):
+        yield sim.timeout(delay)
+        result = yield batcher.submit(index)
+        served.append((index, result))
+
+    for index, delay in enumerate(arrivals):
+        sim.process(request(index, delay))
+    sim.run()
+
+    # Conservation: each request served exactly once.
+    assert sorted(index for index, _ in served) == list(range(len(arrivals)))
+    flattened = [item for batch in batches for item in batch]
+    assert sorted(flattened) == list(range(len(arrivals)))
+    # Bounds: no batch exceeds the cap.
+    assert all(len(batch) <= max_batch for batch in batches)
+    # Within a batch, requests keep arrival order (FIFO).
+    order = {index: delay for index, delay in enumerate(arrivals)}
+    for batch in batches:
+        delays = [order[item] for item in batch]
+        assert delays == sorted(delays)
+    # Queue fully drained.
+    assert batcher.queue_length == 0
+    assert batcher.requests_batched == len(arrivals)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    max_batch=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_simultaneous_arrivals_pack_batches_fully(n, max_batch):
+    """Requests arriving together pack into ceil(n / max_batch) batches,
+    all but the last full."""
+    sim = Simulator()
+    batches = []
+
+    def dispatch(batch):
+        batches.append(len(batch))
+        done = sim.event()
+        done.succeed(None)
+        return done
+
+    batcher = Batcher(sim, dispatch, max_batch_size=max_batch,
+                      batch_timeout=1e-3)
+    for index in range(n):
+        batcher.submit(index)
+    sim.run()
+    expected_batches = -(-n // max_batch)
+    assert len(batches) == expected_batches
+    assert all(size == max_batch for size in batches[:-1])
+    assert sum(batches) == n

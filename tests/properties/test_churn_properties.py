@@ -1,0 +1,179 @@
+"""Property-based tests for serving under churn.
+
+Randomised arrival times, cancellations, and timeouts must never break
+the serving system's core invariants: no lost work, no leaked threads
+or memory, clean scheduler state, conserved GPU accounting.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.graph import CostModel
+from repro.serving import Client, JobCancelled, ModelServer, ServerConfig
+from repro.sim import Simulator
+from repro.zoo import generate_graph
+from repro.zoo.spec import DurationMixture, ModelSpec
+
+SPEC = ModelSpec(
+    name="churn_model",
+    display_name="Churn",
+    ref_batch=100,
+    num_nodes=80,
+    num_gpu_nodes=66,
+    solo_runtime=0.003,
+    branch_width=3,
+    mixture=DurationMixture(),
+)
+GRAPH = generate_graph(SPEC, scale=1.0, seed=2)
+
+
+def build(olympian, seed):
+    sim = Simulator()
+    scheduler = None
+    if olympian:
+        costs = CostModel(noise=0.0).exact(GRAPH, 100)
+        profile = OlympianProfile.from_cost_profile(
+            costs, gpu_duration=GRAPH.gpu_duration(100)
+        )
+        store = ProfileStore()
+        store.add(profile)
+        scheduler = OlympianScheduler(sim, FairSharing(), 0.4e-3, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=seed), scheduler=scheduler
+    )
+    server.load_model(GRAPH)
+    return sim, server
+
+
+@given(
+    olympian=st.booleans(),
+    seed=st.integers(min_value=0, max_value=500),
+    arrivals=st.lists(
+        st.floats(min_value=0.0, max_value=5e-3), min_size=1, max_size=6
+    ),
+    cancel_after=st.lists(
+        st.one_of(st.none(), st.floats(min_value=1e-4, max_value=3e-3)),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_cancellation_churn_keeps_invariants(
+    olympian, seed, arrivals, cancel_after
+):
+    """Jobs arriving at random times, some cancelled at random times."""
+    sim, server = build(olympian, seed)
+    n = min(len(arrivals), len(cancel_after))
+    outcomes = []
+
+    def job_flow(index):
+        yield sim.timeout(arrivals[index])
+        job = server.make_job(f"j{index}", GRAPH.name, 100)
+        done = server.submit(job)
+        deadline = cancel_after[index]
+        if deadline is not None:
+            yield sim.any_of([done, sim.timeout(deadline)])
+            if not done.triggered:
+                server.cancel(job)
+            try:
+                yield done
+            except JobCancelled:
+                outcomes.append(("cancelled", job))
+                return
+        else:
+            try:
+                yield done
+            except JobCancelled:
+                outcomes.append(("cancelled", job))
+                return
+        outcomes.append(("completed", job))
+
+    for index in range(n):
+        sim.process(job_flow(index))
+    sim.run()
+
+    # Every job reached a terminal state.
+    assert len(outcomes) == n
+    # Completed jobs executed everything; cancelled jobs stopped early.
+    for state, job in outcomes:
+        if state == "completed":
+            assert job.nodes_executed == GRAPH.num_nodes
+        else:
+            assert job.cancelled
+            assert job.nodes_executed < GRAPH.num_nodes
+        # Gang fully drained either way.
+        assert job.gang_threads_now == 0
+    # No leaked pool threads.
+    assert server.pool.in_use == 0
+    # GPU accounting conserved: per-job busy time sums to device busy.
+    per_job = sum(server.gpu_duration_of(job) for _state, job in outcomes)
+    assert per_job == pytest.approx(server.device.busy_time, rel=1e-9)
+    # Scheduler left clean.
+    if olympian:
+        assert server.scheduler.holder is None
+        assert server.scheduler.policy.active_jobs == []
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    timeouts=st.lists(
+        st.floats(min_value=5e-4, max_value=50e-3), min_size=1, max_size=4
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_client_timeouts_never_wedge_the_client(seed, timeouts):
+    """Whatever the timeout, the client finishes its batch loop."""
+    sim, server = build(True, seed)
+    clients = [
+        Client(
+            sim, server, f"c{i}", GRAPH.name, 100,
+            num_batches=2, batch_timeout=timeout,
+        )
+        for i, timeout in enumerate(timeouts)
+    ]
+    for client in clients:
+        client.start()
+    sim.run()
+    for client in clients:
+        assert client.completed
+        assert 0 <= client.timed_out_batches <= 2
+    assert server.pool.in_use == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    num_gpus=st.integers(min_value=1, max_value=3),
+    n_clients=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=15, deadline=None)
+def test_multigpu_conserves_work(seed, num_gpus, n_clients):
+    """Cluster runs execute every kernel exactly once, somewhere."""
+    from repro.cluster import MultiGpuServer, StickyClientPlacement
+
+    sim = Simulator()
+    cluster = MultiGpuServer(
+        sim,
+        num_gpus,
+        config=ServerConfig(track_memory=False, seed=seed),
+        placement=StickyClientPlacement(),
+    )
+    cluster.load_model(GRAPH)
+    clients = [
+        Client(sim, cluster, f"c{i}", GRAPH.name, 100, num_batches=2)
+        for i in range(n_clients)
+    ]
+    for client in clients:
+        client.start()
+    sim.run()
+    assert all(client.completed for client in clients)
+    executed = sum(
+        worker.server.device.kernels_executed for worker in cluster.workers
+    )
+    assert executed == n_clients * 2 * GRAPH.num_gpu_nodes

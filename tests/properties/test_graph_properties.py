@@ -1,0 +1,107 @@
+"""Property-based tests for graph generation and accounting math."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OlympianProfile
+from repro.metrics import jain_index, spread_ratio
+from repro.zoo import generate_graph
+from repro.zoo.spec import DurationMixture, ModelSpec
+
+
+def make_spec(num_gpu, num_cpu, runtime, width):
+    return ModelSpec(
+        name="prop_model",
+        display_name="Prop",
+        ref_batch=100,
+        num_nodes=num_gpu + num_cpu,
+        num_gpu_nodes=num_gpu,
+        solo_runtime=runtime,
+        branch_width=width,
+        mixture=DurationMixture(),
+    )
+
+
+@given(
+    num_gpu=st.integers(min_value=30, max_value=400),
+    num_cpu=st.integers(min_value=6, max_value=80),
+    runtime=st.floats(min_value=0.005, max_value=0.5),
+    width=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_generated_graphs_always_valid_and_calibrated(
+    num_gpu, num_cpu, runtime, width, seed
+):
+    spec = make_spec(num_gpu, num_cpu, runtime, width)
+    graph = generate_graph(spec, scale=1.0, seed=seed)
+    graph.validate()  # DAG, connected, consistent in-degrees
+    assert graph.num_nodes == spec.num_nodes
+    assert graph.num_gpu_nodes == spec.num_gpu_nodes
+    # GPU duration calibrated to the spec's target at the ref batch.
+    assert graph.gpu_duration(spec.ref_batch) == pytest.approx(
+        spec.target_gpu_duration, rel=1e-6
+    )
+    # Exactly one root, reachable everything (validate checks), and the
+    # topological order covers every node once.
+    order = list(graph.topological_order())
+    assert len(order) == graph.num_nodes
+    assert len({n.node_id for n in order}) == graph.num_nodes
+
+
+@given(
+    batch_a=st.integers(min_value=1, max_value=512),
+    batch_b=st.integers(min_value=1, max_value=512),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_durations_monotone_in_batch(batch_a, batch_b, seed):
+    spec = make_spec(60, 12, 0.02, 3)
+    graph = generate_graph(spec, scale=1.0, seed=seed)
+    lo, hi = sorted((batch_a, batch_b))
+    for node in graph.nodes:
+        assert node.duration(lo) <= node.duration(hi) + 1e-15
+
+
+@given(
+    costs=st.dictionaries(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=1e-9, max_value=1.0),
+        min_size=1,
+        max_size=50,
+    ),
+    duration=st.floats(min_value=1e-6, max_value=10.0),
+    quantum=st.floats(min_value=1e-6, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_threshold_identity(costs, duration, quantum):
+    """T_j / Q == C_j / D_j for any profile (the paper's §3.3 identity)."""
+    profile = OlympianProfile("m", 100, costs, gpu_duration=duration)
+    assert profile.threshold(quantum) / quantum == pytest.approx(
+        profile.cost_rate
+    )
+    # Thresholds are homogeneous of degree 1 in Q.
+    assert profile.threshold(2 * quantum) == pytest.approx(
+        2 * profile.threshold(quantum)
+    )
+
+
+@given(values=st.lists(st.floats(min_value=1e-3, max_value=1e3), min_size=1,
+                       max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_jain_index_bounds(values):
+    index = jain_index(values)
+    assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+@given(
+    values=st.lists(st.floats(min_value=1e-3, max_value=1e3), min_size=1,
+                    max_size=30),
+    factor=st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_fairness_metrics_scale_invariant(values, factor):
+    scaled = [v * factor for v in values]
+    assert jain_index(scaled) == pytest.approx(jain_index(values), rel=1e-6)
+    assert spread_ratio(scaled) == pytest.approx(spread_ratio(values), rel=1e-6)

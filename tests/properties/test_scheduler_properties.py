@@ -1,0 +1,156 @@
+"""Property-based tests for scheduler invariants.
+
+These drive full (small) serving simulations from generated parameters
+and assert invariants the paper's mechanism must uphold regardless of
+workload: conservation of executed work, token exclusivity, tenure
+contiguity, and policy-independence of completion.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    PriorityScheduling,
+    ProfileStore,
+    WeightedFairSharing,
+)
+from repro.graph import CostModel
+from repro.serving import Client, ModelServer, ServerConfig
+from repro.sim import Simulator
+from repro.zoo import generate_graph
+from repro.zoo.spec import DurationMixture, ModelSpec
+
+SPEC = ModelSpec(
+    name="prop_sched_model",
+    display_name="PropSched",
+    ref_batch=100,
+    num_nodes=90,
+    num_gpu_nodes=75,
+    solo_runtime=0.004,
+    branch_width=3,
+    mixture=DurationMixture(),
+)
+
+
+def run_simulation(policy_cls, n_clients, quantum, seed, num_batches=2,
+                   weights=None, priorities=None):
+    graph = generate_graph(SPEC, scale=1.0, seed=1)
+    costs = CostModel(noise=0.0).exact(graph, 100)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=graph.gpu_duration(100)
+    )
+    store = ProfileStore()
+    store.add(profile)
+    sim = Simulator()
+    scheduler = OlympianScheduler(
+        sim, policy_cls(), quantum=quantum, profiles=store
+    )
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=seed), scheduler=scheduler
+    )
+    server.load_model(graph)
+    clients = []
+    for i in range(n_clients):
+        clients.append(
+            Client(
+                sim, server, f"c{i}", graph.name, 100,
+                num_batches=num_batches,
+                weight=(weights[i] if weights else 1),
+                priority=(priorities[i] if priorities else 0),
+            )
+        )
+    for client in clients:
+        client.start()
+    sim.run()
+    return sim, server, scheduler, clients, graph
+
+
+policies = st.sampled_from([FairSharing, WeightedFairSharing, PriorityScheduling])
+
+
+@given(
+    policy_cls=policies,
+    n_clients=st.integers(min_value=1, max_value=5),
+    quantum=st.floats(min_value=2e-4, max_value=5e-3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_all_work_completes_under_any_policy(policy_cls, n_clients, quantum, seed):
+    """No policy/quantum combination loses or deadlocks work."""
+    _, server, _, clients, graph = run_simulation(
+        policy_cls, n_clients, quantum, seed
+    )
+    assert all(client.completed for client in clients)
+    expected_kernels = n_clients * 2 * graph.num_gpu_nodes
+    assert server.device.kernels_executed == expected_kernels
+
+
+@given(
+    policy_cls=policies,
+    n_clients=st.integers(min_value=2, max_value=5),
+    quantum=st.floats(min_value=2e-4, max_value=2e-3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_tenures_contiguous_and_cover_serving(policy_cls, n_clients, quantum, seed):
+    """Tenure intervals tile time: no gaps, no overlaps."""
+    _, _, scheduler, _, _ = run_simulation(policy_cls, n_clients, quantum, seed)
+    tenures = scheduler.closed_tenures()
+    assert tenures
+    for prev, nxt in zip(tenures, tenures[1:]):
+        assert nxt.start == pytest.approx(prev.end, abs=1e-12)
+    for tenure in tenures:
+        assert tenure.end >= tenure.start
+
+
+@given(
+    n_clients=st.integers(min_value=2, max_value=5),
+    quantum=st.floats(min_value=2e-4, max_value=2e-3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_gpu_time_conserved_across_jobs(n_clients, quantum, seed):
+    """Per-job traced GPU durations sum to the device's total busy time."""
+    _, server, _, clients, _ = run_simulation(
+        FairSharing, n_clients, quantum, seed
+    )
+    per_job = sum(
+        server.gpu_duration_of(job)
+        for client in clients
+        for job in client.jobs
+    )
+    assert per_job == pytest.approx(server.device.busy_time, rel=1e-9)
+
+
+@given(
+    n_clients=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=10, deadline=None)
+def test_fair_sharing_equalizes_gpu_shares(n_clients, seed):
+    """While all clients are active, fair sharing gives equal totals."""
+    from repro.metrics import jain_index
+
+    _, server, _, clients, _ = run_simulation(
+        FairSharing, n_clients, 5e-4, seed, num_batches=3
+    )
+    shares = [client.total_gpu_duration() for client in clients]
+    assert jain_index(shares) > 0.98
+
+
+@given(
+    quantum=st.floats(min_value=2e-4, max_value=2e-3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=10, deadline=None)
+def test_priority_orders_completions(quantum, seed):
+    """Strictly decreasing priorities finish in priority order."""
+    _, _, _, clients, _ = run_simulation(
+        PriorityScheduling, 3, quantum, seed, priorities=[3, 2, 1]
+    )
+    times = [client.finish_time for client in clients]
+    assert times == sorted(times)

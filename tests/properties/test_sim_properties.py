@@ -1,0 +1,134 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                       max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_clock_is_monotone_and_matches_max_delay(delays):
+    """Time only moves forward; final time equals the largest delay."""
+    sim = Simulator()
+    observed = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.process(proc(delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == max(delays)
+    assert len(observed) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+    ),
+    cutoff=st.floats(min_value=0.0, max_value=120.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_run_until_is_prefix_of_full_run(delays, cutoff):
+    """Running to a cutoff then to completion equals one full run."""
+
+    def simulate(stop_first):
+        sim = Simulator()
+        log = []
+
+        def proc(tag, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, tag))
+
+        for tag, delay in enumerate(delays):
+            sim.process(proc(tag, delay))
+        if stop_first:
+            sim.run(until=cutoff)
+            sim.run()
+        else:
+            sim.run()
+        return log
+
+    assert simulate(True) == simulate(False)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    durations=st.lists(
+        st.floats(min_value=1e-6, max_value=10.0), min_size=1, max_size=40
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_resource_never_exceeds_capacity_and_all_finish(capacity, durations):
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    finished = []
+    max_in_use = [0]
+
+    def worker(duration):
+        request = resource.request()
+        yield request
+        max_in_use[0] = max(max_in_use[0], resource.in_use)
+        assert resource.in_use <= capacity
+        yield sim.timeout(duration)
+        resource.release(request)
+        finished.append(duration)
+
+    for duration in durations:
+        sim.process(worker(duration))
+    sim.run()
+    assert len(finished) == len(durations)
+    assert max_in_use[0] <= capacity
+    assert resource.in_use == 0
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_store_preserves_fifo_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(len(items)):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(consumer())
+    for item in items:
+        store.put(item)
+    sim.run()
+    assert got == items
+
+
+@given(
+    n_producers=st.integers(min_value=1, max_value=5),
+    per_producer=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=30, deadline=None)
+def test_store_conserves_items_across_producers(n_producers, per_producer):
+    sim = Simulator()
+    store = Store(sim)
+    total = n_producers * per_producer
+    got = []
+
+    def producer(tag):
+        for i in range(per_producer):
+            yield sim.timeout(0.1 * (i + tag))
+            store.put((tag, i))
+
+    def consumer():
+        for _ in range(total):
+            item = yield store.get()
+            got.append(item)
+
+    for tag in range(n_producers):
+        sim.process(producer(tag))
+    sim.process(consumer())
+    sim.run()
+    assert len(got) == total
+    assert len(set(got)) == total

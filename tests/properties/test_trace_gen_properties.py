@@ -1,0 +1,84 @@
+"""Property-based tests for trace generation and persistence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    RequestTrace,
+    TraceRequest,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+
+
+@given(
+    rate=st.floats(min_value=0.5, max_value=500.0),
+    duration=st.floats(min_value=0.5, max_value=20.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_poisson_trace_invariants(rate, duration, seed):
+    trace = poisson_trace(rate, duration, "m", 10, seed=seed)
+    arrivals = [r.arrival for r in trace]
+    # Sorted, within the window, strictly positive gaps.
+    assert arrivals == sorted(arrivals)
+    assert all(0 < a <= duration for a in arrivals)
+    # Count within loose Poisson bounds (6 sigma).
+    expected = rate * duration
+    assert abs(len(trace) - expected) <= 6 * max(expected ** 0.5, 1.0)
+
+
+@given(
+    base=st.floats(min_value=0.5, max_value=20.0),
+    peak_multiplier=st.floats(min_value=1.0, max_value=20.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_diurnal_trace_bounded_by_peak(base, peak_multiplier, seed):
+    peak = base * peak_multiplier
+    trace = diurnal_trace(base, peak, 10.0, "m", 10, seed=seed)
+    arrivals = [r.arrival for r in trace]
+    assert arrivals == sorted(arrivals)
+    assert all(0 < a <= 10.0 for a in arrivals)
+    # Never more arrivals than a peak-rate Poisson would plausibly give.
+    assert len(trace) <= peak * 10.0 + 6 * max((peak * 10.0) ** 0.5, 1.0)
+
+
+@given(
+    burst_rate=st.floats(min_value=10.0, max_value=500.0),
+    mean_burst=st.floats(min_value=0.05, max_value=1.0),
+    mean_idle=st.floats(min_value=0.05, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_bursty_trace_invariants(burst_rate, mean_burst, mean_idle, seed):
+    trace = bursty_trace(
+        burst_rate=burst_rate, idle_rate=0.1, mean_burst=mean_burst,
+        mean_idle=mean_idle, duration=10.0, model="m", batch_size=10,
+        seed=seed,
+    )
+    arrivals = [r.arrival for r in trace]
+    assert arrivals == sorted(arrivals)
+    assert all(0 < a <= 10.0 + 1e-9 for a in arrivals)
+
+
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.integers(min_value=1, max_value=512),
+            st.one_of(st.none(), st.floats(min_value=1e-3, max_value=10.0)),
+        ),
+        min_size=0,
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_trace_json_round_trip_identity(entries):
+    trace = RequestTrace(
+        [TraceRequest(a, "model", b, slo) for a, b, slo in entries]
+    )
+    restored = RequestTrace.from_dict(trace.to_dict())
+    assert restored.requests == trace.requests

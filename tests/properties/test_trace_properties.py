@@ -1,0 +1,82 @@
+"""Property-based tests for interval-union math (the Figure 5 metric)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import busy_fraction, merge_intervals, union_duration
+
+spans_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1e3),
+    ).map(lambda t: (min(t), max(t))),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(spans=spans_strategy)
+@settings(max_examples=100, deadline=None)
+def test_union_never_exceeds_sum(spans):
+    union = union_duration(spans)
+    total = sum(end - start for start, end in spans)
+    assert union <= total + 1e-9
+    assert union >= 0
+
+
+@given(spans=spans_strategy)
+@settings(max_examples=100, deadline=None)
+def test_union_at_least_longest_span(spans):
+    if spans:
+        longest = max(end - start for start, end in spans)
+        assert union_duration(spans) >= longest - 1e-9
+
+
+@given(spans=spans_strategy)
+@settings(max_examples=100, deadline=None)
+def test_merged_intervals_disjoint_and_sorted(spans):
+    merged = merge_intervals(spans)
+    for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+        assert e1 < s2
+    assert union_duration(spans) == sum(e - s for s, e in merged)
+
+
+@given(spans=spans_strategy)
+@settings(max_examples=100, deadline=None)
+def test_union_is_idempotent_under_merge(spans):
+    merged = merge_intervals(spans)
+    assert union_duration(merged) == union_duration(spans)
+
+
+@given(spans=spans_strategy)
+@settings(max_examples=100, deadline=None)
+def test_union_invariant_to_duplication(spans):
+    assert union_duration(spans + spans) == union_duration(spans)
+
+
+@given(
+    spans=spans_strategy,
+    window=st.tuples(
+        st.floats(min_value=0.0, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1e3),
+    ).map(lambda t: (min(t), max(t))),
+)
+@settings(max_examples=100, deadline=None)
+def test_busy_fraction_bounded(spans, window):
+    lo, hi = window
+    fraction = busy_fraction(spans, lo, hi)
+    assert 0.0 <= fraction <= 1.0 + 1e-9
+
+
+@given(spans=spans_strategy, split=st.floats(min_value=0.0, max_value=1e3))
+@settings(max_examples=100, deadline=None)
+def test_union_is_additive_over_a_partition(spans, split):
+    """Clipping the spans at a point partitions the union length."""
+    left = [(s, min(e, split)) for s, e in spans if s < split]
+    right = [(max(s, split), e) for s, e in spans if e > split]
+    left = [(s, e) for s, e in left if e > s]
+    right = [(s, e) for s, e in right if e > s]
+    total = union_duration(spans)
+    assert union_duration(left) + union_duration(right) == (
+        __import__("pytest").approx(total, rel=1e-9, abs=1e-9)
+    )

@@ -1,0 +1,80 @@
+"""Unit tests for the request batcher."""
+
+import pytest
+
+from repro.serving import Batcher
+from repro.sim import Simulator
+
+
+def make_batcher(sim, max_batch=4, timeout=0.01, service_time=0.001):
+    batches = []
+
+    def dispatch(batch):
+        batches.append([req.payload for req in batch])
+        done = sim.event()
+
+        def serve():
+            yield sim.timeout(service_time)
+            done.succeed(f"batch-{len(batches)}")
+
+        sim.process(serve())
+        return done
+
+    return Batcher(sim, dispatch, max_batch_size=max_batch, batch_timeout=timeout), batches
+
+
+class TestBatcher:
+    def test_size_trigger(self, sim):
+        batcher, batches = make_batcher(sim, max_batch=3)
+        for i in range(3):
+            batcher.submit(i)
+        sim.run()
+        assert batches == [[0, 1, 2]]
+
+    def test_timeout_trigger(self, sim):
+        batcher, batches = make_batcher(sim, max_batch=10, timeout=0.01)
+        batcher.submit("only")
+        sim.run()
+        assert batches == [["only"]]
+
+    def test_requests_resolved_with_batch_result(self, sim):
+        batcher, _ = make_batcher(sim, max_batch=2)
+        results = []
+
+        def client(tag):
+            value = yield batcher.submit(tag)
+            results.append((tag, value))
+
+        sim.process(client("a"))
+        sim.process(client("b"))
+        sim.run()
+        assert results == [("a", "batch-1"), ("b", "batch-1")]
+
+    def test_multiple_batches_in_order(self, sim):
+        batcher, batches = make_batcher(sim, max_batch=2, timeout=0.5)
+        for i in range(5):
+            batcher.submit(i)
+        sim.run()
+        assert batches == [[0, 1], [2, 3], [4]]
+
+    def test_no_double_flush_from_stale_deadline(self, sim):
+        batcher, batches = make_batcher(sim, max_batch=2, timeout=0.01)
+        batcher.submit(1)
+        batcher.submit(2)  # size flush; deadline must not fire again
+        sim.run()
+        assert batches == [[1, 2]]
+        assert batcher.queue_length == 0
+
+    def test_stats(self, sim):
+        batcher, _ = make_batcher(sim, max_batch=2)
+        for i in range(4):
+            batcher.submit(i)
+        sim.run()
+        assert batcher.batches_dispatched == 2
+        assert batcher.requests_batched == 4
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Batcher(sim, lambda b: None, max_batch_size=0)
+        with pytest.raises(ValueError):
+            Batcher(sim, lambda b: None, batch_timeout=-1.0)

@@ -1,0 +1,239 @@
+"""Tests for cooperative job cancellation and client batch timeouts."""
+
+import pytest
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.graph import CostModel
+from repro.serving import Client, JobCancelled, ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+def make_server(graph, sim=None, olympian=False, quantum=0.5e-3, seed=0):
+    sim = sim or Simulator()
+    scheduler = None
+    if olympian:
+        costs = CostModel(noise=0.0).exact(graph, 100)
+        profile = OlympianProfile.from_cost_profile(
+            costs, gpu_duration=graph.gpu_duration(100)
+        )
+        store = ProfileStore()
+        store.add(profile)
+        scheduler = OlympianScheduler(sim, FairSharing(), quantum, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=seed), scheduler=scheduler
+    )
+    server.load_model(graph)
+    return sim, server
+
+
+class TestCancellation:
+    def test_cancel_mid_run_fails_done_event(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        job = server.make_job("c", tiny_graph.name, 100)
+        caught = []
+
+        def waiter():
+            done = server.submit(job)
+            try:
+                yield done
+            except JobCancelled as exc:
+                caught.append(exc)
+
+        def canceller():
+            yield sim.timeout(tiny_graph.gpu_duration(100) / 4)
+            assert server.cancel(job)
+
+        sim.process(waiter())
+        sim.process(canceller())
+        sim.run()
+        assert len(caught) == 1
+        assert caught[0].job_id == job.job_id
+        assert 0 < caught[0].nodes_executed < tiny_graph.num_nodes
+
+    def test_cancelled_job_stops_consuming_gpu(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        job = server.make_job("c", tiny_graph.name, 100)
+
+        def canceller():
+            yield sim.timeout(tiny_graph.gpu_duration(100) / 4)
+            server.cancel(job)
+
+        def waiter():
+            done = server.submit(job)
+            try:
+                yield done
+            except JobCancelled:
+                pass
+
+        sim.process(waiter())
+        sim.process(canceller())
+        sim.run()
+        # Well under the full job's GPU demand was consumed.
+        assert server.gpu_duration_of(job) < 0.6 * tiny_graph.gpu_duration(100)
+        # Gang fully drained; pool clean.
+        assert job.gang_threads_now == 0
+        assert server.pool.in_use == 0
+
+    def test_cancel_completed_job_is_noop(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        job = server.make_job("c", tiny_graph.name, 100)
+        server.submit(job)
+        sim.run()
+        assert job.complete
+        assert not server.cancel(job)
+
+    def test_double_cancel_is_noop(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        job = server.make_job("c", tiny_graph.name, 100)
+
+        def script():
+            done = server.submit(job)
+            yield sim.timeout(1e-3)
+            assert server.cancel(job)
+            assert not server.cancel(job)
+            try:
+                yield done
+            except JobCancelled:
+                pass
+
+        sim.process(script())
+        sim.run()
+
+    def test_cancel_suspended_job_under_olympian(self, tiny_graph):
+        """Cancelling a parked (non-holder) gang drains it promptly."""
+        sim, server = make_server(tiny_graph, olympian=True, quantum=10.0)
+        holder = server.make_job("holder", tiny_graph.name, 100)
+        parked = server.make_job("parked", tiny_graph.name, 100)
+        outcome = []
+
+        def script():
+            server.submit(holder)
+            done = server.submit(parked)
+            yield sim.timeout(2e-3)  # holder monopolises (huge quantum)
+            server.cancel(parked)
+            try:
+                yield done
+            except JobCancelled:
+                outcome.append(sim.now)
+
+        sim.process(script())
+        sim.run()
+        assert outcome
+        # The parked job consumed no GPU at all.
+        assert server.gpu_duration_of(parked) == 0.0
+        # And the holder still completed normally.
+        assert holder.complete
+
+    def test_cancelled_holder_releases_token(self, tiny_graph):
+        """Cancelling the token holder lets the next job proceed."""
+        sim, server = make_server(tiny_graph, olympian=True, quantum=10.0)
+        first = server.make_job("first", tiny_graph.name, 100)
+        second = server.make_job("second", tiny_graph.name, 100)
+
+        def script():
+            server.submit(first)
+            done2 = server.submit(second)
+            yield sim.timeout(2e-3)
+            server.cancel(first)
+            yield done2
+
+        sim.process(script())
+        sim.run()
+        assert second.complete
+        assert not first.complete
+
+    def test_scheduler_state_clean_after_cancel(self, tiny_graph):
+        sim, server = make_server(tiny_graph, olympian=True, quantum=0.5e-3)
+        job = server.make_job("c", tiny_graph.name, 100)
+
+        def script():
+            done = server.submit(job)
+            yield sim.timeout(1e-3)
+            server.cancel(job)
+            try:
+                yield done
+            except JobCancelled:
+                pass
+
+        sim.process(script())
+        sim.run()
+        scheduler = server.scheduler
+        assert scheduler.holder is None
+        assert scheduler.policy.active_jobs == []
+
+
+class TestClientTimeouts:
+    def test_timeout_cancels_and_continues(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        # Timeout far below the batch's service demand: every batch
+        # times out, but the client still completes its loop.
+        client = Client(
+            sim, server, "impatient", tiny_graph.name, 100,
+            num_batches=3, batch_timeout=2e-3,
+        )
+        client.start()
+        sim.run()
+        assert client.completed
+        assert client.timed_out_batches == 3
+        assert client.batch_latencies == []
+
+    def test_generous_timeout_never_fires(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        client = Client(
+            sim, server, "patient", tiny_graph.name, 100,
+            num_batches=2, batch_timeout=60.0,
+        )
+        client.start()
+        sim.run()
+        assert client.completed
+        assert client.timed_out_batches == 0
+        assert len(client.batch_latencies) == 2
+
+    def test_timeout_validation(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        with pytest.raises(ValueError):
+            Client(sim, server, "c", tiny_graph.name, 100, batch_timeout=0.0)
+
+    def test_mixed_timeouts_dont_disturb_others(self, tiny_graph):
+        """A timing-out client does not corrupt a patient one."""
+        sim, server = make_server(tiny_graph, olympian=True, quantum=0.5e-3)
+        impatient = Client(
+            sim, server, "impatient", tiny_graph.name, 100,
+            num_batches=2, batch_timeout=3e-3,
+        )
+        patient = Client(
+            sim, server, "patient", tiny_graph.name, 100, num_batches=2,
+        )
+        impatient.start()
+        patient.start()
+        sim.run()
+        assert patient.completed
+        assert all(job.complete for job in patient.jobs)
+
+
+class TestExternalCancelDuringTimeoutRace:
+    def test_external_cancel_while_client_races_timeout(self, tiny_graph):
+        """A job cancelled externally while its client waits in the
+        done-vs-timeout race is absorbed as a timed-out batch."""
+        sim, server = make_server(tiny_graph)
+        client = Client(
+            sim, server, "racer", tiny_graph.name, 100,
+            num_batches=2, batch_timeout=60.0,  # never fires
+        )
+        client.start()
+
+        def external_cancel():
+            yield sim.timeout(1e-3)
+            server.cancel(client.jobs[0])
+
+        sim.process(external_cancel())
+        sim.run()
+        assert client.completed
+        assert client.timed_out_batches == 1
+        # The second batch ran normally.
+        assert client.jobs[1].complete

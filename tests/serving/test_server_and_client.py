@@ -1,0 +1,169 @@
+"""Unit tests for the model server and client."""
+
+import pytest
+
+from repro.gpu import GpuOutOfMemory
+from repro.serving import Client, Job, ModelServer, ServerConfig
+from repro.sim import Simulator
+from repro.zoo import INCEPTION_V4
+
+
+class TestModelManagement:
+    def test_load_and_lookup(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        assert server.model(diamond_graph.name) is diamond_graph
+        assert server.model_names == [diamond_graph.name]
+
+    def test_double_load_rejected(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        with pytest.raises(ValueError):
+            server.load_model(diamond_graph)
+
+    def test_unknown_model_raises_with_names(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        with pytest.raises(KeyError, match=diamond_graph.name):
+            server.model("ghost")
+
+    def test_load_spec_generates_and_registers(self, sim):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        graph = server.load_spec(INCEPTION_V4, scale=0.01, seed=1)
+        assert server.model(INCEPTION_V4.name) is graph
+        assert server.model_memory_mb(INCEPTION_V4.name) == INCEPTION_V4.memory_mb
+
+
+class TestMemoryTracking:
+    def test_memory_reserved_while_job_active(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=True))
+        server.load_model(diamond_graph, memory_mb=500)
+        job = server.make_job("c", diamond_graph.name, 100)
+        server.submit(job)
+        assert server.memory.used_mb == 500
+        sim.run()
+        assert server.memory.used_mb == 0
+
+    def test_oom_on_submit(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=True))
+        server.load_model(diamond_graph, memory_mb=8000)
+        server.submit(server.make_job("a", diamond_graph.name, 100))
+        with pytest.raises(GpuOutOfMemory):
+            server.submit(server.make_job("b", diamond_graph.name, 100))
+
+
+class TestJob:
+    def test_job_validation(self, sim, diamond_graph):
+        with pytest.raises(ValueError):
+            Job(sim, "c", diamond_graph, batch_size=0)
+        with pytest.raises(ValueError):
+            Job(sim, "c", diamond_graph, batch_size=10, weight=0)
+
+    def test_job_ids_unique(self, sim, diamond_graph):
+        a = Job(sim, "c", diamond_graph, 10)
+        b = Job(sim, "c", diamond_graph, 10)
+        assert a.job_id != b.job_id
+
+    def test_latency_none_until_finished(self, sim, diamond_graph):
+        job = Job(sim, "c", diamond_graph, 10)
+        assert job.latency is None
+
+
+class TestClient:
+    def test_sequential_batches(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        client = Client(sim, server, "c0", diamond_graph.name, 100, num_batches=3)
+        client.start()
+        sim.run()
+        assert client.completed
+        assert len(client.jobs) == 3
+        # batch i+1 submitted only after batch i finished
+        for prev, nxt in zip(client.jobs, client.jobs[1:]):
+            assert nxt.submitted_at >= prev.finished_at
+
+    def test_finish_time_is_total_span(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        client = Client(sim, server, "c0", diamond_graph.name, 100, num_batches=2)
+        client.start()
+        sim.run()
+        assert client.finish_time == pytest.approx(
+            client.jobs[-1].finished_at - client.jobs[0].submitted_at
+        )
+
+    def test_finish_time_before_completion_raises(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        client = Client(sim, server, "c0", diamond_graph.name, 100)
+        with pytest.raises(RuntimeError):
+            _ = client.finish_time
+
+    def test_think_time_inserts_gaps(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        client = Client(
+            sim, server, "c0", diamond_graph.name, 100,
+            num_batches=2, think_time=1.0,
+        )
+        client.start()
+        sim.run()
+        gap = client.jobs[1].submitted_at - client.jobs[0].finished_at
+        assert gap == pytest.approx(1.0)
+
+    def test_start_delay(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        client = Client(
+            sim, server, "c0", diamond_graph.name, 100,
+            num_batches=1, start_delay=2.0,
+        )
+        client.start()
+        sim.run()
+        assert client.jobs[0].submitted_at == pytest.approx(2.0)
+
+    def test_double_start_rejected(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        client = Client(sim, server, "c0", diamond_graph.name, 100)
+        client.start()
+        with pytest.raises(RuntimeError):
+            client.start()
+
+    def test_oom_failure_recorded_not_raised(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=True))
+        server.load_model(diamond_graph, memory_mb=8000)
+        blocker = Client(sim, server, "a", diamond_graph.name, 100, num_batches=50)
+        victim = Client(sim, server, "b", diamond_graph.name, 100, num_batches=1)
+        blocker.start()
+        victim.start()
+        sim.run()
+        assert isinstance(victim.failure, GpuOutOfMemory)
+        assert not victim.completed
+
+    def test_validation(self, sim, diamond_graph):
+        server = ModelServer(sim, ServerConfig(track_memory=False))
+        server.load_model(diamond_graph)
+        with pytest.raises(ValueError):
+            Client(sim, server, "c", diamond_graph.name, 100, num_batches=0)
+        with pytest.raises(ValueError):
+            Client(sim, server, "c", diamond_graph.name, 100, think_time=-1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, diamond_graph):
+        def run(seed):
+            sim = Simulator()
+            server = ModelServer(sim, ServerConfig(track_memory=False, seed=seed))
+            server.load_model(diamond_graph)
+            clients = [
+                Client(sim, server, f"c{i}", diamond_graph.name, 100, num_batches=3)
+                for i in range(4)
+            ]
+            for c in clients:
+                c.start()
+            sim.run()
+            return [c.finish_time for c in clients]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

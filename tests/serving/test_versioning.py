@@ -1,0 +1,129 @@
+"""Tests for model versioning and hot-swap."""
+
+import pytest
+
+from repro.core import OlympianProfile, ProfileStore
+from repro.graph import CostModel
+from repro.serving import ModelServer, ServerConfig
+from repro.serving.versioning import ModelVersionManager, versioned_name
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def stack(sim, diamond_graph):
+    server = ModelServer(sim, ServerConfig(track_memory=False))
+    manager = ModelVersionManager(server)
+    return sim, server, manager
+
+
+class TestDeploy:
+    def test_first_deploy_is_v1_and_active(self, stack, diamond_graph):
+        _, server, manager = stack
+        version = manager.deploy("net", diamond_graph)
+        assert version == 1
+        assert manager.active_version("net") == 1
+        assert versioned_name("net", 1) in server.model_names
+
+    def test_second_deploy_activates_v2(self, stack, diamond_graph, tiny_graph):
+        sim, server, manager = stack
+        manager.deploy("net", diamond_graph)
+        version = manager.deploy("net", tiny_graph)
+        assert version == 2
+        assert manager.active_version("net") == 2
+
+    def test_idle_old_version_unloads_immediately(self, stack, diamond_graph,
+                                                  tiny_graph):
+        _, server, manager = stack
+        manager.deploy("net", diamond_graph)
+        manager.deploy("net", tiny_graph)
+        # v1 had no in-flight jobs: drained instantly.
+        assert manager.loaded_versions("net") == [2]
+        assert ("net", 1) in manager.unloaded_log
+
+    def test_unknown_model_raises(self, stack):
+        _, _, manager = stack
+        with pytest.raises(KeyError):
+            manager.active_version("ghost")
+
+
+class TestRouting:
+    def test_jobs_route_to_active_version(self, stack, diamond_graph,
+                                          tiny_graph):
+        sim, server, manager = stack
+        manager.deploy("net", diamond_graph)
+        job_v1 = manager.make_job("c", "net", 100)
+        assert job_v1.model_name == versioned_name("net", 1)
+        manager.deploy("net", tiny_graph)
+        job_v2 = manager.make_job("c", "net", 100)
+        assert job_v2.model_name == versioned_name("net", 2)
+
+    def test_jobs_complete_through_manager(self, stack, diamond_graph):
+        sim, server, manager = stack
+        manager.deploy("net", diamond_graph)
+        job = manager.make_job("c", "net", 100)
+        manager.submit(job)
+        sim.run()
+        assert job.complete
+
+
+class TestHotSwapDrain:
+    def test_old_version_drains_then_unloads(self, stack, diamond_graph,
+                                             tiny_graph):
+        sim, server, manager = stack
+        manager.deploy("net", tiny_graph)
+
+        # Start a long v1 job, then deploy v2 while it is in flight.
+        v1_job = manager.make_job("c", "net", 100)
+        manager.submit(v1_job)
+
+        def swap():
+            yield sim.timeout(1e-3)
+            manager.deploy("net", diamond_graph)
+            # v1 still in flight: both versions loaded.
+            assert manager.loaded_versions("net") == [1, 2]
+            # New jobs already route to v2.
+            assert manager.make_job("c", "net", 100).model_name == (
+                versioned_name("net", 2)
+            )
+
+        sim.process(swap())
+        sim.run()
+        # After the v1 job drained, v1 unloaded.
+        assert v1_job.complete
+        assert manager.loaded_versions("net") == [2]
+        assert ("net", 1) in manager.unloaded_log
+
+    def test_multiple_models_independent(self, stack, diamond_graph,
+                                         tiny_graph):
+        _, _, manager = stack
+        manager.deploy("a", diamond_graph)
+        manager.deploy("b", tiny_graph)
+        assert manager.active_version("a") == 1
+        assert manager.active_version("b") == 1
+        manager.deploy("a", tiny_graph)
+        assert manager.active_version("a") == 2
+        assert manager.active_version("b") == 1
+
+
+class TestProfilingIntegration:
+    def test_unprofiled_versions_reported(self, stack, diamond_graph,
+                                          tiny_graph):
+        """A fresh version is exactly the §7.3 re-profiling work item."""
+        _, _, manager = stack
+        manager.deploy("net", diamond_graph)
+        store = ProfileStore()
+        # Profile v1 under its versioned name.
+        costs = CostModel(noise=0.0).exact(diamond_graph, 100)
+        profile = OlympianProfile(
+            model_name=versioned_name("net", 1),
+            batch_size=100,
+            node_costs=dict(costs.node_costs),
+            gpu_duration=diamond_graph.gpu_duration(100),
+        )
+        store.add(profile)
+        assert manager.unprofiled_versions(store, 100) == []
+        # Deploying v2 creates a new profiling obligation.
+        manager.deploy("net", tiny_graph)
+        assert manager.unprofiled_versions(store, 100) == [
+            versioned_name("net", 2)
+        ]

@@ -1,0 +1,61 @@
+"""Unit tests for named, seeded RNG streams."""
+
+from repro.sim import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(7, "driver") == derive_seed(7, "driver")
+
+    def test_differs_by_name(self):
+        assert derive_seed(7, "driver") != derive_seed(7, "threadpool")
+
+    def test_differs_by_seed(self):
+        assert derive_seed(7, "driver") != derive_seed(8, "driver")
+
+    def test_non_negative_64_bit(self):
+        seed = derive_seed(123456, "stream")
+        assert 0 <= seed < 2**64
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        rngs = RngRegistry(seed=1)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(seed=1).stream("x")
+        b = RngRegistry(seed=1).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_independent(self):
+        rngs = RngRegistry(seed=1)
+        a = rngs.stream("a")
+        b = rngs.stream("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_draws_on_one_stream_do_not_affect_another(self):
+        reference = RngRegistry(seed=2).stream("stable")
+        expected = [reference.random() for _ in range(5)]
+
+        rngs = RngRegistry(seed=2)
+        noisy = rngs.stream("noisy")
+        for _ in range(100):
+            noisy.random()
+        stable = rngs.stream("stable")
+        assert [stable.random() for _ in range(5)] == expected
+
+    def test_reseed_clears_streams(self):
+        rngs = RngRegistry(seed=1)
+        first = rngs.stream("a")
+        rngs.reseed(2)
+        second = rngs.stream("a")
+        assert first is not second
+
+    def test_spawn_is_independent_of_parent(self):
+        parent = RngRegistry(seed=1)
+        child = parent.spawn("child")
+        assert child.seed != parent.seed
+        p = parent.stream("s")
+        c = child.stream("s")
+        assert [p.random() for _ in range(3)] != [c.random() for _ in range(3)]

@@ -1,0 +1,122 @@
+"""Unit tests for interval tracing and union-duration math (Figure 5)."""
+
+import pytest
+
+from repro.sim import (
+    Interval,
+    IntervalTracer,
+    busy_fraction,
+    merge_intervals,
+    union_duration,
+)
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(1.0, 3.5).duration == 2.5
+
+    def test_rejects_negative_span(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 1.0)
+
+    def test_overlaps(self):
+        a = Interval(0.0, 2.0)
+        assert a.overlaps(Interval(1.0, 3.0))
+        assert not a.overlaps(Interval(2.0, 3.0))  # half-open
+
+    def test_clipped_inside(self):
+        part = Interval(0.0, 10.0, tag="t").clipped(2.0, 4.0)
+        assert (part.start, part.end, part.tag) == (2.0, 4.0, "t")
+
+    def test_clipped_outside_returns_none(self):
+        assert Interval(0.0, 1.0).clipped(2.0, 3.0) is None
+
+
+class TestUnionMath:
+    def test_merge_disjoint(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_merge_overlapping(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_merge_adjacent(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_merge_unsorted_input(self):
+        assert merge_intervals([(2, 3), (0, 1.5), (1, 2.5)]) == [(0, 3)]
+
+    def test_union_duration_figure5_example(self):
+        # Figure 5: overlapping node executions; GPU duration is the
+        # union t1 + t2 + t3, not the sum of node durations.
+        spans = [(0.0, 2.0), (1.0, 3.0), (5.0, 6.0), (8.0, 8.5)]
+        assert union_duration(spans) == pytest.approx(3.0 + 1.0 + 0.5)
+
+    def test_union_duration_empty(self):
+        assert union_duration([]) == 0.0
+
+    def test_busy_fraction_full_coverage(self):
+        assert busy_fraction([(0, 10)], 0, 10) == 1.0
+
+    def test_busy_fraction_partial(self):
+        assert busy_fraction([(0, 5)], 0, 10) == 0.5
+
+    def test_busy_fraction_clips_to_window(self):
+        assert busy_fraction([(-5, 5)], 0, 10) == 0.5
+
+    def test_busy_fraction_degenerate_window(self):
+        assert busy_fraction([(0, 1)], 5, 5) == 0.0
+
+
+class TestIntervalTracer:
+    def test_begin_end_records(self):
+        tracer = IntervalTracer()
+        tracer.begin("job", 1.0)
+        interval = tracer.end("job", 3.0, tag="n1")
+        assert interval.duration == 2.0
+        assert tracer.duration("job") == 2.0
+
+    def test_double_begin_raises(self):
+        tracer = IntervalTracer()
+        tracer.begin("job", 0.0)
+        with pytest.raises(ValueError):
+            tracer.begin("job", 1.0)
+
+    def test_end_without_begin_raises(self):
+        tracer = IntervalTracer()
+        with pytest.raises(ValueError):
+            tracer.end("job", 1.0)
+
+    def test_record_direct(self):
+        tracer = IntervalTracer()
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("a", 2.0, 4.0)
+        assert tracer.duration("a") == pytest.approx(3.0)
+
+    def test_per_key_isolation(self):
+        tracer = IntervalTracer()
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("b", 0.0, 5.0)
+        assert tracer.duration("a") == 1.0
+        assert tracer.duration("b") == 5.0
+        assert set(tracer.keys()) == {"a", "b"}
+
+    def test_overlapping_intervals_union(self):
+        tracer = IntervalTracer()
+        tracer.record("a", 0.0, 2.0)
+        tracer.record("a", 1.0, 3.0)
+        assert tracer.duration("a") == pytest.approx(3.0)
+
+    def test_duration_between_clips(self):
+        tracer = IntervalTracer()
+        tracer.record("a", 0.0, 10.0)
+        assert tracer.duration_between("a", 2.0, 5.0) == pytest.approx(3.0)
+
+    def test_duration_unknown_key_is_zero(self):
+        assert IntervalTracer().duration("missing") == 0.0
+
+    def test_clear(self):
+        tracer = IntervalTracer()
+        tracer.record("a", 0.0, 1.0)
+        tracer.clear()
+        assert tracer.duration("a") == 0.0
+        assert tracer.all_intervals() == []

@@ -1,0 +1,152 @@
+"""Tests for the SLO estimator and admission controller."""
+
+import pytest
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.graph import CostModel
+from repro.serving import ModelServer, ServerConfig
+from repro.sim import Simulator
+from repro.slo import FairShareEstimator, JobRejected, SloAdmissionController
+
+
+@pytest.fixture
+def stack(tiny_graph):
+    sim = Simulator()
+    costs = CostModel(noise=0.0).exact(tiny_graph, 100)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=tiny_graph.gpu_duration(100)
+    )
+    store = ProfileStore()
+    store.add(profile)
+    scheduler = OlympianScheduler(sim, FairSharing(), 0.5e-3, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=2), scheduler=scheduler
+    )
+    server.load_model(tiny_graph)
+    # overhead matches the Overhead-Q curve at the operating Q=0.5ms
+    estimator = FairShareEstimator(store, overhead=0.10, host_fraction=0.20)
+    controller = SloAdmissionController(server, estimator)
+    return sim, server, controller, estimator, profile
+
+
+class TestEstimator:
+    def test_solo_estimate_close_to_demand(self, stack, tiny_graph):
+        _, _, _, estimator, profile = stack
+        estimate = estimator.estimate_latency(tiny_graph.name, 100, 0)
+        assert estimate >= profile.gpu_duration
+        assert estimate < 1.5 * profile.gpu_duration
+
+    def test_estimate_scales_with_load(self, stack, tiny_graph):
+        _, _, _, estimator, _ = stack
+        solo = estimator.estimate_latency(tiny_graph.name, 100, 0)
+        loaded = estimator.estimate_latency(tiny_graph.name, 100, 4)
+        assert loaded > 4 * solo
+
+    def test_estimate_is_an_upper_bound_solo(self, stack, tiny_graph):
+        """The actual solo latency never exceeds the estimate."""
+        sim, server, _, estimator, _ = stack
+        estimate = estimator.estimate_latency(tiny_graph.name, 100, 0)
+        job = server.make_job("c", tiny_graph.name, 100)
+        server.submit(job)
+        sim.run()
+        assert job.latency <= estimate
+
+    def test_estimate_is_an_upper_bound_loaded(self, stack, tiny_graph):
+        """With N concurrent jobs the bound still holds."""
+        sim, server, _, estimator, _ = stack
+        n = 4
+        estimate = estimator.estimate_latency(tiny_graph.name, 100, n - 1)
+        jobs = [server.make_job(f"c{i}", tiny_graph.name, 100) for i in range(n)]
+        for job in jobs:
+            server.submit(job)
+        sim.run()
+        for job in jobs:
+            assert job.latency <= estimate * 1.02
+
+    def test_validation(self, stack, tiny_graph):
+        _, _, _, estimator, _ = stack
+        with pytest.raises(ValueError):
+            estimator.estimate_latency(tiny_graph.name, 100, -1)
+        store = ProfileStore()
+        with pytest.raises(ValueError):
+            FairShareEstimator(store, overhead=-0.1)
+
+
+class TestAdmission:
+    def test_admits_when_slo_attainable(self, stack, tiny_graph):
+        sim, server, controller, _, profile = stack
+        job = server.make_job("c", tiny_graph.name, 100)
+        done = controller.try_submit(job, slo=profile.gpu_duration * 3)
+        assert done is not None
+        sim.run()
+        assert controller.attainment() == 1.0
+        assert controller.goodput() == 1
+
+    def test_rejects_hopeless_slo(self, stack, tiny_graph):
+        _, server, controller, _, profile = stack
+        job = server.make_job("c", tiny_graph.name, 100)
+        done = controller.try_submit(job, slo=profile.gpu_duration / 100)
+        assert done is None
+        assert controller.rejected_count == 1
+        assert controller.admitted_count == 0
+
+    def test_submit_raises_on_rejection(self, stack, tiny_graph):
+        _, server, controller, _, profile = stack
+        job = server.make_job("c", tiny_graph.name, 100)
+        with pytest.raises(JobRejected):
+            controller.submit(job, slo=profile.gpu_duration / 100)
+
+    def test_load_dependent_rejection(self, stack, tiny_graph):
+        """An SLO attainable when idle is rejected under load."""
+        sim, server, controller, _, profile = stack
+        slo = profile.gpu_duration * 2.1
+        first = server.make_job("a", tiny_graph.name, 100)
+        assert controller.try_submit(first, slo=slo) is not None
+        # Second arrival while the first is active: share halves.
+        second = server.make_job("b", tiny_graph.name, 100)
+        assert controller.try_submit(second, slo=slo) is None
+        sim.run()
+        assert controller.attainment() == 1.0
+
+    def test_decisions_logged(self, stack, tiny_graph):
+        sim, server, controller, _, profile = stack
+        job = server.make_job("c", tiny_graph.name, 100)
+        controller.try_submit(job, slo=profile.gpu_duration * 3)
+        decision = controller.decisions[0]
+        assert decision.admitted
+        assert decision.job_id == job.job_id
+        assert decision.estimate > 0
+        sim.run()
+
+    def test_slo_validation(self, stack, tiny_graph):
+        _, server, controller, _, _ = stack
+        job = server.make_job("c", tiny_graph.name, 100)
+        with pytest.raises(ValueError):
+            controller.try_submit(job, slo=0.0)
+
+    def test_attainment_requires_finished_jobs(self, stack, tiny_graph):
+        _, _, controller, _, _ = stack
+        with pytest.raises(ValueError):
+            controller.attainment()
+
+    def test_admitted_jobs_meet_slo_under_sustained_load(self, stack, tiny_graph):
+        """The controller's promise: whatever it admits, it delivers."""
+        sim, server, controller, _, profile = stack
+        slo = profile.gpu_duration * 4
+
+        def arrivals():
+            for i in range(12):
+                job = server.make_job(f"r{i}", tiny_graph.name, 100)
+                controller.try_submit(job, slo=slo)
+                yield sim.timeout(profile.gpu_duration / 2)
+
+        sim.process(arrivals())
+        sim.run()
+        assert controller.admitted_count >= 3
+        assert controller.rejected_count >= 1
+        assert controller.attainment() == 1.0

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "Olympian" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestModels:
+    def test_lists_seven_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Inception", "GoogLeNet", "AlexNet", "VGG", "ResNet-152"):
+            assert name in out
+        assert "15599" in out  # Table 2 Inception node count
+
+
+class TestProfile:
+    def test_profile_writes_bundle(self, tmp_path, capsys):
+        out_path = tmp_path / "bundle.json"
+        code = main([
+            "profile", "inception_v4:100",
+            "--out", str(out_path),
+            "--scale", "0.02",
+            "--quantum", "0.0012",
+        ])
+        assert code == 0
+        assert out_path.exists()
+        assert "Q = 1200 us" in capsys.readouterr().out
+
+    def test_profile_default_batch_is_reference(self, tmp_path, capsys):
+        out_path = tmp_path / "bundle.json"
+        code = main([
+            "profile", "vgg",
+            "--out", str(out_path),
+            "--scale", "0.02",
+            "--quantum", "0.001",
+        ])
+        assert code == 0
+        from repro.core import load_profiler_output
+
+        bundle = load_profiler_output(out_path)
+        assert bundle.store.profiled_batches("vgg") == [120]
+
+    def test_unknown_model_fails(self, tmp_path, capsys):
+        code = main(["profile", "lenet", "--out", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_fair_prints_finish_times(self, capsys):
+        code = main([
+            "serve", "--clients", "3", "--batches", "2",
+            "--scale", "0.02", "--quantum", "0.0008",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c0" in out and "c2" in out
+        assert "Q = 800 us" in out
+        assert "utilization" in out
+
+    def test_serve_with_saved_profiles(self, tmp_path, capsys):
+        out_path = tmp_path / "bundle.json"
+        main([
+            "profile", "inception_v4:100",
+            "--out", str(out_path),
+            "--scale", "0.02",
+            "--quantum", "0.0008",
+        ])
+        code = main([
+            "serve", "--clients", "2", "--batches", "1",
+            "--scale", "0.02", "--profiles", str(out_path),
+            "--quantum", "0.0008",
+        ])
+        assert code == 0
+
+    def test_serve_baseline(self, capsys):
+        code = main([
+            "serve", "--scheduler", "tf-serving", "--clients", "2",
+            "--batches", "1", "--scale", "0.02",
+        ])
+        assert code == 0
+        assert "tf-serving" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_list_artefacts(self, capsys):
+        assert main(["reproduce", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "table2" in out and "ext-multigpu" in out
+
+    def test_default_lists(self, capsys):
+        assert main(["reproduce"]) == 0
+        assert "available artefacts" in capsys.readouterr().out
+
+    def test_unknown_artefact_fails(self, capsys):
+        assert main(["reproduce", "fig99"]) == 2
+        assert "unknown artefact" in capsys.readouterr().err
+
+    def test_reproduce_fig4_runs(self, capsys):
+        assert main(["reproduce", "fig4"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_validate_single_model(self, capsys):
+        code = main(["validate", "inception_v4", "--scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "GPU nodes" in out
+
+    def test_validate_unknown_model(self, capsys):
+        assert main(["validate", "lenet"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_validate_all_models_default(self, capsys):
+        code = main(["validate", "--scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 7

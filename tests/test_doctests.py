@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.graph.builder
+import repro.sim.core
+import repro.sim.rng
+
+MODULES = [
+    repro.sim.core,
+    repro.sim.rng,
+    repro.graph.builder,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts run end-to-end and print results.
+
+Only the fast examples run here (the slower ones exercise code paths
+already covered by the benchmarks); each is executed in-process with
+its ``main()`` so failures point at real lines.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "selected quantum" in out
+        assert "GPU utilization" in out
+
+    def test_operations(self, capsys):
+        load_example("operations").main()
+        out = capsys.readouterr().out
+        assert "SLO attainment of admitted jobs: 100%" in out
+        assert "DRIFT" in out
+        assert "trace events" in out
+
+    def test_production_lifecycle(self, capsys):
+        load_example("production_lifecycle").main()
+        out = capsys.readouterr().out
+        assert "hot-swapped ranker to v2" in out
+        assert "v1 unloaded after draining: True" in out
+        assert "re-profiled ranker@v2" in out
+
+    def test_all_examples_importable(self):
+        for path in sorted(EXAMPLES.glob("*.py")):
+            spec = importlib.util.spec_from_file_location(
+                f"probe_{path.stem}", path
+            )
+            module = importlib.util.module_from_spec(spec)
+            # Import only (no main()): catches syntax/import rot in the
+            # slower examples without paying their runtime.
+            spec.loader.exec_module(module)
+            assert hasattr(module, "main")

@@ -1,0 +1,91 @@
+"""Cross-cutting coverage: spec validation, config helpers, CLI extras."""
+
+import pytest
+
+from repro.gpu import GTX_1080_TI, TITAN_X, GpuSpec
+from repro.serving import ServerConfig
+from repro.sim import Simulator
+
+
+class TestGpuSpecs:
+    def test_paper_devices(self):
+        assert GTX_1080_TI.memory_mb == 11264
+        assert TITAN_X.compute_scale > GTX_1080_TI.compute_scale
+        assert "1080" in GTX_1080_TI.name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuSpec("bad", compute_scale=0.0, memory_mb=1000, sm_count=10)
+        with pytest.raises(ValueError):
+            GpuSpec("bad", compute_scale=1.0, memory_mb=0, sm_count=10)
+        with pytest.raises(ValueError):
+            GpuSpec("bad", compute_scale=1.0, memory_mb=10, sm_count=10,
+                    kernel_overhead=-1.0)
+        with pytest.raises(ValueError):
+            GpuSpec("bad", compute_scale=1.0, memory_mb=10, sm_count=10,
+                    clock_jitter=-0.1)
+
+
+class TestServerConfig:
+    def test_with_seed_replaces_only_seed(self):
+        config = ServerConfig(seed=1, pool_size=99)
+        reseeded = config.with_seed(42)
+        assert reseeded.seed == 42
+        assert reseeded.pool_size == 99
+        assert config.seed == 1  # frozen original untouched
+
+    def test_device_clock_deterministic_per_seed(self, diamond_graph):
+        from repro.serving import ModelServer
+
+        def clock(seed):
+            server = ModelServer(
+                Simulator(), ServerConfig(track_memory=False, seed=seed)
+            )
+            return server.device.clock_factor
+
+        assert clock(5) == clock(5)
+        assert clock(5) != clock(6)
+
+
+class TestCliExtendedPolicies:
+    @pytest.mark.parametrize("kind", ["deficit-rr", "lottery", "srw"])
+    def test_serve_with_extended_policy(self, kind, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve", "--scheduler", kind, "--clients", "2",
+            "--batches", "1", "--scale", "0.02", "--quantum", "0.0008",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finish time" in out
+
+
+class TestRunnerExtendedPolicies:
+    @pytest.mark.parametrize("kind", ["deficit-rr", "lottery", "edf", "srw"])
+    def test_extended_policy_fairness_on_equal_weights(self, kind):
+        """With equal weights/priorities, every proportional-share
+        policy keeps GPU shares near-equal."""
+        from repro.experiments import ExperimentConfig, run_workload
+        from repro.metrics import jain_index
+        from repro.workloads import homogeneous_workload
+
+        config = ExperimentConfig(scale=0.02, quantum=0.6e-3, seed=9)
+        specs = homogeneous_workload(num_clients=4, num_batches=2)
+        run = run_workload(specs, scheduler=kind, config=config)
+        assert run.completed
+        shares = list(run.client_gpu_durations().values())
+        assert jain_index(shares) > 0.95
+
+
+class TestVersionStrings:
+    def test_package_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_pyproject_matches(self):
+        from pathlib import Path
+
+        text = Path(__file__).parent.parent.joinpath("pyproject.toml").read_text()
+        assert 'version = "1.0.0"' in text

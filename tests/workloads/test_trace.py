@@ -1,0 +1,177 @@
+"""Tests for trace-driven workloads: generation, persistence, replay."""
+
+import pytest
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.graph import CostModel
+from repro.serving import ModelServer, ServerConfig
+from repro.sim import Simulator
+from repro.slo import FairShareEstimator, SloAdmissionController
+from repro.workloads import (
+    RequestTrace,
+    TraceRequest,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    replay,
+)
+
+
+class TestTraceRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRequest(-1.0, "m", 10)
+        with pytest.raises(ValueError):
+            TraceRequest(0.0, "m", 0)
+        with pytest.raises(ValueError):
+            TraceRequest(0.0, "m", 10, slo=0.0)
+
+
+class TestRequestTrace:
+    def test_sorts_on_construction(self):
+        trace = RequestTrace([
+            TraceRequest(2.0, "m", 10),
+            TraceRequest(1.0, "m", 10),
+        ])
+        assert [r.arrival for r in trace] == [1.0, 2.0]
+
+    def test_duration_and_models(self):
+        trace = RequestTrace([
+            TraceRequest(1.0, "a", 10),
+            TraceRequest(4.0, "b", 10),
+        ])
+        assert trace.duration == 3.0
+        assert trace.models == ["a", "b"]
+
+    def test_mean_rate(self):
+        trace = RequestTrace(
+            [TraceRequest(float(i), "m", 10) for i in range(11)]
+        )
+        assert trace.mean_rate() == pytest.approx(1.0)
+
+    def test_mean_rate_needs_two(self):
+        with pytest.raises(ValueError):
+            RequestTrace([TraceRequest(0.0, "m", 1)]).mean_rate()
+
+    def test_json_round_trip(self, tmp_path):
+        trace = poisson_trace(5.0, 3.0, "m", 32, seed=2, slo=0.5)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        restored = RequestTrace.load(path)
+        assert len(restored) == len(trace)
+        assert restored.requests[0] == trace.requests[0]
+        assert restored.requests[-1].slo == 0.5
+
+
+class TestGenerators:
+    def test_poisson_rate_approximately_met(self):
+        trace = poisson_trace(50.0, 10.0, "m", 10, seed=3)
+        assert trace.mean_rate() == pytest.approx(50.0, rel=0.25)
+
+    def test_poisson_deterministic_given_seed(self):
+        a = poisson_trace(10.0, 5.0, "m", 10, seed=4)
+        b = poisson_trace(10.0, 5.0, "m", 10, seed=4)
+        assert a.to_dict() == b.to_dict()
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace(0.0, 1.0, "m", 10)
+
+    def test_diurnal_peak_heavier_than_trough(self):
+        # Trough at t=0 and t=duration; peak in the middle.
+        trace = diurnal_trace(5.0, 60.0, 10.0, "m", 10, seed=5)
+        first_quarter = sum(1 for r in trace if r.arrival < 2.5)
+        middle = sum(1 for r in trace if 3.75 <= r.arrival < 6.25)
+        assert middle > 1.5 * first_quarter
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(10.0, 5.0, 1.0, "m", 10)  # base > peak
+
+    def test_bursty_alternates_density(self):
+        trace = bursty_trace(
+            burst_rate=200.0, idle_rate=1.0, mean_burst=0.5, mean_idle=0.5,
+            duration=20.0, model="m", batch_size=10, seed=6,
+        )
+        # Count arrivals per 0.25s bin: bursty traces have many empty
+        # bins AND many dense bins.
+        bins = [0] * 80
+        for request in trace:
+            index = min(int(request.arrival / 0.25), 79)
+            bins[index] += 1
+        empty = sum(1 for b in bins if b == 0)
+        dense = sum(1 for b in bins if b >= 20)
+        assert empty > 5
+        assert dense > 5
+
+    def test_bursty_validation(self):
+        with pytest.raises(ValueError):
+            bursty_trace(0.0, 0.0, 1.0, 1.0, 1.0, "m", 10)
+
+
+class TestReplay:
+    def _stack(self, tiny_graph, with_admission=False):
+        sim = Simulator()
+        costs = CostModel(noise=0.0).exact(tiny_graph, 100)
+        profile = OlympianProfile.from_cost_profile(
+            costs, gpu_duration=tiny_graph.gpu_duration(100)
+        )
+        store = ProfileStore()
+        store.add(profile)
+        scheduler = OlympianScheduler(sim, FairSharing(), 0.5e-3, store)
+        server = ModelServer(
+            sim, ServerConfig(track_memory=False, seed=3), scheduler=scheduler
+        )
+        server.load_model(tiny_graph)
+        controller = None
+        if with_admission:
+            controller = SloAdmissionController(
+                server, FairShareEstimator(store, overhead=0.1)
+            )
+        return sim, server, controller, profile
+
+    def test_replay_completes_all_requests(self, tiny_graph):
+        sim, server, _, _ = self._stack(tiny_graph)
+        trace = poisson_trace(20.0, 1.0, tiny_graph.name, 100, seed=7)
+        outcome = replay(sim, server, trace)
+        sim.run()
+        assert outcome.completed == len(trace)
+        assert all(latency > 0 for latency in outcome.latencies)
+        assert outcome.rejected == 0
+
+    def test_replay_tracks_slos(self, tiny_graph):
+        sim, server, _, profile = self._stack(tiny_graph)
+        slo = profile.gpu_duration * 50  # generous
+        trace = poisson_trace(5.0, 1.0, tiny_graph.name, 100, seed=8, slo=slo)
+        outcome = replay(sim, server, trace)
+        sim.run()
+        assert outcome.slo_hits + outcome.slo_misses == len(trace)
+        assert outcome.slo_attainment() > 0.9
+
+    def test_replay_with_admission_rejects_overload(self, tiny_graph):
+        sim, server, controller, profile = self._stack(
+            tiny_graph, with_admission=True
+        )
+        # Overload: arrivals far faster than the device can serve.
+        slo = profile.gpu_duration * 3
+        rate = 5.0 / profile.gpu_duration
+        trace = poisson_trace(rate, profile.gpu_duration * 20,
+                              tiny_graph.name, 100, seed=9, slo=slo)
+        outcome = replay(sim, server, trace, admission_controller=controller)
+        sim.run()
+        assert outcome.rejected > 0
+        assert outcome.completed + outcome.rejected == len(trace)
+        assert outcome.slo_attainment() == 1.0
+
+    def test_replay_without_slos_has_no_attainment(self, tiny_graph):
+        sim, server, _, _ = self._stack(tiny_graph)
+        trace = poisson_trace(10.0, 0.5, tiny_graph.name, 100, seed=10)
+        outcome = replay(sim, server, trace)
+        sim.run()
+        with pytest.raises(ValueError):
+            outcome.slo_attainment()

@@ -1,0 +1,106 @@
+"""Unit tests for workload scenarios and arrival generators."""
+
+import pytest
+
+from repro.workloads import (
+    bursty_think_times,
+    complex_workload,
+    heterogeneous_workload,
+    homogeneous_workload,
+    poisson_arrivals,
+    scaling_workload,
+    simultaneous,
+    staggered,
+    with_priorities,
+    with_weights,
+)
+from repro.zoo import PAPER_MODELS
+
+
+class TestScenarios:
+    def test_homogeneous_defaults(self):
+        specs = homogeneous_workload()
+        assert len(specs) == 10
+        assert {s.model for s in specs} == {"inception_v4"}
+        assert {s.batch_size for s in specs} == {100}
+        assert {s.num_batches for s in specs} == {10}
+
+    def test_homogeneous_ids_unique(self):
+        specs = homogeneous_workload(num_clients=5)
+        assert len({s.client_id for s in specs}) == 5
+
+    def test_heterogeneous_split(self):
+        specs = heterogeneous_workload()
+        assert len(specs) == 10
+        assert [s.model for s in specs[:5]] == ["inception_v4"] * 5
+        assert [s.model for s in specs[5:]] == ["resnet_152"] * 5
+
+    def test_heterogeneous_equalized_batch(self):
+        specs = heterogeneous_workload(inception_batch=150)
+        assert specs[0].batch_size == 150
+        assert specs[5].batch_size == 100
+
+    def test_complex_covers_all_models_at_ref_batches(self):
+        specs = complex_workload(clients_per_model=2)
+        assert len(specs) == 14
+        models = {s.model for s in specs}
+        assert models == {m.name for m in PAPER_MODELS}
+        by_model = {s.model: s.batch_size for s in specs}
+        for model_spec in PAPER_MODELS:
+            assert by_model[model_spec.name] == model_spec.ref_batch
+
+    def test_scaling_workload(self):
+        specs = scaling_workload(30)
+        assert len(specs) == 30
+
+    def test_with_weights(self):
+        specs = with_weights(homogeneous_workload(4), [2, 2, 1, 1])
+        assert [s.weight for s in specs] == [2, 2, 1, 1]
+
+    def test_with_weights_length_mismatch(self):
+        with pytest.raises(ValueError):
+            with_weights(homogeneous_workload(4), [1, 2])
+
+    def test_with_priorities(self):
+        specs = with_priorities(homogeneous_workload(3), [3, 2, 1])
+        assert [s.priority for s in specs] == [3, 2, 1]
+
+    def test_with_priorities_length_mismatch(self):
+        with pytest.raises(ValueError):
+            with_priorities(homogeneous_workload(3), [1])
+
+
+class TestGenerators:
+    def test_simultaneous_zeroes_delays(self):
+        specs = staggered(homogeneous_workload(3), gap=1.0)
+        reset = simultaneous(specs)
+        assert [s.start_delay for s in reset] == [0.0, 0.0, 0.0]
+
+    def test_staggered_delays(self):
+        specs = staggered(homogeneous_workload(3), gap=0.5)
+        assert [s.start_delay for s in specs] == [0.0, 0.5, 1.0]
+
+    def test_staggered_validation(self):
+        with pytest.raises(ValueError):
+            staggered(homogeneous_workload(2), gap=-1.0)
+
+    def test_poisson_arrivals_monotone_and_seeded(self):
+        specs = homogeneous_workload(5)
+        a = poisson_arrivals(specs, rate=10.0, seed=1)
+        b = poisson_arrivals(specs, rate=10.0, seed=1)
+        delays = [s.start_delay for s in a]
+        assert delays == sorted(delays)
+        assert delays[0] > 0
+        assert [s.start_delay for s in b] == delays
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(homogeneous_workload(2), rate=0.0)
+
+    def test_bursty_think_times(self):
+        specs = bursty_think_times(homogeneous_workload(2), think_time=0.1)
+        assert all(s.think_time == 0.1 for s in specs)
+
+    def test_bursty_validation(self):
+        with pytest.raises(ValueError):
+            bursty_think_times(homogeneous_workload(2), think_time=-0.1)

@@ -1,0 +1,75 @@
+"""Tests for calibration validation."""
+
+import pytest
+
+from repro.zoo import (
+    MODEL_REGISTRY,
+    PAPER_MODELS,
+    CalibrationCheck,
+    validate_calibration,
+)
+from repro.zoo.spec import DurationMixture, ModelSpec
+
+
+class TestCalibrationCheck:
+    def test_exact_pass(self):
+        check = CalibrationCheck("x", 10.0, 10.0, 0.0)
+        assert check.passed
+        assert check.relative_error == 0.0
+
+    def test_within_tolerance(self):
+        assert CalibrationCheck("x", 10.5, 10.0, 0.1).passed
+
+    def test_outside_tolerance(self):
+        check = CalibrationCheck("x", 12.0, 10.0, 0.1)
+        assert not check.passed
+        assert check.relative_error == pytest.approx(0.2)
+
+    def test_zero_target(self):
+        assert CalibrationCheck("x", 0.0, 0.0, 0.0).passed
+        assert not CalibrationCheck("x", 1.0, 0.0, 0.5).passed
+
+
+class TestValidateCalibration:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_every_paper_model_passes_at_experiment_scale(self, name):
+        report = validate_calibration(MODEL_REGISTRY[name], scale=0.05)
+        assert report.passed, report.report()
+
+    def test_full_scale_inception_passes(self):
+        report = validate_calibration(MODEL_REGISTRY["inception_v4"], scale=1.0)
+        assert report.passed, report.report()
+
+    def test_runtime_check_optional(self, tiny_spec):
+        without = validate_calibration(tiny_spec, scale=1.0)
+        with_runtime = validate_calibration(
+            tiny_spec, scale=1.0, measure_runtime=True
+        )
+        assert len(with_runtime.checks) == len(without.checks) + 1
+        assert with_runtime.passed
+
+    def test_report_text_rendering(self, tiny_spec):
+        report = validate_calibration(tiny_spec, scale=1.0)
+        text = report.report()
+        assert "PASS" in text
+        assert "GPU nodes" in text
+
+    def test_detects_miscalibrated_graph(self, tiny_spec):
+        """Validating a graph generated from a *different* spec fails."""
+        from repro.zoo import generate_graph
+
+        other = ModelSpec(
+            name=tiny_spec.name,
+            display_name="Other",
+            ref_batch=tiny_spec.ref_batch,
+            num_nodes=tiny_spec.num_nodes,
+            num_gpu_nodes=tiny_spec.num_gpu_nodes,
+            solo_runtime=tiny_spec.solo_runtime * 3,  # 3x the GPU demand
+            branch_width=tiny_spec.branch_width,
+            mixture=DurationMixture(),
+        )
+        wrong_graph = generate_graph(other, scale=1.0, seed=5)
+        report = validate_calibration(tiny_spec, scale=1.0, graph=wrong_graph)
+        assert not report.passed
+        failing = {check.name for check in report.failures}
+        assert "solo GPU duration D_j (s)" in failing

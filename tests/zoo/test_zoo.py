@@ -1,0 +1,148 @@
+"""Unit tests for the model zoo: specs, catalogue, generator calibration."""
+
+import pytest
+
+from repro.graph import Device
+from repro.zoo import (
+    INCEPTION_V4,
+    MODEL_REGISTRY,
+    PAPER_MODELS,
+    RESNET_152,
+    DurationMixture,
+    ModelSpec,
+    generate_graph,
+    get_spec,
+    paper_table2_rows,
+)
+
+
+class TestSpecs:
+    def test_seven_paper_models(self):
+        assert len(PAPER_MODELS) == 7
+
+    def test_registry_lookup(self):
+        assert get_spec("inception_v4") is INCEPTION_V4
+
+    def test_unknown_model_raises_with_names(self):
+        with pytest.raises(KeyError, match="inception_v4"):
+            get_spec("lenet")
+
+    def test_table2_calibration_numbers(self):
+        # Spot-check against the paper's Table 2.
+        rows = {row["model"]: row for row in paper_table2_rows()}
+        assert rows["Inception"]["nodes"] == 15599
+        assert rows["Inception"]["gpu_nodes"] == 13309
+        assert rows["Inception"]["batch_size"] == 150
+        assert rows["ResNet-152"]["runtime_s"] == pytest.approx(0.80)
+        assert rows["AlexNet"]["batch_size"] == 256
+
+    def test_scaled_counts_preserve_gpu_fraction(self):
+        total, gpu = INCEPTION_V4.scaled_counts(0.1)
+        full_fraction = INCEPTION_V4.num_gpu_nodes / INCEPTION_V4.num_nodes
+        assert gpu / total == pytest.approx(full_fraction, rel=0.05)
+
+    def test_scaled_counts_minimum_viable(self):
+        total, gpu = INCEPTION_V4.scaled_counts(0.001)
+        assert gpu >= 20
+        assert total > gpu
+
+    def test_scale_out_of_range(self):
+        with pytest.raises(ValueError):
+            INCEPTION_V4.scaled_counts(0.0)
+        with pytest.raises(ValueError):
+            INCEPTION_V4.scaled_counts(1.5)
+
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            DurationMixture(tiny_fraction=0.9, medium_fraction=0.2)
+        with pytest.raises(ValueError):
+            DurationMixture(tiny_range=(5e-6, 1e-6))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", "Bad", 100, num_nodes=10, num_gpu_nodes=10,
+                      solo_runtime=1.0)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", "Bad", 100, num_nodes=10, num_gpu_nodes=5,
+                      solo_runtime=-1.0)
+
+
+class TestGenerator:
+    def test_exact_node_counts(self, tiny_spec):
+        graph = generate_graph(tiny_spec, scale=1.0, seed=3)
+        assert graph.num_nodes == tiny_spec.num_nodes
+        assert graph.num_gpu_nodes == tiny_spec.num_gpu_nodes
+
+    def test_scaled_node_counts(self):
+        graph = generate_graph(INCEPTION_V4, scale=0.02, seed=1)
+        total, gpu = INCEPTION_V4.scaled_counts(0.02)
+        assert graph.num_nodes == total
+        assert graph.num_gpu_nodes == gpu
+
+    def test_full_scale_inception_matches_table2(self):
+        # Generating the full 15599-node Inception graph must work and
+        # match Table 2 exactly.
+        graph = generate_graph(INCEPTION_V4, scale=1.0, seed=1)
+        assert graph.num_nodes == INCEPTION_V4.num_nodes
+        assert graph.num_gpu_nodes == INCEPTION_V4.num_gpu_nodes
+
+    def test_gpu_duration_calibrated(self, tiny_spec):
+        graph = generate_graph(tiny_spec, scale=1.0, seed=3)
+        assert graph.gpu_duration(tiny_spec.ref_batch) == pytest.approx(
+            tiny_spec.target_gpu_duration, rel=1e-6
+        )
+
+    def test_scaled_gpu_duration_proportional(self):
+        graph = generate_graph(INCEPTION_V4, scale=0.02, seed=1)
+        expected = INCEPTION_V4.target_gpu_duration * (
+            graph.num_gpu_nodes / INCEPTION_V4.num_gpu_nodes
+        )
+        assert graph.gpu_duration(INCEPTION_V4.ref_batch) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_deterministic_given_seed(self, tiny_spec):
+        a = generate_graph(tiny_spec, scale=1.0, seed=9)
+        b = generate_graph(tiny_spec, scale=1.0, seed=9)
+        assert [n.name for n in a.nodes] == [n.name for n in b.nodes]
+        assert a.gpu_duration(100) == b.gpu_duration(100)
+
+    def test_different_seeds_differ(self, tiny_spec):
+        a = generate_graph(tiny_spec, scale=1.0, seed=1)
+        b = generate_graph(tiny_spec, scale=1.0, seed=2)
+        durations_a = sorted(n.duration(100) for n in a.nodes)
+        durations_b = sorted(n.duration(100) for n in b.nodes)
+        assert durations_a != durations_b
+
+    def test_root_is_host_node(self, tiny_graph):
+        assert tiny_graph.root.device is Device.CPU
+        assert tiny_graph.root.num_parents == 0
+
+    def test_graph_is_valid_dag(self, tiny_graph):
+        # validate() raises on any structural violation.
+        tiny_graph.validate()
+
+    def test_duration_cdf_matches_figure4(self):
+        """Fig 4 calibration: ~80% of nodes < 20us, >90% < 1ms."""
+        graph = generate_graph(INCEPTION_V4, scale=0.05, seed=1)
+        durations = [n.duration(100) for n in graph.nodes if n.is_gpu]
+        under_20us = sum(1 for d in durations if d <= 20e-6) / len(durations)
+        under_1ms = sum(1 for d in durations if d <= 1e-3) / len(durations)
+        assert 0.6 <= under_20us <= 0.9
+        assert under_1ms >= 0.9
+
+    def test_smaller_batch_shifts_cdf_left(self):
+        graph = generate_graph(INCEPTION_V4, scale=0.05, seed=1)
+        d10 = sum(n.duration(10) for n in graph.nodes if n.is_gpu)
+        d100 = sum(n.duration(100) for n in graph.nodes if n.is_gpu)
+        assert d10 < d100
+
+    def test_branch_structure_present(self, tiny_graph):
+        # At least one node must join multiple branches.
+        assert any(n.num_parents > 1 for n in tiny_graph.nodes)
+
+    def test_all_registry_models_generate(self):
+        for name in MODEL_REGISTRY:
+            graph = generate_graph(MODEL_REGISTRY[name], scale=0.01, seed=1)
+            graph.validate()
+            assert graph.num_gpu_nodes >= 20
