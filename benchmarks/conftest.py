@@ -17,7 +17,17 @@ from pathlib import Path
 
 import pytest
 
+from repro.faults import InvariantChecker, set_default_invariant_factory
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def invariant_checking():
+    """Benchmarks run with the scheduler invariant checker armed too."""
+    previous = set_default_invariant_factory(InvariantChecker)
+    yield
+    set_default_invariant_factory(previous)
 
 
 @pytest.fixture(scope="session")

@@ -6,7 +6,10 @@ Four commands cover the operator workflow of Figure 7:
 * ``repro profile`` — run the offline profiler for some (model, batch)
   pairs and persist the bundle (profiles, curves, selected Q) to JSON.
 * ``repro serve`` — run a serving experiment under a chosen scheduler,
-  optionally loading a persisted profile bundle.
+  optionally loading a persisted profile bundle and/or injecting a
+  fault plan (``--fault-plan``/``--fault-seed``).
+* ``repro faults`` — generate, inspect, or persist deterministic
+  fault-injection plans (see :mod:`repro.faults`).
 * ``repro reproduce`` — regenerate one of the paper's tables/figures.
 
 Invoke as ``python -m repro <command> ...``.
@@ -84,11 +87,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .core import load_profiler_output
     from .experiments import ExperimentConfig, run_workload
+    from .faults import FaultPlan
     from .metrics.report import format_seconds, render_table
+    from .serving import RetryPolicy
     from .workloads import homogeneous_workload
 
     config = ExperimentConfig(
-        scale=args.scale, seed=args.seed, quantum=args.quantum
+        scale=args.scale,
+        seed=args.seed,
+        quantum=args.quantum,
+        stall_threshold=args.stall_threshold,
     )
     specs = homogeneous_workload(
         num_clients=args.clients,
@@ -99,12 +107,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     bundle = None
     if args.profiles:
         bundle = load_profiler_output(args.profiles)
+    plan = None
+    if args.fault_plan and args.fault_seed is not None:
+        print(
+            "error: --fault-plan and --fault-seed are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fault_plan:
+        plan = FaultPlan.load(args.fault_plan)
+    elif args.fault_seed is not None:
+        plan = FaultPlan.generate(
+            args.fault_seed,
+            client_ids=[spec.client_id for spec in specs],
+            kinds=("kernel_crash", "device_hang", "oom"),
+            num_faults=args.num_faults,
+        )
+    retry_policy = None
+    if args.retries > 0:
+        retry_policy = RetryPolicy(max_attempts=1 + args.retries)
     result = run_workload(
-        specs, scheduler=args.scheduler, config=config, profiler_output=bundle
+        specs,
+        scheduler=args.scheduler,
+        config=config,
+        profiler_output=bundle,
+        fault_plan=plan,
+        retry_policy=retry_policy,
+        require_completion=plan is None,
     )
     rows = [
-        [cid, format_seconds(t, 3)]
-        for cid, t in sorted(result.finish_times.items())
+        [
+            client.client_id,
+            format_seconds(client.finish_time, 3)
+            if client.completed
+            else f"DID NOT FINISH ({client.failure!r})",
+        ]
+        for client in sorted(result.clients, key=lambda c: str(c.client_id))
     ]
     print(
         render_table(
@@ -119,6 +157,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if result.quantum is not None:
         print(f"quantum Q = {result.quantum * 1e6:.0f} us")
     print(f"GPU utilization = {result.utilization():.1%}")
+    if plan is not None:
+        print(
+            f"faults injected = {result.faults_injected} "
+            f"(plan: {len(plan)} spec(s))   "
+            f"retries = {result.total_retries}   "
+            f"failed batches = {result.total_failed_batches}"
+        )
+        if result.scheduler is not None and result.scheduler.evictions:
+            for eviction in result.scheduler.evictions:
+                print(
+                    f"evicted {eviction.job_id} at "
+                    f"t={eviction.time:.4f}s: {eviction.reason}"
+                )
+        print(f"trace digest = {result.trace_digest()}")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import FaultPlan
+
+    if args.action == "show":
+        if not args.plan:
+            print("error: `faults show` needs a plan file", file=sys.stderr)
+            return 2
+        plan = FaultPlan.load(args.plan)
+        print(plan.describe())
+        return 0
+    # action == "generate"
+    client_ids = [c for c in args.clients.split(",") if c]
+    if not client_ids:
+        print("error: --clients must name at least one id", file=sys.stderr)
+        return 2
+    kinds = tuple(k for k in args.kinds.split(",") if k)
+    plan = FaultPlan.generate(
+        args.seed,
+        client_ids=client_ids,
+        kinds=kinds,
+        num_faults=args.num_faults,
+        horizon=args.horizon,
+    )
+    print(plan.describe())
+    if args.out:
+        plan.save(args.out)
+        print(f"saved fault plan to {args.out}")
     return 0
 
 
@@ -149,6 +231,7 @@ def _artefacts() -> Dict[str, Callable[[], object]]:
         "ext-multigpu": ex.multigpu_scaling,
         "ext-energy": ex.energy_comparison,
         "ext-slo": ex.slo_attainment,
+        "ext-faults": ex.fault_tolerance,
     }
 
 
@@ -240,6 +323,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--profiles", default=None, help="profile bundle from `profile`"
     )
+    serve.add_argument(
+        "--fault-plan", default=None,
+        help="JSON fault plan to inject (see `repro faults`)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="generate a fault plan from this seed instead of a file",
+    )
+    serve.add_argument(
+        "--num-faults", type=int, default=3,
+        help="faults to generate with --fault-seed",
+    )
+    serve.add_argument(
+        "--stall-threshold", type=float, default=None,
+        help="evict a token holder stalled this long (simulated seconds)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=0,
+        help="client retries per failed batch (exponential backoff)",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="generate or inspect deterministic fault plans"
+    )
+    faults.add_argument(
+        "action", choices=["generate", "show"],
+        help="generate a plan from a seed, or show a saved plan",
+    )
+    faults.add_argument(
+        "plan", nargs="?", default=None, help="plan file (for `show`)"
+    )
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--clients", default="c0",
+        help="comma-separated client ids faults may target",
+    )
+    faults.add_argument(
+        "--kinds", default="kernel_crash",
+        help="comma-separated kinds: kernel_crash,device_hang,oom",
+    )
+    faults.add_argument("--num-faults", type=int, default=3)
+    faults.add_argument(
+        "--horizon", type=float, default=1.0,
+        help="latest device_hang start time (simulated seconds)",
+    )
+    faults.add_argument("--out", default=None, help="save the plan as JSON")
 
     validate = sub.add_parser(
         "validate", help="check zoo calibration against the Table 2 specs"
@@ -268,6 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "models": _cmd_models,
         "profile": _cmd_profile,
         "serve": _cmd_serve,
+        "faults": _cmd_faults,
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
     }

@@ -39,6 +39,7 @@ from .regression import (
 from .scheduler import (
     DEFAULT_WAKE_LATENCY,
     CpuTimerScheduler,
+    Eviction,
     GangScheduler,
     OlympianScheduler,
     SchedulingDecision,
@@ -77,6 +78,7 @@ __all__ = [
     "fit_linear_profile_model",
     "DEFAULT_WAKE_LATENCY",
     "CpuTimerScheduler",
+    "Eviction",
     "GangScheduler",
     "OlympianScheduler",
     "SchedulingDecision",

@@ -29,12 +29,12 @@ describes.  This falls out of the hook placement: accounting happens in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Set
 
 from ..graph.node import Node
 from ..serving.hooks import SchedulerHook
 from ..serving.request import Job
-from ..sim.core import Simulator
+from ..sim.core import Process, Simulator
 from ..sim.resources import ConditionVariable
 from .accounting import OlympianProfile, ProfileStore
 from .policies import SchedulingPolicy
@@ -42,6 +42,7 @@ from .policies import SchedulingPolicy
 __all__ = [
     "SchedulingDecision",
     "Tenure",
+    "Eviction",
     "GangScheduler",
     "OlympianScheduler",
     "CpuTimerScheduler",
@@ -80,6 +81,15 @@ class Tenure:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class Eviction:
+    """One forced removal of a job's gang by the scheduler."""
+
+    time: float
+    job_id: str
+    reason: str
+
+
 class GangScheduler(SchedulerHook):
     """Token + gang suspend/resume mechanics, policy- and quantum-agnostic."""
 
@@ -90,18 +100,35 @@ class GangScheduler(SchedulerHook):
         sim: Simulator,
         policy: SchedulingPolicy,
         wake_latency: float = DEFAULT_WAKE_LATENCY,
+        stall_threshold: Optional[float] = None,
     ):
         if wake_latency < 0:
             raise ValueError(f"wake latency must be >= 0: {wake_latency}")
+        if stall_threshold is not None and stall_threshold <= 0:
+            raise ValueError(
+                f"stall threshold must be positive: {stall_threshold}"
+            )
         self.sim = sim
         self.policy = policy
         self.wake_latency = wake_latency
+        self.stall_threshold = stall_threshold
         self.holder: Optional[Job] = None
         self.decisions: List[SchedulingDecision] = []
         self.tenures: List[Tenure] = []
+        self.evictions: List[Eviction] = []
         self.switch_count = 0
         self._conditions: Dict[str, ConditionVariable] = {}
         self._current_tenure: Optional[Tenure] = None
+        self._evicted: Set[str] = set()
+        self._last_progress = 0.0
+        self._watchdog: Optional[Process] = None
+        # Armed process-wide by test harnesses (see repro.faults); a
+        # checker observes decisions/charges without creating events.
+        from ..faults.invariants import default_invariant_checker
+
+        self.invariants = default_invariant_checker()
+        if self.invariants is not None:
+            self.invariants.attached(self)
 
     # ------------------------------------------------------------------
     # SchedulerHook interface
@@ -111,8 +138,12 @@ class GangScheduler(SchedulerHook):
         self._conditions[job.job_id] = ConditionVariable(self.sim)
         self._prepare_job(job)
         self.policy.on_register(job)
+        self._last_progress = self.sim.now
+        if self.invariants is not None:
+            self.invariants.after_register(self, job)
         if self.holder is None:
             self._grant(job, prev=None, wake=False)
+        self._start_watchdog()
 
     def on_cancel(self, job: Job) -> None:
         """Wake the job's parked gang so it can observe cancellation."""
@@ -120,25 +151,82 @@ class GangScheduler(SchedulerHook):
         if condition is not None:
             condition.notify_all()
 
+    def on_fail(self, job: Job) -> None:
+        """The job died (``job.failed`` already set): release its gang.
+
+        Wakes parked threads so they drain, removes the job from the
+        policy so the token cannot return to it, and reclaims the
+        token if the dead job holds it.
+        """
+        self._release(job)
+
+    def evict(self, job: Job, reason: str = "evicted by scheduler") -> None:
+        """Forcibly remove a job's gang (stall watchdog, operator).
+
+        The job is marked failed with a typed
+        :class:`~repro.faults.errors.JobEvicted` cause; its ``done``
+        event fails with :class:`~repro.serving.failures.JobFailed`
+        once the gang drains.
+        """
+        if job.done.triggered or job.failed:
+            return
+        from ..faults.errors import JobEvicted
+
+        job.failed = True
+        job.failure = JobEvicted(job.job_id, reason)
+        self.evictions.append(Eviction(self.sim.now, job.job_id, reason))
+        self._release(job)
+
+    def _release(self, job: Job) -> None:
+        """Common teardown for failed/evicted jobs.
+
+        Every waiter parked on the job's condition variable MUST be
+        woken here: a failed non-holder's threads are parked in
+        ``yield_`` and nothing else will ever signal them (the latent
+        deadlock this path exists to prevent).
+        """
+        if job.job_id not in self._evicted:
+            self._evicted.add(job.job_id)
+            if job in self.policy.active_jobs:
+                self.policy.on_deregister(job)
+        condition = self._conditions.get(job.job_id)
+        if condition is not None:
+            condition.notify_all()
+        if self.holder is job:
+            self._switch(job)
+
     def deregister(self, job: Job) -> None:
-        self.policy.on_deregister(job)
+        # An evicted job was already removed from the policy (and its
+        # waiters signalled) by _release; doing it twice would corrupt
+        # policy state.
+        if job.job_id in self._evicted:
+            self._evicted.discard(job.job_id)
+        else:
+            self.policy.on_deregister(job)
         condition = self._conditions.pop(job.job_id, None)
         if condition is not None:
             condition.notify_all()
         self._forget_job(job)
         if self.holder is job:
             self._switch(job)
+        if self.invariants is not None:
+            self.invariants.after_deregister(self, job)
 
     def yield_(self, job: Job) -> Iterator:
         while self.holder is not job:
-            if job.cancelled:
-                # Cancelled jobs drain without waiting for the token.
+            if job.aborted:
+                # Cancelled/failed jobs drain without waiting for the
+                # token; waiting would deadlock (no future grant).
                 return
             condition = self._conditions.get(job.job_id)
             if condition is None:
                 # Defensive: an unregistered job is never blocked.
                 return
             yield condition.wait()
+
+    def on_node_done(self, job: Job, node: Node) -> None:
+        """Base bookkeeping: node completions are gang progress."""
+        self._last_progress = self.sim.now
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -149,6 +237,46 @@ class GangScheduler(SchedulerHook):
 
     def _forget_job(self, job: Job) -> None:
         """Called on deregister."""
+
+    # ------------------------------------------------------------------
+    # Stall watchdog
+    # ------------------------------------------------------------------
+
+    def _start_watchdog(self) -> None:
+        if self.stall_threshold is None:
+            return
+        if self._watchdog is not None and self._watchdog.is_alive:
+            return
+        self._watchdog = self.sim.process(
+            self._watchdog_body(), name=f"watchdog:{self.name}"
+        )
+
+    def _watchdog_body(self) -> Iterator:
+        """Evict the holder if no node completes for a full threshold.
+
+        The watchdog only lives while jobs are registered, so an idle
+        scheduler does not keep the simulation's event queue non-empty
+        forever.
+        """
+        threshold = self.stall_threshold
+        assert threshold is not None
+        while self._conditions:
+            yield self.sim.timeout(threshold)
+            holder = self.holder
+            if (
+                holder is not None
+                and not holder.aborted
+                and not holder.done.triggered
+                and self.sim.now - self._last_progress >= threshold
+            ):
+                self.evict(
+                    holder,
+                    reason=(
+                        f"no progress for {self.sim.now - self._last_progress:.6f}s "
+                        f"(stall threshold {threshold:.6f}s)"
+                    ),
+                )
+        self._watchdog = None
 
     # ------------------------------------------------------------------
     # Token machinery
@@ -165,14 +293,15 @@ class GangScheduler(SchedulerHook):
             self._current_tenure.end = now
             self.tenures.append(self._current_tenure)
             self._current_tenure = None
-        self.decisions.append(
-            SchedulingDecision(
-                time=now,
-                prev_job_id=prev.job_id if prev is not None else None,
-                next_job_id=job.job_id if job is not None else None,
-            )
+        decision = SchedulingDecision(
+            time=now,
+            prev_job_id=prev.job_id if prev is not None else None,
+            next_job_id=job.job_id if job is not None else None,
         )
+        self.decisions.append(decision)
         self.holder = job
+        if self.invariants is not None:
+            self.invariants.after_decision(self, decision)
         if job is None:
             return
         self._current_tenure = Tenure(
@@ -211,8 +340,9 @@ class OlympianScheduler(GangScheduler):
         quantum: float,
         profiles: ProfileStore,
         wake_latency: float = DEFAULT_WAKE_LATENCY,
+        stall_threshold: Optional[float] = None,
     ):
-        super().__init__(sim, policy, wake_latency)
+        super().__init__(sim, policy, wake_latency, stall_threshold=stall_threshold)
         if quantum <= 0:
             raise ValueError(f"quantum must be positive: {quantum}")
         self.quantum = quantum
@@ -234,18 +364,24 @@ class OlympianScheduler(GangScheduler):
 
     def on_node_done(self, job: Job, node: Node) -> None:
         """Algorithm 2 lines 14-18: accumulate cost, maybe hand off."""
+        super().on_node_done(job, node)
         if not node.is_gpu:
             return
         profile = self._job_profiles.get(job.job_id)
         if profile is None:
             return
-        job.cumulated_cost += profile.cost(node.node_id)
+        cost = profile.cost(node.node_id)
+        job.cumulated_cost += cost
+        if self.invariants is not None:
+            self.invariants.after_charge(self, job, cost)
         threshold = self._thresholds[job.job_id]
         # Only a holder's threshold crossing triggers a hand-off; an
         # overflow node of a switched-out job keeps accumulating and
         # shortens that job's *next* quantum instead (Figure 15).
         if self.holder is job and job.cumulated_cost >= threshold:
             job.cumulated_cost -= threshold
+            if self.invariants is not None:
+                self.invariants.after_quantum(self, job, threshold)
             self._switch(job)
 
 
@@ -269,13 +405,15 @@ class CpuTimerScheduler(GangScheduler):
         policy: SchedulingPolicy,
         quantum: float,
         wake_latency: float = DEFAULT_WAKE_LATENCY,
+        stall_threshold: Optional[float] = None,
     ):
-        super().__init__(sim, policy, wake_latency)
+        super().__init__(sim, policy, wake_latency, stall_threshold=stall_threshold)
         if quantum <= 0:
             raise ValueError(f"quantum must be positive: {quantum}")
         self.quantum = quantum
 
     def on_node_done(self, job: Job, node: Node) -> None:
+        super().on_node_done(job, node)
         if self.holder is not job or self._current_tenure is None:
             return
         if self.sim.now - self._current_tenure.start >= self.quantum:

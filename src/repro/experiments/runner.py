@@ -36,10 +36,14 @@ from ..core.scheduler import (
     GangScheduler,
     OlympianScheduler,
 )
+from ..faults.determinism import trace_digest
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..graph.graph import Graph
 from ..gpu.specs import GTX_1080_TI, GpuSpec
 from ..metrics import collectors
 from ..serving.client import Client
+from ..serving.failures import RetryPolicy
 from ..serving.server import ModelServer, ServerConfig
 from ..sim.core import Simulator
 from ..sim.rng import derive_seed
@@ -105,6 +109,9 @@ class ExperimentConfig:
     wake_latency: float = DEFAULT_WAKE_LATENCY
     curve_batches: int = 4
     track_memory: bool = False
+    # Evict a token holder that makes no progress for this long
+    # (simulated seconds); None disables the stall watchdog.
+    stall_threshold: Optional[float] = None
 
 
 def get_graph(model: str, scale: float, graph_seed: int) -> Graph:
@@ -184,7 +191,11 @@ def _make_scheduler(
                 raise ValueError("timer scheduler needs a quantum or profiles")
             quantum = profiler_output.quantum
         return CpuTimerScheduler(
-            sim, FairSharing(), quantum=quantum, wake_latency=config.wake_latency
+            sim,
+            FairSharing(),
+            quantum=quantum,
+            wake_latency=config.wake_latency,
+            stall_threshold=config.stall_threshold,
         )
     if profiler_output is None:
         raise ValueError(f"scheduler {kind!r} requires profiler output")
@@ -209,6 +220,7 @@ def _make_scheduler(
         quantum=profiler_output.quantum,
         profiles=profiler_output.store,
         wake_latency=config.wake_latency,
+        stall_threshold=config.stall_threshold,
     )
 
 
@@ -224,6 +236,8 @@ class ExperimentResult:
     clients: List[Client]
     profiler_output: Optional[ProfilerOutput]
     quantum: Optional[float]
+    fault_plan: Optional[FaultPlan] = None
+    injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     # Metric accessors (paper quantities)
@@ -267,6 +281,38 @@ class ExperimentResult:
     def completed(self) -> bool:
         return all(client.completed for client in self.clients)
 
+    # ------------------------------------------------------------------
+    # Robustness accessors
+    # ------------------------------------------------------------------
+
+    def trace_digest(self) -> str:
+        """SHA-256 digest of the run's observable behaviour.
+
+        Identical seeds and fault plans must produce identical digests
+        — the determinism property the fault suite locks down.
+        """
+        return trace_digest(
+            self.server, scheduler=self.scheduler, clients=self.clients
+        )
+
+    @property
+    def faults_injected(self) -> int:
+        if self.injector is None:
+            return 0
+        return (
+            self.injector.kernels_crashed
+            + self.injector.ooms_injected
+            + self.injector.hangs_injected
+        )
+
+    @property
+    def total_failed_batches(self) -> int:
+        return sum(client.failed_batches for client in self.clients)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(client.retries for client in self.clients)
+
 
 def run_workload(
     specs: Sequence[ClientSpec],
@@ -274,11 +320,21 @@ def run_workload(
     config: Optional[ExperimentConfig] = None,
     profiler_output: Optional[ProfilerOutput] = None,
     require_completion: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    batch_timeout: Optional[float] = None,
 ) -> ExperimentResult:
     """Run a workload under a scheduler kind and collect everything.
 
     ``scheduler`` is one of :data:`SCHEDULER_KINDS`.  A cached profiler
     output is built automatically when the scheduler needs one.
+
+    ``fault_plan`` attaches a deterministic
+    :class:`~repro.faults.injector.FaultInjector` to the server;
+    ``retry_policy``/``batch_timeout`` give every client the
+    corresponding robustness behaviour.  With faults a client may lose
+    batches, so ``require_completion`` then only demands the client
+    *loops* finish, not that every batch succeeded.
     """
     config = config or ExperimentConfig()
     if scheduler not in SCHEDULER_KINDS:
@@ -302,6 +358,10 @@ def run_workload(
         seed=derive_seed(config.seed, f"run:{scheduler}"),
     )
     server = ModelServer(sim, server_config, scheduler=gang_scheduler)
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan)
+        injector.attach(server)
     for model in sorted({spec.model for spec in specs}):
         graph = get_graph(model, config.scale, config.graph_seed)
         server.load_model(graph, memory_mb=MODEL_REGISTRY[model].memory_mb)
@@ -318,6 +378,8 @@ def run_workload(
             priority=spec.priority,
             think_time=spec.think_time,
             start_delay=spec.start_delay,
+            batch_timeout=batch_timeout,
+            retry_policy=retry_policy,
         )
         for spec in specs
     ]
@@ -344,4 +406,6 @@ def run_workload(
         clients=clients,
         profiler_output=profiler_output,
         quantum=quantum,
+        fault_plan=fault_plan,
+        injector=injector,
     )

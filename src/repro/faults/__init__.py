@@ -1,0 +1,43 @@
+"""Fault injection and robustness checking.
+
+Deterministic, seed-driven GPU fault injection (kernel launch
+failures, bounded device hangs, allocation OOMs) plus the always-on
+scheduler invariant checker.  See ``DESIGN.md`` ("Failure model") for
+the semantics and ``repro.serving.failures`` for the client-visible
+exception/retry vocabulary.
+"""
+
+from .errors import (
+    DeviceHang,
+    GpuFault,
+    InjectedOutOfMemory,
+    JobEvicted,
+    KernelLaunchFailure,
+)
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .injector import FaultInjector, InjectedFault
+from .invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    default_invariant_checker,
+    set_default_invariant_factory,
+)
+from .determinism import trace_digest
+
+__all__ = [
+    "DeviceHang",
+    "GpuFault",
+    "InjectedOutOfMemory",
+    "JobEvicted",
+    "KernelLaunchFailure",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedFault",
+    "InvariantChecker",
+    "InvariantViolation",
+    "default_invariant_checker",
+    "set_default_invariant_factory",
+    "trace_digest",
+]

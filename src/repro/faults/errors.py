@@ -1,0 +1,90 @@
+"""Typed fault exceptions: the vocabulary of the failure model.
+
+Every injected fault surfaces as one of these types, so robustness
+code (session drain, client retries, tests) can dispatch on *what*
+went wrong rather than string-matching messages.  The hierarchy:
+
+* :class:`GpuFault` — base of every simulated GPU-side failure.  The
+  class attribute ``retryable`` marks faults that a client may safely
+  retry (the request never produced partial output visible to the
+  caller; re-submission is idempotent in this serving model).
+* :class:`KernelLaunchFailure` — a kernel launch rejected by the
+  driver (the simulated analogue of ``CUDA_ERROR_LAUNCH_FAILED``).
+* :class:`DeviceHang` — marker type describing a device stall; the
+  hang itself is injected as a bounded execution delay, but the type
+  is used as a cause when a hang triggers a stall eviction.
+* :class:`InjectedOutOfMemory` — an allocation failed by fault
+  injection rather than genuine capacity exhaustion.  Subclasses
+  :class:`~repro.gpu.memory.GpuOutOfMemory` so every existing OOM
+  handler treats it identically.
+* :class:`JobEvicted` — the scheduler reclaimed the job's token
+  (gang stall past the threshold, or explicit eviction).
+"""
+
+from __future__ import annotations
+
+from ..gpu.memory import GpuOutOfMemory
+
+__all__ = [
+    "GpuFault",
+    "KernelLaunchFailure",
+    "DeviceHang",
+    "InjectedOutOfMemory",
+    "JobEvicted",
+]
+
+
+class GpuFault(Exception):
+    """Base class of simulated GPU-side failures.
+
+    ``retryable`` is consulted by the client-side
+    :class:`~repro.serving.failures.RetryPolicy`.
+    """
+
+    retryable = True
+
+
+class KernelLaunchFailure(GpuFault):
+    """A kernel launch was rejected by the (simulated) driver."""
+
+    def __init__(self, job_id, node_id: int, reason: str = "launch failed"):
+        super().__init__(
+            f"kernel launch failed for job {job_id!r} node {node_id}: {reason}"
+        )
+        self.job_id = job_id
+        self.node_id = node_id
+        self.reason = reason
+
+
+class DeviceHang(GpuFault):
+    """Describes a bounded device stall (used as an eviction cause)."""
+
+    def __init__(self, duration: float):
+        super().__init__(f"device hung for {duration:.6f} s")
+        self.duration = duration
+
+
+class InjectedOutOfMemory(GpuOutOfMemory, GpuFault):
+    """An allocation failed by injection, not capacity.
+
+    Inherits :class:`GpuOutOfMemory` so code that already handles
+    capacity OOM (client submit paths, scaling sweeps) needs no
+    changes, and :class:`GpuFault` so retry policies recognise it.
+    """
+
+    def __init__(self, owner, size_mb: int):
+        # GpuOutOfMemory's signature is (requested_mb, free_mb); an
+        # injected failure reports the requested size with "free" left
+        # at the requested size to signal it was not a capacity issue.
+        GpuOutOfMemory.__init__(self, size_mb, size_mb)
+        self.args = (f"injected GPU OOM for owner {owner!r} ({size_mb} MB)",)
+        self.owner = owner
+
+
+class JobEvicted(GpuFault):
+    """The scheduler evicted the job's gang and reclaimed its token."""
+
+    def __init__(self, job_id: str, reason: str):
+        super().__init__(f"job {job_id!r} evicted: {reason}")
+        self.job_id = job_id
+        self.reason = reason

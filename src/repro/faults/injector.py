@@ -1,0 +1,163 @@
+"""The fault injector: wires a :class:`FaultPlan` into a live server.
+
+:meth:`FaultInjector.attach` installs three interception points on a
+:class:`~repro.serving.server.ModelServer`'s simulated hardware:
+
+* the GPU driver's ``launch_interceptor`` — ``kernel_crash`` faults
+  reject matching launches, failing the kernel's ``done`` event with
+  :class:`~repro.faults.errors.KernelLaunchFailure` (delivered into the
+  gang thread via the simulator's ``Event.fail`` path);
+* the memory pool's ``fault_hook`` (plus a submit-time check for
+  servers running with memory tracking disabled) — ``oom`` faults
+  raise :class:`~repro.faults.errors.InjectedOutOfMemory`;
+* a one-shot simulation process per ``device_hang`` fault that stalls
+  the device engine for the bounded interval.
+
+Everything the injector does is driven by the declarative plan and the
+simulation clock — no wall-clock time, no unseeded randomness — so an
+injected run is exactly as deterministic as a clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from .errors import InjectedOutOfMemory, KernelLaunchFailure
+from .plan import FaultPlan, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..serving.server import ModelServer
+
+__all__ = ["InjectedFault", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Record of one fault actually delivered."""
+
+    time: float
+    kind: str
+    target: Any
+
+
+class _OrdinalState:
+    """Per-spec counters for ordinal (after/every/count) targeting."""
+
+    __slots__ = ("spec", "seen", "fired")
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.seen = 0
+        self.fired = 0
+
+    def should_fire(self, job_id: Any) -> bool:
+        spec = self.spec
+        if not spec.matches(job_id):
+            return False
+        self.seen += 1
+        if self.seen <= spec.after:
+            return False
+        if spec.count and self.fired >= spec.count:
+            return False
+        if (self.seen - spec.after - 1) % spec.every != 0:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultInjector:
+    """Delivers a plan's faults into one server's simulated hardware."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.server: Optional["ModelServer"] = None
+        self.injected: List[InjectedFault] = []
+        self._crash_states = [
+            _OrdinalState(spec) for spec in plan.of_kind("kernel_crash")
+        ]
+        self._oom_states = [
+            _OrdinalState(spec) for spec in plan.of_kind("oom")
+        ]
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, server: "ModelServer") -> "FaultInjector":
+        """Install the plan's interception points on ``server``."""
+        if self._attached:
+            raise RuntimeError("injector already attached")
+        self._attached = True
+        self.server = server
+        server.fault_injector = self
+        if self._crash_states:
+            server.driver.launch_interceptor = self._on_launch
+        if self._oom_states:
+            server.memory.fault_hook = self._on_alloc
+        for spec in self.plan.of_kind("device_hang"):
+            server.sim.process(
+                self._hang_process(server, spec),
+                name=f"fault:hang@{spec.at:g}",
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Interception points
+    # ------------------------------------------------------------------
+
+    def _on_launch(self, job_id: Any, node_id: int) -> Optional[BaseException]:
+        """Driver launch interceptor: exception => reject the launch."""
+        for state in self._crash_states:
+            if state.should_fire(job_id):
+                self.injected.append(
+                    InjectedFault(self.server.sim.now, "kernel_crash", job_id)
+                )
+                return KernelLaunchFailure(job_id, node_id, "injected fault")
+        return None
+
+    def _on_alloc(self, owner: Any, size_mb: int) -> Optional[Exception]:
+        """Memory-pool fault hook: exception => fail the allocation."""
+        for state in self._oom_states:
+            if state.should_fire(owner):
+                self.injected.append(
+                    InjectedFault(self.server.sim.now, "oom", owner)
+                )
+                return InjectedOutOfMemory(owner, size_mb)
+        return None
+
+    def check_submit(self, job_id: Any, size_mb: int) -> None:
+        """Submit-time OOM check for servers not tracking memory.
+
+        Mirrors :meth:`_on_alloc` so ``oom`` faults fire whether or not
+        the server routes submissions through the memory pool.
+        """
+        exc = self._on_alloc(job_id, size_mb)
+        if exc is not None:
+            raise exc
+
+    def _hang_process(self, server: "ModelServer", spec: FaultSpec):
+        now = server.sim.now
+        if spec.at > now:
+            yield server.sim.timeout(spec.at - now)
+        server.device.inject_hang(spec.duration)
+        self.injected.append(
+            InjectedFault(server.sim.now, "device_hang", spec.duration)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def kernels_crashed(self) -> int:
+        return sum(1 for f in self.injected if f.kind == "kernel_crash")
+
+    @property
+    def ooms_injected(self) -> int:
+        return sum(1 for f in self.injected if f.kind == "oom")
+
+    @property
+    def hangs_injected(self) -> int:
+        return sum(1 for f in self.injected if f.kind == "device_hang")

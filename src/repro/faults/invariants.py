@@ -1,0 +1,260 @@
+"""Always-on scheduler invariant checking.
+
+:class:`InvariantChecker` is a :class:`~repro.serving.hooks.SchedulerHook`
+that observes a :class:`~repro.core.scheduler.GangScheduler` from the
+inside: the scheduler calls back into it after every registration,
+token decision, cost charge, and deregistration, and the checker
+asserts the properties Olympian's correctness rests on:
+
+* **Single token holder** — every decision installs exactly the job it
+  names; the holder is registered, known to the policy, and not a
+  failed (evicted) job; tenures never overlap.
+* **Cost-accounting conservation** — for every job, the sum of node
+  costs charged equals the job's live ``cumulated_cost`` plus the
+  thresholds consumed by its completed quanta (Algorithm 2's
+  bookkeeping never loses or invents cost).
+* **No starvation under fair sharing** — with the plain
+  :class:`~repro.core.policies.FairSharing` policy, no active job
+  waits more than one full rotation (plus slack for same-tick churn)
+  between token grants.
+
+The checker is *pure*: it creates no simulation events and draws no
+randomness, so enabling it cannot perturb the event schedule — the
+property the determinism suite verifies by comparing trace digests
+with and without the checker installed.
+
+A process-wide default factory (:func:`set_default_invariant_factory`)
+lets a test harness arm every scheduler built anywhere in the process;
+the repository's ``tests/conftest.py`` installs it for the whole suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..serving.hooks import SchedulerHook
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.scheduler import GangScheduler, SchedulingDecision
+    from ..serving.request import Job
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantChecker",
+    "set_default_invariant_factory",
+    "default_invariant_checker",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A scheduler invariant was broken.
+
+    Subclasses :class:`AssertionError` so a violation fails tests even
+    inside code that broadly catches :class:`Exception`.
+    """
+
+
+# Slack on the fair-sharing rotation bound: register/deregister churn
+# creates extra hand-off decisions (a departing holder grants its
+# successor early; an arrival on an idle scheduler grants immediately),
+# so a waiting job legitimately sees more decisions than one rotation.
+_FAIR_WAIT_SLACK = 4
+
+# Relative tolerance for float cost conservation.
+_COST_RTOL = 1e-9
+
+
+class InvariantChecker(SchedulerHook):
+    """Asserts scheduler invariants on every decision.
+
+    One checker instance watches one scheduler.  All counters are
+    exposed for tests (``decisions_checked``, ``charges_checked``) so
+    suites can assert the checker actually ran.
+    """
+
+    name = "invariants"
+
+    def __init__(self):
+        self.scheduler: Optional["GangScheduler"] = None
+        self.decisions_checked = 0
+        self.charges_checked = 0
+        self.violations: List[str] = []
+        self._charged: Dict[str, float] = {}
+        self._consumed: Dict[str, float] = {}
+        self._waits: Dict[str, int] = {}
+        # Peak number of concurrently active jobs observed while each
+        # waiter has been waiting — the rotation length its wait is
+        # judged against (the *current* active count would be unfairly
+        # tight after other jobs deregister).
+        self._wait_peak: Dict[str, int] = {}
+        self._last_tenure_end: float = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Violation plumbing
+    # ------------------------------------------------------------------
+
+    def _violate(self, message: str) -> None:
+        self.violations.append(message)
+        raise InvariantViolation(message)
+
+    # ------------------------------------------------------------------
+    # Observer callbacks (invoked by GangScheduler)
+    # ------------------------------------------------------------------
+
+    def attached(self, scheduler: "GangScheduler") -> None:
+        self.scheduler = scheduler
+
+    def after_register(self, scheduler: "GangScheduler", job: "Job") -> None:
+        self._charged.setdefault(job.job_id, 0.0)
+        self._consumed.setdefault(job.job_id, 0.0)
+        self._waits[job.job_id] = 0
+
+    def after_decision(
+        self, scheduler: "GangScheduler", decision: "SchedulingDecision"
+    ) -> None:
+        self.decisions_checked += 1
+        holder = scheduler.holder
+        holder_id = holder.job_id if holder is not None else None
+        # 1. The decision and the installed holder agree.
+        if decision.next_job_id != holder_id:
+            self._violate(
+                f"decision at t={decision.time:.9f} names "
+                f"{decision.next_job_id!r} but holder is {holder_id!r}"
+            )
+        if holder is None:
+            return
+        # 2. Single-token-holder: the holder must be a live, registered
+        # job the policy still knows about, and never a failed one.
+        if holder.failed:
+            self._violate(
+                f"token granted to failed job {holder.job_id!r} "
+                f"at t={decision.time:.9f}"
+            )
+        if holder.job_id not in scheduler._conditions:
+            self._violate(
+                f"token granted to unregistered job {holder.job_id!r} "
+                f"at t={decision.time:.9f}"
+            )
+        if holder not in scheduler.policy.active_jobs:
+            self._violate(
+                f"token granted to job {holder.job_id!r} unknown to the "
+                f"{scheduler.policy.name!r} policy at t={decision.time:.9f}"
+            )
+        # 3. Tenures never overlap: the new tenure opens at or after
+        # the previous one closed.
+        tenure = scheduler._current_tenure
+        if tenure is not None:
+            if scheduler.tenures:
+                last_end = scheduler.tenures[-1].end
+                if last_end is not None and tenure.start < last_end:
+                    self._violate(
+                        f"tenure for {tenure.job_id!r} opens at "
+                        f"{tenure.start:.9f} before the previous tenure "
+                        f"closed at {last_end:.9f}"
+                    )
+            self._last_tenure_end = tenure.start
+        # 4. No starvation under plain fair sharing.
+        self._check_starvation(scheduler, holder_id)
+
+    def _check_starvation(
+        self, scheduler: "GangScheduler", holder_id: str
+    ) -> None:
+        policy = scheduler.policy
+        active_ids = {job.job_id for job in policy.active_jobs}
+        for job_id in list(self._waits):
+            if job_id not in active_ids:
+                self._waits.pop(job_id)
+                self._wait_peak.pop(job_id, None)
+        population = len(active_ids)
+        for job_id in active_ids:
+            self._waits[job_id] = self._waits.get(job_id, 0) + 1
+            if population > self._wait_peak.get(job_id, 0):
+                self._wait_peak[job_id] = population
+        if holder_id in self._waits:
+            self._waits[holder_id] = 0
+            self._wait_peak[holder_id] = population
+        if getattr(policy, "name", "") != "fair":
+            return
+        # A fair rotation grants every waiter within one pass over the
+        # active set; churn decisions (arrivals/departures) can roughly
+        # double that in the worst case, never more.  Genuine
+        # starvation grows without bound and always trips this.
+        for job_id, waited in self._waits.items():
+            bound = 2 * self._wait_peak.get(job_id, population) + _FAIR_WAIT_SLACK
+            if waited > bound:
+                self._violate(
+                    f"fair-sharing starvation: job {job_id!r} waited "
+                    f"{waited} decisions (> {bound}) for the token"
+                )
+
+    def after_charge(
+        self, scheduler: "GangScheduler", job: "Job", cost: float
+    ) -> None:
+        self.charges_checked += 1
+        if cost < 0:
+            self._violate(
+                f"negative cost {cost!r} charged to job {job.job_id!r}"
+            )
+        self._charged[job.job_id] = self._charged.get(job.job_id, 0.0) + cost
+        self._check_conservation(job)
+
+    def after_quantum(
+        self, scheduler: "GangScheduler", job: "Job", threshold: float
+    ) -> None:
+        self._consumed[job.job_id] = (
+            self._consumed.get(job.job_id, 0.0) + threshold
+        )
+        self._check_conservation(job)
+
+    def after_deregister(self, scheduler: "GangScheduler", job: "Job") -> None:
+        self._check_conservation(job)
+        self._waits.pop(job.job_id, None)
+
+    def _check_conservation(self, job: "Job") -> None:
+        charged = self._charged.get(job.job_id, 0.0)
+        consumed = self._consumed.get(job.job_id, 0.0)
+        residual = charged - consumed - job.cumulated_cost
+        tolerance = _COST_RTOL * max(1.0, abs(charged), abs(consumed))
+        if abs(residual) > tolerance:
+            self._violate(
+                f"cost conservation broken for job {job.job_id!r}: "
+                f"charged {charged!r} - consumed {consumed!r} != "
+                f"cumulated {job.cumulated_cost!r} "
+                f"(residual {residual!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+# Process-wide default (armed by test harnesses)
+# ----------------------------------------------------------------------
+
+_default_factory: Optional[Callable[[], InvariantChecker]] = None
+
+
+def set_default_invariant_factory(
+    factory: Optional[Callable[[], InvariantChecker]],
+) -> Optional[Callable[[], InvariantChecker]]:
+    """Install a factory used to arm every new ``GangScheduler``.
+
+    Returns the previous factory so callers can restore it.  Pass
+    ``None`` to disarm.
+    """
+    global _default_factory
+    previous = _default_factory
+    _default_factory = factory
+    return previous
+
+
+def default_invariant_checker() -> Optional[InvariantChecker]:
+    """A fresh checker from the installed factory, or ``None``."""
+    if _default_factory is None:
+        return None
+    return _default_factory()

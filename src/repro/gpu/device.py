@@ -50,6 +50,12 @@ class GpuDevice:
         self.kernels_executed = 0
         self.busy_time = 0.0
         self.current_kernel: Optional[Kernel] = None
+        # Fault injection: the engine stalls (no kernel starts) until
+        # this simulated time.  In-flight kernels are not extended —
+        # real hangs block the queue, not work already retired.
+        self._hang_until = 0.0
+        self.hangs_injected = 0
+        self.hang_time = 0.0
         # Effective clock state for this device instance (thermal/boost
         # variation across runs, paper §4.4).
         if spec.clock_jitter > 0 and rng is not None:
@@ -69,9 +75,33 @@ class GpuDevice:
             + self.spec.kernel_overhead
         )
 
+    def inject_hang(self, duration: float) -> None:
+        """Stall the engine for ``duration`` simulated seconds.
+
+        Kernels already executing finish normally; the next kernel
+        does not start until the hang interval has elapsed.
+        Overlapping hangs extend the stall rather than stacking.
+        """
+        if duration <= 0:
+            raise ValueError(f"hang duration must be positive: {duration}")
+        until = self.sim.now + duration
+        if until > self._hang_until:
+            self.hang_time += until - max(self._hang_until, self.sim.now)
+            self._hang_until = until
+        self.hangs_injected += 1
+
+    @property
+    def hung(self) -> bool:
+        """True while an injected hang is blocking the engine."""
+        return self.sim.now < self._hang_until
+
     def _run(self):
         while True:
             kernel: Kernel = yield self.driver.next_kernel()
+            if self.sim.now < self._hang_until:
+                # Injected device hang: sit out the remaining stall
+                # before this kernel may start.
+                yield self.sim.timeout(self._hang_until - self.sim.now)
             self.current_kernel = kernel
             start = self.sim.now
             kernel.started_at = start

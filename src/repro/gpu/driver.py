@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional
 
 from ..graph.node import Node
 from ..sim.core import Event, Simulator
@@ -63,6 +63,13 @@ class Driver:
         self.submission_counts: Dict[Any, int] = {}
         self.max_queue_depth = 0
         self.stream_switches = 0
+        # Fault-injection seam: called as (job_id, node_id) before a
+        # kernel is queued; returning an exception rejects the launch
+        # (the kernel's ``done`` fails instead of the kernel running).
+        self.launch_interceptor: Optional[
+            Callable[[Any, int], Optional[BaseException]]
+        ] = None
+        self.failed_launches = 0
 
     # ------------------------------------------------------------------
     # Submission side (called by gang threads)
@@ -81,6 +88,15 @@ class Driver:
         kernel = Kernel(self.sim, job_id, node.node_id, duration)
         kernel.submitted_at = self.sim.now
         self.submission_counts[job_id] = self.submission_counts.get(job_id, 0) + 1
+        if self.launch_interceptor is not None:
+            fault = self.launch_interceptor(job_id, node.node_id)
+            if fault is not None:
+                # Rejected at the driver boundary: the kernel never
+                # reaches a stream; its waiter sees the fault raised at
+                # the yield point (Event.fail propagation).
+                self.failed_launches += 1
+                kernel.done.fail(fault)
+                return kernel
         queue = self._queues.get(job_id)
         if queue is None:
             queue = deque()

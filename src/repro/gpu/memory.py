@@ -10,7 +10,7 @@ footprint for its lifetime, and an allocation beyond capacity raises
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 __all__ = ["GpuOutOfMemory", "MemoryPool"]
 
@@ -35,6 +35,11 @@ class MemoryPool:
             raise ValueError(f"capacity must be positive: {capacity_mb}")
         self.capacity_mb = capacity_mb
         self._reservations: Dict[Any, int] = {}
+        # Fault-injection seam: called as (owner, size_mb) before a
+        # capacity check; returning an exception fails the allocation.
+        self.fault_hook: Optional[
+            Callable[[Any, int], Optional[Exception]]
+        ] = None
 
     @property
     def used_mb(self) -> int:
@@ -50,6 +55,10 @@ class MemoryPool:
             raise ValueError(f"allocation size negative: {size_mb}")
         if owner in self._reservations:
             raise ValueError(f"owner {owner!r} already holds a reservation")
+        if self.fault_hook is not None:
+            fault = self.fault_hook(owner, size_mb)
+            if fault is not None:
+                raise fault
         if size_mb > self.free_mb:
             raise GpuOutOfMemory(size_mb, self.free_mb)
         self._reservations[owner] = size_mb

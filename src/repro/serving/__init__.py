@@ -3,6 +3,7 @@
 from .batching import Batcher, PendingRequest
 from .cancellation import JobCancelled
 from .client import Client
+from .failures import JobFailed, RetryPolicy, is_retryable
 from .hooks import NullSchedulerHook, SchedulerHook
 from .request import Job
 from .server import ModelServer, ServerConfig
@@ -14,6 +15,9 @@ __all__ = [
     "PendingRequest",
     "JobCancelled",
     "Client",
+    "JobFailed",
+    "RetryPolicy",
+    "is_retryable",
     "NullSchedulerHook",
     "SchedulerHook",
     "Job",

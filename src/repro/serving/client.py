@@ -5,14 +5,25 @@ batch ``i+1`` goes out only after batch ``i``'s response arrives — which
 is the paper's workload model ("each client has 10 batches of input
 data", Figure 3).  The client's *finish time* is when its last response
 arrives; Figures 3, 11, 13, 17, 18, 20, 21 all plot this quantity.
+
+Robustness (fault-tolerance extension):
+
+* ``batch_timeout`` is a per-request deadline.  A batch that misses it
+  is cooperatively cancelled (in-flight kernels finish; the gang drains
+  at node boundaries) and the client moves on.
+* ``retry_policy`` handles *failed* batches — a job killed by a GPU
+  fault fails its ``done`` event with
+  :class:`~repro.serving.failures.JobFailed`; retryable failures are
+  resubmitted after a deterministic simulated-time exponential backoff.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 from ..sim.core import Process, Simulator
 from .cancellation import JobCancelled
+from .failures import JobFailed, RetryPolicy, is_retryable
 from .request import Job
 from .server import ModelServer
 
@@ -35,6 +46,7 @@ class Client:
         think_time: float = 0.0,
         start_delay: float = 0.0,
         batch_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if num_batches < 1:
             raise ValueError(f"num_batches must be >= 1: {num_batches}")
@@ -53,11 +65,15 @@ class Client:
         self.think_time = think_time
         self.start_delay = start_delay
         self.batch_timeout = batch_timeout
+        self.retry_policy = retry_policy
         self.jobs: List[Job] = []
         self.timed_out_batches = 0
+        self.failed_batches = 0
+        self.retries = 0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.failure: Optional[BaseException] = None
+        self.last_failure: Optional[BaseException] = None
         self._process: Optional[Process] = None
 
     def start(self) -> Process:
@@ -74,49 +90,113 @@ class Client:
             yield self.sim.timeout(self.start_delay)
         self.started_at = self.sim.now
         for batch_index in range(self.num_batches):
-            job = self.server.make_job(
-                self.client_id,
-                self.model_name,
-                self.batch_size,
-                weight=self.weight,
-                priority=self.priority,
-            )
-            job.job_id = f"{self.client_id}/b{batch_index}"
+            status = yield from self._run_batch(batch_index)
+            if status == "fatal":
+                return
+            if status == "cancelled-race":
+                # Cancelled externally while racing the deadline; the
+                # next batch goes out immediately.
+                continue
+            if self.think_time > 0.0 and batch_index < self.num_batches - 1:
+                yield self.sim.timeout(self.think_time)
+        self.finished_at = self.sim.now
+
+    def _run_batch(self, batch_index: int):
+        """Drive one batch to a terminal state, retrying failed attempts.
+
+        Returns a status string consumed by ``_run``; all statistics
+        counters are incremented here, exactly once per batch outcome.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            job = self._make_batch_job(batch_index, attempt)
             self.jobs.append(job)
             try:
                 done = self.server.submit(job)
             except Exception as exc:  # e.g. GpuOutOfMemory in scaling runs
-                self.failure = exc
-                return
-            if self.batch_timeout is not None:
-                try:
-                    yield self.sim.any_of(
-                        [done, self.sim.timeout(self.batch_timeout)]
-                    )
-                except JobCancelled:
-                    # Cancelled externally while we raced the timeout.
-                    self.timed_out_batches += 1
+                if self._should_retry(exc, attempt):
+                    self.retries += 1
+                    yield self.sim.timeout(self.retry_policy.backoff(attempt))
                     continue
-                if not done.triggered:
-                    # Abandon the batch; wait for the gang to drain so
-                    # the next batch starts on a clean server.
-                    self.server.cancel(job)
-                    self.timed_out_batches += 1
-                    try:
-                        yield done
-                    except JobCancelled:
-                        pass
-                else:
-                    # Done may have *failed* (cancelled elsewhere).
-                    try:
-                        yield done
-                    except JobCancelled:
-                        self.timed_out_batches += 1
-            else:
+                self.failed_batches += 1
+                if self.retry_policy is not None and is_retryable(exc):
+                    # Retries exhausted on a transient fault: give up
+                    # this batch but keep the client loop running.
+                    self.last_failure = exc
+                    return "failed"
+                # Persistent errors (capacity OOM in scaling runs, or
+                # any failure with no retry policy) abort the client.
+                self.failure = exc
+                return "fatal"
+            outcome, exc = yield from self._await(job, done)
+            if outcome == "ok":
+                return "ok"
+            if outcome in ("timeout", "cancelled", "cancelled-race"):
+                self.timed_out_batches += 1
+                return outcome
+            # outcome == "failed": a GPU fault killed the job.
+            self.last_failure = exc
+            if self._should_retry(exc, attempt):
+                self.retries += 1
+                yield self.sim.timeout(self.retry_policy.backoff(attempt))
+                continue
+            self.failed_batches += 1
+            return "failed"
+
+    def _await(self, job: Job, done) -> Tuple[str, Optional[BaseException]]:
+        """Wait for one attempt's terminal event; classify the outcome."""
+        if self.batch_timeout is not None:
+            try:
+                yield self.sim.any_of(
+                    [done, self.sim.timeout(self.batch_timeout)]
+                )
+            except JobCancelled:
+                # Cancelled externally while we raced the timeout.
+                return "cancelled-race", None
+            except JobFailed as exc:
+                return "failed", exc
+            if not done.triggered:
+                # Deadline missed: abandon the batch; wait for the gang
+                # to drain so the next batch starts on a clean server.
+                self.server.cancel(job)
+                try:
+                    yield done
+                except (JobCancelled, JobFailed):
+                    pass
+                return "timeout", None
+            # Done may have *failed* (cancelled elsewhere, GPU fault).
+            try:
                 yield done
-            if self.think_time > 0.0 and batch_index < self.num_batches - 1:
-                yield self.sim.timeout(self.think_time)
-        self.finished_at = self.sim.now
+            except JobCancelled:
+                return "cancelled", None
+            except JobFailed as exc:
+                return "failed", exc
+            return "ok", None
+        try:
+            yield done
+        except JobFailed as exc:
+            return "failed", exc
+        return "ok", None
+
+    def _make_batch_job(self, batch_index: int, attempt: int) -> Job:
+        job = self.server.make_job(
+            self.client_id,
+            self.model_name,
+            self.batch_size,
+            weight=self.weight,
+            priority=self.priority,
+        )
+        if attempt == 1:
+            job.job_id = f"{self.client_id}/b{batch_index}"
+        else:
+            job.job_id = f"{self.client_id}/b{batch_index}r{attempt - 1}"
+        return job
+
+    def _should_retry(self, exc: BaseException, attempts_made: int) -> bool:
+        return self.retry_policy is not None and self.retry_policy.should_retry(
+            exc, attempts_made
+        )
 
     # ------------------------------------------------------------------
     # Results
@@ -141,7 +221,7 @@ class Client:
         return [
             job.latency
             for job in self.jobs
-            if job.latency is not None and not job.cancelled
+            if job.latency is not None and not job.aborted
         ]
 
     def total_gpu_duration(self) -> float:

@@ -1,0 +1,106 @@
+"""Job failure and retry semantics.
+
+A job that *dies* — its kernel launch is rejected, its gang is evicted
+by the scheduler's stall watchdog, any non-cancellation fault — fails
+its ``done`` event with :class:`JobFailed`.  Waiters therefore always
+observe exactly one of three terminal outcomes: success,
+:class:`~repro.serving.cancellation.JobCancelled` (the caller gave
+up), or :class:`JobFailed` (the system gave up), each carrying enough
+context to decide what to do next.
+
+:class:`RetryPolicy` is the client-side reaction: deterministic
+exponential backoff in *simulated* time, bounded attempts, and a
+retryability test driven by the fault types themselves (a fault type
+opts in via a ``retryable`` attribute; see
+:mod:`repro.faults.errors`).  No wall clock, no unseeded jitter — a
+retried run replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["JobFailed", "RetryPolicy", "is_retryable"]
+
+
+class JobFailed(Exception):
+    """Raised to waiters of a job that died (was not cancelled).
+
+    ``cause`` carries the underlying typed fault, e.g.
+    :class:`~repro.faults.errors.KernelLaunchFailure` or
+    :class:`~repro.faults.errors.JobEvicted`.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        nodes_executed: int,
+        total_nodes: int,
+        cause: Optional[BaseException] = None,
+    ):
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"job {job_id!r} failed after {nodes_executed}/{total_nodes} "
+            f"nodes{detail}"
+        )
+        self.job_id = job_id
+        self.nodes_executed = nodes_executed
+        self.total_nodes = total_nodes
+        self.cause = cause
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Is this failure safe to retry?
+
+    :class:`JobFailed` is retryable when its cause is (or when it has
+    no recorded cause); any exception type carrying a truthy
+    ``retryable`` attribute — the GPU fault hierarchy — is retryable.
+    Cancellation is never retried: the caller asked for it.
+    """
+    if isinstance(exc, JobFailed):
+        if exc.cause is None:
+            return True
+        return bool(getattr(exc.cause, "retryable", False))
+    return bool(getattr(exc, "retryable", False))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff over simulated time.
+
+    ``max_attempts`` counts total tries of one request (first attempt
+    included), so ``max_attempts=3`` allows two retries.  The delay
+    before retry ``k`` (1-based) is
+    ``min(max_delay, base_delay * multiplier ** (k - 1))``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 1e-3
+    multiplier: float = 2.0
+    max_delay: float = 0.1
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0: {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay {self.max_delay} < base_delay {self.base_delay}"
+            )
+
+    def backoff(self, retry_number: int) -> float:
+        """Delay before the ``retry_number``-th retry (1-based)."""
+        if retry_number < 1:
+            raise ValueError(f"retry_number must be >= 1: {retry_number}")
+        return min(
+            self.max_delay,
+            self.base_delay * self.multiplier ** (retry_number - 1),
+        )
+
+    def should_retry(self, exc: BaseException, attempts_made: int) -> bool:
+        """May a request that has made ``attempts_made`` tries retry?"""
+        return attempts_made < self.max_attempts and is_retryable(exc)

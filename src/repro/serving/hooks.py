@@ -51,6 +51,13 @@ class SchedulerHook:
     def on_cancel(self, job: "Job") -> None:
         """The job was cancelled; wake anything parked on its behalf."""
 
+    def on_fail(self, job: "Job") -> None:
+        """The job died (fault / eviction); release anything it holds.
+
+        Called after ``job.failed`` is set.  Implementations must wake
+        the job's parked gang threads so they can observe the failure
+        and drain — leaving them parked deadlocks the simulation."""
+
 
 class NullSchedulerHook(SchedulerHook):
     """Stock TF-Serving: no middleware scheduling at all."""

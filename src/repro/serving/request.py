@@ -58,6 +58,8 @@ class Job:
         "gang_threads_peak",
         "gang_threads_now",
         "cancelled",
+        "failed",
+        "failure",
     )
 
     def __init__(
@@ -93,6 +95,8 @@ class Job:
         self.gang_threads_peak = 0
         self.gang_threads_now = 0
         self.cancelled = False
+        self.failed = False
+        self.failure: Optional[BaseException] = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -104,6 +108,13 @@ class Job:
     @property
     def complete(self) -> bool:
         return self.nodes_executed >= self.graph.num_nodes
+
+    @property
+    def aborted(self) -> bool:
+        """True once the job will not finish normally: cancelled by the
+        caller or failed by the system (fault / eviction).  Gang
+        threads drain at node boundaries when this is set."""
+        return self.cancelled or self.failed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Job({self.job_id!r}, model={self.model_name!r})"

@@ -94,6 +94,9 @@ class ModelServer:
         self._models: Dict[str, Tuple[Graph, int]] = {}
         self.completed_jobs: List[Job] = []
         self.active_jobs = 0
+        # Set by FaultInjector.attach(); consulted on submit so ``oom``
+        # faults fire even when memory tracking is disabled.
+        self.fault_injector = None
         # Cost observations recorded during online-profiled runs:
         # (model, batch) -> node_id -> list of observed costs.
         self._observations: Dict[Tuple[str, int], Dict[int, List[float]]] = (
@@ -160,9 +163,13 @@ class ModelServer:
         Raises :class:`~repro.gpu.memory.GpuOutOfMemory` if the device
         cannot hold another client of this model.
         """
+        footprint = self._models[job.model_name][1]
         if self.config.track_memory:
-            footprint = self._models[job.model_name][1]
+            # The memory pool's fault hook (if an injector is attached)
+            # fires inside allocate().
             self.memory.allocate(job.job_id, footprint)
+        elif self.fault_injector is not None:
+            self.fault_injector.check_submit(job.job_id, footprint)
         job.submitted_at = self.sim.now
         self.active_jobs += 1
         session = Session(self, job)
@@ -175,9 +182,10 @@ class ModelServer:
         In-flight kernels complete (GPU work cannot be revoked); the
         gang drains at the next node boundaries and the job's ``done``
         event fails with :class:`~repro.serving.cancellation.JobCancelled`.
-        Returns False if the job already finished or was cancelled.
+        Returns False if the job already finished, failed, or was
+        cancelled.
         """
-        if job.done.triggered or job.cancelled:
+        if job.done.triggered or job.cancelled or job.failed:
             return False
         job.cancelled = True
         self.scheduler.on_cancel(job)

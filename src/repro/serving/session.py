@@ -23,9 +23,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional, TYPE_CHECKING
 
+from ..faults.errors import GpuFault
 from ..graph.node import Node
 from ..host.threadpool import ThreadTicket
 from .cancellation import JobCancelled
+from .failures import JobFailed
 from .request import Job
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,12 +64,12 @@ class Session:
             yield from self._thread_body(job.graph.root, ticket=None)
             # Other gang threads may still be working; wait for the last
             # node.  ``complete`` guards against waiting on an event that
-            # has already fired; a cancelled job's ``done`` fails, which
-            # is expected here.
+            # has already fired; a cancelled or failed job's ``done``
+            # fails, which is expected here.
             if not job.complete:
                 try:
                     yield job.done
-                except JobCancelled:
+                except (JobCancelled, JobFailed):
                     pass
         finally:
             if ticket is not None:
@@ -90,30 +92,63 @@ class Session:
             queue = deque((start_node,))
             scheduler = self.server.scheduler
             while queue:
-                if job.cancelled:
+                if job.aborted:
                     break
                 node = queue.popleft()
                 yield from scheduler.yield_(job)
-                if job.cancelled:
+                if job.aborted:
                     break
-                yield from self._compute(node)
+                try:
+                    yield from self._compute(node)
+                except GpuFault as exc:
+                    # The device/driver killed this node (e.g. an
+                    # injected kernel launch failure).  Mark the whole
+                    # job dead; every gang thread drains at its next
+                    # node boundary.
+                    self._fail_job(exc)
+                    break
                 self._finish_node(node, queue)
         finally:
             job.gang_threads_now -= 1
             if (
-                job.cancelled
+                job.aborted
                 and job.gang_threads_now == 0
                 and not job.done.triggered
             ):
-                # Last gang thread drained a cancelled job: report it.
+                # Last gang thread drained an aborted job: report it.
                 job.finished_at = self.sim.now
-                job.done.fail(
-                    JobCancelled(
-                        job.job_id, job.nodes_executed, job.graph.num_nodes
-                    )
-                )
+                job.done.fail(self._abort_exception())
             if ticket is not None:
                 ticket.release()
+
+    def _fail_job(self, cause: BaseException) -> None:
+        """Transition the job to failed and release scheduler state."""
+        job = self.job
+        if job.failed:
+            return
+        job.failed = True
+        job.failure = cause
+        # The scheduler must wake the job's parked threads (so they
+        # drain) and reclaim the token if this job holds it.
+        self.server.scheduler.on_fail(job)
+
+    def _abort_exception(self) -> Exception:
+        """The terminal exception for a drained aborted job.
+
+        Failure wins over cancellation: a job that died carries its
+        typed cause even if someone also cancelled it while draining.
+        """
+        job = self.job
+        if job.failed:
+            return JobFailed(
+                job.job_id,
+                job.nodes_executed,
+                job.graph.num_nodes,
+                cause=job.failure,
+            )
+        return JobCancelled(
+            job.job_id, job.nodes_executed, job.graph.num_nodes
+        )
 
     def _spawned_thread(self, node: Node, ticket: ThreadTicket):
         """Body of a freshly fetched gang thread for an async child."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.faults import InvariantChecker, set_default_invariant_factory
 from repro.graph import GraphBuilder
 from repro.serving import ModelServer, ServerConfig
 from repro.sim import Simulator
@@ -23,6 +24,20 @@ TINY_SPEC = ModelSpec(
     memory_mb=100,
     mixture=DurationMixture(),
 )
+
+
+@pytest.fixture(autouse=True)
+def invariant_checking():
+    """Arm the scheduler invariant checker for every test.
+
+    Every ``GangScheduler`` built while the factory is installed gets a
+    fresh :class:`~repro.faults.InvariantChecker`; a violated invariant
+    raises :class:`~repro.faults.InvariantViolation` at the offending
+    decision, failing the test that provoked it.
+    """
+    previous = set_default_invariant_factory(InvariantChecker)
+    yield
+    set_default_invariant_factory(previous)
 
 
 @pytest.fixture

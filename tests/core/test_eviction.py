@@ -1,0 +1,207 @@
+"""Eviction, the stall watchdog, and the parked-gang wakeup fix.
+
+The latent deadlock these tests pin down: a *non-holder* job's gang
+threads park on the job's condition variable in ``yield_``.  Before the
+robustness layer, nothing ever signalled that condition variable when
+the job died — ``yield_`` only re-checked cancellation — so a job that
+failed while parked left its threads asleep forever and its ``done``
+event untriggered.  ``GangScheduler._release`` now wakes the gang on
+every failure/eviction path, removes the job from the policy (the
+token can never return to it), and reclaims the token if the dead job
+held it.
+"""
+
+import pytest
+
+from repro.core import (
+    Eviction,
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.faults import JobEvicted
+from repro.graph import CostModel
+from repro.serving import JobFailed, ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+def make_server(graph, quantum=0.5e-3, stall_threshold=None, seed=0):
+    sim = Simulator()
+    costs = CostModel(noise=0.0).exact(graph, 100)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=graph.gpu_duration(100)
+    )
+    store = ProfileStore()
+    store.add(profile)
+    scheduler = OlympianScheduler(
+        sim, FairSharing(), quantum, store, stall_threshold=stall_threshold
+    )
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=seed), scheduler=scheduler
+    )
+    server.load_model(graph)
+    return sim, server
+
+
+class TestEvictParkedJob:
+    def test_evicting_parked_job_wakes_its_gang(self, tiny_graph):
+        """Regression: eviction while threads are parked must not
+        leave waiters unsignalled (the latent deadlock)."""
+        sim, server = make_server(tiny_graph, quantum=10.0)
+        holder = server.make_job("holder", tiny_graph.name, 100)
+        parked = server.make_job("parked", tiny_graph.name, 100)
+        caught = []
+
+        def script():
+            server.submit(holder)
+            done = server.submit(parked)
+            # The huge quantum keeps `holder` on the token; `parked`'s
+            # gang is asleep on its condition variable.
+            yield sim.timeout(2e-3)
+            server.scheduler.evict(parked, reason="test eviction")
+            try:
+                yield done
+            except JobFailed as exc:
+                caught.append(exc)
+
+        sim.process(script())
+        sim.run()
+        (exc,) = caught
+        assert isinstance(exc.cause, JobEvicted)
+        assert exc.cause.job_id == parked.job_id
+        # Gang fully drained — no thread left parked forever.
+        assert parked.gang_threads_now == 0
+        assert server.pool.in_use == 0
+        # The healthy job was untouched.
+        assert holder.complete
+        assert server.scheduler.evictions == [
+            Eviction(2e-3, parked.job_id, "test eviction")
+        ]
+
+    def test_evicting_holder_reclaims_token(self, tiny_graph):
+        sim, server = make_server(tiny_graph, quantum=10.0)
+        first = server.make_job("first", tiny_graph.name, 100)
+        second = server.make_job("second", tiny_graph.name, 100)
+
+        def script():
+            done1 = server.submit(first)
+            server.submit(second)
+            yield sim.timeout(2e-3)
+            assert server.scheduler.holder is first
+            server.scheduler.evict(first)
+            try:
+                yield done1
+            except JobFailed:
+                pass
+
+        sim.process(script())
+        sim.run()
+        assert second.complete
+        assert not first.complete and first.failed
+        assert server.scheduler.holder is None
+        assert server.scheduler.policy.active_jobs == []
+
+    def test_evict_completed_job_is_noop(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        job = server.make_job("c", tiny_graph.name, 100)
+        server.submit(job)
+        sim.run()
+        assert job.complete
+        server.scheduler.evict(job)
+        assert not job.failed
+        assert server.scheduler.evictions == []
+
+    def test_scheduler_reusable_after_eviction(self, tiny_graph):
+        """Policy/condition state is clean; new jobs run normally."""
+        sim, server = make_server(tiny_graph, quantum=10.0)
+        doomed = server.make_job("doomed", tiny_graph.name, 100)
+
+        def script():
+            done = server.submit(doomed)
+            yield sim.timeout(1e-3)
+            server.scheduler.evict(doomed)
+            try:
+                yield done
+            except JobFailed:
+                pass
+            fresh = server.make_job("fresh", tiny_graph.name, 100)
+            yield server.submit(fresh)
+            assert fresh.complete
+
+        sim.process(script())
+        sim.run()
+        assert server.scheduler.holder is None
+        assert server.scheduler.policy.active_jobs == []
+        assert server.scheduler._evicted == set()
+
+
+class TestStallWatchdog:
+    def test_watchdog_evicts_hung_holder(self, tiny_graph):
+        """A device hang past the threshold gets the holder evicted;
+        the other gang finishes once the device recovers."""
+        threshold = 2e-3
+        sim, server = make_server(
+            tiny_graph, quantum=10.0, stall_threshold=threshold
+        )
+        victim = server.make_job("victim", tiny_graph.name, 100)
+        survivor = server.make_job("survivor", tiny_graph.name, 100)
+        caught = []
+
+        def script():
+            done = server.submit(victim)
+            server.submit(survivor)
+            yield sim.timeout(1e-3)
+            # Hang long enough to trip the watchdog once, short enough
+            # that the survivor is never itself stalled a full
+            # threshold after inheriting the token.
+            server.device.inject_hang(1.5 * threshold)
+            try:
+                yield done
+            except JobFailed as exc:
+                caught.append(exc)
+
+        sim.process(script())
+        sim.run()
+        (exc,) = caught
+        assert isinstance(exc.cause, JobEvicted)
+        evictions = server.scheduler.evictions
+        assert [e.job_id for e in evictions] == [victim.job_id]
+        assert "stall threshold" in evictions[0].reason
+        assert survivor.complete
+        assert server.pool.in_use == 0
+
+    def test_watchdog_quiet_on_healthy_run(self, tiny_graph):
+        sim, server = make_server(
+            tiny_graph, quantum=0.5e-3, stall_threshold=0.5
+        )
+        first = server.make_job("a", tiny_graph.name, 100)
+        second = server.make_job("b", tiny_graph.name, 100)
+        server.submit(first)
+        server.submit(second)
+        sim.run()
+        assert first.complete and second.complete
+        assert server.scheduler.evictions == []
+
+    def test_watchdog_does_not_keep_simulation_alive(self, tiny_graph):
+        """The watchdog dies with the last registered job — the run
+        ends instead of ticking forever."""
+        threshold = 5e-3
+        sim, server = make_server(
+            tiny_graph, quantum=0.5e-3, stall_threshold=threshold
+        )
+        job = server.make_job("c", tiny_graph.name, 100)
+        server.submit(job)
+        sim.run()
+        assert server.scheduler.evictions == []
+        assert job.complete
+        # Bounded end time: a few thresholds past the job's runtime,
+        # not an unbounded tick loop.
+        assert sim.now <= job.finished_at + 2 * threshold
+
+    def test_stall_threshold_validation(self, tiny_graph):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OlympianScheduler(
+                sim, FairSharing(), 1e-3, ProfileStore(), stall_threshold=0.0
+            )

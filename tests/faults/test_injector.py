@@ -1,0 +1,119 @@
+"""Unit tests for the FaultInjector's ordinal targeting and wiring."""
+
+import types
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedOutOfMemory,
+    KernelLaunchFailure,
+)
+from repro.serving import ModelServer, ServerConfig
+from repro.sim import Simulator
+
+
+def injector_for(*specs):
+    """An injector with a stub server (enough for the interceptors)."""
+    injector = FaultInjector(FaultPlan(faults=tuple(specs)))
+    injector.server = types.SimpleNamespace(
+        sim=types.SimpleNamespace(now=0.5)
+    )
+    return injector
+
+
+class TestOrdinalTargeting:
+    def test_after_skips_then_every_strides(self):
+        injector = injector_for(
+            FaultSpec(
+                kind="kernel_crash", client_id="c", after=2, every=3, count=0
+            )
+        )
+        fired = [
+            injector._on_launch(f"c/b{i}", node_id=i) is not None
+            for i in range(10)
+        ]
+        # Skip 2, then fire on every 3rd matching launch.
+        assert fired == [
+            False, False, True, False, False,
+            True, False, False, True, False,
+        ]
+        assert injector.kernels_crashed == 3
+
+    def test_count_caps_firings(self):
+        injector = injector_for(
+            FaultSpec(kind="kernel_crash", client_id="c", count=2)
+        )
+        results = [injector._on_launch("c/b0", 0) for _ in range(5)]
+        assert sum(r is not None for r in results) == 2
+
+    def test_non_matching_jobs_do_not_advance_counters(self):
+        injector = injector_for(
+            FaultSpec(kind="kernel_crash", client_id="c", after=1)
+        )
+        # Launches from another client neither fire nor consume `after`.
+        assert injector._on_launch("other/b0", 0) is None
+        assert injector._on_launch("other/b1", 0) is None
+        assert injector._on_launch("c/b0", 0) is None  # consumed by after
+        assert isinstance(
+            injector._on_launch("c/b1", 0), KernelLaunchFailure
+        )
+
+    def test_specs_fire_independently(self):
+        injector = injector_for(
+            FaultSpec(kind="kernel_crash", client_id="a", count=1),
+            FaultSpec(kind="kernel_crash", client_id="b", count=1),
+        )
+        assert injector._on_launch("a/b0", 0) is not None
+        assert injector._on_launch("b/b0", 0) is not None
+        assert injector.kernels_crashed == 2
+
+    def test_oom_hook_and_submit_check_share_state(self):
+        injector = injector_for(
+            FaultSpec(kind="oom", client_id="c", count=1)
+        )
+        with pytest.raises(InjectedOutOfMemory):
+            injector.check_submit("c/b0", 64)
+        # The single budgeted OOM is spent; the pool hook stays quiet.
+        assert injector._on_alloc("c/b1", 64) is None
+        assert injector.ooms_injected == 1
+
+
+class TestWiring:
+    def make_server(self):
+        sim = Simulator()
+        server = ModelServer(
+            sim, ServerConfig(track_memory=False, seed=0), scheduler=None
+        )
+        return sim, server
+
+    def test_attach_is_single_use(self):
+        _, server = self.make_server()
+        injector = FaultInjector(
+            FaultPlan(faults=(FaultSpec(kind="kernel_crash"),))
+        )
+        injector.attach(server)
+        with pytest.raises(RuntimeError, match="already attached"):
+            injector.attach(server)
+
+    def test_attach_installs_only_needed_hooks(self):
+        _, server = self.make_server()
+        FaultInjector(
+            FaultPlan(faults=(FaultSpec(kind="kernel_crash"),))
+        ).attach(server)
+        assert server.driver.launch_interceptor is not None
+        assert server.memory.fault_hook is None
+
+    def test_hang_process_stalls_device(self):
+        sim, server = self.make_server()
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="device_hang", at=1e-3, duration=2e-3),)
+        )
+        injector = FaultInjector(plan).attach(server)
+        sim.run()
+        assert injector.hangs_injected == 1
+        (fault,) = injector.injected
+        assert fault.time == pytest.approx(1e-3)
+        assert fault.target == 2e-3

@@ -1,0 +1,131 @@
+"""Determinism of fault-injected runs.
+
+The whole robustness layer is built on replayability: a fault plan is
+data, the injector draws no randomness of its own, and the invariant
+checker is pure (no events, no RNG).  These properties pin that down:
+
+* the same seed-generated plan applied to the same workload produces a
+  byte-identical trace digest, run after run;
+* arming the :class:`~repro.faults.InvariantChecker` does not perturb
+  the schedule — digests match with and without it;
+* seeded plan generation itself is deterministic;
+* no injected fault ever drives the scheduler into an invariant
+  violation (failures degrade, they do not corrupt).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.faults import (
+    FaultPlan,
+    InvariantChecker,
+    set_default_invariant_factory,
+)
+from repro.serving import RetryPolicy
+from repro.workloads import homogeneous_workload
+
+FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
+KINDS = ("kernel_crash", "oom", "device_hang")
+
+
+def faulty_run(seed, armed=True, kinds=KINDS, num_faults=4):
+    """One fault-injected run; returns the ExperimentResult."""
+    previous = set_default_invariant_factory(
+        InvariantChecker if armed else None
+    )
+    try:
+        specs = homogeneous_workload(num_clients=3, num_batches=3)
+        plan = FaultPlan.generate(
+            seed,
+            client_ids=[spec.client_id for spec in specs],
+            kinds=kinds,
+            num_faults=num_faults,
+            horizon=0.05,
+            hang_duration=2e-3,
+        )
+        return run_workload(
+            specs,
+            scheduler="fair",
+            config=FAST,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=2e-4),
+            require_completion=False,
+        )
+    finally:
+        set_default_invariant_factory(previous)
+
+
+class TestReplayDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7, 42, 1234])
+    def test_same_seed_same_digest(self, seed):
+        first = faulty_run(seed)
+        second = faulty_run(seed)
+        assert first.fault_plan == second.fault_plan
+        assert first.trace_digest() == second.trace_digest()
+        assert first.faults_injected == second.faults_injected
+        assert first.total_retries == second.total_retries
+        assert first.total_failed_batches == second.total_failed_batches
+
+    def test_clean_runs_replay_too(self):
+        """The digest itself is stable without any faults."""
+        specs = homogeneous_workload(num_clients=3, num_batches=2)
+        a = run_workload(specs, scheduler="fair", config=FAST)
+        b = run_workload(specs, scheduler="fair", config=FAST)
+        assert a.trace_digest() == b.trace_digest()
+
+    def test_different_seeds_give_different_plans(self):
+        plans = {
+            FaultPlan.generate(
+                seed, client_ids=["c0", "c1", "c2"], kinds=KINDS, num_faults=4
+            )
+            for seed in range(8)
+        }
+        assert len(plans) == 8
+
+
+class TestCheckerIsPure:
+    @pytest.mark.parametrize("seed", [3, 99])
+    def test_digest_identical_with_and_without_checker(self, seed):
+        armed = faulty_run(seed, armed=True)
+        disarmed = faulty_run(seed, armed=False)
+        assert armed.scheduler.invariants is not None
+        assert disarmed.scheduler.invariants is None
+        assert armed.trace_digest() == disarmed.trace_digest()
+        assert armed.faults_injected == disarmed.faults_injected
+
+    def test_checker_actually_ran(self):
+        result = faulty_run(5, armed=True)
+        checker = result.scheduler.invariants
+        assert checker.decisions_checked > 0
+        assert checker.charges_checked > 0
+
+
+class TestPlanGeneration:
+    def test_generate_is_deterministic(self):
+        kwargs = dict(
+            client_ids=["a", "b"], kinds=KINDS, num_faults=6, horizon=0.3
+        )
+        assert FaultPlan.generate(17, **kwargs) == FaultPlan.generate(
+            17, **kwargs
+        )
+
+    def test_round_trip_through_json(self, tmp_path):
+        plan = FaultPlan.generate(
+            21, client_ids=["c0", "c1"], kinds=KINDS, num_faults=5
+        )
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        assert FaultPlan.load(str(path)) == plan
+
+
+class TestFaultsNeverCorrupt:
+    @pytest.mark.parametrize("seed", [1, 2, 8, 13])
+    def test_invariants_hold_under_injected_faults(self, seed):
+        """Degradation is graceful: faults cost batches, not invariants."""
+        result = faulty_run(seed, armed=True)
+        checker = result.scheduler.invariants
+        assert checker.clean
+        # Every client *loop* still terminated even when batches died.
+        assert all(client.completed for client in result.clients)
+        assert result.scheduler.holder is None
+        assert result.server.pool.in_use == 0

@@ -1,0 +1,283 @@
+"""Robustness semantics: deadlines, failure typing, and retries.
+
+Extends the cancellation suite with the fault-tolerance layer's
+client-visible contract:
+
+* a per-request deadline (``batch_timeout``) cooperatively cancels the
+  batch and leaves the server clean — every gang thread freed, the
+  thread pool empty;
+* a job killed by a GPU fault fails its ``done`` event with a typed
+  :class:`JobFailed` carrying the root cause and node counts;
+* a cancelled holder's in-flight node cost is still charged (the
+  paper's overflow-cost semantics survive cancellation);
+* :class:`RetryPolicy` resubmits retryable failures on a deterministic
+  exponential backoff schedule.
+"""
+
+import pytest
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, KernelLaunchFailure
+from repro.graph import CostModel
+from repro.serving import (
+    Client,
+    JobCancelled,
+    JobFailed,
+    ModelServer,
+    RetryPolicy,
+    ServerConfig,
+    is_retryable,
+)
+from repro.sim import Simulator
+
+
+def make_server(graph, olympian=False, quantum=0.5e-3, seed=0, plan=None):
+    sim = Simulator()
+    scheduler = None
+    if olympian:
+        costs = CostModel(noise=0.0).exact(graph, 100)
+        profile = OlympianProfile.from_cost_profile(
+            costs, gpu_duration=graph.gpu_duration(100)
+        )
+        store = ProfileStore()
+        store.add(profile)
+        scheduler = OlympianScheduler(sim, FairSharing(), quantum, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=seed), scheduler=scheduler
+    )
+    server.load_model(graph)
+    if plan is not None:
+        FaultInjector(plan).attach(server)
+    return sim, server
+
+
+def crash_plan(client_id, after=0, every=1, count=1):
+    return FaultPlan(
+        faults=(
+            FaultSpec(
+                kind="kernel_crash",
+                client_id=client_id,
+                after=after,
+                every=every,
+                count=count,
+            ),
+        )
+    )
+
+
+class TestDeadlines:
+    def test_deadline_frees_gang_threads_and_pool(self, tiny_graph):
+        """After a missed deadline drains the gang, nothing leaks."""
+        sim, server = make_server(tiny_graph, olympian=True, quantum=0.5e-3)
+        client = Client(
+            sim, server, "dl", tiny_graph.name, 100,
+            num_batches=2, batch_timeout=2e-3,
+        )
+        client.start()
+        sim.run()
+        assert client.completed
+        assert client.timed_out_batches == 2
+        for job in client.jobs:
+            assert job.gang_threads_now == 0
+        assert server.pool.in_use == 0
+        assert server.scheduler.holder is None
+        assert server.scheduler.policy.active_jobs == []
+
+    def test_deadline_cancellation_counts_nodes(self, tiny_graph):
+        """The JobCancelled a deadline produces reports partial progress."""
+        sim, server = make_server(tiny_graph)
+        job = server.make_job("c", tiny_graph.name, 100)
+        caught = []
+
+        def script():
+            done = server.submit(job)
+            deadline = tiny_graph.gpu_duration(100) / 4
+            yield sim.timeout(deadline)
+            server.cancel(job)
+            try:
+                yield done
+            except JobCancelled as exc:
+                caught.append(exc)
+
+        sim.process(script())
+        sim.run()
+        (exc,) = caught
+        assert exc.job_id == job.job_id
+        assert 0 < exc.nodes_executed < tiny_graph.num_nodes
+        assert exc.total_nodes == tiny_graph.num_nodes
+        assert exc.nodes_executed == job.nodes_executed
+
+    def test_cancelled_holder_still_charged_overflow_cost(self, tiny_graph):
+        """Cancellation does not un-charge the in-flight node.
+
+        A gang thread that already entered compute when the job was
+        cancelled finishes its node, and the node's cost lands on the
+        job's ``cumulated_cost`` — the same overflow semantics as a
+        token hand-off (Figure 15), so the invariant checker's
+        conservation ledger stays balanced.
+        """
+        sim, server = make_server(tiny_graph, olympian=True, quantum=10.0)
+        job = server.make_job("c", tiny_graph.name, 100)
+
+        def script():
+            done = server.submit(job)
+            yield sim.timeout(tiny_graph.gpu_duration(100) / 3)
+            server.cancel(job)
+            try:
+                yield done
+            except JobCancelled:
+                pass
+
+        sim.process(script())
+        sim.run()
+        # Progress was made and charged; with a huge quantum nothing
+        # was consumed by hand-offs, so the cost sits in cumulated_cost.
+        assert job.gpu_nodes_executed > 0
+        assert job.cumulated_cost > 0.0
+        checker = server.scheduler.invariants
+        assert checker is not None and checker.clean
+        assert checker.charges_checked == job.gpu_nodes_executed
+
+
+class TestTypedFailures:
+    def test_kernel_crash_fails_done_with_job_failed(self, tiny_graph):
+        sim, server = make_server(
+            tiny_graph, plan=crash_plan("c", after=3)
+        )
+        job = server.make_job("c", tiny_graph.name, 100)
+        caught = []
+
+        def waiter():
+            done = server.submit(job)
+            try:
+                yield done
+            except JobFailed as exc:
+                caught.append(exc)
+
+        sim.process(waiter())
+        sim.run()
+        (exc,) = caught
+        assert exc.job_id == job.job_id
+        assert isinstance(exc.cause, KernelLaunchFailure)
+        assert 0 < exc.nodes_executed < tiny_graph.num_nodes
+        assert job.failed and not job.cancelled
+        assert job.gang_threads_now == 0
+        assert server.pool.in_use == 0
+
+    def test_failed_job_cannot_be_cancelled(self, tiny_graph):
+        sim, server = make_server(tiny_graph, plan=crash_plan("c"))
+        job = server.make_job("c", tiny_graph.name, 100)
+
+        def waiter():
+            done = server.submit(job)
+            try:
+                yield done
+            except JobFailed:
+                pass
+
+        sim.process(waiter())
+        sim.run()
+        assert job.failed
+        assert not server.cancel(job)
+
+    def test_failure_wins_over_cancellation_while_draining(self, tiny_graph):
+        """A job that dies and is then cancelled reports JobFailed."""
+        sim, server = make_server(tiny_graph, plan=crash_plan("c", after=5))
+        job = server.make_job("c", tiny_graph.name, 100)
+        outcome = []
+
+        def waiter():
+            done = server.submit(job)
+            try:
+                yield done
+            except JobFailed:
+                outcome.append("failed")
+            except JobCancelled:
+                outcome.append("cancelled")
+
+        def canceller():
+            yield sim.timeout(1e-4)
+            server.cancel(job)
+
+        sim.process(waiter())
+        sim.process(canceller())
+        sim.run()
+        assert outcome == ["failed"] or outcome == ["cancelled"]
+        if job.failed:
+            assert outcome == ["failed"]
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1e-3, multiplier=2.0, max_delay=5e-3
+        )
+        delays = [policy.backoff(k) for k in range(1, 6)]
+        assert delays == [1e-3, 2e-3, 4e-3, 5e-3, 5e-3]
+
+    def test_should_retry_respects_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        fault = JobFailed("j", 1, 10, cause=KernelLaunchFailure("j", 1, "x"))
+        assert policy.should_retry(fault, 1)
+        assert policy.should_retry(fault, 2)
+        assert not policy.should_retry(fault, 3)
+
+    def test_non_retryable_failures_are_not_retried(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.should_retry(ValueError("nope"), 1)
+        assert not is_retryable(ValueError("nope"))
+        assert is_retryable(KernelLaunchFailure("j", 1, "x"))
+
+    def test_client_retries_transient_crash_and_recovers(self, tiny_graph):
+        """One injected crash costs one retry; the batch then succeeds."""
+        sim, server = make_server(tiny_graph, plan=crash_plan("r", count=1))
+        client = Client(
+            sim, server, "r", tiny_graph.name, 100,
+            num_batches=2,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=1e-4),
+        )
+        client.start()
+        sim.run()
+        assert client.completed
+        assert client.retries == 1
+        assert client.failed_batches == 0
+        assert isinstance(client.last_failure, JobFailed)
+        # First attempt died, its retry and the second batch completed.
+        assert len(client.jobs) == 3
+        assert client.jobs[0].failed
+        assert client.jobs[1].complete and client.jobs[2].complete
+
+    def test_client_gives_up_batch_after_exhausting_retries(self, tiny_graph):
+        """A persistent crasher costs the batch, not the whole client."""
+        sim, server = make_server(
+            tiny_graph, plan=crash_plan("r", every=1, count=0)
+        )
+        client = Client(
+            sim, server, "r", tiny_graph.name, 100,
+            num_batches=2,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=1e-4),
+        )
+        client.start()
+        sim.run()
+        assert client.completed  # the loop survives
+        assert client.failed_batches == 2
+        assert client.retries == 2  # one retry per batch
+        assert all(job.failed for job in client.jobs)
+
+    def test_no_retry_policy_preserves_original_semantics(self, tiny_graph):
+        """Without a policy a failed batch is simply given up."""
+        sim, server = make_server(tiny_graph, plan=crash_plan("r", count=1))
+        client = Client(
+            sim, server, "r", tiny_graph.name, 100, num_batches=2,
+        )
+        client.start()
+        sim.run()
+        assert client.completed
+        assert client.retries == 0
+        assert client.failed_batches == 1
+        assert len(client.jobs) == 2

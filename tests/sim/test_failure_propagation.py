@@ -1,0 +1,204 @@
+"""Failure propagation through the simulation kernel.
+
+The fault-injection subsystem leans entirely on ``Event.fail``: a
+rejected kernel launch fails the kernel's ``done`` event and the gang
+thread waiting on it must see the exception raised at its ``yield``.
+These tests pin down that delivery path — direct waits, ``any_of`` /
+``all_of`` combinators, and recovery inside the coroutine — so the
+injector can rely on it.
+"""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+class Boom(Exception):
+    pass
+
+
+class TestDirectFailure:
+    def test_failed_event_raises_into_waiting_process(self, sim):
+        event = Event(sim)
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except Boom as exc:
+                caught.append(exc)
+
+        def failer():
+            yield sim.timeout(1.0)
+            event.fail(Boom("dead"))
+
+        sim.process(waiter())
+        sim.process(failer())
+        sim.run()
+        assert len(caught) == 1
+        assert str(caught[0]) == "dead"
+        assert sim.now == 1.0
+
+    def test_process_can_recover_and_continue(self, sim):
+        """A coroutine that catches the failure keeps executing."""
+        event = Event(sim)
+        event.fail(Boom())
+        log = []
+
+        def resilient():
+            try:
+                yield event
+            except Boom:
+                log.append("caught")
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        sim.process(resilient())
+        sim.run()
+        assert log == ["caught", 2.0]
+
+    def test_fail_after_succeed_rejected(self, sim):
+        event = Event(sim)
+        event.succeed("ok")
+        with pytest.raises(SimulationError):
+            event.fail(Boom())
+
+    def test_waiting_on_already_failed_event(self, sim):
+        """Failure delivery works for pre-failed events too."""
+        event = Event(sim)
+        event.fail(Boom("early"))
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except Boom as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        sim.run()
+        assert caught == ["early"]
+
+
+class TestCombinatorFailure:
+    def test_any_of_fails_fast(self, sim):
+        """A failed member fails the whole AnyOf immediately."""
+        loser = Event(sim)
+        slow = sim.timeout(10.0)
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.any_of([slow, loser])
+            except Boom:
+                caught.append(sim.now)
+
+        def failer():
+            yield sim.timeout(1.0)
+            loser.fail(Boom())
+
+        sim.process(waiter())
+        sim.process(failer())
+        sim.run()
+        assert caught == [1.0]
+
+    def test_any_of_success_beats_later_failure(self, sim):
+        """If a member succeeds first, the AnyOf succeeds."""
+        winner = sim.timeout(1.0)
+        loser = Event(sim)
+        outcome = []
+
+        def waiter():
+            outcome.append((yield sim.any_of([winner, loser])))
+
+        def failer():
+            yield sim.timeout(5.0)
+            if not loser.triggered:
+                loser.fail(Boom())
+
+        sim.process(waiter())
+        sim.process(failer())
+        sim.run()
+        assert len(outcome) == 1
+
+    def test_all_of_fails_fast_on_any_member(self, sim):
+        """AllOf does not wait for the stragglers once a member fails."""
+        pending = Event(sim)  # never fires
+        doomed = Event(sim)
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.all_of([pending, doomed, sim.timeout(50.0)])
+            except Boom:
+                caught.append(sim.now)
+
+        def failer():
+            yield sim.timeout(2.0)
+            doomed.fail(Boom())
+
+        sim.process(waiter())
+        sim.process(failer())
+        sim.run()
+        assert caught == [2.0]
+
+    def test_nested_combinator_failure(self, sim):
+        """Failure escapes through nested any_of(all_of(...))."""
+        doomed = Event(sim)
+        caught = []
+
+        def waiter():
+            inner = sim.all_of([doomed, sim.timeout(100.0)])
+            try:
+                yield sim.any_of([inner, sim.timeout(200.0)])
+            except Boom:
+                caught.append(sim.now)
+
+        def failer():
+            yield sim.timeout(3.0)
+            doomed.fail(Boom())
+
+        sim.process(waiter())
+        sim.process(failer())
+        sim.run()
+        assert caught == [3.0]
+
+
+class TestMultipleWaiters:
+    def test_all_waiters_of_failed_event_see_the_exception(self, sim):
+        event = Event(sim)
+        caught = []
+
+        def waiter(tag):
+            try:
+                yield event
+            except Boom:
+                caught.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(waiter(tag))
+
+        def failer():
+            yield sim.timeout(1.0)
+            event.fail(Boom())
+
+        sim.process(failer())
+        sim.run()
+        assert sorted(caught) == ["a", "b", "c"]
+
+    def test_unhandled_failure_crashes_the_simulation(self, sim):
+        """An uncaught failure is loud: it propagates out of run().
+
+        This is why every robustness path (session gang threads, client
+        loops) must catch ``GpuFault``/``JobFailed`` explicitly — the
+        kernel never swallows a failure silently.
+        """
+        event = Event(sim)
+        event.fail(Boom())
+
+        def doomed():
+            yield event  # never catches: the exception escapes
+
+        sim.process(doomed())
+        with pytest.raises(Boom):
+            sim.run()
