@@ -18,6 +18,9 @@ Layers (bottom-up):
 * :mod:`repro.cluster` / :mod:`repro.slo` / :mod:`repro.analysis` —
   future-work extensions: multi-GPU serving, SLO admission control,
   and trace/timeline tooling
+* :mod:`repro.faults` — deterministic fault injection + invariants
+* :mod:`repro.lint` — determinism & concurrency static analysis (the
+  ``repro lint`` CI gate)
 """
 
 __version__ = "1.0.0"
@@ -28,9 +31,11 @@ __all__ = [
     "cluster",
     "core",
     "experiments",
+    "faults",
     "gpu",
     "graph",
     "host",
+    "lint",
     "metrics",
     "serving",
     "sim",

@@ -10,6 +10,8 @@ Four commands cover the operator workflow of Figure 7:
   fault plan (``--fault-plan``/``--fault-seed``).
 * ``repro faults`` — generate, inspect, or persist deterministic
   fault-injection plans (see :mod:`repro.faults`).
+* ``repro lint`` — the determinism & concurrency static-analysis gate
+  (see :mod:`repro.lint`); exits nonzero on findings.
 * ``repro reproduce`` — regenerate one of the paper's tables/figures.
 
 Invoke as ``python -m repro <command> ...``.
@@ -18,6 +20,7 @@ Invoke as ``python -m repro <command> ...``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -204,6 +207,64 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .lint import (
+        LintConfig,
+        all_rules,
+        find_pyproject,
+        lint_paths,
+        load_config,
+        render_json,
+        render_text,
+        resolve_rules,
+    )
+
+    if args.list_rules:
+        try:
+            for rule in all_rules():
+                print(rule.catalogue_line())
+        except BrokenPipeError:
+            _ignore_broken_stdout()
+        return 0
+
+    if args.no_config:
+        config = LintConfig()
+    elif args.config is not None:
+        pyproject = Path(args.config)
+        if not pyproject.is_file():
+            print(f"error: no such config file: {args.config}", file=sys.stderr)
+            return 2
+        config = load_config(pyproject)
+    else:
+        config = load_config(find_pyproject(Path(args.paths[0])))
+
+    select = tuple(r for r in (args.select or "").split(",") if r) or config.select
+    ignore = tuple(r for r in (args.ignore or "").split(",") if r) or config.ignore
+    try:
+        rules = resolve_rules(select, ignore)
+        report = lint_paths(args.paths, config, rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.format == "json":
+            print(render_json(report))
+        else:
+            print(render_text(report))
+    except BrokenPipeError:
+        _ignore_broken_stdout()
+    return 0 if report.clean else 1
+
+
+def _ignore_broken_stdout() -> None:
+    # A downstream `| head` closing the pipe is not a lint error; swap
+    # stdout for devnull so the interpreter's exit-time flush stays quiet.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+
+
 # Artefact registry for `reproduce`.
 def _artefacts() -> Dict[str, Callable[[], object]]:
     from . import experiments as ex
@@ -370,6 +431,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--out", default=None, help="save the plan as JSON")
 
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & concurrency static analysis (CI gate)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--config", default=None,
+        help="pyproject.toml to read [tool.repro.lint] from "
+             "(default: discovered from the first path)",
+    )
+    lint.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml; use built-in defaults",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     validate = sub.add_parser(
         "validate", help="check zoo calibration against the Table 2 specs"
     )
@@ -398,6 +493,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "faults": _cmd_faults,
+        "lint": _cmd_lint,
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
     }

@@ -25,6 +25,7 @@ import random
 from typing import Dict, Optional
 
 from ..serving.request import Job
+from ..sim.rng import derive_seed
 from .policies import SchedulingPolicy
 
 __all__ = [
@@ -116,7 +117,9 @@ class LotteryScheduling(SchedulingPolicy):
 
     def __init__(self, seed: int = 0):
         super().__init__()
-        self.rng = random.Random(seed)
+        # Namespaced so a shared experiment seed cannot correlate the
+        # lottery with any other component's draws.
+        self.rng = random.Random(derive_seed(seed, "policy:lottery"))
 
     def select_next(self, current: Optional[Job]) -> Optional[Job]:
         if not self._active:

@@ -34,6 +34,8 @@ import random
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..sim.rng import derive_seed
+
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
 
 FAULT_KINDS = ("kernel_crash", "device_hang", "oom")
@@ -154,8 +156,8 @@ class FaultPlan:
         """Derive a deterministic plan from ``seed``.
 
         The same ``(seed, client_ids, kinds, num_faults, horizon)``
-        always yields the same plan — ``random.Random(seed)`` drives
-        every choice, in a fixed order.
+        always yields the same plan — a ``derive_seed``-namespaced
+        stream drives every choice, in a fixed order.
         """
         if not client_ids:
             raise ValueError("generate() needs at least one client id")
@@ -164,7 +166,7 @@ class FaultPlan:
                 raise ValueError(f"unknown fault kind {kind!r}")
         if num_faults < 1:
             raise ValueError(f"num_faults must be >= 1: {num_faults}")
-        rng = random.Random(seed)
+        rng = random.Random(derive_seed(seed, "faults:plan"))
         faults: List[FaultSpec] = []
         for _ in range(num_faults):
             kind = rng.choice(list(kinds))

@@ -33,6 +33,7 @@ from typing import Any, Callable, Deque, Dict, Optional
 
 from ..graph.node import Node
 from ..sim.core import Event, Simulator
+from ..sim.rng import derive_seed
 from .kernel import Kernel
 
 __all__ = ["Driver", "DEFAULT_ARBITRATION_NOISE"]
@@ -54,7 +55,9 @@ class Driver:
         if arbitration_noise < 0:
             raise ValueError(f"arbitration_noise must be >= 0: {arbitration_noise}")
         self.sim = sim
-        self.rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            rng = random.Random(derive_seed(0, "gpu:driver"))
+        self.rng = rng
         self.arbitration_noise = arbitration_noise
         self._queues: Dict[Any, Deque[Kernel]] = {}
         self._ranks: Dict[Any, float] = {}

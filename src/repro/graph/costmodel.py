@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..sim.rng import derive_seed
 from .graph import Graph
 from .node import Node
 
@@ -118,7 +119,8 @@ class CostModel:
         Olympian's accounting consumes (Algorithm 2 accumulates cost only
         for GPU nodes).
         """
-        rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            rng = random.Random(derive_seed(0, "costmodel:measure"))
         profile = NodeCostProfile(graph.name, batch_size)
         for node in graph.nodes:
             if gpu_only and not node.is_gpu:

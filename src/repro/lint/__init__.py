@@ -1,0 +1,57 @@
+"""``repro.lint`` — determinism & concurrency static analysis.
+
+The reproduction's credibility rests on two properties nothing used to
+enforce: bit-identical replay (same seed, same trace digest) and a
+deadlock-free cooperative gang scheduler.  This package checks both
+*statically*, before the code ever runs:
+
+* **Determinism rules** (DET001-DET007) ban wall-clock reads, ambient
+  global RNG state, seeds that skip ``derive_seed`` namespacing,
+  environment reads in sim/scheduler paths, hash-order set iteration,
+  ``id()``-based ordering, and mutable default arguments.
+* **Concurrency rules** (CON001-CON003) require every
+  ``ConditionVariable.wait`` to sit in a while-predicate loop, detect
+  acquisition-order cycles across the scheduler/resource/session files,
+  and confine writes to guarded scheduler state to the token machinery.
+
+Run it as ``python -m repro.cli lint src tests benchmarks`` (the CI
+gate) or call :func:`lint_paths` directly.  Rules are catalogued in
+``docs/LINTING.md``; suppressions use ``# lint: disable=RULE`` /
+``# lint: disable-file=RULE`` comments.
+"""
+
+from __future__ import annotations
+
+# Importing the rule modules registers every rule.
+from . import concurrency as _concurrency  # noqa: F401
+from . import determinism as _determinism  # noqa: F401
+from .config import LintConfig, find_pyproject, load_config, path_matches
+from .engine import FileContext, lint_source
+from .findings import Finding, PARSE_ERROR_ID
+from .reporters import LintReport, render_json, render_text
+from .rules import CrossFileRule, Rule, all_rules, get_rule, resolve_rules
+from .runner import discover_files, lint_files, lint_paths
+from .suppress import SuppressionIndex
+
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "find_pyproject",
+    "path_matches",
+    "Finding",
+    "PARSE_ERROR_ID",
+    "LintReport",
+    "render_text",
+    "render_json",
+    "Rule",
+    "CrossFileRule",
+    "all_rules",
+    "get_rule",
+    "resolve_rules",
+    "FileContext",
+    "lint_source",
+    "SuppressionIndex",
+    "discover_files",
+    "lint_files",
+    "lint_paths",
+]

@@ -1,0 +1,223 @@
+"""Concurrency rules (CON001-CON003) for the cooperative gang scheduler.
+
+PR 1 fixed a latent deadlock where a parked gang's condition variable
+was never re-signalled; the postmortem class is "wait without a
+predicate loop" plus "shared scheduler state mutated from the wrong
+place".  These rules make that class a static error:
+
+* CON001 — every ``yield <cv>.wait()`` must sit inside a ``while``
+  whose test re-checks a real predicate (a woken waiter must re-verify
+  the world before proceeding; `while True` re-waits but re-checks
+  nothing).
+* CON002 — a cross-file acquisition-order graph over the configured
+  scheduler/resource/session files; a cycle means two code paths
+  acquire the same primitives in opposite orders, the classic deadlock
+  shape.
+* CON003 — writes to guarded scheduler state (``holder``,
+  ``cumulated_cost``) are only legal inside the whitelisted
+  token-machinery functions; anything else is a bypass of the token
+  protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .config import LintConfig, path_matches
+from .rules import CrossFileRule, Rule, dotted_name, register
+
+__all__ = ["WaitPredicateLoopRule", "LockOrderRule", "GuardedStateWriteRule"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@register
+class WaitPredicateLoopRule(Rule):
+    rule_id = "CON001"
+    name = "wait-outside-predicate-loop"
+    summary = "ConditionVariable.wait not re-checked in a while-predicate loop"
+    node_types = (ast.Yield,)
+
+    def check(self, node: ast.Yield, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "wait"
+        ):
+            return
+        loop = self._enclosing_while(node, ctx)
+        if loop is None:
+            yield node, (
+                "`.wait()` outside a while-predicate loop: a waiter woken "
+                "by notify_all must re-check its predicate or it runs on "
+                "stale state (the PR-1 parked-gang deadlock class)"
+            )
+        elif isinstance(loop.test, ast.Constant) and loop.test.value:
+            yield node, (
+                "`.wait()` inside `while True`: the loop re-waits but "
+                "re-checks nothing; spell the predicate in the loop test "
+                "(`while not <predicate>:`)"
+            )
+
+    @staticmethod
+    def _enclosing_while(node: ast.AST, ctx) -> Optional[ast.While]:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.While):
+                return ancestor
+            if isinstance(ancestor, _FUNCTION_NODES):
+                return None
+        return None
+
+
+def _ordered_children(node: ast.AST) -> Iterator[ast.AST]:
+    """Pre-order DFS (lexical order), not descending into nested defs."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if not isinstance(child, (*_FUNCTION_NODES, ast.ClassDef, ast.Lambda)):
+            yield from _ordered_children(child)
+
+
+_ACQUIRE_METHODS = ("request", "wait", "acquire")
+
+# One acquisition-order edge: (before, after, path, line, col).
+_Edge = Tuple[str, str, str, int, int]
+
+
+@register
+class LockOrderRule(CrossFileRule):
+    rule_id = "CON002"
+    name = "lock-order-cycle"
+    summary = "acquisition-order cycle across scheduler/resource files"
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.lock_order_files
+
+    def collect(self, ctx) -> List[_Edge]:
+        edges: List[_Edge] = []
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, _FUNCTION_NODES):
+                continue
+            held: List[Tuple[str, ast.AST]] = []
+            for node in _ordered_children(func):
+                label = self._acquisition_label(node)
+                if label is None:
+                    continue
+                for prior, _site in held:
+                    if prior != label:
+                        edges.append(
+                            (prior, label, ctx.path, node.lineno, node.col_offset)
+                        )
+                held.append((label, node))
+        return edges
+
+    @staticmethod
+    def _acquisition_label(node: ast.AST) -> Optional[str]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ACQUIRE_METHODS
+        ):
+            return None
+        receiver = dotted_name(node.func.value)
+        if receiver is None:
+            return None
+        # Normalise away the instance prefix so `self.cores` in one
+        # method and `self.cores` in another share a node.
+        return receiver
+
+    def finalize(
+        self, collected: List[Tuple[str, Any]]
+    ) -> Iterator[Tuple[str, int, int, str]]:
+        edges: List[_Edge] = []
+        for _path, data in collected:
+            edges.extend(data)
+        graph: Dict[str, Set[str]] = {}
+        sites: Dict[Tuple[str, str], Tuple[str, int, int]] = {}
+        for before, after, path, line, col in edges:
+            graph.setdefault(before, set()).add(after)
+            graph.setdefault(after, set())
+            sites.setdefault((before, after), (path, line, col))
+        for cycle in _find_cycles(graph):
+            first_edge = (cycle[0], cycle[1])
+            path, line, col = sites[first_edge]
+            pretty = " -> ".join(cycle)
+            yield path, line, col, (
+                f"potential deadlock: acquisition order cycle {pretty}; "
+                "two code paths acquire these primitives in opposite "
+                "orders"
+            )
+
+
+def _find_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Minimal deterministic cycle enumeration (one per back edge)."""
+    cycles: List[List[str]] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+    state: Dict[str, int] = {}  # 0 unvisited, 1 on stack, 2 done
+    stack: List[str] = []
+
+    def visit(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for neighbour in sorted(graph.get(node, ())):
+            mark = state.get(neighbour, 0)
+            if mark == 0:
+                visit(neighbour)
+            elif mark == 1:
+                cycle = stack[stack.index(neighbour):] + [neighbour]
+                # Canonicalise by rotating the smallest label first so
+                # the same loop reported from two entries dedupes.
+                body = cycle[:-1]
+                pivot = body.index(min(body))
+                canonical = tuple(body[pivot:] + body[:pivot])
+                if canonical not in seen_cycles:
+                    seen_cycles.add(canonical)
+                    cycles.append(list(canonical) + [canonical[0]])
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            visit(node)
+    return cycles
+
+
+@register
+class GuardedStateWriteRule(Rule):
+    rule_id = "CON003"
+    name = "guarded-state-write"
+    summary = "scheduler shared state written outside token-holder sections"
+    node_types = (ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+    def check(self, node: ast.AST, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        guards = ctx.config.parsed_guards
+        if not guards:
+            return
+        targets: List[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            allowed = guards.get(target.attr)
+            if allowed is None:
+                continue
+            func = self._enclosing_function(node, ctx)
+            func_name = func.name if func is not None else "<module>"
+            if func_name in allowed:
+                continue
+            yield target, (
+                f"write to guarded scheduler state `.{target.attr}` in "
+                f"`{func_name}`; only {', '.join(allowed)} may mutate it "
+                "(token-holder discipline)"
+            )
+
+    @staticmethod
+    def _enclosing_function(node: ast.AST, ctx):
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, _FUNCTION_NODES):
+                return ancestor
+        return None

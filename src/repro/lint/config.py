@@ -1,0 +1,210 @@
+"""Lint configuration: baked-in defaults plus ``pyproject.toml`` overrides.
+
+The defaults encode this repository's determinism discipline (see
+``docs/LINTING.md``); a ``[tool.repro.lint]`` table can narrow or widen
+any of them.  Keys use dashes in TOML (``env-guard-paths``) and map to
+the underscored dataclass fields here.
+
+Python 3.9 has no ``tomllib``, and this repo installs nothing it does
+not already have — so when ``tomllib`` is missing we fall back to a
+deliberately tiny parser that understands exactly the subset the lint
+table uses: string/bool/int scalars and (possibly multi-line) lists of
+strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path, PurePosixPath
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["LintConfig", "load_config", "find_pyproject", "path_matches"]
+
+
+def path_matches(path: str, patterns: Sequence[str]) -> bool:
+    """True if any pattern's path segments appear contiguously in ``path``.
+
+    ``"src/repro"`` matches ``/home/x/src/repro/cli.py`` and
+    ``src/repro/cli.py`` alike; a full filename pattern like
+    ``"src/repro/sim/rng.py"`` matches only that file.  Segment-based
+    matching keeps relative vs. absolute invocation equivalent.
+    """
+    parts = PurePosixPath(Path(path).as_posix()).parts
+    for pattern in patterns:
+        want = PurePosixPath(pattern).parts
+        if not want:
+            continue
+        for i in range(len(parts) - len(want) + 1):
+            if parts[i:i + len(want)] == want:
+                return True
+    return False
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective rule set and the path scopes each rule family honours."""
+
+    # Rule selection: empty select = all registered rules.
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    # Directory-expansion excludes (explicitly named files are always
+    # linted, so the fixture corpus can be linted on purpose).
+    exclude: Tuple[str, ...] = (
+        "tests/lint/fixtures",
+        "__pycache__",
+        ".git",
+        "build",
+        "dist",
+    )
+    # Where the determinism family (DET001-DET006) applies.
+    determinism_paths: Tuple[str, ...] = ("src/repro",)
+    # Where environment reads are banned (DET004): sim/scheduler paths.
+    env_guard_paths: Tuple[str, ...] = (
+        "src/repro/sim",
+        "src/repro/core",
+        "src/repro/serving",
+        "src/repro/gpu",
+        "src/repro/host",
+        "src/repro/faults",
+    )
+    # Files allowed to construct raw random.Random (the stream factory).
+    rng_whitelist: Tuple[str, ...] = ("src/repro/sim/rng.py",)
+    # Call names that namespace a seed (DET003 accepts these as args).
+    seed_helpers: Tuple[str, ...] = ("derive_seed",)
+    # Files whose acquisition order feeds the CON002 cycle check.
+    lock_order_files: Tuple[str, ...] = (
+        "src/repro/core/scheduler.py",
+        "src/repro/sim/resources.py",
+        "src/repro/serving/session.py",
+    )
+    # "attr:fn1,fn2" — attribute writes allowed only in the named
+    # functions (CON003 token-holder heuristic).
+    guarded_attrs: Tuple[str, ...] = (
+        "holder:_grant,__init__",
+        "cumulated_cost:on_node_done,__init__",
+    )
+    parsed_guards: Dict[str, Tuple[str, ...]] = field(
+        default_factory=dict, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        guards: Dict[str, Tuple[str, ...]] = {}
+        for entry in self.guarded_attrs:
+            attr, _, funcs = entry.partition(":")
+            attr = attr.strip()
+            if not attr:
+                raise ValueError(f"bad guarded-attrs entry: {entry!r}")
+            guards[attr] = tuple(
+                fn.strip() for fn in funcs.split(",") if fn.strip()
+            )
+        object.__setattr__(self, "parsed_guards", guards)
+
+    def with_overrides(self, **overrides: Any) -> "LintConfig":
+        return replace(self, **overrides)
+
+
+_FIELD_NAMES = {f.name for f in fields(LintConfig) if f.name != "parsed_guards"}
+
+
+def _config_from_table(table: Mapping[str, Any]) -> LintConfig:
+    overrides: Dict[str, Any] = {}
+    for key, value in table.items():
+        name = key.replace("-", "_")
+        if name not in _FIELD_NAMES:
+            raise ValueError(f"unknown [tool.repro.lint] key: {key!r}")
+        if isinstance(value, (list, tuple)):
+            value = tuple(str(item) for item in value)
+        elif not isinstance(value, str):
+            raise ValueError(f"[tool.repro.lint] {key} must be a string/list")
+        else:
+            value = (value,)
+        overrides[name] = value
+    return LintConfig(**overrides)
+
+
+# ----------------------------------------------------------------------
+# TOML loading (tomllib when present, mini-parser otherwise)
+# ----------------------------------------------------------------------
+
+_SECTION = re.compile(r"^\s*\[(?P<name>[^\]]+)\]\s*$")
+_KEY = re.compile(r"^\s*(?P<key>[A-Za-z0-9_-]+)\s*=\s*(?P<value>.*)$")
+_STRING = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def _parse_lint_table_fallback(text: str) -> Dict[str, Any]:
+    """Extract ``[tool.repro.lint]`` without tomllib (Python 3.9).
+
+    Supports ``key = "str"`` / ``key = ["a", "b"]`` (lists may span
+    lines) / bare ints and booleans — the full subset this table uses.
+    """
+    lines = text.splitlines()
+    table: Dict[str, Any] = {}
+    in_section = False
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        section = _SECTION.match(line)
+        if section is not None:
+            in_section = section.group("name").strip() == "tool.repro.lint"
+            i += 1
+            continue
+        if not in_section:
+            i += 1
+            continue
+        entry = _KEY.match(line)
+        if entry is None:
+            i += 1
+            continue
+        key, value = entry.group("key"), entry.group("value").strip()
+        if value.startswith("["):
+            # Accumulate until the closing bracket (comments stripped by
+            # the string regex, which only pulls quoted items).
+            buffer = value
+            while "]" not in buffer and i + 1 < len(lines):
+                i += 1
+                buffer += " " + lines[i].strip()
+            table[key] = _STRING.findall(buffer)
+        elif value.startswith('"'):
+            match = _STRING.match(value)
+            table[key] = match.group(1) if match else value.strip('"')
+        elif value in ("true", "false"):
+            table[key] = value == "true"
+        else:
+            comment_free = value.split("#", 1)[0].strip()
+            try:
+                table[key] = int(comment_free)
+            except ValueError:
+                table[key] = comment_free
+        i += 1
+    return table
+
+
+def _load_lint_table(pyproject: Path) -> Dict[str, Any]:
+    text = pyproject.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:
+        return _parse_lint_table_fallback(text)
+    data = tomllib.loads(text)
+    tool = data.get("tool", {})
+    return dict(tool.get("repro", {}).get("lint", {}))
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` looking for a ``pyproject.toml``."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in [node, *node.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Defaults merged with ``[tool.repro.lint]`` if the file is given."""
+    if pyproject is None:
+        return LintConfig()
+    return _config_from_table(_load_lint_table(pyproject))

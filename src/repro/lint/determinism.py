@@ -1,0 +1,273 @@
+"""Determinism rules (DET001-DET007).
+
+The reproduction's headline property is bit-identical replay: the same
+seed must produce the same trace digest on every run, interpreter and
+machine.  Each rule here bans one way that property has historically
+been lost in simulation codebases: wall-clock reads, ambient RNG state,
+seeds that are not namespaced per component, environment-dependent
+branches, hash-order iteration, and ``id()``-based ordering.
+
+All rules are AST-based heuristics: they see names and call shapes, not
+runtime values.  A deliberate exception is silenced with a suppression
+comment (see :mod:`repro.lint.suppress`), never by weakening the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Tuple
+
+from .config import LintConfig, path_matches
+from .rules import Rule, dotted_name, register
+
+__all__ = [
+    "WallClockRule",
+    "ModuleRandomRule",
+    "RandomConstructionRule",
+    "EnvReadRule",
+    "SetIterationRule",
+    "IdOrderingRule",
+    "MutableDefaultRule",
+]
+
+
+class DeterminismRule(Rule):
+    """Common scope: the ``determinism-paths`` config entry."""
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.determinism_paths
+
+
+# Wall-clock reads, keyed by full dotted call name.
+_WALL_CLOCK_EXACT = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+}
+# Suffixes cover both `datetime.now()` (from datetime import datetime)
+# and `datetime.datetime.now()` import styles.
+_WALL_CLOCK_SUFFIXES = ("datetime.now", "datetime.utcnow", "date.today")
+
+
+@register
+class WallClockRule(DeterminismRule):
+    rule_id = "DET001"
+    name = "wall-clock-read"
+    summary = "time.time()/datetime.now() in simulated code; use sim.now"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        hit = dotted in _WALL_CLOCK_EXACT or any(
+            dotted == suffix or dotted.endswith("." + suffix)
+            for suffix in _WALL_CLOCK_SUFFIXES
+        )
+        if not hit and isinstance(node.func, ast.Attribute):
+            # Aliased class imports: `from datetime import datetime as dt`.
+            value = node.func.value
+            hit = (
+                isinstance(value, ast.Name)
+                and value.id in ctx.datetime_aliases
+                and node.func.attr in ("now", "utcnow", "today")
+            )
+        if hit:
+            yield node, (
+                f"wall-clock read `{dotted}()` breaks replay; simulated "
+                "code must take time from `Simulator.now` (or accept a "
+                "clock argument)"
+            )
+
+
+@register
+class ModuleRandomRule(DeterminismRule):
+    rule_id = "DET002"
+    name = "module-level-random"
+    summary = "random.<fn>() draws from ambient global RNG state"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if not isinstance(func.value, ast.Name):
+            return
+        if func.value.id not in ctx.random_module_aliases:
+            return
+        if func.attr in ("Random", "SystemRandom"):
+            return  # constructors are DET003's concern
+        yield node, (
+            f"`random.{func.attr}()` uses the interpreter-global RNG; "
+            "draw from a named `RngRegistry` stream instead"
+        )
+
+
+@register
+class RandomConstructionRule(DeterminismRule):
+    rule_id = "DET003"
+    name = "unnamespaced-random"
+    summary = "random.Random() unseeded or seeded without derive_seed()"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        if path_matches(ctx.path, ctx.config.rng_whitelist):
+            return
+        func = node.func
+        is_ctor = False
+        if isinstance(func, ast.Attribute) and func.attr == "Random":
+            value = func.value
+            is_ctor = (
+                isinstance(value, ast.Name)
+                and value.id in ctx.random_module_aliases
+            )
+        elif isinstance(func, ast.Name):
+            is_ctor = func.id in ctx.random_class_aliases
+        if not is_ctor:
+            return
+        if not node.args and not node.keywords:
+            yield node, (
+                "unseeded `random.Random()` seeds from OS entropy; "
+                "construct it from `derive_seed(seed, name)`"
+            )
+            return
+        seed_arg = node.args[0] if node.args else node.keywords[0].value
+        if isinstance(seed_arg, ast.Call):
+            called = dotted_name(seed_arg.func)
+            if called is not None and any(
+                called == helper or called.endswith("." + helper)
+                for helper in ctx.config.seed_helpers
+            ):
+                return
+        yield node, (
+            "`random.Random(seed)` without `derive_seed` namespacing: "
+            "identical raw seeds across components produce correlated "
+            "draws; use `random.Random(derive_seed(seed, \"<component>\"))`"
+        )
+
+
+@register
+class EnvReadRule(Rule):
+    rule_id = "DET004"
+    name = "environment-read"
+    summary = "os.environ/os.getenv read inside sim/scheduler paths"
+    node_types = (ast.Call, ast.Subscript)
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.env_guard_paths
+
+    def check(self, node: ast.AST, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        if isinstance(node, ast.Subscript):
+            dotted = dotted_name(node.value)
+            if dotted == "os.environ" and isinstance(node.ctx, ast.Load):
+                yield node, self._message("os.environ[...]")
+            return
+        assert isinstance(node, ast.Call)
+        dotted = dotted_name(node.func)
+        if dotted in ("os.getenv", "os.environ.get"):
+            yield node, self._message(f"{dotted}(...)")
+
+    @staticmethod
+    def _message(what: str) -> str:
+        return (
+            f"environment read `{what}` makes simulation behaviour "
+            "depend on the host; thread configuration in explicitly"
+        )
+
+
+_SET_CTORS = ("set", "frozenset")
+
+
+@register
+class SetIterationRule(DeterminismRule):
+    rule_id = "DET005"
+    name = "set-iteration"
+    summary = "iterating a set feeds hash order into event scheduling"
+    node_types = (ast.For, ast.comprehension)
+
+    def check(self, node: ast.AST, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        iterable = node.iter  # both For and comprehension carry .iter
+        bad = isinstance(iterable, (ast.Set, ast.SetComp)) or (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in _SET_CTORS
+        )
+        if bad:
+            anchor = node if isinstance(node, ast.For) else iterable
+            yield anchor, (
+                "iteration over a set: order is hash-salted per process "
+                "and can leak into event ordering; iterate `sorted(...)` "
+                "or an insertion-ordered container"
+            )
+
+
+def _lambda_calls_id(lam: ast.Lambda) -> bool:
+    for sub in ast.walk(lam.body):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "id"
+        ):
+            return True
+    return False
+
+
+@register
+class IdOrderingRule(DeterminismRule):
+    rule_id = "DET006"
+    name = "id-based-ordering"
+    summary = "sorted/min/max/sort keyed on id(): addresses vary per run"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        func = node.func
+        is_orderer = (
+            isinstance(func, ast.Name) and func.id in ("sorted", "min", "max")
+        ) or (isinstance(func, ast.Attribute) and func.attr == "sort")
+        if not is_orderer:
+            return
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            value = keyword.value
+            if (isinstance(value, ast.Name) and value.id == "id") or (
+                isinstance(value, ast.Lambda) and _lambda_calls_id(value)
+            ):
+                yield keyword.value, (
+                    "ordering by `id()` uses memory addresses, which "
+                    "differ across runs; key on a stable field "
+                    "(job_id, name, registration index)"
+                )
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CTORS = ("list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter")
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "DET007"
+    name = "mutable-default-argument"
+    summary = "mutable default argument is shared across calls"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def check(self, node, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            bad = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CTORS
+            )
+            if bad:
+                yield default, (
+                    f"mutable default argument in `{node.name}()` is "
+                    "evaluated once and shared across calls; default to "
+                    "None and construct inside the body"
+                )

@@ -1,0 +1,119 @@
+"""The visitor engine: one parse, one walk, every rule.
+
+Per file the engine parses once, builds a parent map (rules need
+ancestry: "is this wait inside a while?"), indexes nodes by type, and
+dispatches each registered rule over exactly the node types it asked
+for.  Findings pass through the suppression index before they are kept.
+
+Cross-file rules get a ``collect`` call here and are finalised by the
+runner once every file has been seen.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Sequence, Set, Tuple, Type
+
+from .config import LintConfig
+from .findings import Finding, PARSE_ERROR_ID
+from .rules import CrossFileRule, Rule
+from .suppress import SuppressionIndex
+
+__all__ = ["FileContext", "lint_source"]
+
+
+class FileContext:
+    """Everything a rule may ask about the file being linted."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST, config: LintConfig):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.suppressions = SuppressionIndex.from_source(source)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        self._by_type: Dict[Type[ast.AST], List[ast.AST]] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+            self._by_type.setdefault(type(parent), []).append(parent)
+        self.random_module_aliases: Set[str] = set()
+        self.random_class_aliases: Set[str] = set()
+        self.datetime_aliases: Set[str] = set()
+        self._index_imports()
+
+    def _index_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        self.random_module_aliases.add(
+                            alias.asname or alias.name
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name == "Random":
+                            self.random_class_aliases.add(
+                                alias.asname or alias.name
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_aliases.add(
+                                alias.asname or alias.name
+                            )
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def nodes_of(self, node_types: Sequence[Type[ast.AST]]) -> Iterator[ast.AST]:
+        for node_type in node_types:
+            for node in self._by_type.get(node_type, ()):
+                yield node
+
+
+def _anchor_position(node: ast.AST) -> Tuple[int, int]:
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", 0)
+
+
+def lint_source(
+    path: str,
+    source: str,
+    config: LintConfig,
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], List[Tuple[CrossFileRule, Any]]]:
+    """Lint one file; return (findings, cross-file collections)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        index = SuppressionIndex.from_source(source)
+        line = getattr(exc, "lineno", None) or 1
+        if index.is_suppressed(PARSE_ERROR_ID, line):
+            return [], []
+        msg = getattr(exc, "msg", None) or str(exc)
+        return (
+            [Finding(path, line, 0, PARSE_ERROR_ID, f"cannot parse: {msg}")],
+            [],
+        )
+
+    ctx = FileContext(path, source, tree, config)
+    findings: List[Finding] = []
+    collections: List[Tuple[CrossFileRule, Any]] = []
+    for rule in rules:
+        if not rule.applies_to(path, config):
+            continue
+        if isinstance(rule, CrossFileRule):
+            collections.append((rule, rule.collect(ctx)))
+            continue
+        for node in ctx.nodes_of(rule.node_types):
+            for anchor, message in rule.check(node, ctx):
+                line, col = _anchor_position(anchor)
+                if ctx.suppressions.is_suppressed(rule.rule_id, line):
+                    continue
+                findings.append(Finding(path, line, col, rule.rule_id, message))
+    return findings, collections

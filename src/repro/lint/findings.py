@@ -1,0 +1,44 @@
+"""Findings: what the linter reports.
+
+A :class:`Finding` is one rule violation at one source location.  It is
+deliberately a plain value object — hashable, orderable, serialisable —
+so reporters, tests and the CI gate can treat lint output as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Finding", "PARSE_ERROR_ID"]
+
+# Pseudo-rule id used when a file cannot be parsed at all.
+PARSE_ERROR_ID = "E001"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Ordering is (path, line, col, rule_id) so rendered reports are
+    stable regardless of rule execution order — the linter's own output
+    must be deterministic.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str = field(compare=True)
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -1,0 +1,60 @@
+"""Reporters: render a lint run for humans (text) or machines (JSON).
+
+Both render the same :class:`LintReport`; both are byte-stable for a
+given tree — the linter that polices determinism must itself be
+deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .findings import Finding
+
+__all__ = ["LintReport", "render_text", "render_json"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in sorted(self.findings):
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+
+def render_text(report: LintReport) -> str:
+    """``path:line:col: RULE message`` lines plus a one-line summary."""
+    lines = [finding.render() for finding in sorted(report.findings)]
+    if report.clean:
+        lines.append(f"repro.lint: {report.files_checked} file(s) clean")
+    else:
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(report.by_rule().items())
+        )
+        lines.append(
+            f"repro.lint: {len(report.findings)} finding(s) in "
+            f"{report.files_checked} file(s) ({breakdown})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "clean": report.clean,
+        "files_checked": report.files_checked,
+        "counts": report.by_rule(),
+        "findings": [finding.to_dict() for finding in sorted(report.findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,128 @@
+"""Rule model and registry.
+
+A rule is a small class with an id (``DET003``), a one-line summary for
+the catalogue, the AST node types it inspects, and a ``check`` generator
+yielding ``(node, message)`` violations.  Rules register themselves via
+the :func:`register` decorator at import time; the registry is the
+single source of truth for ``--list-rules``, ``--select``/``--ignore``
+validation and the docs catalogue test.
+
+Two kinds exist:
+
+* :class:`Rule` — per-file: sees one file's AST at a time.
+* :class:`CrossFileRule` — collects per-file facts, then ``finalize``
+  runs once over everything (the lock-order cycle check needs the union
+  of acquisition edges across files).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .config import LintConfig, path_matches
+
+__all__ = [
+    "Rule",
+    "CrossFileRule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "resolve_rules",
+    "dotted_name",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base per-file rule; subclasses override the class attributes."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    node_types: Tuple[type, ...] = ()
+    cross_file: bool = False
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        """Path scopes this rule applies to; ``None`` = every file."""
+        return None
+
+    def applies_to(self, path: str, config: LintConfig) -> bool:
+        scoped = self.scopes(config)
+        return scoped is None or path_matches(path, scoped)
+
+    def check(self, node: ast.AST, ctx: "FileContext") -> Iterator[Tuple[ast.AST, str]]:  # noqa: F821
+        raise NotImplementedError
+
+    def catalogue_line(self) -> str:
+        return f"{self.rule_id}  {self.name:<28} {self.summary}"
+
+
+class CrossFileRule(Rule):
+    """Rule that needs facts from every linted file before deciding."""
+
+    cross_file = True
+
+    def check(self, node: ast.AST, ctx: "FileContext"):  # noqa: F821
+        return iter(())
+
+    def collect(self, ctx: "FileContext") -> Any:  # noqa: F821
+        raise NotImplementedError
+
+    def finalize(
+        self, collected: List[Tuple[str, Any]]
+    ) -> Iterator[Tuple[str, int, int, str]]:
+        """Yield ``(path, line, col, message)`` violations."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and index the rule by id."""
+    rule = rule_cls()
+    if not rule.rule_id or not rule.name:
+        raise ValueError(f"rule {rule_cls.__name__} needs rule_id and name")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id (deterministic output)."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]
+
+
+def resolve_rules(
+    select: Iterable[str] = (), ignore: Iterable[str] = ()
+) -> List[Rule]:
+    """The effective rule list for a (select, ignore) pair.
+
+    An empty ``select`` means all rules; unknown ids in either list are
+    an error so a typo cannot silently disable a gate.
+    """
+    chosen = list(select)
+    for rule_id in [*chosen, *ignore]:
+        if rule_id not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(f"unknown rule id {rule_id!r} (known: {known})")
+    rules = all_rules() if not chosen else [_REGISTRY[r] for r in sorted(set(chosen))]
+    dropped = set(ignore)
+    return [rule for rule in rules if rule.rule_id not in dropped]

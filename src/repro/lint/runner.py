@@ -1,0 +1,81 @@
+"""Top-level orchestration: discover files, run rules, finalise.
+
+File discovery is deterministic (sorted recursive glob) and honours the
+config's ``exclude`` patterns when *expanding directories* — a file
+named explicitly on the command line is always linted, which is how the
+test fixtures with deliberate violations get checked without tripping
+the CI sweep over ``tests/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import LintConfig, path_matches
+from .engine import lint_source
+from .findings import Finding
+from .reporters import LintReport
+from .rules import CrossFileRule, Rule, resolve_rules
+
+__all__ = ["discover_files", "lint_paths", "lint_files"]
+
+
+def discover_files(
+    paths: Sequence[str], config: LintConfig
+) -> List[Path]:
+    """Expand ``paths`` into the sorted list of Python files to lint."""
+    files: List[Path] = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        explicit = path.is_file()
+        for candidate in candidates:
+            if not explicit and path_matches(str(candidate), config.exclude):
+                continue
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                files.append(candidate)
+    return files
+
+
+def lint_files(
+    files: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint an explicit file list (no discovery, no excludes)."""
+    config = config if config is not None else LintConfig()
+    if rules is None:
+        rules = resolve_rules(config.select, config.ignore)
+    findings: List[Finding] = []
+    cross: Dict[CrossFileRule, List[Tuple[str, Any]]] = {}
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        file_findings, collections = lint_source(
+            str(path), source, config, rules
+        )
+        findings.extend(file_findings)
+        for rule, data in collections:
+            cross.setdefault(rule, []).append((str(path), data))
+    for rule, collected in cross.items():
+        for path_str, line, col, message in rule.finalize(collected):
+            findings.append(Finding(path_str, line, col, rule.rule_id, message))
+    return LintReport(findings=sorted(findings), files_checked=len(files))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Discover and lint; the library entry point behind the CLI."""
+    config = config if config is not None else LintConfig()
+    return lint_files(discover_files(paths, config), config, rules)

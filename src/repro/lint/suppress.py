@@ -1,0 +1,92 @@
+"""Suppression comments.
+
+Two forms, both parsed from real ``tokenize`` COMMENT tokens (so a
+``# lint:`` inside a string literal never counts):
+
+* per-line — a trailing comment silences the rule on its own physical
+  line; a *standalone* comment line silences the next line too, so the
+  comment can sit above a long statement::
+
+      yield cv.wait()  # lint: disable=CON001
+
+      # lint: disable=DET003
+      rng = random.Random(raw_seed)
+
+* per-file — anywhere in the file (conventionally the top)::
+
+      # lint: disable-file=DET005
+
+Rule lists are comma-separated; the keyword ``all`` silences every
+rule.  Unknown rule ids are accepted silently so a suppression written
+for a future rule does not itself become an error.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*lint:\s*disable(?P<whole_file>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def _split_rules(text: str) -> Set[str]:
+    return {part.strip() for part in text.split(",") if part.strip()}
+
+
+class SuppressionIndex:
+    """All suppression directives of one source file, queryable by line."""
+
+    def __init__(self) -> None:
+        self.file_level: Set[str] = set()
+        self.line_level: Dict[int, Set[str]] = {}
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            # Unparseable file: fall back to a line scan so disable-file
+            # still works on the parse-error pseudo-finding.
+            for lineno, line in enumerate(source.splitlines(), start=1):
+                index._scan(line, lineno, standalone=line.lstrip().startswith("#"))
+            return index
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            standalone = tok.line.lstrip().startswith("#")
+            index._scan(tok.string, tok.start[0], standalone=standalone)
+        return index
+
+    def _scan(self, text: str, lineno: int, standalone: bool) -> None:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            return
+        rules = _split_rules(match.group("rules"))
+        if match.group("whole_file"):
+            self.file_level |= rules
+            return
+        self.line_level.setdefault(lineno, set()).update(rules)
+        if standalone:
+            # A comment-only line shields the line below it as well.
+            self.line_level.setdefault(lineno + 1, set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_level or rule_id in self.file_level:
+            return True
+        here = self.line_level.get(line)
+        return here is not None and ("all" in here or rule_id in here)
+
+    def suppressed_rules(self) -> FrozenSet[str]:
+        """Every rule id named anywhere in the file (for tooling)."""
+        named = set(self.file_level)
+        for rules in self.line_level.values():
+            named |= rules
+        return frozenset(named)

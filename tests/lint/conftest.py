@@ -1,0 +1,35 @@
+"""Shared helpers for the lint suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_source, resolve_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+# A path inside the determinism scope, so every rule family applies.
+IN_SCOPE_PATH = "src/repro/_lint_fixture.py"
+
+
+@pytest.fixture
+def check():
+    """check(source, path=..., config=..., select=...) -> [Finding]."""
+
+    def _check(
+        source,
+        path=IN_SCOPE_PATH,
+        config=None,
+        select=(),
+    ):
+        config = config if config is not None else LintConfig()
+        rules = resolve_rules(select, config.ignore)
+        findings, _cross = lint_source(path, source, config, rules)
+        return sorted(findings)
+
+    return _check
+
+
+def rule_ids(findings):
+    return [finding.rule_id for finding in findings]

@@ -1,0 +1,16 @@
+"""A violation-free fixture: linting it must produce zero findings."""
+
+import random
+
+
+def namespaced_rng(seed, derive_seed):
+    return random.Random(derive_seed(seed, "clean-fixture"))
+
+
+def ordered_iteration(items):
+    return [x for x in sorted(set(items))]
+
+
+def wait_with_predicate(cv, done):
+    while not done():
+        yield cv.wait()

@@ -1,0 +1,31 @@
+"""Deliberate concurrency violations (linted explicitly by tests/lint).
+
+Concurrency rules apply to every path, so this file trips the linter
+wherever it lives; the CLI test lints it in place and asserts a nonzero
+exit.  Expected findings: CON001 x2, CON003 x1.
+"""
+
+
+def single_shot_wait(cv):
+    yield cv.wait()  # CON001: no predicate loop
+
+
+def while_true_wait(cv, ready):
+    while True:
+        yield cv.wait()  # CON001: loop test re-checks nothing
+        if ready():
+            break
+
+
+def predicate_wait(cv, job, scheduler):
+    while scheduler.holder is not job:  # clean
+        yield cv.wait()
+
+
+class RogueComponent:
+    def steal_token(self, scheduler, job):
+        scheduler.holder = job  # CON003: only _grant may write this
+
+
+def suppressed_wait(cv):
+    yield cv.wait()  # lint: disable=CON001

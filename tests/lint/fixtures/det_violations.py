@@ -1,0 +1,57 @@
+"""Deliberate determinism violations (linted explicitly by tests/lint).
+
+This file is excluded from directory sweeps via [tool.repro.lint]
+exclude; the CLI test stages it under a tmp ``src/repro/`` so the
+determinism scope applies, then asserts a nonzero exit.
+
+Expected findings: DET001 x2, DET002 x1, DET003 x2, DET005 x2,
+DET006 x1, DET007 x1 (and none on the suppressed lines).
+"""
+
+import random
+import time
+from datetime import datetime
+from random import Random
+
+
+def wall_clock_reads():
+    started = time.time()  # DET001
+    stamp = datetime.now()  # DET001
+    return started, stamp
+
+
+def ambient_random():
+    return random.random()  # DET002
+
+
+def bad_rngs(seed):
+    a = random.Random()  # DET003 (unseeded)
+    b = Random(seed)  # DET003 (no derive_seed namespacing)
+    return a, b
+
+
+def good_rng(seed, derive_seed):
+    return random.Random(derive_seed(seed, "fixture"))  # clean
+
+
+def set_iteration(items):
+    out = [x for x in set(items)]  # DET005
+    for member in {1, 2, 3}:  # DET005
+        out.append(member)
+    return out
+
+
+def id_ordering(jobs):
+    return sorted(jobs, key=id)  # DET006
+
+
+def mutable_default(bucket=[]):  # DET007
+    bucket.append(1)
+    return bucket
+
+
+def suppressed_examples(seed):
+    t = time.time()  # lint: disable=DET001
+    # lint: disable=DET003
+    rng = random.Random(seed)
+    return t, rng

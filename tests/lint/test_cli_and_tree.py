@@ -1,0 +1,124 @@
+"""CLI behaviour, the fixture corpus, and the tree-is-clean meta-test.
+
+The meta-test is the PR's acceptance criterion in executable form:
+``repro lint`` must exit 0 over the shipped tree and nonzero over the
+deliberate-violation fixtures.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LintConfig, discover_files, lint_paths, load_config
+
+from tests.lint.conftest import FIXTURES, REPO_ROOT
+
+
+class TestFixtureCorpus:
+    def test_determinism_fixture_trips_cli(self, tmp_path, capsys):
+        # Stage the fixture under a src/repro/ prefix so the
+        # determinism scope applies, exactly as it would in-tree.
+        staged = tmp_path / "src" / "repro"
+        staged.mkdir(parents=True)
+        shutil.copy(FIXTURES / "det_violations.py", staged / "violations.py")
+        exit_code = main(["lint", str(tmp_path / "src")])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        for expected in ("DET001", "DET002", "DET003", "DET005", "DET006", "DET007"):
+            assert expected in out
+        # The two suppressed violations at the bottom stay silent: the
+        # summary breakdown counts exactly the unsuppressed findings.
+        assert "DET001 x2" in out and "DET003 x2" in out
+
+    def test_concurrency_fixture_trips_cli_in_place(self, capsys):
+        exit_code = main(["lint", str(FIXTURES / "con_violations.py")])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "CON001 x2" in out and "CON003 x1" in out
+
+    def test_clean_fixture_passes(self, capsys):
+        assert main(["lint", str(FIXTURES / "clean.py")]) == 0
+
+    def test_fixtures_excluded_from_directory_sweep(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        files = discover_files([str(REPO_ROOT / "tests")], config)
+        assert not any("fixtures" in str(path) for path in files)
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET003" in out and "CON001" in out
+
+    def test_json_format(self, capsys):
+        exit_code = main(
+            ["lint", str(FIXTURES / "con_violations.py"), "--format", "json"]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["counts"]["CON001"] == 2
+        assert all("rule" in f for f in payload["findings"])
+
+    def test_select_limits_rules(self, capsys):
+        exit_code = main(
+            ["lint", str(FIXTURES / "con_violations.py"), "--select", "CON003"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "CON001" not in out and "CON003" in out
+
+    def test_ignore_can_green_a_file(self, capsys):
+        exit_code = main(
+            [
+                "lint",
+                str(FIXTURES / "con_violations.py"),
+                "--ignore",
+                "CON001,CON003",
+            ]
+        )
+        assert exit_code == 0
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "src", "--select", "DET999"]) == 2
+        assert "DET999" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "definitely/not/a/path"]) == 2
+
+    def test_unparseable_file_reported(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "E001" in capsys.readouterr().out
+
+
+class TestTreeIsClean:
+    """`repro lint` over the shipped tree must stay green — the same
+    invariant the CI lint job enforces."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return load_config(REPO_ROOT / "pyproject.toml")
+
+    def test_src_is_clean(self, config):
+        report = lint_paths([str(REPO_ROOT / "src")], config)
+        assert report.clean, "\n".join(f.render() for f in report.findings)
+        assert report.files_checked > 80
+
+    def test_tests_and_benchmarks_are_clean(self, config):
+        report = lint_paths(
+            [str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")], config
+        )
+        assert report.clean, "\n".join(f.render() for f in report.findings)
+
+    def test_cli_gate_matches_library_result(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+
+    def test_defaults_match_pyproject(self, config):
+        # The baked-in defaults and the committed pyproject table must
+        # agree, so `--no-config` runs enforce the same discipline.
+        assert config == LintConfig()

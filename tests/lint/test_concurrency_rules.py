@@ -1,0 +1,167 @@
+"""Detection and negative cases for the concurrency rules."""
+
+import textwrap
+
+from repro.lint import LintConfig, lint_files
+
+from tests.lint.conftest import rule_ids
+
+
+class TestWaitPredicateLoop:
+    def test_single_shot_wait_flagged(self, check):
+        source = "def g(cv):\n    yield cv.wait()\n"
+        findings = check(source, path="anywhere/at_all.py")
+        assert rule_ids(findings) == ["CON001"]
+        assert "predicate" in findings[0].message
+
+    def test_while_true_wait_flagged(self, check):
+        source = textwrap.dedent(
+            """
+            def g(cv, ready):
+                while True:
+                    yield cv.wait()
+                    if ready():
+                        break
+            """
+        )
+        findings = check(source)
+        assert rule_ids(findings) == ["CON001"]
+        assert "while True" in findings[0].message
+
+    def test_predicate_loop_is_fine(self, check):
+        source = textwrap.dedent(
+            """
+            def g(self, job):
+                while self.holder is not job:
+                    yield self.condition.wait()
+            """
+        )
+        assert check(source) == []
+
+    def test_wait_in_sibling_function_not_shielded(self, check):
+        # The while loop is in a *different* function; the bare wait
+        # below it must still be flagged.
+        source = textwrap.dedent(
+            """
+            def good(cv, pred):
+                while not pred():
+                    yield cv.wait()
+
+            def bad(cv):
+                yield cv.wait()
+            """
+        )
+        assert rule_ids(check(source)) == ["CON001"]
+
+    def test_non_wait_yields_ignored(self, check):
+        source = "def g(sim):\n    yield sim.timeout(1.0)\n"
+        assert check(source) == []
+
+
+class TestLockOrderCycle:
+    def _run(self, tmp_path, sources):
+        files = []
+        for name, source in sources.items():
+            path = tmp_path / name
+            path.write_text(textwrap.dedent(source))
+            files.append(path)
+        config = LintConfig(
+            lock_order_files=tuple(str(f) for f in files),
+            select=("CON002",),
+        )
+        return lint_files(files, config)
+
+    def test_opposite_orders_across_files_flagged(self, tmp_path):
+        report = self._run(
+            tmp_path,
+            {
+                "one.py": """
+                def forward(self):
+                    req = self.cores.request()
+                    yield req
+                    yield self.queue_cv.wait()
+                """,
+                "two.py": """
+                def backward(self):
+                    yield self.queue_cv.wait()
+                    req = self.cores.request()
+                    yield req
+                """,
+            },
+        )
+        assert [f.rule_id for f in report.findings] == ["CON002"]
+        assert "cycle" in report.findings[0].message
+
+    def test_consistent_order_is_fine(self, tmp_path):
+        report = self._run(
+            tmp_path,
+            {
+                "one.py": """
+                def a(self):
+                    yield self.cores.request()
+                    yield self.queue_cv.wait()
+                """,
+                "two.py": """
+                def b(self):
+                    yield self.cores.request()
+                    yield self.queue_cv.wait()
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_repeated_same_primitive_not_a_cycle(self, tmp_path):
+        report = self._run(
+            tmp_path,
+            {
+                "one.py": """
+                def a(self):
+                    yield self.cv.wait()
+                    yield self.cv.wait()
+                """,
+            },
+        )
+        assert report.findings == []
+
+
+class TestGuardedStateWrite:
+    def test_write_outside_whitelist_flagged(self, check):
+        source = textwrap.dedent(
+            """
+            class Rogue:
+                def steal(self, scheduler, job):
+                    scheduler.holder = job
+            """
+        )
+        findings = check(source)
+        assert rule_ids(findings) == ["CON003"]
+        assert "token-holder" in findings[0].message
+
+    def test_augmented_write_flagged(self, check):
+        source = textwrap.dedent(
+            """
+            def discount(job):
+                job.cumulated_cost -= 1.0
+            """
+        )
+        assert rule_ids(check(source)) == ["CON003"]
+
+    def test_whitelisted_functions_allowed(self, check):
+        source = textwrap.dedent(
+            """
+            class Sched:
+                def __init__(self):
+                    self.holder = None
+
+                def _grant(self, job):
+                    self.holder = job
+
+                def on_node_done(self, job, cost):
+                    job.cumulated_cost += cost
+            """
+        )
+        assert check(source) == []
+
+    def test_reads_not_flagged(self, check):
+        source = "def peek(s):\n    return s.holder\n"
+        assert check(source) == []

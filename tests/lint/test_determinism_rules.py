@@ -1,0 +1,165 @@
+"""Detection and negative cases for every determinism rule."""
+
+import textwrap
+
+from tests.lint.conftest import rule_ids
+
+
+def dedent(source):
+    return textwrap.dedent(source)
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, check):
+        findings = check("import time\nnow = time.time()\n")
+        assert rule_ids(findings) == ["DET001"]
+        assert "sim" in findings[0].message.lower()
+
+    def test_datetime_variants_flagged(self, check):
+        source = dedent(
+            """
+            import datetime
+            from datetime import datetime as dt
+            a = datetime.datetime.now()
+            b = dt.utcnow()
+            c = datetime.date.today()
+            """
+        )
+        assert rule_ids(check(source)) == ["DET001", "DET001", "DET001"]
+
+    def test_perf_counter_flagged(self, check):
+        assert rule_ids(check("import time\nx = time.perf_counter()\n")) == ["DET001"]
+
+    def test_sim_now_is_fine(self, check):
+        assert check("def f(sim):\n    return sim.now\n") == []
+
+    def test_out_of_scope_path_not_flagged(self, check):
+        findings = check(
+            "import time\nnow = time.time()\n", path="tools/unrelated.py"
+        )
+        assert findings == []
+
+
+class TestModuleRandom:
+    def test_module_call_flagged(self, check):
+        findings = check("import random\nx = random.random()\n")
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_module_alias_tracked(self, check):
+        findings = check("import random as rnd\nx = rnd.choice([1, 2])\n")
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_seed_call_flagged(self, check):
+        assert rule_ids(check("import random\nrandom.seed(4)\n")) == ["DET002"]
+
+    def test_stream_method_is_fine(self, check):
+        source = "def f(rngs):\n    return rngs.stream('driver').random()\n"
+        assert check(source) == []
+
+    def test_unrelated_attribute_not_flagged(self, check):
+        # No `import random` binding: `random` here is a local object.
+        assert check("def f(random):\n    return random.random()\n") == []
+
+
+class TestRandomConstruction:
+    def test_unseeded_flagged(self, check):
+        findings = check("import random\nr = random.Random()\n")
+        assert rule_ids(findings) == ["DET003"]
+        assert "unseeded" in findings[0].message
+
+    def test_raw_seed_flagged(self, check):
+        findings = check("import random\nr = random.Random(42)\n")
+        assert rule_ids(findings) == ["DET003"]
+        assert "derive_seed" in findings[0].message
+
+    def test_imported_class_flagged(self, check):
+        source = "from random import Random as R\nr = R(7)\n"
+        assert rule_ids(check(source)) == ["DET003"]
+
+    def test_derive_seed_namespacing_is_fine(self, check):
+        source = dedent(
+            """
+            import random
+            from repro.sim.rng import derive_seed
+            r = random.Random(derive_seed(3, "component"))
+            """
+        )
+        assert check(source) == []
+
+    def test_qualified_helper_is_fine(self, check):
+        source = dedent(
+            """
+            import random
+            from repro.sim import rng
+            r = random.Random(rng.derive_seed(3, "component"))
+            """
+        )
+        assert check(source) == []
+
+    def test_rng_whitelist_file_exempt(self, check):
+        source = "import random\nr = random.Random(raw_seed)\n"
+        assert check(source, path="src/repro/sim/rng.py") == []
+
+
+class TestEnvRead:
+    def test_subscript_get_and_getenv_flagged(self, check):
+        source = dedent(
+            """
+            import os
+            a = os.environ["SEED"]
+            b = os.environ.get("SEED")
+            c = os.getenv("SEED")
+            """
+        )
+        findings = check(source, path="src/repro/core/anything.py")
+        assert rule_ids(findings) == ["DET004", "DET004", "DET004"]
+
+    def test_outside_guarded_paths_allowed(self, check):
+        source = "import os\na = os.getenv('SEED')\n"
+        assert check(source, path="src/repro/experiments/runner.py") == []
+
+    def test_environ_write_not_flagged(self, check):
+        # Only reads make behaviour host-dependent at decision points.
+        source = "import os\nos.environ['X'] = 'y'\n"
+        assert check(source, path="src/repro/core/anything.py") == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self, check):
+        assert rule_ids(check("for x in {1, 2}:\n    pass\n")) == ["DET005"]
+
+    def test_comprehension_over_set_call_flagged(self, check):
+        assert rule_ids(check("ys = [x for x in set(items)]\n")) == ["DET005"]
+
+    def test_sorted_set_is_fine(self, check):
+        assert check("for x in sorted({1, 2}):\n    pass\n") == []
+
+
+class TestIdOrdering:
+    def test_key_id_flagged(self, check):
+        assert rule_ids(check("xs = sorted(jobs, key=id)\n")) == ["DET006"]
+
+    def test_lambda_id_flagged(self, check):
+        source = "jobs.sort(key=lambda j: (id(j), j.weight))\n"
+        assert rule_ids(check(source)) == ["DET006"]
+
+    def test_stable_key_is_fine(self, check):
+        assert check("xs = sorted(jobs, key=lambda j: j.job_id)\n") == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self, check):
+        assert rule_ids(check("def f(xs=[]):\n    pass\n")) == ["DET007"]
+
+    def test_dict_ctor_default_flagged(self, check):
+        assert rule_ids(check("def f(m=dict()):\n    pass\n")) == ["DET007"]
+
+    def test_kwonly_default_flagged(self, check):
+        assert rule_ids(check("def f(*, xs={}):\n    pass\n")) == ["DET007"]
+
+    def test_none_default_is_fine(self, check):
+        assert check("def f(xs=None):\n    pass\n") == []
+
+    def test_applies_outside_determinism_scope(self, check):
+        findings = check("def f(xs=[]):\n    pass\n", path="tests/foo.py")
+        assert rule_ids(findings) == ["DET007"]

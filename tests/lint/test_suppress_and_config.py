@@ -1,0 +1,166 @@
+"""Suppression comments, config loading and rule resolution."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    SuppressionIndex,
+    load_config,
+    path_matches,
+    resolve_rules,
+)
+from repro.lint.config import _parse_lint_table_fallback
+
+from tests.lint.conftest import rule_ids
+
+
+class TestSuppressions:
+    def test_trailing_comment_silences_its_line(self, check):
+        source = "import time\nnow = time.time()  # lint: disable=DET001\n"
+        assert check(source) == []
+
+    def test_standalone_comment_shields_next_line(self, check):
+        source = textwrap.dedent(
+            """
+            import random
+            # lint: disable=DET003
+            rng = random.Random(99)
+            """
+        )
+        assert check(source) == []
+
+    def test_suppression_is_rule_specific(self, check):
+        source = "import time\nnow = time.time()  # lint: disable=DET003\n"
+        assert rule_ids(check(source)) == ["DET001"]
+
+    def test_comma_separated_rules(self, check):
+        source = (
+            "import time, random\n"
+            "x = (time.time(), random.random())"
+            "  # lint: disable=DET001,DET002\n"
+        )
+        assert check(source) == []
+
+    def test_disable_all_on_line(self, check):
+        source = "import time\nnow = time.time()  # lint: disable=all\n"
+        assert check(source) == []
+
+    def test_disable_file(self, check):
+        source = textwrap.dedent(
+            """
+            # lint: disable-file=DET001
+            import time
+            a = time.time()
+            b = time.monotonic()
+            """
+        )
+        assert check(source) == []
+
+    def test_directive_inside_string_ignored(self):
+        index = SuppressionIndex.from_source(
+            'text = "# lint: disable=DET001"\n'
+        )
+        assert not index.is_suppressed("DET001", 1)
+
+    def test_index_collects_named_rules(self):
+        source = (
+            "# lint: disable-file=DET005\n"
+            "x = 1  # lint: disable=CON001\n"
+        )
+        index = SuppressionIndex.from_source(source)
+        assert index.suppressed_rules() == frozenset({"DET005", "CON001"})
+
+
+class TestPathMatching:
+    def test_segment_match_absolute_and_relative(self):
+        assert path_matches("/home/x/src/repro/cli.py", ("src/repro",))
+        assert path_matches("src/repro/cli.py", ("src/repro",))
+
+    def test_no_partial_segment_match(self):
+        assert not path_matches("src/reproduction/cli.py", ("src/repro",))
+
+    def test_full_filename_pattern(self):
+        assert path_matches("a/src/repro/sim/rng.py", ("src/repro/sim/rng.py",))
+        assert not path_matches("a/src/repro/sim/core.py", ("src/repro/sim/rng.py",))
+
+
+class TestConfig:
+    def test_defaults_parse_guards(self):
+        config = LintConfig()
+        assert config.parsed_guards["holder"] == ("_grant", "__init__")
+
+    def test_load_from_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            textwrap.dedent(
+                """
+                [tool.other]
+                x = 1
+
+                [tool.repro.lint]
+                ignore = ["DET005"]
+                determinism-paths = ["src/mypkg"]
+                guarded-attrs = ["token:grant"]
+                """
+            )
+        )
+        config = load_config(pyproject)
+        assert config.ignore == ("DET005",)
+        assert config.determinism_paths == ("src/mypkg",)
+        assert config.parsed_guards == {"token": ("grant",)}
+        # Untouched keys keep their defaults.
+        assert config.rng_whitelist == ("src/repro/sim/rng.py",)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro.lint]\nbogus = [\"x\"]\n")
+        with pytest.raises(ValueError, match="bogus"):
+            load_config(pyproject)
+
+    def test_fallback_parser_handles_multiline_lists(self):
+        text = textwrap.dedent(
+            """
+            [tool.repro.lint]
+            exclude = [
+                "a/b",
+                "c/d",
+            ]
+            flag = true
+            count = 3
+            name = "x"
+
+            [tool.next]
+            other = "y"
+            """
+        )
+        table = _parse_lint_table_fallback(text)
+        assert table == {
+            "exclude": ["a/b", "c/d"],
+            "flag": True,
+            "count": 3,
+            "name": "x",
+        }
+
+
+class TestRuleResolution:
+    def test_select_narrows(self):
+        rules = resolve_rules(select=("DET001",))
+        assert [rule.rule_id for rule in rules] == ["DET001"]
+
+    def test_ignore_drops(self):
+        rules = resolve_rules(ignore=("DET005",))
+        assert "DET005" not in [rule.rule_id for rule in rules]
+
+    def test_unknown_id_is_an_error(self):
+        with pytest.raises(ValueError, match="DET999"):
+            resolve_rules(select=("DET999",))
+
+    def test_registry_covers_both_families(self):
+        ids = [rule.rule_id for rule in resolve_rules()]
+        assert ids == [
+            "CON001", "CON002", "CON003",
+            "DET001", "DET002", "DET003", "DET004",
+            "DET005", "DET006", "DET007",
+        ]
