@@ -1,0 +1,324 @@
+"""Perf-regression harness: ``python -m repro bench``.
+
+The simulator is the research instrument: every figure's cost is event
+loop + tracer + profile-then-replay wall-clock.  This package measures
+that cost and gates it, so a speedup landed once cannot silently rot:
+
+* **Microbenchmarks** — event-loop throughput (the dominant
+  Timeout-resume-process cycle), tracer record throughput, and
+  Store/Resource churn.
+* **End-to-end** — the Fig 16 complex-workload replication (profile
+  build timed separately from the scheduled runs, so the persistent
+  profile cache shows up as a cold/warm `profile_build_s` delta).
+* **Determinism table** — `trace_digest` for every scheduler kind plus
+  the Fig 16 runs; an optimisation that changes any digest is a bug,
+  however fast.
+
+``bench`` writes ``BENCH_current.json``; ``bench --check`` compares it
+against the committed ``BENCH_BASELINE.json`` (pre-optimisation
+numbers plus per-metric thresholds) and exits nonzero on regression.
+Digest comparisons are exact and machine-independent; wall-clock
+comparisons carry generous floor ratios because absolute throughput
+varies across hosts — refresh the baseline with ``--update-baseline``
+when re-basing on a new machine.
+
+This module intentionally reads the host clock (it measures wall
+time); the ``DET001`` suppressions below are the documented exception,
+not a loophole — no simulated quantity ever depends on these reads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "OUTPUT_FILENAME",
+    "run_benchmarks",
+    "check_against_baseline",
+    "main",
+]
+
+BASELINE_FILENAME = "BENCH_BASELINE.json"
+OUTPUT_FILENAME = "BENCH_current.json"
+
+# Scheduler-kind digest table settings (kept cheap: 2 batches/client,
+# fixed quantum so no Overhead-Q sweep is needed).
+_DIGEST_SEED = 3
+_DIGEST_QUANTUM = 1.2e-3
+_DIGEST_BATCHES = 2
+
+
+def _now() -> float:
+    return time.perf_counter()  # lint: disable=DET001
+
+
+def _timed(fn: Callable[[], Any]) -> Tuple[float, Any]:
+    start = _now()
+    value = fn()
+    return _now() - start, value
+
+
+# ----------------------------------------------------------------------
+# Microbenchmarks
+# ----------------------------------------------------------------------
+
+
+def bench_event_loop(num_procs: int = 10, events_per_proc: int = 6000) -> float:
+    """Events/second through the Timeout-resume-process fast path."""
+    from ..sim.core import Simulator
+
+    sim = Simulator()
+
+    def ping(n):
+        timeout = sim.timeout
+        for _ in range(n):
+            yield timeout(1e-6)
+
+    for i in range(num_procs):
+        sim.process(ping(events_per_proc), name=f"bench-{i}")
+    elapsed, _ = _timed(sim.run)
+    return num_procs * events_per_proc / elapsed
+
+
+def bench_tracer(records: int = 200000) -> float:
+    """Interval records/second (two of these per executed GPU kernel)."""
+    from ..sim.trace import IntervalTracer
+
+    tracer = IntervalTracer()
+
+    def fill():
+        record = tracer.record
+        for i in range(records):
+            start = i * 1e-6
+            record("job", start, start + 5e-7, i & 7)
+        # Analyses read back through the lazy views; include one merge.
+        return tracer.duration("job")
+
+    elapsed, _ = _timed(fill)
+    return records / elapsed
+
+
+def bench_resources(ops: int = 30000) -> float:
+    """Store put/get + Resource request/release cycles per second."""
+    from ..sim.core import Simulator
+    from ..sim.resources import Resource, Store
+
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    store = Store(sim)
+
+    def producer():
+        timeout = sim.timeout
+        for i in range(ops):
+            store.put(i)
+            yield timeout(1e-6)
+
+    def consumer():
+        for _ in range(ops):
+            yield store.get()
+            request = resource.request()
+            yield request
+            resource.release(request)
+
+    sim.process(producer(), name="bench-producer")
+    sim.process(consumer(), name="bench-consumer")
+    elapsed, _ = _timed(sim.run)
+    return ops / elapsed
+
+
+# ----------------------------------------------------------------------
+# End-to-end + determinism table
+# ----------------------------------------------------------------------
+
+
+def bench_fig16(
+    num_batches: int, repeat: int = 2
+) -> Tuple[float, float, Dict[str, str]]:
+    """(profile_build_s, e2e_best_s, digests) for the Fig 16 workload.
+
+    The profile build is timed separately: cold it runs the solo +
+    Overhead-Q sweeps, warm it is a cache hit
+    (:mod:`repro.experiments.profile_cache`), so the delta between two
+    invocations shows the cache working.  The scheduled fair and
+    tf-serving runs are timed together, best of ``repeat``.
+    """
+    from ..experiments.runner import (
+        ExperimentConfig,
+        get_profiler_output,
+        run_workload,
+    )
+    from ..workloads.scenarios import complex_workload
+
+    specs = complex_workload(num_batches=num_batches)
+    config = ExperimentConfig(seed=3, tolerance=0.02)
+    entries = sorted({(s.model, s.batch_size) for s in specs})
+    profile_s, output = _timed(lambda: get_profiler_output(entries, config))
+
+    best = None
+    digests: Dict[str, str] = {}
+    for _ in range(max(1, repeat)):
+        start = _now()
+        fair = run_workload(
+            specs, scheduler="fair", config=config, profiler_output=output
+        )
+        tfs = run_workload(
+            specs, scheduler="tf-serving", config=config, profiler_output=output
+        )
+        elapsed = _now() - start
+        best = elapsed if best is None else min(best, elapsed)
+        # Digest keys carry the batch count: quick (2 batches) and full
+        # (6 batches) runs are different workloads with different — but
+        # individually deterministic — digests.
+        digests[f"fig16-fair@nb{num_batches}"] = fair.trace_digest()
+        digests[f"fig16-tf-serving@nb{num_batches}"] = tfs.trace_digest()
+    return profile_s, best, digests
+
+
+def digest_table() -> Dict[str, str]:
+    """`trace_digest` per scheduler kind on a small complex workload."""
+    from ..experiments.runner import (
+        SCHEDULER_KINDS,
+        ExperimentConfig,
+        run_workload,
+    )
+    from ..workloads.scenarios import complex_workload
+
+    config = ExperimentConfig(quantum=_DIGEST_QUANTUM, seed=_DIGEST_SEED)
+    specs = complex_workload(num_batches=_DIGEST_BATCHES)
+    return {
+        kind: run_workload(specs, scheduler=kind, config=config).trace_digest()
+        for kind in SCHEDULER_KINDS
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def _metric(value: float, unit: str, higher_is_better: bool) -> Dict[str, Any]:
+    return {"value": value, "unit": unit, "higher_is_better": higher_is_better}
+
+
+def run_benchmarks(quick: bool = False, verbose: bool = True) -> Dict[str, Any]:
+    """Run every benchmark; returns the report dict (also serialisable)."""
+
+    def say(text: str) -> None:
+        if verbose:
+            print(text)
+
+    if quick:
+        loop_eps = bench_event_loop(num_procs=10, events_per_proc=2000)
+        tracer_rps = bench_tracer(records=50000)
+        resources_ops = bench_resources(ops=10000)
+        profile_s, e2e_s, fig_digests = bench_fig16(num_batches=2, repeat=2)
+    else:
+        loop_eps = bench_event_loop()
+        tracer_rps = bench_tracer()
+        resources_ops = bench_resources()
+        profile_s, e2e_s, fig_digests = bench_fig16(num_batches=6, repeat=3)
+    say(f"event loop         {loop_eps:>12,.0f} events/s")
+    say(f"tracer             {tracer_rps:>12,.0f} records/s")
+    say(f"resources          {resources_ops:>12,.0f} ops/s")
+    say(f"fig16 profile      {profile_s:>12.3f} s (warm = cache hit)")
+    say(f"fig16 e2e          {e2e_s:>12.3f} s")
+    digests = digest_table()
+    digests.update(fig_digests)
+    say(f"digest table       {len(digests)} entries")
+
+    return {
+        "schema": 1,
+        "mode": "quick" if quick else "full",
+        "metrics": {
+            "event_loop_eps": _metric(loop_eps, "events/s", True),
+            "tracer_rps": _metric(tracer_rps, "records/s", True),
+            "resources_ops": _metric(resources_ops, "ops/s", True),
+            "profile_build_s": _metric(profile_s, "s", False),
+            "fig16_e2e_s": _metric(e2e_s, "s", False),
+        },
+        "digests": digests,
+    }
+
+
+def check_against_baseline(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Regression findings (empty = pass).
+
+    Wall-clock metrics compare against the baseline section matching
+    the current mode, scaled by the committed per-metric thresholds
+    (``min_speedup`` for lower-is-better, ``floor_ratio`` for
+    higher-is-better).  Quick mode reads ``quick_thresholds`` when
+    present (quick runs are shorter, hence noisier, so they carry
+    looser gates).  Metrics without a threshold entry —
+    ``profile_build_s``, which legitimately swings from seconds to
+    milliseconds with cache state — are informational.  Digests must
+    match exactly wherever both sides define them.
+    """
+    failures: List[str] = []
+    quick = current.get("mode") == "quick"
+    section = "quick_metrics" if quick else "metrics"
+    base_metrics = baseline.get(section, {})
+    thresholds = baseline.get("thresholds", {})
+    if quick and "quick_thresholds" in baseline:
+        thresholds = baseline["quick_thresholds"]
+    for name, spec in current.get("metrics", {}).items():
+        base = base_metrics.get(name)
+        gate = thresholds.get(name)
+        if base is None or gate is None:
+            continue
+        value, ref = spec["value"], base["value"]
+        if spec["higher_is_better"]:
+            floor = ref * gate.get("floor_ratio", 0.5)
+            if value < floor:
+                failures.append(
+                    f"{name}: {value:,.0f} below floor {floor:,.0f} "
+                    f"(baseline {ref:,.0f} x {gate.get('floor_ratio', 0.5)})"
+                )
+        else:
+            ceiling = ref / gate.get("min_speedup", 1.0)
+            if value > ceiling:
+                failures.append(
+                    f"{name}: {value:.3f}s exceeds ceiling {ceiling:.3f}s "
+                    f"(baseline {ref:.3f}s / speedup {gate.get('min_speedup', 1.0)})"
+                )
+    base_digests = baseline.get("digests", {})
+    for key in sorted(set(base_digests) & set(current.get("digests", {}))):
+        if current["digests"][key] != base_digests[key]:
+            failures.append(
+                f"digest drift for {key}: {current['digests'][key]} != "
+                f"{base_digests[key]} — determinism broken"
+            )
+    return failures
+
+
+def main(
+    quick: bool = False,
+    check: bool = False,
+    out: Optional[str] = None,
+    baseline: Optional[str] = None,
+) -> int:
+    report = run_benchmarks(quick=quick)
+    out_path = Path(out or OUTPUT_FILENAME)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if not check:
+        return 0
+    baseline_path = Path(baseline or BASELINE_FILENAME)
+    if not baseline_path.is_file():
+        print(f"error: no baseline at {baseline_path}")
+        return 2
+    failures = check_against_baseline(
+        report, json.loads(baseline_path.read_text())
+    )
+    if failures:
+        print(f"PERF REGRESSION vs {baseline_path}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"within baseline thresholds ({baseline_path})")
+    return 0

@@ -12,7 +12,12 @@ Four commands cover the operator workflow of Figure 7:
   fault-injection plans (see :mod:`repro.faults`).
 * ``repro lint`` — the determinism & concurrency static-analysis gate
   (see :mod:`repro.lint`); exits nonzero on findings.
-* ``repro reproduce`` — regenerate one of the paper's tables/figures.
+* ``repro reproduce`` — regenerate paper tables/figures, optionally
+  several at once across worker processes (``--jobs N``; output is
+  byte-identical for every N — see :mod:`repro.experiments.parallel`).
+* ``repro bench`` — performance microbenchmarks and the end-to-end
+  Fig 16 wall-clock, with a committed-baseline regression check
+  (see :mod:`repro.bench`).
 
 Invoke as ``python -m repro <command> ...``.
 """
@@ -317,22 +322,50 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     artefacts = _artefacts()
-    if args.artefact == "list" or args.artefact is None:
-        print("available artefacts:")
-        for name in artefacts:
-            print(f"  {name}")
+    names = args.artefact
+    if not names or names == ["list"]:
+        try:
+            print("available artefacts:")
+            for name in artefacts:
+                print(f"  {name}")
+        except BrokenPipeError:
+            _ignore_broken_stdout()
         return 0
-    runner = artefacts.get(args.artefact)
-    if runner is None:
+    unknown = [name for name in names if name not in artefacts]
+    if unknown:
         print(
-            f"error: unknown artefact {args.artefact!r}; "
+            f"error: unknown artefact(s) {', '.join(map(repr, unknown))}; "
             f"try `reproduce list`",
             file=sys.stderr,
         )
         return 2
-    result = runner()
-    print(result.report())
-    return 0
+    from .experiments.parallel import run_artefacts
+
+    # One code path for any --jobs value: outcomes merge in input
+    # order, so the printed output is byte-identical for all N.
+    outcomes = run_artefacts(names, jobs=args.jobs)
+    status = 0
+    for outcome in outcomes:
+        if outcome.ok:
+            print(outcome.report)
+        else:
+            print(
+                f"error: artefact {outcome.name!r} failed: {outcome.error}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import main as bench_main
+
+    return bench_main(
+        quick=args.quick,
+        check=args.check,
+        out=args.out,
+        baseline=args.baseline,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -476,11 +509,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     reproduce = sub.add_parser(
-        "reproduce", help="regenerate a paper table/figure"
+        "reproduce", help="regenerate paper tables/figures"
     )
     reproduce.add_argument(
-        "artefact", nargs="?", default=None,
-        help="artefact id (e.g. fig11) or `list`",
+        "artefact", nargs="*", default=None,
+        help="artefact id(s) (e.g. fig11 fig16) or `list`",
+    )
+    reproduce.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for multiple artefacts (default 1); "
+             "output is byte-identical for every N",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="performance benchmarks + regression check"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced iteration counts (CI smoke variant)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="result JSON path (default BENCH_current.json)",
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default BENCH_BASELINE.json)",
     )
     return parser
 
@@ -496,6 +554,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
+        "bench": _cmd_bench,
     }
     if args.command is None:
         parser.print_help()

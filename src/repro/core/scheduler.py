@@ -212,6 +212,18 @@ class GangScheduler(SchedulerHook):
         if self.invariants is not None:
             self.invariants.after_deregister(self, job)
 
+    def needs_yield(self, job: Job) -> bool:
+        """A gang thread must park iff its job does not hold the token.
+
+        Mirrors the guards in :meth:`yield_`: aborted or unregistered
+        jobs drain without waiting, so they never need the generator.
+        """
+        return (
+            self.holder is not job
+            and not job.aborted
+            and job.job_id in self._conditions
+        )
+
     def yield_(self, job: Job) -> Iterator:
         while self.holder is not job:
             if job.aborted:

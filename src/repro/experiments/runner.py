@@ -8,8 +8,10 @@ the paper reports.
 
 Profiling is the expensive step (solo runs + Overhead-Q sweeps), so
 profiler outputs are cached per (models, scale, seeds, Q-grid,
-tolerance) within the process; all figures that share a workload share
-the profile, exactly as the real Olympian profiles once per model.
+tolerance) within the process — all figures that share a workload share
+the profile, exactly as the real Olympian profiles once per model —
+and persistently on disk across processes (content-keyed, see
+:mod:`repro.experiments.profile_cache`).
 
 All experiments run at a configurable ``scale`` (see DESIGN.md): node
 counts and total work shrink proportionally, node durations and the
@@ -50,6 +52,7 @@ from ..sim.rng import derive_seed
 from ..workloads.scenarios import ClientSpec
 from ..zoo.catalog import MODEL_REGISTRY
 from ..zoo.generate import generate_graph
+from . import profile_cache
 
 __all__ = [
     "DEFAULT_SCALE",
@@ -82,7 +85,11 @@ _profile_cache: Dict[tuple, ProfilerOutput] = {}
 
 
 def clear_caches() -> None:
-    """Drop cached graphs and profiler outputs (mainly for tests)."""
+    """Drop in-process cached graphs and profiler outputs (for tests).
+
+    The on-disk profile cache is left alone — delete its directory or
+    set ``REPRO_PROFILE_CACHE=0`` to bypass it.
+    """
     _graph_cache.clear()
     _profile_cache.clear()
 
@@ -109,6 +116,9 @@ class ExperimentConfig:
     wake_latency: float = DEFAULT_WAKE_LATENCY
     curve_batches: int = 4
     track_memory: bool = False
+    # Replay fast path (see ServerConfig.compiled); False selects the
+    # reference node-walking session, used as a determinism oracle.
+    compiled: bool = True
     # Evict a token holder that makes no progress for this long
     # (simulated seconds); None disables the stall watchdog.
     stall_threshold: Optional[float] = None
@@ -150,6 +160,13 @@ def get_profiler_output(
     output = _profile_cache.get(key)
     if output is not None:
         return output
+    disk_key = None
+    if profile_cache.cache_enabled():
+        disk_key = profile_cache.cache_key(entries, config, with_curves)
+        output = profile_cache.load(disk_key)
+        if output is not None:
+            _profile_cache[key] = output
+            return output
     profiler = OfflineProfiler(
         base_config=ServerConfig(
             gpu_spec=config.gpu_spec,
@@ -173,6 +190,8 @@ def get_profiler_output(
         fixed_quantum=config.quantum,
     )
     _profile_cache[key] = output
+    if disk_key is not None:
+        profile_cache.store(disk_key, output)
     return output
 
 
@@ -355,6 +374,7 @@ def run_workload(
         n_cores=config.n_cores,
         pool_size=config.pool_size,
         track_memory=config.track_memory,
+        compiled=config.compiled,
         seed=derive_seed(config.seed, f"run:{scheduler}"),
     )
     server = ModelServer(sim, server_config, scheduler=gang_scheduler)

@@ -96,22 +96,34 @@ class GpuDevice:
         return self.sim.now < self._hang_until
 
     def _run(self):
+        # GpuSpec is frozen, so its fields hoist; clock_factor and
+        # _hang_until can change mid-run (set_clock_factor /
+        # inject_hang) and must be re-read per kernel.
+        sim = self.sim
+        timeout = sim.timeout
+        next_kernel = self.driver.next_kernel
+        record = self.tracer.record
+        compute_scale = self.spec.compute_scale
+        kernel_overhead = self.spec.kernel_overhead
         while True:
-            kernel: Kernel = yield self.driver.next_kernel()
-            if self.sim.now < self._hang_until:
+            kernel: Kernel = yield next_kernel()
+            if sim.now < self._hang_until:
                 # Injected device hang: sit out the remaining stall
                 # before this kernel may start.
-                yield self.sim.timeout(self._hang_until - self.sim.now)
+                yield timeout(self._hang_until - sim.now)
             self.current_kernel = kernel
-            start = self.sim.now
+            start = sim.now
             kernel.started_at = start
-            yield self.sim.timeout(self.execution_time(kernel))
-            end = self.sim.now
+            yield timeout(
+                kernel.duration * compute_scale * self.clock_factor
+                + kernel_overhead
+            )
+            end = sim.now
             kernel.finished_at = end
             self.kernels_executed += 1
             self.busy_time += end - start
-            self.tracer.record(kernel.job_id, start, end, tag=kernel.node_id)
-            self.tracer.record(GPU_GLOBAL_KEY, start, end, tag=kernel.job_id)
+            record(kernel.job_id, start, end, tag=kernel.node_id)
+            record(GPU_GLOBAL_KEY, start, end, tag=kernel.job_id)
             self.current_kernel = None
             kernel.done.succeed(kernel)
 

@@ -61,6 +61,7 @@ class Driver:
         self.arbitration_noise = arbitration_noise
         self._queues: Dict[Any, Deque[Kernel]] = {}
         self._ranks: Dict[Any, float] = {}
+        self._queued = 0
         self._current_stream: Optional[Any] = None
         self._waiter: Optional[Event] = None
         self.submission_counts: Dict[Any, int] = {}
@@ -79,15 +80,24 @@ class Driver:
     # ------------------------------------------------------------------
 
     def launch(
-        self, job_id: Any, node: Node, batch_size: int, slowdown: float = 0.0
+        self,
+        job_id: Any,
+        node: Node,
+        batch_size: int,
+        slowdown: float = 0.0,
+        duration: Optional[float] = None,
     ) -> Kernel:
         """Submit one kernel for ``node`` on behalf of ``job_id``.
 
         Returns the :class:`Kernel`; its ``done`` event fires when the
         device finishes executing it.  ``slowdown`` adds extra execution
         time (used to model online profiling instrumentation).
+        ``duration`` short-circuits the per-launch cost-model walk when
+        the caller already holds the node's precomputed duration (the
+        compiled session path).
         """
-        duration = node.duration(batch_size) + slowdown
+        if duration is None:
+            duration = node.duration(batch_size) + slowdown
         kernel = Kernel(self.sim, job_id, node.node_id, duration)
         kernel.submitted_at = self.sim.now
         self.submission_counts[job_id] = self.submission_counts.get(job_id, 0) + 1
@@ -107,9 +117,9 @@ class Driver:
             # Stream creation: draw this stream's arbitration rank.
             self._ranks[job_id] = self.rng.random()
         queue.append(kernel)
-        depth = self.total_queued
-        if depth > self.max_queue_depth:
-            self.max_queue_depth = depth
+        self._queued += 1
+        if self._queued > self.max_queue_depth:
+            self.max_queue_depth = self._queued
         if self._waiter is not None:
             waiter, self._waiter = self._waiter, None
             waiter.succeed(self._pop())
@@ -138,19 +148,26 @@ class Driver:
 
     def _pop(self) -> Optional[Kernel]:
         """Serve the highest-ranked non-empty stream."""
-        nonempty = [job_id for job_id, queue in self._queues.items() if queue]
-        if not nonempty:
+        if not self._queued:
             return None
+        nonempty = [job_id for job_id, queue in self._queues.items() if queue]
         if len(nonempty) == 1:
             chosen = nonempty[0]
         else:
+            # Manual argmax: one noise draw per candidate stream, in
+            # queue-creation order, first-wins on (measure-zero) ties —
+            # the exact semantics of max(key=...) without the per-pick
+            # lambda dispatch.
             ranks = self._ranks
             noise = self.arbitration_noise
-            rng = self.rng
-            chosen = max(
-                nonempty,
-                key=lambda job_id: ranks[job_id] + noise * rng.random(),
-            )
+            random = self.rng.random
+            chosen = nonempty[0]
+            best = ranks[chosen] + noise * random()
+            for job_id in nonempty[1:]:
+                score = ranks[job_id] + noise * random()
+                if score > best:
+                    best = score
+                    chosen = job_id
         if chosen != self._current_stream:
             self.stream_switches += 1
         self._current_stream = chosen
@@ -168,6 +185,7 @@ class Driver:
                 for job_id, rank in self._ranks.items()
                 if job_id in self._queues
             }
+        self._queued -= 1
         return self._queues[chosen].popleft()
 
     # ------------------------------------------------------------------
@@ -176,7 +194,7 @@ class Driver:
 
     @property
     def total_queued(self) -> int:
-        return sum(len(queue) for queue in self._queues.values())
+        return self._queued
 
     def queued_for(self, job_id: Any) -> int:
         queue = self._queues.get(job_id)

@@ -121,6 +121,15 @@ class Graph:
                 if indegree[child.node_id] == 0:
                     ready.append(child)
 
+    def compiled(self, batch_size: int):
+        """Flat replay schedule at ``batch_size`` (cached per batch).
+
+        See :mod:`repro.graph.compiled`; used by the serving fast path.
+        """
+        from .compiled import compile_graph
+
+        return compile_graph(self, batch_size)
+
     def depth(self) -> int:
         """Longest path length (in nodes) from root to any sink."""
         depth: Dict[int, int] = {}

@@ -13,6 +13,8 @@ deadlock-free cooperative gang scheduler.  This package checks both
   ``ConditionVariable.wait`` to sit in a while-predicate loop, detect
   acquisition-order cycles across the scheduler/resource/session files,
   and confine writes to guarded scheduler state to the token machinery.
+* **Performance rules** (PERF001) ban O(n) list head-shifts
+  (``list.pop(0)``/``list.insert(0, ...)``) in hot-path code.
 
 Run it as ``python -m repro.cli lint src tests benchmarks`` (the CI
 gate) or call :func:`lint_paths` directly.  Rules are catalogued in
@@ -25,6 +27,7 @@ from __future__ import annotations
 # Importing the rule modules registers every rule.
 from . import concurrency as _concurrency  # noqa: F401
 from . import determinism as _determinism  # noqa: F401
+from . import perf as _perf  # noqa: F401
 from .config import LintConfig, find_pyproject, load_config, path_matches
 from .engine import FileContext, lint_source
 from .findings import Finding, PARSE_ERROR_ID

@@ -59,6 +59,8 @@ class LintConfig:
     )
     # Where the determinism family (DET001-DET006) applies.
     determinism_paths: Tuple[str, ...] = ("src/repro",)
+    # Where the performance family (PERF001) applies: hot-path code.
+    perf_paths: Tuple[str, ...] = ("src/repro",)
     # Where environment reads are banned (DET004): sim/scheduler paths.
     env_guard_paths: Tuple[str, ...] = (
         "src/repro/sim",

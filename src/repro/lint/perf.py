@@ -1,0 +1,63 @@
+"""Performance rules (PERF001).
+
+The simulator's hot loops live or die by container choice: a
+``list.pop(0)`` in a waiter queue is O(n) per wake-up and turns gang
+scheduling into quadratic work as fan-out grows (the exact regression
+fixed in ``sim/resources.py``).  PERF001 bans head-shifting list calls
+in hot-path code so the class of bug cannot quietly return.
+
+Like every rule here this is an AST heuristic: it sees the call shape
+``<expr>.pop(0)`` / ``<expr>.insert(0, …)``, not the receiver's type.
+A deliberate O(n) shift on a provably tiny list (or a ``dict.pop(0)``
+false positive) is silenced with ``# lint: disable=PERF001``, never by
+narrowing the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Tuple
+
+from .config import LintConfig
+from .rules import Rule, register
+
+__all__ = ["ListHeadShiftRule"]
+
+
+def _is_zero_literal(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+        and node.value == 0
+    )
+
+
+@register
+class ListHeadShiftRule(Rule):
+    rule_id = "PERF001"
+    name = "list-head-shift"
+    summary = "list.pop(0)/list.insert(0, ...) is O(n); use collections.deque"
+    node_types = (ast.Call,)
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.perf_paths
+
+    def check(self, node: ast.Call, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "pop":
+            if len(node.args) == 1 and _is_zero_literal(node.args[0]):
+                yield node, (
+                    "`.pop(0)` shifts every remaining element (O(n) per "
+                    "call); use `collections.deque` and `.popleft()` for "
+                    "FIFO queues"
+                )
+        elif func.attr == "insert":
+            if node.args and _is_zero_literal(node.args[0]):
+                yield node, (
+                    "`.insert(0, ...)` shifts every element (O(n) per "
+                    "call); use `collections.deque` and `.appendleft()` "
+                    "for head insertion"
+                )

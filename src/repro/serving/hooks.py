@@ -45,6 +45,17 @@ class SchedulerHook:
         """
         return iter(())
 
+    def needs_yield(self, job: "Job") -> bool:
+        """Cheap predicate: would :meth:`yield_` produce any events?
+
+        The compiled session path calls this before every node so that
+        the common may-proceed case skips generator construction
+        entirely.  Must be conservative: returning ``True`` when
+        :meth:`yield_` would yield nothing is safe (the generator just
+        runs empty); returning ``False`` when it would block is not.
+        """
+        return False
+
     def on_node_done(self, job: "Job", node: Node) -> None:
         """Algorithm 2 lines 14-18: node finished; account its cost."""
 

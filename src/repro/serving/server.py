@@ -43,6 +43,12 @@ class ServerConfig:
     ``dispatch_jitter`` is the OS thread-scheduling noise when a gang
     thread is handed a GPU node; it is the stochastic ingredient behind
     TF-Serving's run-to-run unpredictability (Figure 3).
+
+    ``compiled`` selects the replay fast path: sessions execute a
+    precomputed per-(graph, batch) cost schedule
+    (:mod:`repro.graph.compiled`) instead of re-walking node objects.
+    Behaviour (and ``trace_digest``) is bit-identical either way;
+    ``compiled=False`` keeps the original walk as a reference/oracle.
     """
 
     gpu_spec: GpuSpec = GTX_1080_TI
@@ -53,6 +59,7 @@ class ServerConfig:
     dispatch_jitter: float = 8e-6
     online_profiling: bool = False
     track_memory: bool = True
+    compiled: bool = True
     seed: int = 0
 
     def with_seed(self, seed: int) -> "ServerConfig":

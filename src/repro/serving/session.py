@@ -16,6 +16,18 @@ If the pool has no free thread, the child is executed inline on the
 current thread ("execution may be delayed", §2.1) — this is what makes
 Olympian degrade gracefully rather than deadlock when suspended gangs
 hold the whole pool (§4.3 scalability).
+
+Two walkers implement the same traversal.  The *reference* walker
+(``_thread_body``) visits :class:`~repro.graph.node.Node` objects and
+asks each for its device and duration.  The *compiled* walker
+(``_thread_body_compiled``, selected by ``ServerConfig.compiled``,
+the default) replays the precomputed per-(graph, batch) schedule from
+:mod:`repro.graph.compiled`: the BFS queue holds node ids, device
+flags and durations come from flat arrays, and the scheduler is only
+consulted through the cheap ``needs_yield`` predicate unless the gang
+actually has to park.  The two walkers make identical simulation calls
+in identical order, so ``trace_digest`` is bit-identical between them
+— the reference path is kept precisely to assert that.
 """
 
 from __future__ import annotations
@@ -44,11 +56,16 @@ class Session:
         self.sim = server.sim
         self.job = job
         graph = job.graph
-        # Per-session dependency counters, indexed by node id.
-        max_id = max(node.node_id for node in graph.nodes)
-        self._remaining = [0] * (max_id + 1)
-        for node in graph.nodes:
-            self._remaining[node.node_id] = node.num_parents
+        if server.config.compiled:
+            self._compiled = graph.compiled(job.batch_size)
+            # Per-session dependency counters, indexed by node id.
+            self._remaining = list(self._compiled.num_parents)
+        else:
+            self._compiled = None
+            max_id = max(node.node_id for node in graph.nodes)
+            self._remaining = [0] * (max_id + 1)
+            for node in graph.nodes:
+                self._remaining[node.node_id] = node.num_parents
 
     # ------------------------------------------------------------------
     # Top-level session process (Algorithm 1/2 SESSION::RUN)
@@ -61,7 +78,12 @@ class Session:
         self.server.scheduler.register(job)
         ticket = self.server.pool.try_fetch()
         try:
-            yield from self._thread_body(job.graph.root, ticket=None)
+            if self._compiled is not None:
+                yield from self._thread_body_compiled(
+                    self._compiled.root_id, ticket=None
+                )
+            else:
+                yield from self._thread_body(job.graph.root, ticket=None)
             # Other gang threads may still be working; wait for the last
             # node.  ``complete`` guards against waiting on an event that
             # has already fired; a cancelled or failed job's ``done``
@@ -156,6 +178,130 @@ class Session:
         if delay > 0.0:
             yield self.sim.timeout(delay)
         yield from self._thread_body(node, ticket)
+
+    # ------------------------------------------------------------------
+    # Compiled replay walker (ServerConfig.compiled, the default)
+    # ------------------------------------------------------------------
+
+    def _thread_body_compiled(
+        self,
+        start_id: int,
+        ticket: Optional[ThreadTicket],
+        dispatch: bool = False,
+    ):
+        """Gang-thread body over the precomputed schedule.
+
+        Must mirror ``_thread_body`` + ``_compute`` + ``_finish_node``
+        call-for-call: the same events in the same order, only with the
+        per-node lookups (device, duration, slowdown, scheduler-park
+        test) resolved from flat arrays and hoisted constants, and the
+        node-finish bookkeeping inlined into the loop.  ``dispatch``
+        marks a freshly fetched gang thread, which models OS dispatch
+        latency before starting (the reference path uses a
+        ``_spawned_thread`` wrapper generator for this; folding it in
+        here saves a delegation frame on every resume of the thread).
+        """
+        if dispatch:
+            delay = self.server.dispatch_delay()
+            if delay > 0.0:
+                yield self.sim.timeout(delay)
+        job = self.job
+        job.gang_threads_now += 1
+        if job.gang_threads_now > job.gang_threads_peak:
+            job.gang_threads_peak = job.gang_threads_now
+        sim = self.sim
+        compiled = self._compiled
+        server = self.server
+        scheduler = server.scheduler
+        needs_yield = scheduler.needs_yield
+        on_node_done = scheduler.on_node_done
+        is_gpu = compiled.is_gpu
+        durations = compiled.durations
+        nodes = compiled.nodes
+        children_ids = compiled.children_ids
+        num_nodes = compiled.num_nodes
+        remaining = self._remaining
+        # Constant per run: 0.0 unless online profiling is attached.
+        slowdown = server.instrumentation_slowdown()
+        launch_latency = server.config.launch_latency
+        online = server.config.online_profiling
+        driver_launch = server.driver.launch
+        cpu_execute = server.cpu.execute
+        try_fetch = server.pool.try_fetch
+        process = sim.process
+        timeout = sim.timeout
+        job_id = job.job_id
+        batch = job.batch_size
+        try:
+            queue = deque((start_id,))
+            popleft = queue.popleft
+            append = queue.append
+            while queue:
+                if job.aborted:
+                    break
+                node_id = popleft()
+                if needs_yield(job):
+                    yield from scheduler.yield_(job)
+                    if job.aborted:
+                        break
+                try:
+                    if is_gpu[node_id]:
+                        if launch_latency > 0.0:
+                            yield timeout(launch_latency)
+                        kernel = driver_launch(
+                            job_id,
+                            nodes[node_id],
+                            batch,
+                            duration=durations[node_id] + slowdown,
+                        )
+                        yield kernel.done
+                    else:
+                        yield from cpu_execute(durations[node_id] + slowdown)
+                    if online:
+                        server._observe_cost(job, nodes[node_id])
+                except GpuFault as exc:
+                    self._fail_job(exc)
+                    break
+                # Node-finish bookkeeping (``_finish_node`` twin).
+                on_node_done(job, nodes[node_id])
+                job.nodes_executed += 1
+                if is_gpu[node_id]:
+                    job.gpu_nodes_executed += 1
+                if job.nodes_executed == num_nodes:
+                    job.finished_at = sim.now
+                    job.done.succeed(job)
+                    continue
+                inline_slot_free = True
+                for child_id in children_ids[node_id]:
+                    left = remaining[child_id] - 1
+                    remaining[child_id] = left
+                    if left != 0:
+                        continue
+                    if inline_slot_free:
+                        append(child_id)
+                        inline_slot_free = False
+                    else:
+                        child_ticket = try_fetch()
+                        if child_ticket is not None:
+                            process(
+                                self._thread_body_compiled(
+                                    child_id, child_ticket, dispatch=True
+                                ),
+                                name=f"{job_id}/n{child_id}",
+                            )
+                        else:
+                            append(child_id)
+        finally:
+            job.gang_threads_now -= 1
+            if (
+                job.aborted
+                and job.gang_threads_now == 0
+                and not job.done.triggered
+            ):
+                job.finished_at = self.sim.now
+                job.done.fail(self._abort_exception())
+            if ticket is not None:
+                ticket.release()
 
     # ------------------------------------------------------------------
     # Node execution

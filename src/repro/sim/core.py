@@ -14,6 +14,29 @@ All times are floats in **simulated seconds**.  The kernel is fully
 deterministic: ties in the event queue are broken by insertion order, so
 two runs of the same program produce identical schedules.
 
+Performance
+-----------
+The kernel is the hottest code in the repository (a single Figure 16
+replication pumps ~2.5 million events through it), so the dominant
+cycle — create a :class:`Timeout`, pop it off the heap, dispatch its
+callbacks, resume the waiting :class:`Process` — is hand-flattened:
+
+* :meth:`Simulator.run` inlines the pop/advance/dispatch sequence
+  instead of calling :meth:`Simulator.step` and ``Event._fire`` per
+  event.  This is only sound because ``_fire``'s body is fixed;
+  :class:`Event` therefore *forbids* subclasses from overriding it
+  (enforced in ``__init_subclass__``).
+* :class:`Timeout` construction and :meth:`Event.succeed` /
+  :meth:`Event.fail` schedule directly onto the heap — a freshly
+  triggered event can never already be queued, so the double-schedule
+  guard in ``_schedule`` is statically unnecessary on those paths.
+* :class:`Process` caches its bound ``_resume`` callback (one bound
+  method per process instead of one per resumed event).
+
+:meth:`Simulator.run_reference` keeps the naive ``step()`` loop alive
+as an oracle; ``tests/sim/test_core.py`` asserts both loops produce
+identical traces.  ``python -m repro bench`` guards the throughput.
+
 Example
 -------
 >>> sim = Simulator()
@@ -30,7 +53,7 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -82,6 +105,17 @@ class Event:
         self._exc: Optional[BaseException] = None
         self._scheduled = False
 
+    def __init_subclass__(cls, **kwargs):
+        # Simulator.run() dispatches callbacks inline (the body of
+        # ``_fire``) without a per-event virtual call; an override would
+        # silently be skipped on the fast path.
+        if "_fire" in cls.__dict__:
+            raise TypeError(
+                f"{cls.__name__} must not override Event._fire: the "
+                "simulator's fast path dispatches callbacks inline"
+            )
+        super().__init_subclass__(**kwargs)
+
     @property
     def triggered(self) -> bool:
         """True once the event has a value (it may not have fired yet)."""
@@ -107,10 +141,15 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event with ``value`` at the current sim time."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError("event already triggered")
         self._value = value
-        self.sim._schedule(self, 0.0)
+        # An untriggered event is never on the queue, so schedule
+        # directly (the _schedule double-schedule guard cannot fire).
+        self._scheduled = True
+        sim = self.sim
+        heappush(sim._queue, (sim._now, sim._sequence, self))
+        sim._sequence += 1
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -119,13 +158,16 @@ class Event:
         Any process waiting on the event has ``exc`` raised at its yield
         point.
         """
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError("event already triggered")
         if not isinstance(exc, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self._exc = exc
         self._value = None
-        self.sim._schedule(self, 0.0)
+        self._scheduled = True
+        sim = self.sim
+        heappush(sim._queue, (sim._now, sim._sequence, self))
+        sim._sequence += 1
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -154,10 +196,17 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
+        # Flattened Event.__init__ + _schedule: a fresh timeout cannot
+        # already be queued, and the super().__init__ call is pure
+        # overhead on the dominant event path.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay)
+        self._exc = None
+        self._scheduled = True
+        self.delay = delay
+        heappush(sim._queue, (sim._now + delay, sim._sequence, self))
+        sim._sequence += 1
 
 
 class Process(Event):
@@ -168,7 +217,7 @@ class Process(Event):
     processes can wait for one another by yielding them.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_bound_resume")
 
     def __init__(
         self,
@@ -184,11 +233,14 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        resume = self._bound_resume = self._resume
         # Kick off the generator at the current time.
         bootstrap = Event(sim)
         bootstrap._value = None
-        sim._schedule(bootstrap, 0.0)
-        bootstrap.add_callback(self._resume)
+        bootstrap._scheduled = True
+        bootstrap.callbacks.append(resume)
+        heappush(sim._queue, (sim._now, sim._sequence, bootstrap))
+        sim._sequence += 1
 
     @property
     def is_alive(self) -> bool:
@@ -202,7 +254,7 @@ class Process(Event):
         if target is not None and target.callbacks is not None:
             # Detach from whatever the process was waiting on.
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._bound_resume)
             except ValueError:
                 pass
         self._waiting_on = None
@@ -210,13 +262,14 @@ class Process(Event):
         wakeup._exc = Interrupt(cause)
         wakeup._value = None
         self.sim._schedule(wakeup, 0.0)
-        wakeup.add_callback(self._resume)
+        wakeup.add_callback(self._bound_resume)
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
-            return
+        if self._value is not _PENDING or self._exc is not None:
+            return  # already terminated
         self._waiting_on = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._exc is not None:
                 target = self.generator.throw(event._exc)
@@ -224,7 +277,9 @@ class Process(Event):
                 target = self.generator.send(event._value)
         except StopIteration as stop:
             self._value = stop.value
-            self.sim._schedule(self, 0.0)
+            self._scheduled = True
+            heappush(sim._queue, (sim._now, sim._sequence, self))
+            sim._sequence += 1
             return
         except Interrupt as exc:
             # An un-caught interrupt terminates the process cleanly.
@@ -233,16 +288,22 @@ class Process(Event):
             self.sim._schedule(self, 0.0)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; "
                 "processes must yield Event instances"
             )
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             raise SimulationError("yielded event belongs to another simulator")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is None:
+            # Already processed: resume immediately (add_callback
+            # semantics, without the extra call).
+            self._bound_resume(target)
+        else:
+            callbacks.append(self._bound_resume)
 
 
 class AnyOf(Event):
@@ -360,12 +421,19 @@ class Simulator:
         if event._scheduled:
             raise SimulationError("event scheduled twice")
         event._scheduled = True
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        heappush(self._queue, (self._now + delay, self._sequence, event))
         self._sequence += 1
 
     def step(self) -> None:
-        """Process the next event on the queue."""
-        when, _seq, event = heapq.heappop(self._queue)
+        """Process the next event on the queue.
+
+        Raises :class:`SimulationError` when the queue is empty — an
+        explicit contract instead of a bare ``IndexError`` from the
+        heap.
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heappop(self._queue)
         self._now = when
         event._fire()
 
@@ -375,8 +443,88 @@ class Simulator:
             return float("inf")
         return self._queue[0][0]
 
-    def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or the clock passes ``until``."""
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        ``max_steps`` is a livelock guard: a bug that schedules
+        zero-delay events in a cycle never drains the queue and never
+        advances the clock, so neither stop condition can trigger.
+        When set, the run aborts with :class:`SimulationError` after
+        that many events.
+
+        The loop body is the fast path: it inlines :meth:`step` and the
+        callback dispatch of ``Event._fire`` (safe because ``_fire``
+        cannot be overridden).  :meth:`run_reference` is the readable
+        equivalent; both produce bit-identical schedules.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until!r}) is in the past (now={self._now!r})"
+            )
+        queue = self._queue
+        if max_steps is not None:
+            self._run_guarded(until, max_steps)
+            return
+        if until is None:
+            while queue:
+                when, _seq, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+            return
+        while queue:
+            if queue[0][0] > until:
+                self._now = until
+                return
+            when, _seq, event = heappop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+        self._now = until
+
+    def _run_guarded(self, until: Optional[float], max_steps: int) -> None:
+        """The ``max_steps``-counting variant of the run loop."""
+        if max_steps < 1:
+            raise SimulationError(f"max_steps must be >= 1: {max_steps}")
+        queue = self._queue
+        steps = 0
+        while queue:
+            if until is not None and queue[0][0] > until:
+                self._now = until
+                return
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"run() exceeded max_steps={max_steps} at t={self._now!r}"
+                    " — livelock? (zero-delay event cycle keeps the queue"
+                    " non-empty without advancing the clock)"
+                )
+            steps += 1
+            when, _seq, event = heappop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+        if until is not None:
+            self._now = until
+
+    def run_reference(self, until: Optional[float] = None) -> None:
+        """Reference event loop: the plain ``step()``-per-event version.
+
+        Kept as the oracle for the fast path in :meth:`run` — the
+        determinism suite asserts both produce identical trace digests.
+        """
         if until is not None and until < self._now:
             raise SimulationError(
                 f"run(until={until!r}) is in the past (now={self._now!r})"

@@ -163,7 +163,7 @@ class ConditionVariable:
 
     def __init__(self, sim: Simulator):
         self.sim = sim
-        self._waiters: List[Event] = []
+        self._waiters: Deque[Event] = deque()
 
     @property
     def waiting(self) -> int:
@@ -180,7 +180,7 @@ class ConditionVariable:
 
         Returns the number of processes woken.
         """
-        waiters, self._waiters = self._waiters, []
+        waiters, self._waiters = self._waiters, deque()
         if wake_latency > 0.0:
             def _wake(waiters=waiters):
                 yield self.sim.timeout(wake_latency)
@@ -196,5 +196,5 @@ class ConditionVariable:
         """Wake a single waiter (FIFO).  Returns True if one was woken."""
         if not self._waiters:
             return False
-        self._waiters.pop(0).succeed()
+        self._waiters.popleft().succeed()
         return True

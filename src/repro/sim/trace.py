@@ -9,11 +9,17 @@ provides:
 * :class:`IntervalTracer` — records intervals as the simulation runs.
 * :func:`union_duration` — length of the union of intervals (Figure 5).
 * :func:`busy_fraction` — utilization over a window (the NVML analogue).
+
+The tracer sits on the simulation's hot path (two records per executed
+GPU kernel), so it stores raw ``(start, end, tag)`` tuples in flat
+per-key lists and only materialises :class:`Interval` objects lazily,
+when an analysis view (:meth:`IntervalTracer.intervals` /
+:meth:`IntervalTracer.all_intervals`) asks for them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -90,13 +96,17 @@ class IntervalTracer:
     """Records tagged intervals during a simulation run.
 
     Intervals are grouped by ``key`` (typically a job id) so that
-    per-job GPU durations can be computed afterwards.
+    per-job GPU durations can be computed afterwards.  Internally each
+    record is one appended ``(start, end, tag)`` tuple; the
+    :class:`Interval` object views are built on demand.
     """
 
     def __init__(self):
         self._open: Dict[Any, float] = {}
-        self._intervals: Dict[Any, List[Interval]] = {}
-        self._all: List[Interval] = []
+        # key -> [(start, end, tag), ...] in record order.
+        self._raw: Dict[Any, List[Tuple[float, float, Any]]] = {}
+        # Global record order: (key, start, end, tag).
+        self._all_raw: List[Tuple[Any, float, float, Any]] = []
 
     def begin(self, key: Any, now: float) -> None:
         """Open an interval for ``key`` at time ``now``."""
@@ -110,29 +120,42 @@ class IntervalTracer:
             start = self._open.pop(key)
         except KeyError:
             raise ValueError(f"no open interval for {key!r}")
-        interval = Interval(start, now, tag)
-        self._intervals.setdefault(key, []).append(interval)
-        self._all.append(interval)
-        return interval
+        self.record(key, start, now, tag)
+        return Interval(start, now, tag)
 
-    def record(self, key: Any, start: float, end: float, tag: Any = None) -> Interval:
+    def record(self, key: Any, start: float, end: float, tag: Any = None) -> None:
         """Record a complete interval directly."""
-        interval = Interval(start, end, tag)
-        self._intervals.setdefault(key, []).append(interval)
-        self._all.append(interval)
-        return interval
+        if end < start:
+            raise ValueError(
+                f"interval ends before it starts: [{start!r}, {end!r})"
+            )
+        rows = self._raw.get(key)
+        if rows is None:
+            rows = self._raw[key] = []
+        rows.append((start, end, tag))
+        self._all_raw.append((key, start, end, tag))
 
     def intervals(self, key: Any) -> List[Interval]:
-        return list(self._intervals.get(key, []))
+        return [
+            Interval(start, end, tag)
+            for start, end, tag in self._raw.get(key, ())
+        ]
 
     def keys(self) -> List[Any]:
-        return list(self._intervals.keys())
+        return list(self._raw.keys())
 
     def all_intervals(self) -> List[Interval]:
-        return list(self._all)
+        return [
+            Interval(start, end, tag)
+            for _key, start, end, tag in self._all_raw
+        ]
 
     def spans(self, key: Any) -> List[Tuple[float, float]]:
-        return [(iv.start, iv.end) for iv in self._intervals.get(key, [])]
+        return [(start, end) for start, end, _tag in self._raw.get(key, ())]
+
+    def count(self, key: Any) -> int:
+        """Number of intervals recorded for ``key``."""
+        return len(self._raw.get(key, ()))
 
     def duration(self, key: Any) -> float:
         """Union duration of all intervals recorded for ``key``."""
@@ -141,13 +164,14 @@ class IntervalTracer:
     def duration_between(self, key: Any, lo: float, hi: float) -> float:
         """Union duration for ``key`` restricted to ``[lo, hi)``."""
         clipped = []
-        for interval in self._intervals.get(key, []):
-            part = interval.clipped(lo, hi)
-            if part is not None:
-                clipped.append((part.start, part.end))
+        for start, end, _tag in self._raw.get(key, ()):
+            s = start if start > lo else lo
+            e = end if end < hi else hi
+            if e > s:
+                clipped.append((s, e))
         return union_duration(clipped)
 
     def clear(self) -> None:
         self._open.clear()
-        self._intervals.clear()
-        self._all.clear()
+        self._raw.clear()
+        self._all_raw.clear()

@@ -1,0 +1,29 @@
+"""Deliberate performance violations (linted explicitly by tests/lint).
+
+Excluded from directory sweeps via [tool.repro.lint] exclude; the lint
+suite stages it under a tmp ``src/repro/`` so the perf scope applies.
+
+Expected findings: PERF001 x3 (and none on the suppressed line).
+"""
+
+
+def fifo_shift(waiters):
+    return waiters.pop(0)  # PERF001
+
+
+def head_insert(queue, item):
+    queue.insert(0, item)  # PERF001
+
+
+def nested_shift(table):
+    return table["waiters"].pop(0)  # PERF001
+
+
+def tail_ops_are_fine(items):
+    items.insert(2, "x")
+    items.pop()
+    return items.pop(-1)
+
+
+def deliberate_tiny_shift(pair):
+    return pair.pop(0)  # lint: disable=PERF001

@@ -1,0 +1,59 @@
+"""Detection and negative cases for the performance rules (PERF001)."""
+
+from tests.lint.conftest import FIXTURES, rule_ids
+
+from repro.lint import LintConfig, lint_files, resolve_rules
+
+
+class TestListHeadShift:
+    def test_pop_zero_flagged(self, check):
+        findings = check("def f(q):\n    return q.pop(0)\n")
+        assert rule_ids(findings) == ["PERF001"]
+        assert "deque" in findings[0].message
+
+    def test_insert_zero_flagged(self, check):
+        findings = check("def f(q, x):\n    q.insert(0, x)\n")
+        assert rule_ids(findings) == ["PERF001"]
+
+    def test_attribute_receiver_flagged(self, check):
+        findings = check("def f(self):\n    return self._waiters.pop(0)\n")
+        assert rule_ids(findings) == ["PERF001"]
+
+    def test_tail_pop_is_fine(self, check):
+        assert check("def f(q):\n    return q.pop()\n") == []
+        assert check("def f(q):\n    return q.pop(-1)\n") == []
+
+    def test_nonzero_insert_is_fine(self, check):
+        assert check("def f(q, x):\n    q.insert(3, x)\n") == []
+
+    def test_pop_key_variable_is_fine(self, check):
+        # dict.pop(key) with a variable key: no literal 0, no finding.
+        assert check("def f(d, k):\n    return d.pop(k)\n") == []
+
+    def test_false_is_not_zero(self, check):
+        assert check("def f(q):\n    return q.pop(False)\n") == []
+
+    def test_out_of_scope_path_not_flagged(self, check):
+        findings = check("def f(q):\n    return q.pop(0)\n",
+                         path="tools/unrelated.py")
+        assert findings == []
+
+    def test_suppression(self, check):
+        source = "def f(q):\n    return q.pop(0)  # lint: disable=PERF001\n"
+        assert check(source) == []
+
+    def test_scope_configurable(self, check):
+        config = LintConfig(perf_paths=("lib/hot",))
+        assert check("def f(q):\n    return q.pop(0)\n",
+                     path="lib/hot/loop.py", config=config) != []
+        assert check("def f(q):\n    return q.pop(0)\n",
+                     path="lib/cold/loop.py", config=config) == []
+
+
+def test_fixture_corpus(tmp_path):
+    """The committed fixture yields exactly the documented findings."""
+    staged = tmp_path / "src" / "repro" / "perf_violations.py"
+    staged.parent.mkdir(parents=True)
+    staged.write_text((FIXTURES / "perf_violations.py").read_text())
+    report = lint_files([staged], LintConfig(), resolve_rules())
+    assert [f.rule_id for f in sorted(report.findings)] == ["PERF001"] * 3

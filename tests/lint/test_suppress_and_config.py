@@ -163,4 +163,5 @@ class TestRuleResolution:
             "CON001", "CON002", "CON003",
             "DET001", "DET002", "DET003", "DET004",
             "DET005", "DET006", "DET007",
+            "PERF001",
         ]

@@ -1,0 +1,120 @@
+"""The fast paths are pure speedups: every optimised loop must produce
+bit-identical schedules to its readable reference twin.
+
+Three pairs are pinned here:
+
+* ``Simulator.run`` (inlined callback dispatch) vs ``run_reference``
+  (the plain step()-per-event loop);
+* the compiled session walker (``ServerConfig.compiled``, flat-array
+  replay) vs the reference node-walker — compared via ``trace_digest``
+  across scheduler kinds, which covers event order, RNG draw order and
+  tracer contents in one hash;
+* the ``max_steps``-guarded run loop vs the unguarded one.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.sim import Simulator
+from repro.workloads import heterogeneous_workload, homogeneous_workload
+
+FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
+
+
+def _interleaving_program(sim, log):
+    """A mix of timeouts, shared events and nested processes."""
+
+    gate = sim.event()
+
+    def worker(tag, delay):
+        yield sim.timeout(delay)
+        log.append(("t", sim.now, tag))
+        yield gate
+        log.append(("g", sim.now, tag))
+
+    def opener():
+        yield sim.timeout(0.35)
+        gate.succeed("open")
+
+    def parent():
+        value = yield sim.process(worker("child", 0.05))
+        log.append(("p", sim.now, value))
+
+    for i in range(6):
+        sim.process(worker(i, 0.1 * (i + 1)))
+    sim.process(opener())
+    sim.process(parent())
+
+
+class TestEventLoopTwins:
+    def test_run_matches_run_reference(self):
+        fast = Simulator()
+        log_fast = []
+        _interleaving_program(fast, log_fast)
+        fast.run()
+
+        ref = Simulator()
+        log_ref = []
+        _interleaving_program(ref, log_ref)
+        ref.run_reference()
+
+        assert log_fast == log_ref
+        assert fast.now == ref.now
+
+    def test_guarded_run_matches_run_reference(self):
+        guarded = Simulator()
+        log_guarded = []
+        _interleaving_program(guarded, log_guarded)
+        guarded.run(max_steps=100_000)
+
+        ref = Simulator()
+        log_ref = []
+        _interleaving_program(ref, log_ref)
+        ref.run_reference()
+
+        assert log_guarded == log_ref
+
+    def test_run_until_matches_run_reference_until(self):
+        fast = Simulator()
+        log_fast = []
+        _interleaving_program(fast, log_fast)
+        fast.run(until=0.3)
+
+        ref = Simulator()
+        log_ref = []
+        _interleaving_program(ref, log_ref)
+        ref.run_reference(until=0.3)
+
+        assert log_fast == log_ref
+        assert fast.now == ref.now == 0.3
+
+
+class TestCompiledWalkerTwins:
+    @pytest.mark.parametrize("kind", ["tf-serving", "fair", "timer"])
+    def test_digest_identical_compiled_vs_reference(self, kind):
+        specs = homogeneous_workload(num_clients=3, num_batches=2)
+        compiled = run_workload(specs, scheduler=kind, config=FAST)
+        reference = run_workload(
+            specs, scheduler=kind, config=replace(FAST, compiled=False)
+        )
+        assert compiled.trace_digest() == reference.trace_digest()
+
+    def test_heterogeneous_digest_identical(self):
+        """Mixed graphs exercise fan-out/spawned-thread paths."""
+        specs = heterogeneous_workload(clients_per_model=2, num_batches=2)
+        compiled = run_workload(specs, scheduler="fair", config=FAST)
+        reference = run_workload(
+            specs, scheduler="fair", config=replace(FAST, compiled=False)
+        )
+        assert compiled.trace_digest() == reference.trace_digest()
+
+    def test_compiled_flag_reaches_server(self):
+        specs = homogeneous_workload(num_clients=2, num_batches=1)
+        on = run_workload(specs, scheduler="fair", config=FAST)
+        off = run_workload(
+            specs, scheduler="fair", config=replace(FAST, compiled=False)
+        )
+        assert on.server.config.compiled is True
+        assert off.server.config.compiled is False

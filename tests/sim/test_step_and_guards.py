@@ -1,0 +1,196 @@
+"""step(), the max_steps livelock guard, and combinator edge ordering.
+
+These pin the contracts the fast-path event loop must honour:
+``step()`` raises a typed error instead of a bare heap ``IndexError``,
+``run(max_steps=...)`` catches zero-delay event cycles that neither
+stop condition can, and the AnyOf/AllOf combinators fail fast with the
+*first* failure in schedule order.
+"""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError, Interrupt
+
+
+class TestStep:
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError, match="empty"):
+            sim.step()
+
+    def test_step_processes_exactly_one_event(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.step()
+        assert sim.now == 1.0
+        sim.step()
+        assert sim.now == 2.0
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_manual_step_loop_matches_run(self):
+        def program(sim, log):
+            def worker(tag, delay):
+                yield sim.timeout(delay)
+                log.append((sim.now, tag))
+                yield sim.timeout(delay)
+                log.append((sim.now, tag))
+
+            for i in range(5):
+                sim.process(worker(i, 0.1 * (i + 1)))
+
+        stepped = Simulator()
+        log_a = []
+        program(stepped, log_a)
+        while stepped.peek() != float("inf"):
+            stepped.step()
+
+        ran = Simulator()
+        log_b = []
+        program(ran, log_b)
+        ran.run()
+        assert log_a == log_b
+
+
+class TestMaxSteps:
+    def test_zero_delay_cycle_is_caught(self, sim):
+        def livelock():
+            while True:
+                yield sim.timeout(0.0)
+
+        sim.process(livelock())
+        with pytest.raises(SimulationError, match="max_steps"):
+            sim.run(max_steps=100)
+        # The cycle never advanced the clock — the guard is the only
+        # thing that could have stopped this run.
+        assert sim.now == 0.0
+
+    def test_generous_bound_does_not_perturb(self):
+        def program(sim, log):
+            def worker(tag):
+                yield sim.timeout(0.5 * (tag + 1))
+                log.append((sim.now, tag))
+
+            for i in range(4):
+                sim.process(worker(i))
+
+        guarded = Simulator()
+        log_a = []
+        program(guarded, log_a)
+        guarded.run(max_steps=10_000)
+
+        plain = Simulator()
+        log_b = []
+        program(plain, log_b)
+        plain.run()
+        assert log_a == log_b
+        assert guarded.now == plain.now
+
+    def test_nonpositive_max_steps_rejected(self, sim):
+        sim.timeout(1.0)
+        with pytest.raises(SimulationError, match="max_steps"):
+            sim.run(max_steps=0)
+
+    def test_until_stops_before_budget_is_spent(self, sim):
+        fired = []
+
+        def worker():
+            for _ in range(10):
+                yield sim.timeout(1.0)
+                fired.append(sim.now)
+
+        sim.process(worker())
+        # Three events fit under until=3.5; the rest stay queued and do
+        # not count against the budget.
+        sim.run(until=3.5, max_steps=5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.now == 3.5
+
+
+class TestCombinatorFailureOrdering:
+    def test_all_of_fails_fast_on_first_failure(self, sim):
+        caught = []
+        doomed = sim.event()
+        slow = sim.timeout(10.0)
+
+        def waiter():
+            try:
+                yield sim.all_of([slow, doomed])
+            except RuntimeError as exc:
+                caught.append((sim.now, str(exc)))
+
+        def fail_later():
+            yield sim.timeout(1.0)
+            doomed.fail(RuntimeError("boom"))
+
+        sim.process(waiter())
+        sim.process(fail_later())
+        sim.run()
+        # The combinator fired at the failure time, not at t=10.
+        assert caught == [(1.0, "boom")]
+
+    def test_same_tick_failures_report_first_in_schedule_order(self, sim):
+        first = sim.event()
+        second = sim.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.all_of([first, second])
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        def arm():
+            yield sim.timeout(1.0)
+            # Fail both; they fire on the same tick in fail (schedule)
+            # order, so "a" wins deterministically.
+            first.fail(ValueError("a"))
+            second.fail(ValueError("b"))
+
+        sim.process(waiter())
+        sim.process(arm())
+        sim.run()
+        assert caught == ["a"]
+
+    def test_any_of_failure_beats_later_success(self, sim):
+        doomed = sim.event()
+        slow = sim.timeout(5.0, value="late")
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.any_of([slow, doomed])
+            except RuntimeError as exc:
+                caught.append((sim.now, str(exc)))
+
+        def fail_later():
+            yield sim.timeout(1.0)
+            doomed.fail(RuntimeError("dead"))
+
+        sim.process(waiter())
+        sim.process(fail_later())
+        sim.run()
+        assert caught == [(1.0, "dead")]
+
+    def test_interrupt_detaches_waiter_from_combinator(self, sim):
+        """Cancelling a waiter must not leave a dangling resume callback."""
+        woke = []
+
+        def waiter():
+            try:
+                yield sim.any_of([sim.timeout(5.0), sim.timeout(7.0)])
+                woke.append("combinator")
+            except Interrupt:
+                woke.append("interrupted")
+
+        proc = sim.process(waiter())
+
+        def canceller():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.process(canceller())
+        # The constituents still fire at 5.0/7.0; a stale callback into
+        # the dead process would blow up here.
+        sim.run()
+        assert woke == ["interrupted"]
+        assert sim.now == 7.0
