@@ -13,6 +13,11 @@ that cost and gates it, so a speedup landed once cannot silently rot:
 * **Determinism table** — `trace_digest` for every scheduler kind plus
   the Fig 16 runs; an optimisation that changes any digest is a bug,
   however fast.
+* **Telemetry A/B** — the fair Fig 16 run with telemetry off vs
+  ``verbosity="full"``: the wall-clock ratio is gated
+  (``telemetry_overhead_ratio``) and the telemetry-on digest is pinned
+  to the telemetry-off value, so observation can neither slow the
+  simulator past budget nor perturb a single scheduling decision.
 
 ``bench`` writes ``BENCH_current.json``; ``bench --check`` compares it
 against the committed ``BENCH_BASELINE.json`` (pre-optimisation
@@ -30,9 +35,14 @@ not a loophole — no simulated quantity ever depends on these reads.
 from __future__ import annotations
 
 import json
+import sys
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..telemetry.logs import ConsoleSink, configure_logging, get_logger
+
+_log = get_logger("bench")
 
 __all__ = [
     "BASELINE_FILENAME",
@@ -178,6 +188,49 @@ def bench_fig16(
     return profile_s, best, digests
 
 
+def bench_telemetry(
+    num_batches: int, repeat: int = 2
+) -> Tuple[float, float, Dict[str, str]]:
+    """(off_best_s, on_best_s, digests): full telemetry A/B on Fig 16.
+
+    Runs the fair-scheduler Fig 16 workload with telemetry off and at
+    ``verbosity="full"`` (bus + metrics + spans + debug log per event),
+    best of ``repeat`` each.  The telemetry-on digest is recorded under
+    its own key; the committed baseline pins it to the telemetry-off
+    value, so ``bench --check`` fails if observation ever perturbs the
+    run.  The on/off wall-clock ratio is the overhead budget gated by
+    ``telemetry_overhead_ratio``.
+    """
+    from ..experiments.runner import (
+        ExperimentConfig,
+        get_profiler_output,
+        run_workload,
+    )
+    from ..telemetry import TelemetryConfig
+    from ..workloads.scenarios import complex_workload
+
+    specs = complex_workload(num_batches=num_batches)
+    config = ExperimentConfig(seed=3, tolerance=0.02)
+    entries = sorted({(s.model, s.batch_size) for s in specs})
+    output = get_profiler_output(entries, config)
+    telemetry_config = TelemetryConfig(verbosity="full")
+
+    off_best = on_best = None
+    digests: Dict[str, str] = {}
+    for _ in range(max(1, repeat)):
+        off_s, off = _timed(lambda: run_workload(
+            specs, scheduler="fair", config=config, profiler_output=output
+        ))
+        on_s, on = _timed(lambda: run_workload(
+            specs, scheduler="fair", config=config, profiler_output=output,
+            telemetry=telemetry_config,
+        ))
+        off_best = off_s if off_best is None else min(off_best, off_s)
+        on_best = on_s if on_best is None else min(on_best, on_s)
+        digests[f"fig16-fair-telemetry@nb{num_batches}"] = on.trace_digest()
+    return off_best, on_best, digests
+
+
 def digest_table() -> Dict[str, str]:
     """`trace_digest` per scheduler kind on a small complex workload."""
     from ..experiments.runner import (
@@ -209,25 +262,37 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> Dict[str, Any]:
 
     def say(text: str) -> None:
         if verbose:
-            print(text)
+            _log.info(text)
 
     if quick:
         loop_eps = bench_event_loop(num_procs=10, events_per_proc=2000)
         tracer_rps = bench_tracer(records=50000)
         resources_ops = bench_resources(ops=10000)
         profile_s, e2e_s, fig_digests = bench_fig16(num_batches=2, repeat=2)
+        off_s, on_s, telemetry_digests = bench_telemetry(
+            num_batches=2, repeat=2
+        )
     else:
         loop_eps = bench_event_loop()
         tracer_rps = bench_tracer()
         resources_ops = bench_resources()
         profile_s, e2e_s, fig_digests = bench_fig16(num_batches=6, repeat=3)
+        off_s, on_s, telemetry_digests = bench_telemetry(
+            num_batches=6, repeat=2
+        )
+    telemetry_ratio = on_s / off_s
     say(f"event loop         {loop_eps:>12,.0f} events/s")
     say(f"tracer             {tracer_rps:>12,.0f} records/s")
     say(f"resources          {resources_ops:>12,.0f} ops/s")
     say(f"fig16 profile      {profile_s:>12.3f} s (warm = cache hit)")
     say(f"fig16 e2e          {e2e_s:>12.3f} s")
+    say(
+        f"telemetry overhead {telemetry_ratio:>12.2f} x "
+        f"({off_s:.3f} s off -> {on_s:.3f} s full)"
+    )
     digests = digest_table()
     digests.update(fig_digests)
+    digests.update(telemetry_digests)
     say(f"digest table       {len(digests)} entries")
 
     return {
@@ -239,6 +304,7 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> Dict[str, Any]:
             "resources_ops": _metric(resources_ops, "ops/s", True),
             "profile_build_s": _metric(profile_s, "s", False),
             "fig16_e2e_s": _metric(e2e_s, "s", False),
+            "telemetry_overhead_ratio": _metric(telemetry_ratio, "x", False),
         },
         "digests": digests,
     }
@@ -302,23 +368,30 @@ def main(
     out: Optional[str] = None,
     baseline: Optional[str] = None,
 ) -> int:
-    report = run_benchmarks(quick=quick)
-    out_path = Path(out or OUTPUT_FILENAME)
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
-    if not check:
+    # The CLI entry point owns the sink; library callers of
+    # run_benchmarks/check_against_baseline inherit whatever the
+    # process configured (NullSink by default).
+    previous = configure_logging(ConsoleSink(stream=sys.stdout))
+    try:
+        report = run_benchmarks(quick=quick)
+        out_path = Path(out or OUTPUT_FILENAME)
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        _log.info(f"wrote {out_path}")
+        if not check:
+            return 0
+        baseline_path = Path(baseline or BASELINE_FILENAME)
+        if not baseline_path.is_file():
+            _log.error(f"no baseline at {baseline_path}")
+            return 2
+        failures = check_against_baseline(
+            report, json.loads(baseline_path.read_text())
+        )
+        if failures:
+            _log.error(f"PERF REGRESSION vs {baseline_path}:")
+            for failure in failures:
+                _log.error(f"  - {failure}")
+            return 1
+        _log.info(f"within baseline thresholds ({baseline_path})")
         return 0
-    baseline_path = Path(baseline or BASELINE_FILENAME)
-    if not baseline_path.is_file():
-        print(f"error: no baseline at {baseline_path}")
-        return 2
-    failures = check_against_baseline(
-        report, json.loads(baseline_path.read_text())
-    )
-    if failures:
-        print(f"PERF REGRESSION vs {baseline_path}:")
-        for failure in failures:
-            print(f"  - {failure}")
-        return 1
-    print(f"within baseline thresholds ({baseline_path})")
-    return 0
+    finally:
+        configure_logging(previous)

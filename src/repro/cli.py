@@ -18,6 +18,13 @@ Four commands cover the operator workflow of Figure 7:
 * ``repro bench`` — performance microbenchmarks and the end-to-end
   Fig 16 wall-clock, with a committed-baseline regression check
   (see :mod:`repro.bench`).
+* ``repro trace`` — run a workload with span tracing on and export an
+  enriched Chrome/Perfetto trace (flow arrows linking request arrival
+  → tenures → kernels), plus optional metrics/span documents; every
+  artefact is schema-validated before the command exits 0.
+* ``repro top`` — a terminal dashboard of a serving run: per-model
+  tenure share, queue depths, GPU utilization, one frame per telemetry
+  snapshot (``--follow`` replays them paced like a live ``top``).
 
 Invoke as ``python -m repro <command> ...``.
 """
@@ -134,15 +141,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     retry_policy = None
     if args.retries > 0:
         retry_policy = RetryPolicy(max_attempts=1 + args.retries)
-    result = run_workload(
-        specs,
-        scheduler=args.scheduler,
-        config=config,
-        profiler_output=bundle,
-        fault_plan=plan,
-        retry_policy=retry_policy,
-        require_completion=plan is None,
-    )
+    telemetry_config = None
+    if args.telemetry != "off":
+        from .telemetry import TelemetryConfig
+
+        telemetry_config = TelemetryConfig(
+            verbosity=args.telemetry,
+            snapshot_period=args.snapshot_period,
+        )
+    try:
+        result = run_workload(
+            specs,
+            scheduler=args.scheduler,
+            config=config,
+            profiler_output=bundle,
+            fault_plan=plan,
+            retry_policy=retry_policy,
+            require_completion=plan is None,
+            telemetry=telemetry_config,
+            monitor=args.monitor,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = [
         [
             client.client_id,
@@ -179,6 +200,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"t={eviction.time:.4f}s: {eviction.reason}"
                 )
         print(f"trace digest = {result.trace_digest()}")
+    rollup = result.telemetry_rollup
+    if rollup is not None:
+        print(
+            "telemetry    "
+            f"events = {rollup['events_published']}   "
+            f"snapshots = {rollup['snapshots']}   "
+            f"decisions = {rollup['decisions']:.0f}   "
+            f"switches = {rollup['switches']:.0f}   "
+            f"overflow kernels = {rollup['overflow_kernels']:.0f}   "
+            f"retries = {rollup['retries']:.0f}"
+        )
+        if args.metrics_out:
+            from .telemetry import render_prometheus
+
+            snapshot = result.telemetry.snapshots[-1]
+            with open(args.metrics_out, "w") as handle:
+                handle.write(render_prometheus(snapshot))
+            print(f"wrote metrics exposition to {args.metrics_out}")
+    if result.monitor is not None:
+        alerts = result.monitor.alerts
+        print(f"profile drift alerts = {len(alerts)}")
+        for alert in alerts:
+            print(
+                f"  drift {alert.model_name}: observed "
+                f"{alert.observed_mean * 1e3:.3f} ms vs expected "
+                f"{alert.expected * 1e3:.3f} ms "
+                f"({alert.relative_error:+.1%})"
+            )
     return 0
 
 
@@ -368,6 +417,124 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _trace_workload(args: argparse.Namespace):
+    from .workloads import complex_workload, homogeneous_workload
+
+    if args.workload == "fig16":
+        return complex_workload(num_batches=args.batches)
+    return homogeneous_workload(
+        num_clients=args.clients,
+        model=args.model,
+        batch_size=args.batch,
+        num_batches=args.batches,
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import export_chrome_trace
+    from .experiments import ExperimentConfig, run_workload
+    from .telemetry import (
+        TelemetryConfig,
+        render_metrics_json,
+        render_prometheus,
+        validate_chrome_trace,
+        validate_metrics_document,
+        validate_spans_document,
+    )
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    telemetry_config = TelemetryConfig(
+        verbosity="spans", snapshot_period=args.snapshot_period
+    )
+    result = run_workload(
+        _trace_workload(args),
+        scheduler=args.scheduler,
+        config=config,
+        telemetry=telemetry_config,
+    )
+    count = export_chrome_trace(
+        result.server, args.out, scheduler=result.scheduler, flows=True
+    )
+    rollup = result.telemetry_rollup
+    print(
+        f"ran {args.workload} under {args.scheduler}: "
+        f"{rollup['events_published']} events, "
+        f"{rollup['spans_finished']} spans, "
+        f"{rollup['snapshots']} snapshots"
+    )
+    print(f"wrote {count} trace events to {args.out}")
+    errors = validate_chrome_trace(json.loads(open(args.out).read()))
+    if args.metrics_out:
+        snapshot = result.telemetry.snapshots[-1]
+        if args.metrics_out.endswith((".prom", ".txt")):
+            text = render_prometheus(snapshot)
+        else:
+            text = render_metrics_json(snapshot)
+            errors += validate_metrics_document(json.loads(text))
+        with open(args.metrics_out, "w") as handle:
+            handle.write(text)
+        print(f"wrote metrics exposition to {args.metrics_out}")
+    if args.spans_out:
+        spans = result.telemetry.tracer.to_dicts()
+        with open(args.spans_out, "w") as handle:
+            json.dump(spans, handle, indent=1)
+        errors += validate_spans_document(spans)
+        print(f"wrote {len(spans)} spans to {args.spans_out}")
+    if errors:
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        return 1
+    print("all exported artefacts validate against their schemas")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .experiments import ExperimentConfig, run_workload
+    from .telemetry import TelemetryConfig, TopView, render_frame
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    telemetry_config = TelemetryConfig(
+        verbosity="metrics", snapshot_period=args.interval
+    )
+    # --follow collects frames and replays them paced against the wall
+    # clock; the default streams each frame as the simulation produces
+    # it (CI-friendly, no terminal control codes).
+    view = TopView(
+        stream=None if args.follow else sys.stdout,
+        width=args.width,
+        max_frames=args.frames,
+    )
+    result = run_workload(
+        _trace_workload(args),
+        scheduler=args.scheduler,
+        config=config,
+        telemetry=telemetry_config,
+        on_snapshot=view.on_snapshot,
+    )
+    if args.follow:
+        for frame in view.frames:
+            sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.delay)
+    # The finalize() snapshot lands after the run; render it as the
+    # closing frame so totals are complete even with --frames 0.
+    final = render_frame(
+        result.telemetry.snapshots[-1], result.telemetry, width=args.width
+    )
+    sys.stdout.write(final + "\n")
+    rollup = result.telemetry_rollup
+    print(
+        f"run complete: {rollup['requests_finished']:.0f} requests, "
+        f"{rollup['kernels_finished']:.0f} kernels, "
+        f"{len(view.frames)} frames rendered"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -436,6 +603,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--retries", type=int, default=0,
         help="client retries per failed batch (exponential backoff)",
+    )
+    serve.add_argument(
+        "--telemetry", default="off",
+        choices=["off", "metrics", "spans", "full"],
+        help="runtime telemetry verbosity (default off; digest-neutral)",
+    )
+    serve.add_argument(
+        "--snapshot-period", type=float, default=0.25,
+        help="telemetry snapshot cadence in simulated seconds",
+    )
+    serve.add_argument(
+        "--monitor", action="store_true",
+        help="run the profile-drift quantum monitor (Olympian schedulers)",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None,
+        help="write a Prometheus-text metrics exposition after the run "
+             "(needs --telemetry)",
     )
 
     faults = sub.add_parser(
@@ -540,6 +725,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None,
         help="baseline JSON path (default BENCH_BASELINE.json)",
     )
+
+    def add_workload_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workload", default="fig16",
+            choices=["fig16", "homogeneous"],
+            help="fig16 = 14 clients x 7 models; homogeneous uses "
+                 "--model/--batch/--clients",
+        )
+        command.add_argument("--model", default="inception_v4")
+        command.add_argument("--batch", type=int, default=100)
+        command.add_argument("--clients", type=int, default=4)
+        command.add_argument("--batches", type=int, default=2)
+        command.add_argument(
+            "--scheduler", default="fair",
+            choices=[
+                "tf-serving", "fair", "weighted", "priority", "timer",
+                "deficit-rr", "lottery", "edf", "srw",
+            ],
+        )
+        command.add_argument("--scale", type=float, default=0.05)
+        command.add_argument("--seed", type=int, default=3)
+
+    trace = sub.add_parser(
+        "trace",
+        help="export an enriched Chrome/Perfetto trace from a traced run",
+    )
+    add_workload_args(trace)
+    trace.add_argument(
+        "--out", default="trace.json", help="Chrome trace output path"
+    )
+    trace.add_argument(
+        "--metrics-out", default=None,
+        help="also export metrics (.prom/.txt = Prometheus text, "
+             "else JSON)",
+    )
+    trace.add_argument(
+        "--spans-out", default=None,
+        help="also export the span table as JSON",
+    )
+    trace.add_argument(
+        "--snapshot-period", type=float, default=0.25,
+        help="telemetry snapshot cadence in simulated seconds",
+    )
+
+    top = sub.add_parser(
+        "top", help="terminal dashboard of a serving run (repro top)"
+    )
+    add_workload_args(top)
+    top.add_argument(
+        "--interval", type=float, default=0.05,
+        help="frame cadence in simulated seconds",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None,
+        help="cap on rendered frames (default unlimited)",
+    )
+    top.add_argument(
+        "--follow", action="store_true",
+        help="replay frames in place with ANSI redraw, paced by --delay",
+    )
+    top.add_argument(
+        "--delay", type=float, default=0.2,
+        help="wall-clock seconds per frame with --follow",
+    )
+    top.add_argument(
+        "--width", type=int, default=72, help="frame width in columns"
+    )
     return parser
 
 
@@ -555,6 +807,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
+        "top": _cmd_top,
     }
     if args.command is None:
         parser.print_help()

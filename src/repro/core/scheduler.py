@@ -122,6 +122,8 @@ class GangScheduler(SchedulerHook):
         self._evicted: Set[str] = set()
         self._last_progress = 0.0
         self._watchdog: Optional[Process] = None
+        # Set by Telemetry.attach(); emission is observation-only.
+        self.telemetry = None
         # Armed process-wide by test harnesses (see repro.faults); a
         # checker observes decisions/charges without creating events.
         from ..faults.invariants import default_invariant_checker
@@ -175,6 +177,13 @@ class GangScheduler(SchedulerHook):
         job.failed = True
         job.failure = JobEvicted(job.job_id, reason)
         self.evictions.append(Eviction(self.sim.now, job.job_id, reason))
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "sched.eviction",
+                "scheduler",
+                job_id=job.job_id,
+                reason=reason,
+            )
         self._release(job)
 
     def _release(self, job: Job) -> None:
@@ -301,8 +310,17 @@ class GangScheduler(SchedulerHook):
 
     def _grant(self, job: Optional[Job], prev: Optional[Job], wake: bool) -> None:
         now = self.sim.now
+        telemetry = self.telemetry
         if self._current_tenure is not None:
             self._current_tenure.end = now
+            if telemetry is not None:
+                telemetry.emit(
+                    "sched.tenure_end",
+                    "scheduler",
+                    job_id=self._current_tenure.job_id,
+                    model=self._current_tenure.model_name,
+                    duration=now - self._current_tenure.start,
+                )
             self.tenures.append(self._current_tenure)
             self._current_tenure = None
         decision = SchedulingDecision(
@@ -312,6 +330,13 @@ class GangScheduler(SchedulerHook):
         )
         self.decisions.append(decision)
         self.holder = job
+        if telemetry is not None:
+            telemetry.emit(
+                "sched.decision",
+                "scheduler",
+                prev_job_id=decision.prev_job_id,
+                next_job_id=decision.next_job_id,
+            )
         if self.invariants is not None:
             self.invariants.after_decision(self, decision)
         if job is None:
@@ -322,6 +347,13 @@ class GangScheduler(SchedulerHook):
             model_name=job.model_name,
             start=now,
         )
+        if telemetry is not None:
+            telemetry.emit(
+                "sched.tenure_begin",
+                "scheduler",
+                job_id=job.job_id,
+                model=job.model_name,
+            )
         if job is not prev:
             self.switch_count += 1
             if wake:

@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import os
 from pathlib import Path
 from typing import Any, Optional, Sequence, Tuple
 
 from ..core.persistence import output_from_dict, output_to_dict
 from ..core.profiler import ProfilerOutput
+from ..telemetry.logs import get_logger
 
 __all__ = [
     "cache_enabled",
@@ -40,7 +40,7 @@ __all__ = [
     "store",
 ]
 
-logger = logging.getLogger("repro.cache")
+logger = get_logger("profile-cache")
 
 # Subpackages whose source feeds the profiled numbers.  experiments/
 # and cli are deliberately excluded: they orchestrate, they do not
@@ -136,13 +136,15 @@ def load(key: str) -> Optional[ProfilerOutput]:
         data = json.loads(path.read_text())
         output = output_from_dict(data["output"])
     except FileNotFoundError:
-        logger.info("profile cache miss: %s", key[:16])
+        logger.info("profile cache miss", key=key[:16])
         return None
     except (OSError, ValueError, KeyError, TypeError) as exc:
-        logger.warning("profile cache entry %s unreadable (%s); rebuilding",
-                       key[:16], exc)
+        logger.warning(
+            "profile cache entry unreadable; rebuilding",
+            key=key[:16], error=str(exc),
+        )
         return None
-    logger.info("profile cache hit: %s (%s)", key[:16], path)
+    logger.info("profile cache hit", key=key[:16], path=str(path))
     return output
 
 
@@ -158,10 +160,12 @@ def store(key: str, output: ProfilerOutput) -> None:
         )
         os.replace(tmp, path)
     except OSError as exc:  # cache is best-effort; never fail the run
-        logger.warning("profile cache write failed for %s: %s", key[:16], exc)
+        logger.warning(
+            "profile cache write failed", key=key[:16], error=str(exc)
+        )
         try:
             tmp.unlink()
         except OSError:
             pass
         return
-    logger.info("profile cache store: %s (%s)", key[:16], path)
+    logger.info("profile cache store", key=key[:16], path=str(path))

@@ -21,7 +21,7 @@ quantum stay realistic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.policies import FairSharing, PriorityScheduling, WeightedFairSharing
 from ..core.policies_ext import (
@@ -30,6 +30,7 @@ from ..core.policies_ext import (
     LotteryScheduling,
     ShortestRemainingWork,
 )
+from ..core.monitor import QuantumMonitor
 from ..core.profiler import OfflineProfiler, ProfilerOutput
 from ..core.quantum import DEFAULT_Q_GRID
 from ..core.scheduler import (
@@ -49,6 +50,7 @@ from ..serving.failures import RetryPolicy
 from ..serving.server import ModelServer, ServerConfig
 from ..sim.core import Simulator
 from ..sim.rng import derive_seed
+from ..telemetry import Telemetry, TelemetryConfig
 from ..workloads.scenarios import ClientSpec
 from ..zoo.catalog import MODEL_REGISTRY
 from ..zoo.generate import generate_graph
@@ -122,6 +124,10 @@ class ExperimentConfig:
     # Evict a token holder that makes no progress for this long
     # (simulated seconds); None disables the stall watchdog.
     stall_threshold: Optional[float] = None
+    # Runtime observability (repro.telemetry); None = off.  Purely
+    # observational: trace_digest is bit-identical either way (the
+    # telemetry property suite enforces this).
+    telemetry: Optional[TelemetryConfig] = None
 
 
 def get_graph(model: str, scale: float, graph_seed: int) -> Graph:
@@ -257,6 +263,10 @@ class ExperimentResult:
     quantum: Optional[float]
     fault_plan: Optional[FaultPlan] = None
     injector: Optional[FaultInjector] = None
+    telemetry: Optional[Telemetry] = None
+    # Telemetry.finalize() rollup, merged into bench/reproduce reports.
+    telemetry_rollup: Optional[Dict[str, object]] = None
+    monitor: Optional[QuantumMonitor] = None
 
     # ------------------------------------------------------------------
     # Metric accessors (paper quantities)
@@ -342,6 +352,9 @@ def run_workload(
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     batch_timeout: Optional[float] = None,
+    telemetry: Optional[TelemetryConfig] = None,
+    monitor: bool = False,
+    on_snapshot: Optional[Callable] = None,
 ) -> ExperimentResult:
     """Run a workload under a scheduler kind and collect everything.
 
@@ -382,6 +395,23 @@ def run_workload(
     if fault_plan is not None:
         injector = FaultInjector(fault_plan)
         injector.attach(server)
+    telemetry_config = telemetry if telemetry is not None else config.telemetry
+    pipeline = None
+    if telemetry_config is not None:
+        pipeline = Telemetry(telemetry_config)
+        if on_snapshot is not None:
+            pipeline.on_snapshot.append(on_snapshot)
+        pipeline.attach(server)
+    monitor_obj = None
+    if monitor:
+        if not isinstance(gang_scheduler, OlympianScheduler):
+            raise ValueError(
+                "profile-drift monitoring needs an Olympian scheduler "
+                f"(cost-accumulation quanta); got {scheduler!r}"
+            )
+        monitor_obj = QuantumMonitor(server, gang_scheduler)
+        if pipeline is not None:
+            pipeline.attach_monitor(monitor_obj)
     for model in sorted({spec.model for spec in specs}):
         graph = get_graph(model, config.scale, config.graph_seed)
         server.load_model(graph, memory_mb=MODEL_REGISTRY[model].memory_mb)
@@ -406,6 +436,10 @@ def run_workload(
     for client in clients:
         client.start()
     sim.run()
+    # Scan before finalize so drift alerts land in the rollup.
+    if monitor_obj is not None:
+        monitor_obj.scan()
+    rollup = pipeline.finalize() if pipeline is not None else None
 
     if require_completion:
         stuck = [c.client_id for c in clients if not c.completed]
@@ -428,4 +462,7 @@ def run_workload(
         quantum=quantum,
         fault_plan=fault_plan,
         injector=injector,
+        telemetry=pipeline,
+        telemetry_rollup=rollup,
+        monitor=monitor_obj,
     )

@@ -50,6 +50,9 @@ class GpuDevice:
         self.kernels_executed = 0
         self.busy_time = 0.0
         self.current_kernel: Optional[Kernel] = None
+        # Set by Telemetry.attach(); re-read each loop iteration because
+        # the device process starts before telemetry can be attached.
+        self.telemetry = None
         # Fault injection: the engine stalls (no kernel starts) until
         # this simulated time.  In-flight kernels are not extended —
         # real hangs block the queue, not work already retired.
@@ -114,6 +117,15 @@ class GpuDevice:
             self.current_kernel = kernel
             start = sim.now
             kernel.started_at = start
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.emit(
+                    "kernel.started",
+                    "device",
+                    job_id=kernel.job_id,
+                    node_id=kernel.node_id,
+                    seq=kernel.seq,
+                )
             yield timeout(
                 kernel.duration * compute_scale * self.clock_factor
                 + kernel_overhead
@@ -125,6 +137,17 @@ class GpuDevice:
             record(kernel.job_id, start, end, tag=kernel.node_id)
             record(GPU_GLOBAL_KEY, start, end, tag=kernel.job_id)
             self.current_kernel = None
+            if telemetry is not None:
+                # The pipeline annotates this with the current token
+                # holder, which is how overflow kernels are detected.
+                telemetry.emit(
+                    "kernel.finished",
+                    "device",
+                    job_id=kernel.job_id,
+                    node_id=kernel.node_id,
+                    seq=kernel.seq,
+                    exec_time=end - start,
+                )
             kernel.done.succeed(kernel)
 
     def set_clock_factor(self, factor: float) -> None:

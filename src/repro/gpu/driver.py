@@ -74,6 +74,8 @@ class Driver:
             Callable[[Any, int], Optional[BaseException]]
         ] = None
         self.failed_launches = 0
+        # Set by Telemetry.attach(); emission is observation-only.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Submission side (called by gang threads)
@@ -100,7 +102,19 @@ class Driver:
             duration = node.duration(batch_size) + slowdown
         kernel = Kernel(self.sim, job_id, node.node_id, duration)
         kernel.submitted_at = self.sim.now
-        self.submission_counts[job_id] = self.submission_counts.get(job_id, 0) + 1
+        seq = self.submission_counts.get(job_id, 0)
+        kernel.seq = seq
+        self.submission_counts[job_id] = seq + 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "kernel.submitted",
+                "driver",
+                job_id=job_id,
+                node_id=node.node_id,
+                seq=seq,
+                queue_depth=self._queued,
+            )
         if self.launch_interceptor is not None:
             fault = self.launch_interceptor(job_id, node.node_id)
             if fault is not None:
@@ -108,6 +122,14 @@ class Driver:
                 # reaches a stream; its waiter sees the fault raised at
                 # the yield point (Event.fail propagation).
                 self.failed_launches += 1
+                if telemetry is not None:
+                    telemetry.emit(
+                        "kernel.rejected",
+                        "driver",
+                        job_id=job_id,
+                        node_id=node.node_id,
+                        seq=seq,
+                    )
                 kernel.done.fail(fault)
                 return kernel
         queue = self._queues.get(job_id)

@@ -33,6 +33,7 @@ class Kernel:
         "started_at",
         "finished_at",
         "tag",
+        "seq",
     )
 
     def __init__(
@@ -53,6 +54,9 @@ class Kernel:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.tag = tag
+        # Per-job submission ordinal, stamped by the driver; telemetry
+        # span ids (``kern:{job}#{seq}``) key off it.
+        self.seq: int = 0
 
     @property
     def queue_delay(self) -> Optional[float]:

@@ -27,6 +27,7 @@ from __future__ import annotations
 # Importing the rule modules registers every rule.
 from . import concurrency as _concurrency  # noqa: F401
 from . import determinism as _determinism  # noqa: F401
+from . import observability as _observability  # noqa: F401
 from . import perf as _perf  # noqa: F401
 from .config import LintConfig, find_pyproject, load_config, path_matches
 from .engine import FileContext, lint_source

@@ -61,6 +61,10 @@ class LintConfig:
     determinism_paths: Tuple[str, ...] = ("src/repro",)
     # Where the performance family (PERF001) applies: hot-path code.
     perf_paths: Tuple[str, ...] = ("src/repro",)
+    # Where OBS001 bans ad-hoc print() in favour of structured logging.
+    print_ban_paths: Tuple[str, ...] = ("src/repro",)
+    # The CLI presentation layer may print: its job is stdout.
+    print_allow: Tuple[str, ...] = ("src/repro/cli.py",)
     # Where environment reads are banned (DET004): sim/scheduler paths.
     env_guard_paths: Tuple[str, ...] = (
         "src/repro/sim",

@@ -1,0 +1,48 @@
+"""Observability rules (OBS001).
+
+The runtime telemetry subsystem (:mod:`repro.telemetry`) gives every
+component a structured, sim-timestamped logging path; an ad-hoc
+``print()`` in library code bypasses it — the output carries no
+timestamp, no component, no level, cannot be filtered or captured by a
+sink, and interleaves unpredictably with real reports.  OBS001 bans
+``print()`` under the configured paths so diagnostics go through
+``repro.telemetry.logs.get_logger(...)`` instead.
+
+The CLI presentation layer is exempt (``print-allow``): its job *is*
+writing to stdout for a human.  A deliberate print elsewhere — e.g. a
+debugging session you intend to delete — is silenced with
+``# lint: disable=OBS001``, never by widening the allow list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Tuple
+
+from .config import LintConfig, path_matches
+from .rules import Rule, register
+
+__all__ = ["PrintCallRule"]
+
+
+@register
+class PrintCallRule(Rule):
+    rule_id = "OBS001"
+    name = "print-call"
+    summary = "print() in library code; use repro.telemetry.logs.get_logger"
+    node_types = (ast.Call,)
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.print_ban_paths
+
+    def check(self, node: ast.Call, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id == "print"):
+            return
+        if path_matches(ctx.path, ctx.config.print_allow):
+            return
+        yield node, (
+            "`print()` bypasses structured logging (no timestamp, "
+            "component, or level, and no sink can capture it); use "
+            "`repro.telemetry.logs.get_logger(component)` instead"
+        )

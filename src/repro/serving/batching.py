@@ -20,12 +20,15 @@ __all__ = ["Batcher", "PendingRequest"]
 class PendingRequest:
     """A single queued request awaiting batching."""
 
-    __slots__ = ("payload", "arrived_at", "done")
+    __slots__ = ("payload", "arrived_at", "done", "request_id")
 
-    def __init__(self, sim: Simulator, payload: Any):
+    def __init__(self, sim: Simulator, payload: Any, request_id: str = ""):
         self.payload = payload
         self.arrived_at = sim.now
         self.done: Event = sim.event()
+        # Stable id assigned by the batcher (arrival ordinal), used as
+        # the telemetry queue-span key.
+        self.request_id = request_id
 
 
 class Batcher:
@@ -56,6 +59,13 @@ class Batcher:
         self._deadline_seq = 0
         self.batches_dispatched = 0
         self.requests_batched = 0
+        self._request_seq = 0
+        # Set by Telemetry wiring (or callers); observation-only.
+        self.telemetry = None
+        # Span id of the most recently dispatched batch; ``dispatch``
+        # implementations copy it onto the job they build so request
+        # spans parent under their batch.
+        self.last_batch_span_id: Optional[str] = None
 
     @property
     def queue_length(self) -> int:
@@ -63,8 +73,18 @@ class Batcher:
 
     def submit(self, payload: Any) -> Event:
         """Queue one request; returns its completion event."""
-        request = PendingRequest(self.sim, payload)
+        request = PendingRequest(
+            self.sim, payload, request_id=f"r{self._request_seq}"
+        )
+        self._request_seq += 1
         self._pending.append(request)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "batch.enqueued",
+                "batcher",
+                request_id=request.request_id,
+                queue_length=len(self._pending),
+            )
         if len(self._pending) >= self.max_batch_size:
             self._flush()
         elif len(self._pending) == 1:
@@ -86,8 +106,21 @@ class Batcher:
     def _flush(self) -> None:
         batch, self._pending = self._pending, []
         self._deadline_seq += 1  # invalidate any armed deadline
+        batch_id = self.batches_dispatched
         self.batches_dispatched += 1
         self.requests_batched += len(batch)
+        self.last_batch_span_id = f"batch:{batch_id}"
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "batch.dispatched",
+                "batcher",
+                batch_id=batch_id,
+                size=len(batch),
+                request_ids=[request.request_id for request in batch],
+                oldest_arrival=min(
+                    request.arrived_at for request in batch
+                ),
+            )
 
         def _serve():
             done = self.dispatch(batch)

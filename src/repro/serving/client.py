@@ -116,7 +116,7 @@ class Client:
                 done = self.server.submit(job)
             except Exception as exc:  # e.g. GpuOutOfMemory in scaling runs
                 if self._should_retry(exc, attempt):
-                    self.retries += 1
+                    self._note_retry(job, attempt, exc)
                     yield self.sim.timeout(self.retry_policy.backoff(attempt))
                     continue
                 self.failed_batches += 1
@@ -138,7 +138,7 @@ class Client:
             # outcome == "failed": a GPU fault killed the job.
             self.last_failure = exc
             if self._should_retry(exc, attempt):
-                self.retries += 1
+                self._note_retry(job, attempt, exc)
                 yield self.sim.timeout(self.retry_policy.backoff(attempt))
                 continue
             self.failed_batches += 1
@@ -192,6 +192,22 @@ class Client:
         else:
             job.job_id = f"{self.client_id}/b{batch_index}r{attempt - 1}"
         return job
+
+    def _note_retry(
+        self, job: Job, attempt: int, exc: BaseException
+    ) -> None:
+        """Count one resubmission and surface it to telemetry."""
+        self.retries += 1
+        telemetry = self.server.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "request.retry",
+                "client",
+                job_id=job.job_id,
+                client_id=self.client_id,
+                attempt=attempt,
+                error=type(exc).__name__,
+            )
 
     def _should_retry(self, exc: BaseException, attempts_made: int) -> bool:
         return self.retry_policy is not None and self.retry_policy.should_retry(

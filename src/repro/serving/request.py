@@ -60,6 +60,7 @@ class Job:
         "cancelled",
         "failed",
         "failure",
+        "batch_span_id",
     )
 
     def __init__(
@@ -97,6 +98,41 @@ class Job:
         self.cancelled = False
         self.failed = False
         self.failure: Optional[BaseException] = None
+        # Telemetry linkage: set by batching glue when this job serves a
+        # dispatched batch, so the request span parents under the batch.
+        self.batch_span_id: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Telemetry seams
+    # ------------------------------------------------------------------
+
+    @property
+    def span_id(self) -> str:
+        """Stable id of this job's request span (never wall clock).
+
+        Derived from ``job_id``, which clients finalise *before*
+        submission — so spans key off the submitted identity, not the
+        provisional one ``__init__`` assigns.
+        """
+        return f"req:{self.job_id}"
+
+    def telemetry_attrs(self) -> dict:
+        """The identity attrs every request-lifecycle event carries."""
+        return {
+            "job_id": self.job_id,
+            "client_id": self.client_id,
+            "model": self.model_name,
+            "batch_size": self.batch_size,
+        }
+
+    @property
+    def status(self) -> str:
+        """Terminal classification used by telemetry and reporting."""
+        if self.failed:
+            return "failed"
+        if self.cancelled:
+            return "cancelled"
+        return "ok"
 
     @property
     def latency(self) -> Optional[float]:

@@ -104,6 +104,9 @@ class ModelServer:
         # Set by FaultInjector.attach(); consulted on submit so ``oom``
         # faults fire even when memory tracking is disabled.
         self.fault_injector = None
+        # Set by Telemetry.attach(); observation-only, so every emission
+        # site is guarded by a single ``is not None`` check.
+        self.telemetry = None
         # Cost observations recorded during online-profiled runs:
         # (model, batch) -> node_id -> list of observed costs.
         self._observations: Dict[Tuple[str, int], Dict[int, List[float]]] = (
@@ -179,6 +182,13 @@ class ModelServer:
             self.fault_injector.check_submit(job.job_id, footprint)
         job.submitted_at = self.sim.now
         self.active_jobs += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "request.submitted",
+                "server",
+                batch_span=job.batch_span_id,
+                **job.telemetry_attrs(),
+            )
         session = Session(self, job)
         self.sim.process(session.run(), name=f"session:{job.job_id}")
         return job.done
@@ -203,6 +213,14 @@ class ModelServer:
         self.completed_jobs.append(job)
         if self.config.track_memory and self.memory.holds(job.job_id):
             self.memory.release(job.job_id)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "request.finished",
+                "server",
+                status=job.status,
+                latency=job.latency,
+                **job.telemetry_attrs(),
+            )
 
     # ------------------------------------------------------------------
     # Hooks used by sessions

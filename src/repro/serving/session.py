@@ -75,6 +75,11 @@ class Session:
         """The main session thread; drive the job to completion."""
         job = self.job
         job.started_at = self.sim.now
+        # One seam covers both walkers: register/deregister bracket the
+        # whole gang regardless of which thread body executes nodes.
+        telemetry = self.server.telemetry
+        if telemetry is not None:
+            telemetry.emit("session.started", "session", job_id=job.job_id)
         self.server.scheduler.register(job)
         ticket = self.server.pool.try_fetch()
         try:
@@ -99,6 +104,16 @@ class Session:
             if job.finished_at is None:
                 job.finished_at = self.sim.now
             self.server.scheduler.deregister(job)
+            # After deregister so the scheduler's final tenure_end for
+            # this job precedes its session.finished.
+            if telemetry is not None:
+                telemetry.emit(
+                    "session.finished",
+                    "session",
+                    job_id=job.job_id,
+                    status=job.status,
+                    nodes_executed=job.nodes_executed,
+                )
             self.server._finish_job(job)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,93 @@
+"""``repro.telemetry`` — determinism-safe runtime observability.
+
+Olympian's argument is about *where time goes*: per-quantum GPU
+durations, scheduling-interval overheads, token tenures.  This package
+makes that timeline observable at request granularity **while the run
+executes**, without perturbing it:
+
+* :mod:`repro.telemetry.events` — a synchronous event bus carrying
+  sim-timestamped :class:`TelemetryEvent` records from seams in the
+  serving stack (server, batcher, session, scheduler, driver, device).
+* :mod:`repro.telemetry.spans` — the causal request lifecycle as a
+  span tree (``request → queue → batch → session → tenure → kernel``)
+  with stable ids derived from sim state, never wall clock.
+* :mod:`repro.telemetry.metrics` — a metrics registry (counters,
+  gauges, histograms with fixed bucket boundaries) fed by those events.
+* :mod:`repro.telemetry.exposition` — Prometheus-text and JSON
+  exposition writers plus periodic sim-time snapshots.
+* :mod:`repro.telemetry.logs` — a structured (JSON lines) logger,
+  sim-timestamped, replacing ad-hoc ``print()`` (lint rule OBS001).
+* :mod:`repro.telemetry.pipeline` — the :class:`Telemetry` facade that
+  wires bus → spans + metrics + logs onto a
+  :class:`~repro.serving.server.ModelServer`.
+* :mod:`repro.telemetry.top` — the ``repro top`` terminal view.
+* :mod:`repro.telemetry.schema` — schema validation for exported
+  Chrome traces and metrics documents (the CI smoke gate).
+
+The hard guarantee (enforced by ``tests/properties/``): enabling
+telemetry at any verbosity leaves every scheduler kind's
+``trace_digest`` bit-identical to telemetry-off.  Observation is pure —
+no RNG draws, no scheduler-visible state writes; the snapshot ticker
+only *adds* heap entries, which cannot reorder existing (time, seq)
+pairs.
+"""
+
+from __future__ import annotations
+
+from .events import EventBus, TelemetryEvent
+from .exposition import (
+    MetricsSnapshot,
+    render_metrics_json,
+    render_prometheus,
+    snapshot_registry,
+)
+from .logs import (
+    BufferSink,
+    ConsoleSink,
+    JsonlSink,
+    LogRecord,
+    NullSink,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .pipeline import Telemetry, TelemetryConfig, VERBOSITY_LEVELS
+from .schema import (
+    validate_chrome_trace,
+    validate_metrics_document,
+    validate_spans_document,
+)
+from .spans import Span, SpanTracer
+from .top import TopView, render_frame
+
+__all__ = [
+    "EventBus",
+    "TelemetryEvent",
+    "Span",
+    "SpanTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "render_prometheus",
+    "render_metrics_json",
+    "snapshot_registry",
+    "LogRecord",
+    "StructuredLogger",
+    "JsonlSink",
+    "ConsoleSink",
+    "BufferSink",
+    "NullSink",
+    "get_logger",
+    "configure_logging",
+    "Telemetry",
+    "TelemetryConfig",
+    "VERBOSITY_LEVELS",
+    "TopView",
+    "render_frame",
+    "validate_chrome_trace",
+    "validate_metrics_document",
+    "validate_spans_document",
+]

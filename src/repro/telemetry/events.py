@@ -1,0 +1,124 @@
+"""The telemetry event bus.
+
+A :class:`TelemetryEvent` is one observation of the serving stack at a
+simulated instant: a request was submitted, a kernel started, the token
+moved.  Components publish events through an :class:`EventBus`; the
+bus synchronously calls every subscriber in subscription order.
+
+Determinism contract
+--------------------
+Publishing is a plain function call chain — no simulation events are
+created, no randomness is drawn, and subscribers must not mutate any
+state the simulation reads.  Enabling or disabling a subscriber can
+therefore never change the event *schedule*, which is what keeps
+``trace_digest`` bit-identical with telemetry on or off (the property
+suite locks this down).
+
+Event kinds are dotted strings (``"kernel.started"``), grouped by
+component prefix:
+
+==================  ====================================================
+prefix              emitted by
+==================  ====================================================
+``request.*``       :mod:`repro.serving.request` / ``server.submit``
+``batch.*``         :mod:`repro.serving.batching`
+``session.*``       :mod:`repro.serving.session`
+``sched.*``         :mod:`repro.core.scheduler`
+``kernel.*``        :mod:`repro.gpu.driver` / :mod:`repro.gpu.device`
+``client.*``        :mod:`repro.serving.client` (retries)
+``monitor.*``       :mod:`repro.core.monitor` (drift alerts)
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["TelemetryEvent", "EventBus", "EVENT_KINDS"]
+
+# The catalogue of event kinds the stack emits.  Subscribers may rely
+# on this being exhaustive; the integration tests assert emitted kinds
+# stay inside it.
+EVENT_KINDS = (
+    "request.created",
+    "request.submitted",
+    "request.finished",
+    "request.retry",
+    "batch.enqueued",
+    "batch.dispatched",
+    "session.started",
+    "session.finished",
+    "sched.decision",
+    "sched.tenure_begin",
+    "sched.tenure_end",
+    "sched.eviction",
+    "kernel.submitted",
+    "kernel.rejected",
+    "kernel.started",
+    "kernel.finished",
+    "monitor.drift",
+)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One observation at simulated time ``time``.
+
+    ``attrs`` carries kind-specific payload (job id, node id, queue
+    depth, ...).  Values must be plain JSON-serialisable scalars so
+    events can be exported verbatim.
+    """
+
+    time: float
+    kind: str
+    component: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def attr(self, name: str, default: Any = None) -> Any:
+        return self.attrs.get(name, default)
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out for telemetry events.
+
+    Subscribers are called in subscription order — a deterministic
+    list, never a set — and may not raise: a throwing observer would
+    perturb the run it observes, so exceptions propagate to the caller
+    (crashing loudly beats silently diverging).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[TelemetryEvent], None]] = []
+        self.events_published = 0
+        # kind -> count, insertion-ordered (deterministic exposition).
+        self.kind_counts: Dict[str, int] = {}
+
+    def subscribe(self, handler: Callable[[TelemetryEvent], None]) -> None:
+        self._subscribers.append(handler)
+
+    def unsubscribe(self, handler: Callable[[TelemetryEvent], None]) -> None:
+        self._subscribers.remove(handler)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def publish(self, event: TelemetryEvent) -> None:
+        self.events_published += 1
+        counts = self.kind_counts
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+        for handler in self._subscribers:
+            handler(event)
+
+
+def stable_sort_key(pair: Tuple[str, Any]) -> str:
+    """Sort key for attr dict items (determinism helper for exports)."""
+    return pair[0]
+
+
+def require_known_kind(kind: str) -> Optional[str]:
+    """Return an error string if ``kind`` is not catalogued (tests)."""
+    if kind not in EVENT_KINDS:
+        return f"unknown telemetry event kind {kind!r}"
+    return None

@@ -1,0 +1,148 @@
+"""Exposition writers: Prometheus text format and JSON documents.
+
+Both renderers are pure functions of a :class:`MetricsRegistry` (or a
+:class:`MetricsSnapshot` taken from one), emitting byte-stable output:
+families sorted by name, children sorted by label tuple, floats
+formatted through one canonical helper.  Golden-file tests pin the
+exact bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "MetricsSnapshot",
+    "snapshot_registry",
+    "render_prometheus",
+    "render_metrics_json",
+]
+
+
+def _fmt(value: float) -> str:
+    """Canonical number formatting: integers lose the trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(pairs: Any, extra: Optional[Dict[str, str]] = None) -> str:
+    items = list(pairs)
+    if extra:
+        items.extend(sorted(extra.items()))
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+@dataclass
+class MetricsSnapshot:
+    """A point-in-time copy of every metric family, JSON-shaped.
+
+    ``time`` is the simulated timestamp the snapshot was taken at (or
+    ``None`` for an end-of-run rollup with no single instant).
+    """
+
+    time: Optional[float]
+    families: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "families": self.families}
+
+    def family(self, name: str) -> Optional[Dict[str, Any]]:
+        for fam in self.families:
+            if fam["name"] == name:
+                return fam
+        return None
+
+
+def snapshot_registry(
+    registry: MetricsRegistry, time: Optional[float] = None
+) -> MetricsSnapshot:
+    """Deep-copy the registry's current values into a snapshot."""
+    families: List[Dict[str, Any]] = []
+    for fam in registry.families():
+        entry: Dict[str, Any] = {
+            "name": fam.name,
+            "type": fam.metric_type,
+            "help": fam.help,
+            "series": [],
+        }
+        if isinstance(fam, Histogram):
+            entry["buckets"] = list(fam.buckets)
+        for key, child in fam.items():
+            labels = {k: v for k, v in key}
+            if isinstance(fam, Histogram):
+                entry["series"].append(
+                    {
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.total,
+                        "cumulative": child.cumulative(),
+                    }
+                )
+            else:
+                entry["series"].append(
+                    {"labels": labels, "value": child.value}
+                )
+        families.append(entry)
+    return MetricsSnapshot(time=time, families=families)
+
+
+def render_prometheus(
+    source: Any, extra_labels: Optional[Dict[str, str]] = None
+) -> str:
+    """Render a registry (or snapshot) in Prometheus text format."""
+    snapshot = (
+        source
+        if isinstance(source, MetricsSnapshot)
+        else snapshot_registry(source)
+    )
+    lines: List[str] = []
+    for fam in snapshot.families:
+        name = fam["name"]
+        if fam["help"]:
+            lines.append(f"# HELP {name} {fam['help']}")
+        lines.append(f"# TYPE {name} {fam['type']}")
+        for series in fam["series"]:
+            pairs = sorted(series["labels"].items())
+            if fam["type"] == "histogram":
+                cumulative = series["cumulative"]
+                bounds = [_fmt(b) for b in fam["buckets"]] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    label_text = _labels_text(
+                        pairs + [("le", bound)], extra_labels
+                    )
+                    lines.append(f"{name}_bucket{label_text} {count}")
+                label_text = _labels_text(pairs, extra_labels)
+                lines.append(f"{name}_sum{label_text} {_fmt(series['sum'])}")
+                lines.append(f"{name}_count{label_text} {series['count']}")
+            else:
+                label_text = _labels_text(pairs, extra_labels)
+                lines.append(
+                    f"{name}{label_text} {_fmt(series['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_metrics_json(
+    source: Any, indent: Optional[int] = 2
+) -> str:
+    """Render a registry (or snapshot) as a JSON document."""
+    snapshot = (
+        source
+        if isinstance(source, MetricsSnapshot)
+        else snapshot_registry(source)
+    )
+    return json.dumps(
+        snapshot.to_dict(), indent=indent, sort_keys=False
+    )

@@ -1,0 +1,214 @@
+"""Structured logging: JSON-lines records stamped with *simulated* time.
+
+Replaces ad-hoc ``print()`` (lint rule OBS001).  A record is a flat
+dict — ``time`` (sim seconds, or ``None`` outside a run), ``level``,
+``component``, ``message``, plus arbitrary keyword fields — rendered
+one JSON object per line so downstream tools can ``jq`` the stream.
+
+Sinks decide where records go:
+
+* :class:`JsonlSink` — append JSON lines to a file handle/path.
+* :class:`ConsoleSink` — human-readable single line to a stream.
+* :class:`BufferSink` — keep records in memory (tests, ``repro top``).
+* :class:`NullSink` — drop everything (the default, zero overhead).
+
+``get_logger(component)`` hands out cached loggers that all feed the
+process-wide sink configured via ``configure_logging``; library code
+never chooses a destination itself.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, IO, List, Optional
+
+__all__ = [
+    "LEVELS",
+    "LogRecord",
+    "StructuredLogger",
+    "JsonlSink",
+    "ConsoleSink",
+    "BufferSink",
+    "NullSink",
+    "get_logger",
+    "configure_logging",
+]
+
+# Severity order; a sink's ``min_level`` filters below its threshold.
+LEVELS = ("debug", "info", "warning", "error")
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured log entry."""
+
+    time: Optional[float]
+    level: str
+    component: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "time": self.time,
+            "level": self.level,
+            "component": self.component,
+            "message": self.message,
+        }
+        out.update(self.fields)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False)
+
+
+class NullSink:
+    """Discards every record: the default for library use."""
+
+    min_level = "error"
+
+    def emit(self, record: LogRecord) -> None:
+        pass
+
+
+class BufferSink:
+    """Keeps records in memory; tests and ``repro top`` read them."""
+
+    def __init__(self, min_level: str = "debug") -> None:
+        self.min_level = min_level
+        self.records: List[LogRecord] = []
+
+    def emit(self, record: LogRecord) -> None:
+        self.records.append(record)
+
+    def of_level(self, level: str) -> List[LogRecord]:
+        return [r for r in self.records if r.level == level]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonlSink:
+    """Appends one JSON object per record to a stream or path."""
+
+    def __init__(
+        self, target: Any, min_level: str = "debug"
+    ) -> None:
+        self.min_level = min_level
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target
+            self._owns = False
+        else:
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, record: LogRecord) -> None:
+        self._stream.write(record.to_json() + "\n")
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+
+class ConsoleSink:
+    """Human-readable rendering for interactive use (``repro serve -v``)."""
+
+    def __init__(
+        self, stream: Optional[IO[str]] = None, min_level: str = "info"
+    ) -> None:
+        self.min_level = min_level
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, record: LogRecord) -> None:
+        stamp = (
+            f"{record.time:.6f}" if record.time is not None else "-"
+        )
+        extras = " ".join(
+            f"{key}={value}" for key, value in record.fields.items()
+        )
+        tail = f" {extras}" if extras else ""
+        self._stream.write(
+            f"[{stamp}] {record.level.upper():7s} "
+            f"{record.component}: {record.message}{tail}\n"
+        )
+
+
+class StructuredLogger:
+    """A component-scoped logger writing to a shared sink.
+
+    ``clock`` is an optional zero-arg callable returning the current
+    *simulated* time; when attached (by the telemetry pipeline) every
+    record carries the sim timestamp.  Without one, ``time`` is None —
+    never wall clock, which would break byte-stable log comparisons.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        sink: Optional[Any] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.component = component
+        self._sink = sink
+        self.clock = clock
+
+    @property
+    def sink(self) -> Any:
+        return self._sink if self._sink is not None else _GLOBAL_SINK
+
+    def _log(self, level: str, message: str, fields: Dict[str, Any]) -> None:
+        sink = self.sink
+        threshold = _LEVEL_RANK.get(
+            getattr(sink, "min_level", "debug"), 0
+        )
+        if _LEVEL_RANK[level] < threshold:
+            return
+        time = self.clock() if self.clock is not None else None
+        sink.emit(
+            LogRecord(
+                time=time,
+                level=level,
+                component=self.component,
+                message=message,
+                fields=fields,
+            )
+        )
+
+    def debug(self, message: str, **fields: Any) -> None:
+        self._log("debug", message, fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        self._log("info", message, fields)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        self._log("warning", message, fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        self._log("error", message, fields)
+
+
+_GLOBAL_SINK: Any = NullSink()
+_LOGGERS: Dict[str, StructuredLogger] = {}
+
+
+def configure_logging(sink: Optional[Any] = None) -> Any:
+    """Set the process-wide sink; ``None`` restores the null sink.
+
+    Returns the previous sink so callers (CLI entry points, tests) can
+    restore it.
+    """
+    global _GLOBAL_SINK
+    previous = _GLOBAL_SINK
+    _GLOBAL_SINK = sink if sink is not None else NullSink()
+    return previous
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """A cached per-component logger bound to the global sink."""
+    logger = _LOGGERS.get(component)
+    if logger is None:
+        logger = _LOGGERS[component] = StructuredLogger(component)
+    return logger

@@ -1,0 +1,288 @@
+"""The metrics registry: counters, gauges, histograms.
+
+A deliberately small, Prometheus-shaped model:
+
+* :class:`Counter` — monotonically increasing total.
+* :class:`Gauge` — a value that goes up and down (queue depth).
+* :class:`Histogram` — observations bucketed into **fixed** boundaries
+  chosen at construction; cumulative ``le`` counts plus sum and count.
+  Fixed boundaries keep exposition output byte-stable across runs —
+  no adaptive bucketing, which would make golden-file tests flaky.
+
+Metric families support labels; children are keyed by the sorted label
+tuple, so iteration order is deterministic regardless of observation
+order.  The registry is pure bookkeeping: no clocks, no RNG, no
+simulation events — updating a metric can never perturb the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+# Seconds-scale boundaries spanning kernel durations (tens of us) up to
+# whole-run latencies.  Fixed: see module docstring.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+# Queue-depth style boundaries.
+DEFAULT_DEPTH_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+)
+
+
+def _label_key(labels: Optional[Mapping[str, Any]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Child:
+    """Base for one labelled instance of a metric family."""
+
+    __slots__ = ()
+
+
+class _CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount}")
+        self.value += amount
+
+
+class _GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramChild(_Child):
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 = +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[int]:
+        """Prometheus-style cumulative ``le`` counts (ends with +Inf)."""
+        out: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _Family:
+    """A named metric with labelled children."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._children: Dict[LabelKey, Any] = {}
+
+    def _make_child(self) -> Any:
+        raise NotImplementedError
+
+    def child(self, labels: Optional[Mapping[str, Any]] = None) -> Any:
+        key = _label_key(labels)
+        node = self._children.get(key)
+        if node is None:
+            node = self._children[key] = self._make_child()
+        return node
+
+    # Alias matching the prometheus_client idiom.
+    def labels(self, **labels: Any) -> Any:
+        return self.child(labels)
+
+    def items(self) -> Iterator[Tuple[LabelKey, Any]]:
+        """(label-key, child) pairs in sorted label order."""
+        for key in sorted(self._children):
+            yield key, self._children[key]
+
+    @property
+    def child_count(self) -> int:
+        return len(self._children)
+
+
+class Counter(_Family):
+    metric_type = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(
+        self, amount: float = 1.0, labels: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        self.child(labels).inc(amount)
+
+    def value(self, labels: Optional[Mapping[str, Any]] = None) -> float:
+        key = _label_key(labels)
+        node = self._children.get(key)
+        return node.value if node is not None else 0.0
+
+    def total(self) -> float:
+        return sum(child.value for child in self._children.values())
+
+
+class Gauge(_Family):
+    metric_type = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(
+        self, value: float, labels: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        self.child(labels).set(value)
+
+    def inc(
+        self, amount: float = 1.0, labels: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        self.child(labels).inc(amount)
+
+    def dec(
+        self, amount: float = 1.0, labels: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        self.child(labels).dec(amount)
+
+    def value(self, labels: Optional[Mapping[str, Any]] = None) -> float:
+        key = _label_key(labels)
+        node = self._children.get(key)
+        return node.value if node is not None else 0.0
+
+
+class Histogram(_Family):
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"bucket boundaries must be sorted: {bounds}")
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(
+        self, value: float, labels: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        self.child(labels).observe(value)
+
+    def count(self, labels: Optional[Mapping[str, Any]] = None) -> int:
+        key = _label_key(labels)
+        node = self._children.get(key)
+        return node.count if node is not None else 0
+
+    def sum(self, labels: Optional[Mapping[str, Any]] = None) -> float:
+        key = _label_key(labels)
+        node = self._children.get(key)
+        return node.total if node is not None else 0.0
+
+
+class MetricsRegistry:
+    """Named metric families, created on first use.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    returns the same family; asking with a conflicting type raises.
+    Family iteration order is name-sorted for stable exposition.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _get_or_create(
+        self, cls: type, name: str, help_text: str, **kwargs: Any
+    ) -> Any:
+        family = self._families.get(name)
+        if family is not None:
+            if not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family.metric_type}, not {cls.metric_type}"
+                )
+            return family
+        family = cls(name, help_text, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, buckets=buckets
+        )
+
+    def families(self) -> List[_Family]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)

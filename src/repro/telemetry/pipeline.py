@@ -1,0 +1,399 @@
+"""The :class:`Telemetry` facade: bus → spans + metrics + logs.
+
+``Telemetry.attach(server)`` plants itself on the serving stack's
+instrumentation seams (server, driver, device, scheduler); components
+emit through ``self.telemetry.emit(...)`` guarded by a single ``None``
+check, so the telemetry-off hot path costs one attribute load.
+
+Determinism
+-----------
+Everything here observes; nothing steers.  ``emit`` is a synchronous
+call chain with no RNG draws and no writes to simulation-read state.
+The one interaction with the simulator — the snapshot ticker — only
+*adds* timeout events; the heap orders by ``(time, seq)`` and the
+global sequence counter is monotone, so inserting events can never
+reorder the pairs that already exist.  The ticker lives only while
+jobs are active (the scheduler-watchdog pattern), so it cannot keep
+the event queue alive forever.  The property suite in
+``tests/properties/test_telemetry_determinism.py`` pins the resulting
+guarantee: every scheduler kind's ``trace_digest`` is bit-identical
+with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional
+
+from .events import EventBus, TelemetryEvent
+from .exposition import MetricsSnapshot, snapshot_registry
+from .logs import StructuredLogger
+from .metrics import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+)
+from .spans import SpanTracer
+
+__all__ = [
+    "VERBOSITY_LEVELS",
+    "TelemetryConfig",
+    "MetricsCollector",
+    "Telemetry",
+]
+
+# Cumulative levels: ``metrics`` feeds the registry only, ``spans``
+# adds the lifecycle span tracer, ``full`` also logs every event.
+# Digest-safety holds at *every* level by construction; the property
+# suite checks each one anyway.
+VERBOSITY_LEVELS = ("metrics", "spans", "full")
+
+# Tenure-length boundaries: paper quanta are tens of ms (Figure 8
+# sweeps 10-160 ms), so the buckets centre there.
+TENURE_BUCKETS = (
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2e-2, 4e-2, 8e-2, 0.16, 0.32, 0.64, 1.28,
+)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Static telemetry settings.
+
+    ``snapshot_period`` is in simulated seconds; ``0`` disables the
+    periodic ticker (end-of-run rollups still happen).  ``keep_events``
+    retains every raw :class:`TelemetryEvent` for export — memory-heavy
+    on long runs, so off by default.
+    """
+
+    verbosity: str = "full"
+    snapshot_period: float = 0.25
+    keep_events: bool = False
+
+    def __post_init__(self) -> None:
+        if self.verbosity not in VERBOSITY_LEVELS:
+            raise ValueError(
+                f"verbosity must be one of {VERBOSITY_LEVELS}: "
+                f"{self.verbosity!r}"
+            )
+        if self.snapshot_period < 0:
+            raise ValueError(
+                f"snapshot_period must be >= 0: {self.snapshot_period}"
+            )
+
+    def with_verbosity(self, verbosity: str) -> "TelemetryConfig":
+        return replace(self, verbosity=verbosity)
+
+
+class MetricsCollector:
+    """Bus subscriber that folds events into a :class:`MetricsRegistry`.
+
+    One instance per :class:`Telemetry`; the metric families it creates
+    are the reproduction's serving dashboard (queue depth, tenure
+    length, overflow kernels, evictions, retries, drift).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.requests_submitted = registry.counter(
+            "requests_submitted_total", "Jobs accepted by the server"
+        )
+        self.requests_finished = registry.counter(
+            "requests_finished_total", "Jobs finished, by terminal status"
+        )
+        self.request_retries = registry.counter(
+            "request_retries_total", "Client resubmissions after failures"
+        )
+        self.request_latency = registry.histogram(
+            "request_latency_seconds",
+            "Submit-to-finish latency",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self.batches_dispatched = registry.counter(
+            "batches_dispatched_total", "Batches flushed by the batcher"
+        )
+        self.batch_queue_depth = registry.gauge(
+            "batch_queue_depth", "Requests waiting in the batcher"
+        )
+        self.batch_wait = registry.histogram(
+            "batch_wait_seconds",
+            "Oldest-request wait at batch dispatch",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self.decisions = registry.counter(
+            "sched_decisions_total", "Token hand-off decisions"
+        )
+        self.switches = registry.counter(
+            "sched_switches_total", "Decisions that moved the token"
+        )
+        self.evictions = registry.counter(
+            "sched_evictions_total", "Jobs forcibly removed by the scheduler"
+        )
+        self.tenure_seconds = registry.histogram(
+            "tenure_seconds",
+            "Wall length of one token tenure",
+            buckets=TENURE_BUCKETS,
+        )
+        self.kernels_submitted = registry.counter(
+            "kernels_submitted_total", "Kernels queued at the driver"
+        )
+        self.kernels_rejected = registry.counter(
+            "kernels_rejected_total", "Kernel launches rejected (faults)"
+        )
+        self.kernels_finished = registry.counter(
+            "kernels_finished_total", "Kernels retired by the device"
+        )
+        self.overflow_kernels = registry.counter(
+            "overflow_kernels_total",
+            "Kernels finishing after their job lost the token (Fig 10/15)",
+        )
+        self.kernel_queue_depth = registry.histogram(
+            "kernel_queue_depth",
+            "Driver queue depth observed at kernel submission",
+            buckets=DEFAULT_DEPTH_BUCKETS,
+        )
+        self.drift = registry.counter(
+            "profile_drift_total", "Quantum-monitor drift alerts"
+        )
+        # Sampled by the snapshot ticker, not by events.
+        self.gpu_utilization = registry.gauge(
+            "gpu_utilization_ratio",
+            "Device busy fraction over the last snapshot window",
+        )
+        self.active_jobs = registry.gauge(
+            "active_jobs", "Jobs currently inside the server"
+        )
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        kind = event.kind
+        if kind == "request.submitted":
+            self.requests_submitted.inc(
+                labels={"model": event.attr("model")}
+            )
+        elif kind == "request.finished":
+            self.requests_finished.inc(
+                labels={"status": event.attr("status", "ok")}
+            )
+            latency = event.attr("latency")
+            if latency is not None:
+                self.request_latency.observe(
+                    latency, labels={"model": event.attr("model")}
+                )
+        elif kind == "request.retry":
+            self.request_retries.inc()
+        elif kind == "batch.enqueued":
+            self.batch_queue_depth.set(event.attr("queue_length", 0))
+        elif kind == "batch.dispatched":
+            self.batches_dispatched.inc()
+            self.batch_queue_depth.set(0)
+            oldest = event.attr("oldest_arrival")
+            if oldest is not None:
+                self.batch_wait.observe(event.time - oldest)
+        elif kind == "sched.decision":
+            self.decisions.inc()
+            if event.attr("prev_job_id") != event.attr("next_job_id"):
+                self.switches.inc()
+        elif kind == "sched.tenure_end":
+            duration = event.attr("duration")
+            if duration is not None:
+                self.tenure_seconds.observe(
+                    duration, labels={"model": event.attr("model")}
+                )
+        elif kind == "sched.eviction":
+            self.evictions.inc()
+        elif kind == "kernel.submitted":
+            self.kernels_submitted.inc()
+            self.kernel_queue_depth.observe(event.attr("queue_depth", 0))
+        elif kind == "kernel.rejected":
+            self.kernels_rejected.inc()
+        elif kind == "kernel.finished":
+            self.kernels_finished.inc()
+            holder = event.attr("holder")
+            job_id = event.attr("job_id")
+            if holder is not None and holder != job_id:
+                self.overflow_kernels.inc()
+        elif kind == "monitor.drift":
+            self.drift.inc(labels={"model": event.attr("model")})
+
+
+class Telemetry:
+    """Wires an :class:`EventBus` onto a running serving stack.
+
+    Usage::
+
+        telemetry = Telemetry(TelemetryConfig(verbosity="full"))
+        telemetry.attach(server)
+        ...  # run the workload
+        rollup = telemetry.finalize()
+    """
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config or TelemetryConfig()
+        self.bus = EventBus()
+        self.registry = MetricsRegistry()
+        self.collector = MetricsCollector(self.registry)
+        self.bus.subscribe(self.collector.on_event)
+        self.tracer: Optional[SpanTracer] = None
+        if self.config.verbosity in ("spans", "full"):
+            self.tracer = SpanTracer()
+            self.bus.subscribe(self.tracer.on_event)
+        self.events: List[TelemetryEvent] = []
+        self.snapshots: List[MetricsSnapshot] = []
+        # Callbacks invoked after each periodic snapshot; ``repro top``
+        # renders its frames from here.
+        self.on_snapshot: List[
+            Callable[[MetricsSnapshot, "Telemetry"], None]
+        ] = []
+        self.log = StructuredLogger("telemetry")
+        self.sim = None
+        self.server = None
+        self.scheduler = None
+        self.device = None
+        self._ticker_alive = False
+        self._last_sample_time = 0.0
+        self._log_events = self.config.verbosity == "full"
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, server: Any) -> "Telemetry":
+        """Plant this pipeline on a server's instrumentation seams."""
+        if self.server is not None:
+            raise RuntimeError("telemetry already attached")
+        self.server = server
+        self.sim = server.sim
+        self.scheduler = server.scheduler
+        self.device = server.device
+        self.log.clock = lambda: server.sim.now
+        server.telemetry = self
+        server.driver.telemetry = self
+        server.device.telemetry = self
+        # NullSchedulerHook and third-party hooks may not declare the
+        # attribute; setting it is still harmless.
+        server.scheduler.telemetry = self
+        if server.active_jobs > 0:
+            self._ensure_ticker()
+        return self
+
+    def attach_monitor(self, monitor: Any) -> None:
+        """Chain a QuantumMonitor's drift callback into the bus."""
+        previous = monitor.on_drift
+
+        def _forward(alert: Any) -> None:
+            self.record_drift(alert)
+            if previous is not None:
+                previous(alert)
+
+        monitor.on_drift = _forward
+
+    # ------------------------------------------------------------------
+    # Emission (called from instrumented components)
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, component: str, **attrs: Any) -> None:
+        sim = self.sim
+        now = sim.now if sim is not None else 0.0
+        if kind == "kernel.finished" and self.scheduler is not None:
+            holder = getattr(self.scheduler, "holder", None)
+            attrs["holder"] = (
+                holder.job_id if holder is not None else None
+            )
+        event = TelemetryEvent(
+            time=now, kind=kind, component=component, attrs=attrs
+        )
+        if self.config.keep_events:
+            self.events.append(event)
+        self.bus.publish(event)
+        if self._log_events:
+            self.log.debug(kind, component=component, **attrs)
+        if kind == "request.submitted":
+            self._ensure_ticker()
+
+    def record_drift(self, alert: Any) -> None:
+        """Publish a :class:`~repro.core.monitor.DriftAlert`."""
+        self.emit(
+            "monitor.drift",
+            "monitor",
+            model=alert.model_name,
+            observed_mean=alert.observed_mean,
+            expected=alert.expected,
+            relative_error=alert.relative_error,
+        )
+
+    # ------------------------------------------------------------------
+    # Periodic snapshots
+    # ------------------------------------------------------------------
+
+    def _ensure_ticker(self) -> None:
+        if (
+            self._ticker_alive
+            or self.sim is None
+            or self.server is None
+            or self.config.snapshot_period <= 0
+        ):
+            return
+        self._ticker_alive = True
+        self.sim.process(self._ticker_body(), name="telemetry-snapshots")
+
+    def _ticker_body(self):
+        # Watchdog lifetime: only while jobs are active, so an idle
+        # telemetry pipeline cannot keep the simulation queue non-empty.
+        period = self.config.snapshot_period
+        server = self.server
+        while server.active_jobs > 0:
+            yield self.sim.timeout(period)
+            self.take_snapshot()
+        self._ticker_alive = False
+
+    def take_snapshot(self) -> MetricsSnapshot:
+        """Sample gauges and copy the registry at the current sim time."""
+        now = self.sim.now if self.sim is not None else None
+        if self.device is not None and now is not None:
+            if now > self._last_sample_time:
+                # The NVML-sampler analogue: busy fraction over the
+                # window since the previous sample.
+                self.collector.gpu_utilization.set(
+                    self.device.utilization(self._last_sample_time, now)
+                )
+            self._last_sample_time = now
+        if self.server is not None:
+            self.collector.active_jobs.set(self.server.active_jobs)
+        snapshot = snapshot_registry(self.registry, time=now)
+        self.snapshots.append(snapshot)
+        for callback in self.on_snapshot:
+            callback(snapshot, self)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> Dict[str, Any]:
+        """Close dangling spans, take a final snapshot, return rollups."""
+        end = self.sim.now if self.sim is not None else 0.0
+        if self.tracer is not None:
+            self.tracer.close_all(end)
+        self.take_snapshot()
+        return self.rollup()
+
+    def rollup(self) -> Dict[str, Any]:
+        """End-of-run summary merged into bench/reproduce reports."""
+        collector = self.collector
+        summary: Dict[str, Any] = {
+            "verbosity": self.config.verbosity,
+            "events_published": self.bus.events_published,
+            "event_counts": dict(self.bus.kind_counts),
+            "snapshots": len(self.snapshots),
+            "requests_submitted": collector.requests_submitted.total(),
+            "requests_finished": collector.requests_finished.total(),
+            "retries": collector.request_retries.total(),
+            "decisions": collector.decisions.total(),
+            "switches": collector.switches.total(),
+            "evictions": collector.evictions.total(),
+            "kernels_finished": collector.kernels_finished.total(),
+            "overflow_kernels": collector.overflow_kernels.total(),
+            "profile_drift": collector.drift.total(),
+        }
+        if self.tracer is not None:
+            summary["spans_finished"] = len(self.tracer.finished)
+        return summary

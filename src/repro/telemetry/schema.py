@@ -1,0 +1,193 @@
+"""Schema validation for exported observability artefacts.
+
+The CI ``observability-smoke`` job exports a Chrome trace and a metrics
+document from a short run and validates both here.  The container has
+no ``jsonschema`` package, so the checks are hand-rolled walkers over
+declarative shape tables — same spirit, zero dependencies.  Each
+validator returns a list of error strings; empty means valid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = [
+    "CHROME_TRACE_PHASES",
+    "validate_chrome_trace",
+    "validate_metrics_document",
+    "validate_spans_document",
+]
+
+# Trace-event phases the exporter may produce: complete slices (X),
+# metadata (M), instants (i), and flow start/step/finish (s/t/f).
+CHROME_TRACE_PHASES = ("X", "M", "i", "s", "t", "f")
+
+
+def _type_name(value: Any) -> str:
+    return type(value).__name__
+
+
+def _require(
+    errors: List[str],
+    obj: Dict[str, Any],
+    where: str,
+    key: str,
+    types: tuple,
+) -> bool:
+    if key not in obj:
+        errors.append(f"{where}: missing required key {key!r}")
+        return False
+    if not isinstance(obj[key], types):
+        errors.append(
+            f"{where}: {key!r} must be "
+            f"{'/'.join(t.__name__ for t in types)}, "
+            f"got {_type_name(obj[key])}"
+        )
+        return False
+    return True
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Validate a Chrome trace-event JSON document (object form)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace: document must be an object, got {_type_name(doc)}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace: missing 'traceEvents' list"]
+    if not events:
+        errors.append("trace: 'traceEvents' is empty")
+    flow_ids: Dict[Any, List[str]] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        if not _require(errors, event, where, "ph", (str,)):
+            continue
+        phase = event["ph"]
+        if phase not in CHROME_TRACE_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        _require(errors, event, where, "name", (str,))
+        _require(errors, event, where, "pid", (int,))
+        if phase == "M":
+            _require(errors, event, where, "args", (dict,))
+            continue
+        _require(errors, event, where, "ts", (int, float))
+        if phase == "X":
+            if _require(errors, event, where, "dur", (int, float)):
+                if event["dur"] < 0:
+                    errors.append(f"{where}: negative duration")
+        if phase in ("s", "t", "f"):
+            if _require(errors, event, where, "id", (int, str)):
+                flow_ids.setdefault(event["id"], []).append(phase)
+    for flow_id, phases in sorted(flow_ids.items(), key=lambda kv: str(kv[0])):
+        if "s" not in phases:
+            errors.append(f"flow {flow_id!r}: has {phases} but no start ('s')")
+        if "f" not in phases:
+            errors.append(f"flow {flow_id!r}: has {phases} but no finish ('f')")
+    return errors
+
+
+def validate_metrics_document(doc: Any) -> List[str]:
+    """Validate a JSON metrics snapshot (``render_metrics_json`` output)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"metrics: document must be an object, got {_type_name(doc)}"]
+    if "time" not in doc:
+        errors.append("metrics: missing 'time'")
+    elif doc["time"] is not None and not isinstance(doc["time"], (int, float)):
+        errors.append("metrics: 'time' must be a number or null")
+    families = doc.get("families")
+    if not isinstance(families, list):
+        return errors + ["metrics: missing 'families' list"]
+    seen: set = set()
+    for index, family in enumerate(families):
+        where = f"families[{index}]"
+        if not isinstance(family, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        if not _require(errors, family, where, "name", (str,)):
+            continue
+        name = family["name"]
+        where = f"family {name!r}"
+        if name in seen:
+            errors.append(f"{where}: duplicate family")
+        seen.add(name)
+        if _require(errors, family, where, "type", (str,)):
+            if family["type"] not in ("counter", "gauge", "histogram"):
+                errors.append(f"{where}: unknown type {family['type']!r}")
+        if not _require(errors, family, where, "series", (list,)):
+            continue
+        is_histogram = family.get("type") == "histogram"
+        buckets = family.get("buckets")
+        if is_histogram and not isinstance(buckets, list):
+            errors.append(f"{where}: histogram missing 'buckets' list")
+            buckets = None
+        for sidx, series in enumerate(family["series"]):
+            swhere = f"{where} series[{sidx}]"
+            if not isinstance(series, dict):
+                errors.append(f"{swhere}: must be an object")
+                continue
+            _require(errors, series, swhere, "labels", (dict,))
+            if is_histogram:
+                _require(errors, series, swhere, "count", (int,))
+                _require(errors, series, swhere, "sum", (int, float))
+                if _require(errors, series, swhere, "cumulative", (list,)):
+                    cumulative = series["cumulative"]
+                    if buckets is not None and len(cumulative) != len(buckets) + 1:
+                        errors.append(
+                            f"{swhere}: cumulative has {len(cumulative)} "
+                            f"entries, want {len(buckets) + 1} (+Inf)"
+                        )
+                    if any(
+                        b > a
+                        for a, b in zip(cumulative[1:], cumulative[:-1])
+                    ):
+                        errors.append(
+                            f"{swhere}: cumulative counts must be "
+                            f"non-decreasing"
+                        )
+                    if (
+                        cumulative
+                        and isinstance(series.get("count"), int)
+                        and cumulative[-1] != series["count"]
+                    ):
+                        errors.append(
+                            f"{swhere}: +Inf cumulative {cumulative[-1]} != "
+                            f"count {series['count']}"
+                        )
+            else:
+                _require(errors, series, swhere, "value", (int, float))
+    return errors
+
+
+def validate_spans_document(doc: Any) -> List[str]:
+    """Validate an exported span table (``SpanTracer.to_dicts`` JSON)."""
+    errors: List[str] = []
+    if not isinstance(doc, list):
+        return [f"spans: document must be a list, got {_type_name(doc)}"]
+    ids = set()
+    for index, span in enumerate(doc):
+        where = f"spans[{index}]"
+        if not isinstance(span, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        if _require(errors, span, where, "span_id", (str,)):
+            ids.add(span["span_id"])
+        _require(errors, span, where, "kind", (str,))
+        _require(errors, span, where, "start", (int, float))
+        if span.get("end") is not None and not isinstance(
+            span["end"], (int, float)
+        ):
+            errors.append(f"{where}: 'end' must be a number or null")
+    for index, span in enumerate(doc):
+        if not isinstance(span, dict):
+            continue
+        parent = span.get("parent_id")
+        if parent is not None and parent not in ids:
+            errors.append(
+                f"spans[{index}]: parent {parent!r} not in document"
+            )
+    return errors

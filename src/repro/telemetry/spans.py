@@ -1,0 +1,317 @@
+"""Request-lifecycle span tracing.
+
+Builds the causal tree of one inference request from bus events:
+
+.. code-block:: text
+
+    request  (req:c0/b1)
+    └── session  (sess:c0/b1)            register → deregister
+        ├── tenure  (tenure:c0/b1#0)     token grant → hand-off
+        │   └── kernel (kern:c0/b1#4)    driver submit → device finish
+        └── tenure  (tenure:c0/b1#1)
+            └── ...
+
+Batched requests gain a ``queue`` span (arrival → batch dispatch) and a
+``batch`` parent span grouping all requests dispatched together.
+
+Span ids are **derived from sim state** — job ids, per-job ordinals,
+batcher sequence numbers — never from wall clock or ``id()``, so two
+runs of the same seed produce byte-identical span tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .events import TelemetryEvent
+
+__all__ = ["Span", "SpanTracer"]
+
+
+@dataclass
+class Span:
+    """One node of the lifecycle tree: a ``[start, end)`` causal unit."""
+
+    span_id: str
+    kind: str
+    name: str
+    start: float
+    parent_id: Optional[str] = None
+    end: Optional[float] = None
+    status: str = "open"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def close(self, end: float, status: str = "ok") -> None:
+        self.end = end
+        self.status = status
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanTracer:
+    """Bus subscriber that materialises the request-lifecycle span tree.
+
+    Purely observational: consumes :class:`TelemetryEvent` records and
+    appends to its own tables.  ``finished`` preserves close order
+    (a deterministic function of the event stream).
+    """
+
+    def __init__(self) -> None:
+        self.finished: List[Span] = []
+        self._open: Dict[str, Span] = {}
+        # job_id -> currently open tenure span id (for kernel parenting).
+        self._open_tenure: Dict[str, str] = {}
+        # job_id -> next tenure ordinal.
+        self._tenure_seq: Dict[str, int] = {}
+        self.spans_started = 0
+
+    # ------------------------------------------------------------------
+    # Bus interface
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        handler = _HANDLERS.get(event.kind)
+        if handler is not None:
+            handler(self, event)
+
+    # ------------------------------------------------------------------
+    # Span bookkeeping
+    # ------------------------------------------------------------------
+
+    def _begin(
+        self,
+        span_id: str,
+        kind: str,
+        name: str,
+        start: float,
+        parent_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        span = Span(
+            span_id=span_id,
+            kind=kind,
+            name=name,
+            start=start,
+            parent_id=parent_id,
+            attrs=attrs,
+        )
+        self._open[span_id] = span
+        self.spans_started += 1
+        return span
+
+    def _close(self, span_id: str, end: float, status: str = "ok") -> None:
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return
+        span.close(end, status)
+        self.finished.append(span)
+
+    def open_span(self, span_id: str) -> Optional[Span]:
+        return self._open.get(span_id)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def close_all(self, end: float, status: str = "truncated") -> None:
+        """Close every still-open span (end of run)."""
+        for span_id in list(self._open):
+            self._close(span_id, end, status)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def spans_of_kind(self, kind: str) -> List[Span]:
+        return [span for span in self.finished if span.kind == kind]
+
+    def children_of(self, span_id: str) -> List[Span]:
+        return [span for span in self.finished if span.parent_id == span_id]
+
+    def request_tree(self, job_id: str) -> Dict[str, Any]:
+        """The full tree under ``req:{job_id}`` as nested dicts."""
+        by_parent: Dict[Optional[str], List[Span]] = {}
+        for span in self.finished:
+            by_parent.setdefault(span.parent_id, []).append(span)
+
+        def build(span: Span) -> Dict[str, Any]:
+            node = span.to_dict()
+            node["children"] = [
+                build(child) for child in by_parent.get(span.span_id, [])
+            ]
+            return node
+
+        root_id = f"req:{job_id}"
+        for span in self.finished:
+            if span.span_id == root_id:
+                return build(span)
+        raise KeyError(f"no finished request span for job {job_id!r}")
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.finished]
+
+    # ------------------------------------------------------------------
+    # Event handlers (one per lifecycle transition)
+    # ------------------------------------------------------------------
+
+    def _on_request_submitted(self, event: TelemetryEvent) -> None:
+        job_id = event.attr("job_id")
+        self._begin(
+            f"req:{job_id}",
+            "request",
+            f"request {job_id}",
+            event.time,
+            parent_id=event.attr("batch_span"),
+            job_id=job_id,
+            client_id=event.attr("client_id"),
+            model=event.attr("model"),
+            batch_size=event.attr("batch_size"),
+        )
+
+    def _on_request_finished(self, event: TelemetryEvent) -> None:
+        job_id = event.attr("job_id")
+        self._close(
+            f"req:{job_id}", event.time, status=event.attr("status", "ok")
+        )
+
+    def _on_batch_enqueued(self, event: TelemetryEvent) -> None:
+        self._begin(
+            f"bq:{event.attr('request_id')}",
+            "queue",
+            f"queued {event.attr('request_id')}",
+            event.time,
+            queue_length=event.attr("queue_length"),
+        )
+
+    def _on_batch_dispatched(self, event: TelemetryEvent) -> None:
+        batch_span = self._begin(
+            f"batch:{event.attr('batch_id')}",
+            "batch",
+            f"batch {event.attr('batch_id')}",
+            event.time,
+            size=event.attr("size"),
+        )
+        batch_span.start = event.attr("oldest_arrival", event.time)
+        for request_id in event.attr("request_ids", ()):  # close queue spans
+            queue_span = self._open.get(f"bq:{request_id}")
+            if queue_span is not None:
+                queue_span.parent_id = batch_span.span_id
+            self._close(f"bq:{request_id}", event.time)
+
+    def _on_session_started(self, event: TelemetryEvent) -> None:
+        job_id = event.attr("job_id")
+        self._begin(
+            f"sess:{job_id}",
+            "session",
+            f"session {job_id}",
+            event.time,
+            parent_id=f"req:{job_id}",
+            job_id=job_id,
+        )
+
+    def _on_session_finished(self, event: TelemetryEvent) -> None:
+        job_id = event.attr("job_id")
+        # A session outliving its tenure closes it (job deregistered).
+        tenure_id = self._open_tenure.pop(job_id, None)
+        if tenure_id is not None:
+            self._close(tenure_id, event.time)
+        self._close(
+            f"sess:{job_id}", event.time, status=event.attr("status", "ok")
+        )
+
+    def _on_tenure_begin(self, event: TelemetryEvent) -> None:
+        job_id = event.attr("job_id")
+        ordinal = self._tenure_seq.get(job_id, 0)
+        self._tenure_seq[job_id] = ordinal + 1
+        span_id = f"tenure:{job_id}#{ordinal}"
+        self._open_tenure[job_id] = span_id
+        self._begin(
+            span_id,
+            "tenure",
+            f"tenure {job_id}#{ordinal}",
+            event.time,
+            parent_id=f"sess:{job_id}",
+            job_id=job_id,
+            model=event.attr("model"),
+            ordinal=ordinal,
+        )
+
+    def _on_tenure_end(self, event: TelemetryEvent) -> None:
+        job_id = event.attr("job_id")
+        span_id = self._open_tenure.pop(job_id, None)
+        if span_id is not None:
+            self._close(span_id, event.time)
+
+    def _on_kernel_submitted(self, event: TelemetryEvent) -> None:
+        job_id = event.attr("job_id")
+        seq = event.attr("seq")
+        parent = self._open_tenure.get(job_id)
+        if parent is None:
+            session = self._open.get(f"sess:{job_id}")
+            parent = session.span_id if session is not None else None
+        self._begin(
+            f"kern:{job_id}#{seq}",
+            "kernel",
+            f"kernel {job_id}/n{event.attr('node_id')}",
+            event.time,
+            parent_id=parent,
+            job_id=job_id,
+            node_id=event.attr("node_id"),
+            seq=seq,
+        )
+
+    def _on_kernel_rejected(self, event: TelemetryEvent) -> None:
+        span_id = f"kern:{event.attr('job_id')}#{event.attr('seq')}"
+        self._close(span_id, event.time, status="rejected")
+
+    def _on_kernel_started(self, event: TelemetryEvent) -> None:
+        span = self._open.get(
+            f"kern:{event.attr('job_id')}#{event.attr('seq')}"
+        )
+        if span is not None:
+            span.attrs["exec_start"] = event.time
+
+    def _on_kernel_finished(self, event: TelemetryEvent) -> None:
+        job_id = event.attr("job_id")
+        span_id = f"kern:{job_id}#{event.attr('seq')}"
+        span = self._open.get(span_id)
+        if span is not None:
+            holder = event.attr("holder")
+            if holder is not None and holder != job_id:
+                # Ran (or completed) after the token moved on — the
+                # paper's overflow kernel (Figures 10/15).
+                span.attrs["overflow"] = True
+        self._close(span_id, event.time)
+
+
+_HANDLERS: Dict[str, Callable[[SpanTracer, TelemetryEvent], None]] = {
+    "request.submitted": SpanTracer._on_request_submitted,
+    "request.finished": SpanTracer._on_request_finished,
+    "batch.enqueued": SpanTracer._on_batch_enqueued,
+    "batch.dispatched": SpanTracer._on_batch_dispatched,
+    "session.started": SpanTracer._on_session_started,
+    "session.finished": SpanTracer._on_session_finished,
+    "sched.tenure_begin": SpanTracer._on_tenure_begin,
+    "sched.tenure_end": SpanTracer._on_tenure_end,
+    "kernel.submitted": SpanTracer._on_kernel_submitted,
+    "kernel.rejected": SpanTracer._on_kernel_rejected,
+    "kernel.started": SpanTracer._on_kernel_started,
+    "kernel.finished": SpanTracer._on_kernel_finished,
+}

@@ -1,0 +1,121 @@
+"""``repro top``: a terminal view of a serving run, frame per snapshot.
+
+The renderer is a pure function of the telemetry pipeline's current
+state — per-model tenure share, queue depths, GPU utilization, the
+counter dashboard — invoked from the snapshot ticker's ``on_snapshot``
+callback while the simulation runs.  The CLI decides presentation:
+stream frames (default, CI-friendly) or redraw in place with ANSI
+(``--follow``, which also paces frames against the wall clock).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .exposition import MetricsSnapshot
+from .pipeline import Telemetry
+
+__all__ = ["TopView", "render_frame"]
+
+_BAR_WIDTH = 24
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _tenure_share(telemetry: Telemetry) -> List[Dict[str, Any]]:
+    """Per-model share of total token-tenure time, descending."""
+    family = telemetry.registry.get("tenure_seconds")
+    rows: List[Dict[str, Any]] = []
+    total = 0.0
+    if family is not None:
+        for key, child in family.items():
+            labels = dict(key)
+            rows.append(
+                {
+                    "model": labels.get("model", "?"),
+                    "seconds": child.total,
+                    "tenures": child.count,
+                }
+            )
+            total += child.total
+    for row in rows:
+        row["share"] = row["seconds"] / total if total > 0 else 0.0
+    rows.sort(key=lambda row: (-row["seconds"], row["model"]))
+    return rows
+
+
+def render_frame(
+    snapshot: MetricsSnapshot, telemetry: Telemetry, width: int = 72
+) -> str:
+    """One frame of the live view as a multi-line string."""
+    collector = telemetry.collector
+    time = snapshot.time if snapshot.time is not None else 0.0
+    lines: List[str] = []
+    lines.append("=" * width)
+    lines.append(
+        f"repro top   t={time:10.4f}s   "
+        f"active jobs={collector.active_jobs.value():.0f}   "
+        f"events={telemetry.bus.events_published}"
+    )
+    lines.append("-" * width)
+    util = collector.gpu_utilization.value()
+    lines.append(f"GPU util   [{_bar(util)}] {util:6.1%}")
+    depth = 0
+    if telemetry.server is not None:
+        depth = telemetry.server.driver.total_queued
+    lines.append(
+        f"queues     driver={depth}   "
+        f"batcher={collector.batch_queue_depth.value():.0f}"
+    )
+    lines.append(
+        "counters   "
+        f"req {collector.requests_finished.total():.0f}/"
+        f"{collector.requests_submitted.total():.0f} done   "
+        f"kern {collector.kernels_finished.total():.0f}   "
+        f"overflow {collector.overflow_kernels.total():.0f}   "
+        f"switch {collector.switches.total():.0f}   "
+        f"evict {collector.evictions.total():.0f}   "
+        f"retry {collector.request_retries.total():.0f}"
+    )
+    shares = _tenure_share(telemetry)
+    if shares:
+        lines.append("-" * width)
+        lines.append("tenure share by model")
+        for row in shares:
+            lines.append(
+                f"  {row['model']:<14s} [{_bar(row['share'])}] "
+                f"{row['share']:6.1%}  "
+                f"{row['seconds'] * 1e3:8.2f} ms in {row['tenures']} tenures"
+            )
+    lines.append("=" * width)
+    return "\n".join(lines)
+
+
+class TopView:
+    """Snapshot-callback adapter collecting (and optionally printing)
+    rendered frames."""
+
+    def __init__(
+        self,
+        stream: Optional[Any] = None,
+        width: int = 72,
+        max_frames: Optional[int] = None,
+    ) -> None:
+        self.stream = stream
+        self.width = width
+        self.max_frames = max_frames
+        self.frames: List[str] = []
+
+    def on_snapshot(
+        self, snapshot: MetricsSnapshot, telemetry: Telemetry
+    ) -> None:
+        if self.max_frames is not None and len(self.frames) >= self.max_frames:
+            return
+        frame = render_frame(snapshot, telemetry, width=self.width)
+        self.frames.append(frame)
+        if self.stream is not None:
+            self.stream.write(frame + "\n")

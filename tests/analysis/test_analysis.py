@@ -97,6 +97,72 @@ class TestChromeTrace:
                 assert f"job {job.job_id}" in thread_names
 
 
+class TestFlowEvents:
+    def test_no_flows_without_flag(self, fair_run):
+        server, scheduler, _ = fair_run
+        events = build_trace_events(server, scheduler=scheduler)
+        assert not [e for e in events if e["ph"] in ("s", "t", "f")]
+
+    def test_every_completed_job_has_start_and_finish(self, fair_run):
+        server, scheduler, clients = fair_run
+        events = build_trace_events(
+            server, scheduler=scheduler, flows=True
+        )
+        flows = {}
+        for event in events:
+            if event["ph"] in ("s", "t", "f"):
+                flows.setdefault(event["id"], []).append(event["ph"])
+        jobs = sum(len(c.jobs) for c in clients)
+        assert len(flows) == jobs
+        for phases in flows.values():
+            assert phases[0] == "s" and phases[-1] == "f"
+
+    def test_finish_binds_enclosing_slice(self, fair_run):
+        server, scheduler, _ = fair_run
+        events = build_trace_events(
+            server, scheduler=scheduler, flows=True
+        )
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert finishes
+        assert all(e.get("bp") == "e" for e in finishes)
+
+    def test_flow_steps_land_on_scheduler_track(self, fair_run):
+        server, scheduler, _ = fair_run
+        events = build_trace_events(
+            server, scheduler=scheduler, flows=True
+        )
+        steps = [e for e in events if e["ph"] == "t"]
+        assert steps  # every job got at least one tenure in this run
+        assert {e["pid"] for e in steps} == {2}  # _SCHED_PID
+
+    def test_arrival_slices_on_request_track(self, fair_run):
+        server, scheduler, clients = fair_run
+        events = build_trace_events(
+            server, scheduler=scheduler, flows=True
+        )
+        arrivals = [e for e in events if e.get("cat") == "request"]
+        assert len(arrivals) == sum(len(c.jobs) for c in clients)
+        for arrival, job_time in zip(
+            arrivals, sorted(e["ts"] for e in arrivals)
+        ):
+            assert arrival["ph"] == "X"
+
+    def test_flows_export_passes_schema(self, fair_run, tmp_path):
+        from repro.telemetry.schema import validate_chrome_trace
+
+        server, scheduler, _ = fair_run
+        path = tmp_path / "trace.json"
+        export_chrome_trace(server, path, scheduler=scheduler, flows=True)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_flow_ids_stable_across_builds(self, fair_run):
+        server, scheduler, _ = fair_run
+        one = build_trace_events(server, scheduler=scheduler, flows=True)
+        two = build_trace_events(server, scheduler=scheduler, flows=True)
+        assert one == two
+
+
 class TestGantt:
     def test_rows_per_job_and_busy_cells(self, fair_run):
         server, _, clients = fair_run

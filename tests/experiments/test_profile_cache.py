@@ -15,6 +15,7 @@ from repro.core.persistence import output_to_dict
 from repro.experiments import ExperimentConfig
 from repro.experiments import profile_cache
 from repro.experiments.runner import clear_caches, get_profiler_output
+from repro.telemetry.logs import BufferSink, configure_logging
 
 FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
 ENTRIES = [("inception_v4", 100)]
@@ -29,38 +30,52 @@ def isolated_cache(tmp_path, monkeypatch):
     clear_caches()
 
 
+@pytest.fixture
+def log_buffer():
+    """Capture structured-log records (the cache logs through
+    repro.telemetry.logs, not stdlib logging)."""
+    sink = BufferSink()
+    previous = configure_logging(sink)
+    yield sink
+    configure_logging(previous)
+
+
 def cache_files(tmp_path):
     return sorted((tmp_path / "profiles").glob("*.json"))
 
 
 class TestRoundTrip:
-    def test_build_stores_then_hits(self, tmp_path, caplog):
+    def test_build_stores_then_hits(self, tmp_path, log_buffer):
         cold = get_profiler_output(ENTRIES, FAST)
         assert len(cache_files(tmp_path)) == 1
 
         clear_caches()  # drop the in-process cache, keep the disk one
-        with caplog.at_level("INFO", logger="repro.cache"):
-            warm = get_profiler_output(ENTRIES, FAST)
-        assert any("profile cache hit" in r.message for r in caplog.records)
+        log_buffer.clear()
+        warm = get_profiler_output(ENTRIES, FAST)
+        assert any(
+            "profile cache hit" in r.message for r in log_buffer.records
+        )
         # Bit-identical, not merely approximately equal.
         assert output_to_dict(warm) == output_to_dict(cold)
 
-    def test_in_process_cache_shadows_disk(self, tmp_path, caplog):
+    def test_in_process_cache_shadows_disk(self, tmp_path, log_buffer):
         get_profiler_output(ENTRIES, FAST)
-        with caplog.at_level("INFO", logger="repro.cache"):
-            get_profiler_output(ENTRIES, FAST)
+        log_buffer.clear()
+        get_profiler_output(ENTRIES, FAST)
         # Second call is served from memory: the disk layer is silent.
-        assert caplog.records == []
+        assert log_buffer.records == []
 
-    def test_corrupt_entry_rebuilds(self, tmp_path, caplog):
+    def test_corrupt_entry_rebuilds(self, tmp_path, log_buffer):
         cold = get_profiler_output(ENTRIES, FAST)
         (path,) = cache_files(tmp_path)
         path.write_text("{not json")
 
         clear_caches()
-        with caplog.at_level("WARNING", logger="repro.cache"):
-            rebuilt = get_profiler_output(ENTRIES, FAST)
-        assert any("unreadable" in r.message for r in caplog.records)
+        log_buffer.clear()
+        rebuilt = get_profiler_output(ENTRIES, FAST)
+        assert any(
+            "unreadable" in r.message for r in log_buffer.records
+        )
         assert output_to_dict(rebuilt) == output_to_dict(cold)
         # The rebuild overwrote the bad entry with a valid one.
         (path,) = cache_files(tmp_path)

@@ -1,0 +1,31 @@
+"""Deliberate observability violations (linted explicitly by tests/lint).
+
+Excluded from directory sweeps via [tool.repro.lint] exclude; the lint
+suite stages it under a tmp ``src/repro/`` so the print-ban scope
+applies.
+
+Expected findings: OBS001 x3 (and none on the suppressed line or the
+attribute call).
+"""
+
+
+def report_progress(step):
+    print("step", step)  # OBS001
+
+
+def debug_dump(state):
+    print(f"state={state}")  # OBS001
+
+
+def conditional_chatter(verbose):
+    if verbose:
+        print("still here")  # OBS001
+
+
+def printer_objects_are_fine(job):
+    job.print()
+    return job
+
+
+def deliberate_console_poke(message):
+    print(message)  # lint: disable=OBS001

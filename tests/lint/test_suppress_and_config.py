@@ -163,5 +163,6 @@ class TestRuleResolution:
             "CON001", "CON002", "CON003",
             "DET001", "DET002", "DET003", "DET004",
             "DET005", "DET006", "DET007",
+            "OBS001",
             "PERF001",
         ]

@@ -1,0 +1,109 @@
+"""Telemetry must observe, never steer: the digest-neutrality property.
+
+``trace_digest`` hashes the run's observable behaviour — kernel
+intervals, tenure boundaries, client completions, RNG-sensitive
+ordering — so a single perturbed comparison, an extra simulation event
+in the wrong place, or one stray RNG draw inside the telemetry path
+changes it.  These tests pin the hard requirement from the tentpole:
+**any** verbosity, **any** snapshot cadence, on **every** scheduler
+kind, leaves the digest bit-identical to telemetry-off.
+"""
+
+import pytest
+
+from repro.experiments import (
+    SCHEDULER_KINDS,
+    ExperimentConfig,
+    run_workload,
+)
+from repro.telemetry import TelemetryConfig
+from repro.workloads import heterogeneous_workload, homogeneous_workload
+
+FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
+SPECS = homogeneous_workload(num_clients=2, num_batches=2)
+
+
+def digest(telemetry=None, specs=SPECS, scheduler="fair"):
+    result = run_workload(
+        specs, scheduler=scheduler, config=FAST, telemetry=telemetry
+    )
+    return result.trace_digest()
+
+
+@pytest.fixture(scope="module")
+def fair_baseline():
+    """The telemetry-off digest every fair-scheduler variant must hit."""
+    return digest()
+
+
+class TestEverySchedulerKind:
+    @pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+    def test_full_telemetry_is_digest_neutral(self, kind):
+        off = digest(scheduler=kind)
+        on = digest(
+            TelemetryConfig(verbosity="full", snapshot_period=0.05),
+            scheduler=kind,
+        )
+        assert on == off, (
+            f"telemetry perturbed the {kind!r} schedule"
+        )
+
+
+class TestEveryVerbosity:
+    @pytest.mark.parametrize("verbosity", ["metrics", "spans", "full"])
+    def test_verbosity_levels_are_digest_neutral(
+        self, verbosity, fair_baseline
+    ):
+        on = digest(
+            TelemetryConfig(verbosity=verbosity, snapshot_period=0.05)
+        )
+        assert on == fair_baseline
+
+
+class TestSnapshotCadence:
+    @pytest.mark.parametrize("period", [0.0, 0.05, 0.5])
+    def test_ticker_cadence_is_digest_neutral(self, period, fair_baseline):
+        """The ticker only *adds* (time, seq) heap entries; varying how
+        many can never reorder the simulation's existing events."""
+        on = digest(
+            TelemetryConfig(verbosity="metrics", snapshot_period=period)
+        )
+        assert on == fair_baseline
+
+    def test_keep_events_is_digest_neutral(self, fair_baseline):
+        on = digest(
+            TelemetryConfig(
+                verbosity="full", snapshot_period=0.05, keep_events=True
+            )
+        )
+        assert on == fair_baseline
+
+
+class TestHeterogeneous:
+    def test_mixed_models_digest_neutral(self):
+        """Fan-out graphs + batching exercise every emission seam."""
+        specs = heterogeneous_workload(clients_per_model=2, num_batches=2)
+        off = digest(specs=specs)
+        on = digest(
+            TelemetryConfig(verbosity="full", snapshot_period=0.05),
+            specs=specs,
+        )
+        assert on == off
+
+    def test_monitor_is_digest_neutral(self):
+        off = run_workload(SPECS, scheduler="fair", config=FAST)
+        on = run_workload(
+            SPECS,
+            scheduler="fair",
+            config=FAST,
+            telemetry=TelemetryConfig(verbosity="full"),
+            monitor=True,
+        )
+        assert on.trace_digest() == off.trace_digest()
+
+
+class TestRepeatability:
+    def test_same_telemetry_config_same_digest(self):
+        """Telemetry-on runs are themselves deterministic."""
+        config = TelemetryConfig(verbosity="full", snapshot_period=0.05)
+        assert digest(config) == digest(config)

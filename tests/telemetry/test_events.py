@@ -1,0 +1,94 @@
+"""The event bus: fan-out order, counters, and the kind catalogue."""
+
+import pytest
+
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    EventBus,
+    TelemetryEvent,
+    require_known_kind,
+    stable_sort_key,
+)
+
+
+def ev(kind, time=0.0, **attrs):
+    return TelemetryEvent(time=time, kind=kind, component="test", attrs=attrs)
+
+
+class TestEventBus:
+    def test_subscribers_called_in_subscription_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(lambda e: calls.append(("a", e.kind)))
+        bus.subscribe(lambda e: calls.append(("b", e.kind)))
+        bus.publish(ev("kernel.started"))
+        assert calls == [("a", "kernel.started"), ("b", "kernel.started")]
+
+    def test_events_published_counts_regardless_of_subscribers(self):
+        bus = EventBus()
+        bus.publish(ev("sched.decision"))
+        bus.publish(ev("sched.decision"))
+        assert bus.events_published == 2
+        assert bus.subscriber_count == 0
+
+    def test_kind_counts_insertion_ordered(self):
+        bus = EventBus()
+        for kind in ("kernel.started", "kernel.finished", "kernel.started"):
+            bus.publish(ev(kind))
+        assert bus.kind_counts == {
+            "kernel.started": 2,
+            "kernel.finished": 1,
+        }
+        assert list(bus.kind_counts) == ["kernel.started", "kernel.finished"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        calls = []
+        handler = calls.append
+        bus.subscribe(handler)
+        bus.publish(ev("request.submitted"))
+        bus.unsubscribe(handler)
+        bus.publish(ev("request.submitted"))
+        assert len(calls) == 1
+        assert bus.subscriber_count == 0
+
+    def test_subscriber_exception_propagates(self):
+        # A throwing observer must crash loudly, not diverge silently.
+        bus = EventBus()
+
+        def boom(event):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe(boom)
+        with pytest.raises(RuntimeError, match="observer bug"):
+            bus.publish(ev("request.finished"))
+
+
+class TestTelemetryEvent:
+    def test_attr_returns_default_when_absent(self):
+        event = ev("kernel.finished", job_id="c0/b0")
+        assert event.attr("job_id") == "c0/b0"
+        assert event.attr("holder") is None
+        assert event.attr("holder", "nobody") == "nobody"
+
+    def test_frozen(self):
+        event = ev("kernel.finished")
+        with pytest.raises(AttributeError):
+            event.kind = "kernel.started"
+
+
+class TestCatalogue:
+    def test_known_kinds_pass(self):
+        for kind in EVENT_KINDS:
+            assert require_known_kind(kind) is None
+
+    def test_unknown_kind_named_in_error(self):
+        message = require_known_kind("kernel.exploded")
+        assert message is not None
+        assert "kernel.exploded" in message
+
+    def test_stable_sort_key_sorts_by_attr_name(self):
+        items = [("z", 1), ("a", 2), ("m", 3)]
+        assert sorted(items, key=stable_sort_key) == [
+            ("a", 2), ("m", 3), ("z", 1),
+        ]

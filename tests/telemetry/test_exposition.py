@@ -1,0 +1,140 @@
+"""Exposition renderers: golden bytes, snapshot structure, formatting.
+
+The golden files under ``tests/telemetry/golden/`` pin the *exact*
+output — both renderers promise byte-stable text so diffs of exported
+metrics between runs mean the metrics changed, never the formatter.
+Regenerate (after a deliberate format change) with::
+
+    PYTHONPATH=src:. python -c \
+      "from tests.telemetry.test_exposition import regenerate; regenerate()"
+"""
+
+import json
+from pathlib import Path
+
+from repro.telemetry.exposition import (
+    MetricsSnapshot,
+    render_metrics_json,
+    render_prometheus,
+    snapshot_registry,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.schema import validate_metrics_document
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def sample_registry():
+    """A small registry with one family of each type, labelled."""
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "Requests accepted")
+    requests.inc(3, labels={"model": "inception_v4"})
+    requests.inc(1, labels={"model": "resnet_152"})
+    depth = registry.gauge("queue_depth", "Requests waiting")
+    depth.set(4)
+    latency = registry.histogram(
+        "latency_seconds", "Submit-to-finish latency",
+        buckets=(0.01, 0.1, 1.0),
+    )
+    for value in (0.005, 0.05, 0.5, 2.0):
+        latency.observe(value, labels={"model": "inception_v4"})
+    registry.counter("bare_total")  # no help, no series
+    return registry
+
+
+class TestGolden:
+    def test_prometheus_text_matches_golden(self):
+        text = render_prometheus(
+            snapshot_registry(sample_registry(), time=1.5)
+        )
+        assert text == (GOLDEN / "sample.prom").read_text()
+
+    def test_json_matches_golden(self):
+        text = render_metrics_json(
+            snapshot_registry(sample_registry(), time=1.5)
+        )
+        assert text == (GOLDEN / "sample.json").read_text()
+
+    def test_golden_json_passes_schema(self):
+        doc = json.loads((GOLDEN / "sample.json").read_text())
+        assert validate_metrics_document(doc) == []
+
+    def test_render_is_deterministic_across_builds(self):
+        one = render_prometheus(sample_registry())
+        two = render_prometheus(sample_registry())
+        assert one == two
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_deep_copy(self):
+        registry = sample_registry()
+        before = snapshot_registry(registry)
+        registry.counter("requests_total").inc(
+            10, labels={"model": "inception_v4"}
+        )
+        after = snapshot_registry(registry)
+        series = before.family("requests_total")["series"]
+        assert series[0]["value"] == 3
+        assert after.family("requests_total")["series"][0]["value"] == 13
+
+    def test_family_lookup(self):
+        snapshot = snapshot_registry(sample_registry(), time=2.0)
+        assert snapshot.time == 2.0
+        assert snapshot.family("queue_depth")["type"] == "gauge"
+        assert snapshot.family("nope") is None
+
+    def test_histogram_series_shape(self):
+        snapshot = snapshot_registry(sample_registry())
+        family = snapshot.family("latency_seconds")
+        assert family["buckets"] == [0.01, 0.1, 1.0]
+        (series,) = family["series"]
+        assert series["count"] == 4
+        assert series["cumulative"] == [1, 2, 3, 4]
+
+
+class TestFormatting:
+    def test_prometheus_histogram_lines(self):
+        text = render_prometheus(sample_registry())
+        assert '# TYPE latency_seconds histogram' in text
+        assert (
+            'latency_seconds_bucket{model="inception_v4",le="0.01"} 1'
+            in text
+        )
+        assert (
+            'latency_seconds_bucket{model="inception_v4",le="+Inf"} 4'
+            in text
+        )
+        assert 'latency_seconds_count{model="inception_v4"} 4' in text
+
+    def test_extra_labels_appended_everywhere(self):
+        text = render_prometheus(
+            sample_registry(), extra_labels={"run": "r1"}
+        )
+        assert 'queue_depth{run="r1"} 4' in text
+        assert 'model="inception_v4",run="r1"' in text
+
+    def test_integers_render_without_trailing_point(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(2.0)
+        assert "g 2\n" in render_prometheus(registry)
+
+    def test_empty_registry_renders_empty_string(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_render_accepts_snapshot_or_registry(self):
+        registry = sample_registry()
+        snapshot = snapshot_registry(registry)
+        assert render_prometheus(snapshot) == render_prometheus(registry)
+        assert render_metrics_json(snapshot) == render_metrics_json(
+            MetricsSnapshot(
+                time=None, families=snapshot.families
+            )
+        )
+
+
+def regenerate():
+    """Rewrite the golden files from the current renderers."""
+    GOLDEN.mkdir(exist_ok=True)
+    snapshot = snapshot_registry(sample_registry(), time=1.5)
+    (GOLDEN / "sample.prom").write_text(render_prometheus(snapshot))
+    (GOLDEN / "sample.json").write_text(render_metrics_json(snapshot))

@@ -1,0 +1,146 @@
+"""Structured logging: sinks, level filtering, the global-sink switch."""
+
+import io
+import json
+
+from repro.telemetry.logs import (
+    LEVELS,
+    BufferSink,
+    ConsoleSink,
+    JsonlSink,
+    LogRecord,
+    NullSink,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+
+
+class TestLogRecord:
+    def test_to_dict_flattens_fields(self):
+        record = LogRecord(
+            time=1.5, level="info", component="c", message="m",
+            fields={"key": "v"},
+        )
+        assert record.to_dict() == {
+            "time": 1.5, "level": "info", "component": "c",
+            "message": "m", "key": "v",
+        }
+
+    def test_to_json_is_one_line(self):
+        record = LogRecord(
+            time=None, level="error", component="c", message="m"
+        )
+        doc = json.loads(record.to_json())
+        assert doc["time"] is None and doc["level"] == "error"
+        assert "\n" not in record.to_json()
+
+
+class TestSinks:
+    def test_buffer_sink_collects_and_filters_by_level(self):
+        sink = BufferSink()
+        logger = StructuredLogger("test", sink=sink)
+        logger.debug("low")
+        logger.warning("mid", detail=1)
+        assert [r.message for r in sink.records] == ["low", "mid"]
+        assert [r.message for r in sink.of_level("warning")] == ["mid"]
+        sink.clear()
+        assert sink.records == []
+
+    def test_min_level_drops_below_threshold(self):
+        sink = BufferSink(min_level="warning")
+        logger = StructuredLogger("test", sink=sink)
+        logger.debug("no")
+        logger.info("no")
+        logger.warning("yes")
+        logger.error("yes")
+        assert [r.level for r in sink.records] == ["warning", "error"]
+
+    def test_jsonl_sink_writes_one_object_per_line(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        logger = StructuredLogger("cache", sink=sink)
+        logger.info("hit", key="abc")
+        logger.info("miss", key="def")
+        lines = stream.getvalue().splitlines()
+        assert [json.loads(line)["message"] for line in lines] == [
+            "hit", "miss",
+        ]
+        assert json.loads(lines[0])["key"] == "abc"
+
+    def test_jsonl_sink_opens_and_closes_paths(self, tmp_path):
+        target = tmp_path / "run.jsonl"
+        sink = JsonlSink(target)
+        StructuredLogger("c", sink=sink).info("m")
+        sink.close()
+        assert json.loads(target.read_text())["message"] == "m"
+
+    def test_console_sink_format(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("sched", sink=ConsoleSink(stream))
+        logger.clock = lambda: 0.25
+        logger.warning("drift detected", model="resnet", error=0.3)
+        line = stream.getvalue()
+        assert line == (
+            "[0.250000] WARNING sched: drift detected "
+            "model=resnet error=0.3\n"
+        )
+
+    def test_console_sink_dash_stamp_without_clock(self):
+        stream = io.StringIO()
+        StructuredLogger("c", sink=ConsoleSink(stream)).info("m")
+        assert stream.getvalue().startswith("[-] INFO")
+
+    def test_console_sink_defaults_to_info(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("c", sink=ConsoleSink(stream))
+        logger.debug("hidden")
+        assert stream.getvalue() == ""
+
+    def test_null_sink_min_level_is_error(self):
+        # Level filtering short-circuits before record construction, so
+        # the default sink costs one dict lookup per suppressed call.
+        assert NullSink().min_level == "error"
+
+
+class TestGlobalSink:
+    def test_configure_returns_previous_and_restores(self):
+        sink = BufferSink()
+        previous = configure_logging(sink)
+        try:
+            get_logger("t-global").error("captured")
+            assert [r.message for r in sink.records] == ["captured"]
+        finally:
+            configure_logging(previous)
+        get_logger("t-global").error("dropped")
+        assert len(sink.records) == 1
+
+    def test_configure_none_restores_null_sink(self):
+        previous = configure_logging(BufferSink())
+        try:
+            restored = configure_logging(None)
+            assert isinstance(restored, BufferSink)
+            assert isinstance(configure_logging(previous), NullSink)
+        finally:
+            configure_logging(previous)
+
+    def test_get_logger_is_cached_per_component(self):
+        assert get_logger("t-cache") is get_logger("t-cache")
+        assert get_logger("t-cache") is not get_logger("t-other")
+
+
+class TestClock:
+    def test_clock_stamps_records_with_sim_time(self):
+        sink = BufferSink()
+        logger = StructuredLogger("c", sink=sink, clock=lambda: 42.0)
+        logger.info("m")
+        assert sink.records[0].time == 42.0
+
+    def test_no_clock_means_none_never_wall_time(self):
+        sink = BufferSink()
+        StructuredLogger("c", sink=sink).info("m")
+        assert sink.records[0].time is None
+
+
+def test_levels_are_ordered():
+    assert LEVELS == ("debug", "info", "warning", "error")

@@ -1,0 +1,144 @@
+"""Counter/gauge/histogram semantics and the registry contract."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        counter = Counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total() == 3.5
+
+    def test_labelled_children_are_independent(self):
+        counter = Counter("c_total", "")
+        counter.inc(labels={"model": "a"})
+        counter.inc(3, labels={"model": "b"})
+        assert counter.value(labels={"model": "a"}) == 1
+        assert counter.value(labels={"model": "b"}) == 3
+        assert counter.total() == 4
+        assert counter.child_count == 2
+
+    def test_unobserved_labels_read_zero(self):
+        counter = Counter("c_total", "")
+        assert counter.value(labels={"model": "never"}) == 0.0
+        # Reading must not create a child.
+        assert counter.child_count == 0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "")
+        with pytest.raises(ValueError, match="-1"):
+            counter.inc(-1)
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("c_total", "")
+        counter.inc(labels={"a": 1, "b": 2})
+        counter.inc(labels={"b": 2, "a": 1})
+        assert counter.child_count == 1
+        assert counter.value(labels={"b": 2, "a": 1}) == 2
+
+    def test_labels_idiom_alias(self):
+        counter = Counter("c_total", "")
+        counter.labels(model="x").inc(5)
+        assert counter.value(labels={"model": "x"}) == 5
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value() == 7
+
+    def test_gauge_goes_negative(self):
+        gauge = Gauge("g", "")
+        gauge.dec(3)
+        assert gauge.value() == -3
+
+
+class TestHistogram:
+    def test_observations_land_in_first_fitting_bucket(self):
+        hist = Histogram("h", "", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        child = hist.child()
+        # Per-bucket (non-cumulative) counts; boundary 1.0 is inclusive.
+        assert child.counts == [2, 1, 1, 1]
+        assert child.cumulative() == [2, 3, 4, 5]
+        assert child.count == 5
+        assert child.total == pytest.approx(106.0)
+        assert child.mean == pytest.approx(21.2)
+
+    def test_empty_child_mean_is_zero(self):
+        hist = Histogram("h", "", buckets=(1.0,))
+        assert hist.child().mean == 0.0
+        assert hist.count() == 0 and hist.sum() == 0.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", "", buckets=(2.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", "", buckets=())
+
+    def test_labelled_series(self):
+        hist = Histogram("h", "", buckets=(1.0,))
+        hist.observe(0.5, labels={"model": "a"})
+        hist.observe(2.0, labels={"model": "a"})
+        assert hist.count(labels={"model": "a"}) == 2
+        assert hist.sum(labels={"model": "a"}) == 2.5
+        assert hist.count(labels={"model": "b"}) == 0
+
+    def test_default_bucket_tables_are_sorted(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+        assert list(DEFAULT_DEPTH_BUCKETS) == sorted(DEFAULT_DEPTH_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "help")
+        second = registry.counter("requests_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("x", "")
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("zeta", "")
+        registry.counter("alpha", "")
+        registry.histogram("mid", "")
+        assert [fam.name for fam in registry.families()] == [
+            "alpha", "mid", "zeta",
+        ]
+
+    def test_contains_and_get(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x", "")
+        assert "x" in registry and "y" not in registry
+        assert registry.get("x") is counter
+        assert registry.get("y") is None
+
+    def test_children_iterate_in_sorted_label_order(self):
+        counter = MetricsRegistry().counter("x", "")
+        counter.inc(labels={"model": "z"})
+        counter.inc(labels={"model": "a"})
+        keys = [dict(key)["model"] for key, _ in counter.items()]
+        assert keys == ["a", "z"]

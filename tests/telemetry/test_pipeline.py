@@ -1,0 +1,283 @@
+"""The Telemetry facade end-to-end: wiring, collection, rollups.
+
+One shared instrumented run (module-scoped fixture) is interrogated by
+most tests; the collector's per-event folds are unit-tested directly
+with synthetic events where the full stack would obscure the case.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.telemetry.events import EVENT_KINDS, TelemetryEvent
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.pipeline import VERBOSITY_LEVELS, MetricsCollector
+from repro.workloads import homogeneous_workload
+
+FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
+SPECS = homogeneous_workload(num_clients=2, num_batches=2)
+NUM_JOBS = 4  # 2 clients x 2 batches
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_workload(
+        SPECS,
+        scheduler="fair",
+        config=FAST,
+        telemetry=TelemetryConfig(
+            verbosity="full", snapshot_period=0.02, keep_events=True
+        ),
+    )
+
+
+class _Stub:
+    pass
+
+
+def stub_server():
+    server = _Stub()
+    server.sim = None
+    server.scheduler = _Stub()
+    server.driver = _Stub()
+    server.device = _Stub()
+    server.active_jobs = 0
+    return server
+
+
+class TestConfig:
+    def test_bad_verbosity_rejected(self):
+        with pytest.raises(ValueError, match="verbose"):
+            TelemetryConfig(verbosity="verbose")
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ValueError, match="-1"):
+            TelemetryConfig(snapshot_period=-1)
+
+    def test_with_verbosity_returns_new_config(self):
+        base = TelemetryConfig(snapshot_period=0.5)
+        spans = base.with_verbosity("spans")
+        assert spans.verbosity == "spans"
+        assert spans.snapshot_period == 0.5
+        assert base.verbosity == "full"
+
+    @pytest.mark.parametrize("level", VERBOSITY_LEVELS)
+    def test_every_level_constructs(self, level):
+        telemetry = Telemetry(TelemetryConfig(verbosity=level))
+        has_tracer = telemetry.tracer is not None
+        assert has_tracer == (level in ("spans", "full"))
+
+
+class TestWiring:
+    def test_attach_plants_seams_and_back_references(self):
+        server = stub_server()
+        telemetry = Telemetry(TelemetryConfig())
+        assert telemetry.attach(server) is telemetry
+        assert server.telemetry is telemetry
+        assert server.driver.telemetry is telemetry
+        assert server.device.telemetry is telemetry
+        assert server.scheduler.telemetry is telemetry
+
+    def test_attach_twice_raises(self):
+        telemetry = Telemetry(TelemetryConfig())
+        telemetry.attach(stub_server())
+        with pytest.raises(RuntimeError, match="already attached"):
+            telemetry.attach(stub_server())
+
+    def test_attach_monitor_forwards_and_chains(self):
+        telemetry = Telemetry(TelemetryConfig())
+        seen = []
+        monitor = _Stub()
+        monitor.on_drift = seen.append
+        telemetry.attach_monitor(monitor)
+
+        alert = _Stub()
+        alert.model_name = "resnet_152"
+        alert.observed_mean = 0.03
+        alert.expected = 0.02
+        alert.relative_error = 0.5
+        monitor.on_drift(alert)
+        # Bus saw the drift event, and the original callback still ran.
+        assert telemetry.collector.drift.value(
+            labels={"model": "resnet_152"}
+        ) == 1
+        assert seen == [alert]
+
+    def test_kernel_finished_enriched_with_holder(self):
+        telemetry = Telemetry(TelemetryConfig(keep_events=True))
+        server = stub_server()
+        holder = _Stub()
+        holder.job_id = "c1/b0"
+        # A stub stand-in for the scheduler, not real guarded state.
+        server.scheduler.holder = holder  # lint: disable=CON003
+        telemetry.attach(server)
+        telemetry.emit("kernel.finished", "device", job_id="c0/b0", seq=0)
+        (event,) = telemetry.events
+        assert event.attr("holder") == "c1/b0"
+        assert telemetry.collector.overflow_kernels.total() == 1
+
+
+class TestInstrumentedRun:
+    def test_collector_counts_match_server_truth(self, run):
+        rollup = run.telemetry_rollup
+        assert rollup["requests_submitted"] == NUM_JOBS
+        assert rollup["requests_finished"] == NUM_JOBS
+        assert len(run.server.completed_jobs) == NUM_JOBS
+        assert rollup["retries"] == 0
+        assert rollup["decisions"] > 0
+        assert rollup["switches"] <= rollup["decisions"]
+        assert rollup["kernels_finished"] > 0
+
+    def test_emitted_kinds_stay_inside_catalogue(self, run):
+        assert run.telemetry.events, "keep_events retained nothing"
+        kinds = {event.kind for event in run.telemetry.events}
+        assert kinds <= set(EVENT_KINDS)
+        times = [event.time for event in run.telemetry.events]
+        assert times == sorted(times)
+
+    def test_every_job_has_a_span_tree(self, run):
+        tracer = run.telemetry.tracer
+        requests = tracer.spans_of_kind("request")
+        assert len(requests) == NUM_JOBS
+        for job in run.server.completed_jobs:
+            tree = tracer.request_tree(str(job.job_id))
+            (session,) = tree["children"]
+            assert session["kind"] == "session"
+            assert session["children"], "session has no tenures"
+        assert tracer.open_count == 0
+
+    def test_ticker_takes_mid_run_snapshots(self, run):
+        snapshots = run.telemetry.snapshots
+        assert len(snapshots) > 1
+        times = [snap.time for snap in snapshots]
+        assert times == sorted(times)
+        # The final (finalize) snapshot is at the end of the run.
+        assert times[-1] == pytest.approx(run.sim.now)
+
+    def test_gpu_utilization_sampled_in_range(self, run):
+        values = [
+            series["value"]
+            for snap in run.telemetry.snapshots[1:-1]
+            for series in snap.family("gpu_utilization_ratio")["series"]
+        ]
+        assert values, "no mid-run utilization samples"
+        assert all(0.0 <= value <= 1.0 for value in values)
+        assert any(value > 0.0 for value in values)
+
+    def test_rollup_keys(self, run):
+        rollup = run.telemetry_rollup
+        for key in (
+            "verbosity", "events_published", "event_counts", "snapshots",
+            "requests_submitted", "requests_finished", "retries",
+            "decisions", "switches", "evictions", "kernels_finished",
+            "overflow_kernels", "profile_drift", "spans_finished",
+        ):
+            assert key in rollup, key
+        assert rollup["verbosity"] == "full"
+        assert rollup["events_published"] == sum(
+            rollup["event_counts"].values()
+        )
+        assert rollup["spans_finished"] == len(run.telemetry.tracer.finished)
+
+    def test_tenure_seconds_labelled_by_model(self, run):
+        family = run.telemetry.registry.get("tenure_seconds")
+        models = {dict(key).get("model") for key, _ in family.items()}
+        assert models == {SPECS[0].model}
+
+
+class TestVerbosityAndCadence:
+    def test_metrics_level_skips_tracer_and_rollup_spans(self):
+        result = run_workload(
+            SPECS,
+            scheduler="fair",
+            config=FAST,
+            telemetry=TelemetryConfig(
+                verbosity="metrics", snapshot_period=0.0
+            ),
+        )
+        assert result.telemetry.tracer is None
+        assert "spans_finished" not in result.telemetry_rollup
+
+    def test_zero_period_means_only_final_snapshot(self):
+        result = run_workload(
+            SPECS,
+            scheduler="fair",
+            config=FAST,
+            telemetry=TelemetryConfig(
+                verbosity="metrics", snapshot_period=0.0
+            ),
+        )
+        assert len(result.telemetry.snapshots) == 1
+
+    def test_events_not_kept_by_default(self, run):
+        result = run_workload(
+            SPECS,
+            scheduler="fair",
+            config=FAST,
+            telemetry=TelemetryConfig(
+                verbosity="metrics", snapshot_period=0.0
+            ),
+        )
+        assert result.telemetry.events == []
+        assert result.telemetry.bus.events_published > 0
+
+    def test_monitor_without_telemetry_still_runs(self):
+        result = run_workload(
+            SPECS, scheduler="fair", config=FAST, monitor=True
+        )
+        assert result.monitor is not None
+        assert result.telemetry is None
+
+
+class TestCollectorFolds:
+    def make(self):
+        return MetricsCollector(MetricsRegistry())
+
+    def feed(self, collector, kind, time=0.0, **attrs):
+        collector.on_event(
+            TelemetryEvent(
+                time=time, kind=kind, component="test", attrs=attrs
+            )
+        )
+
+    def test_switch_counted_only_when_token_moves(self):
+        collector = self.make()
+        self.feed(
+            collector, "sched.decision", prev_job_id="a", next_job_id="a"
+        )
+        self.feed(
+            collector, "sched.decision", prev_job_id="a", next_job_id="b"
+        )
+        assert collector.decisions.total() == 2
+        assert collector.switches.total() == 1
+
+    def test_batch_wait_observed_from_oldest_arrival(self):
+        collector = self.make()
+        self.feed(
+            collector, "batch.dispatched", time=1.0, oldest_arrival=0.25
+        )
+        assert collector.batch_wait.sum() == pytest.approx(0.75)
+        assert collector.batch_queue_depth.value() == 0
+
+    def test_request_latency_labelled_by_model(self):
+        collector = self.make()
+        self.feed(
+            collector, "request.finished",
+            status="ok", latency=0.5, model="m",
+        )
+        assert collector.request_latency.count(labels={"model": "m"}) == 1
+        assert collector.requests_finished.value(
+            labels={"status": "ok"}
+        ) == 1
+
+    def test_overflow_requires_differing_holder(self):
+        collector = self.make()
+        self.feed(
+            collector, "kernel.finished", job_id="a", holder="a"
+        )
+        self.feed(
+            collector, "kernel.finished", job_id="a", holder="b"
+        )
+        self.feed(collector, "kernel.finished", job_id="a", holder=None)
+        assert collector.kernels_finished.total() == 3
+        assert collector.overflow_kernels.total() == 1

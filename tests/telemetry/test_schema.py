@@ -1,0 +1,212 @@
+"""Schema validators: valid documents pass, each defect is named."""
+
+from repro.telemetry.schema import (
+    CHROME_TRACE_PHASES,
+    validate_chrome_trace,
+    validate_metrics_document,
+    validate_spans_document,
+)
+
+
+def trace_doc(extra_events=()):
+    events = [
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "GPU"}},
+        {
+            "name": "node 0", "ph": "X", "pid": 1, "tid": 1,
+            "ts": 10.0, "dur": 5.0,
+        },
+        {"name": "request", "ph": "s", "id": 1, "pid": 3, "ts": 0.0},
+        {"name": "request", "ph": "t", "id": 1, "pid": 2, "ts": 4.0},
+        {"name": "request", "ph": "f", "bp": "e", "id": 1, "pid": 1, "ts": 10.0},
+    ]
+    events.extend(extra_events)
+    return {"traceEvents": events}
+
+
+def metrics_doc():
+    return {
+        "time": 1.0,
+        "families": [
+            {
+                "name": "requests_total",
+                "type": "counter",
+                "help": "",
+                "series": [{"labels": {"model": "m"}, "value": 3}],
+            },
+            {
+                "name": "latency_seconds",
+                "type": "histogram",
+                "help": "",
+                "buckets": [0.1, 1.0],
+                "series": [
+                    {
+                        "labels": {},
+                        "count": 3,
+                        "sum": 1.5,
+                        "cumulative": [1, 2, 3],
+                    }
+                ],
+            },
+        ],
+    }
+
+
+def spans_doc():
+    return [
+        {
+            "span_id": "req:a", "parent_id": None, "kind": "request",
+            "name": "request a", "start": 0.0, "end": 1.0, "status": "ok",
+            "attrs": {},
+        },
+        {
+            "span_id": "sess:a", "parent_id": "req:a", "kind": "session",
+            "name": "session a", "start": 0.1, "end": 0.9, "status": "ok",
+            "attrs": {},
+        },
+    ]
+
+
+class TestChromeTrace:
+    def test_valid_document_passes(self):
+        assert validate_chrome_trace(trace_doc()) == []
+
+    def test_non_object_rejected(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_empty_event_list_flagged(self):
+        errors = validate_chrome_trace({"traceEvents": []})
+        assert any("empty" in error for error in errors)
+
+    def test_missing_phase_flagged(self):
+        doc = trace_doc([{"name": "x", "pid": 1, "ts": 0.0}])
+        errors = validate_chrome_trace(doc)
+        assert any("'ph'" in error for error in errors)
+
+    def test_unknown_phase_flagged(self):
+        doc = trace_doc([{"name": "x", "ph": "Q", "pid": 1, "ts": 0.0}])
+        errors = validate_chrome_trace(doc)
+        assert any("unknown phase 'Q'" in error for error in errors)
+
+    def test_negative_duration_flagged(self):
+        doc = trace_doc(
+            [{
+                "name": "x", "ph": "X", "pid": 1, "tid": 1,
+                "ts": 0.0, "dur": -1.0,
+            }]
+        )
+        errors = validate_chrome_trace(doc)
+        assert any("negative duration" in error for error in errors)
+
+    def test_flow_without_finish_flagged(self):
+        doc = trace_doc(
+            [{"name": "request", "ph": "s", "id": 99, "pid": 3, "ts": 0.0}]
+        )
+        errors = validate_chrome_trace(doc)
+        assert any(
+            "flow 99" in error and "'f'" in error for error in errors
+        )
+
+    def test_flow_without_start_flagged(self):
+        doc = trace_doc(
+            [{"name": "request", "ph": "f", "id": 99, "pid": 3, "ts": 0.0}]
+        )
+        errors = validate_chrome_trace(doc)
+        assert any(
+            "flow 99" in error and "'s'" in error for error in errors
+        )
+
+    def test_phase_catalogue(self):
+        assert set(CHROME_TRACE_PHASES) == {"X", "M", "i", "s", "t", "f"}
+
+
+class TestMetricsDocument:
+    def test_valid_document_passes(self):
+        assert validate_metrics_document(metrics_doc()) == []
+
+    def test_missing_time_flagged(self):
+        doc = metrics_doc()
+        del doc["time"]
+        assert any(
+            "'time'" in error for error in validate_metrics_document(doc)
+        )
+
+    def test_duplicate_family_flagged(self):
+        doc = metrics_doc()
+        doc["families"].append(doc["families"][0])
+        assert any(
+            "duplicate" in error
+            for error in validate_metrics_document(doc)
+        )
+
+    def test_unknown_type_flagged(self):
+        doc = metrics_doc()
+        doc["families"][0]["type"] = "summary"
+        assert any(
+            "unknown type 'summary'" in error
+            for error in validate_metrics_document(doc)
+        )
+
+    def test_cumulative_length_mismatch_flagged(self):
+        doc = metrics_doc()
+        doc["families"][1]["series"][0]["cumulative"] = [1, 2]
+        assert any(
+            "+Inf" in error for error in validate_metrics_document(doc)
+        )
+
+    def test_decreasing_cumulative_flagged(self):
+        doc = metrics_doc()
+        doc["families"][1]["series"][0]["cumulative"] = [3, 2, 3]
+        assert any(
+            "non-decreasing" in error
+            for error in validate_metrics_document(doc)
+        )
+
+    def test_count_mismatch_flagged(self):
+        doc = metrics_doc()
+        doc["families"][1]["series"][0]["count"] = 99
+        assert any(
+            "!= count 99" in error
+            for error in validate_metrics_document(doc)
+        )
+
+    def test_histogram_missing_buckets_flagged(self):
+        doc = metrics_doc()
+        del doc["families"][1]["buckets"]
+        assert any(
+            "missing 'buckets'" in error
+            for error in validate_metrics_document(doc)
+        )
+
+
+class TestSpansDocument:
+    def test_valid_document_passes(self):
+        assert validate_spans_document(spans_doc()) == []
+
+    def test_non_list_rejected(self):
+        assert validate_spans_document({"spans": []}) != []
+
+    def test_orphan_parent_flagged(self):
+        doc = spans_doc()
+        doc[1]["parent_id"] = "tenure:ghost#0"
+        errors = validate_spans_document(doc)
+        assert any("tenure:ghost#0" in error for error in errors)
+
+    def test_open_span_end_may_be_null(self):
+        doc = spans_doc()
+        doc[0]["end"] = None
+        assert validate_spans_document(doc) == []
+
+    def test_non_numeric_end_flagged(self):
+        doc = spans_doc()
+        doc[0]["end"] = "later"
+        assert any(
+            "'end'" in error for error in validate_spans_document(doc)
+        )
+
+    def test_missing_span_id_flagged(self):
+        doc = spans_doc()
+        del doc[0]["span_id"]
+        assert any(
+            "span_id" in error for error in validate_spans_document(doc)
+        )

@@ -1,0 +1,255 @@
+"""The span tracer, driven by hand-built event sequences.
+
+Each test feeds a synthetic slice of the lifecycle event stream and
+asserts the resulting tree: parenting, tenure ordinals, queue-span
+reparenting, overflow marking, truncation.  No simulation runs here —
+the tracer is a pure fold over events.
+"""
+
+import pytest
+
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.spans import Span, SpanTracer
+
+
+def feed(tracer, *steps):
+    """steps: (time, kind, attrs-dict) triples, published in order."""
+    for time, kind, attrs in steps:
+        tracer.on_event(
+            TelemetryEvent(
+                time=time, kind=kind, component="test", attrs=attrs
+            )
+        )
+
+
+JOB = "c0/b0"
+
+
+def request_lifecycle(tracer, job_id=JOB, t0=0.0):
+    """One full request: submit → session → tenure → kernel → finish."""
+    feed(
+        tracer,
+        (t0 + 0.0, "request.submitted", {"job_id": job_id, "model": "m"}),
+        (t0 + 0.1, "session.started", {"job_id": job_id}),
+        (t0 + 0.2, "sched.tenure_begin", {"job_id": job_id, "model": "m"}),
+        (t0 + 0.3, "kernel.submitted",
+         {"job_id": job_id, "seq": 0, "node_id": 7}),
+        (t0 + 0.4, "kernel.finished",
+         {"job_id": job_id, "seq": 0, "holder": job_id}),
+        (t0 + 0.5, "sched.tenure_end", {"job_id": job_id}),
+        (t0 + 0.6, "session.finished", {"job_id": job_id}),
+        (t0 + 0.7, "request.finished", {"job_id": job_id, "status": "ok"}),
+    )
+
+
+class TestSpanBasics:
+    def test_duration_and_close(self):
+        span = Span(span_id="x", kind="request", name="x", start=1.0)
+        assert span.duration is None and span.status == "open"
+        span.close(3.5)
+        assert span.duration == 2.5 and span.status == "ok"
+
+    def test_to_dict_round_trips_attrs(self):
+        span = Span(
+            span_id="x", kind="kernel", name="x", start=0.0,
+            attrs={"node_id": 3},
+        )
+        doc = span.to_dict()
+        assert doc["span_id"] == "x"
+        assert doc["attrs"] == {"node_id": 3}
+        # The export is a copy: mutating it leaves the span alone.
+        doc["attrs"]["node_id"] = 99
+        assert span.attrs["node_id"] == 3
+
+
+class TestLifecycleTree:
+    def test_full_request_builds_nested_tree(self):
+        tracer = SpanTracer()
+        request_lifecycle(tracer)
+        assert tracer.open_count == 0
+        tree = tracer.request_tree(JOB)
+        assert tree["span_id"] == f"req:{JOB}"
+        (session,) = tree["children"]
+        assert session["span_id"] == f"sess:{JOB}"
+        (tenure,) = session["children"]
+        assert tenure["span_id"] == f"tenure:{JOB}#0"
+        (kernel,) = tenure["children"]
+        assert kernel["span_id"] == f"kern:{JOB}#0"
+        assert kernel["children"] == []
+
+    def test_tenure_ordinals_increment_per_job(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "session.started", {"job_id": JOB}),
+            (0.1, "sched.tenure_begin", {"job_id": JOB}),
+            (0.2, "sched.tenure_end", {"job_id": JOB}),
+            (0.3, "sched.tenure_begin", {"job_id": JOB}),
+            (0.4, "sched.tenure_end", {"job_id": JOB}),
+            # A different job keeps its own counter.
+            (0.5, "sched.tenure_begin", {"job_id": "c1/b0"}),
+            (0.6, "sched.tenure_end", {"job_id": "c1/b0"}),
+        )
+        ids = [span.span_id for span in tracer.spans_of_kind("tenure")]
+        assert ids == [
+            f"tenure:{JOB}#0", f"tenure:{JOB}#1", "tenure:c1/b0#0",
+        ]
+
+    def test_kernel_parents_to_open_tenure(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "session.started", {"job_id": JOB}),
+            (0.1, "sched.tenure_begin", {"job_id": JOB}),
+            (0.2, "kernel.submitted", {"job_id": JOB, "seq": 4}),
+            (0.3, "kernel.finished", {"job_id": JOB, "seq": 4}),
+        )
+        (kernel,) = tracer.spans_of_kind("kernel")
+        assert kernel.parent_id == f"tenure:{JOB}#0"
+
+    def test_kernel_falls_back_to_session_then_none(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "session.started", {"job_id": JOB}),
+            # No tenure open: session is the parent.
+            (0.1, "kernel.submitted", {"job_id": JOB, "seq": 0}),
+            (0.2, "kernel.finished", {"job_id": JOB, "seq": 0}),
+            # No session either: orphan kernel.
+            (0.3, "kernel.submitted", {"job_id": "ghost", "seq": 0}),
+            (0.4, "kernel.finished", {"job_id": "ghost", "seq": 0}),
+        )
+        kernels = tracer.spans_of_kind("kernel")
+        assert kernels[0].parent_id == f"sess:{JOB}"
+        assert kernels[1].parent_id is None
+
+    def test_overflow_kernel_marked(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "kernel.submitted", {"job_id": JOB, "seq": 0}),
+            # Finishes while another job holds the token: overflow.
+            (0.1, "kernel.finished",
+             {"job_id": JOB, "seq": 0, "holder": "c9/b9"}),
+            (0.2, "kernel.submitted", {"job_id": JOB, "seq": 1}),
+            (0.3, "kernel.finished",
+             {"job_id": JOB, "seq": 1, "holder": JOB}),
+        )
+        first, second = tracer.spans_of_kind("kernel")
+        assert first.attrs.get("overflow") is True
+        assert "overflow" not in second.attrs
+
+    def test_kernel_rejected_closes_with_status(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "kernel.submitted", {"job_id": JOB, "seq": 0}),
+            (0.1, "kernel.rejected", {"job_id": JOB, "seq": 0}),
+        )
+        (kernel,) = tracer.spans_of_kind("kernel")
+        assert kernel.status == "rejected"
+
+    def test_kernel_started_records_exec_start(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "kernel.submitted", {"job_id": JOB, "seq": 0}),
+            (0.25, "kernel.started", {"job_id": JOB, "seq": 0}),
+            (0.5, "kernel.finished", {"job_id": JOB, "seq": 0}),
+        )
+        (kernel,) = tracer.spans_of_kind("kernel")
+        assert kernel.attrs["exec_start"] == 0.25
+
+    def test_session_finish_closes_dangling_tenure(self):
+        # A deregistering job's open tenure is closed by the session end.
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "session.started", {"job_id": JOB}),
+            (0.1, "sched.tenure_begin", {"job_id": JOB}),
+            (0.5, "session.finished", {"job_id": JOB}),
+        )
+        assert tracer.open_count == 0
+        (tenure,) = tracer.spans_of_kind("tenure")
+        assert tenure.end == 0.5
+
+
+class TestBatchingSpans:
+    def test_queue_spans_reparented_and_batch_backdated(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "batch.enqueued", {"request_id": "r1", "queue_length": 1}),
+            (0.2, "batch.enqueued", {"request_id": "r2", "queue_length": 2}),
+            (0.5, "batch.dispatched",
+             {"batch_id": "m#0", "size": 2, "oldest_arrival": 0.0,
+              "request_ids": ["r1", "r2"]}),
+        )
+        queues = tracer.spans_of_kind("queue")
+        assert [span.span_id for span in queues] == ["bq:r1", "bq:r2"]
+        assert all(span.parent_id == "batch:m#0" for span in queues)
+        assert all(span.end == 0.5 for span in queues)
+        batch = tracer.open_span("batch:m#0")
+        # The batch span covers the whole wait, not just the dispatch.
+        assert batch is not None and batch.start == 0.0
+
+    def test_request_parents_to_batch_span(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.5, "batch.dispatched",
+             {"batch_id": "m#0", "size": 1, "request_ids": []}),
+            (0.5, "request.submitted",
+             {"job_id": JOB, "batch_span": "batch:m#0"}),
+            (0.9, "request.finished", {"job_id": JOB}),
+        )
+        (request,) = tracer.spans_of_kind("request")
+        assert request.parent_id == "batch:m#0"
+
+
+class TestBookkeeping:
+    def test_close_all_truncates_open_spans(self):
+        tracer = SpanTracer()
+        feed(
+            tracer,
+            (0.0, "session.started", {"job_id": JOB}),
+            (0.1, "sched.tenure_begin", {"job_id": JOB}),
+        )
+        assert tracer.open_count == 2
+        tracer.close_all(end=1.0)
+        assert tracer.open_count == 0
+        assert {span.status for span in tracer.finished} == {"truncated"}
+        assert {span.end for span in tracer.finished} == {1.0}
+
+    def test_spans_started_counts_every_begin(self):
+        tracer = SpanTracer()
+        request_lifecycle(tracer)
+        # req + sess + tenure + kern.
+        assert tracer.spans_started == 4
+        assert len(tracer.finished) == 4
+
+    def test_request_tree_unknown_job_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(KeyError, match="ghost"):
+            tracer.request_tree("ghost")
+
+    def test_unknown_kind_ignored(self):
+        tracer = SpanTracer()
+        tracer.on_event(
+            TelemetryEvent(
+                time=0.0, kind="monitor.drift", component="monitor",
+                attrs={},
+            )
+        )
+        assert tracer.spans_started == 0
+
+    def test_to_dicts_preserves_close_order(self):
+        tracer = SpanTracer()
+        request_lifecycle(tracer)
+        ids = [doc["span_id"] for doc in tracer.to_dicts()]
+        assert ids == [
+            f"kern:{JOB}#0",
+            f"tenure:{JOB}#0",
+            f"sess:{JOB}",
+            f"req:{JOB}",
+        ]

@@ -1,0 +1,87 @@
+"""``repro top`` rendering: pure frames from pipeline state."""
+
+import io
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.telemetry.top import TopView, _bar, render_frame
+from repro.workloads import homogeneous_workload
+
+FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
+SPECS = homogeneous_workload(num_clients=2, num_batches=2)
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert _bar(0.0, width=4) == "...."
+        assert _bar(1.0, width=4) == "####"
+        assert _bar(0.5, width=4) == "##.."
+
+    def test_out_of_range_clamped(self):
+        assert _bar(-1.0, width=4) == "...."
+        assert _bar(2.0, width=4) == "####"
+
+
+class TestRenderFrame:
+    def test_detached_frame_renders(self):
+        # A bare pipeline (never attached): every counter reads zero.
+        telemetry = Telemetry(TelemetryConfig(verbosity="metrics"))
+        snapshot = telemetry.take_snapshot()
+        frame = render_frame(snapshot, telemetry, width=60)
+        lines = frame.splitlines()
+        assert lines[0] == "=" * 60
+        assert "repro top" in frame
+        assert "active jobs=0" in frame
+        assert "GPU util" in frame
+        # No tenures yet: the share table is omitted entirely.
+        assert "tenure share" not in frame
+
+
+class TestLiveView:
+    @pytest.fixture(scope="class")
+    def run_and_view(self):
+        view = TopView(stream=None, width=64)
+        result = run_workload(
+            SPECS,
+            scheduler="fair",
+            config=FAST,
+            telemetry=TelemetryConfig(
+                verbosity="metrics", snapshot_period=0.02
+            ),
+            on_snapshot=view.on_snapshot,
+        )
+        return result, view
+
+    def test_one_frame_per_mid_run_snapshot(self, run_and_view):
+        result, view = run_and_view
+        # finalize()'s snapshot fires the callback too.
+        assert len(view.frames) == len(result.telemetry.snapshots)
+        assert len(view.frames) > 1
+
+    def test_final_frame_shows_finished_counters(self, run_and_view):
+        result, view = run_and_view
+        final = view.frames[-1]
+        assert "req 4/4 done" in final
+        assert "tenure share by model" in final
+        assert SPECS[0].model in final
+
+    def test_frames_respect_width(self, run_and_view):
+        _, view = run_and_view
+        for frame in view.frames:
+            assert frame.splitlines()[0] == "=" * 64
+
+    def test_stream_receives_frames_as_written(self):
+        stream = io.StringIO()
+        view = TopView(stream=stream, width=40)
+        telemetry = Telemetry(TelemetryConfig(verbosity="metrics"))
+        view.on_snapshot(telemetry.take_snapshot(), telemetry)
+        assert stream.getvalue() == view.frames[0] + "\n"
+
+    def test_max_frames_caps_collection(self):
+        view = TopView(max_frames=2)
+        telemetry = Telemetry(TelemetryConfig(verbosity="metrics"))
+        for _ in range(5):
+            view.on_snapshot(telemetry.take_snapshot(), telemetry)
+        assert len(view.frames) == 2

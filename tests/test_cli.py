@@ -93,6 +93,129 @@ class TestServe:
         assert "tf-serving" in capsys.readouterr().out
 
 
+class TestServeTelemetry:
+    def test_telemetry_flag_prints_rollup(self, capsys):
+        code = main([
+            "serve", "--clients", "2", "--batches", "1",
+            "--scale", "0.02", "--quantum", "0.0008",
+            "--telemetry", "metrics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        assert "events =" in out and "decisions =" in out
+
+    def test_metrics_out_writes_prometheus(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main([
+            "serve", "--clients", "2", "--batches", "1",
+            "--scale", "0.02", "--quantum", "0.0008",
+            "--telemetry", "metrics", "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE requests_submitted_total counter" in text
+        assert "sched_decisions_total" in text
+
+    def test_monitor_reports_drift_summary(self, capsys):
+        code = main([
+            "serve", "--clients", "2", "--batches", "1",
+            "--scale", "0.02", "--quantum", "0.0008", "--monitor",
+        ])
+        assert code == 0
+        assert "drift" in capsys.readouterr().out
+
+    def test_monitor_rejected_for_baseline(self, capsys):
+        code = main([
+            "serve", "--scheduler", "tf-serving", "--clients", "2",
+            "--batches", "1", "--scale", "0.02", "--monitor",
+        ])
+        assert code == 2
+        assert "Olympian" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_writes_validated_artefacts(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        spans_path = tmp_path / "spans.json"
+        code = main([
+            "trace", "--workload", "homogeneous",
+            "--clients", "2", "--batches", "1", "--scale", "0.02",
+            "--out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--spans-out", str(spans_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+
+        import json
+
+        from repro.telemetry.schema import (
+            validate_chrome_trace,
+            validate_metrics_document,
+            validate_spans_document,
+        )
+
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        # Flow arrows are always on for `repro trace`.
+        assert any(e["ph"] == "s" for e in trace["traceEvents"])
+        assert validate_metrics_document(
+            json.loads(metrics_path.read_text())
+        ) == []
+        spans = json.loads(spans_path.read_text())
+        assert validate_spans_document(spans) == []
+        assert any(s["kind"] == "tenure" for s in spans)
+
+    def test_trace_prometheus_suffix_switches_format(self, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main([
+            "trace", "--workload", "homogeneous",
+            "--clients", "2", "--batches", "1", "--scale", "0.02",
+            "--out", str(tmp_path / "trace.json"),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        assert metrics_path.read_text().startswith("# ")
+
+
+class TestTop:
+    def test_top_streams_frames(self, capsys):
+        code = main([
+            "top", "--workload", "homogeneous",
+            "--clients", "2", "--batches", "1", "--scale", "0.02",
+            "--interval", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top") >= 2  # several frames streamed
+        assert "tenure share by model" in out
+        assert "run complete:" in out
+
+    def test_top_follow_replays_with_ansi(self, capsys):
+        code = main([
+            "top", "--workload", "homogeneous",
+            "--clients", "2", "--batches", "1", "--scale", "0.02",
+            "--interval", "0.02", "--follow", "--delay", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "\x1b[H" in out  # in-place redraw
+        assert "repro top" in out
+
+    def test_top_frames_cap(self, capsys):
+        code = main([
+            "top", "--workload", "homogeneous",
+            "--clients", "2", "--batches", "1", "--scale", "0.02",
+            "--interval", "0.02", "--frames", "1",
+        ])
+        assert code == 0
+        # One mid-run frame plus the end-of-run summary frame.
+        assert capsys.readouterr().out.count("repro top") == 2
+
+
 class TestReproduce:
     def test_list_artefacts(self, capsys):
         assert main(["reproduce", "list"]) == 0
