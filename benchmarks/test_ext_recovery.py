@@ -1,0 +1,40 @@
+"""Extension: goodput under a device-crash storm with failover recovery.
+
+The same four-crash storm (plus kernel crashes on one client) hits
+three systems.  Stock TF-Serving has no retries and no failover: every
+batch burned inside a crash reject-window is simply lost.  Fair
+sharing with client retries recovers most batches by re-executing them
+from the client after backoff.  Fair sharing with the RecoveryManager
+attached replays crashed jobs server-side from the session start —
+every accepted batch completes, and goodput beats the retry-only
+configuration because failover skips the client-side backoff waits.
+"""
+
+from repro.experiments import recovery_goodput
+from benchmarks.conftest import run_once
+
+
+def test_ext_recovery(benchmark, record_report):
+    result = run_once(benchmark, recovery_goodput)
+    record_report("ext_recovery", result.report())
+    total = result.total_batches
+    # Every client loop terminated in every system (no stuck sims).
+    assert all(result.completed.values())
+    # Recovery completes every accepted batch; nothing is stranded and
+    # no supervision leaks.
+    assert result.successful["fair+recovery"] == total
+    assert result.stranded["fair+recovery"] == 0
+    assert result.unterminated["fair+recovery"] == 0
+    assert result.failovers["fair+recovery"] > 0
+    # Retry-only fair sharing loses at least one batch to the storm,
+    # and recovery's goodput is no worse.
+    assert result.successful["fair"] < total
+    assert result.goodput("fair+recovery") > result.goodput("fair")
+    # Stock TF-Serving loses batches wholesale: no backoff means the
+    # client rapid-fires its batches into the crash reject-windows.
+    assert result.successful["tf-serving"] < result.successful["fair"]
+    assert result.failovers["tf-serving"] == 0
+    # The whole comparison is deterministic end to end.
+    again = recovery_goodput()
+    assert again.successful == result.successful
+    assert again.makespans == result.makespans

@@ -10,6 +10,10 @@ Four commands cover the operator workflow of Figure 7:
   fault plan (``--fault-plan``/``--fault-seed``).
 * ``repro faults`` — generate, inspect, or persist deterministic
   fault-injection plans (see :mod:`repro.faults`).
+* ``repro chaos`` — run a seeded chaos campaign: random fault storms
+  (including device crashes) against every scheduler kind with failure
+  recovery attached, asserting the recovery SLAs on each run; exits
+  nonzero on any violation (see :mod:`repro.experiments.chaos`).
 * ``repro lint`` — the determinism & concurrency static-analysis gate
   (see :mod:`repro.lint`); exits nonzero on findings.
 * ``repro reproduce`` — regenerate paper tables/figures, optionally
@@ -261,6 +265,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments import ChaosConfig, run_chaos_campaign
+
+    if args.quick:
+        config = ChaosConfig.quick(seed=args.seed)
+    else:
+        config = ChaosConfig(seed=args.seed)
+    result = run_chaos_campaign(config)
+    print(result.report())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"wrote campaign report to {args.out}")
+    return 0 if result.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -347,6 +367,7 @@ def _artefacts() -> Dict[str, Callable[[], object]]:
         "ext-energy": ex.energy_comparison,
         "ext-slo": ex.slo_attainment,
         "ext-faults": ex.fault_tolerance,
+        "ext-recovery": ex.recovery_goodput,
     }
 
 
@@ -640,7 +661,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument(
         "--kinds", default="kernel_crash",
-        help="comma-separated kinds: kernel_crash,device_hang,oom",
+        help="comma-separated kinds: "
+             "kernel_crash,device_hang,oom,device_crash",
     )
     faults.add_argument("--num-faults", type=int, default=3)
     faults.add_argument(
@@ -648,6 +670,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="latest device_hang start time (simulated seconds)",
     )
     faults.add_argument("--out", default=None, help="save the plan as JSON")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign against every scheduler kind",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: one trial per kind, shorter workload",
+    )
+    chaos.add_argument(
+        "--out", default=None,
+        help="write the full campaign record (runs + digest) as JSON",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -803,6 +839,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "faults": _cmd_faults,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,

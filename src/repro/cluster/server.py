@@ -78,6 +78,10 @@ class MultiGpuServer:
                     server.scheduler = scheduler
             self.workers.append(GpuWorker(index, server))
         self._job_worker: Dict[str, GpuWorker] = {}
+        # Parity with ModelServer's optional seams: Telemetry.attach and
+        # RecoveryManager.attach set these; None = feature off.
+        self.telemetry = None
+        self.recovery = None
 
     @property
     def num_gpus(self) -> int:
@@ -116,11 +120,41 @@ class MultiGpuServer:
         )
 
     def submit(self, job: Job) -> Event:
-        """Route the job to a GPU and start serving it there."""
-        worker = self.placement.choose(self.workers, job)
+        """Route the job to a GPU and start serving it there.
+
+        With a :class:`~repro.recovery.RecoveryManager` attached the
+        job is supervised (the cluster front handles admission; worker
+        servers stay plain), so crashes on one worker fail over to a
+        surviving one.
+        """
+        if self.recovery is not None:
+            return self.recovery.supervise(self, job)
+        return self._submit(job)
+
+    def _submit(self, job: Job) -> Event:
+        """Place one attempt, preferring workers whose device is up."""
+        candidates = self.healthy_workers() or self.workers
+        worker = self.placement.choose(candidates, job)
         worker.jobs_routed += 1
         self._job_worker[job.job_id] = worker
         return worker.server.submit(job)
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a job wherever it was placed.
+
+        Mirrors :meth:`ModelServer.cancel` (deadline-missed jobs on a
+        cluster previously could not be cancelled at all).  Returns
+        False for unknown or already-terminal jobs.
+        """
+        if self.recovery is not None:
+            return self.recovery.cancel(job)
+        return self._cancel(job)
+
+    def _cancel(self, job: Job) -> bool:
+        worker = self._job_worker.get(job.job_id)
+        if worker is None:
+            return False
+        return worker.server.cancel(job)
 
     def gpu_duration_of(self, job: Job) -> float:
         worker = self._job_worker.get(job.job_id)
@@ -134,6 +168,30 @@ class MultiGpuServer:
 
     def worker_of(self, job: Job) -> Optional[GpuWorker]:
         return self._job_worker.get(job.job_id)
+
+    def healthy_workers(self) -> List[GpuWorker]:
+        """Workers whose device is currently serving (not crashed)."""
+        return [
+            worker for worker in self.workers if not worker.server.device.down
+        ]
+
+    def crash_worker(
+        self, index: int, reset_latency: Optional[float] = None
+    ) -> int:
+        """Crash one worker's GPU; returns the kernels flushed there."""
+        return self.workers[index].server.crash_device(reset_latency)
+
+    @property
+    def completed_jobs(self) -> List[Job]:
+        """All finished jobs across workers (ModelServer parity)."""
+        jobs: List[Job] = []
+        for worker in self.workers:
+            jobs.extend(worker.server.completed_jobs)
+        return jobs
+
+    @property
+    def device_crashes(self) -> int:
+        return sum(worker.server.device_crashes for worker in self.workers)
 
     def utilization(self, window_start: float, window_end: float) -> float:
         """Mean busy fraction across all devices."""

@@ -221,6 +221,24 @@ class GangScheduler(SchedulerHook):
         if self.invariants is not None:
             self.invariants.after_deregister(self, job)
 
+    def rollback(self, job: Job) -> float:
+        """Failure recovery: discard a dead attempt's cost residue.
+
+        Called by :mod:`repro.recovery` after a device crash killed
+        ``job``, before its replacement attempt is submitted.  The
+        live accumulator is zeroed (the replayed attempt re-executes
+        from the session start, so carrying the dead attempt's partial
+        charges would bill the client twice for the same nodes) and the
+        invariant checker is told to close the attempt's books — this
+        is what "no fairness accumulator leaks across a reset" means
+        operationally.  Returns the residue dropped.
+        """
+        residue = job.cumulated_cost
+        job.cumulated_cost = 0.0
+        if self.invariants is not None:
+            self.invariants.after_rollback(self, job, residue)
+        return residue
+
     def needs_yield(self, job: Job) -> bool:
         """A gang thread must park iff its job does not hold the token.
 

@@ -1,0 +1,331 @@
+"""Seeded chaos campaigns: random fault storms vs the recovery SLAs.
+
+A *campaign* sweeps every scheduler kind with ``trials`` independent,
+seed-derived fault plans each (``derive_seed(seed, "chaos:<kind>:<n>")``
+namespacing — trial plans never collide across kinds or seeds), runs
+each workload with failure recovery attached and the PR-1 invariant
+checker armed, and asserts the recovery SLAs on every run:
+
+* every client loop terminates (no stuck simulation, no lost wakeup);
+* every accepted job's supervision reaches a terminal outcome
+  (``RecoveryManager.unterminated()`` is empty);
+* the scheduler ends clean — no token holder, no registered jobs, no
+  fairness-accumulator leak across device resets (the rollback path);
+* no :class:`~repro.faults.InvariantViolation` fired mid-run.
+
+Campaigns are deterministic end to end: one seed fixes every fault
+plan, every simulated decision, and therefore the campaign *digest* —
+a SHA-256 over the canonical JSON of all run records.  Re-running a
+seed must reproduce the digest byte-for-byte (the chaos determinism
+property suite and the CI ``chaos-smoke`` job both assert this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    InvariantChecker,
+    InvariantViolation,
+    set_default_invariant_factory,
+)
+from ..recovery import BreakerConfig, BrownoutConfig, RecoveryConfig
+from ..serving.failures import RetryPolicy
+from ..sim.rng import derive_seed
+from ..telemetry import TelemetryConfig
+from ..workloads.scenarios import homogeneous_workload
+from .runner import DEFAULT_SCALE, SCHEDULER_KINDS, ExperimentConfig, run_workload
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosRun",
+    "ChaosCampaignResult",
+    "run_chaos_campaign",
+]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One campaign's knobs.
+
+    ``trials`` independent fault plans are generated per scheduler
+    kind; each plan draws ``num_faults`` faults of random kinds from
+    ``fault_kinds`` at random times within ``horizon``.
+    """
+
+    seed: int = 0
+    trials: int = 2
+    scheduler_kinds: Tuple[str, ...] = SCHEDULER_KINDS
+    fault_kinds: Tuple[str, ...] = FAULT_KINDS
+    num_faults: int = 4
+    horizon: float = 0.3
+    num_clients: int = 4
+    num_batches: int = 3
+    batch_size: int = 100
+    scale: float = DEFAULT_SCALE
+    quantum: float = 1.2e-3
+    # Small limits so brownout shedding actually exercises under the
+    # default 4-client closed loop.
+    max_active: int = 2
+    max_pending: int = 1
+    max_failovers: int = 6
+    retry_attempts: int = 6
+    telemetry: bool = False
+
+    def __post_init__(self):
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1: {self.trials}")
+        for kind in self.scheduler_kinds:
+            if kind not in SCHEDULER_KINDS:
+                raise ValueError(f"unknown scheduler kind {kind!r}")
+        for kind in self.fault_kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+
+    @classmethod
+    def quick(cls, seed: int = 0, **overrides: Any) -> "ChaosConfig":
+        """The CI smoke shape: one trial per kind, shorter workload."""
+        overrides.setdefault("trials", 1)
+        overrides.setdefault("num_batches", 2)
+        overrides.setdefault("num_faults", 3)
+        return cls(seed=seed, **overrides)
+
+    def recovery_config(self) -> RecoveryConfig:
+        return RecoveryConfig(
+            failover=True,
+            max_failovers=self.max_failovers,
+            breaker=BreakerConfig(),
+            brownout=BrownoutConfig(
+                max_active=self.max_active, max_pending=self.max_pending
+            ),
+        )
+
+
+@dataclass
+class ChaosRun:
+    """Record of one (scheduler kind, trial) run — all sim-derived."""
+
+    scheduler: str
+    trial: int
+    plan: Dict[str, Any]
+    digest: Optional[str]
+    recovery: Optional[Dict[str, Any]]
+    faults_injected: int
+    retries: int
+    failed_batches: int
+    makespan: Optional[float]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "trial": self.trial,
+            "plan": self.plan,
+            "digest": self.digest,
+            "recovery": self.recovery,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "failed_batches": self.failed_batches,
+            "makespan": self.makespan,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ChaosCampaignResult:
+    """A completed campaign: per-run records plus the campaign digest."""
+
+    config: ChaosConfig
+    runs: List[ChaosRun]
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for run in self.runs:
+            out.extend(
+                f"{run.scheduler}/trial{run.trial}: {violation}"
+                for violation in run.violations
+            )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def campaign_digest(self) -> str:
+        """SHA-256 over the canonical JSON of every run record."""
+        payload = json.dumps(
+            [run.to_dict() for run in self.runs],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.config.seed,
+            "trials": self.config.trials,
+            "scheduler_kinds": list(self.config.scheduler_kinds),
+            "fault_kinds": list(self.config.fault_kinds),
+            "runs": [run.to_dict() for run in self.runs],
+            "violations": self.violations,
+            "ok": self.ok,
+            "campaign_digest": self.campaign_digest(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def report(self) -> str:
+        lines = [
+            f"chaos campaign  seed={self.config.seed}  "
+            f"{len(self.runs)} runs "
+            f"({len(self.config.scheduler_kinds)} scheduler kinds x "
+            f"{self.config.trials} trials)"
+        ]
+        for run in self.runs:
+            recovery = run.recovery or {}
+            status = "ok" if run.ok else "VIOLATED"
+            lines.append(
+                f"  {run.scheduler:<10s} trial {run.trial}: {status}  "
+                f"faults={run.faults_injected} "
+                f"failovers={recovery.get('failovers', 0)} "
+                f"sheds={recovery.get('sheds', 0)} "
+                f"retries={run.retries} "
+                f"failed_batches={run.failed_batches}"
+            )
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        lines.append(f"campaign digest: {self.campaign_digest()}")
+        return "\n".join(lines)
+
+
+def _run_one(config: ChaosConfig, kind: str, trial: int) -> ChaosRun:
+    plan_seed = derive_seed(config.seed, f"chaos:{kind}:{trial}")
+    client_ids = [f"c{i}" for i in range(config.num_clients)]
+    plan = FaultPlan.generate(
+        plan_seed,
+        client_ids=client_ids,
+        kinds=config.fault_kinds,
+        num_faults=config.num_faults,
+        horizon=config.horizon,
+    )
+    specs = homogeneous_workload(
+        num_clients=config.num_clients,
+        num_batches=config.num_batches,
+        batch_size=config.batch_size,
+    )
+    experiment = ExperimentConfig(
+        scale=config.scale,
+        seed=derive_seed(config.seed, f"chaos-run:{kind}:{trial}"),
+        quantum=config.quantum,
+    )
+    violations: List[str] = []
+    try:
+        run = run_workload(
+            specs,
+            scheduler=kind,
+            config=experiment,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(
+                max_attempts=config.retry_attempts, base_delay=2e-4
+            ),
+            recovery=config.recovery_config(),
+            telemetry=TelemetryConfig() if config.telemetry else None,
+            require_completion=False,
+        )
+    except InvariantViolation as exc:
+        return ChaosRun(
+            scheduler=kind,
+            trial=trial,
+            plan=plan.to_dict(),
+            digest=None,
+            recovery=None,
+            faults_injected=0,
+            retries=0,
+            failed_batches=0,
+            makespan=None,
+            violations=[f"invariant violated: {exc}"],
+        )
+
+    # --- SLA 1: every client loop terminated ---
+    for client in run.clients:
+        if not client.completed:
+            violations.append(
+                f"client {client.client_id!r} never finished "
+                f"(failure={client.failure!r})"
+            )
+    # --- SLA 2: every accepted job's supervision terminated ---
+    manager = run.recovery
+    report = manager.report()
+    if report["unterminated"]:
+        violations.append(
+            f"unterminated supervisions: {report['unterminated']}"
+        )
+    leaks = manager.rolled_back_leaks()
+    if leaks:
+        violations.append(f"rollback accumulator leaks: {leaks}")
+    # --- SLA 3: the serving stack ended clean ---
+    if run.server.active_jobs != 0:
+        violations.append(
+            f"server still has {run.server.active_jobs} active job(s)"
+        )
+    scheduler = run.scheduler
+    if scheduler is not None:
+        if scheduler.holder is not None:
+            violations.append(
+                f"scheduler still holds the token for "
+                f"{scheduler.holder.job_id!r}"
+            )
+        leftover = [job.job_id for job in scheduler.policy.active_jobs]
+        if leftover:
+            violations.append(f"scheduler still tracks jobs: {leftover}")
+
+    return ChaosRun(
+        scheduler=kind,
+        trial=trial,
+        plan=plan.to_dict(),
+        digest=run.trace_digest(),
+        recovery=report,
+        faults_injected=run.faults_injected,
+        retries=run.total_retries,
+        failed_batches=run.total_failed_batches,
+        # Workload-derived, not sim.now: background processes (e.g.
+        # telemetry snapshots) may keep the clock ticking after the
+        # last client finishes, and makespan must be digest-neutral.
+        makespan=max(
+            (
+                client.finished_at
+                for client in run.clients
+                if client.finished_at is not None
+            ),
+            default=None,
+        ),
+        violations=violations,
+    )
+
+
+def run_chaos_campaign(
+    config: Optional[ChaosConfig] = None,
+) -> ChaosCampaignResult:
+    """Run a full campaign with the invariant checker armed throughout."""
+    config = config or ChaosConfig()
+    previous = set_default_invariant_factory(InvariantChecker)
+    try:
+        runs = [
+            _run_one(config, kind, trial)
+            for kind in config.scheduler_kinds
+            for trial in range(config.trials)
+        ]
+    finally:
+        set_default_invariant_factory(previous)
+    return ChaosCampaignResult(config=config, runs=runs)

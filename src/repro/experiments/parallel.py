@@ -79,7 +79,9 @@ def _run_artefact(name: str) -> TrialOutcome:
     try:
         result = _artefacts()[name]()
         return TrialOutcome(name=name, report=result.report())
-    except Exception as exc:  # surfaced to the parent, not swallowed
+    # Worker-side catch-all: the failure crosses the process boundary
+    # as TrialOutcome.error and is re-surfaced by the parent.
+    except Exception as exc:  # lint: disable=ROB001
         return TrialOutcome(
             name=name, report="", error=f"{type(exc).__name__}: {exc}"
         )
@@ -112,7 +114,8 @@ def _run_trial(payload) -> TrialOutcome:
             report=finish,
             digest=result.trace_digest(),
         )
-    except Exception as exc:
+    # Same contract as _run_artefact: errors travel via TrialOutcome.
+    except Exception as exc:  # lint: disable=ROB001
         return TrialOutcome(
             name=f"trial-{index}", report="",
             error=f"{type(exc).__name__}: {exc}",

@@ -45,6 +45,7 @@ from ..faults.plan import FaultPlan
 from ..graph.graph import Graph
 from ..gpu.specs import GTX_1080_TI, GpuSpec
 from ..metrics import collectors
+from ..recovery import RecoveryConfig, RecoveryManager
 from ..serving.client import Client
 from ..serving.failures import RetryPolicy
 from ..serving.server import ModelServer, ServerConfig
@@ -128,6 +129,10 @@ class ExperimentConfig:
     # observational: trace_digest is bit-identical either way (the
     # telemetry property suite enforces this).
     telemetry: Optional[TelemetryConfig] = None
+    # Failure recovery (repro.recovery); None = off.  With recovery off
+    # the submit path is byte-for-byte the pre-recovery one, so clean
+    # runs keep their digests.
+    recovery: Optional[RecoveryConfig] = None
 
 
 def get_graph(model: str, scale: float, graph_seed: int) -> Graph:
@@ -267,6 +272,7 @@ class ExperimentResult:
     # Telemetry.finalize() rollup, merged into bench/reproduce reports.
     telemetry_rollup: Optional[Dict[str, object]] = None
     monitor: Optional[QuantumMonitor] = None
+    recovery: Optional[RecoveryManager] = None
 
     # ------------------------------------------------------------------
     # Metric accessors (paper quantities)
@@ -332,7 +338,13 @@ class ExperimentResult:
             self.injector.kernels_crashed
             + self.injector.ooms_injected
             + self.injector.hangs_injected
+            + self.injector.devices_crashed
         )
+
+    def recovery_report(self) -> Optional[Dict[str, object]]:
+        if self.recovery is None:
+            return None
+        return self.recovery.report()
 
     @property
     def total_failed_batches(self) -> int:
@@ -355,6 +367,7 @@ def run_workload(
     telemetry: Optional[TelemetryConfig] = None,
     monitor: bool = False,
     on_snapshot: Optional[Callable] = None,
+    recovery: Optional[RecoveryConfig] = None,
 ) -> ExperimentResult:
     """Run a workload under a scheduler kind and collect everything.
 
@@ -367,6 +380,11 @@ def run_workload(
     corresponding robustness behaviour.  With faults a client may lose
     batches, so ``require_completion`` then only demands the client
     *loops* finish, not that every batch succeeded.
+
+    ``recovery`` attaches a
+    :class:`~repro.recovery.RecoveryManager` (failover, circuit
+    breakers, brownout) so device crashes become recoverable instead of
+    lost batches.
     """
     config = config or ExperimentConfig()
     if scheduler not in SCHEDULER_KINDS:
@@ -395,6 +413,10 @@ def run_workload(
     if fault_plan is not None:
         injector = FaultInjector(fault_plan)
         injector.attach(server)
+    recovery_config = recovery if recovery is not None else config.recovery
+    manager = None
+    if recovery_config is not None:
+        manager = RecoveryManager(recovery_config).attach(server)
     telemetry_config = telemetry if telemetry is not None else config.telemetry
     pipeline = None
     if telemetry_config is not None:
@@ -465,4 +487,5 @@ def run_workload(
         telemetry=pipeline,
         telemetry_rollup=rollup,
         monitor=monitor_obj,
+        recovery=manager,
     )

@@ -1,13 +1,15 @@
 """Fault injection and robustness checking.
 
 Deterministic, seed-driven GPU fault injection (kernel launch
-failures, bounded device hangs, allocation OOMs) plus the always-on
-scheduler invariant checker.  See ``DESIGN.md`` ("Failure model") for
+failures, bounded device hangs, allocation OOMs, full device crashes
+with profiled reset latency) plus the always-on scheduler invariant
+checker.  See ``DESIGN.md`` ("Failure model") for
 the semantics and ``repro.serving.failures`` for the client-visible
 exception/retry vocabulary.
 """
 
 from .errors import (
+    DeviceCrashed,
     DeviceHang,
     GpuFault,
     InjectedOutOfMemory,
@@ -25,6 +27,7 @@ from .invariants import (
 from .determinism import trace_digest
 
 __all__ = [
+    "DeviceCrashed",
     "DeviceHang",
     "GpuFault",
     "InjectedOutOfMemory",

@@ -19,9 +19,16 @@ went wrong rather than string-matching messages.  The hierarchy:
   handler treats it identically.
 * :class:`JobEvicted` — the scheduler reclaimed the job's token
   (gang stall past the threshold, or explicit eviction).
+* :class:`DeviceCrashed` — the device crashed outright: queued and
+  future launches fail until the device finishes resetting.  Carries
+  ``retry_after`` (the remaining reset latency) as a backpressure hint
+  for :meth:`~repro.serving.failures.RetryPolicy.backoff_for` and the
+  failover logic in :mod:`repro.recovery`.
 """
 
 from __future__ import annotations
+
+from typing import Any, Optional
 
 from ..gpu.memory import GpuOutOfMemory
 
@@ -29,6 +36,7 @@ __all__ = [
     "GpuFault",
     "KernelLaunchFailure",
     "DeviceHang",
+    "DeviceCrashed",
     "InjectedOutOfMemory",
     "JobEvicted",
 ]
@@ -62,6 +70,23 @@ class DeviceHang(GpuFault):
     def __init__(self, duration: float):
         super().__init__(f"device hung for {duration:.6f} s")
         self.duration = duration
+
+
+class DeviceCrashed(GpuFault):
+    """The device crashed; launches fail until the reset completes.
+
+    ``retry_after`` is the remaining reset latency at failure time — a
+    backpressure hint: retrying sooner than that is guaranteed to hit
+    the same dead device.
+    """
+
+    def __init__(self, job_id: Optional[Any] = None, retry_after: float = 0.0):
+        who = f" (job {job_id!r})" if job_id is not None else ""
+        super().__init__(
+            f"device crashed{who}; resets in {max(retry_after, 0.0):.6f} s"
+        )
+        self.job_id = job_id
+        self.retry_after = max(retry_after, 0.0)
 
 
 class InjectedOutOfMemory(GpuOutOfMemory, GpuFault):

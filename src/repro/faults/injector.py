@@ -11,7 +11,12 @@
   servers running with memory tracking disabled) — ``oom`` faults
   raise :class:`~repro.faults.errors.InjectedOutOfMemory`;
 * a one-shot simulation process per ``device_hang`` fault that stalls
-  the device engine for the bounded interval.
+  the device engine for the bounded interval;
+* a one-shot simulation process per ``device_crash`` fault that calls
+  :meth:`~repro.serving.server.ModelServer.crash_device` — flushing
+  every queued kernel with
+  :class:`~repro.faults.errors.DeviceCrashed` and rejecting launches
+  until the profiled reset completes.
 
 Everything the injector does is driven by the declarative plan and the
 simulation clock — no wall-clock time, no unseeded randomness — so an
@@ -101,6 +106,11 @@ class FaultInjector:
                 self._hang_process(server, spec),
                 name=f"fault:hang@{spec.at:g}",
             )
+        for spec in self.plan.of_kind("device_crash"):
+            server.sim.process(
+                self._crash_process(server, spec),
+                name=f"fault:crash@{spec.at:g}",
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -146,6 +156,17 @@ class FaultInjector:
             InjectedFault(server.sim.now, "device_hang", spec.duration)
         )
 
+    def _crash_process(self, server: "ModelServer", spec: FaultSpec):
+        now = server.sim.now
+        if spec.at > now:
+            yield server.sim.timeout(spec.at - now)
+        # duration 0 means "use the GPU spec's profiled reset latency".
+        reset = spec.duration if spec.duration > 0 else None
+        flushed = server.crash_device(reset)
+        self.injected.append(
+            InjectedFault(server.sim.now, "device_crash", flushed)
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -161,3 +182,7 @@ class FaultInjector:
     @property
     def hangs_injected(self) -> int:
         return sum(1 for f in self.injected if f.kind == "device_hang")
+
+    @property
+    def devices_crashed(self) -> int:
+        return sum(1 for f in self.injected if f.kind == "device_crash")

@@ -78,6 +78,7 @@ class InvariantChecker(SchedulerHook):
         self.scheduler: Optional["GangScheduler"] = None
         self.decisions_checked = 0
         self.charges_checked = 0
+        self.rollbacks_checked = 0
         self.violations: List[str] = []
         self._charged: Dict[str, float] = {}
         self._consumed: Dict[str, float] = {}
@@ -205,6 +206,29 @@ class InvariantChecker(SchedulerHook):
             self._consumed.get(job.job_id, 0.0) + threshold
         )
         self._check_conservation(job)
+
+    def after_rollback(
+        self, scheduler: "GangScheduler", job: "Job", residue: float
+    ) -> None:
+        """Recovery discarded a dead attempt's accounting.
+
+        The attempt's books close here: its live accumulator was
+        zeroed by the scheduler, so the checker's charged/consumed
+        ledgers for that job id must be dropped too — the replayed
+        attempt runs under a fresh job id and starts from zero.  A
+        leak (books left behind) would trip the conservation check on
+        the *next* event naming this job id.
+        """
+        self.rollbacks_checked += 1
+        if job.cumulated_cost != 0.0:
+            self._violate(
+                f"rollback left job {job.job_id!r} with live "
+                f"cumulated_cost {job.cumulated_cost!r}"
+            )
+        self._charged.pop(job.job_id, None)
+        self._consumed.pop(job.job_id, None)
+        self._waits.pop(job.job_id, None)
+        self._wait_peak.pop(job.job_id, None)
 
     def after_deregister(self, scheduler: "GangScheduler", job: "Job") -> None:
         self._check_conservation(job)

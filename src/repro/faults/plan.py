@@ -25,6 +25,14 @@ into the simulated GPU stack):
     A memory allocation fails with
     :class:`~repro.faults.errors.InjectedOutOfMemory`.  Targeted by
     client and allocation ordinal.
+
+``device_crash``
+    The device crashes at ``at`` simulated seconds: every queued
+    kernel fails with :class:`~repro.faults.errors.DeviceCrashed` and
+    new launches are rejected until the reset completes ``duration``
+    seconds later (``duration`` 0 uses the GPU spec's profiled
+    ``reset_latency``).  Recovery semantics — failover, replay after
+    reset — live in :mod:`repro.recovery`.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from ..sim.rng import derive_seed
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
 
-FAULT_KINDS = ("kernel_crash", "device_hang", "oom")
+FAULT_KINDS = ("kernel_crash", "device_hang", "oom", "device_crash")
 
 
 @dataclass(frozen=True)
@@ -60,8 +68,10 @@ class FaultSpec:
         first ``after`` matching events, then fire on every
         ``every``-th one, at most ``count`` times (0 = unlimited).
     at / duration:
-        Timing for ``device_hang``: the stall begins at ``at``
-        simulated seconds and lasts ``duration`` seconds.
+        Timing for ``device_hang`` and ``device_crash``: the stall or
+        outage begins at ``at`` simulated seconds and lasts
+        ``duration`` seconds.  For ``device_crash`` a ``duration`` of
+        0 means "use the GPU spec's profiled reset latency".
     """
 
     kind: str
@@ -90,6 +100,13 @@ class FaultSpec:
                 )
             if self.at < 0:
                 raise ValueError(f"device_hang time must be >= 0: {self.at}")
+        if self.kind == "device_crash":
+            if self.duration < 0:
+                raise ValueError(
+                    f"device_crash reset latency must be >= 0: {self.duration}"
+                )
+            if self.at < 0:
+                raise ValueError(f"device_crash time must be >= 0: {self.at}")
 
     def matches(self, job_id: Any) -> bool:
         """Does this fault target ``job_id``?"""
@@ -152,12 +169,15 @@ class FaultPlan:
         num_faults: int = 1,
         horizon: float = 1.0,
         hang_duration: float = 5e-3,
+        reset_latency: float = 0.0,
     ) -> "FaultPlan":
         """Derive a deterministic plan from ``seed``.
 
         The same ``(seed, client_ids, kinds, num_faults, horizon)``
         always yields the same plan — a ``derive_seed``-namespaced
         stream drives every choice, in a fixed order.
+        ``reset_latency`` is the ``device_crash`` reset duration
+        (0 = the GPU spec's profiled value).
         """
         if not client_ids:
             raise ValueError("generate() needs at least one client id")
@@ -176,6 +196,14 @@ class FaultPlan:
                         kind="device_hang",
                         at=rng.uniform(0.0, horizon),
                         duration=hang_duration,
+                    )
+                )
+            elif kind == "device_crash":
+                faults.append(
+                    FaultSpec(
+                        kind="device_crash",
+                        at=rng.uniform(0.0, horizon),
+                        duration=reset_latency,
                     )
                 )
             else:
@@ -209,10 +237,22 @@ class FaultPlan:
             seed=data.get("seed"),
         )
 
+    def to_json(self) -> str:
+        """Canonical JSON form: sorted keys, 2-space indent.
+
+        Byte-identical for equal plans, so a generated campaign
+        round-trips exactly through :meth:`from_json` (asserted by the
+        chaos determinism suite).
+        """
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+            handle.write(self.to_json())
 
     @classmethod
     def load(cls, path: str) -> "FaultPlan":
@@ -230,6 +270,16 @@ class FaultPlan:
                 lines.append(
                     f"[{index}] device_hang at t={fault.at:.4f}s "
                     f"for {fault.duration:.4f}s"
+                )
+            elif fault.kind == "device_crash":
+                reset = (
+                    f"{fault.duration:.4f}s"
+                    if fault.duration > 0
+                    else "spec reset latency"
+                )
+                lines.append(
+                    f"[{index}] device_crash at t={fault.at:.4f}s "
+                    f"(reset after {reset})"
                 )
             else:
                 count = fault.count if fault.count else "unlimited"

@@ -59,6 +59,11 @@ class GpuDevice:
         self._hang_until = 0.0
         self.hangs_injected = 0
         self.hang_time = 0.0
+        # Device crash/reset: while ``down`` the engine is stalled (via
+        # the same mechanism as hangs) and the driver rejects launches.
+        self.down_until = 0.0
+        self.crashes = 0
+        self.outage_time = 0.0
         # Effective clock state for this device instance (thermal/boost
         # variation across runs, paper §4.4).
         if spec.clock_jitter > 0 and rng is not None:
@@ -97,6 +102,29 @@ class GpuDevice:
     def hung(self) -> bool:
         """True while an injected hang is blocking the engine."""
         return self.sim.now < self._hang_until
+
+    def begin_outage(self, duration: float) -> None:
+        """Mark the device down for ``duration`` simulated seconds.
+
+        Reuses the hang stall for the engine (no kernel starts during
+        the outage); the driver-side launch rejection is the caller's
+        job (see :meth:`~repro.serving.server.ModelServer.crash_device`).
+        Overlapping outages extend the window rather than stacking.
+        """
+        if duration <= 0:
+            raise ValueError(f"outage duration must be positive: {duration}")
+        until = self.sim.now + duration
+        if until > self._hang_until:
+            self._hang_until = until
+        if until > self.down_until:
+            self.outage_time += until - max(self.down_until, self.sim.now)
+            self.down_until = until
+        self.crashes += 1
+
+    @property
+    def down(self) -> bool:
+        """True from a crash until its reset completes."""
+        return self.sim.now < self.down_until
 
     def _run(self):
         # GpuSpec is frozen, so its fields hoist; clock_factor and

@@ -74,6 +74,11 @@ class Driver:
             Callable[[Any, int], Optional[BaseException]]
         ] = None
         self.failed_launches = 0
+        # Device-crash window: launches are rejected outright (the
+        # device is gone, not merely busy) until this simulated time.
+        self._reject_until = 0.0
+        self.crashes = 0
+        self.kernels_flushed = 0
         # Set by Telemetry.attach(); emission is observation-only.
         self.telemetry = None
 
@@ -115,6 +120,25 @@ class Driver:
                 seq=seq,
                 queue_depth=self._queued,
             )
+        if self.sim.now < self._reject_until:
+            # The device is down: reject at the driver boundary with the
+            # remaining reset latency as a backpressure hint.
+            from ..faults.errors import DeviceCrashed
+
+            self.failed_launches += 1
+            if telemetry is not None:
+                telemetry.emit(
+                    "kernel.rejected",
+                    "driver",
+                    job_id=job_id,
+                    node_id=node.node_id,
+                    seq=seq,
+                    reason="device_crashed",
+                )
+            kernel.done.fail(
+                DeviceCrashed(job_id, retry_after=self._reject_until - self.sim.now)
+            )
+            return kernel
         if self.launch_interceptor is not None:
             fault = self.launch_interceptor(job_id, node.node_id)
             if fault is not None:
@@ -146,6 +170,53 @@ class Driver:
             waiter, self._waiter = self._waiter, None
             waiter.succeed(self._pop())
         return kernel
+
+    # ------------------------------------------------------------------
+    # Device crash (fault injection / recovery)
+    # ------------------------------------------------------------------
+
+    def crash(self, reject_until: float) -> int:
+        """Device crash: fail every queued kernel, reject new launches.
+
+        All queued kernels fail with
+        :class:`~repro.faults.errors.DeviceCrashed` in stream-creation
+        (dict insertion) order — deterministic for a fixed run.  New
+        launches are rejected until ``reject_until`` (the reset
+        completion time).  The kernel currently executing on the device
+        is *not* failed: at the instant of the crash its work has
+        already retired from the queue, and the simulated engine
+        charges its full duration either way.  Returns the number of
+        kernels flushed.
+        """
+        from ..faults.errors import DeviceCrashed
+
+        self.crashes += 1
+        if reject_until > self._reject_until:
+            self._reject_until = reject_until
+        telemetry = self.telemetry
+        flushed = 0
+        for job_id, queue in self._queues.items():
+            while queue:
+                kernel = queue.popleft()
+                self._queued -= 1
+                self.failed_launches += 1
+                flushed += 1
+                if telemetry is not None:
+                    telemetry.emit(
+                        "kernel.rejected",
+                        "driver",
+                        job_id=job_id,
+                        node_id=kernel.node_id,
+                        seq=kernel.seq,
+                        reason="device_crashed",
+                    )
+                kernel.done.fail(
+                    DeviceCrashed(
+                        job_id, retry_after=reject_until - self.sim.now
+                    )
+                )
+        self.kernels_flushed += flushed
+        return flushed
 
     # ------------------------------------------------------------------
     # Device side

@@ -42,6 +42,11 @@ class GpuSpec:
         (thermal/boost state).  Drawn once per device instance; it is
         why repeated solo runs show a small GPU-duration spread
         (paper §4.4 measures ~1.7 % for the Titan-class parts).
+    reset_latency:
+        Profiled time, in simulated seconds, for the device to come
+        back after a crash (driver re-init + context restore).  Used
+        by ``device_crash`` fault injection and the failover logic in
+        :mod:`repro.recovery` when no explicit reset duration is given.
     """
 
     name: str
@@ -50,10 +55,13 @@ class GpuSpec:
     sm_count: int
     kernel_overhead: float = 1.5e-6
     clock_jitter: float = 0.012
+    reset_latency: float = 5e-3
 
     def __post_init__(self):
         if self.clock_jitter < 0:
             raise ValueError(f"clock_jitter negative: {self.clock_jitter}")
+        if self.reset_latency <= 0:
+            raise ValueError(f"reset_latency must be positive: {self.reset_latency}")
         if self.compute_scale <= 0:
             raise ValueError(f"compute_scale must be positive: {self.compute_scale}")
         if self.memory_mb <= 0:

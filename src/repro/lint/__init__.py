@@ -15,6 +15,9 @@ deadlock-free cooperative gang scheduler.  This package checks both
   and confine writes to guarded scheduler state to the token machinery.
 * **Performance rules** (PERF001) ban O(n) list head-shifts
   (``list.pop(0)``/``list.insert(0, ...)``) in hot-path code.
+* **Robustness rules** (ROB001) flag broad/bare ``except`` handlers
+  that neither re-raise nor log — silent error swallowing hides the
+  very failures the recovery layer exists to handle.
 
 Run it as ``python -m repro.cli lint src tests benchmarks`` (the CI
 gate) or call :func:`lint_paths` directly.  Rules are catalogued in
@@ -29,6 +32,7 @@ from . import concurrency as _concurrency  # noqa: F401
 from . import determinism as _determinism  # noqa: F401
 from . import observability as _observability  # noqa: F401
 from . import perf as _perf  # noqa: F401
+from . import robustness as _robustness  # noqa: F401
 from .config import LintConfig, find_pyproject, load_config, path_matches
 from .engine import FileContext, lint_source
 from .findings import Finding, PARSE_ERROR_ID

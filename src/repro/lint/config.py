@@ -63,6 +63,9 @@ class LintConfig:
     perf_paths: Tuple[str, ...] = ("src/repro",)
     # Where OBS001 bans ad-hoc print() in favour of structured logging.
     print_ban_paths: Tuple[str, ...] = ("src/repro",)
+    # Where ROB001 flags broad/bare except handlers that neither
+    # re-raise nor log (silent error swallowing).
+    robust_paths: Tuple[str, ...] = ("src/repro",)
     # The CLI presentation layer may print: its job is stdout.
     print_allow: Tuple[str, ...] = ("src/repro/cli.py",)
     # Where environment reads are banned (DET004): sim/scheduler paths.
@@ -88,7 +91,7 @@ class LintConfig:
     # functions (CON003 token-holder heuristic).
     guarded_attrs: Tuple[str, ...] = (
         "holder:_grant,__init__",
-        "cumulated_cost:on_node_done,__init__",
+        "cumulated_cost:on_node_done,__init__,rollback",
     )
     parsed_guards: Dict[str, Tuple[str, ...]] = field(
         default_factory=dict, compare=False

@@ -1,0 +1,99 @@
+"""Robustness rules (ROB001).
+
+A broad ``except Exception`` (or a bare ``except:``) that neither
+re-raises nor records the failure swallows errors silently: a device
+crash, an invariant violation, or a plain bug disappears and the run
+keeps going on corrupt state.  The failure-recovery layer
+(:mod:`repro.recovery`) depends on exceptions propagating to the
+supervision machinery — or at minimum leaving a structured-log trail —
+so ROB001 flags any broad handler under the configured paths whose body
+contains neither a ``raise`` nor a logging call.
+
+Narrow handlers (``except JobFailed:``) are fine: catching a specific
+exception is a decision, catching *everything* is an accident waiting
+to happen.  The few justified catch-alls (process-boundary workers
+that ship the error onward as data, client loops that record the
+failure as their outcome) are suppressed in place with
+``# lint: disable=ROB001`` and catalogued in ``docs/LINTING.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Tuple
+
+from .config import LintConfig
+from .rules import Rule, register
+
+__all__ = ["SilentBroadExceptRule"]
+
+# Method names that count as "recording the failure": the structured
+# logging surface plus the telemetry emit path.
+_LOGGING_METHODS = frozenset(
+    {
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "log",
+        "emit",
+    }
+)
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare `except:`
+        return True
+    node = handler.type
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(elt, ast.Name) and elt.id in _BROAD_NAMES
+            for elt in node.elts
+        )
+    return False
+
+
+def _handles_failure(handler: ast.ExceptHandler) -> bool:
+    """True if the body re-raises or calls a logging-ish method."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _LOGGING_METHODS
+            ):
+                return True
+    return False
+
+
+@register
+class SilentBroadExceptRule(Rule):
+    rule_id = "ROB001"
+    name = "silent-broad-except"
+    summary = "broad except that neither re-raises nor logs the failure"
+    node_types = (ast.ExceptHandler,)
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.robust_paths
+
+    def check(
+        self, node: ast.ExceptHandler, ctx
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        if not _is_broad(node):
+            return
+        if _handles_failure(node):
+            return
+        caught = "bare except" if node.type is None else "except Exception"
+        yield node, (
+            f"`{caught}` swallows every failure silently; catch the "
+            "specific exception, re-raise after cleanup, or record it "
+            "via `repro.telemetry.logs.get_logger(component)`"
+        )

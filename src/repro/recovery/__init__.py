@@ -1,0 +1,32 @@
+"""Failure recovery and degraded-mode serving.
+
+The :class:`RecoveryManager` attaches to a serving front and layers
+three opt-in mechanisms over it — device-crash failover with scheduler
+accounting rollback, per-model circuit breakers, and brownout
+load-shedding — while a :class:`HealthMonitor` classifies the front as
+healthy / degraded / draining for telemetry and ``repro top``.
+
+Everything in this package is driven by simulated time and
+deterministic data structures; a run with recovery enabled is replayed
+byte-identically from its seed, and a run without a manager attached is
+bit-identical to a build that never had this package.
+"""
+
+from .breaker import BREAKER_STATES, CircuitBreaker
+from .config import BreakerConfig, BrownoutConfig, RecoveryConfig
+from .errors import JobShed, ModelUnavailable
+from .health import HEALTH_STATES, HealthMonitor
+from .manager import RecoveryManager
+
+__all__ = [
+    "BREAKER_STATES",
+    "HEALTH_STATES",
+    "BreakerConfig",
+    "BrownoutConfig",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "JobShed",
+    "ModelUnavailable",
+    "RecoveryConfig",
+    "RecoveryManager",
+]

@@ -1,0 +1,128 @@
+"""Per-model circuit breakers.
+
+The standard three-state machine, driven entirely by *simulated* time
+(no wall clock, no randomness — a breaker's trajectory is a pure
+function of the failure/success sequence it observes, so recovery runs
+stay digest-deterministic):
+
+* **closed** — requests admitted; failures are counted in a sliding
+  sim-time window, and reaching the threshold trips the breaker.
+* **open** — requests rejected at admission with the remaining
+  cooldown as a ``retry_after`` hint; after the cooldown the next
+  admission attempt half-opens the breaker.
+* **half-open** — up to ``half_open_probes`` concurrent probe jobs are
+  admitted; ``success_threshold`` consecutive successes close the
+  breaker, any probe failure re-opens it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from .config import BreakerConfig
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker"]
+
+BREAKER_STATES = ("closed", "open", "half_open")
+
+# on_transition(breaker, old_state, new_state, now)
+TransitionHook = Callable[["CircuitBreaker", str, str, float], None]
+
+
+class CircuitBreaker:
+    """One model's breaker; the manager keeps one per model name."""
+
+    def __init__(
+        self,
+        model: str,
+        config: BreakerConfig,
+        on_transition: Optional[TransitionHook] = None,
+    ):
+        self.model = model
+        self.config = config
+        self.on_transition = on_transition
+        self.state = "closed"
+        self.trips = 0
+        self.rejections = 0
+        self._failures: Deque[float] = deque()
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    def _set_state(self, new: str, now: float) -> None:
+        if new == self.state:
+            return
+        old, self.state = self.state, new
+        if new == "open":
+            self.trips += 1
+            self._opened_at = now
+        elif new == "half_open":
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        elif new == "closed":
+            self._failures.clear()
+        if self.on_transition is not None:
+            self.on_transition(self, old, new, now)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def admit(self, now: float) -> bool:
+        """May a request for this model be admitted at ``now``?
+
+        Half-open admission consumes a probe slot; callers that admit
+        but then do not launch (e.g. the job is shed by brownout) must
+        release it with :meth:`abort_probe`.
+        """
+        if self.state == "open":
+            if now - self._opened_at >= self.config.cooldown:
+                self._set_state("half_open", now)
+            else:
+                self.rejections += 1
+                return False
+        if self.state == "half_open":
+            if self._probes_in_flight >= self.config.half_open_probes:
+                self.rejections += 1
+                return False
+            self._probes_in_flight += 1
+        return True
+
+    def abort_probe(self) -> None:
+        """Release a probe slot consumed by an admit that never launched."""
+        if self.state == "half_open" and self._probes_in_flight > 0:
+            self._probes_in_flight -= 1
+
+    def retry_after(self, now: float) -> float:
+        """Backpressure hint for a rejected request."""
+        if self.state == "open":
+            return max(0.0, self._opened_at + self.config.cooldown - now)
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Outcome feedback
+    # ------------------------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        if self.state == "half_open":
+            if self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.success_threshold:
+                self._set_state("closed", now)
+
+    def record_failure(self, now: float) -> None:
+        if self.state == "half_open":
+            if self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
+            self._set_state("open", now)
+            return
+        if self.state == "closed":
+            failures = self._failures
+            failures.append(now)
+            cutoff = now - self.config.window
+            while failures and failures[0] < cutoff:
+                failures.popleft()
+            if len(failures) >= self.config.failure_threshold:
+                self._set_state("open", now)

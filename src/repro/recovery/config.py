@@ -1,0 +1,101 @@
+"""Recovery subsystem configuration.
+
+All three dataclasses are frozen: a config is a value, shared freely
+between the manager, experiments, and reports.  Sub-configs are
+``None`` to disable that mechanism entirely — a disabled mechanism
+contributes zero branches at runtime, preserving digest-neutrality of
+runs that never crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BreakerConfig", "BrownoutConfig", "RecoveryConfig"]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Per-model circuit breaker tuning (sim-time units).
+
+    ``failure_threshold`` failures within a sliding ``window`` trip
+    the breaker open; after ``cooldown`` it half-opens and admits up to
+    ``half_open_probes`` concurrent probe jobs; ``success_threshold``
+    consecutive probe successes close it, any probe failure re-opens.
+    """
+
+    window: float = 0.05
+    failure_threshold: int = 3
+    cooldown: float = 0.02
+    half_open_probes: int = 1
+    success_threshold: int = 1
+
+    def __post_init__(self):
+        if self.window <= 0:
+            raise ValueError(f"window must be positive: {self.window}")
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {self.failure_threshold}"
+            )
+        if self.cooldown <= 0:
+            raise ValueError(f"cooldown must be positive: {self.cooldown}")
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1: {self.half_open_probes}"
+            )
+        if self.success_threshold < 1:
+            raise ValueError(
+                f"success_threshold must be >= 1: {self.success_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Bounded pending queue with deadline-aware shedding.
+
+    At most ``max_active`` jobs run concurrently; the next
+    ``max_pending`` wait in a pending queue that dispatches
+    earliest-deadline-first.  When the queue is full the lowest-slack
+    candidate (slack = deadline − now; no deadline = infinite) is shed
+    with ``shed_retry_after`` as the client backoff hint — shedding the
+    job *least likely to make its deadline anyway* is the
+    profiled-cost analogue of DARIS-style deadline-aware degradation.
+    """
+
+    max_active: int = 8
+    max_pending: int = 16
+    shed_retry_after: float = 2e-3
+
+    def __post_init__(self):
+        if self.max_active < 1:
+            raise ValueError(f"max_active must be >= 1: {self.max_active}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1: {self.max_pending}")
+        if self.shed_retry_after < 0:
+            raise ValueError(
+                f"shed_retry_after must be >= 0: {self.shed_retry_after}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Top-level recovery behaviour.
+
+    ``failover`` re-queues jobs killed by a device crash (onto a
+    surviving worker, or the same device after reset); a job may fail
+    over at most ``max_failovers`` times before its failure is
+    surfaced to the client.  ``breaker`` / ``brownout`` enable the
+    respective mechanisms (``None`` = off).
+    """
+
+    failover: bool = True
+    max_failovers: int = 4
+    breaker: Optional[BreakerConfig] = BreakerConfig()
+    brownout: Optional[BrownoutConfig] = None
+
+    def __post_init__(self):
+        if self.max_failovers < 0:
+            raise ValueError(
+                f"max_failovers must be >= 0: {self.max_failovers}"
+            )

@@ -1,0 +1,49 @@
+"""Recovery-layer admission errors.
+
+Both carry ``retryable = True`` (the request never started executing,
+so resubmission is idempotent) and a ``retry_after`` backpressure hint
+that :meth:`~repro.serving.failures.RetryPolicy.backoff_for` honours:
+the server *knows* when retrying could possibly succeed (breaker
+cooldown expiry, expected queue drain) and says so.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ModelUnavailable", "JobShed"]
+
+
+class ModelUnavailable(Exception):
+    """Admission rejected: the model's circuit breaker is open.
+
+    ``retry_after`` is the remaining cooldown before the breaker
+    half-opens and probe jobs are admitted again.
+    """
+
+    retryable = True
+
+    def __init__(self, model: str, retry_after: float = 0.0, state: str = "open"):
+        super().__init__(
+            f"model {model!r} unavailable (breaker {state}; "
+            f"retry after {max(retry_after, 0.0):.6f} s)"
+        )
+        self.model = model
+        self.retry_after = max(retry_after, 0.0)
+        self.state = state
+
+
+class JobShed(Exception):
+    """The job was shed by brownout load-shedding.
+
+    Raised synchronously at admission when the arriving job is the
+    lowest-slack candidate for a full pending queue, or delivered as
+    the cause of a :class:`~repro.serving.failures.JobFailed` when a
+    queued job is displaced by a scarcer-deadline arrival.
+    """
+
+    retryable = True
+
+    def __init__(self, job_id: str, reason: str, retry_after: float = 0.0):
+        super().__init__(f"job {job_id!r} shed: {reason}")
+        self.job_id = job_id
+        self.reason = reason
+        self.retry_after = max(retry_after, 0.0)

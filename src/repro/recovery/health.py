@@ -1,0 +1,55 @@
+"""Server health state machine: healthy → degraded → draining.
+
+A pure classifier over observable recovery state — it creates no
+events and keeps no timers, so evaluating it is free and
+digest-neutral.  Transitions (in *either* direction; a server heals)
+are recorded and surfaced through telemetry and ``repro top``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["HEALTH_STATES", "HealthMonitor"]
+
+HEALTH_STATES = ("healthy", "degraded", "draining")
+
+# on_transition(old_state, new_state, now)
+TransitionHook = Callable[[str, str, float], None]
+
+
+class HealthMonitor:
+    """Classifies the serving front's health from recovery signals.
+
+    * **draining** — every device is down: nothing can progress, and
+      accepted work merely drains (or waits for a reset).
+    * **degraded** — some (not all) devices down, any circuit breaker
+      not closed, or brownout jobs pending.
+    * **healthy** — none of the above.
+    """
+
+    def __init__(self, on_transition: Optional[TransitionHook] = None):
+        self.state = "healthy"
+        self.on_transition = on_transition
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    def evaluate(
+        self,
+        now: float,
+        devices_down: int,
+        devices_total: int,
+        breakers_open: int,
+        pending: int,
+    ) -> str:
+        if devices_total > 0 and devices_down >= devices_total:
+            new = "draining"
+        elif devices_down > 0 or breakers_open > 0 or pending > 0:
+            new = "degraded"
+        else:
+            new = "healthy"
+        if new != self.state:
+            old, self.state = self.state, new
+            self.transitions.append((now, old, new))
+            if self.on_transition is not None:
+                self.on_transition(old, new, now)
+        return self.state

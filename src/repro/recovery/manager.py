@@ -1,0 +1,587 @@
+"""The recovery manager: supervision, failover, brownout, health.
+
+One :class:`RecoveryManager` attaches to a serving front — a
+:class:`~repro.serving.server.ModelServer` or a
+:class:`~repro.cluster.server.MultiGpuServer` — and intercepts its
+``submit``/``cancel``.  Every submitted job becomes a *supervision*:
+the client receives an outer completion event that survives device
+crashes, while the manager drives one or more inner *attempts* (the
+original job, then clones replayed after failover) underneath it.
+
+Mechanics, in the order a request meets them:
+
+1. **Circuit breaker** (per model): an open breaker rejects at
+   admission, synchronously, with
+   :class:`~repro.recovery.errors.ModelUnavailable` carrying the
+   remaining cooldown as ``retry_after``.
+2. **Brownout**: with the front at ``max_active`` jobs, the request
+   parks in a bounded pending queue; a full queue sheds the
+   lowest-slack candidate (deadline-aware; ties shed the newest
+   arrival, preserving FIFO among equals).  The queue dispatches
+   earliest-deadline-first as capacity frees.
+3. **Failover**: an attempt killed by
+   :class:`~repro.faults.errors.DeviceCrashed` is rolled back in the
+   scheduler's accounting (``scheduler.rollback`` — no fairness
+   accumulator leaks across a reset), then re-executed from the start
+   of its session as a fresh clone (job id suffixed ``~fN``) — on a
+   surviving worker of a multi-GPU front, or on the same device after
+   its reset completes in the single-GPU case.
+
+The manager is strictly opt-in: with no manager attached every seam it
+uses is a ``None`` check and behaviour (and trace digests) are
+bit-identical to a recovery-less build.  All state transitions are
+driven by simulated time and deterministic data structures — no wall
+clock, no randomness — so recovery runs replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..faults.errors import DeviceCrashed
+from ..gpu.memory import GpuOutOfMemory
+from ..serving.cancellation import JobCancelled
+from ..serving.failures import JobFailed
+from ..serving.request import Job
+from .breaker import CircuitBreaker
+from .config import RecoveryConfig
+from .errors import JobShed, ModelUnavailable
+from .health import HealthMonitor
+
+__all__ = ["RecoveryManager"]
+
+
+class _Supervision:
+    """One client request and the attempt currently serving it."""
+
+    __slots__ = (
+        "origin",
+        "outer",
+        "front",
+        "attempts",
+        "current",
+        "abandoned",
+        "outcome",
+        "order",
+        "enqueued_at",
+    )
+
+    def __init__(self, origin: Job, outer, front, order: int):
+        self.origin = origin
+        self.outer = outer
+        self.front = front
+        self.attempts = 1
+        self.current = origin
+        self.abandoned = False
+        self.outcome: Optional[str] = None
+        self.order = order
+        self.enqueued_at: Optional[float] = None
+
+
+class RecoveryManager:
+    """Supervises jobs on one serving front (see module docstring)."""
+
+    def __init__(self, config: Optional[RecoveryConfig] = None):
+        self.config = config or RecoveryConfig()
+        self.front = None
+        self.sim = None
+        self.health = HealthMonitor(on_transition=self._on_health_transition)
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self._supervisions: Dict[str, _Supervision] = {}
+        self._pending: List[_Supervision] = []
+        self._order = 0
+        self._reset_event = None
+        # Counters (all deterministic; exposed via report()).
+        self.accepted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.sheds = 0
+        self.breaker_rejections = 0
+        self.failovers = 0
+        self.rollbacks = 0
+        self.rollback_residue = 0.0
+        self.device_crashes = 0
+        self.device_resets = 0
+        self.dispatched_from_queue = 0
+        self.max_pending_seen = 0
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, front) -> "RecoveryManager":
+        """Wire this manager into ``front``'s submit/cancel path.
+
+        ``front`` is a single :class:`ModelServer` or a
+        :class:`MultiGpuServer`; in the cluster case each worker server
+        reports lifecycle events here while the cluster front routes
+        admission.
+        """
+        if self.front is not None:
+            raise RuntimeError("RecoveryManager is already attached")
+        self.front = front
+        self.sim = front.sim
+        front.recovery = self
+        workers = getattr(front, "workers", None)
+        if workers is None:
+            front.recovery_observer = self
+        else:
+            for worker in workers:
+                worker.server.recovery_observer = self
+        return self
+
+    # ------------------------------------------------------------------
+    # Admission & supervision
+    # ------------------------------------------------------------------
+
+    def supervise(self, front, job: Job):
+        """Admit ``job`` and return its supervised completion event."""
+        now = self.sim.now
+        breaker = self._breaker_for(job.model_name)
+        if breaker is not None and not breaker.admit(now):
+            self.breaker_rejections += 1
+            raise ModelUnavailable(
+                job.model_name,
+                retry_after=breaker.retry_after(now),
+                state=breaker.state,
+            )
+        sup = _Supervision(job, self.sim.event(), front, self._order)
+        self._order += 1
+        brownout = self.config.brownout
+        if brownout is not None and front.active_jobs >= brownout.max_active:
+            try:
+                self._enqueue(sup, now)
+            except JobShed:
+                if breaker is not None:
+                    breaker.abort_probe()
+                raise
+            return sup.outer
+        self._supervisions[job.job_id] = sup
+        self.accepted += 1
+        try:
+            self._launch(sup)
+        except GpuOutOfMemory:
+            # Rejected at admission (capacity, or injected OOM): the
+            # job was never accepted, so undo the supervision and let
+            # the client's retry classification see the raw error.
+            del self._supervisions[job.job_id]
+            self.accepted -= 1
+            if breaker is not None:
+                breaker.record_failure(now)
+            self._health_check()
+            raise
+        return sup.outer
+
+    def _launch(self, sup: _Supervision) -> None:
+        job = sup.current
+        inner = self._server_submit(sup.front, job)
+        self.sim.process(self._watch(sup, inner), name=f"recovery:{job.job_id}")
+
+    def _server_submit(self, front, job: Job):
+        return front._submit(job)
+
+    # ------------------------------------------------------------------
+    # Brownout pending queue
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, sup: _Supervision, now: float) -> None:
+        brownout = self.config.brownout
+        pending = self._pending
+        if len(pending) >= brownout.max_pending:
+            victim = self._shed_victim(pending, sup, now)
+            if victim is sup:
+                self.sheds += 1
+                self._emit(
+                    "job.shed",
+                    job_id=sup.origin.job_id,
+                    reason="admission",
+                    pending=len(pending),
+                )
+                self._health_check()
+                raise JobShed(
+                    sup.origin.job_id,
+                    "pending queue full (lowest slack)",
+                    retry_after=brownout.shed_retry_after,
+                )
+            pending.remove(victim)
+            self._shed_queued(victim)
+        pending.append(sup)
+        if len(pending) > self.max_pending_seen:
+            self.max_pending_seen = len(pending)
+        sup.enqueued_at = now
+        self._supervisions[sup.origin.job_id] = sup
+        self.accepted += 1
+        self._health_check()
+
+    def _shed_victim(
+        self, pending: List[_Supervision], arriving: _Supervision, now: float
+    ) -> _Supervision:
+        """Lowest slack loses; equal slack sheds the newest arrival."""
+        victim = arriving
+        victim_slack = self._slack(arriving, now)
+        for sup in pending:
+            slack = self._slack(sup, now)
+            # Strict < : on ties the later-ordered candidate (the
+            # arriving job has the highest order) stays the victim.
+            if slack < victim_slack or (
+                slack == victim_slack and sup.order > victim.order
+            ):
+                victim = sup
+                victim_slack = slack
+        return victim
+
+    @staticmethod
+    def _slack(sup: _Supervision, now: float) -> float:
+        deadline = sup.origin.deadline
+        return float("inf") if deadline is None else deadline - now
+
+    def _shed_queued(self, sup: _Supervision) -> None:
+        """Displace an already-accepted pending job (brownout tier 1)."""
+        brownout = self.config.brownout
+        job = sup.origin
+        self.sheds += 1
+        sup.outcome = "shed"
+        self.failed += 1
+        self._emit(
+            "job.shed",
+            job_id=job.job_id,
+            reason="displaced",
+            pending=len(self._pending),
+        )
+        cause = JobShed(
+            job.job_id,
+            "displaced from pending queue (lowest slack)",
+            retry_after=brownout.shed_retry_after,
+        )
+        sup.outer.fail(JobFailed(job.job_id, 0, job.graph.num_nodes, cause=cause))
+
+    def _dispatch_pending(self) -> None:
+        """Launch queued jobs while capacity and a live device exist."""
+        brownout = self.config.brownout
+        if brownout is None or not self._pending:
+            return
+        front = self.front
+        while (
+            self._pending
+            and front.active_jobs < brownout.max_active
+            and self._has_target(front)
+        ):
+            sup = self._pending.pop(self._next_pending_index())
+            self.dispatched_from_queue += 1
+            try:
+                self._launch(sup)
+            except GpuOutOfMemory as exc:
+                job = sup.current
+                sup.outcome = "failed"
+                self.failed += 1
+                sup.outer.fail(
+                    JobFailed(job.job_id, 0, job.graph.num_nodes, cause=exc)
+                )
+
+    def _next_pending_index(self) -> int:
+        """Earliest deadline first; no-deadline jobs after, in FIFO."""
+        best = 0
+        best_key: Optional[Tuple[float, int]] = None
+        for index, sup in enumerate(self._pending):
+            deadline = sup.origin.deadline
+            key = (
+                float("inf") if deadline is None else deadline,
+                sup.order,
+            )
+            if best_key is None or key < best_key:
+                best = index
+                best_key = key
+        return best
+
+    # ------------------------------------------------------------------
+    # Attempt supervision & failover
+    # ------------------------------------------------------------------
+
+    def _watch(self, sup: _Supervision, inner):
+        """Process body: drive one supervision to its terminal outcome."""
+        while True:
+            try:
+                value = yield inner
+            except JobCancelled as exc:
+                sup.outcome = "cancelled"
+                self.cancelled += 1
+                sup.outer.fail(exc)
+                return
+            except JobFailed as exc:
+                now = self.sim.now
+                breaker = self._breaker_for(sup.origin.model_name)
+                if breaker is not None:
+                    breaker.record_failure(now)
+                if self._should_failover(sup, exc):
+                    inner = yield from self._failover(sup)
+                    if inner is None:
+                        # The supervision reached a terminal state
+                        # inside _failover (cancelled mid-wait, or the
+                        # resubmission itself was rejected).
+                        return
+                    continue
+                sup.outcome = "failed"
+                self.failed += 1
+                sup.outer.fail(exc)
+                self._health_check()
+                return
+            else:
+                breaker = self._breaker_for(sup.origin.model_name)
+                if breaker is not None:
+                    breaker.record_success(self.sim.now)
+                sup.outcome = "ok"
+                self.completed += 1
+                sup.outer.succeed(value)
+                self._health_check()
+                return
+
+    def _should_failover(self, sup: _Supervision, exc: JobFailed) -> bool:
+        return (
+            self.config.failover
+            and isinstance(exc.cause, DeviceCrashed)
+            and not sup.abandoned
+            and sup.attempts <= self.config.max_failovers
+        )
+
+    def _failover(self, sup: _Supervision):
+        """Roll back the dead attempt, wait for a target, replay."""
+        dead = sup.current
+        scheduler = self._server_of(sup.front, dead).scheduler
+        residue = scheduler.rollback(dead)
+        self.rollbacks += 1
+        self.rollback_residue += residue
+        while not self._has_target(sup.front):
+            yield self._reset_barrier()
+        if sup.abandoned:
+            sup.outcome = "cancelled"
+            self.cancelled += 1
+            sup.outer.fail(
+                JobCancelled(
+                    sup.origin.job_id, 0, sup.origin.graph.num_nodes
+                )
+            )
+            return None
+        origin = sup.origin
+        clone = Job(
+            self.sim,
+            origin.client_id,
+            origin.graph,
+            origin.batch_size,
+            weight=origin.weight,
+            priority=origin.priority,
+            deadline=origin.deadline,
+            job_id=f"{origin.job_id}~f{sup.attempts}",
+        )
+        clone.batch_span_id = origin.batch_span_id
+        sup.attempts += 1
+        sup.current = clone
+        self.failovers += 1
+        self._emit(
+            "job.failed_over",
+            job_id=origin.job_id,
+            new_job_id=clone.job_id,
+            attempt=sup.attempts,
+            residue=residue,
+        )
+        try:
+            inner = self._server_submit(sup.front, clone)
+        except GpuOutOfMemory as exc:
+            sup.outcome = "failed"
+            self.failed += 1
+            sup.outer.fail(
+                JobFailed(clone.job_id, 0, clone.graph.num_nodes, cause=exc)
+            )
+            self._health_check()
+            return None
+        return inner
+
+    def _reset_barrier(self):
+        """Event that fires at the next device reset (shared, re-armed)."""
+        if self._reset_event is None or self._reset_event.triggered:
+            self._reset_event = self.sim.event()
+        return self._reset_event
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a supervised request (called via ``front.cancel``)."""
+        sup = self._supervisions.get(job.job_id)
+        if sup is None or sup.outer.triggered or sup.abandoned:
+            return False
+        sup.abandoned = True
+        if sup in self._pending:
+            # Never launched: fail the outer event directly.
+            self._pending.remove(sup)
+            sup.outcome = "cancelled"
+            self.cancelled += 1
+            sup.outer.fail(
+                JobCancelled(job.job_id, 0, job.graph.num_nodes)
+            )
+            self._health_check()
+            return True
+        # Cancel the live attempt; if the attempt already died (e.g.
+        # the watcher is parked waiting for a reset), the abandoned
+        # flag makes _failover surface JobCancelled instead of
+        # replaying.
+        self._server_of(sup.front, sup.current)._cancel(sup.current)
+        return True
+
+    # ------------------------------------------------------------------
+    # Lifecycle callbacks (from ModelServer seams)
+    # ------------------------------------------------------------------
+
+    def on_job_finished(self, server) -> None:
+        """An attempt finished on ``server``: capacity may have freed."""
+        self._dispatch_pending()
+        self._health_check()
+
+    def on_device_crashed(self, server, reset_latency: float) -> None:
+        self.device_crashes += 1
+        self._health_check()
+
+    def on_device_reset(self, server) -> None:
+        self.device_resets += 1
+        if self._reset_event is not None and not self._reset_event.triggered:
+            self._reset_event.succeed(None)
+        self._dispatch_pending()
+        self._health_check()
+
+    # ------------------------------------------------------------------
+    # Topology helpers (duck-typed over single- and multi-GPU fronts)
+    # ------------------------------------------------------------------
+
+    def _server_of(self, front, job: Job):
+        workers = getattr(front, "workers", None)
+        if workers is None:
+            return front
+        return front.worker_of(job).server
+
+    def _has_target(self, front) -> bool:
+        workers = getattr(front, "workers", None)
+        if workers is None:
+            return not front.device.down
+        return any(not worker.server.device.down for worker in workers)
+
+    def _device_counts(self) -> Tuple[int, int]:
+        front = self.front
+        workers = getattr(front, "workers", None)
+        if workers is None:
+            return (1 if front.device.down else 0), 1
+        down = sum(1 for worker in workers if worker.server.device.down)
+        return down, len(workers)
+
+    def _telemetry(self):
+        return getattr(self.front, "telemetry", None)
+
+    def _emit(self, kind: str, **attrs: Any) -> None:
+        telemetry = self._telemetry()
+        if telemetry is not None:
+            telemetry.emit(kind, "recovery", **attrs)
+
+    # ------------------------------------------------------------------
+    # Breakers & health
+    # ------------------------------------------------------------------
+
+    def _breaker_for(self, model: str) -> Optional[CircuitBreaker]:
+        if self.config.breaker is None:
+            return None
+        breaker = self.breakers.get(model)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                model, self.config.breaker,
+                on_transition=self._on_breaker_transition,
+            )
+            self.breakers[model] = breaker
+        return breaker
+
+    def _on_breaker_transition(
+        self, breaker: CircuitBreaker, old: str, new: str, now: float
+    ) -> None:
+        self._emit("breaker.state", model=breaker.model, old=old, new=new)
+        self._health_check()
+
+    def _on_health_transition(self, old: str, new: str, now: float) -> None:
+        devices_down, devices_total = self._device_counts()
+        self._emit(
+            "health.state",
+            old=old,
+            new=new,
+            devices_down=devices_down,
+            devices_total=devices_total,
+            pending=len(self._pending),
+        )
+
+    def _health_check(self) -> str:
+        devices_down, devices_total = self._device_counts()
+        breakers_open = sum(
+            1 for breaker in self.breakers.values() if breaker.state == "open"
+        )
+        return self.health.evaluate(
+            self.sim.now,
+            devices_down,
+            devices_total,
+            breakers_open,
+            len(self._pending),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection & SLA checks
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_depth(self) -> int:
+        return len(self._pending)
+
+    def unterminated(self) -> List[str]:
+        """Accepted jobs whose outer event never reached a terminal
+        state — the recovery SLA requires this to be empty after every
+        run."""
+        return sorted(
+            job_id
+            for job_id, sup in self._supervisions.items()
+            if not sup.outer.triggered
+        )
+
+    def rolled_back_leaks(self) -> List[str]:
+        """Failed-over attempts whose accumulator was not cleared."""
+        leaks: List[str] = []
+        for sup in self._supervisions.values():
+            if sup.attempts > 1 and sup.current is not sup.origin:
+                if sup.origin.cumulated_cost != 0.0:
+                    leaks.append(sup.origin.job_id)
+        return sorted(leaks)
+
+    def report(self) -> Dict[str, Any]:
+        """Deterministic summary (stable key order, sim-derived values)."""
+        return {
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "sheds": self.sheds,
+            "breaker_rejections": self.breaker_rejections,
+            "breaker_trips": sum(
+                breaker.trips for breaker in self.breakers.values()
+            ),
+            "breaker_states": {
+                model: self.breakers[model].state
+                for model in sorted(self.breakers)
+            },
+            "failovers": self.failovers,
+            "rollbacks": self.rollbacks,
+            "rollback_residue": self.rollback_residue,
+            "device_crashes": self.device_crashes,
+            "device_resets": self.device_resets,
+            "dispatched_from_queue": self.dispatched_from_queue,
+            "max_pending_seen": self.max_pending_seen,
+            "pending": len(self._pending),
+            "health": self.health.state,
+            "health_transitions": [
+                [time, old, new]
+                for time, old, new in self.health.transitions
+            ],
+            "unterminated": self.unterminated(),
+        }

@@ -114,10 +114,15 @@ class Client:
             self.jobs.append(job)
             try:
                 done = self.server.submit(job)
-            except Exception as exc:  # e.g. GpuOutOfMemory in scaling runs
+            # Admission errors are part of the serving contract — OOM in
+            # scaling runs, breaker/brownout rejections — and are
+            # classified right here by retryability, not swallowed.
+            except Exception as exc:  # lint: disable=ROB001
                 if self._should_retry(exc, attempt):
                     self._note_retry(job, attempt, exc)
-                    yield self.sim.timeout(self.retry_policy.backoff(attempt))
+                    yield self.sim.timeout(
+                        self.retry_policy.backoff_for(exc, attempt)
+                    )
                     continue
                 self.failed_batches += 1
                 if self.retry_policy is not None and is_retryable(exc):
@@ -139,7 +144,9 @@ class Client:
             self.last_failure = exc
             if self._should_retry(exc, attempt):
                 self._note_retry(job, attempt, exc)
-                yield self.sim.timeout(self.retry_policy.backoff(attempt))
+                yield self.sim.timeout(
+                    self.retry_policy.backoff_for(exc, attempt)
+                )
                 continue
             self.failed_batches += 1
             return "failed"

@@ -48,6 +48,10 @@ class JobFailed(Exception):
         self.nodes_executed = nodes_executed
         self.total_nodes = total_nodes
         self.cause = cause
+        # Backpressure hint forwarded from the cause (e.g. the
+        # remaining device reset latency on DeviceCrashed); consulted
+        # by RetryPolicy.backoff_for.
+        self.retry_after = getattr(cause, "retry_after", None)
 
 
 def is_retryable(exc: BaseException) -> bool:
@@ -100,6 +104,22 @@ class RetryPolicy:
             self.max_delay,
             self.base_delay * self.multiplier ** (retry_number - 1),
         )
+
+    def backoff_for(self, exc: BaseException, retry_number: int) -> float:
+        """Backoff honouring a server backpressure hint.
+
+        Failures that carry a ``retry_after`` attribute (device
+        crashes, brownout sheds, open circuit breakers) tell the
+        client when retrying could possibly succeed; waiting less than
+        that is a guaranteed wasted attempt, so the effective delay is
+        the larger of the exponential backoff and the hint.  Without a
+        hint this is exactly :meth:`backoff` (digest-neutral).
+        """
+        delay = self.backoff(retry_number)
+        hint = getattr(exc, "retry_after", None)
+        if hint is not None and hint > delay:
+            return hint
+        return delay
 
     def should_retry(self, exc: BaseException, attempts_made: int) -> bool:
         """May a request that has made ``attempts_made`` tries retry?"""

@@ -69,6 +69,19 @@ class SchedulerHook:
         the job's parked gang threads so they can observe the failure
         and drain — leaving them parked deadlocks the simulation."""
 
+    def rollback(self, job: "Job") -> float:
+        """Failure recovery: discard a dead attempt's cost residue.
+
+        Called by :mod:`repro.recovery` before a failed-over job is
+        replayed, so the replacement attempt starts with clean fairness
+        accounting ("no accumulator leaks across a reset").  Returns
+        the residue dropped.  The base implementation just clears the
+        job's live accumulator (stock TF-Serving keeps no accounts).
+        """
+        residue = job.cumulated_cost
+        job.cumulated_cost = 0.0
+        return residue
+
 
 class NullSchedulerHook(SchedulerHook):
     """Stock TF-Serving: no middleware scheduling at all."""

@@ -107,6 +107,14 @@ class ModelServer:
         # Set by Telemetry.attach(); observation-only, so every emission
         # site is guarded by a single ``is not None`` check.
         self.telemetry = None
+        # Set by RecoveryManager.attach(): ``recovery`` intercepts
+        # submit/cancel (admission, supervision, failover);
+        # ``recovery_observer`` is notified of capacity and device
+        # lifecycle changes.  Both None = recovery off, zero new
+        # behaviour (digest-neutral).
+        self.recovery = None
+        self.recovery_observer = None
+        self.device_crashes = 0
         # Cost observations recorded during online-profiled runs:
         # (model, batch) -> node_id -> list of observed costs.
         self._observations: Dict[Tuple[str, int], Dict[int, List[float]]] = (
@@ -171,8 +179,21 @@ class ModelServer:
         """Start serving ``job``; returns its completion event.
 
         Raises :class:`~repro.gpu.memory.GpuOutOfMemory` if the device
-        cannot hold another client of this model.
+        cannot hold another client of this model.  With a
+        :class:`~repro.recovery.RecoveryManager` attached the job is
+        supervised instead: the returned event is the *supervision*
+        outcome, which survives device crashes via failover, and
+        admission may raise
+        :class:`~repro.recovery.errors.ModelUnavailable` (circuit
+        breaker open) or :class:`~repro.recovery.errors.JobShed`
+        (brownout) — both retryable.
         """
+        if self.recovery is not None:
+            return self.recovery.supervise(self, job)
+        return self._submit(job)
+
+    def _submit(self, job: Job) -> Event:
+        """The unsupervised submit path (one attempt, no recovery)."""
         footprint = self._models[job.model_name][1]
         if self.config.track_memory:
             # The memory pool's fault hook (if an injector is attached)
@@ -200,8 +221,16 @@ class ModelServer:
         gang drains at the next node boundaries and the job's ``done``
         event fails with :class:`~repro.serving.cancellation.JobCancelled`.
         Returns False if the job already finished, failed, or was
-        cancelled.
+        cancelled.  With recovery attached the cancellation routes
+        through the supervision record, so multi-attempt (failed-over)
+        jobs cancel correctly too.
         """
+        if self.recovery is not None:
+            return self.recovery.cancel(job)
+        return self._cancel(job)
+
+    def _cancel(self, job: Job) -> bool:
+        """Cancel a single attempt directly (no supervision lookup)."""
         if job.done.triggered or job.cancelled or job.failed:
             return False
         job.cancelled = True
@@ -221,6 +250,60 @@ class ModelServer:
                 latency=job.latency,
                 **job.telemetry_attrs(),
             )
+        if self.recovery_observer is not None:
+            # Capacity freed: the brownout pending queue may dispatch.
+            self.recovery_observer.on_job_finished(self)
+
+    # ------------------------------------------------------------------
+    # Device crash & reset (fault injection / recovery)
+    # ------------------------------------------------------------------
+
+    def crash_device(self, reset_latency: Optional[float] = None) -> int:
+        """Crash the GPU: flush queued kernels, reject launches, reset.
+
+        Every queued kernel (and any launch attempted before the reset
+        completes) fails with
+        :class:`~repro.faults.errors.DeviceCrashed`; the engine stalls
+        for ``reset_latency`` seconds (default: the GPU spec's profiled
+        ``reset_latency``), after which the device serves normally
+        again.  Returns the number of kernels flushed.
+        """
+        if reset_latency is None:
+            reset_latency = self.config.gpu_spec.reset_latency
+        if reset_latency <= 0:
+            raise ValueError(
+                f"reset_latency must be positive: {reset_latency}"
+            )
+        now = self.sim.now
+        self.device_crashes += 1
+        self.device.begin_outage(reset_latency)
+        flushed = self.driver.crash(now + reset_latency)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "device.crashed",
+                "device",
+                reset_latency=reset_latency,
+                kernels_flushed=flushed,
+            )
+        if self.recovery_observer is not None:
+            self.recovery_observer.on_device_crashed(self, reset_latency)
+        self.sim.process(
+            self._reset_body(reset_latency), name=f"device-reset@{now:g}"
+        )
+        return flushed
+
+    def _reset_body(self, reset_latency: float):
+        yield self.sim.timeout(reset_latency)
+        if self.device.down:
+            # A later crash extended the outage; its own reset process
+            # will announce the recovery.
+            return
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "device.reset", "device", reset_latency=reset_latency
+            )
+        if self.recovery_observer is not None:
+            self.recovery_observer.on_device_reset(self)
 
     # ------------------------------------------------------------------
     # Hooks used by sessions

@@ -56,6 +56,7 @@ from .pipeline import Telemetry, TelemetryConfig, VERBOSITY_LEVELS
 from .schema import (
     validate_chrome_trace,
     validate_metrics_document,
+    validate_recovery_report,
     validate_spans_document,
 )
 from .spans import Span, SpanTracer
@@ -89,5 +90,6 @@ __all__ = [
     "render_frame",
     "validate_chrome_trace",
     "validate_metrics_document",
+    "validate_recovery_report",
     "validate_spans_document",
 ]

@@ -27,6 +27,10 @@ prefix              emitted by
 ``kernel.*``        :mod:`repro.gpu.driver` / :mod:`repro.gpu.device`
 ``client.*``        :mod:`repro.serving.client` (retries)
 ``monitor.*``       :mod:`repro.core.monitor` (drift alerts)
+``device.*``        ``server.crash_device`` (crash / reset lifecycle)
+``job.*``           :mod:`repro.recovery.manager` (failover, shedding)
+``breaker.*``       :mod:`repro.recovery.breaker` state transitions
+``health.*``        :mod:`repro.recovery.health` state transitions
 ==================  ====================================================
 """
 
@@ -58,6 +62,12 @@ EVENT_KINDS = (
     "kernel.started",
     "kernel.finished",
     "monitor.drift",
+    "device.crashed",
+    "device.reset",
+    "job.failed_over",
+    "job.shed",
+    "breaker.state",
+    "health.state",
 )
 
 

@@ -154,6 +154,27 @@ class MetricsCollector:
         self.drift = registry.counter(
             "profile_drift_total", "Quantum-monitor drift alerts"
         )
+        self.device_crashes = registry.counter(
+            "device_crashes_total", "Full device crashes (fault injection)"
+        )
+        self.device_resets = registry.counter(
+            "device_resets_total", "Device resets completed after a crash"
+        )
+        self.failovers = registry.counter(
+            "job_failovers_total",
+            "Jobs re-queued onto a live device after a crash",
+        )
+        self.jobs_shed = registry.counter(
+            "jobs_shed_total", "Jobs shed by brownout, by reason"
+        )
+        self.breaker_transitions = registry.counter(
+            "breaker_transitions_total",
+            "Circuit breaker state changes, by model and new state",
+        )
+        self.health_transitions = registry.counter(
+            "health_transitions_total",
+            "Server health state changes, by new state",
+        )
         # Sampled by the snapshot ticker, not by events.
         self.gpu_utilization = registry.gauge(
             "gpu_utilization_ratio",
@@ -162,6 +183,12 @@ class MetricsCollector:
         self.active_jobs = registry.gauge(
             "active_jobs", "Jobs currently inside the server"
         )
+        self.health_state = registry.gauge(
+            "health_state",
+            "Server health (0=healthy, 1=degraded, 2=draining)",
+        )
+        # Latest health state name, for the `repro top` status line.
+        self.last_health = "healthy"
 
     def on_event(self, event: TelemetryEvent) -> None:
         kind = event.kind
@@ -213,6 +240,32 @@ class MetricsCollector:
                 self.overflow_kernels.inc()
         elif kind == "monitor.drift":
             self.drift.inc(labels={"model": event.attr("model")})
+        elif kind == "device.crashed":
+            self.device_crashes.inc()
+        elif kind == "device.reset":
+            self.device_resets.inc()
+        elif kind == "job.failed_over":
+            self.failovers.inc()
+        elif kind == "job.shed":
+            self.jobs_shed.inc(
+                labels={"reason": event.attr("reason", "admission")}
+            )
+        elif kind == "breaker.state":
+            self.breaker_transitions.inc(
+                labels={
+                    "model": event.attr("model"),
+                    "to": event.attr("new"),
+                }
+            )
+        elif kind == "health.state":
+            new = event.attr("new", "healthy")
+            self.health_transitions.inc(labels={"to": new})
+            self.last_health = new
+            try:
+                index = ("healthy", "degraded", "draining").index(new)
+            except ValueError:
+                index = -1
+            self.health_state.set(index)
 
 
 class Telemetry:
@@ -393,6 +446,11 @@ class Telemetry:
             "kernels_finished": collector.kernels_finished.total(),
             "overflow_kernels": collector.overflow_kernels.total(),
             "profile_drift": collector.drift.total(),
+            "device_crashes": collector.device_crashes.total(),
+            "device_resets": collector.device_resets.total(),
+            "failovers": collector.failovers.total(),
+            "jobs_shed": collector.jobs_shed.total(),
+            "health": collector.last_health,
         }
         if self.tracer is not None:
             summary["spans_finished"] = len(self.tracer.finished)

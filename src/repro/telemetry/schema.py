@@ -15,6 +15,7 @@ __all__ = [
     "CHROME_TRACE_PHASES",
     "validate_chrome_trace",
     "validate_metrics_document",
+    "validate_recovery_report",
     "validate_spans_document",
 ]
 
@@ -160,6 +161,64 @@ def validate_metrics_document(doc: Any) -> List[str]:
                         )
             else:
                 _require(errors, series, swhere, "value", (int, float))
+    return errors
+
+
+def validate_recovery_report(doc: Any) -> List[str]:
+    """Validate a ``RecoveryManager.report()`` (or chaos-run) document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [
+            f"recovery: document must be an object, got {_type_name(doc)}"
+        ]
+    where = "recovery"
+    for key in (
+        "accepted",
+        "completed",
+        "failed",
+        "cancelled",
+        "sheds",
+        "breaker_rejections",
+        "breaker_trips",
+        "failovers",
+        "rollbacks",
+        "device_crashes",
+        "device_resets",
+    ):
+        if _require(errors, doc, where, key, (int,)):
+            if doc[key] < 0:
+                errors.append(f"{where}: {key!r} must be >= 0")
+    _require(errors, doc, where, "rollback_residue", (int, float))
+    if _require(errors, doc, where, "health", (str,)):
+        if doc["health"] not in ("healthy", "degraded", "draining"):
+            errors.append(
+                f"{where}: unknown health state {doc['health']!r}"
+            )
+    if _require(errors, doc, where, "breaker_states", (dict,)):
+        for model, state in doc["breaker_states"].items():
+            if state not in ("closed", "open", "half_open"):
+                errors.append(
+                    f"{where}: breaker {model!r} in unknown state {state!r}"
+                )
+    if _require(errors, doc, where, "unterminated", (list,)):
+        if doc["unterminated"]:
+            errors.append(
+                f"{where}: {len(doc['unterminated'])} accepted job(s) "
+                f"never terminated: {doc['unterminated'][:5]}"
+            )
+    if _require(errors, doc, where, "health_transitions", (list,)):
+        for index, entry in enumerate(doc["health_transitions"]):
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 3
+                or not isinstance(entry[0], (int, float))
+                or not isinstance(entry[1], str)
+                or not isinstance(entry[2], str)
+            ):
+                errors.append(
+                    f"{where}: health_transitions[{index}] must be "
+                    f"[time, old, new]"
+                )
     return errors
 
 

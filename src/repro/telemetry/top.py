@@ -64,6 +64,17 @@ def render_frame(
     lines.append("-" * width)
     util = collector.gpu_utilization.value()
     lines.append(f"GPU util   [{_bar(util)}] {util:6.1%}")
+    if (
+        collector.device_crashes.total() > 0
+        or collector.last_health != "healthy"
+    ):
+        lines.append(
+            f"health     {collector.last_health:<10s} "
+            f"crashes {collector.device_crashes.total():.0f}   "
+            f"resets {collector.device_resets.total():.0f}   "
+            f"failover {collector.failovers.total():.0f}   "
+            f"shed {collector.jobs_shed.total():.0f}"
+        )
     depth = 0
     if telemetry.server is not None:
         depth = telemetry.server.driver.total_queued

@@ -1,0 +1,139 @@
+"""Cluster-side recovery: cross-worker failover and cancel parity.
+
+``MultiGpuServer`` historically exposed only ``submit``; a client
+deadline hitting a cluster had nothing to call and cancellation
+silently no-oped.  These tests pin the parity contract (``cancel``
+routes to the owning worker's server) and the cross-worker failover
+path (a crashed worker's jobs replay on a surviving worker).
+"""
+
+from repro.cluster import MultiGpuServer
+from repro.core import FairSharing, OlympianProfile, OlympianScheduler, ProfileStore
+from repro.graph import CostModel
+from repro.recovery import RecoveryConfig, RecoveryManager
+from repro.serving import JobCancelled, JobFailed, ServerConfig
+from repro.sim import Simulator
+
+
+def build_cluster(graph, num_gpus=2, quantum=0.5e-3, seed=0):
+    sim = Simulator()
+    costs = CostModel(noise=0.0).exact(graph, 100)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=graph.gpu_duration(100)
+    )
+    store = ProfileStore()
+    store.add(profile)
+
+    def factory(sim_, server):
+        return OlympianScheduler(sim_, FairSharing(), quantum, store)
+
+    cluster = MultiGpuServer(
+        sim,
+        num_gpus,
+        config=ServerConfig(track_memory=False, seed=seed),
+        scheduler_factory=factory,
+    )
+    cluster.load_model(graph)
+    return sim, cluster
+
+
+def waiter_for(sim, cluster, job, outcomes):
+    done = cluster.submit(job)
+
+    def waiter():
+        try:
+            yield done
+        except (JobFailed, JobCancelled) as exc:
+            outcomes.append((job.client_id, type(exc).__name__))
+        else:
+            outcomes.append((job.client_id, "ok"))
+
+    return sim.process(waiter())
+
+
+class TestCancelParity:
+    def test_cancel_routes_to_owning_worker(self, tiny_graph):
+        sim, cluster = build_cluster(tiny_graph)
+        outcomes = []
+        jobs = [
+            cluster.make_job(f"c{i}", tiny_graph.name, 100) for i in range(2)
+        ]
+        for job in jobs:
+            waiter_for(sim, cluster, job, outcomes)
+        # Round-robin placement: the two jobs sit on different workers.
+        assert cluster.worker_of(jobs[0]) is not cluster.worker_of(jobs[1])
+
+        def canceller():
+            yield sim.timeout(tiny_graph.gpu_duration(100) / 4)
+            assert cluster.cancel(jobs[1])
+
+        sim.process(canceller())
+        sim.run()
+        assert sorted(outcomes) == [("c0", "ok"), ("c1", "JobCancelled")]
+
+    def test_cancel_unknown_job_returns_false(self, tiny_graph):
+        sim, cluster = build_cluster(tiny_graph)
+        stranger = cluster.make_job("x", tiny_graph.name, 100)
+        assert not cluster.cancel(stranger)
+
+    def test_finished_job_lands_in_completed_jobs(self, tiny_graph):
+        sim, cluster = build_cluster(tiny_graph)
+        outcomes = []
+        job = cluster.make_job("c", tiny_graph.name, 100)
+        waiter_for(sim, cluster, job, outcomes)
+        sim.run()
+        assert outcomes == [("c", "ok")]
+        assert job in cluster.completed_jobs
+        assert cluster.active_jobs == 0
+
+
+class TestClusterFailover:
+    def test_crashed_worker_jobs_replay_on_survivor(self, tiny_graph):
+        sim, cluster = build_cluster(tiny_graph)
+        manager = RecoveryManager(
+            RecoveryConfig(failover=True, breaker=None, brownout=None)
+        ).attach(cluster)
+        duration = tiny_graph.gpu_duration(100)
+        outcomes = []
+        jobs = [
+            cluster.make_job(f"c{i}", tiny_graph.name, 100) for i in range(2)
+        ]
+        for job in jobs:
+            waiter_for(sim, cluster, job, outcomes)
+
+        def crasher():
+            yield sim.timeout(duration / 2)
+            # Long reset: replay must route to the surviving worker.
+            cluster.crash_worker(0, reset_latency=10 * duration)
+
+        sim.process(crasher())
+        sim.run()
+        assert sorted(outcomes) == [("c0", "ok"), ("c1", "ok")]
+        assert manager.failovers >= 1
+        assert manager.device_crashes == 1
+        assert cluster.device_crashes == 1
+        assert manager.unterminated() == []
+        assert manager.rolled_back_leaks() == []
+        # The failed-over clone landed on the healthy worker: every
+        # completed job's device is up at completion time except the
+        # crashed attempt's.
+        survivor = cluster.workers[1]
+        names = [job.job_id for job in survivor.server.completed_jobs]
+        assert any("~f" in name for name in names)
+
+    def test_cancel_of_supervised_cluster_job(self, tiny_graph):
+        sim, cluster = build_cluster(tiny_graph)
+        RecoveryManager(
+            RecoveryConfig(failover=True, breaker=None, brownout=None)
+        ).attach(cluster)
+        outcomes = []
+        job = cluster.make_job("c", tiny_graph.name, 100)
+        waiter_for(sim, cluster, job, outcomes)
+
+        def canceller():
+            yield sim.timeout(tiny_graph.gpu_duration(100) / 4)
+            assert cluster.cancel(job)
+
+        sim.process(canceller())
+        sim.run()
+        assert outcomes == [("c", "JobCancelled")]

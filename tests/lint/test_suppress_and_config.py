@@ -165,4 +165,5 @@ class TestRuleResolution:
             "DET005", "DET006", "DET007",
             "OBS001",
             "PERF001",
+            "ROB001",
         ]

@@ -1,0 +1,117 @@
+"""Determinism of chaos campaigns and recovery-enabled runs.
+
+Three layers of the digest contract:
+
+* **Campaign determinism** — re-running a chaos campaign with the same
+  seed reproduces the full JSON document (and therefore the campaign
+  digest) byte for byte, across every scheduler kind.
+* **Telemetry neutrality** — running the same campaign with telemetry
+  enabled changes nothing observable in the run records: the campaign
+  digest is identical (telemetry emits events, it never steers).
+* **Recovery neutrality** — attaching a RecoveryManager to a run with
+  no faults does not perturb the schedule: the trace digest matches a
+  recovery-less run bit for bit (all recovery seams are `None`-checked
+  or crash-gated).
+
+Plus the FaultPlan JSON round-trip that the campaign's replayability
+rests on (a plan is pure data, including device crashes).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import (
+    ChaosConfig,
+    ExperimentConfig,
+    run_chaos_campaign,
+    run_workload,
+)
+from repro.faults import FAULT_KINDS, FaultPlan
+from repro.recovery import RecoveryConfig
+from repro.workloads import homogeneous_workload
+
+FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
+
+# One trial per kind keeps the suite fast while still covering all nine
+# scheduler kinds per campaign.
+QUICK_KW = dict(trials=1, num_batches=2, num_faults=3)
+
+
+class TestCampaignDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_same_seed_reproduces_the_document(self, seed):
+        first = run_chaos_campaign(ChaosConfig(seed=seed, **QUICK_KW))
+        second = run_chaos_campaign(ChaosConfig(seed=seed, **QUICK_KW))
+        assert first.ok, first.violations
+        assert first.to_json() == second.to_json()
+        assert first.campaign_digest() == second.campaign_digest()
+
+    def test_different_seeds_diverge(self):
+        a = run_chaos_campaign(ChaosConfig(seed=0, **QUICK_KW))
+        b = run_chaos_campaign(ChaosConfig(seed=7, **QUICK_KW))
+        assert a.campaign_digest() != b.campaign_digest()
+
+    def test_campaign_covers_every_scheduler_kind(self):
+        result = run_chaos_campaign(ChaosConfig(seed=0, **QUICK_KW))
+        from repro.experiments import SCHEDULER_KINDS
+
+        assert sorted({run.scheduler for run in result.runs}) == sorted(
+            SCHEDULER_KINDS
+        )
+        assert all(run.ok for run in result.runs)
+
+    def test_telemetry_does_not_change_the_digest(self):
+        off = run_chaos_campaign(ChaosConfig(seed=3, **QUICK_KW))
+        on = run_chaos_campaign(
+            ChaosConfig(seed=3, telemetry=True, **QUICK_KW)
+        )
+        assert off.ok and on.ok
+        assert off.campaign_digest() == on.campaign_digest()
+
+
+class TestRecoveryNeutrality:
+    def test_faultless_run_digest_is_unchanged_by_recovery(self):
+        specs = homogeneous_workload(num_clients=3, num_batches=3)
+        plain = run_workload(specs, scheduler="fair", config=FAST)
+        supervised = run_workload(
+            specs,
+            scheduler="fair",
+            config=FAST,
+            recovery=RecoveryConfig(failover=True),
+        )
+        assert supervised.recovery is not None
+        assert plain.trace_digest() == supervised.trace_digest()
+        report = supervised.recovery.report()
+        assert report["completed"] == report["accepted"] == 9
+        assert report["failovers"] == 0
+        assert report["health"] == "healthy"
+
+
+class TestFaultPlanRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        plan = FaultPlan.generate(
+            11,
+            client_ids=["c0", "c1"],
+            kinds=FAULT_KINDS,
+            num_faults=8,
+            horizon=0.25,
+        )
+        assert any(spec.kind == "device_crash" for spec in plan.faults)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.to_json() == plan.to_json()
+
+    def test_generation_is_seed_deterministic(self):
+        kwargs = dict(
+            client_ids=["c0", "c1", "c2"],
+            kinds=FAULT_KINDS,
+            num_faults=6,
+            horizon=0.1,
+        )
+        assert FaultPlan.generate(4, **kwargs) == FaultPlan.generate(
+            4, **kwargs
+        )
+        assert FaultPlan.generate(4, **kwargs) != FaultPlan.generate(
+            5, **kwargs
+        )

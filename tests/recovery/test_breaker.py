@@ -1,0 +1,163 @@
+"""Unit tests for the per-model circuit breaker state machine."""
+
+import pytest
+
+from repro.recovery import BREAKER_STATES, BreakerConfig, CircuitBreaker
+
+
+def make_breaker(**overrides):
+    base = dict(
+        window=0.05,
+        failure_threshold=3,
+        cooldown=0.02,
+        half_open_probes=1,
+        success_threshold=1,
+    )
+    base.update(overrides)
+    return CircuitBreaker("m", BreakerConfig(**base))
+
+
+class TestClosedState:
+    def test_starts_closed_and_admits(self):
+        breaker = make_breaker()
+        assert breaker.state == "closed"
+        assert breaker.admit(0.0)
+        assert breaker.rejections == 0
+
+    def test_trips_at_failure_threshold(self):
+        breaker = make_breaker()
+        breaker.record_failure(0.001)
+        breaker.record_failure(0.002)
+        assert breaker.state == "closed"
+        breaker.record_failure(0.003)
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
+    def test_window_slides_old_failures_out(self):
+        breaker = make_breaker()
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.001)
+        # 0.06 is past window=0.05, so the first two have expired.
+        breaker.record_failure(0.06)
+        assert breaker.state == "closed"
+
+    def test_success_in_closed_is_a_noop(self):
+        breaker = make_breaker()
+        breaker.record_failure(0.001)
+        breaker.record_success(0.002)
+        breaker.record_failure(0.003)
+        assert breaker.state == "closed"
+
+
+class TestOpenState:
+    def trip(self, breaker, at=0.01):
+        for i in range(3):
+            breaker.record_failure(at + i * 1e-4)
+        assert breaker.state == "open"
+
+    def test_open_rejects_and_counts(self):
+        breaker = make_breaker()
+        self.trip(breaker)
+        assert not breaker.admit(0.011)
+        assert breaker.rejections == 1
+
+    def test_retry_after_is_remaining_cooldown(self):
+        breaker = make_breaker()
+        self.trip(breaker, at=0.01)
+        opened = 0.01 + 2e-4
+        hint = breaker.retry_after(opened + 0.005)
+        assert hint == pytest.approx(0.02 - 0.005)
+        assert breaker.retry_after(opened + 1.0) == 0.0
+
+    def test_cooldown_expiry_half_opens_on_admit(self):
+        breaker = make_breaker()
+        self.trip(breaker, at=0.01)
+        assert breaker.admit(0.2)
+        assert breaker.state == "half_open"
+
+
+class TestHalfOpenState:
+    def half_open(self, breaker):
+        for i in range(3):
+            breaker.record_failure(0.01 + i * 1e-4)
+        assert breaker.admit(0.2)  # consumes a probe slot
+        assert breaker.state == "half_open"
+
+    def test_probe_slots_are_bounded(self):
+        breaker = make_breaker(half_open_probes=1)
+        self.half_open(breaker)
+        assert not breaker.admit(0.2001)
+        assert breaker.rejections == 1
+
+    def test_abort_probe_releases_the_slot(self):
+        breaker = make_breaker(half_open_probes=1)
+        self.half_open(breaker)
+        breaker.abort_probe()
+        assert breaker.admit(0.2001)
+
+    def test_probe_success_closes(self):
+        breaker = make_breaker(success_threshold=1)
+        self.half_open(breaker)
+        breaker.record_success(0.21)
+        assert breaker.state == "closed"
+
+    def test_success_threshold_requires_consecutive_probes(self):
+        breaker = make_breaker(success_threshold=2, half_open_probes=2)
+        self.half_open(breaker)
+        breaker.record_success(0.21)
+        assert breaker.state == "half_open"
+        assert breaker.admit(0.22)
+        breaker.record_success(0.23)
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens(self):
+        breaker = make_breaker()
+        self.half_open(breaker)
+        breaker.record_failure(0.21)
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_close_clears_the_failure_window(self):
+        breaker = make_breaker()
+        self.half_open(breaker)
+        breaker.record_success(0.21)
+        # Two more failures must NOT trip (the pre-trip history is gone).
+        breaker.record_failure(0.211)
+        breaker.record_failure(0.212)
+        assert breaker.state == "closed"
+
+
+class TestTransitionHook:
+    def test_hook_sees_every_transition(self):
+        seen = []
+        config = BreakerConfig(failure_threshold=1, cooldown=0.01)
+        breaker = CircuitBreaker(
+            "m", config,
+            on_transition=lambda b, old, new, now: seen.append((old, new)),
+        )
+        breaker.record_failure(0.0)
+        breaker.admit(0.02)
+        breaker.record_success(0.021)
+        assert seen == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        for old, new in seen:
+            assert old in BREAKER_STATES and new in BREAKER_STATES
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0.0},
+            {"failure_threshold": 0},
+            {"cooldown": 0.0},
+            {"half_open_probes": 0},
+            {"success_threshold": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)

@@ -1,0 +1,58 @@
+"""Unit tests for the server health classifier."""
+
+from repro.recovery import HEALTH_STATES, HealthMonitor
+
+
+class TestClassification:
+    def test_starts_healthy(self):
+        monitor = HealthMonitor()
+        assert monitor.state == "healthy"
+        assert monitor.evaluate(0.0, 0, 2, 0, 0) == "healthy"
+        assert monitor.transitions == []
+
+    def test_partial_outage_is_degraded(self):
+        monitor = HealthMonitor()
+        assert monitor.evaluate(0.1, 1, 2, 0, 0) == "degraded"
+
+    def test_open_breaker_is_degraded(self):
+        monitor = HealthMonitor()
+        assert monitor.evaluate(0.1, 0, 2, 1, 0) == "degraded"
+
+    def test_pending_backlog_is_degraded(self):
+        monitor = HealthMonitor()
+        assert monitor.evaluate(0.1, 0, 2, 0, 3) == "degraded"
+
+    def test_total_outage_is_draining(self):
+        monitor = HealthMonitor()
+        assert monitor.evaluate(0.1, 2, 2, 0, 0) == "draining"
+        # Total outage dominates any other signal.
+        assert monitor.evaluate(0.2, 1, 1, 4, 9) == "draining"
+
+    def test_server_heals(self):
+        monitor = HealthMonitor()
+        monitor.evaluate(0.1, 1, 2, 0, 0)
+        assert monitor.evaluate(0.2, 0, 2, 0, 0) == "healthy"
+        assert monitor.transitions == [
+            (0.1, "healthy", "degraded"),
+            (0.2, "degraded", "healthy"),
+        ]
+
+    def test_no_transition_recorded_without_change(self):
+        monitor = HealthMonitor()
+        monitor.evaluate(0.1, 1, 2, 0, 0)
+        monitor.evaluate(0.2, 1, 2, 0, 0)
+        assert len(monitor.transitions) == 1
+
+    def test_hook_fires_with_states(self):
+        seen = []
+        monitor = HealthMonitor(
+            on_transition=lambda old, new, now: seen.append((old, new, now))
+        )
+        monitor.evaluate(0.1, 2, 2, 0, 0)
+        monitor.evaluate(0.3, 0, 2, 0, 0)
+        assert seen == [
+            ("healthy", "draining", 0.1),
+            ("draining", "healthy", 0.3),
+        ]
+        for old, new, _now in seen:
+            assert old in HEALTH_STATES and new in HEALTH_STATES

@@ -1,0 +1,393 @@
+"""Integration tests for the RecoveryManager on a single-GPU server.
+
+Each test wires a real ModelServer (+ Olympian scheduler where the
+rollback path matters), attaches a manager, and drives crashes/sheds
+through the simulator — no mocks, the same machinery the chaos
+campaign exercises.
+"""
+
+import pytest
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.graph import CostModel
+from repro.recovery import (
+    BreakerConfig,
+    BrownoutConfig,
+    JobShed,
+    ModelUnavailable,
+    RecoveryConfig,
+    RecoveryManager,
+)
+from repro.serving import (
+    Job,
+    JobCancelled,
+    JobFailed,
+    ModelServer,
+    ServerConfig,
+)
+from repro.sim import Simulator
+
+
+def make_server(graph, olympian=True, quantum=0.5e-3, seed=0):
+    sim = Simulator()
+    scheduler = None
+    if olympian:
+        costs = CostModel(noise=0.0).exact(graph, 100)
+        profile = OlympianProfile.from_cost_profile(
+            costs, gpu_duration=graph.gpu_duration(100)
+        )
+        store = ProfileStore()
+        store.add(profile)
+        scheduler = OlympianScheduler(sim, FairSharing(), quantum, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=seed), scheduler=scheduler
+    )
+    server.load_model(graph)
+    return sim, server
+
+
+def attach(server, **overrides):
+    base = dict(failover=True, breaker=None, brownout=None)
+    base.update(overrides)
+    return RecoveryManager(RecoveryConfig(**base)).attach(server)
+
+
+def supervised_waiter(sim, server, job, outcomes):
+    # Submit synchronously (so submission order is the program order)
+    # and park a process on the supervised completion event.
+    done = server.submit(job)
+
+    def waiter():
+        try:
+            yield done
+        except (JobFailed, JobCancelled) as exc:
+            outcomes.append((job.client_id, type(exc).__name__))
+        else:
+            outcomes.append((job.client_id, "ok"))
+
+    return sim.process(waiter())
+
+
+class TestFailover:
+    def test_crashed_jobs_replay_after_reset(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        manager = attach(server)
+        duration = tiny_graph.gpu_duration(100)
+        outcomes = []
+        jobs = [
+            server.make_job(f"c{i}", tiny_graph.name, 100) for i in range(3)
+        ]
+        for job in jobs:
+            supervised_waiter(sim, server, job, outcomes)
+
+        def crasher():
+            yield sim.timeout(duration / 2)
+            server.crash_device(1e-3)
+
+        sim.process(crasher())
+        sim.run()
+        assert sorted(outcomes) == [(f"c{i}", "ok") for i in range(3)]
+        assert manager.failovers >= 1
+        assert manager.rollbacks == manager.failovers
+        assert manager.device_crashes == 1
+        assert manager.device_resets == 1
+        assert manager.unterminated() == []
+        assert manager.rolled_back_leaks() == []
+        report = manager.report()
+        assert report["completed"] == 3
+        assert report["health"] == "healthy"
+        # The outage was visible while it lasted.
+        assert ["healthy", "draining"] in [
+            [old, new] for _t, old, new in manager.health.transitions
+        ]
+
+    def test_failover_rolls_back_fairness_accounting(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        manager = attach(server)
+        duration = tiny_graph.gpu_duration(100)
+        outcomes = []
+        job = server.make_job("c", tiny_graph.name, 100)
+        supervised_waiter(sim, server, job, outcomes)
+
+        def crasher():
+            yield sim.timeout(duration / 2)
+            server.crash_device(1e-3)
+
+        sim.process(crasher())
+        sim.run()
+        assert outcomes == [("c", "ok")]
+        # The dead attempt's partial charges were dropped...
+        assert manager.rollback_residue > 0
+        # ...and the origin job carries none of them.
+        assert job.cumulated_cost == 0.0
+
+    def test_failover_cap_surfaces_the_failure(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        manager = attach(server, max_failovers=0)
+        duration = tiny_graph.gpu_duration(100)
+        outcomes = []
+        job = server.make_job("c", tiny_graph.name, 100)
+        supervised_waiter(sim, server, job, outcomes)
+
+        def crasher():
+            yield sim.timeout(duration / 2)
+            server.crash_device(1e-3)
+
+        sim.process(crasher())
+        sim.run()
+        assert outcomes == [("c", "JobFailed")]
+        assert manager.failovers == 0
+        assert manager.report()["failed"] == 1
+
+    def test_recovery_off_crash_is_a_plain_failure(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        manager = attach(server, failover=False)
+        duration = tiny_graph.gpu_duration(100)
+        outcomes = []
+        job = server.make_job("c", tiny_graph.name, 100)
+        supervised_waiter(sim, server, job, outcomes)
+
+        def crasher():
+            yield sim.timeout(duration / 2)
+            server.crash_device(1e-3)
+
+        sim.process(crasher())
+        sim.run()
+        assert outcomes == [("c", "JobFailed")]
+        assert manager.unterminated() == []
+
+
+class TestBreaker:
+    def test_crash_storm_trips_the_breaker(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        manager = attach(
+            server,
+            failover=False,
+            breaker=BreakerConfig(
+                failure_threshold=1, window=1.0,
+                cooldown=tiny_graph.gpu_duration(100),
+            ),
+        )
+        duration = tiny_graph.gpu_duration(100)
+        outcomes = []
+        job = server.make_job("c", tiny_graph.name, 100)
+        supervised_waiter(sim, server, job, outcomes)
+        rejections = []
+
+        def crasher():
+            yield sim.timeout(duration / 2)
+            server.crash_device(1e-3)
+
+        def late_submitter():
+            # Arrives after the crash failed the first job, inside the
+            # cooldown: open breaker.
+            yield sim.timeout(duration * 0.75)
+            late = server.make_job("c2", tiny_graph.name, 100)
+            try:
+                server.submit(late)
+            except ModelUnavailable as exc:
+                rejections.append(exc)
+
+        sim.process(crasher())
+        sim.process(late_submitter())
+        sim.run()
+        assert outcomes == [("c", "JobFailed")]
+        assert len(rejections) == 1
+        assert rejections[0].state == "open"
+        assert rejections[0].retry_after > 0
+        assert manager.breaker_rejections == 1
+        assert manager.report()["breaker_trips"] == 1
+
+    def test_breaker_half_opens_and_closes_after_cooldown(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        cooldown = 5e-3
+        manager = attach(
+            server,
+            failover=False,
+            breaker=BreakerConfig(
+                failure_threshold=1, window=1.0, cooldown=cooldown
+            ),
+        )
+        duration = tiny_graph.gpu_duration(100)
+        outcomes = []
+        job = server.make_job("c", tiny_graph.name, 100)
+        supervised_waiter(sim, server, job, outcomes)
+
+        def crasher():
+            yield sim.timeout(duration / 2)
+            server.crash_device(1e-3)
+
+        def probe():
+            # Arrive well past the cooldown: admitted as a probe, and
+            # its success closes the breaker again.
+            yield sim.timeout(duration + cooldown + 2e-3)
+            probe_job = server.make_job("p", tiny_graph.name, 100)
+            supervised_waiter(sim, server, probe_job, outcomes)
+
+        sim.process(crasher())
+        sim.process(probe())
+        sim.run()
+        assert ("p", "ok") in outcomes
+        assert manager.report()["breaker_states"] == {
+            tiny_graph.name: "closed"
+        }
+
+
+class TestBrownout:
+    def brownout_server(self, graph, max_active=1, max_pending=1):
+        sim, server = make_server(graph)
+        manager = attach(
+            server,
+            brownout=BrownoutConfig(
+                max_active=max_active, max_pending=max_pending
+            ),
+        )
+        return sim, server, manager
+
+    def test_overflow_queues_then_dispatches(self, tiny_graph):
+        sim, server, manager = self.brownout_server(tiny_graph)
+        outcomes = []
+
+        def submitter():
+            for i in range(2):
+                job = server.make_job(f"c{i}", tiny_graph.name, 100)
+                supervised_waiter(sim, server, job, outcomes)
+            yield sim.timeout(0)
+            assert manager.pending_depth == 1
+
+        sim.process(submitter())
+        sim.run()
+        assert sorted(outcomes) == [("c0", "ok"), ("c1", "ok")]
+        assert manager.dispatched_from_queue == 1
+        assert manager.max_pending_seen == 1
+        assert manager.report()["pending"] == 0
+
+    def test_arriving_job_is_shed_when_queue_full(self, tiny_graph):
+        sim, server, manager = self.brownout_server(tiny_graph)
+        outcomes = []
+        sheds = []
+
+        def submitter():
+            for i in range(2):
+                job = server.make_job(f"c{i}", tiny_graph.name, 100)
+                supervised_waiter(sim, server, job, outcomes)
+            # Queue full, no deadlines anywhere: the newest arrival is
+            # the lowest-slack candidate and is shed synchronously.
+            third = server.make_job("c2", tiny_graph.name, 100)
+            try:
+                server.submit(third)
+            except JobShed as exc:
+                sheds.append(exc)
+            yield sim.timeout(0)
+
+        sim.process(submitter())
+        sim.run()
+        assert len(sheds) == 1
+        assert sheds[0].retry_after > 0
+        assert manager.sheds == 1
+        # The shed job was never accepted; the other two completed.
+        assert manager.report()["accepted"] == 2
+        assert sorted(outcomes) == [("c0", "ok"), ("c1", "ok")]
+
+    def test_tight_deadline_queued_job_is_displaced(self, tiny_graph):
+        sim, server, manager = self.brownout_server(tiny_graph)
+        outcomes = []
+
+        def submitter():
+            first = server.make_job("c0", tiny_graph.name, 100)
+            supervised_waiter(sim, server, first, outcomes)
+            # Queued with a deadline it cannot make: finite slack.
+            doomed = Job(
+                sim, "c1", server.model(tiny_graph.name), 100,
+                deadline=sim.now + 1e-6,
+            )
+            supervised_waiter(sim, server, doomed, outcomes)
+            # No deadline (infinite slack): displaces the doomed job.
+            third = server.make_job("c2", tiny_graph.name, 100)
+            supervised_waiter(sim, server, third, outcomes)
+            yield sim.timeout(0)
+
+        sim.process(submitter())
+        sim.run()
+        assert ("c1", "JobFailed") in outcomes
+        assert ("c0", "ok") in outcomes
+        assert ("c2", "ok") in outcomes
+        assert manager.sheds == 1
+        assert manager.dispatched_from_queue == 1
+
+    def test_health_degrades_while_backlogged(self, tiny_graph):
+        sim, server, manager = self.brownout_server(tiny_graph)
+        outcomes = []
+
+        def submitter():
+            for i in range(2):
+                job = server.make_job(f"c{i}", tiny_graph.name, 100)
+                supervised_waiter(sim, server, job, outcomes)
+            yield sim.timeout(0)
+            assert manager.health.state == "degraded"
+
+        sim.process(submitter())
+        sim.run()
+        assert manager.health.state == "healthy"
+        transitions = [
+            (old, new) for _t, old, new in manager.health.transitions
+        ]
+        assert ("healthy", "degraded") in transitions
+        assert ("degraded", "healthy") in transitions
+
+
+class TestCancellation:
+    def test_cancel_pending_job(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        manager = attach(
+            server, brownout=BrownoutConfig(max_active=1, max_pending=2)
+        )
+        outcomes = []
+
+        def submitter():
+            first = server.make_job("c0", tiny_graph.name, 100)
+            supervised_waiter(sim, server, first, outcomes)
+            queued = server.make_job("c1", tiny_graph.name, 100)
+            supervised_waiter(sim, server, queued, outcomes)
+            yield sim.timeout(0)
+            assert server.cancel(queued)
+
+        sim.process(submitter())
+        sim.run()
+        assert ("c1", "JobCancelled") in outcomes
+        assert ("c0", "ok") in outcomes
+        assert manager.report()["cancelled"] == 1
+        assert manager.dispatched_from_queue == 0
+
+    def test_cancel_while_waiting_for_reset(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        manager = attach(server)
+        duration = tiny_graph.gpu_duration(100)
+        outcomes = []
+        job = server.make_job("c", tiny_graph.name, 100)
+        supervised_waiter(sim, server, job, outcomes)
+
+        def crash_then_cancel():
+            yield sim.timeout(duration / 2)
+            # Long reset: the watcher parks at the reset barrier.
+            server.crash_device(10 * duration)
+            yield sim.timeout(duration)
+            assert server.cancel(job)
+
+        sim.process(crash_then_cancel())
+        sim.run()
+        assert outcomes == [("c", "JobCancelled")]
+        # Abandoned mid-failover: no replay was attempted.
+        assert manager.failovers == 0
+        assert manager.unterminated() == []
+
+    def test_cancel_unknown_job_returns_false(self, tiny_graph):
+        sim, server = make_server(tiny_graph)
+        attach(server)
+        stranger = server.make_job("x", tiny_graph.name, 100)
+        assert not server.cancel(stranger)

@@ -1,0 +1,192 @@
+"""Recovery events through the telemetry pipeline.
+
+The six recovery event kinds (`device.crashed`, `device.reset`,
+`job.failed_over`, `job.shed`, `breaker.state`, `health.state`) flow
+from the serving/recovery seams through the bus into the metrics
+collector, the Prometheus exposition, and the `repro top` health line;
+`validate_recovery_report` gates the recovery report document.
+"""
+
+from repro.core import (
+    FairSharing,
+    OlympianProfile,
+    OlympianScheduler,
+    ProfileStore,
+)
+from repro.graph import CostModel
+from repro.recovery import (
+    BreakerConfig,
+    BrownoutConfig,
+    JobShed,
+    RecoveryConfig,
+    RecoveryManager,
+)
+from repro.serving import JobCancelled, JobFailed, ModelServer, ServerConfig
+from repro.sim import Simulator
+from repro.telemetry import Telemetry, TelemetryConfig, render_prometheus
+from repro.telemetry.events import EVENT_KINDS
+from repro.telemetry.schema import validate_recovery_report
+from repro.telemetry.top import render_frame
+from repro.telemetry.exposition import snapshot_registry
+
+RECOVERY_KINDS = (
+    "device.crashed",
+    "device.reset",
+    "job.failed_over",
+    "job.shed",
+    "breaker.state",
+    "health.state",
+)
+
+
+def crashy_run(tiny_graph, recovery_overrides=None):
+    """A telemetry-instrumented run with one mid-flight device crash."""
+    sim = Simulator()
+    costs = CostModel(noise=0.0).exact(tiny_graph, 100)
+    profile = OlympianProfile.from_cost_profile(
+        costs, gpu_duration=tiny_graph.gpu_duration(100)
+    )
+    store = ProfileStore()
+    store.add(profile)
+    scheduler = OlympianScheduler(sim, FairSharing(), 0.5e-3, store)
+    server = ModelServer(
+        sim, ServerConfig(track_memory=False, seed=0), scheduler=scheduler
+    )
+    server.load_model(tiny_graph)
+    telemetry = Telemetry(TelemetryConfig()).attach(server)
+    base = dict(
+        failover=True,
+        breaker=BreakerConfig(),
+        brownout=BrownoutConfig(max_active=1, max_pending=1),
+    )
+    base.update(recovery_overrides or {})
+    manager = RecoveryManager(RecoveryConfig(**base)).attach(server)
+    outcomes = []
+
+    def client(name):
+        job = server.make_job(name, tiny_graph.name, 100)
+        try:
+            done = server.submit(job)
+        except JobShed:
+            outcomes.append((name, "shed"))
+            return
+        try:
+            yield done
+        except (JobFailed, JobCancelled) as exc:
+            outcomes.append((name, type(exc).__name__))
+        else:
+            outcomes.append((name, "ok"))
+
+    def crasher():
+        yield sim.timeout(tiny_graph.gpu_duration(100) / 2)
+        server.crash_device(1e-3)
+
+    def submit_all():
+        # Three clients against max_active=1, max_pending=1: one runs,
+        # one queues, one is shed at admission.
+        for name in ("c0", "c1", "c2"):
+            sim.process(client(name), name=f"client:{name}")
+        yield sim.timeout(0)
+
+    sim.process(submit_all())
+    sim.process(crasher())
+    sim.run()
+    return telemetry, manager, outcomes
+
+
+class TestEventCatalogue:
+    def test_recovery_kinds_are_registered(self):
+        for kind in RECOVERY_KINDS:
+            assert kind in EVENT_KINDS
+
+
+class TestPipelineIntegration:
+    def test_recovery_events_flow_through_the_bus(self, tiny_graph):
+        telemetry, manager, outcomes = crashy_run(tiny_graph)
+        counts = telemetry.bus.kind_counts
+        assert counts.get("device.crashed") == 1
+        assert counts.get("device.reset") == 1
+        assert counts.get("job.failed_over", 0) == manager.failovers
+        assert counts.get("job.shed", 0) == manager.sheds >= 1
+        assert counts.get("health.state", 0) == len(
+            manager.health.transitions
+        )
+
+    def test_collector_mirrors_manager_counters(self, tiny_graph):
+        telemetry, manager, _ = crashy_run(tiny_graph)
+        collector = telemetry.collector
+        assert collector.device_crashes.total() == manager.device_crashes
+        assert collector.device_resets.total() == manager.device_resets
+        assert collector.failovers.total() == manager.failovers
+        assert collector.jobs_shed.total() == manager.sheds
+        assert collector.last_health == manager.health.state
+
+    def test_rollup_carries_recovery_counters(self, tiny_graph):
+        telemetry, manager, _ = crashy_run(tiny_graph)
+        rollup = telemetry.rollup()
+        assert rollup["device_crashes"] == manager.device_crashes
+        assert rollup["device_resets"] == manager.device_resets
+        assert rollup["failovers"] == manager.failovers
+        assert rollup["jobs_shed"] == manager.sheds
+        assert rollup["health"] == "healthy"
+
+    def test_prometheus_exposition_names_recovery_families(
+        self, tiny_graph
+    ):
+        telemetry, _, _ = crashy_run(tiny_graph)
+        text = render_prometheus(telemetry.registry)
+        for family in (
+            "device_crashes_total",
+            "device_resets_total",
+            "job_failovers_total",
+            "jobs_shed_total",
+            "health_state",
+        ):
+            assert family in text, family
+
+    def test_top_frame_shows_health_after_a_crash(self, tiny_graph):
+        telemetry, _, _ = crashy_run(tiny_graph)
+        frame = render_frame(
+            snapshot_registry(telemetry.registry, time=telemetry.sim.now),
+            telemetry,
+        )
+        assert "health" in frame
+        assert "crashes 1" in frame
+
+
+class TestRecoveryReportSchema:
+    def test_real_report_validates(self, tiny_graph):
+        _, manager, _ = crashy_run(tiny_graph)
+        assert validate_recovery_report(manager.report()) == []
+
+    def test_rejects_non_object(self):
+        assert validate_recovery_report([1, 2]) != []
+
+    def test_rejects_negative_counter(self, tiny_graph):
+        _, manager, _ = crashy_run(tiny_graph)
+        doc = manager.report()
+        doc["failovers"] = -1
+        assert any("failovers" in e for e in validate_recovery_report(doc))
+
+    def test_rejects_unknown_health_state(self, tiny_graph):
+        _, manager, _ = crashy_run(tiny_graph)
+        doc = manager.report()
+        doc["health"] = "on-fire"
+        assert any("health" in e for e in validate_recovery_report(doc))
+
+    def test_rejects_unterminated_jobs(self, tiny_graph):
+        _, manager, _ = crashy_run(tiny_graph)
+        doc = manager.report()
+        doc["unterminated"] = ["c9#9"]
+        assert any(
+            "never terminated" in e for e in validate_recovery_report(doc)
+        )
+
+    def test_rejects_malformed_transition(self, tiny_graph):
+        _, manager, _ = crashy_run(tiny_graph)
+        doc = manager.report()
+        doc["health_transitions"] = [[0.1, "healthy"]]
+        assert any(
+            "health_transitions" in e
+            for e in validate_recovery_report(doc)
+        )
