@@ -1,0 +1,29 @@
+"""Extension: spatial GPU sharing on a multi-stream device.
+
+Two figures beyond the paper (docs/SPATIAL.md): throughput/fairness
+as the device's stream count grows, and real-time deadline misses
+under pure temporal fair sharing vs the spatio-temporal kinds.  The
+headline claim is the second one — co-locating the RT class on its
+own streams (and oversubscribing them, DARIS-style, for "spatial-rt")
+beats rotating everyone through one big time-sliced queue.
+"""
+
+from repro.experiments import spatial_sharing
+from benchmarks.conftest import run_once
+
+
+def test_ext_spatial(benchmark, record_report):
+    result = run_once(benchmark, spatial_sharing)
+    record_report("ext_spatial", result.report())
+    # More streams buy aggregate throughput (with diminishing returns).
+    by_streams = {p.streams: p for p in result.sweep}
+    assert by_streams[4].throughput > 1.5 * by_streams[1].throughput
+    assert by_streams[8].throughput > by_streams[4].throughput
+    # Concurrency must not wreck fairness across clients.
+    assert all(p.fairness > 0.9 for p in result.sweep)
+    # Multi-stream runs actually co-schedule kernels.
+    assert by_streams[4].peak_occupancy > 1
+    # The acceptance claim: spatio-temporal sharing beats pure temporal
+    # fair sharing on RT deadline misses.
+    assert result.miss_rate("spatial-rt") < result.miss_rate("fair")
+    assert result.miss_rate("spatial") < result.miss_rate("fair")

@@ -60,6 +60,9 @@ OUTPUT_FILENAME = "BENCH_current.json"
 _DIGEST_SEED = 3
 _DIGEST_QUANTUM = 1.2e-3
 _DIGEST_BATCHES = 2
+# The spatial kinds are additionally pinned on a multi-stream device
+# (the serial-path pins above already cover them at streams=1).
+_DIGEST_STREAMS = 4
 
 
 def _now() -> float:
@@ -235,6 +238,7 @@ def digest_table() -> Dict[str, str]:
     """`trace_digest` per scheduler kind on a small complex workload."""
     from ..experiments.runner import (
         SCHEDULER_KINDS,
+        SPATIAL_SCHEDULER_KINDS,
         ExperimentConfig,
         run_workload,
     )
@@ -242,10 +246,17 @@ def digest_table() -> Dict[str, str]:
 
     config = ExperimentConfig(quantum=_DIGEST_QUANTUM, seed=_DIGEST_SEED)
     specs = complex_workload(num_batches=_DIGEST_BATCHES)
-    return {
+    table = {
         kind: run_workload(specs, scheduler=kind, config=config).trace_digest()
         for kind in SCHEDULER_KINDS
     }
+    spatial_config = ExperimentConfig(
+        quantum=_DIGEST_QUANTUM, seed=_DIGEST_SEED, streams=_DIGEST_STREAMS
+    )
+    for kind in SPATIAL_SCHEDULER_KINDS:
+        result = run_workload(specs, scheduler=kind, config=spatial_config)
+        table[f"{kind}@s{_DIGEST_STREAMS}"] = result.trace_digest()
+    return table
 
 
 # ----------------------------------------------------------------------

@@ -111,11 +111,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import RetryPolicy
     from .workloads import homogeneous_workload
 
+    if args.streams is not None and args.streams < 1:
+        print(f"error: --streams must be >= 1: {args.streams}", file=sys.stderr)
+        return 2
+    if args.oversubscription < 1.0:
+        print(
+            f"error: --oversubscription must be >= 1.0: "
+            f"{args.oversubscription}",
+            file=sys.stderr,
+        )
+        return 2
     config = ExperimentConfig(
         scale=args.scale,
         seed=args.seed,
         quantum=args.quantum,
         stall_threshold=args.stall_threshold,
+        streams=args.streams,
+        oversubscription=args.oversubscription,
     )
     specs = homogeneous_workload(
         num_clients=args.clients,
@@ -368,6 +380,7 @@ def _artefacts() -> Dict[str, Callable[[], object]]:
         "ext-slo": ex.slo_attainment,
         "ext-faults": ex.fault_tolerance,
         "ext-recovery": ex.recovery_goodput,
+        "ext-spatial": ex.spatial_sharing,
     }
 
 
@@ -597,11 +610,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "tf-serving", "fair", "weighted", "priority", "timer",
             "deficit-rr", "lottery", "edf", "srw",
+            "spatial", "spatial-rt",
         ],
     )
     serve.add_argument("--scale", type=float, default=0.05)
     serve.add_argument("--seed", type=int, default=3)
     serve.add_argument("--quantum", type=float, default=None)
+    serve.add_argument(
+        "--streams", type=int, default=None,
+        help="GPU compute streams (spatial sharing; default: spec's 1)",
+    )
+    serve.add_argument(
+        "--oversubscription", type=float, default=1.0,
+        help="spatial-rt logical capacity factor (>= 1.0; 1.0 selects "
+             "the built-in real-time default)",
+    )
     serve.add_argument(
         "--profiles", default=None, help="profile bundle from `profile`"
     )
@@ -778,6 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
             choices=[
                 "tf-serving", "fair", "weighted", "priority", "timer",
                 "deficit-rr", "lottery", "edf", "srw",
+                "spatial", "spatial-rt",
             ],
         )
         command.add_argument("--scale", type=float, default=0.05)

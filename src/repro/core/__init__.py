@@ -18,6 +18,8 @@ from .policies_ext import (
     EarliestDeadlineFirst,
     LotteryScheduling,
     ShortestRemainingWork,
+    stream_allocation,
+    validate_spatial_share,
 )
 from .monitor import DriftAlert, QuantumMonitor
 from .persistence import (
@@ -43,6 +45,7 @@ from .scheduler import (
     GangScheduler,
     OlympianScheduler,
     SchedulingDecision,
+    SpatioTemporalScheduler,
     Tenure,
 )
 
@@ -58,6 +61,8 @@ __all__ = [
     "EarliestDeadlineFirst",
     "LotteryScheduling",
     "ShortestRemainingWork",
+    "stream_allocation",
+    "validate_spatial_share",
     "DriftAlert",
     "QuantumMonitor",
     "load_profiler_output",
@@ -82,5 +87,6 @@ __all__ = [
     "GangScheduler",
     "OlympianScheduler",
     "SchedulingDecision",
+    "SpatioTemporalScheduler",
     "Tenure",
 ]

@@ -17,6 +17,11 @@ accounting properties:
   remaining GPU work wins (SRPT-style, minimises mean latency);
   progress is estimated from executed GPU-node counts so the policy
   needs no profile access.
+
+The spatial helpers at the bottom (:func:`stream_allocation`,
+:func:`validate_spatial_share`) convert fractional GPU shares into
+whole-stream grants for the spatio-temporal schedulers
+(:class:`~repro.core.scheduler.SpatioTemporalScheduler`).
 """
 
 from __future__ import annotations
@@ -34,6 +39,8 @@ __all__ = [
     "EarliestDeadlineFirst",
     "ShortestRemainingWork",
     "AgedPriorityScheduling",
+    "stream_allocation",
+    "validate_spatial_share",
 ]
 
 
@@ -233,3 +240,38 @@ class AgedPriorityScheduling(SchedulingPolicy):
             else:
                 self._ages[job.job_id] = self._ages.get(job.job_id, 0.0) + 1.0
         return chosen
+
+
+# ----------------------------------------------------------------------
+# Spatial-share helpers (spatio-temporal schedulers)
+# ----------------------------------------------------------------------
+
+
+def validate_spatial_share(share: float, oversubscription: float = 1.0) -> float:
+    """Reject GPU shares outside the device budget.
+
+    A share above 1.0 requests more than the whole device, which is
+    only meaningful under DARIS-style oversubscription (> 1.0); without
+    it the request is a configuration error, not a clamp.
+    """
+    if share <= 0:
+        raise ValueError(f"share must be positive: {share}")
+    if share > 1.0 and oversubscription <= 1.0:
+        raise ValueError(
+            f"share {share} exceeds 1.0 and oversubscription is not "
+            f"enabled (oversubscription={oversubscription})"
+        )
+    return share
+
+
+def stream_allocation(share: float, streams: int) -> int:
+    """Whole streams granted for a fractional ``share`` of the device.
+
+    Nearest integer, floored at one stream (any admitted job can make
+    progress) and capped at the whole device.
+    """
+    if not 0.0 < share <= 1.0:
+        raise ValueError(f"share must be in (0, 1]: {share}")
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1: {streams}")
+    return max(1, min(streams, int(round(share * streams))))

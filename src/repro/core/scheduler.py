@@ -24,10 +24,20 @@ run on the GPU after the switch — and the node's cost is still charged
 to the original job's ``cumulated_cost``, exactly as the paper
 describes.  This falls out of the hook placement: accounting happens in
 ``on_node_done``, on the thread that launched the node.
+
+Beyond the paper, :class:`SpatioTemporalScheduler` generalises the
+single token to a *set* of resident jobs on a multi-stream device
+(``GpuSpec.streams > 1``): each resident holds a whole-stream
+allocation derived from its weight share, keeps it for an Olympian
+cost-accumulation time slice, and is then recycled through a seeded
+weighted lottery over the waiters.  A DARIS-style oversubscription
+factor lets real-time jobs (``priority > 0``) be admitted past the
+physical budget.  See docs/SPATIAL.md.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set
 
@@ -36,8 +46,10 @@ from ..serving.hooks import SchedulerHook
 from ..serving.request import Job
 from ..sim.core import Process, Simulator
 from ..sim.resources import ConditionVariable
+from ..sim.rng import derive_seed
 from .accounting import OlympianProfile, ProfileStore
 from .policies import SchedulingPolicy
+from .policies_ext import stream_allocation, validate_spatial_share
 
 __all__ = [
     "SchedulingDecision",
@@ -46,6 +58,7 @@ __all__ = [
     "GangScheduler",
     "OlympianScheduler",
     "CpuTimerScheduler",
+    "SpatioTemporalScheduler",
     "DEFAULT_WAKE_LATENCY",
 ]
 
@@ -480,3 +493,288 @@ class CpuTimerScheduler(GangScheduler):
             return
         if self.sim.now - self._current_tenure.start >= self.quantum:
             self._switch(job)
+
+
+class SpatioTemporalScheduler(OlympianScheduler):
+    """Spatial + temporal sharing for a multi-stream device.
+
+    Generalises the token to a resident *set*: up to ``streams`` worth
+    of stream allocations are outstanding at once, each derived from
+    the job's weight share of the registered population
+    (:func:`~repro.core.policies_ext.stream_allocation`).  A resident
+    keeps its allocation for one Olympian cost-accumulation slice
+    (``T_j = Q * C_j / D_j``, same accounting as the temporal
+    scheduler); when the slice expires *and* other jobs are waiting,
+    the resident is demoted and the freed capacity is re-filled by a
+    seeded weighted lottery over the eligible waiters — temporal
+    multiplexing of the spatial shares.
+
+    ``oversubscription > 1.0`` enables the DARIS-style real-time mode:
+    jobs with ``priority > 0`` may be admitted while total allocations
+    are below ``streams * oversubscription`` (a logical budget — the
+    physical engine still arbitrates its ``streams`` lanes), which
+    bounds their admission latency at the cost of background
+    interference.
+
+    Differences from the token machinery this class inherits:
+    ``holder`` stays ``None`` (no single token exists), concurrent
+    tenures legitimately overlap, and admissions are reported to the
+    invariant checker via ``after_spatial_admission`` rather than
+    ``after_decision`` (whose single-holder assertions do not apply).
+    ``decisions``/``tenures``/``evictions`` are still populated, so
+    trace digests cover every admission.  The stall watchdog is inert
+    (it guards the holder).
+    """
+
+    name = "spatio-temporal"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: SchedulingPolicy,
+        quantum: float,
+        profiles: ProfileStore,
+        streams: int,
+        wake_latency: float = DEFAULT_WAKE_LATENCY,
+        stall_threshold: Optional[float] = None,
+        oversubscription: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            sim,
+            policy,
+            quantum,
+            profiles,
+            wake_latency,
+            stall_threshold=stall_threshold,
+        )
+        if streams < 1:
+            raise ValueError(f"streams must be >= 1: {streams}")
+        if oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1.0: {oversubscription}"
+            )
+        self.streams = streams
+        self.oversubscription = oversubscription
+        # Namespaced so a shared experiment seed cannot correlate the
+        # admission lottery with any other component's draws.
+        self.rng = random.Random(derive_seed(seed, "sched:spatial"))
+        self._alloc: Dict[str, int] = {}
+        self._waiting: List[Job] = []
+        self._share_overrides: Dict[str, float] = {}
+        self._open_tenures: Dict[str, Tenure] = {}
+
+    # ------------------------------------------------------------------
+    # Shares and allocations
+    # ------------------------------------------------------------------
+
+    def set_share(self, job: Job, share: float) -> None:
+        """Override ``job``'s GPU share (fraction of the device).
+
+        Shares above 1.0 are rejected unless oversubscription is
+        enabled (DARIS real-time mode).
+        """
+        validate_spatial_share(share, self.oversubscription)
+        self._share_overrides[job.job_id] = share
+
+    def share_of(self, job: Job) -> float:
+        """``job``'s fractional device share (override or weight share)."""
+        override = self._share_overrides.get(job.job_id)
+        if override is not None:
+            return override
+        total = sum(peer.weight for peer in self.policy.active_jobs)
+        if total <= 0:
+            return 1.0
+        return job.weight / total
+
+    def allocation_of(self, job: Job) -> int:
+        """Whole streams ``job`` gets when admitted."""
+        return stream_allocation(min(1.0, self.share_of(job)), self.streams)
+
+    def resident_shares(self) -> Dict[str, float]:
+        """Fraction of the device each *resident* job currently holds."""
+        return {
+            job_id: alloc / self.streams
+            for job_id, alloc in self._alloc.items()
+        }
+
+    def allowed_concurrency(self, job_id: str) -> int:
+        """Device-side concurrency bound for ``job_id``.
+
+        Non-residents get 1 — the overflow lane: a kernel launched just
+        before demotion may still run (the temporal scheduler's
+        overflow semantics, Figure 10), but a waiting job cannot expand.
+        """
+        return self._alloc.get(job_id, 1)
+
+    def _is_rt(self, job: Job) -> bool:
+        return self.oversubscription > 1.0 and job.priority > 0
+
+    def _rt_budget(self) -> int:
+        return int(self.streams * self.oversubscription + 1e-9)
+
+    # ------------------------------------------------------------------
+    # Hook overrides (no single token)
+    # ------------------------------------------------------------------
+
+    def register(self, job: Job) -> None:
+        self._conditions[job.job_id] = ConditionVariable(self.sim)
+        self._prepare_job(job)
+        self.policy.on_register(job)
+        self._last_progress = self.sim.now
+        if self.invariants is not None:
+            self.invariants.after_register(self, job)
+        self._waiting.append(job)
+        self._fill(prev=None)
+        self._start_watchdog()
+
+    def needs_yield(self, job: Job) -> bool:
+        return (
+            job.job_id not in self._alloc
+            and not job.aborted
+            and job.job_id in self._conditions
+        )
+
+    def yield_(self, job: Job) -> Iterator:
+        while job.job_id not in self._alloc:
+            if job.aborted:
+                return
+            condition = self._conditions.get(job.job_id)
+            if condition is None:
+                return
+            yield condition.wait()
+
+    def on_node_done(self, job: Job, node: Node) -> None:
+        GangScheduler.on_node_done(self, job, node)
+        if not node.is_gpu:
+            return
+        profile = self._job_profiles.get(job.job_id)
+        if profile is None:
+            return
+        cost = profile.cost(node.node_id)
+        job.cumulated_cost += cost
+        if self.invariants is not None:
+            self.invariants.after_charge(self, job, cost)
+        threshold = self._thresholds[job.job_id]
+        if job.job_id in self._alloc and job.cumulated_cost >= threshold:
+            job.cumulated_cost -= threshold
+            if self.invariants is not None:
+                self.invariants.after_quantum(self, job, threshold)
+            # Time-slice expiry.  Work-conserving: the resident only
+            # cedes its streams when somebody is waiting for them.
+            if self._waiting:
+                self._demote(job)
+                self._fill(prev=job)
+
+    def _release(self, job: Job) -> None:
+        super()._release(job)
+        self._drop(job)
+
+    def deregister(self, job: Job) -> None:
+        self._drop(job)
+        super().deregister(job)
+
+    # ------------------------------------------------------------------
+    # Residency machinery
+    # ------------------------------------------------------------------
+
+    def _drop(self, job: Job) -> None:
+        """Remove ``job`` from the spatial books and re-fill its slot."""
+        if job in self._waiting:
+            self._waiting.remove(job)
+        if job.job_id in self._alloc:
+            self._retire(job)
+            self._fill(prev=job)
+
+    def _retire(self, job: Job) -> None:
+        """Close ``job``'s tenure and free its streams."""
+        del self._alloc[job.job_id]
+        tenure = self._open_tenures.pop(job.job_id, None)
+        if tenure is not None:
+            tenure.end = self.sim.now
+            self.tenures.append(tenure)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "sched.tenure_end",
+                    "scheduler",
+                    job_id=tenure.job_id,
+                    model=tenure.model_name,
+                    duration=tenure.end - tenure.start,
+                )
+
+    def _demote(self, job: Job) -> None:
+        """Time slice over: back to the waiters' queue."""
+        self._retire(job)
+        self._waiting.append(job)
+
+    def _fill(self, prev: Optional[Job]) -> None:
+        """Admit waiters while capacity remains (seeded weighted lottery).
+
+        ``prev`` names the job whose demotion/departure freed the
+        capacity; it is recorded on the first admission's decision so
+        hand-offs are visible in the decision log.
+        """
+        while self._waiting:
+            used = sum(self._alloc.values())
+            eligible = []
+            for job in self._waiting:
+                if job.aborted or job.failed:
+                    continue
+                cap = self._rt_budget() if self._is_rt(job) else self.streams
+                if used + self.allocation_of(job) <= cap:
+                    eligible.append(job)
+            if not eligible:
+                return
+            if len(eligible) == 1:
+                chosen = eligible[0]
+            else:
+                total = sum(job.weight for job in eligible)
+                draw = self.rng.uniform(0.0, total)
+                acc = 0.0
+                chosen = eligible[-1]
+                for job in eligible:
+                    acc += job.weight
+                    if draw <= acc:
+                        chosen = job
+                        break
+            self._waiting.remove(chosen)
+            self._admit(chosen, prev)
+            prev = None
+
+    def _admit(self, job: Job, prev: Optional[Job]) -> None:
+        now = self.sim.now
+        self._alloc[job.job_id] = self.allocation_of(job)
+        decision = SchedulingDecision(
+            time=now,
+            prev_job_id=prev.job_id if prev is not None else None,
+            next_job_id=job.job_id,
+        )
+        self.decisions.append(decision)
+        tenure = Tenure(
+            job_id=job.job_id,
+            client_id=job.client_id,
+            model_name=job.model_name,
+            start=now,
+        )
+        self._open_tenures[job.job_id] = tenure
+        self.switch_count += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "sched.decision",
+                "scheduler",
+                prev_job_id=decision.prev_job_id,
+                next_job_id=decision.next_job_id,
+            )
+            telemetry.emit(
+                "sched.tenure_begin",
+                "scheduler",
+                job_id=job.job_id,
+                model=job.model_name,
+                streams=self._alloc[job.job_id],
+            )
+        if self.invariants is not None:
+            self.invariants.after_spatial_admission(self)
+        condition = self._conditions.get(job.job_id)
+        if condition is not None:
+            condition.notify_all(self.wake_latency)

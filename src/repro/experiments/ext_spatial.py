@@ -1,0 +1,288 @@
+"""Extension: spatial GPU sharing (multi-stream device, docs/SPATIAL.md).
+
+Two figures beyond the paper's evaluation, both new with the
+multi-stream device model:
+
+* :func:`stream_count_sweep` — throughput and Jain fairness of the
+  spatio-temporal scheduler as the device's stream count grows.
+  Concurrency buys aggregate capacity ``1 + (k-1) * efficiency``
+  (:mod:`repro.gpu.interference`), so throughput should rise with
+  diminishing returns while fairness holds.
+* :func:`deadline_miss_comparison` — deadline-miss rate of a real-time
+  client class under pure *temporal* fair sharing ("fair") vs the
+  spatio-temporal kinds ("spatial", "spatial-rt") on a multi-stream
+  device.  The DARIS-style oversubscribed "spatial-rt" admits
+  real-time jobs past the physical budget, so they rarely wait for a
+  slice — the mechanism that cuts misses.
+
+:func:`spatial_sharing` bundles both into one artefact (the CLI's
+``ext-spatial``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics import stats
+from ..metrics.report import format_percent, format_seconds, render_table
+from ..workloads.scenarios import (
+    ClientSpec,
+    heterogeneous_workload,
+    with_priorities,
+    with_weights,
+)
+from ..zoo.catalog import INCEPTION_V4, RESNET_152
+from .runner import ExperimentConfig, run_workload
+
+__all__ = [
+    "StreamSweepPoint",
+    "DeadlineMissPoint",
+    "SpatialSharingResult",
+    "stream_count_sweep",
+    "deadline_miss_comparison",
+    "spatial_sharing",
+]
+
+# Deadline = multiplier x the real-time model's mean solo batch
+# latency.  Chosen between what spatio-temporal residency delivers and
+# what a fair temporal rotation among all clients delivers, so the two
+# regimes land on opposite sides of the deadline.
+DEFAULT_SLO_MULTIPLIER = 3.0
+
+
+@dataclass
+class StreamSweepPoint:
+    """One stream-count configuration of the throughput/fairness sweep."""
+
+    streams: int
+    makespan: float
+    throughput: float  # completed batches per simulated second
+    fairness: float  # Jain index of client finish times
+    mean_occupancy: float  # time-averaged busy streams
+    peak_occupancy: int
+
+
+@dataclass
+class DeadlineMissPoint:
+    """Deadline behaviour of the real-time class under one scheduler."""
+
+    kind: str
+    miss_rate: float  # fraction of RT batches past the deadline
+    rt_p99: float  # p99 RT batch latency
+    background_makespan: float  # last background client finish
+
+
+@dataclass
+class SpatialSharingResult:
+    """The ext-spatial artefact: stream sweep + deadline comparison."""
+
+    sweep: List[StreamSweepPoint]
+    deadline: List[DeadlineMissPoint]
+    slo: float
+    slo_multiplier: float
+
+    def miss_rate(self, kind: str) -> float:
+        for point in self.deadline:
+            if point.kind == kind:
+                return point.miss_rate
+        raise KeyError(f"no deadline point for scheduler kind {kind!r}")
+
+    def report(self) -> str:
+        sweep_rows = [
+            [
+                str(point.streams),
+                format_seconds(point.makespan),
+                f"{point.throughput:.2f}/s",
+                f"{point.fairness:.4f}",
+                f"{point.mean_occupancy:.2f}",
+                str(point.peak_occupancy),
+            ]
+            for point in self.sweep
+        ]
+        sweep_table = render_table(
+            [
+                "streams",
+                "makespan",
+                "throughput",
+                "Jain fairness",
+                "mean occ.",
+                "peak occ.",
+            ],
+            sweep_rows,
+            title=(
+                "Extension: spatial sharing — throughput/fairness vs "
+                "stream count (spatial scheduler)"
+            ),
+        )
+        deadline_rows = [
+            [
+                point.kind,
+                format_percent(point.miss_rate),
+                format_seconds(point.rt_p99),
+                format_seconds(point.background_makespan),
+            ]
+            for point in self.deadline
+        ]
+        deadline_table = render_table(
+            ["scheduler", "RT miss rate", "RT p99", "bg makespan"],
+            deadline_rows,
+            title=(
+                "Extension: spatial sharing — RT deadline misses, "
+                f"temporal vs spatio-temporal (SLO = "
+                f"{self.slo_multiplier:.1f}x solo = "
+                f"{format_seconds(self.slo)})"
+            ),
+        )
+        return sweep_table + "\n\n" + deadline_table
+
+
+def _sweep_workload(num_batches: int) -> List[ClientSpec]:
+    return heterogeneous_workload(
+        clients_per_model=3, num_batches=num_batches
+    )
+
+
+def stream_count_sweep(
+    stream_counts: Sequence[int] = (1, 2, 4, 8),
+    scale: float = 0.02,
+    seed: int = 0,
+    quantum: float = 1e-3,
+    num_batches: int = 3,
+) -> List[StreamSweepPoint]:
+    """Throughput/fairness of the spatial scheduler vs stream count."""
+    specs = _sweep_workload(num_batches)
+    total_batches = sum(spec.num_batches for spec in specs)
+    points = []
+    for streams in stream_counts:
+        config = ExperimentConfig(
+            scale=scale, seed=seed, quantum=quantum, streams=streams
+        )
+        result = run_workload(specs, scheduler="spatial", config=config)
+        makespan = max(result.finish_time_list())
+        device = result.server.device
+        points.append(
+            StreamSweepPoint(
+                streams=streams,
+                makespan=makespan,
+                throughput=total_batches / makespan,
+                fairness=stats.jain_index(result.finish_time_list()),
+                mean_occupancy=device.occupancy_time / makespan
+                if streams > 1
+                else device.busy_time / makespan,
+                peak_occupancy=device.peak_occupancy if streams > 1 else 1,
+            )
+        )
+    return points
+
+
+def _deadline_workload(
+    num_batches: int,
+) -> Tuple[List[ClientSpec], ClientSpec]:
+    """Two real-time Inception clients over four ResNet background ones.
+
+    Returns (specs, rt_template): the template is the solo-run spec
+    used to calibrate the deadline.
+    """
+    rt = [
+        ClientSpec(
+            client_id=f"rt{i}",
+            model=INCEPTION_V4.name,
+            batch_size=100,
+            num_batches=num_batches,
+            weight=2,
+            priority=1,
+        )
+        for i in range(2)
+    ]
+    background = [
+        ClientSpec(
+            client_id=f"bg{i}",
+            model=RESNET_152.name,
+            batch_size=100,
+            num_batches=num_batches,
+        )
+        for i in range(4)
+    ]
+    return rt + background, rt[0]
+
+
+def deadline_miss_comparison(
+    kinds: Sequence[str] = ("fair", "spatial", "spatial-rt"),
+    streams: int = 4,
+    scale: float = 0.02,
+    seed: int = 0,
+    quantum: float = 1e-3,
+    num_batches: int = 3,
+    slo_multiplier: float = DEFAULT_SLO_MULTIPLIER,
+) -> Tuple[List[DeadlineMissPoint], float]:
+    """RT deadline misses: temporal fair sharing vs spatio-temporal.
+
+    The deadline is ``slo_multiplier`` times the RT model's mean solo
+    batch latency (measured by a dedicated uncontended run).  Returns
+    (points, slo).
+    """
+    specs, rt_template = _deadline_workload(num_batches)
+    config = ExperimentConfig(
+        scale=scale, seed=seed, quantum=quantum, streams=streams
+    )
+    solo = run_workload(
+        [rt_template],
+        scheduler="tf-serving",
+        config=ExperimentConfig(scale=scale, seed=seed, quantum=quantum),
+    )
+    solo_latencies = solo.clients[0].batch_latencies
+    slo = slo_multiplier * (sum(solo_latencies) / len(solo_latencies))
+
+    points = []
+    for kind in kinds:
+        result = run_workload(specs, scheduler=kind, config=config)
+        rt_latencies: List[float] = []
+        background_finish = 0.0
+        for client in result.clients:
+            if str(client.client_id).startswith("rt"):
+                rt_latencies.extend(client.batch_latencies)
+            else:
+                background_finish = max(background_finish, client.finish_time)
+        missed = sum(1 for latency in rt_latencies if latency > slo)
+        points.append(
+            DeadlineMissPoint(
+                kind=kind,
+                miss_rate=missed / len(rt_latencies),
+                rt_p99=stats.percentile(rt_latencies, 99),
+                background_makespan=background_finish,
+            )
+        )
+    return points, slo
+
+
+def spatial_sharing(
+    stream_counts: Sequence[int] = (1, 2, 4, 8),
+    scale: float = 0.02,
+    seed: int = 0,
+    quantum: float = 1e-3,
+    num_batches: int = 3,
+    slo_multiplier: float = DEFAULT_SLO_MULTIPLIER,
+) -> SpatialSharingResult:
+    """The full ext-spatial artefact: sweep + deadline comparison."""
+    sweep = stream_count_sweep(
+        stream_counts=stream_counts,
+        scale=scale,
+        seed=seed,
+        quantum=quantum,
+        num_batches=num_batches,
+    )
+    deadline, slo = deadline_miss_comparison(
+        streams=max(stream_counts),
+        scale=scale,
+        seed=seed,
+        quantum=quantum,
+        num_batches=num_batches,
+        slo_multiplier=slo_multiplier,
+    )
+    return SpatialSharingResult(
+        sweep=sweep,
+        deadline=deadline,
+        slo=slo,
+        slo_multiplier=slo_multiplier,
+    )

@@ -38,6 +38,7 @@ from ..core.scheduler import (
     CpuTimerScheduler,
     GangScheduler,
     OlympianScheduler,
+    SpatioTemporalScheduler,
 )
 from ..faults.determinism import trace_digest
 from ..faults.injector import FaultInjector
@@ -60,6 +61,9 @@ from . import profile_cache
 __all__ = [
     "DEFAULT_SCALE",
     "SCHEDULER_KINDS",
+    "SPATIAL_SCHEDULER_KINDS",
+    "ALL_SCHEDULER_KINDS",
+    "DEFAULT_RT_OVERSUBSCRIPTION",
     "ExperimentConfig",
     "ExperimentResult",
     "get_graph",
@@ -82,6 +86,20 @@ SCHEDULER_KINDS = (
     "edf",
     "srw",
 )
+
+# Spatio-temporal kinds (multi-stream device; see docs/SPATIAL.md).
+# Kept out of SCHEDULER_KINDS so existing sweeps over the temporal
+# kinds are unchanged.
+SPATIAL_SCHEDULER_KINDS = (
+    "spatial",
+    "spatial-rt",
+)
+
+ALL_SCHEDULER_KINDS = SCHEDULER_KINDS + SPATIAL_SCHEDULER_KINDS
+
+# Logical-capacity factor used by "spatial-rt" when the config leaves
+# oversubscription at 1.0 (DARIS-style real-time admission headroom).
+DEFAULT_RT_OVERSUBSCRIPTION = 1.5
 
 _graph_cache: Dict[Tuple[str, float, int], Graph] = {}
 _profile_cache: Dict[tuple, ProfilerOutput] = {}
@@ -133,6 +151,13 @@ class ExperimentConfig:
     # the submit path is byte-for-byte the pre-recovery one, so clean
     # runs keep their digests.
     recovery: Optional[RecoveryConfig] = None
+    # Spatial sharing (docs/SPATIAL.md).  ``streams`` overrides the GPU
+    # spec's compute-stream count (None keeps the spec's value, 1 by
+    # default); ``oversubscription`` is the "spatial-rt" logical
+    # capacity factor (< 1.0 is rejected; leaving it at 1.0 selects
+    # DEFAULT_RT_OVERSUBSCRIPTION for that kind).
+    streams: Optional[int] = None
+    oversubscription: float = 1.0
 
 
 def get_graph(model: str, scale: float, graph_seed: int) -> Graph:
@@ -184,6 +209,10 @@ def get_profiler_output(
             n_cores=config.n_cores,
             pool_size=config.pool_size,
             track_memory=False,
+            # Profiles are solo-calibrated on the serial engine even
+            # for multi-stream experiments: interference is modeled
+            # online by the scheduler, not baked into node costs.
+            streams=1,
         ),
         seed=config.profile_seed,
         wake_latency=config.wake_latency,
@@ -229,6 +258,34 @@ def _make_scheduler(
         )
     if profiler_output is None:
         raise ValueError(f"scheduler {kind!r} requires profiler output")
+    if kind in SPATIAL_SCHEDULER_KINDS:
+        streams = (
+            config.streams
+            if config.streams is not None
+            else config.gpu_spec.streams
+        )
+        if config.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1.0: {config.oversubscription}"
+            )
+        oversubscription = 1.0
+        if kind == "spatial-rt":
+            oversubscription = (
+                config.oversubscription
+                if config.oversubscription > 1.0
+                else DEFAULT_RT_OVERSUBSCRIPTION
+            )
+        return SpatioTemporalScheduler(
+            sim,
+            FairSharing(),
+            quantum=profiler_output.quantum,
+            profiles=profiler_output.store,
+            streams=streams,
+            wake_latency=config.wake_latency,
+            stall_threshold=config.stall_threshold,
+            oversubscription=oversubscription,
+            seed=config.seed,
+        )
     policies = {
         "fair": FairSharing,
         "weighted": WeightedFairSharing,
@@ -242,7 +299,7 @@ def _make_scheduler(
         policy_cls = policies[kind]
     except KeyError:
         raise ValueError(
-            f"unknown scheduler kind {kind!r}; choose from {SCHEDULER_KINDS}"
+            f"unknown scheduler kind {kind!r}; choose from {ALL_SCHEDULER_KINDS}"
         )
     return OlympianScheduler(
         sim,
@@ -371,8 +428,8 @@ def run_workload(
 ) -> ExperimentResult:
     """Run a workload under a scheduler kind and collect everything.
 
-    ``scheduler`` is one of :data:`SCHEDULER_KINDS`.  A cached profiler
-    output is built automatically when the scheduler needs one.
+    ``scheduler`` is one of :data:`ALL_SCHEDULER_KINDS`.  A cached
+    profiler output is built automatically when the scheduler needs one.
 
     ``fault_plan`` attaches a deterministic
     :class:`~repro.faults.injector.FaultInjector` to the server;
@@ -387,9 +444,9 @@ def run_workload(
     lost batches.
     """
     config = config or ExperimentConfig()
-    if scheduler not in SCHEDULER_KINDS:
+    if scheduler not in ALL_SCHEDULER_KINDS:
         raise ValueError(
-            f"unknown scheduler kind {scheduler!r}; choose from {SCHEDULER_KINDS}"
+            f"unknown scheduler kind {scheduler!r}; choose from {ALL_SCHEDULER_KINDS}"
         )
     entries = sorted({(spec.model, spec.batch_size) for spec in specs})
     needs_profiles = scheduler not in ("tf-serving", "timer") or (
@@ -407,8 +464,14 @@ def run_workload(
         track_memory=config.track_memory,
         compiled=config.compiled,
         seed=derive_seed(config.seed, f"run:{scheduler}"),
+        streams=config.streams,
     )
     server = ModelServer(sim, server_config, scheduler=gang_scheduler)
+    if isinstance(gang_scheduler, SpatioTemporalScheduler):
+        # The multi-stream engine consults the scheduler for per-job
+        # concurrency bounds (and reports kernel starts to its
+        # invariant checker).
+        server.device.allocator = gang_scheduler
     injector = None
     if fault_plan is not None:
         injector = FaultInjector(fault_plan)

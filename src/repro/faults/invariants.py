@@ -17,6 +17,14 @@ asserts the properties Olympian's correctness rests on:
   :class:`~repro.core.policies.FairSharing` policy, no active job
   waits more than one full rotation (plus slack for same-tick churn)
   between token grants.
+* **Spatial share budget** — under a spatio-temporal scheduler
+  (:class:`~repro.core.scheduler.SpatioTemporalScheduler`), the stream
+  shares of concurrently resident jobs sum to at most 1.0 — or the
+  configured oversubscription factor when the DARIS-style real-time
+  mode enables > 1.0.
+* **No kernel on an unallocated stream** — the multi-stream device
+  reports every kernel start; a job's resident kernel count must never
+  exceed its granted stream allocation.
 
 The checker is *pure*: it creates no simulation events and draws no
 randomness, so enabling it cannot perturb the event schedule — the
@@ -79,6 +87,8 @@ class InvariantChecker(SchedulerHook):
         self.decisions_checked = 0
         self.charges_checked = 0
         self.rollbacks_checked = 0
+        self.spatial_admissions_checked = 0
+        self.kernel_starts_checked = 0
         self.violations: List[str] = []
         self._charged: Dict[str, float] = {}
         self._consumed: Dict[str, float] = {}
@@ -233,6 +243,45 @@ class InvariantChecker(SchedulerHook):
     def after_deregister(self, scheduler: "GangScheduler", job: "Job") -> None:
         self._check_conservation(job)
         self._waits.pop(job.job_id, None)
+
+    def after_spatial_admission(self, scheduler: "GangScheduler") -> None:
+        """Spatial residency changed: shares must stay within budget.
+
+        ``scheduler`` is a spatio-temporal scheduler exposing
+        ``resident_shares()`` (fraction of the device's streams each
+        resident job holds) and ``oversubscription`` (>= 1.0; > 1.0
+        only in the DARIS-style real-time mode).
+        """
+        self.spatial_admissions_checked += 1
+        shares = scheduler.resident_shares()
+        total = sum(shares.values())
+        budget = max(1.0, scheduler.oversubscription)
+        if total > budget + 1e-9:
+            self._violate(
+                f"spatial shares sum to {total:.6f} > budget "
+                f"{budget:.6f} (residents: {sorted(shares)!r})"
+            )
+
+    def after_kernel_start(
+        self,
+        scheduler: "GangScheduler",
+        job_id: str,
+        resident_count: int,
+        allocation: int,
+    ) -> None:
+        """A kernel started on the multi-stream device.
+
+        ``resident_count`` is the job's kernels now resident (the one
+        that just started included); it must never exceed the job's
+        granted stream ``allocation``.
+        """
+        self.kernel_starts_checked += 1
+        if resident_count > allocation:
+            self._violate(
+                f"kernel for job {job_id!r} runs on an unallocated "
+                f"stream: {resident_count} resident > allocation "
+                f"{allocation}"
+            )
 
     def _check_conservation(self, job: "Job") -> None:
         charged = self._charged.get(job.job_id, 0.0)

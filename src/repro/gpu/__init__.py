@@ -2,6 +2,7 @@
 
 from .device import GPU_GLOBAL_KEY, GpuDevice
 from .driver import Driver
+from .interference import InterferenceModel, aggregate_capacity, kernel_slowdown
 from .kernel import Kernel
 from .memory import GpuOutOfMemory, MemoryPool
 from .nvml import NvmlSampler
@@ -12,6 +13,9 @@ __all__ = [
     "GPU_GLOBAL_KEY",
     "GpuDevice",
     "Driver",
+    "InterferenceModel",
+    "aggregate_capacity",
+    "kernel_slowdown",
     "Kernel",
     "GpuOutOfMemory",
     "MemoryPool",

@@ -12,16 +12,25 @@ per-kernel overhead.
 The device records busy intervals per job (and globally) into an
 :class:`~repro.sim.trace.IntervalTracer`, which is how experiments
 measure GPU duration (Figure 5) and utilization (§4.3).
+
+With ``GpuSpec.streams > 1`` the serial engine is replaced by a
+processor-sharing one (:meth:`GpuDevice._run_multi`): up to ``streams``
+kernels run concurrently, each progressing at ``1/s(k)`` of its solo
+rate where ``s(k)`` is the occupancy-dependent slowdown of
+:mod:`repro.gpu.interference`.  The serial path is untouched — with
+``streams=1`` every trace digest is bit-identical to the serial device,
+which the equivalence suite in ``tests/properties`` pins.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Optional
+from typing import Any, Dict, List, Optional
 
-from ..sim.core import Process, Simulator
+from ..sim.core import AnyOf, Event, Process, Simulator
 from ..sim.trace import IntervalTracer
 from .driver import Driver
+from .interference import InterferenceModel
 from .kernel import Kernel
 from .specs import GpuSpec
 
@@ -31,9 +40,18 @@ __all__ = ["GpuDevice", "GPU_GLOBAL_KEY"]
 # utilization measurement.
 GPU_GLOBAL_KEY = "__gpu__"
 
+# Remaining processor-shared work below this many device-seconds counts
+# as finished (absorbs float rounding from incremental advancement).
+_REMAINING_EPS = 1e-12
+
 
 class GpuDevice:
-    """Serial compute engine pulling kernels from a :class:`Driver`."""
+    """Compute engine pulling kernels from a :class:`Driver`.
+
+    Serial (one kernel at a time) with the default ``streams=1`` spec;
+    processor-sharing across up to ``streams`` concurrent kernels
+    otherwise.
+    """
 
     def __init__(
         self,
@@ -70,7 +88,19 @@ class GpuDevice:
             self.clock_factor = max(0.5, rng.gauss(1.0, spec.clock_jitter))
         else:
             self.clock_factor = 1.0
-        self._process: Process = sim.process(self._run(), name=f"gpu:{spec.name}")
+        # Spatial sharing (streams > 1) only.  ``allocator`` is the
+        # spatio-temporal scheduler, set by the server after
+        # construction; it bounds per-job concurrency and carries the
+        # InvariantChecker the engine reports kernel starts to.
+        self.interference = InterferenceModel.from_spec(spec)
+        self.allocator = None
+        self.occupancy = 0
+        self.peak_occupancy = 0
+        # Integral of occupancy over time: occupancy_time / elapsed is
+        # the mean number of busy streams.
+        self.occupancy_time = 0.0
+        engine = self._run_multi() if spec.streams > 1 else self._run()
+        self._process: Process = sim.process(engine, name=f"gpu:{spec.name}")
 
     @property
     def queue_depth(self) -> int:
@@ -177,6 +207,179 @@ class GpuDevice:
                     exec_time=end - start,
                 )
             kernel.done.succeed(kernel)
+
+    def _run_multi(self):
+        """Processor-sharing engine for ``streams > 1``.
+
+        Up to ``streams`` kernels are resident at once; each carries a
+        balance of remaining *solo* device-time, drained at rate
+        ``1/s(k)`` where ``k`` is the instantaneous occupancy.  The
+        engine wakes on the earliest of (a) the driver handing over a
+        new kernel and (b) the projected completion of the most-drained
+        resident, re-advances every balance by the elapsed interval, and
+        retires / starts kernels as appropriate.  An injected hang
+        stalls *starts* only (matching the serial engine): a fetched
+        kernel is staged until the stall elapses while residents keep
+        draining.
+        """
+        sim = self.sim
+        timeout = sim.timeout
+        driver = self.driver
+        record = self.tracer.record
+        streams = self.spec.streams
+        model = self.interference
+        compute_scale = self.spec.compute_scale
+        kernel_overhead = self.spec.kernel_overhead
+
+        residents: Dict[Kernel, float] = {}
+        job_residency: Dict[Any, int] = {}
+        free_streams: List[int] = list(range(streams - 1, -1, -1))
+        pending: Optional[Event] = None
+        staged: Optional[Kernel] = None
+        last = sim.now
+
+        def eligible(job_id: Any) -> bool:
+            allocator = self.allocator
+            if allocator is None:
+                return True
+            return job_residency.get(job_id, 0) < allocator.allowed_concurrency(
+                job_id
+            )
+
+        def advance() -> None:
+            # Drain every resident balance by the interval since the
+            # last wake, at the occupancy-dependent shared rate.
+            nonlocal last
+            now = sim.now
+            if now > last:
+                k = len(residents)
+                if k:
+                    drained = (now - last) / model.slowdown(k)
+                    for kernel in residents:
+                        residents[kernel] -= drained
+                    self.occupancy_time += (now - last) * k
+                last = now
+
+        def emit_occupancy(telemetry) -> None:
+            if telemetry is not None:
+                telemetry.emit(
+                    "stream.occupancy",
+                    "device",
+                    occupancy=len(residents),
+                    streams=streams,
+                )
+
+        def start(kernel: Kernel) -> None:
+            kernel.stream = free_streams.pop()
+            kernel.started_at = sim.now
+            residents[kernel] = (
+                kernel.duration * compute_scale * self.clock_factor
+                + kernel_overhead
+            )
+            job_residency[kernel.job_id] = job_residency.get(kernel.job_id, 0) + 1
+            self.current_kernel = kernel
+            self.occupancy = len(residents)
+            if self.occupancy > self.peak_occupancy:
+                self.peak_occupancy = self.occupancy
+            allocator = self.allocator
+            if allocator is not None:
+                checker = getattr(allocator, "invariants", None)
+                if checker is not None:
+                    checker.after_kernel_start(
+                        allocator,
+                        kernel.job_id,
+                        job_residency[kernel.job_id],
+                        allocator.allowed_concurrency(kernel.job_id),
+                    )
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.emit(
+                    "kernel.started",
+                    "device",
+                    job_id=kernel.job_id,
+                    node_id=kernel.node_id,
+                    seq=kernel.seq,
+                    stream=kernel.stream,
+                )
+            emit_occupancy(telemetry)
+
+        def finish(kernel: Kernel) -> None:
+            del residents[kernel]
+            job_residency[kernel.job_id] -= 1
+            if not job_residency[kernel.job_id]:
+                del job_residency[kernel.job_id]
+            free_streams.append(kernel.stream)
+            free_streams.sort(reverse=True)
+            end = sim.now
+            start_at = kernel.started_at
+            kernel.finished_at = end
+            self.kernels_executed += 1
+            self.busy_time += end - start_at
+            record(kernel.job_id, start_at, end, tag=kernel.node_id)
+            record(GPU_GLOBAL_KEY, start_at, end, tag=kernel.job_id)
+            self.occupancy = len(residents)
+            if kernel is self.current_kernel:
+                self.current_kernel = (
+                    next(iter(residents)) if residents else None
+                )
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.emit(
+                    "kernel.finished",
+                    "device",
+                    job_id=kernel.job_id,
+                    node_id=kernel.node_id,
+                    seq=kernel.seq,
+                    stream=kernel.stream,
+                    exec_time=end - start_at,
+                )
+            emit_occupancy(telemetry)
+            kernel.done.succeed(kernel)
+
+        while True:
+            # Consume a fetch that fired while we were waiting.
+            if pending is not None and pending.triggered:
+                kernel = pending.value
+                pending = None
+                if sim.now < self._hang_until:
+                    staged = kernel
+                else:
+                    advance()
+                    start(kernel)
+            # Drop an un-fired fetch: residency just changed, so the
+            # driver must re-evaluate eligibility on the next issue.
+            if pending is not None:
+                driver.cancel_device_wait()
+                pending = None
+            # Release a staged kernel once the injected stall elapsed.
+            if staged is not None and sim.now >= self._hang_until:
+                advance()
+                start(staged)
+                staged = None
+            # Retire residents whose balance is drained.
+            advance()
+            for kernel in [
+                k for k, rem in residents.items() if rem <= _REMAINING_EPS
+            ]:
+                finish(kernel)
+            # Ask for more work while there is stream capacity.
+            if staged is None and len(residents) < streams:
+                pending = driver.next_kernel(eligible=eligible)
+                if pending.triggered:
+                    continue
+            waits: List[Event] = []
+            if pending is not None:
+                waits.append(pending)
+            if staged is not None:
+                waits.append(timeout(self._hang_until - sim.now))
+            if residents:
+                k = len(residents)
+                horizon = max(0.0, min(residents.values())) * model.slowdown(k)
+                waits.append(timeout(horizon))
+            if len(waits) == 1:
+                yield waits[0]
+            else:
+                yield AnyOf(sim, waits)
 
     def set_clock_factor(self, factor: float) -> None:
         """Change the effective clock mid-run (thermal throttling /

@@ -23,6 +23,12 @@ utilization, §4.3) is unaffected.
 
 Olympian never modifies this layer; it controls *which* job is allowed
 to submit at all.
+
+The multi-stream device (``GpuSpec.streams > 1``) additionally passes
+an ``eligible`` predicate to :meth:`Driver.next_kernel` so the
+spatio-temporal scheduler's per-job concurrency bound is enforced at
+dequeue time; the serial path (no predicate) is byte-identical to the
+pre-spatial driver, including its RNG draw sequence.
 """
 
 from __future__ import annotations
@@ -64,6 +70,9 @@ class Driver:
         self._queued = 0
         self._current_stream: Optional[Any] = None
         self._waiter: Optional[Event] = None
+        # Eligibility predicate attached to the pending waiter (multi-
+        # stream device only; None on the serial path).
+        self._waiter_filter: Optional[Callable[[Any], bool]] = None
         self.submission_counts: Dict[Any, int] = {}
         self.max_queue_depth = 0
         self.stream_switches = 0
@@ -167,8 +176,15 @@ class Driver:
         if self._queued > self.max_queue_depth:
             self.max_queue_depth = self._queued
         if self._waiter is not None:
-            waiter, self._waiter = self._waiter, None
-            waiter.succeed(self._pop())
+            if self._waiter_filter is None:
+                waiter, self._waiter = self._waiter, None
+                waiter.succeed(self._pop())
+            else:
+                chosen = self._pop_eligible(self._waiter_filter)
+                if chosen is not None:
+                    waiter, self._waiter = self._waiter, None
+                    self._waiter_filter = None
+                    waiter.succeed(chosen)
         return kernel
 
     # ------------------------------------------------------------------
@@ -222,22 +238,43 @@ class Driver:
     # Device side
     # ------------------------------------------------------------------
 
-    def next_kernel(self) -> Event:
+    def next_kernel(
+        self, eligible: Optional[Callable[[Any], bool]] = None
+    ) -> Event:
         """Event that fires with the next kernel to execute.
 
         Fires immediately if work is queued; otherwise when the next
         submission arrives.  Only one outstanding request (one device)
         is supported.
+
+        ``eligible``, when given, restricts the pick to streams whose
+        ``job_id`` satisfies the predicate (multi-stream device only).
+        A waiter stored with a predicate is *not* re-checked when
+        residency changes on the device side — the device cancels the
+        wait (:meth:`cancel_device_wait`) and re-issues instead.
         """
         if self._waiter is not None:
             raise RuntimeError("driver already has a pending device request")
         event = Event(self.sim)
-        kernel = self._pop()
+        kernel = self._pop() if eligible is None else self._pop_eligible(eligible)
         if kernel is not None:
             event.succeed(kernel)
         else:
             self._waiter = event
+            self._waiter_filter = eligible
         return event
+
+    def cancel_device_wait(self) -> None:
+        """Abandon the outstanding :meth:`next_kernel` wait, if any.
+
+        The multi-stream device calls this whenever its residency
+        changes: a stream that was over its concurrency bound at issue
+        time may be eligible now, and only a fresh :meth:`next_kernel`
+        re-evaluates the queues.  The abandoned event is never yielded
+        on again, so dropping the reference is safe.
+        """
+        self._waiter = None
+        self._waiter_filter = None
 
     def _pop(self) -> Optional[Kernel]:
         """Serve the highest-ranked non-empty stream."""
@@ -265,6 +302,57 @@ class Driver:
             self.stream_switches += 1
         self._current_stream = chosen
         # Opportunistic cleanup of long-empty stream queues.
+        if len(self._queues) > 4 * len(nonempty) + 8:
+            keep = set(nonempty)
+            keep.add(chosen)
+            self._queues = {
+                job_id: queue
+                for job_id, queue in self._queues.items()
+                if job_id in keep
+            }
+            self._ranks = {
+                job_id: rank
+                for job_id, rank in self._ranks.items()
+                if job_id in self._queues
+            }
+        self._queued -= 1
+        return self._queues[chosen].popleft()
+
+    def _pop_eligible(
+        self, eligible: Callable[[Any], bool]
+    ) -> Optional[Kernel]:
+        """Serve the highest-ranked non-empty stream passing ``eligible``.
+
+        The multi-stream variant of :meth:`_pop`: streams over their
+        per-job concurrency bound keep their kernels queued.  Returns
+        None when no eligible stream has work.  Draws its own
+        arbitration noise (one per eligible candidate); only reached
+        with ``streams > 1``, so the serial RNG sequence is untouched.
+        """
+        if not self._queued:
+            return None
+        nonempty = [job_id for job_id, queue in self._queues.items() if queue]
+        candidates = [job_id for job_id in nonempty if eligible(job_id)]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        else:
+            ranks = self._ranks
+            noise = self.arbitration_noise
+            random = self.rng.random
+            chosen = candidates[0]
+            best = ranks[chosen] + noise * random()
+            for job_id in candidates[1:]:
+                score = ranks[job_id] + noise * random()
+                if score > best:
+                    best = score
+                    chosen = job_id
+        if chosen != self._current_stream:
+            self.stream_switches += 1
+        self._current_stream = chosen
+        # Same opportunistic cleanup as _pop, but keyed on *all*
+        # non-empty streams — ineligible queues must survive.
         if len(self._queues) > 4 * len(nonempty) + 8:
             keep = set(nonempty)
             keep.add(chosen)

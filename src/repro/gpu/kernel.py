@@ -34,6 +34,7 @@ class Kernel:
         "finished_at",
         "tag",
         "seq",
+        "stream",
     )
 
     def __init__(
@@ -57,6 +58,10 @@ class Kernel:
         # Per-job submission ordinal, stamped by the driver; telemetry
         # span ids (``kern:{job}#{seq}``) key off it.
         self.seq: int = 0
+        # Compute stream the kernel executed on.  The serial engine
+        # (streams=1) leaves it at 0; the multi-stream engine stamps
+        # the assigned stream index at start.
+        self.stream: int = 0
 
     @property
     def queue_delay(self) -> Optional[float]:

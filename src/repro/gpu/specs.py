@@ -47,6 +47,18 @@ class GpuSpec:
         back after a crash (driver re-init + context restore).  Used
         by ``device_crash`` fault injection and the failover logic in
         :mod:`repro.recovery` when no explicit reset duration is given.
+    streams:
+        Concurrent compute streams the device exposes.  ``1`` (the
+        default, and the paper's model) is a strictly serial engine;
+        ``N > 1`` enables spatial sharing with the capacity-interference
+        model of :mod:`repro.gpu.interference` (see docs/SPATIAL.md).
+    parallel_efficiency:
+        Marginal throughput of each additional concurrent kernel,
+        relative to the first (``0`` = concurrency buys nothing, ``1``
+        = perfect scaling).  Calibrated against the paper's §2.3
+        observation that two concurrent Inception jobs take ~2x as long
+        as one on a saturated device; the default models a device with
+        headroom (D-STACK-style fractional sharing).
     """
 
     name: str
@@ -56,10 +68,19 @@ class GpuSpec:
     kernel_overhead: float = 1.5e-6
     clock_jitter: float = 0.012
     reset_latency: float = 5e-3
+    streams: int = 1
+    parallel_efficiency: float = 0.7
 
     def __post_init__(self):
         if self.clock_jitter < 0:
             raise ValueError(f"clock_jitter negative: {self.clock_jitter}")
+        if not isinstance(self.streams, int) or self.streams < 1:
+            raise ValueError(f"streams must be an integer >= 1: {self.streams}")
+        if not 0.0 <= self.parallel_efficiency <= 1.0:
+            raise ValueError(
+                f"parallel_efficiency must be in [0, 1]: "
+                f"{self.parallel_efficiency}"
+            )
         if self.reset_latency <= 0:
             raise ValueError(f"reset_latency must be positive: {self.reset_latency}")
         if self.compute_scale <= 0:

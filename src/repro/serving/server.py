@@ -49,6 +49,9 @@ class ServerConfig:
     (:mod:`repro.graph.compiled`) instead of re-walking node objects.
     Behaviour (and ``trace_digest``) is bit-identical either way;
     ``compiled=False`` keeps the original walk as a reference/oracle.
+
+    ``streams`` overrides ``gpu_spec.streams`` without rebuilding the
+    spec (the CLI/experiment knob); ``None`` keeps the spec's value.
     """
 
     gpu_spec: GpuSpec = GTX_1080_TI
@@ -61,6 +64,7 @@ class ServerConfig:
     track_memory: bool = True
     compiled: bool = True
     seed: int = 0
+    streams: Optional[int] = None
 
     def with_seed(self, seed: int) -> "ServerConfig":
         return replace(self, seed=seed)
@@ -79,6 +83,18 @@ class ModelServer:
     ):
         self.sim = sim
         self.config = config or ServerConfig()
+        if (
+            self.config.streams is not None
+            and self.config.streams != self.config.gpu_spec.streams
+        ):
+            # Fold the stream override into the spec so every consumer
+            # (device, memory pool, reset latency) sees one truth.
+            self.config = replace(
+                self.config,
+                gpu_spec=replace(
+                    self.config.gpu_spec, streams=self.config.streams
+                ),
+            )
         self.rngs = RngRegistry(self.config.seed)
         self._dispatch_rng = self.rngs.stream("dispatch")
         self._cost_rng = self.rngs.stream("cost-observation")

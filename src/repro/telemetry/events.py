@@ -68,6 +68,9 @@ EVENT_KINDS = (
     "job.shed",
     "breaker.state",
     "health.state",
+    # Multi-stream device (GpuSpec.streams > 1): emitted on every
+    # kernel start/finish with the new stream occupancy.
+    "stream.occupancy",
 )
 
 

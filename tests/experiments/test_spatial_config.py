@@ -1,0 +1,125 @@
+"""Config plumbing for spatial sharing: streams and oversubscription.
+
+``ExperimentConfig.streams`` must round-trip all the way into the
+device spec and the spatio-temporal scheduler, and the share /
+oversubscription validation rules must hold at every entry point
+(config, scheduler ctor, ``set_share``).
+"""
+
+import pytest
+
+from repro.core import (
+    SpatioTemporalScheduler,
+    stream_allocation,
+    validate_spatial_share,
+)
+from repro.experiments import (
+    ALL_SCHEDULER_KINDS,
+    DEFAULT_RT_OVERSUBSCRIPTION,
+    SCHEDULER_KINDS,
+    SPATIAL_SCHEDULER_KINDS,
+    ExperimentConfig,
+    run_workload,
+)
+from repro.workloads import homogeneous_workload
+
+SPECS = homogeneous_workload(num_clients=2, num_batches=1)
+
+
+def fast(**overrides):
+    return ExperimentConfig(
+        scale=0.02, quantum=0.8e-3, curve_batches=2, **overrides
+    )
+
+
+class TestKindRegistry:
+    def test_spatial_kinds_extend_not_replace(self):
+        assert set(SPATIAL_SCHEDULER_KINDS) == {"spatial", "spatial-rt"}
+        assert ALL_SCHEDULER_KINDS == SCHEDULER_KINDS + SPATIAL_SCHEDULER_KINDS
+        assert not set(SPATIAL_SCHEDULER_KINDS) & set(SCHEDULER_KINDS)
+
+
+class TestStreamsRoundTrip:
+    def test_streams_override_reaches_device_and_scheduler(self):
+        result = run_workload(
+            SPECS, scheduler="spatial", config=fast(streams=4)
+        )
+        assert result.server.device.spec.streams == 4
+        assert result.scheduler.streams == 4
+        assert result.server.device.allocator is result.scheduler
+
+    def test_default_streams_keeps_spec_value(self):
+        result = run_workload(SPECS, scheduler="fair", config=fast())
+        assert result.server.device.spec.streams == 1
+
+    def test_invalid_streams_rejected(self):
+        with pytest.raises(ValueError, match="streams"):
+            run_workload(
+                SPECS, scheduler="spatial", config=fast(streams=0)
+            )
+
+
+class TestOversubscriptionRoundTrip:
+    def test_undersubscription_rejected(self):
+        with pytest.raises(ValueError, match="oversubscription"):
+            run_workload(
+                SPECS,
+                scheduler="spatial-rt",
+                config=fast(streams=2, oversubscription=0.5),
+            )
+
+    def test_spatial_rt_defaults_to_rt_factor(self):
+        result = run_workload(
+            SPECS, scheduler="spatial-rt", config=fast(streams=2)
+        )
+        assert result.scheduler.oversubscription == (
+            DEFAULT_RT_OVERSUBSCRIPTION
+        )
+
+    def test_spatial_rt_honours_explicit_factor(self):
+        result = run_workload(
+            SPECS,
+            scheduler="spatial-rt",
+            config=fast(streams=2, oversubscription=2.0),
+        )
+        assert result.scheduler.oversubscription == 2.0
+
+    def test_plain_spatial_never_oversubscribes(self):
+        result = run_workload(
+            SPECS,
+            scheduler="spatial",
+            config=fast(streams=2, oversubscription=2.0),
+        )
+        assert result.scheduler.oversubscription == 1.0
+
+
+class TestShareValidation:
+    def test_share_above_one_needs_oversubscription(self):
+        with pytest.raises(ValueError, match="oversubscription"):
+            validate_spatial_share(1.5)
+        validate_spatial_share(1.5, oversubscription=2.0)
+
+    @pytest.mark.parametrize("share", [0.0, -0.5])
+    def test_nonpositive_share_rejected(self, share):
+        with pytest.raises(ValueError, match="share"):
+            validate_spatial_share(share)
+
+    def test_set_share_validates(self):
+        result = run_workload(
+            SPECS, scheduler="spatial", config=fast(streams=2)
+        )
+        scheduler = result.scheduler
+        assert isinstance(scheduler, SpatioTemporalScheduler)
+        with pytest.raises(ValueError):
+            scheduler.set_share("c0", 1.5)
+
+    def test_stream_allocation_bounds(self):
+        assert stream_allocation(1.0, 4) == 4
+        assert stream_allocation(0.5, 4) == 2
+        # Tiny shares still get one whole stream — allocations are
+        # whole streams, floor 1.
+        assert stream_allocation(0.01, 4) == 1
+        with pytest.raises(ValueError):
+            stream_allocation(0.0, 4)
+        with pytest.raises(ValueError):
+            stream_allocation(1.5, 4)

@@ -1,0 +1,99 @@
+"""Seeded-violation tests for the spatial scheduler invariants.
+
+The whole-suite conftest arms an :class:`InvariantChecker` on every
+scheduler, so a clean spatial run already proves the *absence* of
+violations.  These tests prove the *presence* detection: hand the
+checker a deliberately broken residency state and require it to raise.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_workload,
+)
+from repro.faults import InvariantChecker, InvariantViolation
+from repro.workloads import heterogeneous_workload
+
+FAST = ExperimentConfig(
+    scale=0.02, quantum=0.8e-3, curve_batches=2, streams=2
+)
+
+
+class _FakeSpatialScheduler:
+    """The minimal surface ``after_spatial_admission`` consumes."""
+
+    def __init__(self, shares, oversubscription=1.0):
+        self._shares = shares
+        self.oversubscription = oversubscription
+
+    def resident_shares(self):
+        return dict(self._shares)
+
+
+class TestSeededShareBudgetViolations:
+    def test_overcommitted_shares_raise(self):
+        checker = InvariantChecker()
+        broken = _FakeSpatialScheduler({"a": 0.75, "b": 0.75})
+        with pytest.raises(InvariantViolation, match="spatial shares"):
+            checker.after_spatial_admission(broken)
+        assert not checker.clean
+        assert checker.spatial_admissions_checked == 1
+
+    def test_budget_respects_oversubscription(self):
+        """The same 1.5 total is legal once RT oversubscription allows it."""
+        checker = InvariantChecker()
+        legal = _FakeSpatialScheduler(
+            {"a": 0.75, "b": 0.75}, oversubscription=1.5
+        )
+        checker.after_spatial_admission(legal)
+        assert checker.clean
+        assert checker.spatial_admissions_checked == 1
+
+    def test_oversubscribed_budget_still_has_a_ceiling(self):
+        checker = InvariantChecker()
+        broken = _FakeSpatialScheduler(
+            {"a": 0.75, "b": 0.75, "c": 0.75}, oversubscription=1.5
+        )
+        with pytest.raises(InvariantViolation, match="spatial shares"):
+            checker.after_spatial_admission(broken)
+
+    def test_full_budget_is_not_a_violation(self):
+        checker = InvariantChecker()
+        checker.after_spatial_admission(
+            _FakeSpatialScheduler({"a": 0.5, "b": 0.5})
+        )
+        assert checker.clean
+
+
+class TestSeededKernelStartViolations:
+    def test_kernel_on_unallocated_stream_raises(self):
+        checker = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="unallocated"):
+            checker.after_kernel_start(
+                None, "job-1", resident_count=3, allocation=2
+            )
+        assert checker.kernel_starts_checked == 1
+
+    def test_kernel_within_allocation_is_clean(self):
+        checker = InvariantChecker()
+        checker.after_kernel_start(
+            None, "job-1", resident_count=2, allocation=2
+        )
+        assert checker.clean
+
+
+class TestCheckerRunsOnRealSpatialRuns:
+    @pytest.mark.parametrize("kind", ["spatial", "spatial-rt"])
+    def test_spatial_counters_increment(self, kind):
+        """The armed checker actually observes a multi-stream run."""
+        specs = heterogeneous_workload(clients_per_model=2, num_batches=2)
+        result = run_workload(specs, scheduler=kind, config=FAST)
+        checker = result.scheduler.invariants
+        assert checker is not None
+        assert checker.clean
+        assert checker.spatial_admissions_checked > 0
+        assert checker.kernel_starts_checked > 0
+        # The serial-path counters stay untouched: no `_grant` token
+        # decisions happen under spatio-temporal scheduling.
+        assert checker.decisions_checked == 0

@@ -1,0 +1,120 @@
+"""Unit tests for the capacity-interference model.
+
+The multi-stream engine charges residents at ``1/s(k)`` of their solo
+rate, so everything downstream — occupancy telemetry, throughput
+sweeps, the equivalence suite — leans on these curves being exactly
+``C(k) = 1 + (k-1)*eff`` and ``s(k) = k / C(k)``.  A golden table pins
+the default-efficiency values; the property tests pin the shape.
+"""
+
+import pytest
+
+from repro.gpu import (
+    GpuSpec,
+    InterferenceModel,
+    aggregate_capacity,
+    kernel_slowdown,
+)
+
+# s(k) at the default parallel_efficiency = 0.7, worked by hand:
+# C(k) = 1 + 0.7 * (k - 1); s(k) = k / C(k).
+GOLDEN_SLOWDOWN_07 = {
+    1: 1.0,
+    2: 2.0 / 1.7,
+    3: 3.0 / 2.4,  # = 1.25
+    4: 4.0 / 3.1,
+    8: 8.0 / 5.9,
+}
+
+
+class TestGoldenValues:
+    @pytest.mark.parametrize("k,expected", sorted(GOLDEN_SLOWDOWN_07.items()))
+    def test_slowdown_at_default_efficiency(self, k, expected):
+        assert kernel_slowdown(k, 0.7) == pytest.approx(expected, rel=1e-12)
+
+    def test_capacity_examples(self):
+        assert aggregate_capacity(0, 0.7) == 0.0
+        assert aggregate_capacity(1, 0.7) == 1.0
+        assert aggregate_capacity(2, 0.7) == pytest.approx(1.7)
+        assert aggregate_capacity(4, 0.7) == pytest.approx(3.1)
+
+    def test_degenerate_efficiencies(self):
+        """eff=0 is pure time-slicing; eff=1 is perfect scaling."""
+        for k in range(1, 9):
+            assert kernel_slowdown(k, 0.0) == pytest.approx(float(k))
+            assert kernel_slowdown(k, 1.0) == pytest.approx(1.0)
+
+
+class TestProperties:
+    @pytest.mark.parametrize("eff", [0.0, 0.3, 0.7, 1.0])
+    def test_identity_at_one(self, eff):
+        assert kernel_slowdown(1, eff) == 1.0
+
+    @pytest.mark.parametrize("eff", [0.0, 0.3, 0.7, 1.0])
+    def test_slowdown_monotone_in_occupancy(self, eff):
+        curve = [kernel_slowdown(k, eff) for k in range(1, 17)]
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+
+    @pytest.mark.parametrize("eff", [0.0, 0.3, 0.7, 1.0])
+    def test_capacity_never_exceeds_occupancy(self, eff):
+        for k in range(1, 17):
+            assert aggregate_capacity(k, eff) <= k + 1e-12
+
+    def test_capacity_monotone_in_efficiency(self):
+        for k in range(2, 9):
+            assert aggregate_capacity(k, 0.9) > aggregate_capacity(k, 0.5)
+
+    def test_slowdown_bounded_by_inverse_efficiency(self):
+        """s(k) -> 1/eff from below as the device fills."""
+        for k in range(1, 65):
+            assert kernel_slowdown(k, 0.7) < 1.0 / 0.7
+
+
+class TestValidation:
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            aggregate_capacity(-1, 0.7)
+
+    def test_zero_occupancy_slowdown_rejected(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            kernel_slowdown(0, 0.7)
+
+    @pytest.mark.parametrize("eff", [-0.1, 1.1])
+    def test_efficiency_out_of_range_rejected(self, eff):
+        with pytest.raises(ValueError, match="parallel_efficiency"):
+            aggregate_capacity(2, eff)
+        with pytest.raises(ValueError, match="parallel_efficiency"):
+            InterferenceModel(streams=2, parallel_efficiency=eff)
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError, match="streams"):
+            InterferenceModel(streams=0, parallel_efficiency=0.7)
+
+
+class TestModel:
+    def test_from_spec_copies_fields(self):
+        spec = GpuSpec(
+            name="test-gpu",
+            compute_scale=1.0,
+            memory_mb=1000,
+            sm_count=80,
+            streams=4,
+            parallel_efficiency=0.5,
+        )
+        model = InterferenceModel.from_spec(spec)
+        assert model.streams == 4
+        assert model.parallel_efficiency == 0.5
+
+    def test_occupancy_beyond_streams_rejected(self):
+        model = InterferenceModel(streams=2, parallel_efficiency=0.7)
+        with pytest.raises(ValueError, match="exceeds"):
+            model.capacity(3)
+        with pytest.raises(ValueError, match="exceeds"):
+            model.slowdown(3)
+
+    def test_slowdown_table_spans_stream_range(self):
+        model = InterferenceModel(streams=4, parallel_efficiency=0.7)
+        table = model.slowdown_table()
+        assert sorted(table) == [1, 2, 3, 4]
+        for k, value in table.items():
+            assert value == pytest.approx(kernel_slowdown(k, 0.7))

@@ -252,3 +252,54 @@ class TestValidate:
         assert code == 0
         out = capsys.readouterr().out
         assert out.count("PASS") == 7
+
+
+class TestServeSpatial:
+    def test_spatial_scheduler_accepted(self, capsys):
+        code = main([
+            "serve", "--scheduler", "spatial", "--streams", "2",
+            "--clients", "2", "--batches", "1",
+            "--scale", "0.02", "--quantum", "0.0008",
+        ])
+        assert code == 0
+        assert "spatial" in capsys.readouterr().out
+
+    def test_spatial_rt_scheduler_accepted(self, capsys):
+        code = main([
+            "serve", "--scheduler", "spatial-rt", "--streams", "2",
+            "--clients", "2", "--batches", "1",
+            "--scale", "0.02", "--quantum", "0.0008",
+        ])
+        assert code == 0
+
+    def test_zero_streams_rejected(self, capsys):
+        code = main([
+            "serve", "--scheduler", "spatial", "--streams", "0",
+            "--clients", "2", "--batches", "1", "--scale", "0.02",
+        ])
+        assert code == 2
+        assert "--streams" in capsys.readouterr().err
+
+    def test_negative_streams_rejected(self, capsys):
+        code = main([
+            "serve", "--streams", "-4",
+            "--clients", "2", "--batches", "1", "--scale", "0.02",
+        ])
+        assert code == 2
+
+    def test_undersubscription_rejected(self, capsys):
+        code = main([
+            "serve", "--scheduler", "spatial-rt", "--streams", "2",
+            "--oversubscription", "0.5",
+            "--clients", "2", "--batches", "1", "--scale", "0.02",
+        ])
+        assert code == 2
+        assert "--oversubscription" in capsys.readouterr().err
+
+    def test_unknown_scheduler_still_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scheduler", "spatialish"])
+
+    def test_reproduce_lists_ext_spatial(self, capsys):
+        assert main(["reproduce", "list"]) == 0
+        assert "ext-spatial" in capsys.readouterr().out
