@@ -294,13 +294,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
     from pathlib import Path
 
     from .lint import (
         LintConfig,
         all_rules,
+        build_project_context,
+        changed_python_files,
+        discover_files,
         find_pyproject,
-        lint_paths,
+        lint_files,
         load_config,
         render_json,
         render_text,
@@ -330,8 +334,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     ignore = tuple(r for r in (args.ignore or "").split(",") if r) or config.ignore
     try:
         rules = resolve_rules(select, ignore)
-        report = lint_paths(args.paths, config, rules)
+        files = discover_files(args.paths, config)
     except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.changed:
+        changed = changed_python_files(args.base)
+        if changed is None:
+            print(
+                "repro.lint: --changed needs a git repository; "
+                "linting everything",
+                file=sys.stderr,
+            )
+        else:
+            files = [f for f in files if f.resolve() in changed]
+
+    if args.graph is not None:
+        project = build_project_context(files, config)
+        try:
+            if args.graph == "dot":
+                print(project.modgraph.to_dot(), end="")
+            else:
+                document = {
+                    "modules": project.modgraph.to_json_dict(),
+                    "calls": project.callgraph.to_json_dict(),
+                }
+                print(_json.dumps(document, indent=2, sort_keys=True))
+        except BrokenPipeError:
+            _ignore_broken_stdout()
+        return 0
+
+    try:
+        report = lint_files(files, config, rules)
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
@@ -341,7 +377,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(render_text(report))
     except BrokenPipeError:
         _ignore_broken_stdout()
-    return 0 if report.clean else 1
+    if not report.clean:
+        return 1
+    if args.sanitize:
+        return _lint_sanitize_smoke()
+    return 0
+
+
+def _lint_sanitize_smoke() -> int:
+    """Run one fair-scheduler experiment with the sim sanitizer armed.
+
+    The runtime complement to FLOW001: checksum guards around every
+    telemetry emission seam catch any observer feedback the static
+    analysis cannot see.  Telemetry must be on, or no seam executes.
+    """
+    from .experiments import ExperimentConfig, run_workload
+    from .sanitize import SanitizerViolation, sim_sanitizer
+    from .telemetry import TelemetryConfig
+    from .workloads import homogeneous_workload
+
+    was_enabled = sim_sanitizer.enabled
+    sim_sanitizer.enable()
+    sim_sanitizer.reset()
+    try:
+        specs = homogeneous_workload(num_clients=3, num_batches=2)
+        run_workload(
+            specs,
+            scheduler="fair",
+            config=ExperimentConfig(scale=0.05, quantum=0.04),
+            telemetry=TelemetryConfig(verbosity="metrics"),
+        )
+    except SanitizerViolation as exc:
+        print(f"repro.lint: sanitize smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        checks = sim_sanitizer.checks
+        if not was_enabled:
+            sim_sanitizer.disable()
+    print(f"repro.lint: sanitize smoke passed ({checks} seam checks)")
+    return 0
 
 
 def _ignore_broken_stdout() -> None:
@@ -351,37 +425,13 @@ def _ignore_broken_stdout() -> None:
     os.dup2(devnull, sys.stdout.fileno())
 
 
-# Artefact registry for `reproduce`.
+# Artefact registry for `reproduce`: lives with the experiments layer
+# (repro.experiments.registry) so the process-pool fan-out can resolve
+# names without importing the CLI.
 def _artefacts() -> Dict[str, Callable[[], object]]:
-    from . import experiments as ex
+    from .experiments.registry import artefact_registry
 
-    return {
-        "table2": ex.table2_model_inventory,
-        "fig3": ex.fig3_tfserving_variability,
-        "fig4": ex.fig4_node_duration_cdf,
-        "fig6": ex.fig6_online_profiler_overhead,
-        "fig8": ex.fig8_overhead_q_curves,
-        "fig11": ex.fig11_fair_homogeneous,
-        "fig12": ex.fig12_scheduling_intervals,
-        "fig13": ex.fig13_fair_heterogeneous,
-        "fig14": ex.fig14_quantum_durations,
-        "fig16": ex.fig16_complex_workload,
-        "fig17": ex.fig17_weighted_fair,
-        "fig18": ex.fig18_priority,
-        "fig19": ex.fig19_cpu_timer_ablation,
-        "fig20": ex.fig20_linear_cost_model,
-        "fig21": ex.fig21_portability,
-        "utilization": ex.utilization_comparison,
-        "scalability": ex.scalability_sweep,
-        "stability": ex.stability_check,
-        "ext-latency": ex.latency_predictability,
-        "ext-multigpu": ex.multigpu_scaling,
-        "ext-energy": ex.energy_comparison,
-        "ext-slo": ex.slo_attainment,
-        "ext-faults": ex.fault_tolerance,
-        "ext-recovery": ex.recovery_goodput,
-        "ext-spatial": ex.spatial_sharing,
-    }
+    return artefact_registry()
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -740,6 +790,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--graph", choices=["dot", "json"], default=None,
+        help="export the module dependency graph (dot) or the module + "
+             "call graphs (json) instead of linting",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only files differing from the git merge-base "
+             "(full run outside a git repo); whole-program rules see "
+             "only the changed subgraph — CI always runs everything",
+    )
+    lint.add_argument(
+        "--base", default="main",
+        help="base ref for --changed (default: main)",
+    )
+    lint.add_argument(
+        "--sanitize", action="store_true",
+        help="after a clean static pass, run a fair-scheduler smoke "
+             "experiment with REPRO_SANITIZE-style checksum guards armed",
     )
 
     validate = sub.add_parser(

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set
 
 from ..graph.node import Node
+from ..sanitize import sim_sanitizer
 from ..serving.hooks import SchedulerHook
 from ..serving.request import Job
 from ..sim.core import Process, Simulator
@@ -191,12 +192,14 @@ class GangScheduler(SchedulerHook):
         job.failure = JobEvicted(job.job_id, reason)
         self.evictions.append(Eviction(self.sim.now, job.job_id, reason))
         if self.telemetry is not None:
+            guard = sim_sanitizer.checkpoint(self)
             self.telemetry.emit(
                 "sched.eviction",
                 "scheduler",
                 job_id=job.job_id,
                 reason=reason,
             )
+            sim_sanitizer.verify(self, guard, "sched.eviction")
         self._release(job)
 
     def _release(self, job: Job) -> None:
@@ -345,6 +348,7 @@ class GangScheduler(SchedulerHook):
         if self._current_tenure is not None:
             self._current_tenure.end = now
             if telemetry is not None:
+                guard = sim_sanitizer.checkpoint(self)
                 telemetry.emit(
                     "sched.tenure_end",
                     "scheduler",
@@ -352,6 +356,7 @@ class GangScheduler(SchedulerHook):
                     model=self._current_tenure.model_name,
                     duration=now - self._current_tenure.start,
                 )
+                sim_sanitizer.verify(self, guard, "sched.tenure_end")
             self.tenures.append(self._current_tenure)
             self._current_tenure = None
         decision = SchedulingDecision(
@@ -362,12 +367,14 @@ class GangScheduler(SchedulerHook):
         self.decisions.append(decision)
         self.holder = job
         if telemetry is not None:
+            guard = sim_sanitizer.checkpoint(self)
             telemetry.emit(
                 "sched.decision",
                 "scheduler",
                 prev_job_id=decision.prev_job_id,
                 next_job_id=decision.next_job_id,
             )
+            sim_sanitizer.verify(self, guard, "sched.decision")
         if self.invariants is not None:
             self.invariants.after_decision(self, decision)
         if job is None:
@@ -379,12 +386,14 @@ class GangScheduler(SchedulerHook):
             start=now,
         )
         if telemetry is not None:
+            guard = sim_sanitizer.checkpoint(self)
             telemetry.emit(
                 "sched.tenure_begin",
                 "scheduler",
                 job_id=job.job_id,
                 model=job.model_name,
             )
+            sim_sanitizer.verify(self, guard, "sched.tenure_begin")
         if job is not prev:
             self.switch_count += 1
             if wake:
@@ -401,6 +410,26 @@ class GangScheduler(SchedulerHook):
 
     def decision_times(self) -> List[float]:
         return [decision.time for decision in self.decisions]
+
+    def _sanitize_state(self):
+        """Decision state checksummed around telemetry seams.
+
+        Everything a scheduling decision depends on, as plain values:
+        if an observer mutates any of it while emitting, the sanitizer
+        (:mod:`repro.sanitize`) catches the drift at the seam instead
+        of leaving it to show up as a digest mismatch three layers up.
+        """
+        return (
+            self.holder.job_id if self.holder is not None else None,
+            self.switch_count,
+            len(self.decisions),
+            len(self.tenures),
+            len(self.evictions),
+            tuple(
+                (job.job_id, job.cumulated_cost)
+                for job in self.policy.active_jobs
+            ),
+        )
 
 
 class OlympianScheduler(GangScheduler):
@@ -694,6 +723,7 @@ class SpatioTemporalScheduler(OlympianScheduler):
             tenure.end = self.sim.now
             self.tenures.append(tenure)
             if self.telemetry is not None:
+                guard = sim_sanitizer.checkpoint(self)
                 self.telemetry.emit(
                     "sched.tenure_end",
                     "scheduler",
@@ -701,6 +731,7 @@ class SpatioTemporalScheduler(OlympianScheduler):
                     model=tenure.model_name,
                     duration=tenure.end - tenure.start,
                 )
+                sim_sanitizer.verify(self, guard, "sched.tenure_end")
 
     def _demote(self, job: Job) -> None:
         """Time slice over: back to the waiters' queue."""
@@ -760,6 +791,9 @@ class SpatioTemporalScheduler(OlympianScheduler):
         self.switch_count += 1
         telemetry = self.telemetry
         if telemetry is not None:
+            # Two back-to-back emits with no interleaved scheduler
+            # mutation: one checkpoint covers the pair.
+            guard = sim_sanitizer.checkpoint(self)
             telemetry.emit(
                 "sched.decision",
                 "scheduler",
@@ -773,8 +807,17 @@ class SpatioTemporalScheduler(OlympianScheduler):
                 model=job.model_name,
                 streams=self._alloc[job.job_id],
             )
+            sim_sanitizer.verify(self, guard, "sched.admission")
         if self.invariants is not None:
             self.invariants.after_spatial_admission(self)
         condition = self._conditions.get(job.job_id)
         if condition is not None:
             condition.notify_all(self.wake_latency)
+
+    def _sanitize_state(self):
+        """Spatial books + lottery RNG on top of the gang state."""
+        return super()._sanitize_state() + (
+            tuple(sorted(self._alloc.items())),
+            tuple(job.job_id for job in self._waiting),
+            self.rng.getstate(),
+        )

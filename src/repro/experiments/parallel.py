@@ -74,10 +74,10 @@ def _fan_out(worker, items: Sequence, jobs: int) -> List[TrialOutcome]:
 
 def _run_artefact(name: str) -> TrialOutcome:
     # Imported lazily so spawn workers pay the import once, here.
-    from ..cli import _artefacts
+    from .registry import artefact_registry
 
     try:
-        result = _artefacts()[name]()
+        result = artefact_registry()[name]()
         return TrialOutcome(name=name, report=result.report())
     # Worker-side catch-all: the failure crosses the process boundary
     # as TrialOutcome.error and is re-surfaced by the parent.

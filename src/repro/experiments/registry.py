@@ -1,0 +1,75 @@
+"""Artefact registry: name -> experiment entry point.
+
+Lives in the experiments layer so both the CLI (``repro reproduce``)
+and the process-pool fan-out (:mod:`repro.experiments.parallel`) can
+resolve artefact names without either importing the other — the CLI is
+a presentation leaf and nothing below it may depend on it.
+
+Imports lazily: building the mapping is cheap, and spawn workers pay
+the experiment-module import cost once, in their own process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+__all__ = ["artefact_registry"]
+
+
+def artefact_registry() -> Dict[str, Callable[[], object]]:
+    """Every reproducible artefact, keyed by its ``reproduce`` name."""
+    from . import (
+        energy_comparison,
+        fault_tolerance,
+        fig3_tfserving_variability,
+        fig4_node_duration_cdf,
+        fig6_online_profiler_overhead,
+        fig8_overhead_q_curves,
+        fig11_fair_homogeneous,
+        fig12_scheduling_intervals,
+        fig13_fair_heterogeneous,
+        fig14_quantum_durations,
+        fig16_complex_workload,
+        fig17_weighted_fair,
+        fig18_priority,
+        fig19_cpu_timer_ablation,
+        fig20_linear_cost_model,
+        fig21_portability,
+        latency_predictability,
+        multigpu_scaling,
+        recovery_goodput,
+        scalability_sweep,
+        slo_attainment,
+        spatial_sharing,
+        stability_check,
+        table2_model_inventory,
+        utilization_comparison,
+    )
+
+    return {
+        "table2": table2_model_inventory,
+        "fig3": fig3_tfserving_variability,
+        "fig4": fig4_node_duration_cdf,
+        "fig6": fig6_online_profiler_overhead,
+        "fig8": fig8_overhead_q_curves,
+        "fig11": fig11_fair_homogeneous,
+        "fig12": fig12_scheduling_intervals,
+        "fig13": fig13_fair_heterogeneous,
+        "fig14": fig14_quantum_durations,
+        "fig16": fig16_complex_workload,
+        "fig17": fig17_weighted_fair,
+        "fig18": fig18_priority,
+        "fig19": fig19_cpu_timer_ablation,
+        "fig20": fig20_linear_cost_model,
+        "fig21": fig21_portability,
+        "utilization": utilization_comparison,
+        "scalability": scalability_sweep,
+        "stability": stability_check,
+        "ext-latency": latency_predictability,
+        "ext-multigpu": multigpu_scaling,
+        "ext-energy": energy_comparison,
+        "ext-slo": slo_attainment,
+        "ext-faults": fault_tolerance,
+        "ext-recovery": recovery_goodput,
+        "ext-spatial": spatial_sharing,
+    }

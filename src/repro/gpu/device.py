@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List, Optional
 
+from ..sanitize import sim_sanitizer
 from ..sim.core import AnyOf, Event, Process, Simulator
 from ..sim.trace import IntervalTracer
 from .driver import Driver
@@ -177,6 +178,7 @@ class GpuDevice:
             kernel.started_at = start
             telemetry = self.telemetry
             if telemetry is not None:
+                guard = sim_sanitizer.checkpoint(self)
                 telemetry.emit(
                     "kernel.started",
                     "device",
@@ -184,6 +186,7 @@ class GpuDevice:
                     node_id=kernel.node_id,
                     seq=kernel.seq,
                 )
+                sim_sanitizer.verify(self, guard, "kernel.started")
             yield timeout(
                 kernel.duration * compute_scale * self.clock_factor
                 + kernel_overhead
@@ -196,6 +199,7 @@ class GpuDevice:
             record(GPU_GLOBAL_KEY, start, end, tag=kernel.job_id)
             self.current_kernel = None
             if telemetry is not None:
+                guard = sim_sanitizer.checkpoint(self)
                 # The pipeline annotates this with the current token
                 # holder, which is how overflow kernels are detected.
                 telemetry.emit(
@@ -206,6 +210,7 @@ class GpuDevice:
                     seq=kernel.seq,
                     exec_time=end - start,
                 )
+                sim_sanitizer.verify(self, guard, "kernel.finished")
             kernel.done.succeed(kernel)
 
     def _run_multi(self):
@@ -293,6 +298,7 @@ class GpuDevice:
                     )
             telemetry = self.telemetry
             if telemetry is not None:
+                guard = sim_sanitizer.checkpoint(self)
                 telemetry.emit(
                     "kernel.started",
                     "device",
@@ -301,7 +307,8 @@ class GpuDevice:
                     seq=kernel.seq,
                     stream=kernel.stream,
                 )
-            emit_occupancy(telemetry)
+                emit_occupancy(telemetry)
+                sim_sanitizer.verify(self, guard, "kernel.started")
 
         def finish(kernel: Kernel) -> None:
             del residents[kernel]
@@ -324,6 +331,7 @@ class GpuDevice:
                 )
             telemetry = self.telemetry
             if telemetry is not None:
+                guard = sim_sanitizer.checkpoint(self)
                 telemetry.emit(
                     "kernel.finished",
                     "device",
@@ -333,7 +341,8 @@ class GpuDevice:
                     stream=kernel.stream,
                     exec_time=end - start_at,
                 )
-            emit_occupancy(telemetry)
+                emit_occupancy(telemetry)
+                sim_sanitizer.verify(self, guard, "kernel.finished")
             kernel.done.succeed(kernel)
 
         while True:
@@ -380,6 +389,31 @@ class GpuDevice:
                 yield waits[0]
             else:
                 yield AnyOf(sim, waits)
+
+    def _sanitize_state(self):
+        """Engine state checksummed around telemetry seams.
+
+        Plain counters and identifiers only (never object reprs, which
+        embed addresses).  The multi-stream residency books live in the
+        engine closure; their externally visible projection —
+        ``occupancy`` and the executed/busy counters — is covered here.
+        """
+        current = self.current_kernel
+        return (
+            self.kernels_executed,
+            self.busy_time,
+            self.occupancy,
+            self.peak_occupancy,
+            self.occupancy_time,
+            (current.job_id, current.node_id, current.seq)
+            if current is not None
+            else None,
+            self.clock_factor,
+            self._hang_until,
+            self.hangs_injected,
+            self.down_until,
+            self.crashes,
+        )
 
     def set_clock_factor(self, factor: float) -> None:
         """Change the effective clock mid-run (thermal throttling /

@@ -38,6 +38,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional
 
 from ..graph.node import Node
+from ..sanitize import sim_sanitizer
 from ..sim.core import Event, Simulator
 from ..sim.rng import derive_seed
 from .kernel import Kernel
@@ -121,6 +122,7 @@ class Driver:
         self.submission_counts[job_id] = seq + 1
         telemetry = self.telemetry
         if telemetry is not None:
+            guard = sim_sanitizer.checkpoint(self)
             telemetry.emit(
                 "kernel.submitted",
                 "driver",
@@ -129,6 +131,7 @@ class Driver:
                 seq=seq,
                 queue_depth=self._queued,
             )
+            sim_sanitizer.verify(self, guard, "kernel.submitted")
         if self.sim.now < self._reject_until:
             # The device is down: reject at the driver boundary with the
             # remaining reset latency as a backpressure hint.
@@ -136,6 +139,7 @@ class Driver:
 
             self.failed_launches += 1
             if telemetry is not None:
+                guard = sim_sanitizer.checkpoint(self)
                 telemetry.emit(
                     "kernel.rejected",
                     "driver",
@@ -144,6 +148,7 @@ class Driver:
                     seq=seq,
                     reason="device_crashed",
                 )
+                sim_sanitizer.verify(self, guard, "kernel.rejected")
             kernel.done.fail(
                 DeviceCrashed(job_id, retry_after=self._reject_until - self.sim.now)
             )
@@ -156,6 +161,7 @@ class Driver:
                 # the yield point (Event.fail propagation).
                 self.failed_launches += 1
                 if telemetry is not None:
+                    guard = sim_sanitizer.checkpoint(self)
                     telemetry.emit(
                         "kernel.rejected",
                         "driver",
@@ -163,6 +169,7 @@ class Driver:
                         node_id=node.node_id,
                         seq=seq,
                     )
+                    sim_sanitizer.verify(self, guard, "kernel.rejected")
                 kernel.done.fail(fault)
                 return kernel
         queue = self._queues.get(job_id)
@@ -218,6 +225,7 @@ class Driver:
                 self.failed_launches += 1
                 flushed += 1
                 if telemetry is not None:
+                    guard = sim_sanitizer.checkpoint(self)
                     telemetry.emit(
                         "kernel.rejected",
                         "driver",
@@ -226,6 +234,7 @@ class Driver:
                         seq=kernel.seq,
                         reason="device_crashed",
                     )
+                    sim_sanitizer.verify(self, guard, "kernel.rejected")
                 kernel.done.fail(
                     DeviceCrashed(
                         job_id, retry_after=reject_until - self.sim.now
@@ -383,3 +392,25 @@ class Driver:
 
     def submissions_for(self, job_id: Any) -> int:
         return self.submission_counts.get(job_id, 0)
+
+    def _sanitize_state(self):
+        """Arbitration state checksummed around telemetry seams.
+
+        Queue contents, arbitration ranks, and the RNG stream: any of
+        these drifting during an emit would change which stream the
+        next pick serves.  Stream dicts are reported in creation
+        (insertion) order, which is itself part of the arbitration
+        contract.
+        """
+        return (
+            self._queued,
+            self._current_stream,
+            self.stream_switches,
+            self.failed_launches,
+            self.crashes,
+            tuple(
+                (job_id, len(queue)) for job_id, queue in self._queues.items()
+            ),
+            tuple(self._ranks.items()),
+            self.rng.getstate(),
+        )

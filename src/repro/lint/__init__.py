@@ -18,27 +18,59 @@ deadlock-free cooperative gang scheduler.  This package checks both
 * **Robustness rules** (ROB001) flag broad/bare ``except`` handlers
   that neither re-raise nor log — silent error swallowing hides the
   very failures the recovery layer exists to handle.
+* **Flow rules** (FLOW001-FLOW003) are whole-program: interprocedural
+  taint analysis over the project call graph proves observer-effect
+  freedom (no telemetry state reaches scheduler decisions), traces
+  every RNG seed back to ``derive_seed`` across call boundaries
+  (superseding DET003), and bans observer-side mutation of foreign
+  state.
+* **Architecture rules** (ARCH001-ARCH003) enforce the layer contracts
+  declared in ``[tool.repro.lint.arch]`` over the module dependency
+  graph: layered eager imports, no import cycles, and hard-forbidden
+  component edges.
 
 Run it as ``python -m repro.cli lint src tests benchmarks`` (the CI
-gate) or call :func:`lint_paths` directly.  Rules are catalogued in
-``docs/LINTING.md``; suppressions use ``# lint: disable=RULE`` /
-``# lint: disable-file=RULE`` comments.
+gate) or call :func:`lint_paths` directly.  ``--graph dot|json``
+exports the module/call graphs; ``--changed`` lints only files
+differing from the git merge-base; ``--sanitize`` follows the static
+pass with a runtime-checksummed smoke run (see :mod:`repro.sanitize`).
+Rules are catalogued in ``docs/LINTING.md``; suppressions use
+``# lint: disable=RULE`` / ``# lint: disable-file=RULE`` comments and
+accept family wildcards (``FLOW*``).
 """
 
 from __future__ import annotations
 
 # Importing the rule modules registers every rule.
+from . import arch as _arch  # noqa: F401
 from . import concurrency as _concurrency  # noqa: F401
 from . import determinism as _determinism  # noqa: F401
+from . import flow as _flow  # noqa: F401
 from . import observability as _observability  # noqa: F401
 from . import perf as _perf  # noqa: F401
 from . import robustness as _robustness  # noqa: F401
+from .callgraph import CallGraph
+from .changed import changed_python_files
 from .config import LintConfig, find_pyproject, load_config, path_matches
-from .engine import FileContext, lint_source
+from .engine import FileContext, analyze_source, lint_source
 from .findings import Finding, PARSE_ERROR_ID
+from .modgraph import ModuleGraph, module_name_for
+from .project import ProjectContext
 from .reporters import LintReport, render_json, render_text
-from .rules import CrossFileRule, Rule, all_rules, get_rule, resolve_rules
-from .runner import discover_files, lint_files, lint_paths
+from .rules import (
+    CrossFileRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    resolve_rules,
+)
+from .runner import (
+    build_project_context,
+    discover_files,
+    lint_files,
+    lint_paths,
+)
 from .suppress import SuppressionIndex
 
 __all__ = [
@@ -53,13 +85,21 @@ __all__ = [
     "render_json",
     "Rule",
     "CrossFileRule",
+    "ProjectRule",
     "all_rules",
     "get_rule",
     "resolve_rules",
     "FileContext",
     "lint_source",
+    "analyze_source",
     "SuppressionIndex",
     "discover_files",
     "lint_files",
     "lint_paths",
+    "build_project_context",
+    "ProjectContext",
+    "ModuleGraph",
+    "CallGraph",
+    "module_name_for",
+    "changed_python_files",
 ]

@@ -1,0 +1,180 @@
+"""ARCH rule family: layer contracts over the module dependency graph.
+
+The contracts live in ``[tool.repro.lint.arch]`` in pyproject:
+
+* ``layers`` — bottom-up groups of sibling top-level components under
+  the root package.  **ARCH001** rejects any *eager* (module-level)
+  import from a lower layer into a higher one: ``sim`` imports nothing
+  above it, ever.  Function-local imports are the sanctioned runtime
+  cycle-breaker and are not layer-checked — use ``forbid`` to ban them
+  for a component outright.
+* ``no-cycles`` — **ARCH002** rejects eager import cycles among root
+  modules (a cycle at import time is one refactor away from an
+  ``ImportError`` and makes layering meaningless).
+* ``forbid`` / ``allow`` — **ARCH003** bans component edges outright,
+  counting lazy imports too (``telemetry -> *`` keeps the observer
+  import-read-only; ``* -> cli`` keeps the presentation layer a leaf).
+  ``*`` wildcards match either side; ``allow`` lists exact exemptions.
+
+Components not named in any layer are unconstrained by ARCH001 — add
+new top-level packages to the table when they appear.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .project import ProjectContext
+from .rules import ProjectRule, register
+
+__all__ = ["LayerContractRule", "ImportCycleRule", "ForbiddenEdgeRule"]
+
+
+def _layer_index(layers: Tuple[str, ...]) -> Dict[str, int]:
+    """component -> layer position (0 = bottom)."""
+    index: Dict[str, int] = {}
+    for i, group in enumerate(layers):
+        for component in group.split():
+            index[component] = i
+    return index
+
+
+def _parse_edge_patterns(
+    entries: Tuple[str, ...], what: str
+) -> List[Tuple[str, str]]:
+    parsed: List[Tuple[str, str]] = []
+    for entry in entries:
+        src, sep, dst = entry.partition("->")
+        if not sep:
+            raise ValueError(
+                f"bad [tool.repro.lint.arch] {what} entry {entry!r}; "
+                "expected 'src -> dst'"
+            )
+        parsed.append((src.strip(), dst.strip()))
+    return parsed
+
+
+@register
+class LayerContractRule(ProjectRule):
+    rule_id = "ARCH001"
+    name = "layer-contract"
+    summary = (
+        "module-level imports must point downward through the declared "
+        "[tool.repro.lint.arch] layers"
+    )
+
+    def analyze(self, project: ProjectContext):
+        config = project.config
+        graph = project.modgraph
+        index = _layer_index(config.arch_layers)
+        findings: List[Tuple[str, int, int, str]] = []
+        for edge in graph.edges:
+            if not edge.eager:
+                continue
+            src = graph.component_of(edge.src)
+            dst = graph.component_of(edge.dst)
+            if src is None or dst is None or src == dst:
+                continue
+            if src not in index or dst not in index:
+                continue
+            if index[src] >= index[dst]:
+                continue
+            path = graph.modules[edge.src]
+            findings.append((
+                path,
+                edge.line,
+                0,
+                f"layer contract: {src!r} (layer {index[src]}) imports "
+                f"{dst!r} (layer {index[dst]}) at module import time "
+                f"({edge.src} -> {edge.dst}); move the import below it "
+                "in the layer table or make it function-local",
+            ))
+        findings.sort()
+        return iter(findings)
+
+
+@register
+class ImportCycleRule(ProjectRule):
+    rule_id = "ARCH002"
+    name = "import-cycle"
+    summary = "no eager import cycles among root-package modules"
+
+    def analyze(self, project: ProjectContext):
+        config = project.config
+        if not config.arch_no_cycles:
+            return iter(())
+        graph = project.modgraph
+        findings: List[Tuple[str, int, int, str]] = []
+        for cycle in graph.eager_cycles():
+            members = set(cycle)
+            anchor: Optional[Tuple[str, int]] = None
+            for edge in graph.edges:
+                if edge.eager and edge.src in members and edge.dst in members:
+                    candidate = (graph.modules[edge.src], edge.line)
+                    if anchor is None or candidate < anchor:
+                        anchor = candidate
+            path, line = anchor if anchor is not None else (cycle[0], 1)
+            findings.append((
+                path,
+                line,
+                0,
+                "eager import cycle among root modules: "
+                + " <-> ".join(cycle)
+                + "; break it with a function-local import",
+            ))
+        findings.sort()
+        return iter(findings)
+
+
+@register
+class ForbiddenEdgeRule(ProjectRule):
+    rule_id = "ARCH003"
+    name = "forbidden-dependency"
+    summary = (
+        "component edges banned by [tool.repro.lint.arch] forbid "
+        "(lazy imports count too)"
+    )
+
+    def analyze(self, project: ProjectContext):
+        config = project.config
+        graph = project.modgraph
+        forbid = _parse_edge_patterns(config.arch_forbid, "forbid")
+        allow: Set[Tuple[str, str]] = {
+            (src, dst)
+            for src, dst in _parse_edge_patterns(config.arch_allow, "allow")
+        }
+        findings: List[Tuple[str, int, int, str]] = []
+        seen: Set[Tuple[str, str, int]] = set()
+        for edge in graph.edges:
+            src = graph.component_of(edge.src)
+            dst = graph.component_of(edge.dst)
+            if src is None or dst is None or src == dst:
+                continue
+            if (src, dst) in allow:
+                continue
+            matched = next(
+                (
+                    f"{p_src} -> {p_dst}"
+                    for p_src, p_dst in forbid
+                    if fnmatchcase(src, p_src) and fnmatchcase(dst, p_dst)
+                ),
+                None,
+            )
+            if matched is None:
+                continue
+            key = (edge.src, edge.dst, edge.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            kind = "eagerly" if edge.eager else "lazily"
+            findings.append((
+                graph.modules[edge.src],
+                edge.line,
+                0,
+                f"forbidden dependency {src} -> {dst}: {edge.src} "
+                f"{kind} imports {edge.dst} (banned by arch rule "
+                f"{matched!r})",
+            ))
+        findings.sort()
+        return iter(findings)

@@ -1,0 +1,386 @@
+"""Project call graph (heuristic, precision-first).
+
+Functions are indexed by qualified name (``repro.core.scheduler.
+GangScheduler._grant``).  Call sites resolve to project functions only
+when the receiver is unambiguous:
+
+* a name bound by ``def`` in an enclosing scope of the same module,
+* a name imported from a project module (``from x import f``),
+* a dotted call through a module alias (``import repro.sim.rng as r``),
+* ``self.m()`` / ``cls.m()`` — the enclosing class or a project base,
+* a call on a local variable assigned from a project constructor
+  (``d = Driver(...)`` then ``d.launch(...)``), or on a parameter whose
+  annotation names a project class.
+
+Constructor calls resolve to ``Class.__init__`` so seed provenance
+(FLOW002) and taint (FLOW001) flow through object construction.
+Anything else stays unresolved — for taint analysis a missing edge is a
+missed propagation, but a wrong edge is a false positive in CI, and the
+FLOW fixtures pin the cases that must resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .modgraph import module_name_for
+
+__all__ = ["FunctionInfo", "CallGraph"]
+
+
+@dataclass
+class FunctionInfo:
+    qname: str
+    module: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_qname: Optional[str] = None
+    params: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.qname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    qname: str
+    module: str
+    node: ast.ClassDef
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qname
+    base_qnames: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    caller: str
+    callee: str
+    line: int
+
+
+class CallGraph:
+    """Functions, classes, and resolved call edges for the project."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.edges: List[CallEdge] = []
+        # caller qname -> [(callee qname, call node)]
+        self.calls_from: Dict[str, List[Tuple[str, ast.Call]]] = {}
+        # callee qname -> [(caller qname, call node)]
+        self.calls_to: Dict[str, List[Tuple[str, ast.Call]]] = {}
+        # module -> {local name -> project qname} (imports + defs)
+        self.module_bindings: Dict[str, Dict[str, str]] = {}
+        # module -> set of names bound by `from repro.telemetry import X`
+        self.module_import_sources: Dict[str, Dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Dict[str, ast.AST], root: str) -> "CallGraph":
+        graph = cls(root)
+        module_of_path: Dict[str, str] = {}
+        for path in sorted(files):
+            module, _ = module_name_for(path, root)
+            module_of_path[path] = module
+        # Pass 1: index defs, classes, imports.
+        for path in sorted(files):
+            graph._index_module(module_of_path[path], path, files[path])
+        graph._resolve_bases()
+        # Pass 2: resolve call sites.
+        for path in sorted(files):
+            graph._resolve_calls(module_of_path[path], path, files[path])
+        graph.edges.sort(key=lambda e: (e.caller, e.callee, e.line))
+        return graph
+
+    def _index_module(self, module: str, path: str, tree: ast.AST) -> None:
+        bindings = self.module_bindings.setdefault(module, {})
+        sources = self.module_import_sources.setdefault(module, {})
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                base = _absolute_from_base(module, path, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    sources[local] = target
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname:
+                        sources[local] = alias.name
+                    else:
+                        sources[local] = alias.name.split(".")[0]
+
+        def visit(body: Sequence[ast.stmt], prefix: str,
+                  class_info: Optional[ClassInfo]) -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qname = f"{prefix}.{node.name}"
+                    params = tuple(
+                        a.arg
+                        for a in [
+                            *node.args.posonlyargs,
+                            *node.args.args,
+                            *node.args.kwonlyargs,
+                        ]
+                    )
+                    info = FunctionInfo(
+                        qname=qname,
+                        module=module,
+                        path=path,
+                        node=node,
+                        class_qname=(
+                            class_info.qname if class_info is not None else None
+                        ),
+                        params=params,
+                    )
+                    self.functions[qname] = info
+                    if class_info is not None:
+                        class_info.methods[node.name] = qname
+                    elif prefix == module:
+                        bindings[node.name] = qname
+                    visit(node.body, qname, None)
+                elif isinstance(node, ast.ClassDef):
+                    qname = f"{prefix}.{node.name}"
+                    cinfo = ClassInfo(qname=qname, module=module, node=node)
+                    self.classes[qname] = cinfo
+                    if prefix == module:
+                        bindings[node.name] = qname
+                    visit(node.body, qname, cinfo)
+
+        visit(getattr(tree, "body", []), module, None)
+
+    def _resolve_bases(self) -> None:
+        for cinfo in self.classes.values():
+            bases: List[str] = []
+            for base in cinfo.node.bases:
+                qname = self._resolve_symbol(cinfo.module, base)
+                if qname is not None and qname in self.classes:
+                    bases.append(qname)
+            cinfo.base_qnames = tuple(bases)
+
+    def _resolve_symbol(self, module: str, node: ast.AST) -> Optional[str]:
+        """Project qname for a Name/Attribute symbol reference."""
+        if isinstance(node, ast.Name):
+            local = self.module_bindings.get(module, {}).get(node.id)
+            if local is not None:
+                return local
+            imported = self.module_import_sources.get(module, {}).get(node.id)
+            if imported is not None:
+                return self._canonical(imported)
+            return None
+        if isinstance(node, ast.Attribute):
+            parts: List[str] = []
+            cursor: ast.AST = node
+            while isinstance(cursor, ast.Attribute):
+                parts.append(cursor.attr)
+                cursor = cursor.value
+            if not isinstance(cursor, ast.Name):
+                return None
+            rooted = self.module_import_sources.get(module, {}).get(cursor.id)
+            if rooted is None:
+                return None
+            dotted = ".".join([rooted, *reversed(parts)])
+            return self._canonical(dotted)
+        return None
+
+    def _canonical(self, dotted: str) -> Optional[str]:
+        """Map a dotted target onto a known function/class qname."""
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        return None
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_calls(self, module: str, path: str, tree: ast.AST) -> None:
+        graph = self
+
+        def enclosing_functions(
+            body: Sequence[ast.stmt],
+            prefix: str,
+            class_info: Optional[ClassInfo],
+            local_defs: Dict[str, str],
+        ) -> None:
+            # Collect sibling defs first so forward references resolve.
+            scope_defs = dict(local_defs)
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scope_defs[node.name] = f"{prefix}.{node.name}"
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qname = f"{prefix}.{node.name}"
+                    graph._resolve_function(
+                        module, qname, node, class_info, scope_defs
+                    )
+                    enclosing_functions(node.body, qname, None, scope_defs)
+                elif isinstance(node, ast.ClassDef):
+                    cinfo = graph.classes.get(f"{prefix}.{node.name}")
+                    enclosing_functions(
+                        node.body, f"{prefix}.{node.name}", cinfo, scope_defs
+                    )
+
+        enclosing_functions(getattr(tree, "body", []), module, None, {})
+
+    def _method_in_class(
+        self, class_qname: str, method: str, seen: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        seen = seen or set()
+        if class_qname in seen:
+            return None
+        seen.add(class_qname)
+        cinfo = self.classes.get(class_qname)
+        if cinfo is None:
+            return None
+        if method in cinfo.methods:
+            return cinfo.methods[method]
+        for base in cinfo.base_qnames:
+            found = self._method_in_class(base, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def _constructor_of(self, class_qname: str) -> Optional[str]:
+        return self._method_in_class(class_qname, "__init__")
+
+    def _resolve_function(
+        self,
+        module: str,
+        qname: str,
+        fn: ast.AST,
+        class_info: Optional[ClassInfo],
+        scope_defs: Dict[str, str],
+    ) -> None:
+        # Local variable -> project class qname, from constructor calls
+        # and annotations.
+        var_types: Dict[str, str] = {}
+        args = fn.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None:
+                resolved = self._resolve_symbol(module, arg.annotation)
+                if resolved is not None and resolved in self.classes:
+                    var_types[arg.arg] = resolved
+
+        def callee_for(call: ast.Call) -> Optional[str]:
+            func = call.func
+            if isinstance(func, ast.Name):
+                target = scope_defs.get(func.id)
+                if target is None:
+                    target = self._resolve_symbol(module, func)
+                if target is None:
+                    return None
+                if target in self.classes:
+                    return self._constructor_of(target)
+                if target in self.functions:
+                    return target
+                return None
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name):
+                    if base.id in ("self", "cls") and class_info is not None:
+                        return self._method_in_class(
+                            class_info.qname, func.attr
+                        )
+                    typed = var_types.get(base.id)
+                    if typed is not None:
+                        return self._method_in_class(typed, func.attr)
+                # Dotted module access: repro.sim.rng.derive_seed(...)
+                resolved = self._resolve_symbol(module, func)
+                if resolved is not None:
+                    if resolved in self.classes:
+                        return self._constructor_of(resolved)
+                    if resolved in self.functions:
+                        return resolved
+                return None
+            return None
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                target_cls = None
+                func = node.value.func
+                sym = (
+                    scope_defs.get(func.id)
+                    if isinstance(func, ast.Name)
+                    else None
+                )
+                if sym is None:
+                    sym = self._resolve_symbol(module, func)
+                if sym is not None and sym in self.classes:
+                    target_cls = sym
+                if target_cls is not None:
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            var_types[tgt.id] = target_cls
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                resolved = self._resolve_symbol(module, node.annotation)
+                if resolved is not None and resolved in self.classes:
+                    var_types[node.target.id] = resolved
+
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = callee_for(node)
+            if callee is None or callee == qname:
+                continue
+            self.edges.append(CallEdge(qname, callee, node.lineno))
+            self.calls_from.setdefault(qname, []).append((callee, node))
+            self.calls_to.setdefault(callee, []).append((qname, node))
+
+    # ------------------------------------------------------------------
+    # Queries / exports
+    # ------------------------------------------------------------------
+
+    def callers_of(self, qname: str) -> List[Tuple[str, ast.Call]]:
+        return self.calls_to.get(qname, [])
+
+    def resolve_call(self, module: str, call_expr: ast.AST) -> Optional[str]:
+        """Best-effort resolution of an arbitrary symbol (for rules)."""
+        return self._resolve_symbol(module, call_expr)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "functions": sorted(self.functions),
+            "edges": [
+                {"caller": e.caller, "callee": e.callee, "line": e.line}
+                for e in self.edges
+            ],
+        }
+
+    def to_dot(self) -> str:
+        lines = ["digraph calls {", "  rankdir=LR;"]
+        for edge in self.edges:
+            lines.append(f'  "{edge.caller}" -> "{edge.callee}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def _absolute_from_base(
+    module: str, path: str, node: ast.ImportFrom
+) -> Optional[str]:
+    if node.level == 0:
+        return node.module or ""
+    parts = module.split(".")
+    if Path(path).name != "__init__.py":
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop > len(parts):
+        return None
+    base_parts = parts[: len(parts) - drop] if drop else parts
+    if node.module:
+        base_parts = base_parts + node.module.split(".")
+    return ".".join(base_parts)

@@ -1,0 +1,65 @@
+"""Changed-file discovery for ``repro lint --changed``.
+
+Asks git for files differing from ``merge-base(HEAD, base)`` plus
+untracked files, so the pre-commit path lints only what the branch
+touched.  Any git failure (not a repo, unknown base, no git binary)
+returns ``None`` and the caller falls back to a full run — fast paths
+must never be able to *hide* findings, only defer them to CI, which
+always runs the whole program.
+
+Note the approximation: whole-program rules (FLOW/ARCH) see only the
+changed files' subgraph under ``--changed``, so a feedback edge whose
+endpoints are both in unchanged files surfaces in CI, not pre-commit.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Set
+
+__all__ = ["changed_python_files"]
+
+
+def _git(args: List[str], cwd: Path) -> str:
+    return subprocess.run(
+        ["git", *args],
+        cwd=str(cwd),
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+
+
+def changed_python_files(
+    base: str = "main", cwd: Optional[Path] = None
+) -> Optional[Set[Path]]:
+    """Resolved paths of .py files changed since merge-base, or None.
+
+    ``None`` signals "could not determine" (outside a git repo, unknown
+    base ref, git missing) — the caller should lint everything.
+    """
+    cwd = cwd if cwd is not None else Path.cwd()
+    try:
+        top = _git(["rev-parse", "--show-toplevel"], cwd).strip()
+        merge_base = _git(["merge-base", "HEAD", base], cwd).strip()
+        diff = _git(
+            ["diff", "--name-only", "-z", merge_base, "--", "*.py"], cwd
+        )
+        untracked = _git(
+            ["ls-files", "--others", "--exclude-standard", "-z", "--", "*.py"],
+            cwd,
+        )
+    except (subprocess.CalledProcessError, FileNotFoundError, OSError):
+        return None
+    root = Path(top)
+    changed: Set[Path] = set()
+    for blob in (diff, untracked):
+        for name in blob.split("\0"):
+            if not name:
+                continue
+            candidate = (root / name).resolve()
+            # Deleted files still show in the diff; skip them.
+            if candidate.is_file():
+                changed.add(candidate)
+    return changed

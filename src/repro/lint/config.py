@@ -93,6 +93,68 @@ class LintConfig:
         "holder:_grant,__init__",
         "cumulated_cost:on_node_done,__init__,rollback",
     )
+    # ------------------------------------------------------------------
+    # FLOW family (whole-program taint analysis) scopes.
+    # ------------------------------------------------------------------
+    # Decision code: modules whose branches / RNG draws / queue ordering
+    # must never consume telemetry-derived values (FLOW001 sinks).
+    flow_decision_paths: Tuple[str, ...] = (
+        "src/repro/core",
+        "src/repro/gpu",
+        "src/repro/sim",
+    )
+    # Observer code: modules whose functions are treated as telemetry
+    # state sources (FLOW001) and checked for foreign-state mutation
+    # (FLOW003).
+    flow_observer_paths: Tuple[str, ...] = ("src/repro/telemetry",)
+    # Attribute names the observer layer is sanctioned to *write* on
+    # foreign objects: the wiring seams installed by Telemetry.attach.
+    flow_wiring_attrs: Tuple[str, ...] = ("telemetry", "on_drift")
+    # self.<attr> references inside observer code that alias captured
+    # core objects (mutating through them is a FLOW003 violation).
+    flow_captured_attrs: Tuple[str, ...] = (
+        "server",
+        "scheduler",
+        "device",
+        "driver",
+        "sim",
+    )
+    # ------------------------------------------------------------------
+    # ARCH family (layer contracts over the module dependency graph).
+    # ------------------------------------------------------------------
+    # Root package the module graph is rooted at; files outside it are
+    # mapped by their path but exempt from layer checks.
+    arch_root: str = "repro"
+    # Bottom-up layers; each entry is a space-separated group of sibling
+    # top-level components that may import each other and anything in a
+    # lower layer (eager, module-level imports only — ARCH001).
+    arch_layers: Tuple[str, ...] = (
+        "sim sanitize",
+        "graph host",
+        "gpu zoo",
+        "workloads",
+        "core serving faults",
+        "metrics slo recovery telemetry cluster lint",
+        "analysis experiments",
+        "bench cli __main__",
+    )
+    # "src -> dst" component edges banned outright (ARCH003; counts
+    # lazy, function-level imports too).  "*" wildcards either side.
+    arch_forbid: Tuple[str, ...] = (
+        "sim -> *",
+        "telemetry -> *",
+        "lint -> *",
+        "sanitize -> *",
+        "* -> cli",
+        "* -> bench",
+    )
+    # Exact "src -> dst" pairs exempted from the forbid list.
+    arch_allow: Tuple[str, ...] = (
+        "__main__ -> cli",
+        "cli -> bench",
+    )
+    # Reject eager import cycles among root-package modules (ARCH002).
+    arch_no_cycles: bool = True
     parsed_guards: Dict[str, Tuple[str, ...]] = field(
         default_factory=dict, compare=False
     )
@@ -113,22 +175,47 @@ class LintConfig:
         return replace(self, **overrides)
 
 
-_FIELD_NAMES = {f.name for f in fields(LintConfig) if f.name != "parsed_guards"}
+_FIELDS = {f.name: f for f in fields(LintConfig) if f.name != "parsed_guards"}
+_FIELD_NAMES = set(_FIELDS)
+
+
+def _coerce_value(name: str, key: str, value: Any) -> Any:
+    """Coerce a TOML value to the dataclass field's default type."""
+    default = _FIELDS[name].default
+    if isinstance(default, bool):
+        if not isinstance(value, bool):
+            raise ValueError(f"[tool.repro.lint] {key} must be a boolean")
+        return value
+    if isinstance(default, str):
+        if not isinstance(value, str):
+            raise ValueError(f"[tool.repro.lint] {key} must be a string")
+        return value
+    # Tuple-typed fields accept a list or a single string.
+    if isinstance(value, (list, tuple)):
+        return tuple(str(item) for item in value)
+    if isinstance(value, str):
+        return (value,)
+    raise ValueError(f"[tool.repro.lint] {key} must be a string/list")
 
 
 def _config_from_table(table: Mapping[str, Any]) -> LintConfig:
     overrides: Dict[str, Any] = {}
     for key, value in table.items():
+        if key == "arch" and isinstance(value, Mapping):
+            # Nested [tool.repro.lint.arch] table: its keys map onto the
+            # arch_* dataclass fields.
+            for sub_key, sub_value in value.items():
+                name = "arch_" + sub_key.replace("-", "_")
+                if name not in _FIELD_NAMES:
+                    raise ValueError(
+                        f"unknown [tool.repro.lint.arch] key: {sub_key!r}"
+                    )
+                overrides[name] = _coerce_value(name, sub_key, sub_value)
+            continue
         name = key.replace("-", "_")
         if name not in _FIELD_NAMES:
             raise ValueError(f"unknown [tool.repro.lint] key: {key!r}")
-        if isinstance(value, (list, tuple)):
-            value = tuple(str(item) for item in value)
-        elif not isinstance(value, str):
-            raise ValueError(f"[tool.repro.lint] {key} must be a string/list")
-        else:
-            value = (value,)
-        overrides[name] = value
+        overrides[name] = _coerce_value(name, key, value)
     return LintConfig(**overrides)
 
 
@@ -146,19 +233,27 @@ def _parse_lint_table_fallback(text: str) -> Dict[str, Any]:
 
     Supports ``key = "str"`` / ``key = ["a", "b"]`` (lists may span
     lines) / bare ints and booleans — the full subset this table uses.
+    The nested ``[tool.repro.lint.arch]`` section lands under the
+    ``"arch"`` key, mirroring tomllib's shape.
     """
     lines = text.splitlines()
-    table: Dict[str, Any] = {}
-    in_section = False
+    root_table: Dict[str, Any] = {}
+    table: Optional[Dict[str, Any]] = None
     i = 0
     while i < len(lines):
         line = lines[i]
         section = _SECTION.match(line)
         if section is not None:
-            in_section = section.group("name").strip() == "tool.repro.lint"
+            name = section.group("name").strip()
+            if name == "tool.repro.lint":
+                table = root_table
+            elif name == "tool.repro.lint.arch":
+                table = root_table.setdefault("arch", {})
+            else:
+                table = None
             i += 1
             continue
-        if not in_section:
+        if table is None:
             i += 1
             continue
         entry = _KEY.match(line)
@@ -186,7 +281,7 @@ def _parse_lint_table_fallback(text: str) -> Dict[str, Any]:
             except ValueError:
                 table[key] = comment_free
         i += 1
-    return table
+    return root_table
 
 
 def _load_lint_table(pyproject: Path) -> Dict[str, Any]:

@@ -12,14 +12,14 @@ runner once every file has been seen.
 from __future__ import annotations
 
 import ast
-from typing import Any, Dict, Iterator, List, Sequence, Set, Tuple, Type
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 from .config import LintConfig
 from .findings import Finding, PARSE_ERROR_ID
 from .rules import CrossFileRule, Rule
 from .suppress import SuppressionIndex
 
-__all__ = ["FileContext", "lint_source"]
+__all__ = ["FileContext", "lint_source", "analyze_source"]
 
 
 class FileContext:
@@ -81,31 +81,37 @@ def _anchor_position(node: ast.AST) -> Tuple[int, int]:
     return getattr(node, "lineno", 1), getattr(node, "col_offset", 0)
 
 
-def lint_source(
+def analyze_source(
     path: str,
     source: str,
     config: LintConfig,
     rules: Sequence[Rule],
-) -> Tuple[List[Finding], List[Tuple[CrossFileRule, Any]]]:
-    """Lint one file; return (findings, cross-file collections)."""
+) -> Tuple[List[Finding], List[Tuple[CrossFileRule, Any]], Optional[FileContext]]:
+    """Lint one file; return (findings, cross-file collections, context).
+
+    The context is ``None`` when the file does not parse — whole-program
+    rules simply skip it (the parse-error pseudo-finding already fails
+    the run).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except (SyntaxError, ValueError) as exc:
         index = SuppressionIndex.from_source(source)
         line = getattr(exc, "lineno", None) or 1
         if index.is_suppressed(PARSE_ERROR_ID, line):
-            return [], []
+            return [], [], None
         msg = getattr(exc, "msg", None) or str(exc)
         return (
             [Finding(path, line, 0, PARSE_ERROR_ID, f"cannot parse: {msg}")],
             [],
+            None,
         )
 
     ctx = FileContext(path, source, tree, config)
     findings: List[Finding] = []
     collections: List[Tuple[CrossFileRule, Any]] = []
     for rule in rules:
-        if not rule.applies_to(path, config):
+        if rule.project or not rule.applies_to(path, config):
             continue
         if isinstance(rule, CrossFileRule):
             collections.append((rule, rule.collect(ctx)))
@@ -116,4 +122,15 @@ def lint_source(
                 if ctx.suppressions.is_suppressed(rule.rule_id, line):
                     continue
                 findings.append(Finding(path, line, col, rule.rule_id, message))
+    return findings, collections, ctx
+
+
+def lint_source(
+    path: str,
+    source: str,
+    config: LintConfig,
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], List[Tuple[CrossFileRule, Any]]]:
+    """Lint one file; return (findings, cross-file collections)."""
+    findings, collections, _ = analyze_source(path, source, config, rules)
     return findings, collections

@@ -1,0 +1,887 @@
+"""FLOW rule family: interprocedural taint analysis.
+
+Three whole-program rules over the call graph:
+
+* **FLOW001 — observer-effect freedom.**  No value originating in
+  telemetry state (``flow-observer-paths``) may flow into decision code
+  (``flow-decision-paths``): branch conditions, RNG draws, ordering
+  primitives, queue mutations, or stores into decision state.  A
+  telemetry *reference* itself is harmless (``if telemetry is not
+  None:`` and bare ``telemetry.emit(...)`` statements are the sanctioned
+  seam idiom); taint begins at a *read through* the reference whose
+  value is actually used.
+
+* **FLOW002 — RNG seed provenance.**  Every ``random.Random(seed)``
+  in determinism scope must trace ``seed`` back to a ``derive_seed``
+  namespace through assignments, call arguments, and constructors.
+  Supersedes the per-file DET003 approximation, which could only accept
+  a literal ``derive_seed(...)`` at the construction site.
+
+* **FLOW003 — observer mutation.**  Code in the observer layer must not
+  mutate foreign state: attribute stores or container mutations through
+  function parameters or captured core objects, except the sanctioned
+  wiring attributes (``flow-wiring-attrs``) installed by
+  ``Telemetry.attach``.
+
+The analysis is precision-first: call edges come from
+:mod:`repro.lint.callgraph`, which only resolves unambiguous receivers,
+so a FLOW finding is near-certain — and the digest-pinning suites plus
+the runtime sanitizer (:mod:`repro.sanitize`) backstop what static
+analysis cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph, FunctionInfo
+from .config import LintConfig, path_matches
+from .project import ProjectContext
+from .rules import ProjectRule, dotted_name, register
+
+__all__ = [
+    "ObserverEffectRule",
+    "SeedProvenanceRule",
+    "ObserverMutationRule",
+]
+
+# Names that alias the telemetry facade wherever they appear.
+_TELEMETRY_NAMES = frozenset({"telemetry"})
+
+_RNG_DRAW_METHODS = frozenset({
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "paretovariate", "weibullvariate",
+    "triangular", "vonmisesvariate",
+})
+_ORDER_FUNCS = frozenset({"sorted", "min", "max"})
+_QUEUE_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "add", "push", "put",
+    "heappush", "sort",
+})
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "pop",
+    "popleft", "clear", "add", "discard", "update", "sort", "reverse",
+    "push", "put", "setdefault", "heappush",
+})
+
+
+def _scope_nodes(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of a function body, excluding nested def/class subtrees."""
+    stack: List[ast.AST] = list(getattr(fn_node, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _map_call_args(
+    callee: FunctionInfo, call: ast.Call
+) -> Dict[str, ast.AST]:
+    """Best-effort mapping of call-site expressions onto callee params."""
+    params = list(callee.params)
+    if callee.class_qname is not None and params and params[0] in (
+        "self", "cls"
+    ):
+        params = params[1:]
+    mapping: Dict[str, ast.AST] = {}
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if i < len(params):
+            mapping[params[i]] = arg
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in callee.params:
+            mapping[kw.arg] = kw.value
+    return mapping
+
+
+# ======================================================================
+# FLOW001 — observer-effect freedom
+# ======================================================================
+
+
+class _TaintAnalysis:
+    """Project-wide fixpoint: which names/returns carry telemetry state."""
+
+    def __init__(self, project: ProjectContext):
+        self.project = project
+        self.graph: CallGraph = project.callgraph
+        self.config = project.config
+        # Modules whose files live under flow-observer-paths.
+        self.observer_modules: Set[str] = {
+            module
+            for module, path in project.modgraph.modules.items()
+            if path_matches(path, self.config.flow_observer_paths)
+        }
+        # Per-module names imported from observer modules (facade refs).
+        self.module_refs: Dict[str, Set[str]] = {}
+        for module, sources in self.graph.module_import_sources.items():
+            refs = {
+                local
+                for local, target in sources.items()
+                if self._targets_observer(target)
+            }
+            if refs:
+                self.module_refs[module] = refs
+        # Inflow maps, grown monotonically until fixpoint.
+        self.param_refs: Dict[str, Set[str]] = {}
+        self.param_taint: Dict[str, Set[str]] = {}
+        self.returns_taint: Set[str] = set()
+        self.returns_ref: Set[str] = set()
+        for qname, info in self.graph.functions.items():
+            if (
+                info.module in self.observer_modules
+                and not qname.endswith(".__init__")
+            ):
+                # Anything an observer function hands back IS telemetry
+                # state as far as decision code is concerned.
+                self.returns_taint.add(qname)
+        # id(call node) -> callee qname, per caller.
+        self.call_targets: Dict[str, Dict[int, str]] = {}
+        for caller, pairs in self.graph.calls_from.items():
+            self.call_targets[caller] = {
+                id(node): callee for callee, node in pairs
+            }
+
+    def _targets_observer(self, dotted: str) -> bool:
+        for module in self.observer_modules:
+            if dotted == module or dotted.startswith(module + "."):
+                return True
+        return False
+
+    def run(self) -> List[Tuple[str, int, int, str]]:
+        ordered = sorted(self.graph.functions)
+        for _ in range(12):
+            changed = False
+            for qname in ordered:
+                changed |= self._summarise(qname)
+            if not changed:
+                break
+        findings: List[Tuple[str, int, int, str]] = []
+        for qname in ordered:
+            info = self.graph.functions[qname]
+            if not path_matches(info.path, self.config.flow_decision_paths):
+                continue
+            if path_matches(info.path, self.config.flow_observer_paths):
+                continue
+            findings.extend(self._sinks(qname))
+        findings.sort()
+        return findings
+
+    # -- per-function analysis -----------------------------------------
+
+    def _facts(self, qname: str) -> Tuple[Set[str], Set[str]]:
+        """(refs, tainted) local-name sets for one function."""
+        info = self.graph.functions[qname]
+        refs: Set[str] = set(self.module_refs.get(info.module, ()))
+        refs |= {p for p in info.params if p in _TELEMETRY_NAMES}
+        refs |= self.param_refs.get(qname, set())
+        tainted: Set[str] = set(self.param_taint.get(qname, set()))
+        targets = self.call_targets.get(qname, {})
+
+        def is_ref(node: ast.AST) -> bool:
+            if isinstance(node, ast.Name):
+                return node.id in refs
+            if isinstance(node, ast.Attribute):
+                return node.attr in _TELEMETRY_NAMES
+            if isinstance(node, ast.Call):
+                callee = targets.get(id(node))
+                if callee is not None:
+                    if callee.endswith(".__init__"):
+                        cls = callee.rsplit(".", 1)[0]
+                        cinfo = self.graph.classes.get(cls)
+                        return (
+                            cinfo is not None
+                            and cinfo.module in self.observer_modules
+                        )
+                    return callee in self.returns_ref
+                func = node.func
+                # Unresolved constructor-style call on a facade name
+                # imported from telemetry: result is a facade instance.
+                return isinstance(func, ast.Name) and func.id in refs
+            return False
+
+        def is_read(node: ast.AST) -> bool:
+            """True when ``node`` reads *through* a telemetry reference."""
+            if isinstance(node, ast.Attribute):
+                return is_ref(node.value) or is_read(node.value)
+            if isinstance(node, ast.Subscript):
+                return is_ref(node.value) or is_read(node.value)
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    return is_ref(func.value) or is_read(func.value)
+                return is_read(func)
+            return False
+
+        def is_tainted(node: Optional[ast.AST]) -> bool:
+            if node is None:
+                return False
+            if isinstance(node, ast.Name):
+                return node.id in tainted
+            if is_ref(node):
+                return False
+            if is_read(node):
+                return True
+            if isinstance(node, ast.Call):
+                callee = targets.get(id(node))
+                if callee is not None and callee in self.returns_taint:
+                    return True
+                return any(is_tainted(a) for a in node.args) or any(
+                    is_tainted(kw.value) for kw in node.keywords
+                )
+            if isinstance(node, ast.Attribute):
+                return is_tainted(node.value)
+            return any(
+                is_tainted(child)
+                for child in ast.iter_child_nodes(node)
+                if isinstance(child, ast.expr)
+            )
+
+        # Local fixpoint over assignments (flow-insensitive).
+        for _ in range(6):
+            grew = False
+            for node in _scope_nodes(info.node):
+                if isinstance(node, ast.Assign):
+                    value = node.value
+                    names = [
+                        n for t in node.targets for n in _target_names(t)
+                    ]
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    value = node.value
+                    names = list(_target_names(node.target))
+                elif isinstance(node, ast.AugAssign):
+                    value = node.value
+                    names = list(_target_names(node.target))
+                elif isinstance(node, ast.For):
+                    value = node.iter
+                    names = list(_target_names(node.target))
+                else:
+                    continue
+                if names and is_ref(value) and not set(names) <= refs:
+                    refs.update(names)
+                    grew = True
+                if names and is_tainted(value) and not set(names) <= tainted:
+                    tainted.update(names)
+                    grew = True
+            if not grew:
+                break
+
+        self._is_ref = is_ref
+        self._is_tainted = is_tainted
+        self._is_read = is_read
+        return refs, tainted
+
+    def _summarise(self, qname: str) -> bool:
+        """Recompute one function's summary + outflows; True if changed."""
+        info = self.graph.functions[qname]
+        self._facts(qname)
+        is_ref, is_tainted = self._is_ref, self._is_tainted
+        changed = False
+        for node in _scope_nodes(info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if is_tainted(node.value) and qname not in self.returns_taint:
+                    self.returns_taint.add(qname)
+                    changed = True
+                if is_ref(node.value) and qname not in self.returns_ref:
+                    self.returns_ref.add(qname)
+                    changed = True
+            elif isinstance(node, ast.Call):
+                callee = self.call_targets.get(qname, {}).get(id(node))
+                if callee is None:
+                    continue
+                callee_info = self.graph.functions.get(callee)
+                if callee_info is None:
+                    continue
+                for param, expr in _map_call_args(callee_info, node).items():
+                    if is_ref(expr):
+                        bucket = self.param_refs.setdefault(callee, set())
+                        if param not in bucket:
+                            bucket.add(param)
+                            changed = True
+                    elif is_tainted(expr):
+                        bucket = self.param_taint.setdefault(callee, set())
+                        if param not in bucket:
+                            bucket.add(param)
+                            changed = True
+        return changed
+
+    def _sinks(self, qname: str) -> Iterator[Tuple[str, int, int, str]]:
+        info = self.graph.functions[qname]
+        self._facts(qname)
+        is_tainted = self._is_tainted
+
+        def finding(node: ast.AST, what: str):
+            return (
+                info.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                f"telemetry-derived value reaches {what} in decision code "
+                f"({qname}); schedulers must be observer-effect-free",
+            )
+
+        for node in _scope_nodes(info.node):
+            if isinstance(node, (ast.If, ast.While)) and is_tainted(node.test):
+                yield finding(node.test, "a branch condition")
+            elif isinstance(node, ast.IfExp) and is_tainted(node.test):
+                yield finding(node.test, "a conditional expression")
+            elif isinstance(node, ast.Assign):
+                if any(
+                    isinstance(t, ast.Attribute) for t in node.targets
+                ) and is_tainted(node.value):
+                    yield finding(node, "a state attribute store")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                args_tainted = any(is_tainted(a) for a in node.args) or any(
+                    is_tainted(kw.value) for kw in node.keywords
+                )
+                if not args_tainted:
+                    continue
+                if isinstance(func, ast.Attribute):
+                    if func.attr in _RNG_DRAW_METHODS:
+                        yield finding(node, f"an RNG draw ({func.attr})")
+                    elif func.attr in _QUEUE_METHODS:
+                        yield finding(
+                            node, f"queue ordering ({func.attr})"
+                        )
+                elif isinstance(func, ast.Name) and func.id in _ORDER_FUNCS:
+                    yield finding(node, f"an ordering primitive ({func.id})")
+
+
+@register
+class ObserverEffectRule(ProjectRule):
+    rule_id = "FLOW001"
+    name = "observer-effect-freedom"
+    summary = (
+        "no value from telemetry state may reach branches, RNG draws, or "
+        "queue ordering in scheduler/driver/device decision code"
+    )
+
+    def analyze(self, project: ProjectContext):
+        return iter(_TaintAnalysis(project).run())
+
+
+# ======================================================================
+# FLOW002 — RNG seed provenance
+# ======================================================================
+
+
+class _SeedProvenance:
+    """Prove a seed expression reaches back to a derive_seed call."""
+
+    def __init__(self, project: ProjectContext):
+        self.project = project
+        self.graph = project.callgraph
+        self.config = project.config
+        # id(node) -> enclosing function qname, per path.
+        self.enclosing: Dict[str, Dict[int, str]] = {}
+        for qname, info in self.graph.functions.items():
+            per_file = self.enclosing.setdefault(info.path, {})
+            for node in _scope_nodes(info.node):
+                per_file[id(node)] = qname
+
+    def enclosing_function(
+        self, path: str, node: ast.AST
+    ) -> Optional[FunctionInfo]:
+        qname = self.enclosing.get(path, {}).get(id(node))
+        if qname is None:
+            return None
+        return self.graph.functions.get(qname)
+
+    def is_seed_helper_call(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return False
+        return dotted.rsplit(".", 1)[-1] in self.config.seed_helpers
+
+    def proven(
+        self,
+        expr: ast.AST,
+        owner: Optional[FunctionInfo],
+        path: str,
+        visited: Optional[Set[Tuple[str, str]]] = None,
+        depth: int = 0,
+    ) -> bool:
+        """True when ``expr`` provably carries a derive_seed namespace."""
+        if depth > 10:
+            return False
+        visited = visited if visited is not None else set()
+        if self.is_seed_helper_call(expr):
+            return True
+        if isinstance(expr, ast.BinOp):
+            return self.proven(
+                expr.left, owner, path, visited, depth + 1
+            ) or self.proven(expr.right, owner, path, visited, depth + 1)
+        if isinstance(expr, ast.Call):
+            callee = self._callee_of(owner, expr)
+            if callee is None:
+                return False
+            return self._returns_proven(callee, visited, depth + 1)
+        if isinstance(expr, ast.Name):
+            return self._name_proven(expr.id, owner, path, visited, depth + 1)
+        if isinstance(expr, ast.Attribute):
+            return self._attr_proven(expr, owner, path, visited, depth + 1)
+        return False
+
+    def _callee_of(
+        self, owner: Optional[FunctionInfo], call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        if owner is None:
+            return None
+        for callee, node in self.graph.calls_from.get(owner.qname, []):
+            if node is call:
+                return self.graph.functions.get(callee)
+        return None
+
+    def _returns_proven(
+        self,
+        callee: FunctionInfo,
+        visited: Set[Tuple[str, str]],
+        depth: int,
+    ) -> bool:
+        key = (callee.qname, "<returns>")
+        if key in visited:
+            return False
+        visited.add(key)
+        returns = [
+            node
+            for node in _scope_nodes(callee.node)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+        if not returns:
+            return False
+        return all(
+            self.proven(node.value, callee, callee.path, visited, depth)
+            for node in returns
+        )
+
+    def _name_proven(
+        self,
+        name: str,
+        owner: Optional[FunctionInfo],
+        path: str,
+        visited: Set[Tuple[str, str]],
+        depth: int,
+    ) -> bool:
+        owner_key = owner.qname if owner is not None else f"<module:{path}>"
+        key = (owner_key, name)
+        if key in visited:
+            return False
+        visited.add(key)
+        if owner is not None and name in owner.params:
+            # Prove every project call site passes a derived value; an
+            # unobserved caller means we cannot prove it — report.
+            callers = self.graph.callers_of(owner.qname)
+            if not callers:
+                return False
+            for caller_qname, call in callers:
+                caller = self.graph.functions.get(caller_qname)
+                mapping = _map_call_args(owner, call)
+                if name not in mapping:
+                    return False
+                if not self.proven(
+                    mapping[name],
+                    caller,
+                    caller.path if caller else path,
+                    visited,
+                    depth,
+                ):
+                    return False
+            return True
+        # Reaching assignments in the owning scope.
+        scope_node = owner.node if owner is not None else None
+        if scope_node is None:
+            ctx = self.project.files.get(path)
+            if ctx is None:
+                return False
+            scope_iter = list(getattr(ctx.tree, "body", []))
+            nodes: List[ast.AST] = []
+            stack = scope_iter
+            while stack:
+                node = stack.pop()
+                if isinstance(
+                    node,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                nodes.append(node)
+                stack.extend(
+                    c for c in ast.iter_child_nodes(node)
+                    if isinstance(c, ast.stmt)
+                )
+        else:
+            nodes = list(_scope_nodes(scope_node))
+        assignments = []
+        for node in nodes:
+            if isinstance(node, ast.Assign):
+                if any(
+                    isinstance(t, ast.Name) and t.id == name
+                    for t in node.targets
+                ):
+                    assignments.append(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == name
+                ):
+                    assignments.append(node.value)
+        if not assignments:
+            return False
+        return all(
+            self.proven(value, owner, path, visited, depth)
+            for value in assignments
+        )
+
+    def _attr_proven(
+        self,
+        expr: ast.Attribute,
+        owner: Optional[FunctionInfo],
+        path: str,
+        visited: Set[Tuple[str, str]],
+        depth: int,
+    ) -> bool:
+        # Only self.<attr> within a known class is traceable.
+        if not (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and owner is not None
+            and owner.class_qname is not None
+        ):
+            return False
+        cinfo = self.graph.classes.get(owner.class_qname)
+        if cinfo is None:
+            return False
+        key = (owner.class_qname, f"self.{expr.attr}")
+        if key in visited:
+            return False
+        visited.add(key)
+        stores: List[Tuple[ast.AST, Optional[FunctionInfo]]] = []
+        for method_name, method_qname in cinfo.methods.items():
+            method = self.graph.functions.get(method_qname)
+            if method is None:
+                continue
+            for node in _scope_nodes(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == expr.attr
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        stores.append((node.value, method))
+        if not stores:
+            return False
+        return all(
+            self.proven(value, method, method.path, visited, depth)
+            for value, method in stores
+        )
+
+
+@register
+class SeedProvenanceRule(ProjectRule):
+    rule_id = "FLOW002"
+    name = "seed-provenance"
+    summary = (
+        "every random.Random seed must trace back to derive_seed through "
+        "calls and constructors (interprocedural DET003)"
+    )
+    supersedes = ("DET003",)
+
+    def analyze(self, project: ProjectContext):
+        config = project.config
+        provenance = _SeedProvenance(project)
+        findings: List[Tuple[str, int, int, str]] = []
+        for path, ctx in sorted(project.files.items()):
+            if not path_matches(path, config.determinism_paths):
+                continue
+            if path_matches(path, config.rng_whitelist):
+                continue
+            for node in ctx.nodes_of((ast.Call,)):
+                if not self._is_random_ctor(node, ctx):
+                    continue
+                line = node.lineno
+                col = node.col_offset
+                if not node.args:
+                    findings.append((
+                        path, line, col,
+                        "random.Random() constructed without a seed; "
+                        "derive one with derive_seed(seed, name)",
+                    ))
+                    continue
+                owner = provenance.enclosing_function(path, node)
+                if not provenance.proven(node.args[0], owner, path):
+                    findings.append((
+                        path, line, col,
+                        "seed for random.Random cannot be traced to a "
+                        "derive_seed(...) namespace through any call path; "
+                        "thread the derived seed explicitly",
+                    ))
+        findings.sort()
+        return iter(findings)
+
+    @staticmethod
+    def _is_random_ctor(node: ast.Call, ctx) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in ctx.random_class_aliases
+        dotted = dotted_name(func)
+        if dotted is None:
+            return False
+        for alias in ctx.random_module_aliases:
+            if dotted == f"{alias}.Random":
+                return True
+        return dotted == "random.Random"
+
+
+# ======================================================================
+# FLOW003 — observer mutation of scheduler-visible state
+# ======================================================================
+
+
+@register
+class ObserverMutationRule(ProjectRule):
+    rule_id = "FLOW003"
+    name = "observer-mutation"
+    summary = (
+        "telemetry/observer code must not mutate foreign state except "
+        "the sanctioned wiring attributes"
+    )
+
+    def analyze(self, project: ProjectContext):
+        config = project.config
+        findings: List[Tuple[str, int, int, str]] = []
+        for qname in sorted(project.callgraph.functions):
+            info = project.callgraph.functions[qname]
+            if not path_matches(info.path, config.flow_observer_paths):
+                continue
+            findings.extend(self._check_function(info, config, project))
+        findings.sort()
+        return iter(findings)
+
+    def _param_locally_rooted(
+        self,
+        project: ProjectContext,
+        qname: str,
+        param: str,
+        visited: Set[Tuple[str, str]],
+    ) -> bool:
+        """Every call site passes an observer-created container?
+
+        Accumulator idiom: ``errors = []`` in a validator, handed to a
+        ``_require(errors, ...)`` helper.  Mutating it is observation's
+        own bookkeeping, not foreign state.
+        """
+        key = (qname, param)
+        if key in visited:
+            return False
+        visited.add(key)
+        graph = project.callgraph
+        info = graph.functions.get(qname)
+        callers = graph.callers_of(qname)
+        if info is None or not callers:
+            return False
+        config = project.config
+        for caller_qname, call in callers:
+            caller = graph.functions.get(caller_qname)
+            if caller is None or not path_matches(
+                caller.path, config.flow_observer_paths
+            ):
+                return False
+            mapping = _map_call_args(info, call)
+            arg = mapping.get(param)
+            if arg is None:
+                return False
+            if not self._locally_created(project, caller, arg, visited):
+                return False
+        return True
+
+    def _locally_created(
+        self,
+        project: ProjectContext,
+        owner: FunctionInfo,
+        expr: ast.AST,
+        visited: Set[Tuple[str, str]],
+    ) -> bool:
+        if isinstance(
+            expr,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        ):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            if expr.func.id in ("list", "dict", "set", "deque", "defaultdict",
+                                "Counter", "OrderedDict"):
+                return True
+        if isinstance(expr, ast.Name):
+            if expr.id in owner.params:
+                return self._param_locally_rooted(
+                    project, owner.qname, expr.id, visited
+                )
+            assignments = [
+                node.value
+                for node in _scope_nodes(owner.node)
+                if isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == expr.id
+                    for t in node.targets
+                )
+            ] + [
+                node.value
+                for node in _scope_nodes(owner.node)
+                if isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and isinstance(node.target, ast.Name)
+                and node.target.id == expr.id
+            ]
+            return bool(assignments) and all(
+                self._locally_created(project, owner, value, visited)
+                for value in assignments
+            )
+        return False
+
+    def _check_function(
+        self, info: FunctionInfo, config: LintConfig, project: ProjectContext
+    ) -> Iterator[Tuple[str, int, int, str]]:
+        foreign: Set[str] = {
+            p for p in info.params if p not in ("self", "cls")
+        }
+        captured = set(config.flow_captured_attrs)
+        wiring = set(config.flow_wiring_attrs)
+
+        def root_is_foreign(node: ast.AST) -> bool:
+            """Attribute/Subscript chain rooted in foreign state?"""
+            while isinstance(node, (ast.Attribute, ast.Subscript)):
+                parent = node.value
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(parent, ast.Name)
+                    and parent.id == "self"
+                ):
+                    return node.attr in captured
+                node = parent
+            return isinstance(node, ast.Name) and node.id in foreign
+
+        # Alias pass: locals assigned from foreign-rooted expressions.
+        for _ in range(4):
+            grew = False
+            for node in _scope_nodes(info.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = node.value
+                if isinstance(value, (ast.Attribute, ast.Name)) and (
+                    root_is_foreign(value)
+                    or (
+                        isinstance(value, ast.Name) and value.id in foreign
+                    )
+                ):
+                    for name in (
+                        n for t in node.targets for n in _target_names(t)
+                    ):
+                        if name not in foreign:
+                            foreign.add(name)
+                            grew = True
+            if not grew:
+                break
+
+        for node in _scope_nodes(info.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    if target.attr in wiring:
+                        continue
+                    # `self.x = v` stores the observer's OWN attribute
+                    # (capturing references is the attach idiom); only
+                    # stores through foreign objects are mutations.
+                    if (
+                        isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    if root_is_foreign(target):
+                        yield (
+                            info.path,
+                            target.lineno,
+                            target.col_offset,
+                            f"observer code writes foreign attribute "
+                            f"{target.attr!r} (in {info.qname}); only the "
+                            "wiring attrs "
+                            f"{sorted(wiring)} may be installed",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id == "setattr"
+                    and node.args
+                    and (
+                        root_is_foreign(node.args[0])
+                        or (
+                            isinstance(node.args[0], ast.Name)
+                            and node.args[0].id in foreign
+                        )
+                    )
+                ):
+                    yield (
+                        info.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"observer code calls setattr on foreign state "
+                        f"(in {info.qname})",
+                    )
+                    continue
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in _MUTATOR_METHODS:
+                    continue
+                base = func.value
+                if root_is_foreign(base) or (
+                    isinstance(base, ast.Name) and base.id in foreign
+                ):
+                    # Accumulator exemption: a parameter every caller
+                    # fills with an observer-created container.
+                    root = base
+                    while isinstance(root, (ast.Attribute, ast.Subscript)):
+                        root = root.value
+                    if (
+                        isinstance(root, ast.Name)
+                        and root.id in info.params
+                        and self._param_locally_rooted(
+                            project, info.qname, root.id, set()
+                        )
+                    ):
+                        continue
+                    yield (
+                        info.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"observer code mutates foreign state via "
+                        f".{func.attr}() (in {info.qname}); observation "
+                        "must be read-only",
+                    )

@@ -1,0 +1,346 @@
+"""Project module dependency graph.
+
+Maps every linted file to a dotted module name, resolves each import
+statement against the set of project modules (stdlib and third-party
+imports are ignored), and records whether the edge is *eager* (executed
+at module import time: top level, or inside a top-level ``if``/``try``)
+or *lazy* (function-local, the sanctioned cycle-breaker).
+
+The ARCH rule family consumes this graph; ``repro lint --graph`` exports
+it as DOT or JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["ImportEdge", "ModuleGraph", "module_name_for"]
+
+
+def module_name_for(path: str, root: str) -> Tuple[str, bool]:
+    """``(dotted_module, in_root)`` for a file path.
+
+    The dotted name starts at the last path segment equal to ``root``
+    (``src/repro/core/scheduler.py`` -> ``repro.core.scheduler``).
+    Files outside the root package get a path-derived dotted name (so
+    relative imports between them still resolve) with ``in_root`` False.
+    ``__init__.py`` maps to its package name.
+    """
+    parts = list(PurePosixPath(Path(path).as_posix()).parts)
+    if parts and parts[0] == "/":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    in_root = False
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == root:
+            parts = parts[i:]
+            in_root = True
+            break
+    return ".".join(parts), in_root
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    src: str
+    dst: str
+    line: int
+    eager: bool
+
+
+class ModuleGraph:
+    """Import edges between project modules, eager and lazy."""
+
+    def __init__(self, root: str):
+        self.root = root
+        # module name -> file path
+        self.modules: Dict[str, str] = {}
+        # module name -> True when the module lives under the root pkg
+        self.in_root: Dict[str, bool] = {}
+        self.edges: List[ImportEdge] = []
+
+    @classmethod
+    def build(
+        cls, files: Dict[str, ast.AST], root: str
+    ) -> "ModuleGraph":
+        """``files`` maps path -> parsed module AST."""
+        graph = cls(root)
+        for path in sorted(files):
+            name, in_root = module_name_for(path, root)
+            graph.modules[name] = path
+            graph.in_root[name] = in_root
+        known = set(graph.modules)
+        # Packages exist implicitly: "repro.core" is known if any
+        # "repro.core.x" is, so `from ..core import scheduler` resolves
+        # even when core/__init__.py was not in the linted file set.
+        packages: Set[str] = set()
+        for name in known:
+            parts = name.split(".")
+            for i in range(1, len(parts)):
+                packages.add(".".join(parts[:i]))
+        resolvable = known | packages
+        for path in sorted(files):
+            name, _ = module_name_for(path, root)
+            graph._collect_imports(name, path, files[path], known, resolvable)
+        graph.edges.sort(key=lambda e: (e.src, e.dst, e.line))
+        return graph
+
+    def _collect_imports(
+        self,
+        module: str,
+        path: str,
+        tree: ast.AST,
+        known: Set[str],
+        resolvable: Set[str],
+    ) -> None:
+        is_package = Path(path).name == "__init__.py"
+        eager_nodes = _eager_statements(tree)
+        for node in ast.walk(tree):
+            eager = node in eager_nodes
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._resolve(alias.name, known, resolvable)
+                    if target is not None:
+                        self._add(module, target, node.lineno, eager)
+            elif isinstance(node, ast.ImportFrom):
+                base = _from_base(module, is_package, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    candidate = f"{base}.{alias.name}" if base else alias.name
+                    target = self._resolve(candidate, known, resolvable)
+                    if target is None:
+                        target = self._resolve(base, known, resolvable)
+                    if target is not None:
+                        self._add(module, target, node.lineno, eager)
+
+    def _resolve(
+        self,
+        candidate: Optional[str],
+        known: Set[str],
+        resolvable: Set[str],
+    ) -> Optional[str]:
+        """Resolve an import target, refusing to invent package edges.
+
+        On partial file sets (``--changed``), an import of a submodule
+        that exists on disk but was not linted would otherwise collapse
+        onto its package ``__init__``, fabricating eager edges — and
+        false ARCH002 cycles — that the full-tree run does not have.
+        """
+        target = _best_target(candidate, known, resolvable)
+        if target is None or candidate is None or target == candidate:
+            return target
+        path = self.modules.get(target)
+        if path is None or Path(path).name != "__init__.py":
+            return target
+        child = candidate[len(target) + 1 :].split(".")[0]
+        pkg_dir = Path(path).parent
+        if (pkg_dir / f"{child}.py").exists() or (
+            pkg_dir / child / "__init__.py"
+        ).exists():
+            return None
+        return target
+
+    def _add(self, src: str, dst: str, line: int, eager: bool) -> None:
+        if src == dst:
+            return
+        self.edges.append(ImportEdge(src, dst, line, eager))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def component_of(self, module: str) -> Optional[str]:
+        """First segment below the root package, or None outside it."""
+        if not self.in_root.get(module, False):
+            return None
+        parts = module.split(".")
+        if len(parts) < 2:
+            return None
+        return parts[1]
+
+    def eager_cycles(self) -> List[List[str]]:
+        """Cycles in the eager (import-time) graph among root modules.
+
+        Returns each strongly connected component of size > 1 as a
+        sorted module list; deterministic order.
+        """
+        adjacency: Dict[str, Set[str]] = {}
+        for edge in self.edges:
+            if not edge.eager:
+                continue
+            if not self.in_root.get(edge.src) or not self.in_root.get(edge.dst):
+                continue
+            adjacency.setdefault(edge.src, set()).add(edge.dst)
+            adjacency.setdefault(edge.dst, set())
+        return _sccs(adjacency)
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "modules": [
+                {"name": name, "path": self.modules[name]}
+                for name in sorted(self.modules)
+            ],
+            "edges": [
+                {
+                    "from": edge.src,
+                    "to": edge.dst,
+                    "line": edge.line,
+                    "eager": edge.eager,
+                }
+                for edge in self.edges
+            ],
+        }
+
+    def to_dot(self) -> str:
+        lines = ["digraph modules {", "  rankdir=LR;"]
+        for name in sorted(self.modules):
+            lines.append(f'  "{name}";')
+        for edge in self.edges:
+            style = "" if edge.eager else " [style=dashed]"
+            lines.append(f'  "{edge.src}" -> "{edge.dst}"{style};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def _eager_statements(tree: ast.AST) -> Set[ast.AST]:
+    """Import nodes executed at module import time.
+
+    Top-level imports, plus imports nested only in top-level ``if`` /
+    ``try`` blocks (version guards run eagerly too).  Anything inside a
+    function or class body is lazy.
+    """
+    eager: Set[ast.AST] = set()
+    stack: List[ast.stmt] = list(getattr(tree, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            eager.add(node)
+        elif isinstance(node, ast.If):
+            # `if TYPE_CHECKING:` bodies never execute — those imports
+            # are annotation-only and count as lazy edges.
+            if not _is_type_checking_test(node.test):
+                stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+        elif isinstance(node, (ast.With,)):
+            stack.extend(node.body)
+    return eager
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _from_base(
+    module: str, is_package: bool, node: ast.ImportFrom
+) -> Optional[str]:
+    """Absolute dotted base of a ``from X import y`` statement."""
+    if node.level == 0:
+        return node.module or ""
+    parts = module.split(".")
+    # For a package __init__, level 1 refers to the package itself.
+    if not is_package:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop > len(parts):
+        return None
+    base_parts = parts[: len(parts) - drop] if drop else parts
+    if node.module:
+        base_parts = base_parts + node.module.split(".")
+    return ".".join(base_parts)
+
+
+def _best_target(
+    candidate: Optional[str], known: Set[str], resolvable: Set[str]
+) -> Optional[str]:
+    """Resolve a dotted import target to a project module, if any.
+
+    Prefers an exact file match; falls back to the longest known prefix
+    (importing ``repro.core.scheduler.GangScheduler`` hits the module;
+    importing a bare package hits its ``__init__`` module if linted).
+    """
+    if not candidate:
+        return None
+    parts = candidate.split(".")
+    for end in range(len(parts), 0, -1):
+        name = ".".join(parts[:end])
+        if name in known:
+            return name
+        if name in resolvable and end < len(parts):
+            # A known package prefix without a linted file: keep
+            # shrinking — deeper segments were attribute names.
+            continue
+    return None
+
+
+def _sccs(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """Iterative Tarjan; returns sorted non-trivial SCCs, sorted."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+    counter = [0]
+
+    for start in sorted(adjacency):
+        if start in index_of:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = [
+            (start, iter(sorted(adjacency.get(start, ()))))
+        ]
+        index_of[start] = lowlink[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adjacency.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    result.append(sorted(component))
+    result.sort()
+    return result

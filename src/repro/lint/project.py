@@ -1,0 +1,60 @@
+"""Whole-program context shared by the ProjectRule family.
+
+Built once per lint run from every successfully parsed file: the
+per-file :class:`FileContext` map plus the module dependency graph and
+the heuristic call graph.  FLOW and ARCH rules read from here; the CLI
+``--graph`` export serialises the two graphs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from .callgraph import CallGraph
+from .config import LintConfig
+from .engine import FileContext
+from .modgraph import ModuleGraph, module_name_for
+
+__all__ = ["ProjectContext"]
+
+
+class ProjectContext:
+    """The project as one object: files, module graph, call graph."""
+
+    def __init__(
+        self,
+        files: Dict[str, FileContext],
+        config: LintConfig,
+        modgraph: ModuleGraph,
+        callgraph: CallGraph,
+    ):
+        self.files = files
+        self.config = config
+        self.modgraph = modgraph
+        self.callgraph = callgraph
+
+    @classmethod
+    def build(
+        cls, files: Dict[str, FileContext], config: LintConfig
+    ) -> "ProjectContext":
+        trees: Dict[str, ast.AST] = {
+            path: ctx.tree for path, ctx in files.items()
+        }
+        root = config.arch_root
+        return cls(
+            files=files,
+            config=config,
+            modgraph=ModuleGraph.build(trees, root),
+            callgraph=CallGraph.build(trees, root),
+        )
+
+    def module_of(self, path: str) -> str:
+        name, _ = module_name_for(path, self.config.arch_root)
+        return name
+
+    def context_for_module(self, module: str) -> Optional[FileContext]:
+        path = self.modgraph.modules.get(module)
+        if path is None:
+            return None
+        return self.files.get(path)

@@ -7,24 +7,37 @@ the :func:`register` decorator at import time; the registry is the
 single source of truth for ``--list-rules``, ``--select``/``--ignore``
 validation and the docs catalogue test.
 
-Two kinds exist:
+Three kinds exist:
 
 * :class:`Rule` — per-file: sees one file's AST at a time.
 * :class:`CrossFileRule` — collects per-file facts, then ``finalize``
   runs once over everything (the lock-order cycle check needs the union
   of acquisition edges across files).
+* :class:`ProjectRule` — whole-program: runs once against the
+  :class:`~repro.lint.project.ProjectContext` (module graph, call graph,
+  every file's AST) and yields findings anywhere in the project.  The
+  FLOW and ARCH families live here.
+
+A rule may declare ``supersedes``: when it is in the effective set, the
+named rules are dropped unless explicitly selected (FLOW002's
+interprocedural seed tracing replaces the per-file DET003
+approximation).  ``select``/``ignore`` accept ``fnmatch`` wildcards
+(``FLOW*``); a wildcard matching no registered rule is an error, just
+like an unknown exact id.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .config import LintConfig, path_matches
 
 __all__ = [
     "Rule",
     "CrossFileRule",
+    "ProjectRule",
     "register",
     "all_rules",
     "get_rule",
@@ -53,6 +66,9 @@ class Rule:
     summary: str = ""
     node_types: Tuple[type, ...] = ()
     cross_file: bool = False
+    project: bool = False
+    # Rule ids this rule replaces when both would otherwise run.
+    supersedes: Tuple[str, ...] = ()
 
     def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
         """Path scopes this rule applies to; ``None`` = every file."""
@@ -87,6 +103,25 @@ class CrossFileRule(Rule):
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """Rule that analyses the whole program in one pass.
+
+    ``analyze`` receives the built :class:`ProjectContext` and yields
+    ``(path, line, col, message)`` tuples; the runner maps them back
+    through each file's suppression index.
+    """
+
+    project = True
+
+    def check(self, node: ast.AST, ctx: "FileContext"):  # noqa: F821
+        return iter(())
+
+    def analyze(
+        self, project: "ProjectContext"  # noqa: F821
+    ) -> Iterator[Tuple[str, int, int, str]]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -110,19 +145,56 @@ def get_rule(rule_id: str) -> Rule:
     return _REGISTRY[rule_id]
 
 
+def _expand_patterns(ids: Iterable[str], where: str) -> Set[str]:
+    """Expand exact ids and ``fnmatch`` wildcards against the registry.
+
+    Unknown exact ids and wildcards matching nothing are both errors so
+    a typo cannot silently disable a gate.
+    """
+    expanded: Set[str] = set()
+    for rule_id in ids:
+        if "*" in rule_id or "?" in rule_id:
+            hits = {r for r in _REGISTRY if fnmatchcase(r, rule_id)}
+            if not hits:
+                raise ValueError(
+                    f"{where} pattern {rule_id!r} matches no registered rule"
+                )
+            expanded |= hits
+        elif rule_id not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(f"unknown rule id {rule_id!r} (known: {known})")
+        else:
+            expanded.add(rule_id)
+    return expanded
+
+
 def resolve_rules(
     select: Iterable[str] = (), ignore: Iterable[str] = ()
 ) -> List[Rule]:
     """The effective rule list for a (select, ignore) pair.
 
-    An empty ``select`` means all rules; unknown ids in either list are
-    an error so a typo cannot silently disable a gate.
+    An empty ``select`` means all rules; both lists accept exact ids and
+    wildcards (``FLOW*``).  A rule superseded by another rule in the
+    effective set is dropped, unless it was selected by exact id — an
+    explicit ``--select DET003`` still runs the superseded rule.
     """
-    chosen = list(select)
-    for rule_id in [*chosen, *ignore]:
-        if rule_id not in _REGISTRY:
-            known = ", ".join(sorted(_REGISTRY))
-            raise ValueError(f"unknown rule id {rule_id!r} (known: {known})")
-    rules = all_rules() if not chosen else [_REGISTRY[r] for r in sorted(set(chosen))]
-    dropped = set(ignore)
-    return [rule for rule in rules if rule.rule_id not in dropped]
+    select = list(select)
+    chosen = _expand_patterns(select, "select")
+    dropped = _expand_patterns(ignore, "ignore")
+    rules = (
+        all_rules()
+        if not chosen
+        else [_REGISTRY[r] for r in sorted(chosen)]
+    )
+    rules = [rule for rule in rules if rule.rule_id not in dropped]
+    explicit = {r for r in select if "*" not in r and "?" not in r}
+    active = {rule.rule_id for rule in rules}
+    superseded: Set[str] = set()
+    for rule in rules:
+        if rule.rule_id in active:
+            superseded |= set(rule.supersedes)
+    return [
+        rule
+        for rule in rules
+        if rule.rule_id not in superseded or rule.rule_id in explicit
+    ]

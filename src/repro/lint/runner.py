@@ -13,12 +13,18 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .config import LintConfig, path_matches
-from .engine import lint_source
+from .engine import FileContext, analyze_source
 from .findings import Finding
+from .project import ProjectContext
 from .reporters import LintReport
-from .rules import CrossFileRule, Rule, resolve_rules
+from .rules import CrossFileRule, ProjectRule, Rule, resolve_rules
 
-__all__ = ["discover_files", "lint_paths", "lint_files"]
+__all__ = [
+    "discover_files",
+    "lint_paths",
+    "lint_files",
+    "build_project_context",
+]
 
 
 def discover_files(
@@ -57,17 +63,33 @@ def lint_files(
         rules = resolve_rules(config.select, config.ignore)
     findings: List[Finding] = []
     cross: Dict[CrossFileRule, List[Tuple[str, Any]]] = {}
+    contexts: Dict[str, FileContext] = {}
     for path in files:
         source = path.read_text(encoding="utf-8")
-        file_findings, collections = lint_source(
+        file_findings, collections, ctx = analyze_source(
             str(path), source, config, rules
         )
+        if ctx is not None:
+            contexts[str(path)] = ctx
         findings.extend(file_findings)
         for rule, data in collections:
             cross.setdefault(rule, []).append((str(path), data))
     for rule, collected in cross.items():
         for path_str, line, col, message in rule.finalize(collected):
             findings.append(Finding(path_str, line, col, rule.rule_id, message))
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    if project_rules and contexts:
+        project = ProjectContext.build(contexts, config)
+        for rule in project_rules:
+            for path_str, line, col, message in rule.analyze(project):
+                ctx = contexts.get(path_str)
+                if ctx is not None and ctx.suppressions.is_suppressed(
+                    rule.rule_id, line
+                ):
+                    continue
+                findings.append(
+                    Finding(path_str, line, col, rule.rule_id, message)
+                )
     return LintReport(findings=sorted(findings), files_checked=len(files))
 
 
@@ -79,3 +101,21 @@ def lint_paths(
     """Discover and lint; the library entry point behind the CLI."""
     config = config if config is not None else LintConfig()
     return lint_files(discover_files(paths, config), config, rules)
+
+
+def build_project_context(
+    files: Sequence[Path], config: Optional[LintConfig] = None
+) -> ProjectContext:
+    """Parse ``files`` and build the whole-program context (for --graph).
+
+    Files that do not parse are skipped — the lint pass proper reports
+    them; a graph export should not die on one bad file.
+    """
+    config = config if config is not None else LintConfig()
+    contexts: Dict[str, FileContext] = {}
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        _, _, ctx = analyze_source(str(path), source, config, rules=())
+        if ctx is not None:
+            contexts[str(path)] = ctx
+    return ProjectContext.build(contexts, config)

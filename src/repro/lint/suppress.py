@@ -17,8 +17,10 @@ Two forms, both parsed from real ``tokenize`` COMMENT tokens (so a
       # lint: disable-file=DET005
 
 Rule lists are comma-separated; the keyword ``all`` silences every
-rule.  Unknown rule ids are accepted silently so a suppression written
-for a future rule does not itself become an error.
+rule, and a rule-family wildcard (``FLOW*``, ``ARCH*``) silences every
+rule whose id matches the pattern.  Unknown rule ids are accepted
+silently so a suppression written for a future rule does not itself
+become an error.
 """
 
 from __future__ import annotations
@@ -26,14 +28,24 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, Set
+from fnmatch import fnmatchcase
+from typing import Dict, FrozenSet, Iterable, Set
 
 __all__ = ["SuppressionIndex"]
 
 _DIRECTIVE = re.compile(
     r"#\s*lint:\s*disable(?P<whole_file>-file)?\s*=\s*"
-    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?P<rules>[A-Za-z0-9_*?]+(?:\s*,\s*[A-Za-z0-9_*?]+)*)"
 )
+
+
+def _matches(rule_id: str, patterns: Iterable[str]) -> bool:
+    for pattern in patterns:
+        if pattern == "all" or pattern == rule_id:
+            return True
+        if ("*" in pattern or "?" in pattern) and fnmatchcase(rule_id, pattern):
+            return True
+    return False
 
 
 def _split_rules(text: str) -> Set[str]:
@@ -79,10 +91,10 @@ class SuppressionIndex:
             self.line_level.setdefault(lineno + 1, set()).update(rules)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
-        if "all" in self.file_level or rule_id in self.file_level:
+        if _matches(rule_id, self.file_level):
             return True
         here = self.line_level.get(line)
-        return here is not None and ("all" in here or rule_id in here)
+        return here is not None and _matches(rule_id, here)
 
     def suppressed_rules(self) -> FrozenSet[str]:
         """Every rule id named anywhere in the file (for tooling)."""

@@ -1,0 +1,98 @@
+"""Sim sanitizer: runtime checksum guards around telemetry emission seams.
+
+The static FLOW rules (:mod:`repro.lint.flow`) prove that no value
+*visible to the analysis* flows from telemetry state into scheduler,
+driver, or device decisions.  This module is the runtime complement for
+whatever the analysis cannot see (dynamic dispatch, monkeypatching,
+exotic callbacks): every emission seam in the decision components wraps
+the ``telemetry.emit(...)`` call in a checksum pair over that
+component's *decision state* — the fields whose mutation would change a
+scheduling outcome.  If an emission mutates any of them, the very next
+``verify`` raises :class:`SanitizerViolation` and the run fails fast,
+instead of drifting into a digest mismatch discovered hours later.
+
+Cost discipline: the guard is two method calls inside the existing
+``telemetry is not None`` branch, so the telemetry-off hot path is
+untouched, and with telemetry on but the sanitizer off each guard is a
+single attribute check.  Checksums never draw RNG state, only read it
+(``Random.getstate``), so arming the sanitizer is itself
+digest-neutral — the property suite pins this.
+
+Enable with ``REPRO_SANITIZE=1`` in the environment (read once at
+import, before any simulation starts) or programmatically via
+``sim_sanitizer.enable()`` / ``disable()`` in tests.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Any, Optional
+
+__all__ = ["SanitizerViolation", "SimSanitizer", "sim_sanitizer"]
+
+
+class SanitizerViolation(RuntimeError):
+    """A telemetry emission mutated scheduler-visible decision state."""
+
+    def __init__(self, seam: str, component: str, before: int, after: int):
+        self.seam = seam
+        self.component = component
+        self.before = before
+        self.after = after
+        super().__init__(
+            f"telemetry emission at seam {seam!r} mutated {component} "
+            f"decision state (checksum {before:#010x} -> {after:#010x}); "
+            "observation must never steer the simulation"
+        )
+
+
+class SimSanitizer:
+    """Checksum guard armed around every instrumented emission seam."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.checks = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.checks = 0
+
+    def checkpoint(self, component: Any) -> Optional[int]:
+        """Checksum of ``component``'s decision state, or None when off."""
+        if not self.enabled:
+            return None
+        return self._checksum(component)
+
+    def verify(self, component: Any, token: Optional[int], seam: str) -> None:
+        """Re-checksum after an emission; raise on any drift."""
+        if token is None:
+            return
+        self.checks += 1
+        after = self._checksum(component)
+        if after != token:
+            raise SanitizerViolation(
+                seam, type(component).__name__, token, after
+            )
+
+    @staticmethod
+    def _checksum(component: Any) -> int:
+        # repr() of the state tuple is deterministic for the int/float/
+        # str/None fields _sanitize_state implementations return; object
+        # reprs (which embed addresses) are deliberately excluded there.
+        state = component._sanitize_state()
+        return zlib.crc32(repr(state).encode("utf-8"))
+
+
+# Module-level singleton, shared by every guarded seam.  The environment
+# read happens once at import time — sanitize.py sits outside the
+# env-guard paths precisely so the armed/disarmed decision is made
+# before any simulated component runs.
+sim_sanitizer = SimSanitizer(
+    enabled=os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+)

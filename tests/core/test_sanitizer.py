@@ -1,0 +1,127 @@
+"""Runtime sim sanitizer: checksum guards around telemetry seams.
+
+Pins the three properties the sanitizer promises: arming it is
+digest-neutral, a well-behaved observer passes thousands of seam
+checks, and an observer that mutates decision state mid-emission is
+caught at the very seam that did it.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_workload
+from repro.sanitize import SanitizerViolation, SimSanitizer, sim_sanitizer
+from repro.telemetry import TelemetryConfig
+from repro.workloads.scenarios import homogeneous_workload
+
+CONFIG = ExperimentConfig(scale=0.05, quantum=0.04)
+
+
+def _specs():
+    return homogeneous_workload(num_clients=3, num_batches=2)
+
+
+@pytest.fixture(autouse=True)
+def disarmed_after():
+    prior = sim_sanitizer.enabled
+    yield
+    sim_sanitizer.enabled = prior
+
+
+class TestUnit:
+    def test_checkpoint_returns_none_when_off(self):
+        sanitizer = SimSanitizer(enabled=False)
+
+        class Comp:
+            def _sanitize_state(self):
+                return (1, 2)
+
+        assert sanitizer.checkpoint(Comp()) is None
+        # verify with a None token is a no-op and counts nothing.
+        sanitizer.verify(Comp(), None, "seam")
+        assert sanitizer.checks == 0
+
+    def test_violation_carries_seam_and_component(self):
+        sanitizer = SimSanitizer(enabled=True)
+
+        class Comp:
+            def __init__(self):
+                self.state = 0
+
+            def _sanitize_state(self):
+                return (self.state,)
+
+        comp = Comp()
+        token = sanitizer.checkpoint(comp)
+        comp.state = 1
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.verify(comp, token, "sched.decision")
+        violation = excinfo.value
+        assert violation.seam == "sched.decision"
+        assert violation.component == "Comp"
+        assert "observation must never steer" in str(violation)
+
+    def test_unchanged_state_passes_and_counts(self):
+        sanitizer = SimSanitizer(enabled=True)
+
+        class Comp:
+            def _sanitize_state(self):
+                return ("stable",)
+
+        comp = Comp()
+        sanitizer.verify(comp, sanitizer.checkpoint(comp), "seam")
+        assert sanitizer.checks == 1
+
+
+class TestEndToEnd:
+    def test_armed_run_is_digest_identical_and_checks_seams(self):
+        telemetry = TelemetryConfig(verbosity="metrics")
+        baseline = run_workload(
+            _specs(), scheduler="fair", config=CONFIG, telemetry=telemetry
+        ).trace_digest()
+        sim_sanitizer.enable()
+        sim_sanitizer.reset()
+        armed = run_workload(
+            _specs(), scheduler="fair", config=CONFIG, telemetry=telemetry
+        ).trace_digest()
+        checks = sim_sanitizer.checks
+        sim_sanitizer.disable()
+        assert armed == baseline
+        assert checks > 100
+
+    def test_spatial_scheduler_seams_guarded(self):
+        telemetry = TelemetryConfig(verbosity="metrics")
+        sim_sanitizer.enable()
+        sim_sanitizer.reset()
+        armed = run_workload(
+            _specs(), scheduler="spatial", config=CONFIG, telemetry=telemetry
+        ).trace_digest()
+        checks = sim_sanitizer.checks
+        sim_sanitizer.disable()
+        plain = run_workload(
+            _specs(), scheduler="spatial", config=CONFIG, telemetry=telemetry
+        ).trace_digest()
+        assert armed == plain
+        assert checks > 100
+
+    def test_meddling_observer_is_caught(self, monkeypatch):
+        from repro.telemetry.pipeline import Telemetry
+
+        original = Telemetry.emit
+
+        def meddling(self, kind, component, **attrs):
+            original(self, kind, component, **attrs)
+            # An observer-effect bug: emission perturbs scheduler
+            # decision state.
+            if kind == "sched.decision" and self.scheduler is not None:
+                self.scheduler.switch_count += 1
+
+        monkeypatch.setattr(Telemetry, "emit", meddling)
+        sim_sanitizer.enable()
+        with pytest.raises(SanitizerViolation) as excinfo:
+            run_workload(
+                _specs(),
+                scheduler="fair",
+                config=CONFIG,
+                telemetry=TelemetryConfig(verbosity="metrics"),
+            )
+        assert excinfo.value.seam == "sched.decision"

@@ -1,0 +1,1 @@
+"""ARCH fixture root package."""

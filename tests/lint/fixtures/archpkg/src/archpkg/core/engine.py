@@ -1,0 +1,7 @@
+"""ARCH002 fixture, half one: eager cycle with util."""
+
+from archpkg.core import util  # ARCH002: engine <-> util cycle
+
+
+def ticks():
+    return util.scale(1)

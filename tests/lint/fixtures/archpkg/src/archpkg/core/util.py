@@ -1,0 +1,7 @@
+"""ARCH002 fixture, half two: eager cycle with engine."""
+
+from archpkg.core import engine  # ARCH002: engine <-> util cycle
+
+
+def scale(x):
+    return x + engine.ticks()

@@ -1,0 +1,7 @@
+"""ARCH001 fixture: the bottom layer importing upward, eagerly."""
+
+from archpkg.core import engine  # ARCH001: sim -> core points upward
+
+
+def now():
+    return engine.ticks()

@@ -1,0 +1,11 @@
+"""ARCH003 fixture: the observer layer importing core (banned edge).
+
+The lazy import inside the function is banned too — ARCH003 counts
+function-local imports, unlike the layer check.
+"""
+
+
+def snapshot():
+    from archpkg.core import engine  # ARCH003: telemetry -> core (lazy)
+
+    return engine.ticks()

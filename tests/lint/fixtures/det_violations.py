@@ -52,6 +52,6 @@ def mutable_default(bucket=[]):  # DET007
 
 def suppressed_examples(seed):
     t = time.time()  # lint: disable=DET001
-    # lint: disable=DET003
+    # lint: disable=DET003,FLOW002
     rng = random.Random(seed)
     return t, rng

@@ -1,0 +1,31 @@
+"""FLOW001 fixture, decision side: telemetry state feeding decisions.
+
+The taint crosses two call hops: a read *through* the telemetry
+reference inside a helper, whose return value the caller branches on
+and appends into a queue.  Both sinks must be reported.
+"""
+
+
+class Sched:
+    def __init__(self, telemetry):
+        # Holding the reference is the sanctioned wiring idiom.
+        self.telemetry = telemetry
+        self.queue = []
+
+    def _observed_depth(self):
+        # The read through the reference is where taint begins.
+        return self.telemetry.queue_depth()
+
+    def pick(self, job):
+        depth = self._observed_depth()
+        if depth > 3:  # FLOW001: branch on telemetry-derived value
+            return None
+        self.queue.append(depth)  # FLOW001: tainted queue ordering
+        return job
+
+    def idle(self):
+        # The sanctioned seam: a reference test plus a bare emit
+        # statement is NOT a violation.
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.record("idle")

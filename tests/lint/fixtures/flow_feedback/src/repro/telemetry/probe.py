@@ -1,0 +1,17 @@
+"""FLOW001 fixture, observer side: a probe exposing internal state.
+
+Anything a function in an observer module returns is telemetry state;
+decision code consuming it closes a feedback loop the scheduler must
+not have.
+"""
+
+
+class Probe:
+    def __init__(self):
+        self.events = []
+
+    def record(self, name):
+        self.events.append(name)
+
+    def queue_depth(self):
+        return len(self.events)

@@ -1,0 +1,24 @@
+"""FLOW003 fixture: an observer mutating the scheduler it watches."""
+
+
+class Meddler:
+    def attach(self, scheduler):
+        # Capturing the reference and installing the wiring attribute
+        # are both sanctioned.
+        self.scheduler = scheduler
+        scheduler.telemetry = self
+        # Everything below is a violation: observation must not write
+        # foreign state.
+        scheduler.switch_count = 0  # FLOW003: foreign attribute store
+        scheduler.tenures.append("synthetic")  # FLOW003: foreign mutation
+
+    def summarise(self, scheduler):
+        # Read-only access is fine.
+        counts = []
+        self._tally(counts, scheduler)
+        return counts
+
+    def _tally(self, bucket, scheduler):
+        # Accumulator exemption: every caller passes a locally created
+        # list, so mutating it is the observer's own bookkeeping.
+        bucket.append(len(scheduler.tenures))

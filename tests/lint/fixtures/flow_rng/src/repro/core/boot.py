@@ -1,0 +1,22 @@
+"""FLOW002 fixture: the raw-seed caller and an unseeded construction."""
+
+import random
+
+from repro.core.streams import make_named_stream, make_stream
+
+RAW_SEED = 42
+
+
+def start():
+    # Literal -> module constant -> parameter -> random.Random: the
+    # construction site in streams.py is unprovable and must trip.
+    return make_stream(RAW_SEED)
+
+
+def start_named():
+    # Proven through the same hop: derive_seed applied in the callee.
+    return make_named_stream(RAW_SEED, "boot")
+
+
+def fallback():
+    return random.Random()  # FLOW002: constructed without a seed

@@ -1,0 +1,23 @@
+"""FLOW002 fixture: seed provenance through call hops.
+
+``make_stream`` itself looks innocent; whether its ``random.Random``
+is derived depends on every caller.  One caller threads a raw module
+constant, so the construction site must be reported.
+"""
+
+import random
+
+
+def make_stream(seed):
+    return random.Random(seed)  # FLOW002: a caller passes a raw literal
+
+
+def make_named_stream(seed, name):
+    # Clean regardless of callers: the namespace is applied here.
+    return random.Random(derive_seed(seed, name))
+
+
+def derive_seed(seed, name):
+    # Stand-in with the sanctioned helper name (matched by name, not
+    # import provenance, exactly like the real rule scope).
+    return hash((seed, name)) & 0xFFFFFFFF

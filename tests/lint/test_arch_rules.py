@@ -1,0 +1,84 @@
+"""ARCH family: layer contracts, eager cycles, forbidden edges."""
+
+from repro.lint import LintConfig, lint_files, resolve_rules
+
+from tests.lint.conftest import FIXTURES, rule_ids
+
+ARCH_CONFIG = LintConfig().with_overrides(
+    arch_root="archpkg",
+    arch_layers=("sim", "core", "telemetry"),
+    arch_forbid=("telemetry -> *",),
+    arch_allow=(),
+    arch_no_cycles=True,
+)
+
+
+def lint_archpkg(select, config=ARCH_CONFIG):
+    files = sorted((FIXTURES / "archpkg").rglob("*.py"))
+    rules = resolve_rules(select, ())
+    return lint_files(files, config, rules).findings
+
+
+class TestLayerContract:
+    def test_upward_eager_import_flagged(self):
+        findings = lint_archpkg(("ARCH001",))
+        assert rule_ids(findings) == ["ARCH001"]
+        finding = findings[0]
+        assert finding.path.endswith("clock.py")
+        assert "'sim'" in finding.message and "'core'" in finding.message
+
+    def test_downward_imports_unflagged(self):
+        # telemetry (top layer) importing core is layer-legal; only the
+        # forbid list catches it.
+        findings = lint_archpkg(("ARCH001",))
+        assert not any(f.path.endswith("tap.py") for f in findings)
+
+
+class TestImportCycles:
+    def test_eager_cycle_flagged_once(self):
+        findings = lint_archpkg(("ARCH002",))
+        assert rule_ids(findings) == ["ARCH002"]
+        message = findings[0].message
+        assert "archpkg.core.engine" in message
+        assert "archpkg.core.util" in message
+
+    def test_gate_disables_check(self):
+        config = ARCH_CONFIG.with_overrides(arch_no_cycles=False)
+        assert lint_archpkg(("ARCH002",), config) == []
+
+
+class TestForbiddenEdges:
+    def test_lazy_import_counts(self):
+        findings = lint_archpkg(("ARCH003",))
+        assert rule_ids(findings) == ["ARCH003"]
+        finding = findings[0]
+        assert finding.path.endswith("tap.py")
+        assert "lazily" in finding.message
+        assert "telemetry -> core" in finding.message
+
+    def test_allow_list_exempts_exact_pair(self):
+        config = ARCH_CONFIG.with_overrides(
+            arch_allow=("telemetry -> core",)
+        )
+        assert lint_archpkg(("ARCH003",), config) == []
+
+    def test_wildcard_family_select(self):
+        findings = lint_archpkg(("ARCH*",))
+        assert sorted(set(rule_ids(findings))) == [
+            "ARCH001", "ARCH002", "ARCH003",
+        ]
+
+
+class TestShippedTreeContracts:
+    def test_shipped_tree_is_arch_clean(self):
+        # The real package under the committed pyproject contracts.
+        from pathlib import Path
+
+        from repro.lint import discover_files, load_config
+
+        repo = Path(__file__).resolve().parents[2]
+        config = load_config(repo / "pyproject.toml")
+        files = discover_files([str(repo / "src")], config)
+        rules = resolve_rules(("ARCH*",), ())
+        report = lint_files(files, config, rules)
+        assert report.findings == []

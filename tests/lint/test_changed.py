@@ -1,0 +1,108 @@
+"""``repro lint --changed``: merge-base diffing with a full-run fallback."""
+
+import subprocess
+
+import pytest
+
+from repro.cli import main
+from repro.lint import changed_python_files
+
+
+def _git(args, cwd):
+    subprocess.run(
+        ["git", *args],
+        cwd=str(cwd),
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(cwd),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture
+def repo(tmp_path):
+    _git(["init", "-q", "-b", "main"], tmp_path)
+    base = tmp_path / "base.py"
+    base.write_text("x = 1\n")
+    _git(["add", "."], tmp_path)
+    _git(["commit", "-q", "-m", "seed"], tmp_path)
+    return tmp_path
+
+
+class TestChangedDiscovery:
+    def test_committed_change_since_base(self, repo):
+        _git(["checkout", "-q", "-b", "feature"], repo)
+        touched = repo / "feature.py"
+        touched.write_text("y = 2\n")
+        _git(["add", "."], repo)
+        _git(["commit", "-q", "-m", "feature"], repo)
+        changed = changed_python_files(base="main", cwd=repo)
+        assert changed == {touched.resolve()}
+
+    def test_untracked_files_included(self, repo):
+        fresh = repo / "fresh.py"
+        fresh.write_text("z = 3\n")
+        changed = changed_python_files(base="main", cwd=repo)
+        assert changed == {fresh.resolve()}
+
+    def test_deleted_files_skipped(self, repo):
+        _git(["rm", "-q", "base.py"], repo)
+        _git(["commit", "-q", "-m", "drop"], repo)
+        # base.py differs from the merge base but no longer exists.
+        assert changed_python_files(base="HEAD~1", cwd=repo) == set()
+
+    def test_non_python_changes_ignored(self, repo):
+        (repo / "notes.txt").write_text("prose\n")
+        assert changed_python_files(base="main", cwd=repo) == set()
+
+    def test_outside_git_returns_none(self, tmp_path):
+        assert changed_python_files(base="main", cwd=tmp_path) is None
+
+    def test_unknown_base_returns_none(self, repo):
+        assert changed_python_files(base="no-such-ref", cwd=repo) is None
+
+
+class TestCliChanged:
+    def test_changed_narrows_to_touched_files(
+        self, repo, monkeypatch, capsys
+    ):
+        dirty = repo / "src" / "repro" / "dirty.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text("import time\nnow = time.time()\n")
+        clean = repo / "src" / "repro" / "settled.py"
+        clean.write_text("import time\nalso = time.time()\n")
+        _git(["add", "."], repo)
+        _git(["commit", "-q", "-m", "both"], repo)
+        _git(["checkout", "-q", "-b", "work"], repo)
+        dirty.write_text("import time\nnow = time.time()\nmore = 1\n")
+        _git(["add", "."], repo)
+        _git(["commit", "-q", "-m", "touch one"], repo)
+        monkeypatch.chdir(repo)
+        exit_code = main(["lint", str(repo / "src"), "--changed"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "dirty.py" in out and "settled.py" not in out
+
+    def test_fallback_outside_git_lints_everything(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\nnow = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(["lint", str(tmp_path / "src"), "--changed"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "mod.py" in captured.out
+        assert "linting everything" in captured.err
+
+    def test_changed_with_no_overlap_is_clean(self, repo, monkeypatch, capsys):
+        # Nothing changed since base -> empty file set -> exit 0.
+        monkeypatch.chdir(repo)
+        assert main(["lint", str(repo), "--changed", "--base", "HEAD"]) == 0

@@ -26,11 +26,24 @@ class TestFixtureCorpus:
         exit_code = main(["lint", str(tmp_path / "src")])
         out = capsys.readouterr().out
         assert exit_code == 1
-        for expected in ("DET001", "DET002", "DET003", "DET005", "DET006", "DET007"):
+        # FLOW002 (interprocedural seed provenance) supersedes DET003 in
+        # the default rule set, so raw-seed constructions surface as
+        # FLOW002 here.
+        for expected in ("DET001", "DET002", "FLOW002", "DET005", "DET006", "DET007"):
             assert expected in out
         # The two suppressed violations at the bottom stay silent: the
         # summary breakdown counts exactly the unsuppressed findings.
-        assert "DET001 x2" in out and "DET003 x2" in out
+        assert "DET001 x2" in out and "FLOW002 x2" in out
+
+    def test_determinism_fixture_det003_selectable(self, tmp_path, capsys):
+        # Explicitly selecting the superseded rule still runs it alone.
+        staged = tmp_path / "src" / "repro"
+        staged.mkdir(parents=True)
+        shutil.copy(FIXTURES / "det_violations.py", staged / "violations.py")
+        exit_code = main(["lint", str(tmp_path / "src"), "--select", "DET003"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "DET003 x2" in out and "FLOW002" not in out
 
     def test_concurrency_fixture_trips_cli_in_place(self, capsys):
         exit_code = main(["lint", str(FIXTURES / "con_violations.py")])

@@ -62,19 +62,25 @@ class TestModuleRandom:
 
 
 class TestRandomConstruction:
+    # FLOW002 supersedes DET003 in the default rule set; selecting
+    # DET003 by exact id keeps the per-file rule for these unit tests.
     def test_unseeded_flagged(self, check):
-        findings = check("import random\nr = random.Random()\n")
+        findings = check(
+            "import random\nr = random.Random()\n", select=("DET003",)
+        )
         assert rule_ids(findings) == ["DET003"]
         assert "unseeded" in findings[0].message
 
     def test_raw_seed_flagged(self, check):
-        findings = check("import random\nr = random.Random(42)\n")
+        findings = check(
+            "import random\nr = random.Random(42)\n", select=("DET003",)
+        )
         assert rule_ids(findings) == ["DET003"]
         assert "derive_seed" in findings[0].message
 
     def test_imported_class_flagged(self, check):
         source = "from random import Random as R\nr = R(7)\n"
-        assert rule_ids(check(source)) == ["DET003"]
+        assert rule_ids(check(source, select=("DET003",))) == ["DET003"]
 
     def test_derive_seed_namespacing_is_fine(self, check):
         source = dedent(

@@ -1,0 +1,75 @@
+"""Engine edge cases: parse failures, empty inputs, reporter formats."""
+
+import json
+
+from repro.cli import main
+from repro.lint import LintConfig, lint_files, resolve_rules
+from repro.lint.findings import PARSE_ERROR_ID
+from repro.lint.reporters import render_json
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n    pass\n")
+        report = lint_files([bad], LintConfig(), resolve_rules((), ()))
+        assert [f.rule_id for f in report.findings] == [PARSE_ERROR_ID]
+        assert "cannot parse" in report.findings[0].message
+
+    def test_broken_file_does_not_poison_project_rules(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nr = random.Random(\n")
+        good = bad.parent / "good.py"
+        good.write_text("import random\nr = random.Random(99)\n")
+        report = lint_files(
+            [bad, good], LintConfig(), resolve_rules(("FLOW002",), ())
+        )
+        # The unparseable file contributes nothing (its per-file parse
+        # finding needs the default rule set); the parseable one still
+        # gets whole-program analysis.
+        flow = [f for f in report.findings if f.rule_id == "FLOW002"]
+        assert len(flow) == 1 and flow[0].path.endswith("good.py")
+
+
+class TestEmptyInputs:
+    def test_empty_file_set_is_clean(self):
+        report = lint_files([], LintConfig(), resolve_rules((), ()))
+        assert report.clean and report.files_checked == 0
+
+    def test_cli_empty_directory_exits_zero(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 file(s) clean" in capsys.readouterr().out
+
+    def test_empty_source_file_is_clean(self, tmp_path):
+        empty = tmp_path / "empty.py"
+        empty.write_text("")
+        report = lint_files([empty], LintConfig(), resolve_rules((), ()))
+        assert report.clean
+
+
+class TestJsonReporter:
+    def test_round_trip_preserves_findings(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\nnow = time.time()\n")
+        report = lint_files([target], LintConfig(), resolve_rules((), ()))
+        payload = json.loads(render_json(report))
+        assert payload["clean"] is False
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"DET001": 1}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET001"
+        assert finding["path"].endswith("mod.py")
+        assert isinstance(finding["line"], int)
+
+    def test_clean_report_round_trip(self):
+        payload = json.loads(
+            render_json(lint_files([], LintConfig(), resolve_rules((), ())))
+        )
+        assert payload == {
+            "clean": True,
+            "files_checked": 0,
+            "counts": {},
+            "findings": [],
+        }

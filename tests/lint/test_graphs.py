@@ -1,0 +1,134 @@
+"""Module/call graph construction, export formats, and determinism."""
+
+import json
+
+from repro.lint import LintConfig, build_project_context
+
+from tests.lint.conftest import FIXTURES
+
+ARCH_CONFIG = LintConfig().with_overrides(arch_root="archpkg")
+
+
+def build_archpkg():
+    files = sorted((FIXTURES / "archpkg").rglob("*.py"))
+    return build_project_context(files, ARCH_CONFIG)
+
+
+class TestModuleGraph:
+    def test_module_names_rooted_at_arch_root(self):
+        project = build_archpkg()
+        names = set(project.modgraph.modules)
+        assert "archpkg.sim.clock" in names
+        assert "archpkg.core.engine" in names
+        assert "archpkg" in names  # __init__.py maps to the package
+
+    def test_eager_vs_lazy_edges(self):
+        project = build_archpkg()
+        edges = {
+            (e.src, e.dst): e.eager for e in project.modgraph.edges
+        }
+        assert edges[("archpkg.sim.clock", "archpkg.core.engine")] is True
+        assert edges[("archpkg.telemetry.tap", "archpkg.core.engine")] is False
+
+    def test_eager_cycles_found(self):
+        project = build_archpkg()
+        cycles = project.modgraph.eager_cycles()
+        assert ["archpkg.core.engine", "archpkg.core.util"] in [
+            sorted(c) for c in cycles
+        ]
+
+    def test_json_round_trip(self):
+        project = build_archpkg()
+        payload = json.loads(json.dumps(project.modgraph.to_json_dict()))
+        names = {m["name"] for m in payload["modules"]}
+        assert "archpkg.core.util" in names
+        edge_keys = {(e["from"], e["to"]) for e in payload["edges"]}
+        assert ("archpkg.core.engine", "archpkg.core.util") in edge_keys
+        assert all(
+            set(e) == {"from", "to", "line", "eager"}
+            for e in payload["edges"]
+        )
+
+    def test_dot_marks_lazy_edges_dashed(self):
+        dot = build_archpkg().modgraph.to_dot()
+        assert dot.startswith("digraph modules {")
+        assert (
+            '"archpkg.telemetry.tap" -> "archpkg.core.engine" '
+            "[style=dashed];" in dot
+        )
+        assert '"archpkg.sim.clock" -> "archpkg.core.engine";' in dot
+
+
+class TestPartialFileSets:
+    def test_unlinted_submodule_import_does_not_collapse_to_package(
+        self, tmp_path
+    ):
+        # --changed lints a subset: pkg/__init__.py and pkg/user.py are
+        # in the set, pkg/helper.py exists on disk but is not.  The
+        # import of helper must not be rewritten into an edge onto the
+        # package __init__ — that fabricates an eager cycle the
+        # full-tree run does not have.
+        pkg = tmp_path / "src" / "archpkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("from archpkg import user\n")
+        (pkg / "helper.py").write_text("VALUE = 1\n")
+        (pkg / "user.py").write_text("from archpkg.helper import VALUE\n")
+        files = [pkg / "__init__.py", pkg / "user.py"]
+        project = build_project_context(files, ARCH_CONFIG)
+        edges = {(e.src, e.dst) for e in project.modgraph.edges}
+        assert ("archpkg.user", "archpkg") not in edges
+        assert project.modgraph.eager_cycles() == []
+
+    def test_attribute_import_from_package_still_resolves(self, tmp_path):
+        # `from pkg import NAME` where NAME is an attribute of the
+        # __init__ (no matching file on disk) keeps its package edge.
+        pkg = tmp_path / "src" / "archpkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("VALUE = 1\n")
+        (pkg / "user.py").write_text("from archpkg import VALUE\n")
+        files = [pkg / "__init__.py", pkg / "user.py"]
+        project = build_project_context(files, ARCH_CONFIG)
+        edges = {(e.src, e.dst) for e in project.modgraph.edges}
+        assert ("archpkg.user", "archpkg") in edges
+
+
+class TestCallGraph:
+    def test_cross_module_call_resolved(self):
+        files = sorted((FIXTURES / "flow_rng").rglob("*.py"))
+        project = build_project_context(files, LintConfig())
+        graph = project.callgraph
+        edges = {(e.caller, e.callee) for e in graph.edges}
+        assert (
+            "repro.core.boot.start",
+            "repro.core.streams.make_stream",
+        ) in edges
+
+    def test_method_call_through_self(self):
+        files = sorted((FIXTURES / "flow_feedback").rglob("*.py"))
+        project = build_project_context(files, LintConfig())
+        edges = {(e.caller, e.callee) for e in project.callgraph.edges}
+        assert (
+            "repro.core.sched.Sched.pick",
+            "repro.core.sched.Sched._observed_depth",
+        ) in edges
+
+    def test_callers_of(self):
+        files = sorted((FIXTURES / "flow_rng").rglob("*.py"))
+        project = build_project_context(files, LintConfig())
+        callers = project.callgraph.callers_of(
+            "repro.core.streams.make_stream"
+        )
+        assert [qname for qname, _ in callers] == ["repro.core.boot.start"]
+
+
+class TestDeterminism:
+    def test_exports_are_bit_identical_across_builds(self):
+        first = build_archpkg()
+        second = build_archpkg()
+        assert json.dumps(
+            first.modgraph.to_json_dict(), sort_keys=True
+        ) == json.dumps(second.modgraph.to_json_dict(), sort_keys=True)
+        assert first.modgraph.to_dot() == second.modgraph.to_dot()
+        assert json.dumps(
+            first.callgraph.to_json_dict(), sort_keys=True
+        ) == json.dumps(second.callgraph.to_json_dict(), sort_keys=True)

@@ -158,11 +158,14 @@ class TestRuleResolution:
             resolve_rules(select=("DET999",))
 
     def test_registry_covers_both_families(self):
+        # DET003 registers but is superseded by FLOW002 by default.
         ids = [rule.rule_id for rule in resolve_rules()]
         assert ids == [
+            "ARCH001", "ARCH002", "ARCH003",
             "CON001", "CON002", "CON003",
-            "DET001", "DET002", "DET003", "DET004",
+            "DET001", "DET002", "DET004",
             "DET005", "DET006", "DET007",
+            "FLOW001", "FLOW002", "FLOW003",
             "OBS001",
             "PERF001",
             "ROB001",
