@@ -5,8 +5,10 @@ loop + tracer + profile-then-replay wall-clock.  This package measures
 that cost and gates it, so a speedup landed once cannot silently rot:
 
 * **Microbenchmarks** — event-loop throughput (the dominant
-  Timeout-resume-process cycle), tracer record throughput, and
-  Store/Resource churn.
+  Timeout-resume-process cycle) across three deadline distributions
+  (uniform singleton-bucket, bursty same-tick, bimodal near/far),
+  batched gang wake-ups (``timeout_chain`` + ``succeed_many``), tracer
+  record throughput, and Store/Resource churn.
 * **End-to-end** — the Fig 16 complex-workload replication (profile
   build timed separately from the scheduled runs, so the persistent
   profile cache shows up as a cold/warm `profile_build_s` delta).
@@ -95,6 +97,120 @@ def bench_event_loop(num_procs: int = 10, events_per_proc: int = 6000) -> float:
         sim.process(ping(events_per_proc), name=f"bench-{i}")
     elapsed, _ = _timed(sim.run)
     return num_procs * events_per_proc / elapsed
+
+
+def bench_event_loop_uniform(
+    num_procs: int = 10, events_per_proc: int = 6000
+) -> float:
+    """Events/s with near-unique deadlines (singleton-bucket worst case).
+
+    Each process advances by a slightly different delay, so deadlines
+    almost never coincide: every event pays a full calendar insert and
+    bucket pop instead of riding a shared same-tick bucket.  This is
+    the distribution the calendar queue is *weakest* on; gating it
+    keeps the batch-advancement fast path honest.
+    """
+    from ..sim.core import Simulator
+
+    sim = Simulator()
+
+    def ping(n, delay):
+        timeout = sim.timeout
+        for _ in range(n):
+            yield timeout(delay)
+
+    for i in range(num_procs):
+        sim.process(ping(events_per_proc, 1e-6 + i * 7e-9), name=f"bench-{i}")
+    elapsed, _ = _timed(sim.run)
+    return num_procs * events_per_proc / elapsed
+
+
+def bench_event_loop_bursty(bursts: int = 1500, burst_size: int = 40) -> float:
+    """Events/s when whole gangs share one tick (batch-advance best case).
+
+    ``burst_size`` processes advance in lock-step, so every tick is one
+    calendar bucket of ``burst_size`` events: one heap operation per
+    burst, vectorised dispatch of the whole gang.
+    """
+    from ..sim.core import Simulator
+
+    sim = Simulator()
+
+    def ping(n):
+        timeout = sim.timeout
+        for _ in range(n):
+            yield timeout(1e-6)
+
+    for i in range(burst_size):
+        sim.process(ping(bursts), name=f"bench-{i}")
+    elapsed, _ = _timed(sim.run)
+    return bursts * burst_size / elapsed
+
+
+def bench_event_loop_bimodal(
+    num_procs: int = 10, events_per_proc: int = 5000
+) -> float:
+    """Events/s with a steadily *receding* block of far-future deadlines.
+
+    Every iteration schedules one fire-and-forget far timeout alongside
+    the near tick, accumulating thousands of pending far deadlines.
+    The far frontier recedes quadratically, so soon after the horizon
+    activates (window = 4x the pending-deadline midpoint) new far
+    deadlines land beyond it: the workload genuinely drives the
+    far-list insert *and* flush paths, not just a bloated near heap
+    (``tests/sim/test_differential.py`` pins this with kernel stats).
+    Without the adaptive far-list every near insert would pay
+    O(log far_block) heap traffic; with it the far inserts append to an
+    unsorted overflow list and the near heap stays small.
+    """
+    from ..sim.core import Simulator
+
+    sim = Simulator()
+
+    def mixed(n, jitter):
+        timeout = sim.timeout
+        for i in range(n):
+            timeout(50.0 + i * i * 1e-3 + jitter)
+            yield timeout(1e-6)
+
+    for i in range(num_procs):
+        sim.process(mixed(events_per_proc, i * 1e-6), name=f"bench-{i}")
+    elapsed, _ = _timed(sim.run)
+    # The far block drains as no-op dispatches after the near phase;
+    # both halves count.
+    return 2 * num_procs * events_per_proc / elapsed
+
+
+def bench_batch_advance(rounds: int = 1500, gang: int = 32) -> float:
+    """Gang wake-ups/s through ``timeout_chain`` + ``succeed_many``.
+
+    A conductor walks a precomputed (vectorised-cumsum) timeout chain
+    and wakes a condition-variable gang each tick; the whole gang lands
+    in one calendar bucket per round.  This is the simulated analogue
+    of Olympian resuming a DNN job's CPU thread gang on a condvar.
+    """
+    from ..sim.core import Simulator
+    from ..sim.resources import ConditionVariable
+
+    sim = Simulator()
+    cv = ConditionVariable(sim)
+
+    def member():
+        # No predicate re-check on purpose: the conductor wakes the
+        # gang exactly once per round, and the benchmark counts rounds.
+        for _ in range(rounds):
+            yield cv.wait()  # lint: disable=CON001
+
+    def conductor():
+        for tick in sim.timeout_chain([1e-6] * rounds):
+            yield tick
+            cv.notify_all()
+
+    for i in range(gang):
+        sim.process(member(), name=f"bench-member-{i}")
+    sim.process(conductor(), name="bench-conductor")
+    elapsed, _ = _timed(sim.run)
+    return rounds * gang / elapsed
 
 
 def bench_tracer(records: int = 200000) -> float:
@@ -268,6 +384,19 @@ def _metric(value: float, unit: str, higher_is_better: bool) -> Dict[str, Any]:
     return {"value": value, "unit": unit, "higher_is_better": higher_is_better}
 
 
+def _best_of(times: int, fn, *args, **kwargs) -> float:
+    """Best (max) throughput over ``times`` runs.
+
+    Microbenchmark runs last milliseconds; a host-contention window
+    (noisy neighbour, cron, GC) during any single run understates
+    throughput by 2x and trips the regression gate falsely.  The max
+    over a few runs is the classic min-time estimator: external
+    contention only ever *slows* a run, so the best observation is the
+    least contaminated one.
+    """
+    return max(fn(*args, **kwargs) for _ in range(times))
+
+
 def run_benchmarks(quick: bool = False, verbose: bool = True) -> Dict[str, Any]:
     """Run every benchmark; returns the report dict (also serialisable)."""
 
@@ -275,24 +404,56 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> Dict[str, Any]:
         if verbose:
             _log.info(text)
 
+    # Steady-state warmup.  The first seconds of a fresh process run
+    # measurably slower (CPU frequency ramp, allocator and branch
+    # predictor warmup) — cold samples of the gated event_loop_eps
+    # come in 10-15% under steady state, which is larger than the
+    # gate's headroom.  Burn the event-loop workload untimed until the
+    # ramp is over so best-of-N samples the plateau, per the min-time
+    # estimator's assumptions.
+    warm_until = _now() + 1.5
+    while _now() < warm_until:
+        bench_event_loop(num_procs=10, events_per_proc=2000)
+
     if quick:
-        loop_eps = bench_event_loop(num_procs=10, events_per_proc=2000)
-        tracer_rps = bench_tracer(records=50000)
-        resources_ops = bench_resources(ops=10000)
+        # The gated headline metric gets five samples; the others three.
+        loop_eps = _best_of(
+            5, bench_event_loop, num_procs=10, events_per_proc=2000
+        )
+        uniform_eps = _best_of(
+            3, bench_event_loop_uniform, num_procs=10, events_per_proc=2000
+        )
+        bursty_eps = _best_of(
+            3, bench_event_loop_bursty, bursts=500, burst_size=40
+        )
+        bimodal_eps = _best_of(
+            3, bench_event_loop_bimodal, num_procs=10, events_per_proc=1500
+        )
+        batch_eps = _best_of(3, bench_batch_advance, rounds=500, gang=32)
+        tracer_rps = _best_of(3, bench_tracer, records=50000)
+        resources_ops = _best_of(3, bench_resources, ops=10000)
         profile_s, e2e_s, fig_digests = bench_fig16(num_batches=2, repeat=2)
         off_s, on_s, telemetry_digests = bench_telemetry(
             num_batches=2, repeat=2
         )
     else:
-        loop_eps = bench_event_loop()
-        tracer_rps = bench_tracer()
-        resources_ops = bench_resources()
+        loop_eps = _best_of(5, bench_event_loop)
+        uniform_eps = _best_of(3, bench_event_loop_uniform)
+        bursty_eps = _best_of(3, bench_event_loop_bursty)
+        bimodal_eps = _best_of(3, bench_event_loop_bimodal)
+        batch_eps = _best_of(3, bench_batch_advance)
+        tracer_rps = _best_of(3, bench_tracer)
+        resources_ops = _best_of(3, bench_resources)
         profile_s, e2e_s, fig_digests = bench_fig16(num_batches=6, repeat=3)
         off_s, on_s, telemetry_digests = bench_telemetry(
             num_batches=6, repeat=2
         )
     telemetry_ratio = on_s / off_s
     say(f"event loop         {loop_eps:>12,.0f} events/s")
+    say(f"event loop uniform {uniform_eps:>12,.0f} events/s")
+    say(f"event loop bursty  {bursty_eps:>12,.0f} events/s")
+    say(f"event loop bimodal {bimodal_eps:>12,.0f} events/s")
+    say(f"batch advance      {batch_eps:>12,.0f} wakes/s")
     say(f"tracer             {tracer_rps:>12,.0f} records/s")
     say(f"resources          {resources_ops:>12,.0f} ops/s")
     say(f"fig16 profile      {profile_s:>12.3f} s (warm = cache hit)")
@@ -311,6 +472,10 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> Dict[str, Any]:
         "mode": "quick" if quick else "full",
         "metrics": {
             "event_loop_eps": _metric(loop_eps, "events/s", True),
+            "event_loop_uniform_eps": _metric(uniform_eps, "events/s", True),
+            "event_loop_bursty_eps": _metric(bursty_eps, "events/s", True),
+            "event_loop_bimodal_eps": _metric(bimodal_eps, "events/s", True),
+            "batch_advance_eps": _metric(batch_eps, "wakes/s", True),
             "tracer_rps": _metric(tracer_rps, "records/s", True),
             "resources_ops": _metric(resources_ops, "ops/s", True),
             "profile_build_s": _metric(profile_s, "s", False),
@@ -319,6 +484,34 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> Dict[str, Any]:
         },
         "digests": digests,
     }
+
+
+def profile_fig16(out: str, num_batches: int = 2) -> str:
+    """Run the Fig 16 end-to-end under cProfile and dump the stats.
+
+    Writes the raw profile to ``out`` (readable with ``python -m
+    pstats`` or any profile viewer) and logs the top cumulative-time
+    entries, so the CI perf-smoke artifact carries a hotspot breakdown
+    alongside the throughput numbers — a regression arrives with its
+    own diagnosis attached.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    bench_fig16(num_batches=num_batches, repeat=1)
+    profiler.disable()
+    profiler.dump_stats(out)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(15)
+    _log.info(f"fig16 hotspots (top 15 by cumulative time) -> {out}")
+    for line in buf.getvalue().splitlines():
+        if line.strip():
+            _log.info(line)
+    return out
 
 
 def check_against_baseline(
@@ -378,6 +571,7 @@ def main(
     check: bool = False,
     out: Optional[str] = None,
     baseline: Optional[str] = None,
+    profile_out: Optional[str] = None,
 ) -> int:
     # The CLI entry point owns the sink; library callers of
     # run_benchmarks/check_against_baseline inherit whatever the
@@ -388,6 +582,10 @@ def main(
         out_path = Path(out or OUTPUT_FILENAME)
         out_path.write_text(json.dumps(report, indent=2) + "\n")
         _log.info(f"wrote {out_path}")
+        if profile_out is not None:
+            # Dump before the gate: a failing check is exactly when the
+            # hotspot breakdown is most wanted.
+            profile_fig16(profile_out, num_batches=2 if quick else 6)
         if not check:
             return 0
         baseline_path = Path(baseline or BASELINE_FILENAME)

@@ -498,6 +498,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         check=args.check,
         out=args.out,
         baseline=args.baseline,
+        profile_out=args.profile_out,
     )
 
 
@@ -853,6 +854,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--baseline", default=None,
         help="baseline JSON path (default BENCH_BASELINE.json)",
+    )
+    bench.add_argument(
+        "--profile-out", default=None,
+        help="also run the fig16 workload under cProfile and dump "
+             "hotspot stats to this path",
     )
 
     def add_workload_args(command: argparse.ArgumentParser) -> None:

@@ -310,7 +310,10 @@ class GpuDevice:
                 emit_occupancy(telemetry)
                 sim_sanitizer.verify(self, guard, "kernel.started")
 
-        def finish(kernel: Kernel) -> None:
+        def retire(kernel: Kernel) -> None:
+            # Bookkeeping + telemetry for one drained resident.  The
+            # ``done`` succeed happens batched in the engine loop so a
+            # same-tick gang retires with one calendar operation.
             del residents[kernel]
             job_residency[kernel.job_id] -= 1
             if not job_residency[kernel.job_id]:
@@ -343,7 +346,6 @@ class GpuDevice:
                 )
                 emit_occupancy(telemetry)
                 sim_sanitizer.verify(self, guard, "kernel.finished")
-            kernel.done.succeed(kernel)
 
         while True:
             # Consume a fetch that fired while we were waiting.
@@ -365,12 +367,19 @@ class GpuDevice:
                 advance()
                 start(staged)
                 staged = None
-            # Retire residents whose balance is drained.
+            # Retire residents whose balance is drained.  Same-tick
+            # gangs (homogeneous co-resident kernels draining at the
+            # same rate) complete together, so their ``done`` events
+            # are triggered as one batch: identical wake order to
+            # sequential succeed calls, one calendar bucket total.
             advance()
-            for kernel in [
+            drained = [
                 k for k, rem in residents.items() if rem <= _REMAINING_EPS
-            ]:
-                finish(kernel)
+            ]
+            if drained:
+                for kernel in drained:
+                    retire(kernel)
+                sim.succeed_many([k.done for k in drained], drained)
             # Ask for more work while there is stream capacity.
             if staged is None and len(residents) < streams:
                 pending = driver.next_kernel(eligible=eligible)

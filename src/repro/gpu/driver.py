@@ -264,7 +264,7 @@ class Driver:
         """
         if self._waiter is not None:
             raise RuntimeError("driver already has a pending device request")
-        event = Event(self.sim)
+        event = self.sim.event()  # pooled: one fetch event per executed kernel
         kernel = self._pop() if eligible is None else self._pop_eligible(eligible)
         if kernel is not None:
             event.succeed(kernel)

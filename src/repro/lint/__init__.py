@@ -13,8 +13,11 @@ deadlock-free cooperative gang scheduler.  This package checks both
   ``ConditionVariable.wait`` to sit in a while-predicate loop, detect
   acquisition-order cycles across the scheduler/resource/session files,
   and confine writes to guarded scheduler state to the token machinery.
-* **Performance rules** (PERF001) ban O(n) list head-shifts
-  (``list.pop(0)``/``list.insert(0, ...)``) in hot-path code.
+* **Performance rules** (PERF001, PERF002) ban O(n) list head-shifts
+  (``list.pop(0)``/``list.insert(0, ...)``) in hot-path code and
+  confine ``heapq`` imports to the calendar-queue kernel
+  (``sim/wheel.py``), so no shadow event queue can fork tie-break
+  ordering from the simulator's.
 * **Robustness rules** (ROB001) flag broad/bare ``except`` handlers
   that neither re-raise nor log — silent error swallowing hides the
   very failures the recovery layer exists to handle.

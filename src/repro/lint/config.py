@@ -59,8 +59,12 @@ class LintConfig:
     )
     # Where the determinism family (DET001-DET006) applies.
     determinism_paths: Tuple[str, ...] = ("src/repro",)
-    # Where the performance family (PERF001) applies: hot-path code.
+    # Where the performance family (PERF001/PERF002) applies: hot-path
+    # code.
     perf_paths: Tuple[str, ...] = ("src/repro",)
+    # Files allowed to import heapq (PERF002): the calendar-queue
+    # kernel wraps it; everything else schedules through the Simulator.
+    heapq_whitelist: Tuple[str, ...] = ("src/repro/sim/wheel.py",)
     # Where OBS001 bans ad-hoc print() in favour of structured logging.
     print_ban_paths: Tuple[str, ...] = ("src/repro",)
     # Where ROB001 flags broad/bare except handlers that neither

@@ -1,4 +1,4 @@
-"""Performance rules (PERF001).
+"""Performance rules (PERF001, PERF002).
 
 The simulator's hot loops live or die by container choice: a
 ``list.pop(0)`` in a waiter queue is O(n) per wake-up and turns gang
@@ -6,11 +6,21 @@ scheduling into quadratic work as fan-out grows (the exact regression
 fixed in ``sim/resources.py``).  PERF001 bans head-shifting list calls
 in hot-path code so the class of bug cannot quietly return.
 
-Like every rule here this is an AST heuristic: it sees the call shape
-``<expr>.pop(0)`` / ``<expr>.insert(0, …)``, not the receiver's type.
-A deliberate O(n) shift on a provably tiny list (or a ``dict.pop(0)``
-false positive) is silenced with ``# lint: disable=PERF001``, never by
-narrowing the rule.
+PERF002 guards the other calendar invariant: every timestamped event
+must flow through the bucketed calendar queue in ``sim/wheel.py``.  A
+stray ``import heapq`` elsewhere under ``src/repro`` is how a shadow
+event queue starts — per-event heap tuples creep back in, tie-break
+ordering forks from the kernel's bucket-sequence rule, and the trace
+digests quietly depend on which queue a code path used.  The wheel
+module itself is whitelisted (``heapq-whitelist`` in pyproject): it
+wraps heapq behind the bucket layer and is the one sanctioned user.
+
+Like every rule here these are AST heuristics: PERF001 sees the call
+shape ``<expr>.pop(0)`` / ``<expr>.insert(0, …)``, not the receiver's
+type.  A deliberate O(n) shift on a provably tiny list (or a
+``dict.pop(0)`` false positive) is silenced with
+``# lint: disable=PERF001``, never by narrowing the rule; the same
+escape hatch spelling applies to PERF002.
 """
 
 from __future__ import annotations
@@ -18,10 +28,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional, Sequence, Tuple
 
-from .config import LintConfig
+from .config import LintConfig, path_matches
 from .rules import Rule, register
 
-__all__ = ["ListHeadShiftRule"]
+__all__ = ["ListHeadShiftRule", "HeapqImportRule"]
 
 
 def _is_zero_literal(node: ast.AST) -> bool:
@@ -61,3 +71,33 @@ class ListHeadShiftRule(Rule):
                     "call); use `collections.deque` and `.appendleft()` "
                     "for head insertion"
                 )
+
+
+@register
+class HeapqImportRule(Rule):
+    rule_id = "PERF002"
+    name = "heapq-outside-wheel"
+    summary = "import heapq outside sim/wheel.py; use the calendar queue"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.perf_paths
+
+    def check(self, node: ast.AST, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        if path_matches(ctx.path, ctx.config.heapq_whitelist):
+            return
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            imported = module == "heapq" or module.startswith("heapq.")
+        else:
+            imported = any(
+                alias.name == "heapq" or alias.name.startswith("heapq.")
+                for alias in node.names
+            )
+        if imported:
+            yield node, (
+                "heapq imports are confined to the calendar-queue kernel "
+                "(sim/wheel.py); schedule through Simulator.timeout / "
+                "_insert so tie-break ordering stays bucket-sequenced "
+                "and trace digests stay single-queue"
+            )

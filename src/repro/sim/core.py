@@ -4,38 +4,41 @@ This module is the substrate for every other subsystem in the
 reproduction.  It implements a small, deterministic, SimPy-style
 process-based simulator:
 
-* :class:`Simulator` owns the virtual clock and the event queue.
+* :class:`Simulator` owns the virtual clock and the event calendar.
 * :class:`Event` is a one-shot occurrence that processes can wait on.
 * :class:`Process` wraps a Python generator; the generator *yields*
   events (or other processes) and is resumed when they fire.
 * :class:`Timeout` is an event that fires after a fixed delay.
 
 All times are floats in **simulated seconds**.  The kernel is fully
-deterministic: ties in the event queue are broken by insertion order, so
-two runs of the same program produce identical schedules.
+deterministic: ties in the event calendar are broken by insertion
+order, so two runs of the same program produce identical schedules.
 
 Performance
 -----------
 The kernel is the hottest code in the repository (a single Figure 16
-replication pumps ~2.5 million events through it), so the dominant
-cycle — create a :class:`Timeout`, pop it off the heap, dispatch its
-callbacks, resume the waiting :class:`Process` — is hand-flattened:
+replication pumps ~2.5 million events through it), so the clock, the
+calendar, and the dispatch loop live in :mod:`repro.sim.wheel` as a
+closure nest built once per :class:`Simulator`:
 
-* :meth:`Simulator.run` inlines the pop/advance/dispatch sequence
-  instead of calling :meth:`Simulator.step` and ``Event._fire`` per
-  event.  This is only sound because ``_fire``'s body is fixed;
-  :class:`Event` therefore *forbids* subclasses from overriding it
-  (enforced in ``__init_subclass__``).
-* :class:`Timeout` construction and :meth:`Event.succeed` /
-  :meth:`Event.fail` schedule directly onto the heap — a freshly
-  triggered event can never already be queued, so the double-schedule
-  guard in ``_schedule`` is statically unnecessary on those paths.
-* :class:`Process` caches its bound ``_resume`` callback (one bound
-  method per process instead of one per resumed event).
+* The calendar is a **bucketed calendar queue** — events sharing a
+  deadline share one bucket, and a small heap orders buckets, so a
+  same-tick batch of events costs one heap operation instead of one
+  per event (see the :mod:`repro.sim.wheel` docstring for the layout,
+  the insertion cache, and the adaptive far-list).
+* The dominant create-fire-resume cycle recycles :class:`Timeout` and
+  :class:`Event` instances through :class:`repro.sim.pool.KernelPools`,
+  so a warmed-up run allocates nothing per event.
+* ``Simulator.run`` dispatches callbacks inline (the fixed body of
+  what ``Event._fire`` used to be).  This is only sound because the
+  dispatch sequence is fixed; :class:`Event` therefore *forbids*
+  subclasses from defining ``_fire`` (enforced in
+  ``__init_subclass__``).
 
-:meth:`Simulator.run_reference` keeps the naive ``step()`` loop alive
-as an oracle; ``tests/sim/test_core.py`` asserts both loops produce
-identical traces.  ``python -m repro bench`` guards the throughput.
+:meth:`Simulator.run_reference` keeps the naive ``step()``-per-event
+loop alive as an oracle; ``tests/sim/`` asserts both loops produce
+identical traces.  ``python -m repro bench --check`` guards the
+throughput and the schedule digests.
 
 Example
 -------
@@ -53,8 +56,10 @@ Example
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
+
+from .pool import KernelPools
+from .wheel import build_kernel
 
 __all__ = [
     "SimulationError",
@@ -87,28 +92,39 @@ class Interrupt(Exception):
 # Sentinel distinguishing "no value yet" from a triggered None value.
 _PENDING = object()
 
+# Sentinel stored in an event's callback slot once its callbacks have
+# run.  Doubles as the ``processed`` flag — see ``Event._cb`` below.
+_PROCESSED = object()
+
 
 class Event:
     """A one-shot occurrence that processes may wait on.
 
     An event starts *untriggered*.  Calling :meth:`succeed` (or
-    :meth:`fail`) triggers it, schedules it on the simulator queue, and
-    eventually runs its callbacks — resuming any process that yielded it.
+    :meth:`fail`) triggers it, schedules it on the simulator calendar,
+    and eventually runs its callbacks — resuming any process that
+    yielded it.
+
+    Callback storage is a single adaptive slot (``_cb``) instead of an
+    always-allocated list: ``None`` (no waiters), a lone callback or
+    waiting :class:`Process`, a list of several, or the ``_PROCESSED``
+    sentinel once the event has fired.  The common cases — zero or one
+    waiter — allocate nothing.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_scheduled")
+    __slots__ = ("sim", "_cb", "_value", "_exc", "_scheduled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._cb: Any = None
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
         self._scheduled = False
 
     def __init_subclass__(cls, **kwargs):
-        # Simulator.run() dispatches callbacks inline (the body of
-        # ``_fire``) without a per-event virtual call; an override would
-        # silently be skipped on the fast path.
+        # Simulator.run() dispatches callbacks inline without a
+        # per-event virtual call; an override would silently be skipped
+        # on the fast path.
         if "_fire" in cls.__dict__:
             raise TypeError(
                 f"{cls.__name__} must not override Event._fire: the "
@@ -124,7 +140,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self._cb is _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -144,12 +160,10 @@ class Event:
         if self._value is not _PENDING or self._exc is not None:
             raise SimulationError("event already triggered")
         self._value = value
-        # An untriggered event is never on the queue, so schedule
+        # An untriggered event is never on the calendar, so schedule
         # directly (the _schedule double-schedule guard cannot fire).
         self._scheduled = True
-        sim = self.sim
-        heappush(sim._queue, (sim._now, sim._sequence, self))
-        sim._sequence += 1
+        self.sim._schedule_now(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -165,9 +179,7 @@ class Event:
         self._exc = exc
         self._value = None
         self._scheduled = True
-        sim = self.sim
-        heappush(sim._queue, (sim._now, sim._sequence, self))
-        sim._sequence += 1
+        self.sim._schedule_now(self)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -176,37 +188,62 @@ class Event:
         If the event has already been processed the callback runs
         immediately.
         """
-        if self.callbacks is None:
+        cb = self._cb
+        if cb is _PROCESSED:
             callback(self)
+        elif cb is None:
+            self._cb = callback
+        elif type(cb) is list:
+            cb.append(callback)
         else:
-            self.callbacks.append(callback)
-
-    def _fire(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
-        if callbacks:
-            for callback in callbacks:
-                callback(self)
+            self._cb = [cb, callback]
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Direct construction is the cold path; ``Simulator.timeout`` is the
+    pooled kernel factory and bypasses ``__init__`` entirely.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        # Flattened Event.__init__ + _schedule: a fresh timeout cannot
-        # already be queued, and the super().__init__ call is pure
-        # overhead on the dominant event path.
+        # Flattened Event.__init__: a fresh timeout cannot already be
+        # queued, so it inserts straight into the calendar.
         self.sim = sim
-        self.callbacks = []
+        self._cb = None
         self._value = value
         self._exc = None
         self._scheduled = True
         self.delay = delay
-        heappush(sim._queue, (sim._now + delay, sim._sequence, self))
-        sim._sequence += 1
+        sim._insert(self, sim._now + delay)
+
+
+class _Bootstrap(Event):
+    """The kick-off event that starts a freshly created process.
+
+    A distinct type so :meth:`Process.interrupt` can recognise it and
+    leave the registration attached: interrupting a process before its
+    first resume still *starts* the generator — the interrupt lands at
+    its first yield point, where the process can catch it.
+    """
+
+    __slots__ = ()
+
+
+class _Interruption(Event):
+    """Wake-up event that carries an :class:`Interrupt` into a process.
+
+    A distinct type because interrupt deliveries are exempt from the
+    kernel's stale-resume guard: a process that moved to a new yield
+    point between the interrupt call and its delivery must still
+    receive the exception (and stacked interrupts must each arrive).
+    """
+
+    __slots__ = ()
 
 
 class Process(Event):
@@ -215,9 +252,13 @@ class Process(Event):
     Wraps a generator that yields :class:`Event` instances.  The process
     itself is an event that fires with the generator's return value, so
     processes can wait for one another by yielding them.
+
+    ``_waiting_on`` is the identity of the event whose firing should
+    resume the process next; the kernel ignores any other (stale)
+    registration, except pending :class:`_Interruption` deliveries.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on", "_bound_resume")
+    __slots__ = ("generator", "name", "_waiting_on", "_send", "_throw")
 
     def __init__(
         self,
@@ -232,15 +273,15 @@ class Process(Event):
             )
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
-        resume = self._bound_resume = self._resume
+        self._send = generator.send
+        self._throw = generator.throw
         # Kick off the generator at the current time.
-        bootstrap = Event(sim)
+        bootstrap = _Bootstrap(sim)
         bootstrap._value = None
         bootstrap._scheduled = True
-        bootstrap.callbacks.append(resume)
-        heappush(sim._queue, (sim._now, sim._sequence, bootstrap))
-        sim._sequence += 1
+        bootstrap._cb = self
+        self._waiting_on: Optional[Event] = bootstrap
+        sim._schedule_now(bootstrap)
 
     @property
     def is_alive(self) -> bool:
@@ -250,60 +291,41 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at its yield point."""
         if self.triggered:
             return
+        sim = self.sim
         target = self._waiting_on
-        if target is not None and target.callbacks is not None:
-            # Detach from whatever the process was waiting on.
-            try:
-                target.callbacks.remove(self._bound_resume)
-            except ValueError:
-                pass
-        self._waiting_on = None
-        wakeup = Event(self.sim)
+        if (
+            target is not None
+            and type(target) is not _Interruption
+            and type(target) is not _Bootstrap
+            and target._cb is not _PROCESSED
+        ):
+            # Detach from whatever the process was waiting on.  Pending
+            # interruptions stay attached so stacked interrupts each
+            # deliver; the bootstrap stays attached so the generator
+            # still starts and sees the interrupt at its first yield.
+            tcb = target._cb
+            if tcb is self:
+                target._cb = None
+            elif type(tcb) is list:
+                try:
+                    tcb.remove(self)
+                except ValueError:
+                    pass
+        wakeup = _Interruption(sim)
         wakeup._exc = Interrupt(cause)
         wakeup._value = None
-        self.sim._schedule(wakeup, 0.0)
-        wakeup.add_callback(self._bound_resume)
-
-    def _resume(self, event: Event) -> None:
-        if self._value is not _PENDING or self._exc is not None:
-            return  # already terminated
-        self._waiting_on = None
-        sim = self.sim
-        sim._active_process = self
-        try:
-            if event._exc is not None:
-                target = self.generator.throw(event._exc)
-            else:
-                target = self.generator.send(event._value)
-        except StopIteration as stop:
-            self._value = stop.value
-            self._scheduled = True
-            heappush(sim._queue, (sim._now, sim._sequence, self))
-            sim._sequence += 1
-            return
-        except Interrupt as exc:
-            # An un-caught interrupt terminates the process cleanly.
-            self._exc = exc
-            self._value = None
-            self.sim._schedule(self, 0.0)
-            return
-        finally:
-            sim._active_process = None
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {target!r}; "
-                "processes must yield Event instances"
-            )
-        if target.sim is not sim:
-            raise SimulationError("yielded event belongs to another simulator")
-        self._waiting_on = target
-        callbacks = target.callbacks
-        if callbacks is None:
-            # Already processed: resume immediately (add_callback
-            # semantics, without the extra call).
-            self._bound_resume(target)
-        else:
-            callbacks.append(self._bound_resume)
+        wakeup._scheduled = True
+        wakeup._cb = self
+        if type(target) is not _Bootstrap:
+            # Pre-start interrupts leave ``_waiting_on`` on the
+            # bootstrap: the generator must still start (throwing into
+            # a never-started generator raises before any body code
+            # runs).  The bootstrap was scheduled first, so it fires
+            # first; the interruption queued behind it then reaches
+            # the first yield point through the stale-resume
+            # exemption, where the process can catch it.
+            self._waiting_on = wakeup
+        sim._schedule_now(wakeup)
 
 
 class AnyOf(Event):
@@ -371,13 +393,46 @@ class AllOf(Event):
 
 
 class Simulator:
-    """The simulation environment: virtual clock plus event queue."""
+    """The simulation environment: virtual clock plus event calendar.
+
+    The calendar and dispatch loop are closures built by
+    :func:`repro.sim.wheel.build_kernel`; the hottest entry points —
+    ``timeout``, ``event``, ``step``, ``peek``, ``succeed_many``,
+    ``timeout_chain`` — are bound directly as instance attributes so a
+    call costs one attribute load plus the closure call, with no
+    method-descriptor indirection.
+
+    ``_now`` mirrors the kernel's clock cell (updated at every clock
+    write) so ``sim.now`` stays a plain attribute read.
+    """
 
     def __init__(self):
         self._now = 0.0
-        self._queue: List = []
-        self._sequence = 0
-        self._active_process: Optional[Process] = None
+        self.pools = KernelPools()
+        kernel = build_kernel(
+            self,
+            self.pools,
+            event_t=Event,
+            timeout_t=Timeout,
+            process_t=Process,
+            interruption_t=_Interruption,
+            interrupt_exc=Interrupt,
+            error_t=SimulationError,
+            pending=_PENDING,
+            processed=_PROCESSED,
+        )
+        self._kernel = kernel
+        # Hot factories / calendar primitives (documented stubs below
+        # are shadowed by these bindings).
+        self.timeout = kernel.timeout
+        self.event = kernel.event
+        self.succeed_many = kernel.succeed_many
+        self.timeout_chain = kernel.timeout_chain
+        self.step = kernel.step
+        self.peek = kernel.peek
+        self._insert = kernel.insert
+        self._schedule_now = kernel.schedule_now
+        self._get_active = kernel.get_active
 
     @property
     def now(self) -> float:
@@ -387,14 +442,18 @@ class Simulator:
     @property
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
-        return self._active_process
+        return self._get_active()
 
     # ------------------------------------------------------------------
     # Factories
     # ------------------------------------------------------------------
+    #
+    # ``event`` and ``timeout`` are rebound per-instance to the kernel's
+    # pooled factories in ``__init__``; the defs below only provide the
+    # class-level API surface (signatures, docstrings, introspection).
 
     def event(self) -> Event:
-        """Create a fresh, untriggered event."""
+        """Create a fresh, untriggered event (pool-recycled)."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -413,6 +472,30 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    def succeed_many(
+        self, events: Iterable[Event], values: Optional[Sequence[Any]] = None
+    ) -> List[Event]:
+        """Trigger a batch of events now, in order (single calendar op).
+
+        Equivalent to ``for ev in events: ev.succeed(value)`` — same
+        schedule, same tie-break order — but the whole batch shares one
+        calendar bucket.  ``values`` may be ``None`` (every event gets
+        ``None``) or a sequence with one value per event.
+        """
+        return self._kernel.succeed_many(events, values)
+
+    def timeout_chain(
+        self, delays: Sequence[float], value: Any = None
+    ) -> List[Timeout]:
+        """Create a chain of timeouts at cumulative offsets of ``delays``.
+
+        Deadlines are precomputed with a vectorised cumulative sum that
+        accumulates in the same order as the scalar loop it replaces, so
+        the schedule is bit-identical to sequential ``timeout`` calls
+        made back-to-back.
+        """
+        return self._kernel.timeout_chain(delays, value)
+
     # ------------------------------------------------------------------
     # Scheduling / running
     # ------------------------------------------------------------------
@@ -421,103 +504,49 @@ class Simulator:
         if event._scheduled:
             raise SimulationError("event scheduled twice")
         event._scheduled = True
-        heappush(self._queue, (self._now + delay, self._sequence, event))
-        self._sequence += 1
+        self._insert(event, self._now + delay)
 
     def step(self) -> None:
-        """Process the next event on the queue.
+        """Process the next event on the calendar.
 
-        Raises :class:`SimulationError` when the queue is empty — an
-        explicit contract instead of a bare ``IndexError`` from the
-        heap.
+        Raises :class:`SimulationError` when the calendar is empty — an
+        explicit contract instead of a bare ``IndexError``.
+
+        (Rebound per-instance to the kernel's cursor-based step in
+        ``__init__``; this def documents the API.)
         """
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heappop(self._queue)
-        self._now = when
-        event._fire()
+        self._kernel.step()
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if queue empty."""
-        if not self._queue:
-            return float("inf")
-        return self._queue[0][0]
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._kernel.peek()
 
     def run(
         self,
         until: Optional[float] = None,
         max_steps: Optional[int] = None,
     ) -> None:
-        """Run until the queue drains or the clock passes ``until``.
+        """Run until the calendar drains or the clock passes ``until``.
 
         ``max_steps`` is a livelock guard: a bug that schedules
-        zero-delay events in a cycle never drains the queue and never
+        zero-delay events in a cycle never drains the calendar and never
         advances the clock, so neither stop condition can trigger.
         When set, the run aborts with :class:`SimulationError` after
         that many events.
 
-        The loop body is the fast path: it inlines :meth:`step` and the
-        callback dispatch of ``Event._fire`` (safe because ``_fire``
-        cannot be overridden).  :meth:`run_reference` is the readable
-        equivalent; both produce bit-identical schedules.
+        The unguarded path is the kernel's batch dispatch loop;
+        :meth:`run_reference` is the readable equivalent — both produce
+        bit-identical schedules.
         """
         if until is not None and until < self._now:
             raise SimulationError(
                 f"run(until={until!r}) is in the past (now={self._now!r})"
             )
-        queue = self._queue
+        self.pools.trim()
         if max_steps is not None:
-            self._run_guarded(until, max_steps)
+            self._kernel.run_guarded(until, max_steps)
             return
-        if until is None:
-            while queue:
-                when, _seq, event = heappop(queue)
-                self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None
-                if callbacks:
-                    for callback in callbacks:
-                        callback(event)
-            return
-        while queue:
-            if queue[0][0] > until:
-                self._now = until
-                return
-            when, _seq, event = heappop(queue)
-            self._now = when
-            callbacks = event.callbacks
-            event.callbacks = None
-            if callbacks:
-                for callback in callbacks:
-                    callback(event)
-        self._now = until
-
-    def _run_guarded(self, until: Optional[float], max_steps: int) -> None:
-        """The ``max_steps``-counting variant of the run loop."""
-        if max_steps < 1:
-            raise SimulationError(f"max_steps must be >= 1: {max_steps}")
-        queue = self._queue
-        steps = 0
-        while queue:
-            if until is not None and queue[0][0] > until:
-                self._now = until
-                return
-            if steps >= max_steps:
-                raise SimulationError(
-                    f"run() exceeded max_steps={max_steps} at t={self._now!r}"
-                    " — livelock? (zero-delay event cycle keeps the queue"
-                    " non-empty without advancing the clock)"
-                )
-            steps += 1
-            when, _seq, event = heappop(queue)
-            self._now = when
-            callbacks = event.callbacks
-            event.callbacks = None
-            if callbacks:
-                for callback in callbacks:
-                    callback(event)
-        if until is not None:
-            self._now = until
+        self._kernel.run(until)
 
     def run_reference(self, until: Optional[float] = None) -> None:
         """Reference event loop: the plain ``step()``-per-event version.
@@ -529,10 +558,4 @@ class Simulator:
             raise SimulationError(
                 f"run(until={until!r}) is in the past (now={self._now!r})"
             )
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return
-            self.step()
-        if until is not None:
-            self._now = until
+        self._kernel.run_reference(until)

@@ -10,6 +10,13 @@ uses on the host side:
 * :class:`ConditionVariable` — wait/notify for process gangs (models the
   pthread condition variables Olympian uses to suspend and resume the
   CPU thread gang of a DNN job).
+
+Hot-path notes: waiter events come from the simulator's object pool
+(``sim.event()``), request cancellation is a lazy O(1) flag resolved at
+hand-off time (a ``deque.remove`` scan used to make cancel O(queue)),
+and :meth:`ConditionVariable.notify_all` wakes the whole gang through
+``Simulator.succeed_many`` — one calendar operation for the batch
+instead of one per waiter.
 """
 
 from __future__ import annotations
@@ -27,13 +34,17 @@ class Request(Event):
 
     Yielded by a process; fires once the resource grants a slot.  Must be
     released via :meth:`Resource.release` when done.
+
+    ``cancelled`` marks a lazily withdrawn request: it stays in the
+    resource's FIFO but is skipped (and forgotten) when its turn comes.
     """
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "cancelled")
 
     def __init__(self, sim: Simulator, resource: "Resource"):
         super().__init__(sim)
         self.resource = resource
+        self.cancelled = False
 
 
 class Resource:
@@ -55,6 +66,7 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Request] = deque()
+        self._cancelled = 0  # lazily cancelled requests still in _waiters
 
     @property
     def in_use(self) -> int:
@@ -66,7 +78,7 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        return len(self._waiters)
+        return len(self._waiters) - self._cancelled
 
     def request(self) -> Request:
         """Claim one slot; the returned event fires when granted."""
@@ -91,23 +103,34 @@ class Resource:
         """Return the slot held by ``request``."""
         if request.resource is not self:
             raise SimulationError("release of a request from another resource")
-        if self._waiters:
+        waiters = self._waiters
+        while waiters:
+            nxt = waiters.popleft()
+            if nxt.cancelled:
+                # Lazily withdrawn; drop it and keep looking.
+                self._cancelled -= 1
+                continue
             # Hand the slot straight to the next waiter; _in_use unchanged.
-            nxt = self._waiters.popleft()
             nxt.succeed()
-        else:
-            self._in_use -= 1
-            if self._in_use < 0:
-                raise SimulationError("resource released more than acquired")
+            return
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise SimulationError("resource released more than acquired")
 
     def cancel(self, request: Request) -> None:
-        """Withdraw a queued request that has not been granted yet."""
+        """Withdraw a queued request that has not been granted yet.
+
+        O(1): the request is flagged and skipped when its turn comes,
+        instead of scanned out of the FIFO at cancel time.
+        """
         if request.triggered:
             raise SimulationError("cannot cancel a granted request")
-        try:
-            self._waiters.remove(request)
-        except ValueError:
+        # An untriggered request of this resource is in the FIFO unless
+        # it was already cancelled; no scan needed to validate.
+        if request.resource is not self or request.cancelled:
             raise SimulationError("request not queued on this resource")
+        request.cancelled = True
+        self._cancelled += 1
 
 
 class Store:
@@ -137,7 +160,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        event = Event(self.sim)
+        event = self.sim.event()
         if self._items:
             event.succeed(self._items.popleft())
         else:
@@ -171,25 +194,25 @@ class ConditionVariable:
 
     def wait(self) -> Event:
         """Return an event that fires at the next notify."""
-        event = Event(self.sim)
+        event = self.sim.event()
         self._waiters.append(event)
         return event
 
     def notify_all(self, wake_latency: float = 0.0) -> int:
         """Wake every waiter after ``wake_latency`` seconds.
 
-        Returns the number of processes woken.
+        Returns the number of processes woken.  The whole gang is
+        triggered through ``succeed_many`` — same wake order as
+        sequential ``succeed`` calls, one calendar operation total.
         """
         waiters, self._waiters = self._waiters, deque()
         if wake_latency > 0.0:
             def _wake(waiters=waiters):
                 yield self.sim.timeout(wake_latency)
-                for event in waiters:
-                    event.succeed()
+                self.sim.succeed_many(waiters)
             self.sim.process(_wake(), name="cv-wake")
         else:
-            for event in waiters:
-                event.succeed()
+            self.sim.succeed_many(waiters)
         return len(waiters)
 
     def notify_one(self) -> bool:

@@ -3,8 +3,12 @@
 Excluded from directory sweeps via [tool.repro.lint] exclude; the lint
 suite stages it under a tmp ``src/repro/`` so the perf scope applies.
 
-Expected findings: PERF001 x3 (and none on the suppressed line).
+Expected findings: PERF002 x2, then PERF001 x3 (and none on the
+suppressed lines).
 """
+
+import heapq  # PERF002
+from heapq import heappush  # PERF002
 
 
 def fifo_shift(waiters):
@@ -27,3 +31,9 @@ def tail_ops_are_fine(items):
 
 def deliberate_tiny_shift(pair):
     return pair.pop(0)  # lint: disable=PERF001
+
+
+def shadow_queue(events):
+    heapq.heapify(events)
+    heappush(events, (0.0, None))
+    return events

@@ -1,4 +1,4 @@
-"""Detection and negative cases for the performance rules (PERF001)."""
+"""Detection and negative cases for the performance rules (PERF00x)."""
 
 from tests.lint.conftest import FIXTURES, rule_ids
 
@@ -50,10 +50,49 @@ class TestListHeadShift:
                      path="lib/cold/loop.py", config=config) == []
 
 
+class TestHeapqImport:
+    def test_plain_import_flagged(self, check):
+        findings = check("import heapq\n")
+        assert rule_ids(findings) == ["PERF002"]
+        assert "wheel" in findings[0].message
+
+    def test_from_import_flagged(self, check):
+        findings = check("from heapq import heappush, heappop\n")
+        assert rule_ids(findings) == ["PERF002"]
+
+    def test_aliased_import_flagged(self, check):
+        findings = check("import heapq as hq\n")
+        assert rule_ids(findings) == ["PERF002"]
+
+    def test_wheel_module_is_whitelisted(self, check):
+        source = "from heapq import heappop, heappush\n"
+        assert check(source, path="src/repro/sim/wheel.py") == []
+
+    def test_out_of_scope_path_is_fine(self, check):
+        assert check("import heapq\n", path="tests/sim/test_core.py") == []
+
+    def test_similar_names_are_fine(self, check):
+        assert check("import heapqueue\n") == []
+        assert check("from myheapq import heappush\n") == []
+
+    def test_suppression(self, check):
+        source = "import heapq  # lint: disable=PERF002\n"
+        assert check(source) == []
+
+    def test_whitelist_configurable(self, check):
+        config = LintConfig(heapq_whitelist=("src/repro/other.py",))
+        assert check("import heapq\n",
+                     path="src/repro/other.py", config=config) == []
+        assert check("import heapq\n",
+                     path="src/repro/sim/wheel.py", config=config) != []
+
+
 def test_fixture_corpus(tmp_path):
     """The committed fixture yields exactly the documented findings."""
     staged = tmp_path / "src" / "repro" / "perf_violations.py"
     staged.parent.mkdir(parents=True)
     staged.write_text((FIXTURES / "perf_violations.py").read_text())
     report = lint_files([staged], LintConfig(), resolve_rules())
-    assert [f.rule_id for f in sorted(report.findings)] == ["PERF001"] * 3
+    assert [f.rule_id for f in sorted(report.findings)] == (
+        ["PERF002"] * 2 + ["PERF001"] * 3
+    )

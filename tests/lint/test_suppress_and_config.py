@@ -167,6 +167,6 @@ class TestRuleResolution:
             "DET005", "DET006", "DET007",
             "FLOW001", "FLOW002", "FLOW003",
             "OBS001",
-            "PERF001",
+            "PERF001", "PERF002",
             "ROB001",
         ]
