@@ -1,13 +1,27 @@
-"""Run analysis: Chrome-trace export and text-mode timelines."""
+"""Run analysis: Chrome-trace export, latency blame, text timelines."""
 
+from .blame import (
+    blame_report,
+    blame_report_for_result,
+    blame_trace_events,
+    exact_percentile,
+    folded_stacks,
+    write_folded,
+)
 from .chrome_trace import build_trace_events, export_chrome_trace
 from .summary import summarize_run
 from .timeline import render_gantt, render_histogram
 
 __all__ = [
+    "blame_report",
+    "blame_report_for_result",
+    "blame_trace_events",
     "build_trace_events",
+    "exact_percentile",
     "export_chrome_trace",
+    "folded_stacks",
     "render_gantt",
     "render_histogram",
     "summarize_run",
+    "write_folded",
 ]

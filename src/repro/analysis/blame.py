@@ -1,0 +1,242 @@
+"""Blame profiles: aggregate latency attribution for a whole run.
+
+Builds on :mod:`repro.telemetry.attribution` (per-request exact
+decompositions) and aggregates them per scheduler kind into a *blame
+profile* — which component of the serving stack the end-to-end latency
+went to, who blocked whom, and where the tail lives.  Three export
+shapes:
+
+* a JSON report (``validate_blame_report`` in the telemetry schema),
+* folded stacks (``scheduler;model;component weight_us``) for standard
+  flamegraph tooling,
+* Chrome-trace annotation events (an extra ``blame`` process whose rows
+  show each request's latency partitioned into component slices).
+
+Failed, cancelled and truncated attempts are reclassified wholly into
+the ``overhead`` component — their time bought no answer — while
+successful retry/failover clones keep their decomposition (they are the
+serving work that did succeed) and are counted separately.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from ..telemetry.attribution import (
+    COMPONENTS,
+    RequestAttribution,
+    attribute_tracer,
+)
+
+__all__ = [
+    "BLAME_SCHEMA_VERSION",
+    "blame_report",
+    "blame_report_for_result",
+    "exact_percentile",
+    "folded_stacks",
+    "write_folded",
+    "blame_trace_events",
+]
+
+BLAME_SCHEMA_VERSION = 1
+
+_BLAME_PID = 4
+_TOP_BLOCKERS = 10
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile over raw values (deterministic)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _e2e_stats(values: Sequence[float]) -> Dict[str, float]:
+    total = sum(values)
+    return {
+        "total": total,
+        "mean": total / len(values) if values else 0.0,
+        "p50": exact_percentile(values, 50),
+        "p95": exact_percentile(values, 95),
+        "p99": exact_percentile(values, 99),
+    }
+
+
+def blame_report(
+    attributions: Iterable[RequestAttribution],
+    scheduler: str,
+    include_requests: bool = True,
+) -> Dict[str, Any]:
+    """Aggregate per-request attributions into the blame-profile report."""
+    attributions = list(attributions)
+    served = [a for a in attributions if a.status == "ok"]
+    wasted = [a for a in attributions if a.status != "ok"]
+
+    totals = dict.fromkeys(COMPONENTS, 0.0)
+    for a in served:
+        for name in COMPONENTS:
+            totals[name] += a.components[name]
+    for a in wasted:
+        totals["overhead"] += a.e2e
+
+    grand_total = sum(totals.values())
+    components = {
+        name: {
+            "total": totals[name],
+            "mean": totals[name] / len(served) if served else 0.0,
+            "share": totals[name] / grand_total if grand_total > 0 else 0.0,
+        }
+        for name in COMPONENTS
+    }
+
+    model_of = {a.job_id: a.model for a in attributions}
+    blocker_seconds: Dict[str, float] = {}
+    for a in served:
+        for job_id, seconds in a.blockers.items():
+            blocker_seconds[job_id] = blocker_seconds.get(job_id, 0.0) + seconds
+    blockers = [
+        {
+            "job_id": job_id,
+            "model": model_of.get(job_id),
+            "seconds": seconds,
+        }
+        for job_id, seconds in sorted(
+            blocker_seconds.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:_TOP_BLOCKERS]
+    ]
+
+    report: Dict[str, Any] = {
+        "schema": BLAME_SCHEMA_VERSION,
+        "scheduler": scheduler,
+        "num_requests": len(attributions),
+        "num_served": len(served),
+        "num_retries": sum(1 for a in attributions if a.is_retry),
+        "num_failovers": sum(1 for a in attributions if a.is_failover),
+        "e2e": _e2e_stats([a.e2e for a in served]),
+        "components": components,
+        "blockers": blockers,
+    }
+    if include_requests:
+        report["requests"] = [a.to_dict() for a in attributions]
+    return report
+
+
+def blame_report_for_result(result, include_requests: bool = True) -> Dict[str, Any]:
+    """Blame report straight from an ExperimentResult with span telemetry."""
+    telemetry = result.telemetry
+    tracer = getattr(telemetry, "tracer", None) if telemetry else None
+    if tracer is None:
+        raise ValueError(
+            "blame needs span telemetry: run with "
+            "TelemetryConfig(verbosity='spans' or 'full')"
+        )
+    return blame_report(
+        attribute_tracer(tracer),
+        scheduler=result.scheduler_kind,
+        include_requests=include_requests,
+    )
+
+
+def folded_stacks(
+    attributions: Iterable[RequestAttribution], scheduler: str
+) -> List[str]:
+    """Folded-stack lines (``frame;frame;frame weight``) in microseconds.
+
+    Frames are ``scheduler;model;component``; weights are integer
+    microseconds, aggregated over served requests, suitable for any
+    flamegraph renderer.  Wasted attempts fold under an ``overhead``
+    frame so retry storms are visible at a glance.
+    """
+    weights: Dict[str, float] = {}
+    for a in attributions:
+        if a.status != "ok":
+            key = f"{scheduler};{a.model};overhead"
+            weights[key] = weights.get(key, 0.0) + a.e2e
+            continue
+        for name in COMPONENTS:
+            value = a.components[name]
+            if value > 0.0:
+                key = f"{scheduler};{a.model};{name}"
+                weights[key] = weights.get(key, 0.0) + value
+    lines = [
+        f"{key} {int(round(value * 1e6))}"
+        for key, value in sorted(weights.items())
+        if int(round(value * 1e6)) > 0
+    ]
+    return lines
+
+
+def write_folded(
+    path: Union[str, Path],
+    attributions: Iterable[RequestAttribution],
+    scheduler: str,
+) -> int:
+    """Write folded stacks to ``path``; returns the line count."""
+    lines = folded_stacks(attributions, scheduler)
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def blame_trace_events(
+    attributions: Iterable[RequestAttribution],
+) -> List[Dict[str, Any]]:
+    """Chrome-trace annotation events: one row per request, one slice
+    per latency component, laid out sequentially across the request's
+    window so slice widths read as the blame decomposition.
+
+    Appended to :func:`repro.analysis.build_trace_events` output they
+    add a ``latency blame`` process alongside the GPU/scheduler/request
+    tracks; the result still passes ``validate_chrome_trace``.
+    """
+    attributions = list(attributions)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _BLAME_PID,
+            "args": {"name": "latency blame"},
+        }
+    ]
+    for tid, a in enumerate(
+        sorted(attributions, key=lambda a: (a.start, a.job_id)), start=1
+    ):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _BLAME_PID,
+                "tid": tid,
+                "args": {"name": f"req {a.job_id}"},
+            }
+        )
+        cursor = a.start
+        for name in COMPONENTS:
+            value = a.components[name]
+            if value <= 0.0:
+                continue
+            events.append(
+                {
+                    "name": name,
+                    "cat": "blame",
+                    "ph": "X",
+                    "pid": _BLAME_PID,
+                    "tid": tid,
+                    "ts": cursor * 1e6,
+                    "dur": value * 1e6,
+                    "args": {
+                        "job": a.job_id,
+                        "model": a.model,
+                        "seconds": value,
+                    },
+                }
+            )
+            cursor += value
+    return events

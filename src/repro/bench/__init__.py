@@ -50,6 +50,7 @@ __all__ = [
     "BASELINE_FILENAME",
     "OUTPUT_FILENAME",
     "run_benchmarks",
+    "blame_profile",
     "check_against_baseline",
     "main",
 ]
@@ -514,6 +515,90 @@ def profile_fig16(out: str, num_batches: int = 2) -> str:
     return out
 
 
+def blame_profile(num_batches: int = _DIGEST_BATCHES) -> Dict[str, Any]:
+    """The latency-blame profile of the quick Fig 16 fair run.
+
+    Deterministic (simulated seconds, not wall clock), so the committed
+    copy in ``BENCH_BASELINE.json`` stays valid across hosts; any drift
+    means scheduling behaviour changed, and the per-component diff
+    names *where*.
+    """
+    from ..analysis import blame_report
+    from ..experiments.runner import ExperimentConfig, run_workload
+    from ..telemetry import TelemetryConfig, attribute_tracer
+    from ..workloads.scenarios import complex_workload
+
+    result = run_workload(
+        complex_workload(num_batches=num_batches),
+        scheduler="fair",
+        config=ExperimentConfig(quantum=_DIGEST_QUANTUM, seed=_DIGEST_SEED),
+        telemetry=TelemetryConfig(verbosity="spans"),
+    )
+    return blame_report(
+        attribute_tracer(result.telemetry.tracer),
+        "fair",
+        include_requests=False,
+    )
+
+
+def _log_blame_context(baseline: Dict[str, Any]) -> None:
+    """Attach a latency-blame breakdown to a failed perf gate.
+
+    The regression report says *that* the run changed; the blame
+    profile says *where the simulated latency goes*, and the diff
+    against the committed baseline profile names the component that
+    moved.  Failures here must never mask the gate result.
+    """
+    try:
+        report = blame_profile()
+    except Exception as exc:
+        _log.error(f"(blame context unavailable: {exc})")
+        return
+    base_components = baseline.get("blame", {}).get("components", {})
+    _log.error(
+        "latency blame on the fig16/fair digest run (dominant first):"
+    )
+    ranked = sorted(
+        report["components"].items(), key=lambda kv: -kv[1]["total"]
+    )
+    for name, entry in ranked:
+        base = base_components.get(name)
+        drift = ""
+        if base is not None:
+            delta = entry["total"] - base["total"]
+            if abs(delta) > 1e-9:
+                drift = f"  [{delta * 1e3:+.3f} ms vs baseline]"
+        if entry["total"] <= 0 and not drift:
+            continue
+        _log.error(
+            f"  {name:<13} {entry['total'] * 1e3:10.3f} ms "
+            f"({entry['share']:6.1%}){drift}"
+        )
+    if base_components:
+        moved = [
+            (abs(entry["total"] - base_components[name]["total"]), name)
+            for name, entry in report["components"].items()
+            if name in base_components
+        ]
+        worst = max(moved)
+        if worst[0] > 1e-9:
+            _log.error(
+                f"regressing component: {worst[1]} "
+                f"(moved {worst[0] * 1e3:.3f} ms from baseline)"
+            )
+        else:
+            _log.error(
+                "blame profile matches baseline — the regression is "
+                "host wall-clock, not scheduling behaviour"
+            )
+    if report["blockers"]:
+        blocker = report["blockers"][0]
+        _log.error(
+            f"  top HOL blocker: {blocker['job_id']} "
+            f"({blocker['model']}) {blocker['seconds'] * 1e3:.3f} ms"
+        )
+
+
 def check_against_baseline(
     current: Dict[str, Any], baseline: Dict[str, Any]
 ) -> List[str]:
@@ -592,13 +677,13 @@ def main(
         if not baseline_path.is_file():
             _log.error(f"no baseline at {baseline_path}")
             return 2
-        failures = check_against_baseline(
-            report, json.loads(baseline_path.read_text())
-        )
+        baseline_doc = json.loads(baseline_path.read_text())
+        failures = check_against_baseline(report, baseline_doc)
         if failures:
             _log.error(f"PERF REGRESSION vs {baseline_path}:")
             for failure in failures:
                 _log.error(f"  - {failure}")
+            _log_blame_context(baseline_doc)
             return 1
         _log.info(f"within baseline thresholds ({baseline_path})")
         return 0

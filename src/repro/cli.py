@@ -29,6 +29,17 @@ Four commands cover the operator workflow of Figure 7:
 * ``repro top`` — a terminal dashboard of a serving run: per-model
   tenure share, queue depths, GPU utilization, one frame per telemetry
   snapshot (``--follow`` replays them paced like a live ``top``).
+* ``repro blame`` — per-request critical-path latency attribution: run
+  a workload with span tracing and decompose every request's e2e
+  latency into exactly-summing components (queue wait, HOL blocking
+  with the blocking tenant named, arbitration, interference, kernel
+  execution, ...), with JSON / folded-stack / Chrome-annotation
+  exports (see :mod:`repro.analysis.blame`).
+* ``repro whatif`` — deterministic causal profiling: replay the same
+  workload with a perturbed cost model (scale one model's kernels,
+  add streams, scale the quantum) and report the measured mean/p99
+  movement per component next to the blame profile's prediction
+  (see :mod:`repro.experiments.whatif`).
 
 Invoke as ``python -m repro <command> ...``.
 """
@@ -227,6 +238,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"overflow kernels = {rollup['overflow_kernels']:.0f}   "
             f"retries = {rollup['retries']:.0f}"
         )
+        for model, stats in sorted(rollup.get("latency", {}).items()):
+            exemplar = stats.get("exemplar")
+            jump = f"   slowest trace = {exemplar}" if exemplar else ""
+            print(
+                f"latency {model}: "
+                f"p50 = {stats['p50'] * 1e3:.3f} ms   "
+                f"p95 = {stats['p95'] * 1e3:.3f} ms   "
+                f"p99 = {stats['p99'] * 1e3:.3f} ms{jump}"
+            )
         if args.metrics_out:
             from .telemetry import render_prometheus
 
@@ -617,6 +637,211 @@ def _cmd_top(args: argparse.Namespace) -> int:
         f"{rollup['kernels_finished']:.0f} kernels, "
         f"{len(view.frames)} frames rendered"
     )
+    for model, stats in sorted(rollup.get("latency", {}).items()):
+        exemplar = stats.get("exemplar")
+        jump = f"   slowest trace = {exemplar}" if exemplar else ""
+        print(
+            f"latency {model}: "
+            f"p50 = {stats['p50'] * 1e3:.3f} ms   "
+            f"p95 = {stats['p95'] * 1e3:.3f} ms   "
+            f"p99 = {stats['p99'] * 1e3:.3f} ms{jump}"
+        )
+    return 0
+
+
+def _cmd_blame(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import (
+        blame_report,
+        blame_trace_events,
+        build_trace_events,
+        write_folded,
+    )
+    from .experiments import ExperimentConfig, run_workload
+    from .metrics.report import render_table
+    from .telemetry import (
+        TelemetryConfig,
+        attribute_tracer,
+        validate_blame_report,
+        validate_chrome_trace,
+    )
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    result = run_workload(
+        _trace_workload(args),
+        scheduler=args.scheduler,
+        config=config,
+        telemetry=TelemetryConfig(verbosity="spans"),
+    )
+    attributions = attribute_tracer(result.telemetry.tracer)
+    report = blame_report(
+        attributions, args.scheduler, include_requests=args.requests
+    )
+    rows = [
+        [
+            name,
+            f"{entry['total'] * 1e3:.3f} ms",
+            f"{entry['mean'] * 1e3:.3f} ms",
+            f"{entry['share']:.1%}",
+        ]
+        for name, entry in report["components"].items()
+    ]
+    print(
+        render_table(
+            ["component", "total", "mean/req", "share"],
+            rows,
+            title=(
+                f"latency blame under {args.scheduler} "
+                f"({report['num_served']}/{report['num_requests']} served)"
+            ),
+        )
+    )
+    e2e = report["e2e"]
+    print(
+        f"e2e   mean = {e2e['mean'] * 1e3:.3f} ms   "
+        f"p50 = {e2e['p50'] * 1e3:.3f} ms   "
+        f"p95 = {e2e['p95'] * 1e3:.3f} ms   "
+        f"p99 = {e2e['p99'] * 1e3:.3f} ms"
+    )
+    if report["blockers"]:
+        print("top head-of-line blockers:")
+        for blocker in report["blockers"]:
+            print(
+                f"  {blocker['job_id']} ({blocker['model']}): "
+                f"{blocker['seconds'] * 1e3:.3f} ms of induced wait"
+            )
+    for model, stats in sorted(
+        (result.telemetry_rollup or {}).get("latency", {}).items()
+    ):
+        if stats.get("exemplar"):
+            print(
+                f"slowest {model} bucket exemplar: {stats['exemplar']} "
+                f"(find it in --trace-out / --out requests)"
+            )
+    errors = validate_blame_report(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print(f"wrote blame report to {args.out}")
+    if args.folded:
+        count = write_folded(args.folded, attributions, args.scheduler)
+        print(f"wrote {count} folded stack(s) to {args.folded}")
+    if args.trace_out:
+        events = build_trace_events(
+            result.server, scheduler=result.scheduler, flows=True
+        )
+        events += blame_trace_events(attributions)
+        doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+        with open(args.trace_out, "w") as handle:
+            json.dump(doc, handle)
+        errors += validate_chrome_trace(doc)
+        print(
+            f"wrote {len(events)} trace events (with blame annotations) "
+            f"to {args.trace_out}"
+        )
+    if errors:
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.whatif import Perturbation, run_whatif
+    from .metrics.report import render_table
+    from .telemetry import validate_whatif_report
+
+    from .experiments import ExperimentConfig
+
+    quantum = args.quantum
+    batches = args.batches
+    if args.quick:
+        # CI smoke shape: fixed quantum (skips Overhead-Q curve
+        # measurement) and a short workload.
+        if quantum is None:
+            quantum = 1.2e-3
+        batches = min(batches, 2)
+    args.batches = batches
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, quantum=quantum
+    )
+    perturbations = [
+        Perturbation(
+            f"kernels x{args.factor:g}",
+            kernel_scale=(args.scale_model, args.factor),
+        )
+    ]
+    if args.streams is not None:
+        perturbations.append(
+            Perturbation(f"streams={args.streams}", streams=args.streams)
+        )
+    if args.quantum_scale is not None:
+        perturbations.append(
+            Perturbation(
+                f"quantum x{args.quantum_scale:g}",
+                quantum_scale=args.quantum_scale,
+            )
+        )
+    try:
+        report = run_whatif(
+            _trace_workload(args),
+            scheduler=args.scheduler,
+            config=config,
+            perturbations=perturbations,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    base = report["baseline"]["e2e"]
+    print(
+        f"baseline under {args.scheduler}: "
+        f"mean = {base['mean'] * 1e3:.3f} ms   "
+        f"p99 = {base['p99'] * 1e3:.3f} ms   "
+        f"({report['num_requests']} requests)"
+    )
+    rows = []
+    for scenario in report["scenarios"]:
+        predicted = scenario.get("predicted")
+        rows.append(
+            [
+                scenario["perturbation"]["name"],
+                f"{scenario['e2e']['mean'] * 1e3:.3f} ms",
+                f"{scenario['delta']['mean'] * 1e3:+.3f} ms",
+                f"{scenario['e2e']['p99'] * 1e3:.3f} ms",
+                f"{scenario['delta']['p99'] * 1e3:+.3f} ms",
+                f"{predicted['p99'] * 1e3:.3f} ms" if predicted else "-",
+                f"{scenario['prediction_error_p99']:.1%}"
+                if predicted
+                else "-",
+            ]
+        )
+    print(
+        render_table(
+            ["scenario", "mean", "d mean", "p99", "d p99",
+             "predicted p99", "error"],
+            rows,
+            title="what-if: measured causal deltas vs blame prediction",
+        )
+    )
+    for scenario in report["scenarios"]:
+        kernel_scale = scenario["perturbation"].get("kernel_scale")
+        if kernel_scale is not None:
+            print(
+                f"scaled model: {kernel_scale['model']} "
+                f"(factor {kernel_scale['factor']:g})"
+            )
+    errors = validate_whatif_report(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print(f"wrote what-if report to {args.out}")
+    if errors:
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -905,6 +1130,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry snapshot cadence in simulated seconds",
     )
 
+    blame = sub.add_parser(
+        "blame",
+        help="per-request critical-path latency attribution",
+    )
+    add_workload_args(blame)
+    blame.add_argument(
+        "--out", default=None, help="write the blame report as JSON"
+    )
+    blame.add_argument(
+        "--folded", default=None,
+        help="write folded stacks (flamegraph.pl / speedscope input)",
+    )
+    blame.add_argument(
+        "--trace-out", default=None,
+        help="write a Chrome trace with per-request blame annotations",
+    )
+    blame.add_argument(
+        "--requests", action="store_true",
+        help="include the per-request decomposition in --out JSON",
+    )
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="deterministic causal profiling (counterfactual replay)",
+    )
+    add_workload_args(whatif)
+    whatif.add_argument(
+        "--scale-model", default=None,
+        help="model whose kernels to scale (default: heaviest by "
+             "attributed execution time)",
+    )
+    whatif.add_argument(
+        "--factor", type=float, default=0.5,
+        help="kernel duration scale factor (default 0.5 = 2x faster)",
+    )
+    whatif.add_argument(
+        "--streams", type=int, default=None,
+        help="also try this many GPU compute streams",
+    )
+    whatif.add_argument(
+        "--quantum-scale", type=float, default=None,
+        help="also try scaling the scheduling quantum by this factor",
+    )
+    whatif.add_argument(
+        "--quantum", type=float, default=None,
+        help="fixed baseline quantum in seconds (skips Overhead-Q "
+             "curve measurement)",
+    )
+    whatif.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: fixed quantum, at most 2 batches",
+    )
+    whatif.add_argument(
+        "--out", default=None, help="write the what-if report as JSON"
+    )
+
     top = sub.add_parser(
         "top", help="terminal dashboard of a serving run (repro top)"
     )
@@ -946,6 +1227,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "top": _cmd_top,
+        "blame": _cmd_blame,
+        "whatif": _cmd_whatif,
     }
     if args.command is None:
         parser.print_help()

@@ -387,11 +387,14 @@ class GangScheduler(SchedulerHook):
         )
         if telemetry is not None:
             guard = sim_sanitizer.checkpoint(self)
+            # prev_job_id names the tenant this grant displaced — the
+            # head-of-line blocker the blame engine charges the wait to.
             telemetry.emit(
                 "sched.tenure_begin",
                 "scheduler",
                 job_id=job.job_id,
                 model=job.model_name,
+                prev_job_id=decision.prev_job_id,
             )
             sim_sanitizer.verify(self, guard, "sched.tenure_begin")
         if job is not prev:
@@ -806,6 +809,7 @@ class SpatioTemporalScheduler(OlympianScheduler):
                 job_id=job.job_id,
                 model=job.model_name,
                 streams=self._alloc[job.job_id],
+                prev_job_id=decision.prev_job_id,
             )
             sim_sanitizer.verify(self, guard, "sched.admission")
         if self.invariants is not None:

@@ -21,7 +21,7 @@ quantum stay realistic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.policies import FairSharing, PriorityScheduling, WeightedFairSharing
 from ..core.policies_ext import (
@@ -425,6 +425,7 @@ def run_workload(
     monitor: bool = False,
     on_snapshot: Optional[Callable] = None,
     recovery: Optional[RecoveryConfig] = None,
+    graph_overrides: Optional[Mapping[str, Graph]] = None,
 ) -> ExperimentResult:
     """Run a workload under a scheduler kind and collect everything.
 
@@ -442,6 +443,13 @@ def run_workload(
     :class:`~repro.recovery.RecoveryManager` (failover, circuit
     breakers, brownout) so device crashes become recoverable instead of
     lost batches.
+
+    ``graph_overrides`` substitutes specific models' graphs without
+    touching the shared graph cache — the counterfactual-replay seam
+    used by :mod:`repro.experiments.whatif` (perturbed cost models).
+    Callers supplying overrides normally also pass a matching
+    ``profiler_output`` so the scheduler's cost model agrees with the
+    perturbed graphs.
     """
     config = config or ExperimentConfig()
     if scheduler not in ALL_SCHEDULER_KINDS:
@@ -498,7 +506,10 @@ def run_workload(
         if pipeline is not None:
             pipeline.attach_monitor(monitor_obj)
     for model in sorted({spec.model for spec in specs}):
-        graph = get_graph(model, config.scale, config.graph_seed)
+        if graph_overrides is not None and model in graph_overrides:
+            graph = graph_overrides[model]
+        else:
+            graph = get_graph(model, config.scale, config.graph_seed)
         server.load_model(graph, memory_mb=MODEL_REGISTRY[model].memory_mb)
 
     clients = [

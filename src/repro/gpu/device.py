@@ -237,6 +237,10 @@ class GpuDevice:
         kernel_overhead = self.spec.kernel_overhead
 
         residents: Dict[Kernel, float] = {}
+        # Initial (solo) device time of each resident, reported on the
+        # finish event so attribution can split execution into solo
+        # time vs. spatial-interference slowdown.
+        solo_times: Dict[Kernel, float] = {}
         job_residency: Dict[Any, int] = {}
         free_streams: List[int] = list(range(streams - 1, -1, -1))
         pending: Optional[Event] = None
@@ -277,10 +281,12 @@ class GpuDevice:
         def start(kernel: Kernel) -> None:
             kernel.stream = free_streams.pop()
             kernel.started_at = sim.now
-            residents[kernel] = (
+            balance = (
                 kernel.duration * compute_scale * self.clock_factor
                 + kernel_overhead
             )
+            residents[kernel] = balance
+            solo_times[kernel] = balance
             job_residency[kernel.job_id] = job_residency.get(kernel.job_id, 0) + 1
             self.current_kernel = kernel
             self.occupancy = len(residents)
@@ -315,6 +321,7 @@ class GpuDevice:
             # ``done`` succeed happens batched in the engine loop so a
             # same-tick gang retires with one calendar operation.
             del residents[kernel]
+            solo_time = solo_times.pop(kernel)
             job_residency[kernel.job_id] -= 1
             if not job_residency[kernel.job_id]:
                 del job_residency[kernel.job_id]
@@ -343,6 +350,7 @@ class GpuDevice:
                     seq=kernel.seq,
                     stream=kernel.stream,
                     exec_time=end - start_at,
+                    solo_time=solo_time,
                 )
                 emit_occupancy(telemetry)
                 sim_sanitizer.verify(self, guard, "kernel.finished")

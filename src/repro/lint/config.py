@@ -67,6 +67,39 @@ class LintConfig:
     heapq_whitelist: Tuple[str, ...] = ("src/repro/sim/wheel.py",)
     # Where OBS001 bans ad-hoc print() in favour of structured logging.
     print_ban_paths: Tuple[str, ...] = ("src/repro",)
+    # Where OBS002 checks bus emissions: every string-literal event
+    # kind passed to ``*.emit(...)`` must appear in the catalogue.
+    event_kind_paths: Tuple[str, ...] = ("src/repro",)
+    # The telemetry event catalogue.  This is a copy of
+    # ``repro.telemetry.events.EVENT_KINDS`` — the lint layer may not
+    # import telemetry (ARCH003: ``lint -> *``), so the catalogue is
+    # configuration here and a cross-check test keeps the two in sync.
+    event_catalogue: Tuple[str, ...] = (
+        "request.created",
+        "request.submitted",
+        "request.finished",
+        "request.retry",
+        "batch.enqueued",
+        "batch.dispatched",
+        "session.started",
+        "session.finished",
+        "sched.decision",
+        "sched.tenure_begin",
+        "sched.tenure_end",
+        "sched.eviction",
+        "kernel.submitted",
+        "kernel.rejected",
+        "kernel.started",
+        "kernel.finished",
+        "monitor.drift",
+        "device.crashed",
+        "device.reset",
+        "job.failed_over",
+        "job.shed",
+        "breaker.state",
+        "health.state",
+        "stream.occupancy",
+    )
     # Where ROB001 flags broad/bare except handlers that neither
     # re-raise nor log (silent error swallowing).
     robust_paths: Tuple[str, ...] = ("src/repro",)
@@ -122,6 +155,14 @@ class LintConfig:
         "device",
         "driver",
         "sim",
+    )
+    # Offline replay harnesses: code here consumes telemetry from a
+    # *completed* run to parameterise a *fresh* simulation (what-if
+    # analysis).  The observer-effect property protects a run from its
+    # own observer; it cannot be violated by a run that is already
+    # over, so FLOW001 taint does not propagate out of these modules.
+    flow_offline_paths: Tuple[str, ...] = (
+        "src/repro/experiments/whatif.py",
     )
     # ------------------------------------------------------------------
     # ARCH family (layer contracts over the module dependency graph).

@@ -9,7 +9,11 @@ Three whole-program rules over the call graph:
   telemetry *reference* itself is harmless (``if telemetry is not
   None:`` and bare ``telemetry.emit(...)`` statements are the sanctioned
   seam idiom); taint begins at a *read through* the reference whose
-  value is actually used.
+  value is actually used.  Modules under ``flow-offline-paths`` are a
+  sanctioned boundary: they replay observations of a *completed* run to
+  parameterise a fresh simulation (the what-if harness), which cannot
+  feed back into the run that produced them, so taint does not
+  propagate out of them.
 
 * **FLOW002 — RNG seed provenance.**  Every ``random.Random(seed)``
   in determinism scope must trace ``seed`` back to a ``derive_seed``
@@ -292,6 +296,10 @@ class _TaintAnalysis:
     def _summarise(self, qname: str) -> bool:
         """Recompute one function's summary + outflows; True if changed."""
         info = self.graph.functions[qname]
+        if path_matches(info.path, self.config.flow_offline_paths):
+            # Offline replay harness: observations of a finished run may
+            # parameterise a fresh one — taint stops at this boundary.
+            return False
         self._facts(qname)
         is_ref, is_tainted = self._is_ref, self._is_tainted
         changed = False
@@ -691,6 +699,12 @@ class ObserverMutationRule(ProjectRule):
         Accumulator idiom: ``errors = []`` in a validator, handed to a
         ``_require(errors, ...)`` helper.  Mutating it is observation's
         own bookkeeping, not foreign state.
+
+        ``visited`` guards against recursion while a query is *in
+        progress*; a successfully proven key is removed again on the way
+        out so that a helper invoked from several call sites of the same
+        caller re-proves (cheaply) instead of reading its own stack
+        entry as a cycle.
         """
         key = (qname, param)
         if key in visited:
@@ -714,6 +728,7 @@ class ObserverMutationRule(ProjectRule):
                 return False
             if not self._locally_created(project, caller, arg, visited):
                 return False
+        visited.discard(key)
         return True
 
     def _locally_created(

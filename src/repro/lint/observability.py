@@ -1,4 +1,4 @@
-"""Observability rules (OBS001).
+"""Observability rules (OBS001, OBS002).
 
 The runtime telemetry subsystem (:mod:`repro.telemetry`) gives every
 component a structured, sim-timestamped logging path; an ad-hoc
@@ -12,6 +12,14 @@ The CLI presentation layer is exempt (``print-allow``): its job *is*
 writing to stdout for a human.  A deliberate print elsewhere — e.g. a
 debugging session you intend to delete — is silenced with
 ``# lint: disable=OBS001``, never by widening the allow list.
+
+OBS002 keeps the event catalogue exhaustive: every string-literal
+event kind passed to a telemetry ``emit(...)`` seam must be declared in
+``repro.telemetry.events.EVENT_KINDS`` (mirrored into
+``LintConfig.event_catalogue`` — the lint layer cannot import
+telemetry).  Subscribers are promised the catalogue covers everything
+on the bus; an uncatalogued kind silently falls through every handler
+table, metrics fold, and span builder.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 from .config import LintConfig, path_matches
 from .rules import Rule, register
 
-__all__ = ["PrintCallRule"]
+__all__ = ["PrintCallRule", "UnknownEventKindRule"]
 
 
 @register
@@ -45,4 +53,39 @@ class PrintCallRule(Rule):
             "`print()` bypasses structured logging (no timestamp, "
             "component, or level, and no sink can capture it); use "
             "`repro.telemetry.logs.get_logger(component)` instead"
+        )
+
+
+@register
+class UnknownEventKindRule(Rule):
+    rule_id = "OBS002"
+    name = "unknown-event-kind"
+    summary = "emit() event kind missing from the telemetry catalogue"
+    node_types = (ast.Call,)
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.event_kind_paths
+
+    def check(self, node: ast.Call, ctx) -> Iterator[Tuple[ast.AST, str]]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        # Only string-literal kinds are checkable statically; a computed
+        # kind is the log-sink path (LogRecord), not a bus emission.
+        if not (
+            isinstance(first, ast.Constant) and isinstance(first.value, str)
+        ):
+            return
+        kind = first.value
+        if kind in ctx.config.event_catalogue:
+            return
+        yield node, (
+            f"event kind {kind!r} is not declared in the telemetry "
+            f"event catalogue (repro.telemetry.events.EVENT_KINDS); "
+            f"uncatalogued kinds silently miss every subscriber's "
+            f"handler table — declare it there and in "
+            f"LintConfig.event_catalogue"
         )

@@ -34,6 +34,12 @@ pairs.
 
 from __future__ import annotations
 
+from .attribution import (
+    COMPONENTS,
+    RequestAttribution,
+    attribute_requests,
+    attribute_tracer,
+)
 from .events import EventBus, TelemetryEvent
 from .exposition import (
     MetricsSnapshot,
@@ -54,15 +60,21 @@ from .logs import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .pipeline import Telemetry, TelemetryConfig, VERBOSITY_LEVELS
 from .schema import (
+    validate_blame_report,
     validate_chrome_trace,
     validate_metrics_document,
     validate_recovery_report,
     validate_spans_document,
+    validate_whatif_report,
 )
 from .spans import Span, SpanTracer
 from .top import TopView, render_frame
 
 __all__ = [
+    "COMPONENTS",
+    "RequestAttribution",
+    "attribute_requests",
+    "attribute_tracer",
     "EventBus",
     "TelemetryEvent",
     "Span",
@@ -88,8 +100,10 @@ __all__ = [
     "VERBOSITY_LEVELS",
     "TopView",
     "render_frame",
+    "validate_blame_report",
     "validate_chrome_trace",
     "validate_metrics_document",
     "validate_recovery_report",
     "validate_spans_document",
+    "validate_whatif_report",
 ]

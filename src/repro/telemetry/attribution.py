@@ -1,0 +1,365 @@
+"""Per-request critical-path latency attribution.
+
+Consumes the span trees built by :class:`~repro.telemetry.spans.SpanTracer`
+and decomposes every request's end-to-end latency into canonical,
+**exactly-summing** components.  The decomposition is a partition of the
+request's wall-clock window — each instant is assigned to exactly one
+component by a sweep over span boundaries — so the components sum to the
+measured latency by construction (within float accumulation, well under
+the 1e-9 tolerance the property suite enforces).
+
+Components (:data:`COMPONENTS`):
+
+``queue_wait``
+    Batch-formation wait: the request arrived at the batcher before the
+    batch dispatched (batch spans are backdated to the oldest arrival).
+    Zero for unbatched submissions, where e2e is measured from submit.
+``admission``
+    Server admission: submit → session start, plus the (normally zero)
+    tail between session teardown and the request finishing.
+``tenure_wait``
+    Parked waiting for the scheduler token while another tenant held it
+    — head-of-line blocking.  The sweep records *which* tenant held the
+    token over each blocked interval (``blockers``).
+``arbitration``
+    Kernel submitted to the driver but not yet executing on a device
+    stream (launch queueing + stream arbitration).
+``exec_solo``
+    Kernel execution at the solo (uncontended) rate.
+``interference``
+    Extra execution time versus the solo profile caused by spatial
+    sharing (multi-stream processor sharing).  Zero on a serial device.
+``host_compute``
+    CPU-node execution and launch gaps while the gang was runnable
+    (inside its own tenure, or any non-kernel time under tf-serving,
+    which has no scheduler and therefore no tenure waits).
+``overhead``
+    Failover/retry/shed attempts: per-request this stays zero; the
+    aggregation in :mod:`repro.analysis.blame` reclassifies the full
+    latency of non-``ok`` attempts (and flags retry/failover clones)
+    under this bucket.
+
+The module is pure post-processing: it reads finished spans and never
+touches the simulator, so attribution can never perturb a run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .spans import Span
+
+__all__ = [
+    "COMPONENTS",
+    "SUM_TOLERANCE",
+    "RequestAttribution",
+    "attribute_requests",
+    "attribute_tracer",
+    "is_retry_attempt",
+    "is_failover_attempt",
+]
+
+COMPONENTS: Tuple[str, ...] = (
+    "queue_wait",
+    "admission",
+    "tenure_wait",
+    "arbitration",
+    "exec_solo",
+    "interference",
+    "host_compute",
+    "overhead",
+)
+
+# Per-request |sum(components) - e2e| bound enforced by the test suite.
+SUM_TOLERANCE = 1e-9
+
+
+def is_retry_attempt(job_id: str) -> bool:
+    """True for retry clones (``c0/b2r1``): attempt > 1 of a batch."""
+    head, sep, tail = job_id.rpartition("r")
+    return bool(sep) and tail.isdigit() and head.rpartition("b")[2].isdigit()
+
+
+def is_failover_attempt(job_id: str) -> bool:
+    """True for failover clones (``c0/b2~f1``) replayed on a reset device."""
+    return "~f" in job_id
+
+
+@dataclass
+class RequestAttribution:
+    """One request's exact latency decomposition."""
+
+    job_id: str
+    client_id: Optional[str]
+    model: Optional[str]
+    status: str
+    start: float
+    end: float
+    e2e: float
+    components: Dict[str, float] = field(default_factory=dict)
+    # Blocking tenant -> seconds of this request's tenure_wait spent
+    # while that tenant held the token.
+    blockers: Dict[str, float] = field(default_factory=dict)
+    is_retry: bool = False
+    is_failover: bool = False
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def residual(self) -> float:
+        """Decomposition error: ``sum(components) - e2e`` (≈ 0)."""
+        return self.total - self.e2e
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "client_id": self.client_id,
+            "model": self.model,
+            "status": self.status,
+            "start": self.start,
+            "end": self.end,
+            "e2e": self.e2e,
+            "is_retry": self.is_retry,
+            "is_failover": self.is_failover,
+            "components": {k: self.components[k] for k in COMPONENTS},
+            "blockers": dict(sorted(self.blockers.items())),
+        }
+
+
+def attribute_tracer(tracer) -> List["RequestAttribution"]:
+    """Attribute every finished request span of a :class:`SpanTracer`."""
+    return attribute_requests(tracer.finished)
+
+
+def attribute_requests(spans: Iterable[Span]) -> List["RequestAttribution"]:
+    """Decompose every closed request span in ``spans``.
+
+    Results are ordered by (start, job_id) so the output is a
+    deterministic function of the span table.
+    """
+    requests: List[Span] = []
+    sessions: Dict[str, Span] = {}
+    batches: Dict[str, Span] = {}
+    kernels: Dict[str, List[Span]] = {}
+    tenures: Dict[str, List[Span]] = {}
+    all_tenures: List[Span] = []
+    for span in spans:
+        if span.end is None:
+            continue
+        if span.kind == "request":
+            requests.append(span)
+        elif span.kind == "session":
+            sessions[str(span.attrs.get("job_id"))] = span
+        elif span.kind == "batch":
+            batches[span.span_id] = span
+        elif span.kind == "kernel":
+            kernels.setdefault(str(span.attrs.get("job_id")), []).append(span)
+        elif span.kind == "tenure":
+            tenures.setdefault(str(span.attrs.get("job_id")), []).append(span)
+            all_tenures.append(span)
+    # Tenure spans sorted by start for the overlap queries below.
+    all_tenures.sort(key=lambda s: (s.start, s.span_id))
+    tenure_starts = [s.start for s in all_tenures]
+    has_scheduler = bool(all_tenures)
+
+    out: List[RequestAttribution] = []
+    for req in sorted(requests, key=lambda s: (s.start, s.span_id)):
+        job_id = str(req.attrs.get("job_id"))
+        attribution = _attribute_one(
+            req,
+            job_id,
+            sessions.get(job_id),
+            batches.get(req.parent_id) if req.parent_id else None,
+            kernels.get(job_id, ()),
+            tenures.get(job_id, ()),
+            all_tenures,
+            tenure_starts,
+            has_scheduler,
+        )
+        out.append(attribution)
+    return out
+
+
+def _attribute_one(
+    req: Span,
+    job_id: str,
+    sess: Optional[Span],
+    batch: Optional[Span],
+    job_kernels: Iterable[Span],
+    job_tenures: Iterable[Span],
+    all_tenures: List[Span],
+    tenure_starts: List[float],
+    has_scheduler: bool,
+) -> RequestAttribution:
+    components = dict.fromkeys(COMPONENTS, 0.0)
+    blockers: Dict[str, float] = {}
+
+    # Batch-formation wait extends the window backwards: batch spans are
+    # backdated to the oldest arrival, so e2e for batched requests is
+    # measured from arrival, not submit.
+    queue_wait = 0.0
+    window_start = req.start
+    if batch is not None and batch.start < req.start:
+        queue_wait = req.start - batch.start
+        window_start = batch.start
+    components["queue_wait"] = queue_wait
+    e2e = req.end - window_start
+
+    if sess is None or sess.end is None or sess.end <= sess.start:
+        # Never reached a session (shed, or truncated at run end).
+        components["admission"] = req.end - req.start
+    else:
+        s0 = max(req.start, sess.start)
+        s1 = min(req.end, sess.end)
+        if s1 < s0:
+            s0 = s1 = req.start
+        components["admission"] = (s0 - req.start) + (req.end - s1)
+        _sweep_session(
+            components,
+            blockers,
+            job_id,
+            s0,
+            s1,
+            job_kernels,
+            job_tenures,
+            all_tenures,
+            tenure_starts,
+            has_scheduler,
+        )
+
+    return RequestAttribution(
+        job_id=job_id,
+        client_id=req.attrs.get("client_id"),
+        model=req.attrs.get("model"),
+        status=req.status,
+        start=window_start,
+        end=req.end,
+        e2e=e2e,
+        components=components,
+        blockers=blockers,
+        is_retry=is_retry_attempt(job_id),
+        is_failover=is_failover_attempt(job_id),
+    )
+
+
+def _sweep_session(
+    components: Dict[str, float],
+    blockers: Dict[str, float],
+    job_id: str,
+    s0: float,
+    s1: float,
+    job_kernels: Iterable[Span],
+    job_tenures: Iterable[Span],
+    all_tenures: List[Span],
+    tenure_starts: List[float],
+    has_scheduler: bool,
+) -> None:
+    """Partition ``[s0, s1]`` by a boundary sweep and fill components.
+
+    Priority at each instant: kernel execution > arbitration > own
+    tenure (host compute) > scheduler wait (HOL) > host compute.  Gang
+    threads overlap, so the exec/arbitration layers are coverage counts
+    — concurrent kernels contribute wall-clock once, as they should for
+    a latency decomposition.
+    """
+    # Sweep events: (time, layer, delta, holder).  Layers: 0 exec,
+    # 1 arbitration, 2 own tenure, 3 other tenant's tenure.
+    events: List[Tuple[float, int, int, Optional[str]]] = []
+
+    def add(layer: int, a: float, b: float, holder: Optional[str] = None):
+        a = max(a, s0)
+        b = min(b, s1)
+        if b > a:
+            events.append((a, layer, 1, holder))
+            events.append((b, layer, -1, holder))
+
+    exec_total = 0.0
+    solo_total = 0.0
+    for kern in job_kernels:
+        if kern.end is None:
+            continue
+        exec_start = kern.attrs.get("exec_start")
+        if exec_start is None:
+            # Rejected/truncated before reaching a stream: all queueing.
+            add(1, kern.start, kern.end)
+            continue
+        add(1, kern.start, exec_start)
+        add(0, exec_start, kern.end)
+        duration = kern.end - exec_start
+        solo = kern.attrs.get("solo_time")
+        if solo is None:
+            solo = duration
+        exec_total += duration
+        solo_total += min(max(solo, 0.0), duration)
+    for tenure in job_tenures:
+        if tenure.end is not None:
+            add(2, tenure.start, tenure.end)
+    # Other tenants' tenures overlapping the session window, for HOL
+    # blame.  ``all_tenures`` is start-sorted; entries starting after s1
+    # cannot overlap.
+    hi = bisect_left(tenure_starts, s1)
+    for tenure in all_tenures[:hi]:
+        if tenure.end is None or tenure.end <= s0:
+            continue
+        holder = str(tenure.attrs.get("job_id"))
+        if holder != job_id:
+            add(3, tenure.start, tenure.end, holder)
+
+    events.sort(key=lambda e: (e[0], e[1], -e[2], e[3] or ""))
+    exec_cover = 0
+    arb_cover = 0
+    own_cover = 0
+    active_holders: Dict[str, int] = {}
+    cursor = s0
+    exec_wall = 0.0
+    index = 0
+    n = len(events)
+    while cursor < s1:
+        # Apply every event at the cursor, then account the segment up
+        # to the next boundary (or the session end).
+        while index < n and events[index][0] <= cursor:
+            _, layer, delta, holder = events[index]
+            if layer == 0:
+                exec_cover += delta
+            elif layer == 1:
+                arb_cover += delta
+            elif layer == 2:
+                own_cover += delta
+            else:
+                count = active_holders.get(holder, 0) + delta
+                if count > 0:
+                    active_holders[holder] = count
+                else:
+                    active_holders.pop(holder, None)
+            index += 1
+        nxt = min(events[index][0], s1) if index < n else s1
+        length = nxt - cursor
+        if exec_cover > 0:
+            exec_wall += length
+        elif arb_cover > 0:
+            components["arbitration"] += length
+        elif own_cover > 0:
+            components["host_compute"] += length
+        elif has_scheduler:
+            components["tenure_wait"] += length
+            if active_holders:
+                share = length / len(active_holders)
+                for holder in active_holders:
+                    blockers[holder] = blockers.get(holder, 0.0) + share
+        else:
+            components["host_compute"] += length
+        cursor = nxt
+
+    # Split wall-clock execution into solo-rate time and spatial
+    # interference, prorated by the per-kernel slowdown so the two parts
+    # still sum exactly to the wall-clock coverage.
+    if exec_total > 0.0 and exec_wall > 0.0:
+        interference = exec_wall * (exec_total - solo_total) / exec_total
+        components["interference"] = interference
+        components["exec_solo"] = exec_wall - interference
+    else:
+        components["exec_solo"] = exec_wall

@@ -85,22 +85,29 @@ class _GaugeChild(_Child):
 
 
 class _HistogramChild(_Child):
-    __slots__ = ("buckets", "counts", "total", "count")
+    __slots__ = ("buckets", "counts", "total", "count", "exemplars")
 
     def __init__(self, buckets: Tuple[float, ...]) -> None:
         self.buckets = buckets
         self.counts = [0] * (len(buckets) + 1)  # +1 = +Inf bucket
         self.total = 0.0
         self.count = 0
+        # One representative trace reference (span id) per bucket,
+        # first observation wins — deterministic, and enough for the
+        # metric -> trace jump in `repro top` / `repro blame`.
+        self.exemplars: List[Optional[str]] = [None] * (len(buckets) + 1)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         self.total += value
         self.count += 1
+        index = len(self.buckets)
         for i, bound in enumerate(self.buckets):
             if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+                index = i
+                break
+        self.counts[index] += 1
+        if exemplar is not None and self.exemplars[index] is None:
+            self.exemplars[index] = exemplar
 
     def cumulative(self) -> List[int]:
         """Prometheus-style cumulative ``le`` counts (ends with +Inf)."""
@@ -114,6 +121,43 @@ class _HistogramChild(_Child):
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile (``histogram_quantile`` style).
+
+        Linear interpolation inside the bucket holding the target rank;
+        the +Inf bucket clamps to the largest finite boundary, exactly
+        like Prometheus.  Returns 0.0 on an empty histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        running = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if running + bucket_count >= target:
+                if i >= len(self.buckets):  # +Inf bucket
+                    return self.buckets[-1]
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                fraction = (target - running) / bucket_count
+                return lower + (upper - lower) * fraction
+            running += bucket_count
+        return self.buckets[-1]
+
+    def summary(self) -> Dict[str, float]:
+        """The end-of-run rollup shape: count, sum, mean, p50/p95/p99."""
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
 
 
 class _Family:
@@ -218,9 +262,12 @@ class Histogram(_Family):
         return _HistogramChild(self.buckets)
 
     def observe(
-        self, value: float, labels: Optional[Mapping[str, Any]] = None
+        self,
+        value: float,
+        labels: Optional[Mapping[str, Any]] = None,
+        exemplar: Optional[str] = None,
     ) -> None:
-        self.child(labels).observe(value)
+        self.child(labels).observe(value, exemplar=exemplar)
 
     def count(self, labels: Optional[Mapping[str, Any]] = None) -> int:
         key = _label_key(labels)
@@ -231,6 +278,32 @@ class Histogram(_Family):
         key = _label_key(labels)
         node = self._children.get(key)
         return node.total if node is not None else 0.0
+
+    def percentile(
+        self, q: float, labels: Optional[Mapping[str, Any]] = None
+    ) -> float:
+        key = _label_key(labels)
+        node = self._children.get(key)
+        return node.percentile(q) if node is not None else 0.0
+
+    def summary(
+        self, labels: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, float]:
+        key = _label_key(labels)
+        node = self._children.get(key)
+        if node is None:
+            return _HistogramChild(self.buckets).summary()
+        return node.summary()
+
+    def exemplars(
+        self, labels: Optional[Mapping[str, Any]] = None
+    ) -> List[Optional[str]]:
+        """Per-bucket representative span ids (+Inf last); None = empty."""
+        key = _label_key(labels)
+        node = self._children.get(key)
+        if node is None:
+            return [None] * (len(self.buckets) + 1)
+        return list(node.exemplars)
 
 
 class MetricsRegistry:

@@ -202,8 +202,13 @@ class MetricsCollector:
             )
             latency = event.attr("latency")
             if latency is not None:
+                # The request span id doubles as the bucket exemplar:
+                # a latency outlier in the histogram links straight to
+                # its trace (`repro top` / `repro blame`).
                 self.request_latency.observe(
-                    latency, labels={"model": event.attr("model")}
+                    latency,
+                    labels={"model": event.attr("model")},
+                    exemplar=f"req:{event.attr('job_id')}",
                 )
         elif kind == "request.retry":
             self.request_retries.inc()
@@ -452,6 +457,22 @@ class Telemetry:
             "jobs_shed": collector.jobs_shed.total(),
             "health": collector.last_health,
         }
+        # Per-model latency percentiles (bucket-interpolated p50/p95/p99)
+        # plus the slowest occupied bucket's exemplar span id — the
+        # metric -> trace jump for serve/bench end-of-run reports.
+        latency: Dict[str, Dict[str, Any]] = {}
+        for key, child in collector.request_latency.items():
+            model = dict(key).get("model", "")
+            entry: Dict[str, Any] = child.summary()
+            exemplar = None
+            for candidate in reversed(child.exemplars):
+                if candidate is not None:
+                    exemplar = candidate
+                    break
+            entry["exemplar"] = exemplar
+            latency[model] = entry
+        if latency:
+            summary["latency"] = latency
         if self.tracer is not None:
             summary["spans_finished"] = len(self.tracer.finished)
         return summary

@@ -13,10 +13,12 @@ from typing import Any, Dict, List
 
 __all__ = [
     "CHROME_TRACE_PHASES",
+    "validate_blame_report",
     "validate_chrome_trace",
     "validate_metrics_document",
     "validate_recovery_report",
     "validate_spans_document",
+    "validate_whatif_report",
 ]
 
 # Trace-event phases the exporter may produce: complete slices (X),
@@ -219,6 +221,153 @@ def validate_recovery_report(doc: Any) -> List[str]:
                     f"{where}: health_transitions[{index}] must be "
                     f"[time, old, new]"
                 )
+    return errors
+
+
+def _validate_e2e_stats(
+    errors: List[str], doc: Dict[str, Any], where: str, keys: tuple
+) -> None:
+    for key in keys:
+        if _require(errors, doc, where, key, (int, float)):
+            if doc[key] < 0:
+                errors.append(f"{where}: {key!r} must be >= 0")
+
+
+def _validate_components(
+    errors: List[str], obj: Any, where: str
+) -> None:
+    from .attribution import COMPONENTS
+
+    if not isinstance(obj, dict):
+        errors.append(f"{where}: 'components' must be an object")
+        return
+    for name in COMPONENTS:
+        if name not in obj:
+            errors.append(f"{where}: missing component {name!r}")
+    for name, entry in obj.items():
+        cwhere = f"{where} component {name!r}"
+        if name not in COMPONENTS:
+            errors.append(f"{cwhere}: unknown component")
+            continue
+        if not isinstance(entry, dict):
+            errors.append(f"{cwhere}: must be an object")
+            continue
+        for key in ("total", "mean", "share"):
+            _require(errors, entry, cwhere, key, (int, float))
+
+
+def _validate_blockers(
+    errors: List[str], obj: Any, where: str
+) -> None:
+    if not isinstance(obj, list):
+        errors.append(f"{where}: 'blockers' must be a list")
+        return
+    for index, blocker in enumerate(obj):
+        bwhere = f"{where} blockers[{index}]"
+        if not isinstance(blocker, dict):
+            errors.append(f"{bwhere}: must be an object")
+            continue
+        _require(errors, blocker, bwhere, "job_id", (str,))
+        _require(errors, blocker, bwhere, "seconds", (int, float))
+        if "model" in blocker and blocker["model"] is not None:
+            if not isinstance(blocker["model"], str):
+                errors.append(f"{bwhere}: 'model' must be a string or null")
+
+
+def validate_blame_report(doc: Any) -> List[str]:
+    """Validate a :func:`repro.analysis.blame.blame_report` document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"blame: document must be an object, got {_type_name(doc)}"]
+    where = "blame"
+    _require(errors, doc, where, "schema", (int,))
+    _require(errors, doc, where, "scheduler", (str,))
+    for key in ("num_requests", "num_served", "num_retries", "num_failovers"):
+        if _require(errors, doc, where, key, (int,)):
+            if doc[key] < 0:
+                errors.append(f"{where}: {key!r} must be >= 0")
+    if _require(errors, doc, where, "e2e", (dict,)):
+        _validate_e2e_stats(
+            errors, doc["e2e"], f"{where} e2e",
+            ("total", "mean", "p50", "p95", "p99"),
+        )
+    if _require(errors, doc, where, "components", (dict,)):
+        _validate_components(errors, doc["components"], where)
+    if _require(errors, doc, where, "blockers", (list,)):
+        _validate_blockers(errors, doc["blockers"], where)
+    if "requests" in doc:
+        if not isinstance(doc["requests"], list):
+            errors.append(f"{where}: 'requests' must be a list")
+        else:
+            for index, request in enumerate(doc["requests"]):
+                rwhere = f"{where} requests[{index}]"
+                if not isinstance(request, dict):
+                    errors.append(f"{rwhere}: must be an object")
+                    continue
+                _require(errors, request, rwhere, "job_id", (str,))
+                _require(errors, request, rwhere, "e2e", (int, float))
+                if _require(errors, request, rwhere, "components", (dict,)):
+                    total = sum(request["components"].values())
+                    if abs(total - request["e2e"]) > 1e-6:
+                        errors.append(
+                            f"{rwhere}: components sum {total!r} != "
+                            f"e2e {request['e2e']!r}"
+                        )
+    return errors
+
+
+def validate_whatif_report(doc: Any) -> List[str]:
+    """Validate a :func:`repro.experiments.whatif.run_whatif` document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"whatif: document must be an object, got {_type_name(doc)}"]
+    where = "whatif"
+    _require(errors, doc, where, "schema", (int,))
+    _require(errors, doc, where, "scheduler", (str,))
+    _require(errors, doc, where, "num_requests", (int,))
+    if _require(errors, doc, where, "baseline", (dict,)):
+        baseline = doc["baseline"]
+        bwhere = f"{where} baseline"
+        if _require(errors, baseline, bwhere, "e2e", (dict,)):
+            _validate_e2e_stats(
+                errors, baseline["e2e"], f"{bwhere} e2e",
+                ("mean", "p50", "p95", "p99"),
+            )
+        if _require(errors, baseline, bwhere, "components", (dict,)):
+            _validate_components(errors, baseline["components"], bwhere)
+        if _require(errors, baseline, bwhere, "blockers", (list,)):
+            _validate_blockers(errors, baseline["blockers"], bwhere)
+    if not _require(errors, doc, where, "scenarios", (list,)):
+        return errors
+    for index, scenario in enumerate(doc["scenarios"]):
+        swhere = f"{where} scenarios[{index}]"
+        if not isinstance(scenario, dict):
+            errors.append(f"{swhere}: must be an object")
+            continue
+        if _require(errors, scenario, swhere, "perturbation", (dict,)):
+            _require(
+                errors, scenario["perturbation"], f"{swhere} perturbation",
+                "name", (str,),
+            )
+        for key in ("e2e", "delta"):
+            if _require(errors, scenario, swhere, key, (dict,)):
+                for stat in ("mean", "p50", "p95", "p99"):
+                    _require(
+                        errors, scenario[key], f"{swhere} {key}",
+                        stat, (int, float),
+                    )
+        if _require(errors, scenario, swhere, "components", (dict,)):
+            _validate_components(errors, scenario["components"], swhere)
+        _require(errors, scenario, swhere, "component_delta", (dict,))
+        if "predicted" in scenario:
+            if isinstance(scenario["predicted"], dict):
+                for stat in ("mean", "p50", "p95", "p99"):
+                    _require(
+                        errors, scenario["predicted"],
+                        f"{swhere} predicted", stat, (int, float),
+                    )
+            else:
+                errors.append(f"{swhere}: 'predicted' must be an object")
     return errors
 
 

@@ -251,6 +251,7 @@ class SpanTracer:
             job_id=job_id,
             model=event.attr("model"),
             ordinal=ordinal,
+            prev_job_id=event.attr("prev_job_id"),
         )
 
     def _on_tenure_end(self, event: TelemetryEvent) -> None:
@@ -298,6 +299,14 @@ class SpanTracer:
                 # Ran (or completed) after the token moved on — the
                 # paper's overflow kernel (Figures 10/15).
                 span.attrs["overflow"] = True
+            # Interference stamp: the multi-stream engine reports the
+            # solo device time so attribution can price the slowdown.
+            solo_time = event.attr("solo_time")
+            if solo_time is not None:
+                span.attrs["solo_time"] = solo_time
+            stream = event.attr("stream")
+            if stream is not None:
+                span.attrs["stream"] = stream
         self._close(span_id, event.time)
 
 

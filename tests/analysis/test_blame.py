@@ -1,0 +1,135 @@
+"""Blame-profile aggregation, folded stacks and trace annotations."""
+
+import pytest
+
+from repro.analysis.blame import (
+    blame_report,
+    blame_report_for_result,
+    blame_trace_events,
+    exact_percentile,
+    folded_stacks,
+    write_folded,
+)
+from repro.telemetry.attribution import (
+    COMPONENTS,
+    RequestAttribution,
+    is_failover_attempt,
+    is_retry_attempt,
+)
+from repro.telemetry.schema import validate_blame_report, validate_chrome_trace
+
+
+def make_attr(job_id, e2e, status="ok", model="m", blockers=None, **parts):
+    components = dict.fromkeys(COMPONENTS, 0.0)
+    components.update(parts)
+    remainder = e2e - sum(components.values())
+    components["host_compute"] += remainder
+    return RequestAttribution(
+        job_id=job_id,
+        client_id="c",
+        model=model,
+        status=status,
+        start=0.0,
+        end=e2e,
+        e2e=e2e,
+        components=components,
+        blockers=dict(blockers or {}),
+        is_retry=is_retry_attempt(job_id),
+        is_failover=is_failover_attempt(job_id),
+    )
+
+
+ATTRS = [
+    make_attr("c0/b0", 2.0, exec_solo=1.0, tenure_wait=0.5,
+              blockers={"c1/b0": 0.5}),
+    make_attr("c1/b0", 3.0, model="n", exec_solo=2.0),
+    make_attr("c0/b1r1", 1.0, status="failed"),
+]
+
+
+class TestExactPercentile:
+    def test_empty_is_zero(self):
+        assert exact_percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert exact_percentile([7.0], 50) == 7.0
+
+    def test_linear_interpolation(self):
+        assert exact_percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        assert exact_percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+        assert exact_percentile([4.0, 1.0, 3.0, 2.0], 0) == 1.0
+
+
+class TestBlameReport:
+    def test_counts_and_overhead_reclassification(self):
+        report = blame_report(ATTRS, "fair")
+        assert report["num_requests"] == 3
+        assert report["num_served"] == 2
+        assert report["num_retries"] == 1
+        # The failed attempt's full latency lands in overhead.
+        assert report["components"]["overhead"]["total"] == pytest.approx(1.0)
+
+    def test_shares_sum_to_one(self):
+        report = blame_report(ATTRS, "fair")
+        assert sum(
+            entry["share"] for entry in report["components"].values()
+        ) == pytest.approx(1.0)
+
+    def test_blockers_carry_model_and_rank(self):
+        report = blame_report(ATTRS, "fair")
+        assert report["blockers"][0] == {
+            "job_id": "c1/b0", "model": "n", "seconds": pytest.approx(0.5),
+        }
+
+    def test_schema_valid_with_and_without_requests(self):
+        assert validate_blame_report(blame_report(ATTRS, "fair")) == []
+        assert validate_blame_report(
+            blame_report(ATTRS, "fair", include_requests=False)
+        ) == []
+
+    def test_result_without_span_telemetry_rejected(self):
+        class Result:
+            telemetry = None
+            scheduler_kind = "fair"
+
+        with pytest.raises(ValueError, match="span telemetry"):
+            blame_report_for_result(Result())
+
+
+class TestFoldedStacks:
+    def test_frame_format_and_weights(self):
+        lines = folded_stacks(ATTRS, "fair")
+        assert "fair;m;exec_solo 1000000" in lines
+        assert "fair;m;tenure_wait 500000" in lines
+        # Wasted attempts fold under an overhead frame.
+        assert "fair;m;overhead 1000000" in lines
+        assert all(len(l.rsplit(" ", 1)) == 2 for l in lines)
+        assert all(l.rsplit(" ", 1)[1].isdigit() for l in lines)
+
+    def test_zero_weight_frames_dropped(self):
+        lines = folded_stacks(ATTRS, "fair")
+        assert not any(";interference" in l.rsplit(" ", 1)[0] for l in lines)
+
+    def test_write_folded_roundtrip(self, tmp_path):
+        target = tmp_path / "blame.folded"
+        count = write_folded(target, ATTRS, "fair")
+        written = target.read_text().splitlines()
+        assert len(written) == count
+        assert written == folded_stacks(ATTRS, "fair")
+
+
+class TestTraceAnnotations:
+    def test_events_validate_as_chrome_trace(self):
+        events = blame_trace_events(ATTRS)
+        assert validate_chrome_trace({"traceEvents": events}) == []
+
+    def test_slices_tile_the_request_window(self):
+        events = blame_trace_events(ATTRS)
+        slices = [
+            e for e in events
+            if e["ph"] == "X" and e["args"]["job"] == "c0/b0"
+        ]
+        # Sequential layout: each slice starts where the previous ended.
+        for before, after in zip(slices, slices[1:]):
+            assert after["ts"] == pytest.approx(before["ts"] + before["dur"])
+        assert sum(e["dur"] for e in slices) == pytest.approx(2.0 * 1e6)

@@ -22,3 +22,18 @@ class Meddler:
         # Accumulator exemption: every caller passes a locally created
         # list, so mutating it is the observer's own bookkeeping.
         bucket.append(len(scheduler.tenures))
+
+    def digest(self, scheduler):
+        lines = []
+        self._describe(lines, scheduler)
+        return lines
+
+    def _describe(self, bucket, scheduler):
+        # Two call sites of the same accumulator helper: proving the
+        # second must re-walk the (already proven) first, not read its
+        # own completed sub-query as a cycle.
+        self._note(bucket, len(scheduler.tenures))
+        self._note(bucket, scheduler.quantum)
+
+    def _note(self, bucket, value):
+        bucket.append(value)

@@ -1,0 +1,13 @@
+"""Offline-boundary fixture, decision side: a budget planner.
+
+Both statements below are FLOW001 sinks *if* taint reaches ``budget``;
+whether it does depends on whether the caller sits behind the
+``flow-offline-paths`` boundary.
+"""
+
+
+def plan(budget):
+    slots = []
+    if budget > 4:
+        slots.append(budget)
+    return slots

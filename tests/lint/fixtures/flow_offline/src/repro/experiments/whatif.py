@@ -1,0 +1,16 @@
+"""Offline-boundary fixture: a replay harness re-running decisions.
+
+The harness reads observations of a *finished* run and hands a derived
+parameter to decision code to configure a fresh simulation.  Under the
+default ``flow-offline-paths`` this module is a sanctioned taint
+boundary — the run that produced the observations is over, so no
+feedback loop is possible.  With the boundary cleared, the very same
+flow is a FLOW001 feedback edge.
+"""
+
+from repro.core.planner import plan
+
+
+def replay(telemetry):
+    observed = telemetry.queue_depth()
+    return plan(observed * 2)

@@ -1,0 +1,12 @@
+"""Offline-boundary fixture, observer side: state a replay consumes."""
+
+
+class Probe:
+    def __init__(self):
+        self.events = []
+
+    def record(self, name):
+        self.events.append(name)
+
+    def queue_depth(self):
+        return len(self.events)

@@ -1,0 +1,26 @@
+"""OBS002 fixture: telemetry emissions with uncatalogued event kinds.
+
+Staged under ``src/repro`` by the corpus test; expected findings:
+OBS002 x 2 (the typo'd kind and the never-declared kind).
+"""
+
+
+class Driver:
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+
+    def catalogued(self):
+        if self.telemetry is not None:
+            self.telemetry.emit("kernel.finished", "device", job_id="j0")
+
+    def typo(self):
+        if self.telemetry is not None:
+            self.telemetry.emit("kernel.finsihed", "device", job_id="j0")
+
+    def undeclared(self):
+        if self.telemetry is not None:
+            self.telemetry.emit("cache.miss", "driver", node_id=3)
+
+    def computed(self, kind):
+        # Not statically checkable; OBS002 leaves dynamic kinds alone.
+        self.telemetry.emit(kind, "driver")

@@ -35,6 +35,20 @@ class TestObserverEffect:
         assert len(lines) == 2
 
 
+class TestOfflineBoundary:
+    def test_offline_harness_is_a_taint_boundary(self):
+        # The replay harness consumes observations of a finished run;
+        # under the default flow-offline-paths no taint crosses it.
+        findings = lint_fixture("flow_offline", ("FLOW001",))
+        assert findings == []
+
+    def test_boundary_cleared_restores_the_feedback_edge(self):
+        config = LintConfig(flow_offline_paths=())
+        findings = lint_fixture("flow_offline", ("FLOW001",), config)
+        assert rule_ids(findings) == ["FLOW001", "FLOW001"]
+        assert all(f.path.endswith("planner.py") for f in findings)
+
+
 class TestSeedProvenance:
     def test_raw_literal_through_call_hop(self):
         findings = lint_fixture("flow_rng", ("FLOW002",))
@@ -77,6 +91,13 @@ class TestObserverMutation:
         # the two deliberate violations appear.
         findings = lint_fixture("flow_mutation", ("FLOW003",))
         assert len(findings) == 2
+
+    def test_repeated_accumulator_call_is_not_a_cycle(self):
+        # _note is invoked twice from _describe; proving the second
+        # call site re-asks an identical sub-query, which must re-prove
+        # rather than be mistaken for recursion.
+        findings = lint_fixture("flow_mutation", ("FLOW003",))
+        assert all("_note" not in f.message for f in findings)
 
 
 class TestWildcardSelection:

@@ -1,4 +1,4 @@
-"""Detection and negative cases for the observability rules (OBS001)."""
+"""Detection and negative cases for the observability rules (OBS001/2)."""
 
 from tests.lint.conftest import FIXTURES, rule_ids
 
@@ -66,6 +66,72 @@ class TestPrintCall:
                      path="src/repro/core/scheduler.py", config=config) == []
 
 
+class TestUnknownEventKind:
+    def test_unknown_kind_flagged(self, check):
+        findings = check(
+            'def f(telemetry):\n'
+            '    telemetry.emit("cache.miss", "driver")\n'
+        )
+        assert rule_ids(findings) == ["OBS002"]
+        assert "cache.miss" in findings[0].message
+        assert "EVENT_KINDS" in findings[0].message
+
+    def test_catalogued_kind_ok(self, check):
+        findings = check(
+            'def f(telemetry):\n'
+            '    telemetry.emit("kernel.finished", "device", job_id="j")\n'
+        )
+        assert findings == []
+
+    def test_every_catalogued_kind_passes(self, check):
+        config = LintConfig()
+        for kind in config.event_catalogue:
+            source = f'def f(t):\n    t.emit("{kind}", "c")\n'
+            assert check(source) == [], kind
+
+    def test_computed_kind_not_flagged(self, check):
+        findings = check(
+            'def f(telemetry, kind):\n    telemetry.emit(kind, "driver")\n'
+        )
+        assert findings == []
+
+    def test_log_sink_emit_not_flagged(self, check):
+        # `sink.emit(record)` (repro.telemetry.logs) passes a LogRecord,
+        # not a literal kind string.
+        assert check("def f(sink, record):\n    sink.emit(record)\n") == []
+
+    def test_out_of_scope_path_not_flagged(self, check):
+        findings = check(
+            'def f(t):\n    t.emit("cache.miss", "x")\n',
+            path="tools/unrelated.py",
+        )
+        assert findings == []
+
+    def test_suppression(self, check):
+        source = (
+            'def f(t):\n'
+            '    t.emit("cache.miss", "d")  # lint: disable=OBS002\n'
+        )
+        assert check(source) == []
+
+    def test_catalogue_configurable(self, check):
+        config = LintConfig(event_catalogue=("cache.miss",))
+        assert check(
+            'def f(t):\n    t.emit("cache.miss", "d")\n', config=config
+        ) == []
+        assert check(
+            'def f(t):\n    t.emit("kernel.finished", "d")\n', config=config
+        ) != []
+
+
+def test_catalogue_mirrors_event_kinds():
+    """LintConfig.event_catalogue is a copy of EVENT_KINDS (lint cannot
+    import telemetry — ARCH003), so this cross-check keeps them in sync."""
+    from repro.telemetry.events import EVENT_KINDS
+
+    assert LintConfig().event_catalogue == EVENT_KINDS
+
+
 def test_fixture_corpus(tmp_path):
     """The committed fixture yields exactly the documented findings."""
     staged = tmp_path / "src" / "repro" / "obs_violations.py"
@@ -73,3 +139,11 @@ def test_fixture_corpus(tmp_path):
     staged.write_text((FIXTURES / "obs_violations.py").read_text())
     report = lint_files([staged], LintConfig(), resolve_rules())
     assert [f.rule_id for f in sorted(report.findings)] == ["OBS001"] * 3
+
+
+def test_event_kind_fixture_corpus(tmp_path):
+    staged = tmp_path / "src" / "repro" / "obs_event_kinds.py"
+    staged.parent.mkdir(parents=True)
+    staged.write_text((FIXTURES / "obs_event_kinds.py").read_text())
+    report = lint_files([staged], LintConfig(), resolve_rules())
+    assert [f.rule_id for f in sorted(report.findings)] == ["OBS002"] * 2

@@ -94,7 +94,7 @@ class TestSilentBroadExcept:
             "    try:\n"
             "        work()\n"
             "    except Exception as exc:\n"
-            "        telemetry.emit('job.failed', error=str(exc))\n"
+            "        telemetry.emit('job.failed_over', error=str(exc))\n"
         ) == []
 
     def test_nested_raise_counts(self, check):

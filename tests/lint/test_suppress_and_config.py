@@ -166,7 +166,7 @@ class TestRuleResolution:
             "DET001", "DET002", "DET004",
             "DET005", "DET006", "DET007",
             "FLOW001", "FLOW002", "FLOW003",
-            "OBS001",
+            "OBS001", "OBS002",
             "PERF001", "PERF002",
             "ROB001",
         ]

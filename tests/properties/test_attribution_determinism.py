@@ -1,0 +1,103 @@
+"""Attribution exactness and determinism across every scheduler kind.
+
+Two hard properties from the blame-engine tentpole:
+
+* **Exact partition.**  For every request of a telemetry-on run — any
+  temporal or spatial scheduler — the component decomposition sums to
+  the measured end-to-end latency within :data:`SUM_TOLERANCE` (1e-9).
+  The sweep assigns each instant of the window to exactly one
+  component, so this is structural, not a tolerance tune.
+* **Byte-stable profiles.**  Attribution is a pure function of the span
+  table and the run is seeded-deterministic, so the serialized blame
+  report of two identical runs must be byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.blame import blame_report
+from repro.experiments import (
+    ALL_SCHEDULER_KINDS,
+    ExperimentConfig,
+    run_workload,
+)
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.attribution import SUM_TOLERANCE, attribute_tracer
+from repro.workloads import (
+    complex_workload,
+    heterogeneous_workload,
+    with_priorities,
+    with_weights,
+)
+
+FAST = ExperimentConfig(scale=0.02, quantum=0.8e-3, curve_batches=2)
+SPECS = with_priorities(
+    with_weights(
+        heterogeneous_workload(clients_per_model=2, num_batches=2),
+        [2, 1, 1, 1],
+    ),
+    [0, 0, 1, 0],
+)
+SPANS = TelemetryConfig(verbosity="spans")
+
+
+def attributions_for(kind, specs=SPECS, config=FAST):
+    result = run_workload(specs, scheduler=kind, config=config, telemetry=SPANS)
+    return attribute_tracer(result.telemetry.tracer)
+
+
+class TestExactPartition:
+    @pytest.mark.parametrize("kind", ALL_SCHEDULER_KINDS)
+    def test_components_sum_to_e2e_on_every_kind(self, kind):
+        attributions = attributions_for(kind)
+        assert attributions, f"{kind}: no finished request spans"
+        for a in attributions:
+            assert abs(a.residual) <= SUM_TOLERANCE, (
+                f"{kind}: {a.job_id} decomposition off by {a.residual!r}"
+            )
+
+    @pytest.mark.parametrize("kind", ALL_SCHEDULER_KINDS)
+    def test_no_negative_components(self, kind):
+        for a in attributions_for(kind):
+            for name, value in a.components.items():
+                assert value >= -SUM_TOLERANCE, (
+                    f"{kind}: {a.job_id} has negative {name}: {value!r}"
+                )
+
+
+class TestByteStableProfiles:
+    @pytest.mark.parametrize("kind", ALL_SCHEDULER_KINDS)
+    def test_same_seed_same_blame_bytes(self, kind):
+        first = blame_report(attributions_for(kind), kind)
+        second = blame_report(attributions_for(kind), kind)
+        assert (
+            json.dumps(first, sort_keys=True).encode()
+            == json.dumps(second, sort_keys=True).encode()
+        )
+
+
+class TestFig16Acceptance:
+    """The acceptance-criterion run: the figure-16 complex workload."""
+
+    @pytest.fixture(scope="class")
+    def fig16_attributions(self):
+        specs = complex_workload(num_batches=2)
+        config = ExperimentConfig(quantum=1.2e-3, seed=3)
+        return attributions_for("fair", specs=specs, config=config)
+
+    def test_every_request_sums_exactly(self, fig16_attributions):
+        assert len(fig16_attributions) >= 14 * 2
+        for a in fig16_attributions:
+            assert abs(a.residual) <= SUM_TOLERANCE
+
+    def test_hol_blockers_are_real_jobs(self, fig16_attributions):
+        job_ids = {a.job_id for a in fig16_attributions}
+        blocked = [a for a in fig16_attributions if a.blockers]
+        assert blocked, "fig16 under fair must show HOL blocking"
+        for a in blocked:
+            assert a.job_id not in a.blockers  # never self-blame
+            assert set(a.blockers) <= job_ids
+            assert sum(a.blockers.values()) <= (
+                a.components["tenure_wait"] + SUM_TOLERANCE
+            )

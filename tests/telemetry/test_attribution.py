@@ -1,0 +1,162 @@
+"""Unit tests for per-request latency attribution on synthetic spans.
+
+Each test hand-builds a tiny span table with known geometry so every
+component value is checkable by arithmetic, independent of the
+simulator.  The property suite (:mod:`tests.properties
+.test_attribution_determinism`) covers real runs on every scheduler.
+"""
+
+import pytest
+
+from repro.telemetry.attribution import (
+    COMPONENTS,
+    SUM_TOLERANCE,
+    attribute_requests,
+    is_failover_attempt,
+    is_retry_attempt,
+)
+from repro.telemetry.spans import Span
+
+
+def span(span_id, kind, start, end, parent=None, status="ok", **attrs):
+    s = Span(
+        span_id=span_id,
+        kind=kind,
+        name=kind,
+        start=start,
+        parent_id=parent,
+        attrs=attrs,
+    )
+    s.close(end, status)
+    return s
+
+
+class TestAttemptIdHelpers:
+    def test_retry_clone_detected(self):
+        assert is_retry_attempt("c0/b2r1")
+        assert is_retry_attempt("c3/b0r12")
+
+    def test_first_attempt_is_not_a_retry(self):
+        assert not is_retry_attempt("c0/b2")
+        assert not is_retry_attempt("c0/b21")
+
+    def test_failover_clone_detected(self):
+        assert is_failover_attempt("c0/b2~f1")
+        assert not is_failover_attempt("c0/b2")
+
+
+class TestDecomposition:
+    def build(self):
+        """A request with every component present, known geometry.
+
+        window [0.5, 10.0]: 0.5 queue_wait (batch backdated to 0.5),
+        1.0 admission (0.5 pre-session + 0.5 tail), tenure_wait
+        [1.5,4.0]+[6.0,9.5] with blocker "k" holding [2.0,4.0],
+        host_compute [4.0,4.2] inside own tenure, arbitration
+        [4.2,4.5], execution [4.5,6.0] of which 1.2 solo-rate and 0.3
+        spatial interference.
+        """
+        return [
+            span(
+                "batch:B", "batch", 0.5, 1.2,
+                batch_id="B", model="m",
+            ),
+            span(
+                "req:j", "request", 1.0, 10.0, parent="batch:B",
+                job_id="j", client_id="c", model="m",
+            ),
+            span("sess:j", "session", 1.5, 9.5, job_id="j"),
+            span("tenure:k#0", "tenure", 2.0, 4.0, job_id="k"),
+            span("tenure:j#0", "tenure", 4.0, 6.0, job_id="j"),
+            span(
+                "kern:j#0", "kernel", 4.2, 6.0, job_id="j",
+                exec_start=4.5, solo_time=1.2, stream=0,
+            ),
+        ]
+
+    def test_components_match_geometry(self):
+        (a,) = attribute_requests(self.build())
+        assert a.job_id == "j"
+        assert a.model == "m"
+        assert a.e2e == pytest.approx(9.5)
+        c = a.components
+        assert c["queue_wait"] == pytest.approx(0.5)
+        assert c["admission"] == pytest.approx(1.0)
+        assert c["tenure_wait"] == pytest.approx(6.0)
+        assert c["host_compute"] == pytest.approx(0.2)
+        assert c["arbitration"] == pytest.approx(0.3)
+        assert c["exec_solo"] == pytest.approx(1.2)
+        assert c["interference"] == pytest.approx(0.3)
+        assert c["overhead"] == 0.0
+
+    def test_components_sum_exactly_to_e2e(self):
+        (a,) = attribute_requests(self.build())
+        assert abs(a.residual) <= SUM_TOLERANCE
+
+    def test_blocker_identified_with_seconds(self):
+        (a,) = attribute_requests(self.build())
+        assert a.blockers == pytest.approx({"k": 2.0})
+
+    def test_to_dict_lists_all_components_in_order(self):
+        (a,) = attribute_requests(self.build())
+        assert tuple(a.to_dict()["components"]) == COMPONENTS
+
+
+class TestNoScheduler:
+    def test_tf_serving_wait_is_host_compute(self):
+        """With no tenure spans anywhere (tf-serving) there is no token
+        to wait for: non-kernel session time is host compute."""
+        spans = [
+            span(
+                "req:j", "request", 0.0, 4.0,
+                job_id="j", client_id="c", model="m",
+            ),
+            span("sess:j", "session", 0.0, 4.0, job_id="j"),
+            span(
+                "kern:j#0", "kernel", 1.0, 2.0, job_id="j", exec_start=1.0
+            ),
+        ]
+        (a,) = attribute_requests(spans)
+        assert a.components["tenure_wait"] == 0.0
+        assert a.components["host_compute"] == pytest.approx(3.0)
+        assert a.components["exec_solo"] == pytest.approx(1.0)
+        assert abs(a.residual) <= SUM_TOLERANCE
+
+
+class TestEdgeCases:
+    def test_shed_request_is_all_admission(self):
+        (a,) = attribute_requests(
+            [span("req:j", "request", 1.0, 3.0, status="shed", job_id="j")]
+        )
+        assert a.status == "shed"
+        assert a.components["admission"] == pytest.approx(2.0)
+        assert abs(a.residual) <= SUM_TOLERANCE
+
+    def test_open_spans_are_skipped(self):
+        open_req = Span(
+            span_id="req:x", kind="request", name="request", start=0.0,
+            attrs={"job_id": "x"},
+        )
+        assert attribute_requests([open_req]) == []
+
+    def test_kernel_without_exec_start_is_arbitration(self):
+        spans = [
+            span("req:j", "request", 0.0, 2.0, job_id="j"),
+            span("sess:j", "session", 0.0, 2.0, job_id="j"),
+            span("tenure:j#0", "tenure", 0.0, 2.0, job_id="j"),
+            span("kern:j#0", "kernel", 0.5, 1.5, job_id="j"),
+        ]
+        (a,) = attribute_requests(spans)
+        assert a.components["arbitration"] == pytest.approx(1.0)
+        assert a.components["exec_solo"] == 0.0
+        assert abs(a.residual) <= SUM_TOLERANCE
+
+    def test_ordering_is_deterministic(self):
+        spans = [
+            span("req:b", "request", 1.0, 2.0, job_id="b"),
+            span("req:a", "request", 1.0, 2.0, job_id="a"),
+            span("req:c", "request", 0.5, 2.0, job_id="c"),
+        ]
+        out = attribute_requests(spans)
+        assert [a.job_id for a in out] == ["c", "a", "b"]
+        assert out == attribute_requests(list(reversed(spans)))
