@@ -14,6 +14,12 @@ Four commands cover the operator workflow of Figure 7:
   (including device crashes) against every scheduler kind with failure
   recovery attached, asserting the recovery SLAs on each run; exits
   nonzero on any violation (see :mod:`repro.experiments.chaos`).
+* ``repro soak`` — run a seeded soak: open-loop traffic through the
+  admission gate while the serving process is killed and restarted
+  mid-run (plus device crashes), recovering from the durable job
+  journal; asserts the no-job-lost SLA and prints the byte-stable
+  resume digests; exits nonzero on any violation
+  (see :mod:`repro.experiments.soak`).
 * ``repro lint`` — the determinism & concurrency static-analysis gate
   (see :mod:`repro.lint`); exits nonzero on findings.
 * ``repro reproduce`` — regenerate paper tables/figures, optionally
@@ -238,6 +244,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"overflow kernels = {rollup['overflow_kernels']:.0f}   "
             f"retries = {rollup['retries']:.0f}"
         )
+        sheds = rollup.get("sheds_by_reason") or {}
+        if sheds:
+            breakdown = "   ".join(
+                f"{reason} = {count:.0f}"
+                for reason, count in sorted(sheds.items())
+            )
+            print(f"sheds        {breakdown}")
+        decisions = rollup.get("admission_decisions") or {}
+        if decisions:
+            breakdown = "   ".join(
+                f"{label} = {count:.0f}"
+                for label, count in sorted(decisions.items())
+            )
+            print(f"admission    {breakdown}")
         for model, stats in sorted(rollup.get("latency", {}).items()):
             exemplar = stats.get("exemplar")
             jump = f"   slowest trace = {exemplar}" if exemplar else ""
@@ -310,6 +330,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
         print(f"wrote campaign report to {args.out}")
+    return 0 if result.ok else 1
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .experiments import SoakConfig, run_soak
+
+    overrides = {}
+    if args.gpus is not None:
+        overrides["gpus"] = args.gpus
+    if args.quick:
+        config = SoakConfig.quick(seed=args.seed, **overrides)
+    else:
+        config = SoakConfig(seed=args.seed, **overrides)
+    result = run_soak(config)
+    print(result.report())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"wrote soak report to {args.out}")
     return 0 if result.ok else 1
 
 
@@ -984,6 +1023,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full campaign record (runs + digest) as JSON",
     )
 
+    soak = sub.add_parser(
+        "soak",
+        help="run a seeded kill/restart soak against the durable "
+             "control plane",
+    )
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: one scheduler kind, one process kill",
+    )
+    soak.add_argument(
+        "--gpus", type=int, default=None,
+        help="serve through a multi-GPU front with this many devices",
+    )
+    soak.add_argument(
+        "--out", default=None,
+        help="write the full soak record (runs + digests) as JSON",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="determinism & concurrency static analysis (CI gate)",
@@ -1221,6 +1279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "faults": _cmd_faults,
         "chaos": _cmd_chaos,
+        "soak": _cmd_soak,
         "lint": _cmd_lint,
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,

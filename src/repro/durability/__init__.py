@@ -1,0 +1,18 @@
+"""Durable control plane: a sqlite job journal that survives restarts.
+
+See :mod:`repro.durability.journal` for the store and
+:mod:`repro.durability.resume` for crash-restart replay planning.
+"""
+
+from .journal import JOURNAL_KINDS, TERMINAL_KINDS, JobStore, JournalRecord
+from .resume import ReplayJob, resume_digest_of, resume_plan
+
+__all__ = [
+    "JOURNAL_KINDS",
+    "TERMINAL_KINDS",
+    "JobStore",
+    "JournalRecord",
+    "ReplayJob",
+    "resume_digest_of",
+    "resume_plan",
+]

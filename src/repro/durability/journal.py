@@ -1,0 +1,265 @@
+"""The sqlite-backed job journal.
+
+A :class:`JobStore` is the serving stack's write-ahead log: every
+admission, dispatch, completion, failure, and shed is appended as one
+row with its **simulated** timestamp (stream time — monotone across
+restarts, never wall clock) before the in-memory stack acts on it.
+Because rows are committed per append, a process killed at *any*
+instant leaves a journal that is exactly the prefix of events that
+actually happened; a restarted server reads it back, re-admits
+whatever never reached a terminal row, and continues.
+
+Everything is deterministic: rows contain only sim-derived values, so
+the :meth:`JobStore.resume_digest` — a SHA-256 over the canonical JSON
+of all rows — is byte-stable for a given (config, seed, kill schedule)
+regardless of when or where the run executes.  The soak harness and
+the crash-restart property suite both pin this.
+
+``sqlite3`` is stdlib; with ``path=":memory:"`` the store lives only
+as long as the Python object (useful for tests that model a crash by
+*keeping* the store while abandoning the simulator — our "process
+kill" is the loss of all sim state, and the journal is precisely what
+survives it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["JOURNAL_KINDS", "TERMINAL_KINDS", "JournalRecord", "JobStore"]
+
+# Lifecycle row kinds.  ``admitted`` opens a job's ledger; exactly one
+# of the TERMINAL_KINDS must eventually close it (the no-job-lost
+# invariant).  ``rejected`` jobs were never admitted — they are
+# accounting, not obligations.  ``restart`` marks an incarnation
+# boundary; ``crash`` is written by the *next* incarnation when it
+# finds obligations left open (the dead process, by definition, could
+# not write its own epitaph).
+JOURNAL_KINDS = (
+    "admitted",
+    "dispatched",
+    "deferred",
+    "completed",
+    "failed",
+    "shed",
+    "rejected",
+    "restart",
+    "crash",
+)
+
+TERMINAL_KINDS = ("completed", "failed", "shed")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal row (already decoded)."""
+
+    seq: int
+    incarnation: int
+    time: float
+    kind: str
+    job_id: Optional[str]
+    model: Optional[str]
+    batch: Optional[int]
+    tenant: Optional[str]
+    priority: Optional[int]
+    deadline: Optional[float]
+    reason: Optional[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "incarnation": self.incarnation,
+            "time": self.time,
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "model": self.model,
+            "batch": self.batch,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "reason": self.reason,
+        }
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS journal (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    incarnation INTEGER NOT NULL,
+    time        REAL    NOT NULL,
+    kind        TEXT    NOT NULL,
+    job_id      TEXT,
+    model       TEXT,
+    batch       INTEGER,
+    tenant      TEXT,
+    priority    INTEGER,
+    deadline    REAL,
+    reason      TEXT
+);
+CREATE INDEX IF NOT EXISTS journal_job ON journal (job_id, kind);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+class JobStore:
+    """Append-only job journal over one sqlite database."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'incarnation'"
+        ).fetchone()
+        self.incarnation = int(row[0]) if row is not None else 0
+
+    # ------------------------------------------------------------------
+    # Incarnations
+    # ------------------------------------------------------------------
+
+    def begin_incarnation(self, time: float = 0.0) -> int:
+        """Open a new server incarnation; returns its 1-based index.
+
+        For every incarnation after the first, obligations left open by
+        the previous one get a ``crash`` marker row (observability
+        only — they stay un-terminated until the resume path closes
+        them) and a ``restart`` row records the boundary.
+        """
+        self.incarnation += 1
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) "
+            "VALUES ('incarnation', ?)",
+            (str(self.incarnation),),
+        )
+        if self.incarnation > 1:
+            self.record("crash", time=time,
+                        reason=f"incarnation {self.incarnation - 1} died")
+        self.record("restart", time=time)
+        return self.incarnation
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        time: float,
+        job_id: Optional[str] = None,
+        model: Optional[str] = None,
+        batch: Optional[int] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
+        reason: Optional[str] = None,
+    ) -> int:
+        """Append one row (committed immediately); returns its seq."""
+        if kind not in JOURNAL_KINDS:
+            raise ValueError(
+                f"unknown journal kind {kind!r}; choose from {JOURNAL_KINDS}"
+            )
+        cursor = self._conn.execute(
+            "INSERT INTO journal (incarnation, time, kind, job_id, model,"
+            " batch, tenant, priority, deadline, reason)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                self.incarnation,
+                time,
+                kind,
+                job_id,
+                model,
+                batch,
+                tenant,
+                priority,
+                deadline,
+                reason,
+            ),
+        )
+        # Commit-per-append is the durability contract: the row is on
+        # disk before the in-memory stack acts on the event, so a kill
+        # can lose work but never the record of having accepted it.
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def records(self) -> Iterator[JournalRecord]:
+        cursor = self._conn.execute(
+            "SELECT seq, incarnation, time, kind, job_id, model, batch,"
+            " tenant, priority, deadline, reason"
+            " FROM journal ORDER BY seq"
+        )
+        for row in cursor:
+            yield JournalRecord(*row)
+
+    def counts(self) -> Dict[str, int]:
+        """kind -> row count, in catalogue order (zero rows omitted)."""
+        rows = dict(
+            self._conn.execute(
+                "SELECT kind, COUNT(*) FROM journal GROUP BY kind"
+            ).fetchall()
+        )
+        return {kind: rows[kind] for kind in JOURNAL_KINDS if kind in rows}
+
+    def terminal_ids(self) -> Dict[str, str]:
+        """job_id -> terminal kind for every closed obligation."""
+        cursor = self._conn.execute(
+            "SELECT job_id, kind FROM journal"
+            " WHERE kind IN (?, ?, ?) ORDER BY seq",
+            TERMINAL_KINDS,
+        )
+        return {job_id: kind for job_id, kind in cursor if job_id}
+
+    def admitted_ids(self) -> List[str]:
+        cursor = self._conn.execute(
+            "SELECT job_id FROM journal WHERE kind = 'admitted' ORDER BY seq"
+        )
+        return [row[0] for row in cursor]
+
+    def unterminated(self) -> List[JournalRecord]:
+        """Admitted rows with no terminal row — the restart's work list."""
+        closed = self.terminal_ids()
+        return [
+            record
+            for record in self.records()
+            if record.kind == "admitted" and record.job_id not in closed
+        ]
+
+    def shed_reasons(self) -> Dict[str, int]:
+        cursor = self._conn.execute(
+            "SELECT reason, COUNT(*) FROM journal WHERE kind IN ('shed',"
+            " 'rejected') GROUP BY reason ORDER BY reason"
+        )
+        return {reason or "": count for reason, count in cursor}
+
+    # ------------------------------------------------------------------
+    # Digest & lifecycle
+    # ------------------------------------------------------------------
+
+    def resume_digest(self) -> str:
+        """SHA-256 over the canonical JSON of every row."""
+        payload = json.dumps(
+            [record.to_dict() for record in self.records()],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

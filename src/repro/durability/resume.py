@@ -1,0 +1,59 @@
+"""Crash-restart replay planning over a :class:`~repro.durability.journal.JobStore`.
+
+A restarted server must honour every obligation its predecessor took
+on: each ``admitted`` journal row with no terminal row is a job the
+old incarnation accepted and then lost with its in-memory state.  The
+:func:`resume_plan` function turns those rows into :class:`ReplayJob`
+values — enough to rebuild the job (same id, model, batch size,
+tenant, priority, deadline) and push it back through the admission /
+recovery path of the new incarnation.
+
+Keeping the original ``job_id`` is what makes the no-job-lost
+invariant checkable: the soak harness unions the completion sets of
+all incarnations and compares against the set of admitted ids, and a
+re-admitted job completes under the same id it was first accepted
+with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .journal import JobStore
+
+__all__ = ["ReplayJob", "resume_plan", "resume_digest_of"]
+
+
+@dataclass(frozen=True)
+class ReplayJob:
+    """One job owed by a dead incarnation, ready for re-admission."""
+
+    job_id: str
+    model: str
+    batch_size: int
+    tenant: str
+    priority: int
+    deadline: Optional[float]
+
+
+def resume_plan(store: JobStore) -> List[ReplayJob]:
+    """Jobs the next incarnation must re-admit, in admission order."""
+    plan: List[ReplayJob] = []
+    for record in store.unterminated():
+        plan.append(
+            ReplayJob(
+                job_id=record.job_id or "",
+                model=record.model or "",
+                batch_size=int(record.batch or 1),
+                tenant=record.tenant or "default",
+                priority=int(record.priority or 0),
+                deadline=record.deadline,
+            )
+        )
+    return plan
+
+
+def resume_digest_of(store: JobStore) -> str:
+    """Convenience alias for :meth:`JobStore.resume_digest`."""
+    return store.resume_digest()

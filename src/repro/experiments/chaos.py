@@ -203,6 +203,13 @@ class ChaosCampaignResult:
                 f"retries={run.retries} "
                 f"failed_batches={run.failed_batches}"
             )
+            by_reason = recovery.get("sheds_by_reason") or {}
+            if by_reason:
+                breakdown = " ".join(
+                    f"{reason}={count}"
+                    for reason, count in sorted(by_reason.items())
+                )
+                lines.append(f"             shed by reason: {breakdown}")
         for violation in self.violations:
             lines.append(f"  VIOLATION: {violation}")
         lines.append(f"campaign digest: {self.campaign_digest()}")

@@ -66,6 +66,8 @@ __all__ = [
     "DEFAULT_RT_OVERSUBSCRIPTION",
     "ExperimentConfig",
     "ExperimentResult",
+    "ServingStack",
+    "build_stack",
     "get_graph",
     "get_profiler_output",
     "run_workload",
@@ -312,6 +314,129 @@ def _make_scheduler(
 
 
 @dataclass
+class ServingStack:
+    """A freshly built simulated serving stack, before any traffic.
+
+    Everything :func:`run_workload` used to wire inline — simulator,
+    scheduler, server, fault injector, recovery manager, telemetry
+    pipeline, drift monitor, loaded models — so the soak harness (and
+    anything else that drives its own traffic) can build the exact
+    stack experiments use and then attach an admission gate or job
+    journal on top.
+    """
+
+    scheduler_kind: str
+    config: ExperimentConfig
+    sim: Simulator
+    server: ModelServer
+    scheduler: Optional[GangScheduler]
+    profiler_output: Optional[ProfilerOutput]
+    injector: Optional[FaultInjector]
+    recovery: Optional[RecoveryManager]
+    telemetry: Optional[Telemetry]
+    monitor: Optional[QuantumMonitor]
+
+    @property
+    def quantum(self) -> Optional[float]:
+        if self.scheduler is None:
+            return None
+        return getattr(self.scheduler, "quantum", None)
+
+
+def build_stack(
+    entries: Sequence[Tuple[str, int]],
+    scheduler: str = "fair",
+    config: Optional[ExperimentConfig] = None,
+    profiler_output: Optional[ProfilerOutput] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    telemetry: Optional[TelemetryConfig] = None,
+    monitor: bool = False,
+    on_snapshot: Optional[Callable] = None,
+    recovery: Optional[RecoveryConfig] = None,
+    graph_overrides: Optional[Mapping[str, Graph]] = None,
+) -> ServingStack:
+    """Build the simulated serving stack for ``(model, batch)`` entries.
+
+    This performs exactly the construction sequence ``run_workload``
+    always has — same seam order, same derived seeds — so a stack built
+    here behaves bit-identically to one built inside an experiment.
+    """
+    config = config or ExperimentConfig()
+    if scheduler not in ALL_SCHEDULER_KINDS:
+        raise ValueError(
+            f"unknown scheduler kind {scheduler!r}; choose from {ALL_SCHEDULER_KINDS}"
+        )
+    entries = sorted(set(entries))
+    needs_profiles = scheduler not in ("tf-serving", "timer") or (
+        scheduler == "timer" and config.quantum is None
+    )
+    if needs_profiles and profiler_output is None:
+        profiler_output = get_profiler_output(entries, config)
+
+    sim = Simulator()
+    gang_scheduler = _make_scheduler(scheduler, sim, config, profiler_output)
+    server_config = ServerConfig(
+        gpu_spec=config.gpu_spec,
+        n_cores=config.n_cores,
+        pool_size=config.pool_size,
+        track_memory=config.track_memory,
+        compiled=config.compiled,
+        seed=derive_seed(config.seed, f"run:{scheduler}"),
+        streams=config.streams,
+    )
+    server = ModelServer(sim, server_config, scheduler=gang_scheduler)
+    if isinstance(gang_scheduler, SpatioTemporalScheduler):
+        # The multi-stream engine consults the scheduler for per-job
+        # concurrency bounds (and reports kernel starts to its
+        # invariant checker).
+        server.device.allocator = gang_scheduler
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan)
+        injector.attach(server)
+    recovery_config = recovery if recovery is not None else config.recovery
+    manager = None
+    if recovery_config is not None:
+        manager = RecoveryManager(recovery_config).attach(server)
+    telemetry_config = telemetry if telemetry is not None else config.telemetry
+    pipeline = None
+    if telemetry_config is not None:
+        pipeline = Telemetry(telemetry_config)
+        if on_snapshot is not None:
+            pipeline.on_snapshot.append(on_snapshot)
+        pipeline.attach(server)
+    monitor_obj = None
+    if monitor:
+        if not isinstance(gang_scheduler, OlympianScheduler):
+            raise ValueError(
+                "profile-drift monitoring needs an Olympian scheduler "
+                f"(cost-accumulation quanta); got {scheduler!r}"
+            )
+        monitor_obj = QuantumMonitor(server, gang_scheduler)
+        if pipeline is not None:
+            pipeline.attach_monitor(monitor_obj)
+    for model in sorted({model for model, _ in entries}):
+        if graph_overrides is not None and model in graph_overrides:
+            graph = graph_overrides[model]
+        else:
+            graph = get_graph(model, config.scale, config.graph_seed)
+        server.load_model(graph, memory_mb=MODEL_REGISTRY[model].memory_mb)
+
+    return ServingStack(
+        scheduler_kind=scheduler,
+        config=config,
+        sim=sim,
+        server=server,
+        scheduler=gang_scheduler,
+        profiler_output=profiler_output,
+        injector=injector,
+        recovery=manager,
+        telemetry=pipeline,
+        monitor=monitor_obj,
+    )
+
+
+@dataclass
 class ExperimentResult:
     """A completed run plus metric accessors."""
 
@@ -452,65 +577,27 @@ def run_workload(
     perturbed graphs.
     """
     config = config or ExperimentConfig()
-    if scheduler not in ALL_SCHEDULER_KINDS:
-        raise ValueError(
-            f"unknown scheduler kind {scheduler!r}; choose from {ALL_SCHEDULER_KINDS}"
-        )
     entries = sorted({(spec.model, spec.batch_size) for spec in specs})
-    needs_profiles = scheduler not in ("tf-serving", "timer") or (
-        scheduler == "timer" and config.quantum is None
+    stack = build_stack(
+        entries,
+        scheduler=scheduler,
+        config=config,
+        profiler_output=profiler_output,
+        fault_plan=fault_plan,
+        telemetry=telemetry,
+        monitor=monitor,
+        on_snapshot=on_snapshot,
+        recovery=recovery,
+        graph_overrides=graph_overrides,
     )
-    if needs_profiles and profiler_output is None:
-        profiler_output = get_profiler_output(entries, config)
-
-    sim = Simulator()
-    gang_scheduler = _make_scheduler(scheduler, sim, config, profiler_output)
-    server_config = ServerConfig(
-        gpu_spec=config.gpu_spec,
-        n_cores=config.n_cores,
-        pool_size=config.pool_size,
-        track_memory=config.track_memory,
-        compiled=config.compiled,
-        seed=derive_seed(config.seed, f"run:{scheduler}"),
-        streams=config.streams,
-    )
-    server = ModelServer(sim, server_config, scheduler=gang_scheduler)
-    if isinstance(gang_scheduler, SpatioTemporalScheduler):
-        # The multi-stream engine consults the scheduler for per-job
-        # concurrency bounds (and reports kernel starts to its
-        # invariant checker).
-        server.device.allocator = gang_scheduler
-    injector = None
-    if fault_plan is not None:
-        injector = FaultInjector(fault_plan)
-        injector.attach(server)
-    recovery_config = recovery if recovery is not None else config.recovery
-    manager = None
-    if recovery_config is not None:
-        manager = RecoveryManager(recovery_config).attach(server)
-    telemetry_config = telemetry if telemetry is not None else config.telemetry
-    pipeline = None
-    if telemetry_config is not None:
-        pipeline = Telemetry(telemetry_config)
-        if on_snapshot is not None:
-            pipeline.on_snapshot.append(on_snapshot)
-        pipeline.attach(server)
-    monitor_obj = None
-    if monitor:
-        if not isinstance(gang_scheduler, OlympianScheduler):
-            raise ValueError(
-                "profile-drift monitoring needs an Olympian scheduler "
-                f"(cost-accumulation quanta); got {scheduler!r}"
-            )
-        monitor_obj = QuantumMonitor(server, gang_scheduler)
-        if pipeline is not None:
-            pipeline.attach_monitor(monitor_obj)
-    for model in sorted({spec.model for spec in specs}):
-        if graph_overrides is not None and model in graph_overrides:
-            graph = graph_overrides[model]
-        else:
-            graph = get_graph(model, config.scale, config.graph_seed)
-        server.load_model(graph, memory_mb=MODEL_REGISTRY[model].memory_mb)
+    sim = stack.sim
+    server = stack.server
+    gang_scheduler = stack.scheduler
+    profiler_output = stack.profiler_output
+    injector = stack.injector
+    manager = stack.recovery
+    pipeline = stack.telemetry
+    monitor_obj = stack.monitor
 
     clients = [
         Client(

@@ -99,10 +99,25 @@ class LintConfig:
         "breaker.state",
         "health.state",
         "stream.occupancy",
+        "admission.decision",
+        "admission.dispatch",
+        "journal.recovered",
     )
     # Where ROB001 flags broad/bare except handlers that neither
     # re-raise nor log (silent error swallowing).
     robust_paths: Tuple[str, ...] = ("src/repro",)
+    # Call names that sanction a retry loop (ROB002): a `while True`
+    # whose except-handler `continue`s must consult one of these —
+    # the RetryPolicy surface plus the recovery manager's failover
+    # predicate — or be rewritten on top of them.
+    retry_helpers: Tuple[str, ...] = (
+        "should_retry",
+        "_should_retry",
+        "should_failover",
+        "_should_failover",
+        "backoff",
+        "backoff_for",
+    )
     # The CLI presentation layer may print: its job is stdout.
     print_allow: Tuple[str, ...] = ("src/repro/cli.py",)
     # Where environment reads are banned (DET004): sim/scheduler paths.
@@ -179,7 +194,7 @@ class LintConfig:
         "gpu zoo",
         "workloads",
         "core serving faults",
-        "metrics slo recovery telemetry cluster lint",
+        "metrics slo recovery telemetry cluster lint durability",
         "analysis experiments",
         "bench cli __main__",
     )

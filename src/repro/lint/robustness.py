@@ -1,4 +1,4 @@
-"""Robustness rules (ROB001).
+"""Robustness rules (ROB001, ROB002).
 
 A broad ``except Exception`` (or a bare ``except:``) that neither
 re-raises nor records the failure swallows errors silently: a device
@@ -15,6 +15,15 @@ to happen.  The few justified catch-alls (process-boundary workers
 that ship the error onward as data, client loops that record the
 failure as their outcome) are suppressed in place with
 ``# lint: disable=ROB001`` and catalogued in ``docs/LINTING.md``.
+
+ROB002 targets ad-hoc retry loops: a ``while True:`` whose exception
+handler ``continue``s is an unbounded retry with no attempt cap, no
+backoff, and no failure classification — precisely the bugs
+:class:`repro.serving.failures.RetryPolicy` and the recovery layer's
+failover bookkeeping exist to prevent.  A loop is sanctioned when it
+consults one of the configured ``retry_helpers`` (``should_retry``,
+``backoff_for``, ``should_failover``, ...), because those carry the
+attempt budget and the deterministic backoff schedule.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 from .config import LintConfig
 from .rules import Rule, register
 
-__all__ = ["SilentBroadExceptRule"]
+__all__ = ["SilentBroadExceptRule", "AdHocRetryLoopRule"]
 
 # Method names that count as "recording the failure": the structured
 # logging surface plus the telemetry emit path.
@@ -96,4 +105,95 @@ class SilentBroadExceptRule(Rule):
             f"`{caught}` swallows every failure silently; catch the "
             "specific exception, re-raise after cleanup, or record it "
             "via `repro.telemetry.logs.get_logger(component)`"
+        )
+
+
+# ----------------------------------------------------------------------
+# ROB002 — ad-hoc retry loops
+# ----------------------------------------------------------------------
+
+# Node types that open a new retry scope: handlers inside them belong
+# to *that* construct, not to the loop being inspected.
+_NESTED_SCOPES = (
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+)
+
+
+def _is_while_true(node: ast.While) -> bool:
+    test = node.test
+    return isinstance(test, ast.Constant) and test.value is True
+
+
+def _own_nodes(loop: ast.While) -> Iterator[ast.AST]:
+    """The loop's own statements — no descent into nested loops or
+    function definitions (their handlers retry *their* scope)."""
+    stack: list = list(loop.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _NESTED_SCOPES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _handler_continues(handler: ast.ExceptHandler) -> bool:
+    """True if the handler's body reaches ``continue`` (same loop)."""
+    stack: list = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Continue):
+            return True
+        if isinstance(node, _NESTED_SCOPES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _uses_retry_helper(loop: ast.While, helpers: Sequence[str]) -> bool:
+    """True if any name/attribute in the loop is a sanctioned helper."""
+    wanted = frozenset(helpers)
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Attribute) and node.attr in wanted:
+            return True
+        if isinstance(node, ast.Name) and node.id in wanted:
+            return True
+    return False
+
+
+@register
+class AdHocRetryLoopRule(Rule):
+    rule_id = "ROB002"
+    name = "ad-hoc-retry-loop"
+    summary = "unbounded except-and-continue retry loop bypassing RetryPolicy"
+    node_types = (ast.While,)
+
+    def scopes(self, config: LintConfig) -> Optional[Sequence[str]]:
+        return config.robust_paths
+
+    def check(
+        self, node: ast.While, ctx
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        if not _is_while_true(node):
+            return
+        retrying = None
+        for child in _own_nodes(node):
+            if isinstance(child, ast.ExceptHandler) and _handler_continues(
+                child
+            ):
+                retrying = child
+                break
+        if retrying is None:
+            return
+        if _uses_retry_helper(node, ctx.config.retry_helpers):
+            return
+        yield retrying, (
+            "`while True` retries on exception with no attempt budget or "
+            "backoff; route the retry through "
+            "`repro.serving.failures.RetryPolicy` (should_retry/"
+            "backoff_for) or the recovery layer's failover helpers"
         )

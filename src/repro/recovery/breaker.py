@@ -89,6 +89,20 @@ class CircuitBreaker:
             self._probes_in_flight += 1
         return True
 
+    def would_admit(self, now: float) -> bool:
+        """Non-mutating preview of :meth:`admit`.
+
+        No state transition happens and no probe slot is consumed —
+        this is the admission gate's pre-check, which must predict
+        :meth:`admit` exactly (same ``now``, no intervening events)
+        without double-charging the half-open probe budget.
+        """
+        if self.state == "open":
+            return now - self._opened_at >= self.config.cooldown
+        if self.state == "half_open":
+            return self._probes_in_flight < self.config.half_open_probes
+        return True
+
     def abort_probe(self) -> None:
         """Release a probe slot consumed by an admit that never launched."""
         if self.state == "half_open" and self._probes_in_flight > 0:

@@ -97,6 +97,8 @@ class RecoveryManager:
         self.failed = 0
         self.cancelled = 0
         self.sheds = 0
+        # reason ("admission" | "displaced") -> count; sums to sheds.
+        self.sheds_by_reason: Dict[str, int] = {}
         self.breaker_rejections = 0
         self.failovers = 0
         self.rollbacks = 0
@@ -192,6 +194,9 @@ class RecoveryManager:
             victim = self._shed_victim(pending, sup, now)
             if victim is sup:
                 self.sheds += 1
+                self.sheds_by_reason["admission"] = (
+                    self.sheds_by_reason.get("admission", 0) + 1
+                )
                 self._emit(
                     "job.shed",
                     job_id=sup.origin.job_id,
@@ -241,6 +246,9 @@ class RecoveryManager:
         brownout = self.config.brownout
         job = sup.origin
         self.sheds += 1
+        self.sheds_by_reason["displaced"] = (
+            self.sheds_by_reason.get("displaced", 0) + 1
+        )
         sup.outcome = "shed"
         self.failed += 1
         self._emit(
@@ -562,6 +570,10 @@ class RecoveryManager:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "sheds": self.sheds,
+            "sheds_by_reason": {
+                reason: self.sheds_by_reason[reason]
+                for reason in sorted(self.sheds_by_reason)
+            },
             "breaker_rejections": self.breaker_rejections,
             "breaker_trips": sum(
                 breaker.trips for breaker in self.breakers.values()

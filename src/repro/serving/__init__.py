@@ -1,5 +1,6 @@
 """The serving system: a faithful port of TF-Serving's execution model."""
 
+from .admission import AdmissionConfig, AdmissionGate, Decision
 from .batching import Batcher, PendingRequest
 from .cancellation import JobCancelled
 from .client import Client
@@ -11,6 +12,9 @@ from .session import Session
 from .versioning import ModelVersionManager, VersionedModel, versioned_name
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionGate",
+    "Decision",
     "Batcher",
     "PendingRequest",
     "JobCancelled",

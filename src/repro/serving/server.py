@@ -130,6 +130,10 @@ class ModelServer:
         # behaviour (digest-neutral).
         self.recovery = None
         self.recovery_observer = None
+        # Set by AdmissionGate.attach(): notified when capacity frees
+        # or the device resets so deferred requests can dispatch.
+        # None = no gate, zero new behaviour (digest-neutral).
+        self.admission = None
         self.device_crashes = 0
         # Cost observations recorded during online-profiled runs:
         # (model, batch) -> node_id -> list of observed costs.
@@ -269,6 +273,10 @@ class ModelServer:
         if self.recovery_observer is not None:
             # Capacity freed: the brownout pending queue may dispatch.
             self.recovery_observer.on_job_finished(self)
+        if self.admission is not None:
+            # After recovery, so its queue dispatches first (the gate's
+            # ceiling folds the brownout limit in, keeping both honest).
+            self.admission.on_job_finished(self)
 
     # ------------------------------------------------------------------
     # Device crash & reset (fault injection / recovery)
@@ -320,6 +328,8 @@ class ModelServer:
             )
         if self.recovery_observer is not None:
             self.recovery_observer.on_device_reset(self)
+        if self.admission is not None:
+            self.admission.on_device_reset(self)
 
     # ------------------------------------------------------------------
     # Hooks used by sessions

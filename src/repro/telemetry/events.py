@@ -31,6 +31,8 @@ prefix              emitted by
 ``job.*``           :mod:`repro.recovery.manager` (failover, shedding)
 ``breaker.*``       :mod:`repro.recovery.breaker` state transitions
 ``health.*``        :mod:`repro.recovery.health` state transitions
+``admission.*``     :mod:`repro.serving.admission` (gate decisions)
+``journal.*``       :mod:`repro.durability` (crash-restart resume)
 ==================  ====================================================
 """
 
@@ -71,6 +73,14 @@ EVENT_KINDS = (
     # Multi-stream device (GpuSpec.streams > 1): emitted on every
     # kernel start/finish with the new stream occupancy.
     "stream.occupancy",
+    # Load-aware admission gate (repro.serving.admission): one
+    # `admission.decision` per submitted request (action + reason),
+    # one `admission.dispatch` per deferred request later launched.
+    "admission.decision",
+    "admission.dispatch",
+    # Durable control plane (repro.durability): emitted once per
+    # restart when a journal is replayed into a fresh server.
+    "journal.recovered",
 )
 
 

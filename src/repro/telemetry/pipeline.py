@@ -167,6 +167,18 @@ class MetricsCollector:
         self.jobs_shed = registry.counter(
             "jobs_shed_total", "Jobs shed by brownout, by reason"
         )
+        self.admission_decisions = registry.counter(
+            "admission_decisions_total",
+            "Admission gate verdicts, by action and reason",
+        )
+        self.admission_dispatches = registry.counter(
+            "admission_dispatches_total",
+            "Deferred jobs dispatched as capacity freed",
+        )
+        self.journal_recoveries = registry.counter(
+            "journal_recoveries_total",
+            "Jobs re-admitted from the durable journal after a restart",
+        )
         self.breaker_transitions = registry.counter(
             "breaker_transitions_total",
             "Circuit breaker state changes, by model and new state",
@@ -255,6 +267,17 @@ class MetricsCollector:
             self.jobs_shed.inc(
                 labels={"reason": event.attr("reason", "admission")}
             )
+        elif kind == "admission.decision":
+            self.admission_decisions.inc(
+                labels={
+                    "action": event.attr("action", "admit"),
+                    "reason": event.attr("reason", ""),
+                }
+            )
+        elif kind == "admission.dispatch":
+            self.admission_dispatches.inc()
+        elif kind == "journal.recovered":
+            self.journal_recoveries.inc()
         elif kind == "breaker.state":
             self.breaker_transitions.inc(
                 labels={
@@ -457,6 +480,28 @@ class Telemetry:
             "jobs_shed": collector.jobs_shed.total(),
             "health": collector.last_health,
         }
+        # Reason-labelled breakdowns (only when non-empty, so rollups
+        # from stacks without recovery/admission are unchanged).
+        sheds_by_reason = {
+            dict(key).get("reason", ""): child.value
+            for key, child in collector.jobs_shed.items()
+        }
+        if sheds_by_reason:
+            summary["sheds_by_reason"] = dict(sorted(sheds_by_reason.items()))
+        admission = {
+            f"{dict(key).get('action', '')}:{dict(key).get('reason', '')}":
+                child.value
+            for key, child in collector.admission_decisions.items()
+        }
+        if admission:
+            summary["admission_decisions"] = dict(sorted(admission.items()))
+            summary["admission_dispatches"] = (
+                collector.admission_dispatches.total()
+            )
+        if collector.journal_recoveries.total():
+            summary["journal_recoveries"] = (
+                collector.journal_recoveries.total()
+            )
         # Per-model latency percentiles (bucket-interpolated p50/p95/p99)
         # plus the slowest occupied bucket's exemplar span id — the
         # metric -> trace jump for serve/bench end-of-run reports.

@@ -75,6 +75,27 @@ def render_frame(
             f"failover {collector.failovers.total():.0f}   "
             f"shed {collector.jobs_shed.total():.0f}"
         )
+        sheds = sorted(
+            (dict(key).get("reason", ""), child.value)
+            for key, child in collector.jobs_shed.items()
+        )
+        if sheds:
+            breakdown = "   ".join(
+                f"{reason} {value:.0f}" for reason, value in sheds
+            )
+            lines.append(f"           shed by reason: {breakdown}")
+    decisions = sorted(
+        (
+            f"{dict(key).get('action', '')}:{dict(key).get('reason', '')}",
+            child.value,
+        )
+        for key, child in collector.admission_decisions.items()
+    )
+    if decisions:
+        breakdown = "   ".join(
+            f"{label} {value:.0f}" for label, value in decisions
+        )
+        lines.append(f"admission  {breakdown}")
     depth = 0
     if telemetry.server is not None:
         depth = telemetry.server.driver.total_queued

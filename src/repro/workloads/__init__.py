@@ -12,8 +12,19 @@ from .trace import (
     TraceRequest,
     bursty_trace,
     diurnal_trace,
+    iter_bursty,
+    iter_diurnal,
+    iter_poisson,
     poisson_trace,
     replay,
+)
+from .traffic import (
+    Arrival,
+    ModelMix,
+    TrafficConfig,
+    TrafficEngine,
+    TrafficStats,
+    drive,
 )
 from .scenarios import (
     DEFAULT_NUM_BATCHES,
@@ -44,6 +55,15 @@ __all__ = [
     "TraceRequest",
     "bursty_trace",
     "diurnal_trace",
+    "iter_bursty",
+    "iter_diurnal",
+    "iter_poisson",
     "poisson_trace",
     "replay",
+    "Arrival",
+    "ModelMix",
+    "TrafficConfig",
+    "TrafficEngine",
+    "TrafficStats",
+    "drive",
 ]

@@ -23,7 +23,7 @@ import math
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
 from ..sim.core import Simulator
 from ..sim.rng import derive_seed
@@ -31,6 +31,9 @@ from ..sim.rng import derive_seed
 __all__ = [
     "TraceRequest",
     "RequestTrace",
+    "iter_poisson",
+    "iter_diurnal",
+    "iter_bursty",
     "poisson_trace",
     "diurnal_trace",
     "bursty_trace",
@@ -135,6 +138,34 @@ class RequestTrace:
 # ----------------------------------------------------------------------
 # Generators
 # ----------------------------------------------------------------------
+#
+# Each shape comes as a lazy iterator (``iter_*``) plus an eager
+# wrapper returning a :class:`RequestTrace`.  The iterators hold O(1)
+# state — one RNG, one clock — so arbitrarily long arrival streams can
+# be consumed without materialising them (the open-loop traffic engine
+# and the soak harness both stream from these).  The wrappers draw in
+# exactly the same order, so traces are bit-identical to the historical
+# eager builders.
+
+
+def iter_poisson(
+    rate: float,
+    duration: float,
+    model: str,
+    batch_size: int,
+    seed: int = 0,
+    slo: Optional[float] = None,
+) -> Iterator[TraceRequest]:
+    """Lazily yield steady Poisson arrivals at ``rate``/s."""
+    if rate <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    rng = random.Random(derive_seed(seed, "trace:poisson"))
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t > duration:
+            return
+        yield TraceRequest(t, model, batch_size, slo)
 
 
 def poisson_trace(
@@ -146,17 +177,37 @@ def poisson_trace(
     slo: Optional[float] = None,
 ) -> RequestTrace:
     """Steady Poisson arrivals at ``rate``/s for ``duration`` seconds."""
-    if rate <= 0 or duration <= 0:
-        raise ValueError("rate and duration must be positive")
-    rng = random.Random(derive_seed(seed, "trace:poisson"))
-    requests = []
+    return RequestTrace(
+        list(iter_poisson(rate, duration, model, batch_size, seed, slo))
+    )
+
+
+def iter_diurnal(
+    base_rate: float,
+    peak_rate: float,
+    duration: float,
+    model: str,
+    batch_size: int,
+    period: Optional[float] = None,
+    seed: int = 0,
+    slo: Optional[float] = None,
+) -> Iterator[TraceRequest]:
+    """Lazily yield sinusoidally modulated arrivals (thinned Poisson)."""
+    if not 0 < base_rate <= peak_rate:
+        raise ValueError("need 0 < base_rate <= peak_rate")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    period = period if period is not None else duration
+    rng = random.Random(derive_seed(seed, "trace:diurnal"))
     t = 0.0
     while True:
-        t += rng.expovariate(rate)
+        t += rng.expovariate(peak_rate)
         if t > duration:
-            break
-        requests.append(TraceRequest(t, model, batch_size, slo))
-    return RequestTrace(requests)
+            return
+        phase = math.sin(2 * math.pi * t / period - math.pi / 2)  # trough first
+        rate = base_rate + (peak_rate - base_rate) * (phase + 1) / 2
+        if rng.random() <= rate / peak_rate:
+            yield TraceRequest(t, model, batch_size, slo)
 
 
 def diurnal_trace(
@@ -175,23 +226,48 @@ def diurnal_trace(
     (default: the full duration is one day-night cycle).  Generated by
     thinning a Poisson process at the peak rate.
     """
-    if not 0 < base_rate <= peak_rate:
-        raise ValueError("need 0 < base_rate <= peak_rate")
-    if duration <= 0:
-        raise ValueError("duration must be positive")
-    period = period if period is not None else duration
-    rng = random.Random(derive_seed(seed, "trace:diurnal"))
-    requests = []
+    return RequestTrace(
+        list(
+            iter_diurnal(
+                base_rate, peak_rate, duration, model, batch_size,
+                period, seed, slo,
+            )
+        )
+    )
+
+
+def iter_bursty(
+    burst_rate: float,
+    idle_rate: float,
+    mean_burst: float,
+    mean_idle: float,
+    duration: float,
+    model: str,
+    batch_size: int,
+    seed: int = 0,
+    slo: Optional[float] = None,
+) -> Iterator[TraceRequest]:
+    """Lazily yield two-state on/off (MMPP-2) arrivals."""
+    if burst_rate <= 0 or idle_rate < 0:
+        raise ValueError("rates must be positive (idle may be 0)")
+    if mean_burst <= 0 or mean_idle <= 0 or duration <= 0:
+        raise ValueError("durations must be positive")
+    rng = random.Random(derive_seed(seed, "trace:bursty"))
     t = 0.0
-    while True:
-        t += rng.expovariate(peak_rate)
-        if t > duration:
-            break
-        phase = math.sin(2 * math.pi * t / period - math.pi / 2)  # trough first
-        rate = base_rate + (peak_rate - base_rate) * (phase + 1) / 2
-        if rng.random() <= rate / peak_rate:
-            requests.append(TraceRequest(t, model, batch_size, slo))
-    return RequestTrace(requests)
+    bursting = True
+    phase_end = rng.expovariate(1.0 / mean_burst)
+    while t < duration:
+        rate = burst_rate if bursting else idle_rate
+        if rate <= 0:
+            t = phase_end
+        else:
+            t += rng.expovariate(rate)
+            if t <= min(phase_end, duration):
+                yield TraceRequest(t, model, batch_size, slo)
+        if t >= phase_end:
+            bursting = not bursting
+            mean = mean_burst if bursting else mean_idle
+            phase_end = t + rng.expovariate(1.0 / mean)
 
 
 def bursty_trace(
@@ -208,28 +284,14 @@ def bursty_trace(
     """Two-state on/off arrivals (MMPP-2): bursts of ``burst_rate``
     separated by quiet periods — the "intermittent and bursty" usage
     of the paper's introduction."""
-    if burst_rate <= 0 or idle_rate < 0:
-        raise ValueError("rates must be positive (idle may be 0)")
-    if mean_burst <= 0 or mean_idle <= 0 or duration <= 0:
-        raise ValueError("durations must be positive")
-    rng = random.Random(derive_seed(seed, "trace:bursty"))
-    requests = []
-    t = 0.0
-    bursting = True
-    phase_end = rng.expovariate(1.0 / mean_burst)
-    while t < duration:
-        rate = burst_rate if bursting else idle_rate
-        if rate <= 0:
-            t = phase_end
-        else:
-            t += rng.expovariate(rate)
-            if t <= min(phase_end, duration):
-                requests.append(TraceRequest(t, model, batch_size, slo))
-        if t >= phase_end:
-            bursting = not bursting
-            mean = mean_burst if bursting else mean_idle
-            phase_end = t + rng.expovariate(1.0 / mean)
-    return RequestTrace(requests)
+    return RequestTrace(
+        list(
+            iter_bursty(
+                burst_rate, idle_rate, mean_burst, mean_idle, duration,
+                model, batch_size, seed, slo,
+            )
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -260,16 +322,20 @@ class ReplayOutcome:
 def replay(
     sim: Simulator,
     server,
-    trace: RequestTrace,
+    trace: Iterable[TraceRequest],
     admission_controller=None,
 ) -> ReplayOutcome:
     """Replay ``trace`` against ``server``; returns the outcome.
 
     ``server`` is anything with ``make_job``/``submit`` (a
     :class:`~repro.serving.server.ModelServer` or a
-    :class:`~repro.cluster.server.MultiGpuServer`).  With an
-    ``admission_controller`` (:mod:`repro.slo`), requests carrying an
-    SLO go through admission.  The caller runs ``sim.run()`` afterwards.
+    :class:`~repro.cluster.server.MultiGpuServer`).  ``trace`` is a
+    :class:`RequestTrace` or any (possibly lazy) iterable of
+    time-ordered :class:`TraceRequest` — the driver pulls requests one
+    at a time, so an ``iter_*`` generator streams without ever being
+    materialised.  With an ``admission_controller`` (:mod:`repro.slo`),
+    requests carrying an SLO go through admission.  The caller runs
+    ``sim.run()`` afterwards.
     """
     outcome = ReplayOutcome(latencies=[], slo_hits=0, slo_misses=0, rejected=0)
 

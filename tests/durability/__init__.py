@@ -1,0 +1,1 @@
+"""Tests for the durable control plane (journal + resume)."""

@@ -1,0 +1,183 @@
+"""The sqlite job journal: append, read back, digest, crash survival."""
+
+import pytest
+
+from repro.durability import (
+    JOURNAL_KINDS,
+    TERMINAL_KINDS,
+    JobStore,
+    JournalRecord,
+    ReplayJob,
+    resume_digest_of,
+    resume_plan,
+)
+
+
+def _open_job(store, job_id, time=0.0, **kwargs):
+    defaults = dict(model="alexnet", batch=2, tenant="t0", priority=1,
+                    deadline=time + 0.25)
+    defaults.update(kwargs)
+    store.record("admitted", time, job_id=job_id, **defaults)
+
+
+class TestAppendAndRead:
+    def test_unknown_kind_rejected(self):
+        with JobStore() as store:
+            with pytest.raises(ValueError, match="unknown journal kind"):
+                store.record("vanished", 0.0)
+
+    def test_rows_come_back_in_seq_order_with_fields(self):
+        with JobStore() as store:
+            store.begin_incarnation(time=0.0)
+            _open_job(store, "r1", time=0.01)
+            store.record("completed", 0.05, job_id="r1")
+            records = list(store.records())
+        assert [r.kind for r in records] == [
+            "restart", "admitted", "completed",
+        ]
+        assert [r.seq for r in records] == sorted(r.seq for r in records)
+        admitted = records[1]
+        assert isinstance(admitted, JournalRecord)
+        assert admitted.job_id == "r1"
+        assert admitted.model == "alexnet"
+        assert admitted.batch == 2
+        assert admitted.tenant == "t0"
+        assert admitted.priority == 1
+        assert admitted.deadline == pytest.approx(0.26)
+        assert admitted.incarnation == 1
+
+    def test_counts_follow_catalogue_order(self):
+        with JobStore() as store:
+            store.record("completed", 0.2, job_id="a")
+            _open_job(store, "a")
+            _open_job(store, "b")
+            store.record("shed", 0.3, job_id="b", reason="JobShed")
+            assert store.counts() == {
+                "admitted": 2, "completed": 1, "shed": 1,
+            }
+            assert list(store.counts()) == [
+                k for k in JOURNAL_KINDS if k in store.counts()
+            ]
+
+    def test_shed_reasons_groups_shed_and_rejected(self):
+        with JobStore() as store:
+            store.record("shed", 0.1, job_id="a", reason="JobShed")
+            store.record("rejected", 0.2, job_id="b", reason="queue-full")
+            store.record("rejected", 0.3, job_id="c", reason="queue-full")
+            store.record("failed", 0.4, job_id="d", reason="JobFailed")
+            assert store.shed_reasons() == {
+                "JobShed": 1, "queue-full": 2,
+            }
+
+
+class TestObligations:
+    def test_unterminated_is_the_open_set(self):
+        with JobStore() as store:
+            for job_id in ("r1", "r2", "r3"):
+                _open_job(store, job_id)
+            store.record("completed", 0.1, job_id="r1")
+            store.record("shed", 0.2, job_id="r3", reason="JobShed")
+            open_jobs = store.unterminated()
+            assert [r.job_id for r in open_jobs] == ["r2"]
+            assert store.terminal_ids() == {
+                "r1": "completed", "r3": "shed",
+            }
+            assert store.admitted_ids() == ["r1", "r2", "r3"]
+
+    def test_every_terminal_kind_closes(self):
+        for kind in TERMINAL_KINDS:
+            with JobStore() as store:
+                _open_job(store, "r1")
+                store.record(kind, 0.1, job_id="r1")
+                assert store.unterminated() == []
+
+    def test_dispatched_and_deferred_do_not_close(self):
+        with JobStore() as store:
+            _open_job(store, "r1")
+            store.record("deferred", 0.05, job_id="r1")
+            store.record("dispatched", 0.07, job_id="r1")
+            assert [r.job_id for r in store.unterminated()] == ["r1"]
+
+
+class TestIncarnations:
+    def test_first_restart_writes_no_crash_row(self):
+        with JobStore() as store:
+            assert store.begin_incarnation(time=0.0) == 1
+            assert store.counts() == {"restart": 1}
+
+    def test_later_incarnations_write_the_epitaph(self):
+        with JobStore() as store:
+            store.begin_incarnation(time=0.0)
+            _open_job(store, "r1", time=0.05)
+            assert store.begin_incarnation(time=0.18) == 2
+            counts = store.counts()
+            assert counts["restart"] == 2
+            assert counts["crash"] == 1
+            crash = [r for r in store.records() if r.kind == "crash"][0]
+            assert crash.incarnation == 2
+            assert crash.time == pytest.approx(0.18)
+            assert "incarnation 1 died" in crash.reason
+
+
+class TestDurability:
+    def test_journal_survives_on_disk(self, tmp_path):
+        path = str(tmp_path / "journal.sqlite")
+        store = JobStore(path)
+        store.begin_incarnation(time=0.0)
+        _open_job(store, "r1", time=0.02)
+        digest = store.resume_digest()
+        store.close()  # the "process" dies
+
+        revived = JobStore(path)
+        # The incarnation counter persisted through meta.
+        assert revived.begin_incarnation(time=0.1) == 2
+        assert [r.job_id for r in revived.unterminated()] == ["r1"]
+        assert revived.resume_digest() != digest  # new rows appended
+        revived.close()
+
+    def test_resume_digest_is_content_deterministic(self, tmp_path):
+        def build(store):
+            store.begin_incarnation(time=0.0)
+            _open_job(store, "r1", time=0.01)
+            store.record("completed", 0.04, job_id="r1")
+            return store.resume_digest()
+
+        memory = build(JobStore())
+        on_disk = JobStore(str(tmp_path / "j.sqlite"))
+        assert build(on_disk) == memory
+        on_disk.close()
+
+    def test_digest_sensitive_to_every_field(self):
+        base = JobStore()
+        base.record("admitted", 0.1, job_id="r1", tenant="t0")
+        other = JobStore()
+        other.record("admitted", 0.1, job_id="r1", tenant="t1")
+        assert base.resume_digest() != other.resume_digest()
+        assert resume_digest_of(base) == base.resume_digest()
+
+
+class TestResumePlan:
+    def test_plan_rebuilds_open_jobs_in_admission_order(self):
+        with JobStore() as store:
+            _open_job(store, "r2", time=0.01, priority=3)
+            _open_job(store, "r1", time=0.02)
+            store.record("completed", 0.05, job_id="r1")
+            _open_job(store, "r9", time=0.06, model="googlenet", batch=4,
+                      tenant="t7", deadline=None)
+            plan = resume_plan(store)
+        assert plan == [
+            ReplayJob("r2", "alexnet", 2, "t0", 3, pytest.approx(0.26)),
+            ReplayJob("r9", "googlenet", 4, "t7", 1, None),
+        ]
+
+    def test_plan_defaults_for_sparse_rows(self):
+        with JobStore() as store:
+            store.record("admitted", 0.0, job_id="r1", model="alexnet")
+            plan = resume_plan(store)
+        assert plan == [
+            ReplayJob("r1", "alexnet", 1, "default", 0, None),
+        ]
+
+    def test_empty_journal_owes_nothing(self):
+        with JobStore() as store:
+            assert resume_plan(store) == []

@@ -1,0 +1,80 @@
+"""Deliberate ad-hoc retry loops (linted explicitly by tests/lint).
+
+This file is excluded from directory sweeps via [tool.repro.lint]
+exclude; the robustness-rule test stages it under a tmp ``src/repro/``
+so the robust-paths scope applies.
+
+Expected findings: ROB002 x2 (and none on the sanctioned loops).
+Handlers catch narrow exception types throughout so ROB001 stays
+silent and the corpus isolates ROB002.
+"""
+
+
+def naked_retry(work):
+    while True:  # ROB002: no budget, no backoff
+        try:
+            return work()
+        except ValueError:
+            continue
+
+
+def retry_with_cleanup(work, reset):
+    while True:  # ROB002: cleanup does not bound the retries
+        try:
+            return work()
+        except (ValueError, KeyError):
+            reset()
+            continue
+
+
+def policy_guarded(work, policy, attempt=0):
+    while True:  # sanctioned: RetryPolicy carries the attempt budget
+        try:
+            return work()
+        except ValueError as exc:
+            attempt += 1
+            if not policy.should_retry(attempt, exc):
+                raise
+            continue
+
+
+def backoff_guarded(work, policy, sleep, attempt=0):
+    while True:  # sanctioned: deterministic backoff schedule consulted
+        try:
+            return work()
+        except ValueError:
+            attempt += 1
+            sleep(backoff_for(policy, attempt))
+            continue
+
+
+def backoff_for(policy, attempt):
+    return policy.base_delay * attempt
+
+
+def bounded_loop(work, attempts):
+    while attempts > 0:  # not `while True` — out of ROB002's shape
+        try:
+            return work()
+        except ValueError:
+            attempts -= 1
+            continue
+    return None
+
+
+def handler_raises(work):
+    while True:  # handler does not continue — terminates the loop
+        try:
+            return work()
+        except ValueError:
+            raise RuntimeError("gave up")
+
+
+def nested_scope(items, work):
+    while True:  # inner for-loop's handler retries *its* scope only
+        for item in items:
+            try:
+                work(item)
+            except ValueError:
+                continue
+        return None

@@ -1,8 +1,8 @@
-"""Detection and negative cases for the robustness rules (ROB001)."""
+"""Detection and negative cases for the robustness rules (ROB001/ROB002)."""
 
-from tests.lint.conftest import rule_ids
+from tests.lint.conftest import FIXTURES, rule_ids
 
-from repro.lint import LintConfig
+from repro.lint import LintConfig, lint_files, resolve_rules
 
 
 BAD = (
@@ -139,3 +139,149 @@ class TestSilentBroadExcept:
         parallel = (repo / "src/repro/experiments/parallel.py").read_text()
         assert client.count("lint: disable=ROB001") == 1
         assert parallel.count("lint: disable=ROB001") == 2
+
+
+RETRY_BAD = (
+    "def f(work):\n"
+    "    while True:\n"
+    "        try:\n"
+    "            return work()\n"
+    "        except ValueError:\n"
+    "            continue\n"
+)
+
+
+class TestAdHocRetryLoop:
+    def test_naked_retry_flagged(self, check):
+        findings = check(RETRY_BAD)
+        assert rule_ids(findings) == ["ROB002"]
+        assert "RetryPolicy" in findings[0].message
+
+    def test_broad_except_retry_flags_both_rules(self, check):
+        # A broad silent handler that also retries trips ROB001 and
+        # ROB002 independently — they diagnose different defects.
+        findings = check(
+            "def f(work):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return work()\n"
+            "        except Exception:\n"
+            "            continue\n"
+        )
+        assert rule_ids(findings) == ["ROB001", "ROB002"]
+
+    def test_should_retry_sanctions(self, check):
+        assert check(
+            "def f(work, policy, attempt=0):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return work()\n"
+            "        except ValueError as exc:\n"
+            "            attempt += 1\n"
+            "            if not policy.should_retry(attempt, exc):\n"
+            "                raise\n"
+            "            continue\n"
+        ) == []
+
+    def test_backoff_for_sanctions(self, check):
+        assert check(
+            "def f(work, policy, sleep, attempt=0):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return work()\n"
+            "        except ValueError:\n"
+            "            attempt += 1\n"
+            "            sleep(backoff_for(policy, attempt))\n"
+            "            continue\n"
+        ) == []
+
+    def test_bounded_loop_fine(self, check):
+        assert check(
+            "def f(work, attempts):\n"
+            "    while attempts > 0:\n"
+            "        try:\n"
+            "            return work()\n"
+            "        except ValueError:\n"
+            "            attempts -= 1\n"
+            "            continue\n"
+        ) == []
+
+    def test_handler_without_continue_fine(self, check):
+        assert check(
+            "def f(work):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return work()\n"
+            "        except ValueError:\n"
+            "            raise RuntimeError('gave up')\n"
+        ) == []
+
+    def test_nested_loop_handler_not_attributed(self, check):
+        # The inner for-loop's except/continue retries *its* scope; the
+        # outer `while True` has no retrying handler of its own.
+        assert check(
+            "def f(items, work):\n"
+            "    while True:\n"
+            "        for item in items:\n"
+            "            try:\n"
+            "                work(item)\n"
+            "            except ValueError:\n"
+            "                continue\n"
+            "        return None\n"
+        ) == []
+
+    def test_nested_function_handler_not_attributed(self, check):
+        assert check(
+            "def f(work, run):\n"
+            "    while True:\n"
+            "        def attempt():\n"
+            "            try:\n"
+            "                return work()\n"
+            "            except ValueError:\n"
+            "                continue\n"
+            "        return run(attempt)\n"
+        ) == []
+
+    def test_out_of_scope_path_not_flagged(self, check):
+        assert check(RETRY_BAD, path="tools/unrelated.py") == []
+
+    def test_suppression(self, check):
+        source = (
+            "def f(work):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return work()\n"
+            "        except ValueError:  # lint: disable=ROB002\n"
+            "            continue\n"
+        )
+        assert check(source) == []
+
+    def test_scope_configurable(self, check):
+        config = LintConfig(robust_paths=("lib",))
+        assert check(RETRY_BAD, path="lib/thing.py", config=config) != []
+        assert check(RETRY_BAD, config=config) == []
+
+    def test_retry_helpers_configurable(self, check):
+        config = LintConfig(retry_helpers=("my_guard",))
+        sanctioned = (
+            "def f(work):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return work()\n"
+            "        except ValueError:\n"
+            "            if not my_guard():\n"
+            "                raise\n"
+            "            continue\n"
+        )
+        assert check(sanctioned, config=config) == []
+        # The default helper names no longer sanction anything.
+        assert rule_ids(check(RETRY_BAD, config=config)) == ["ROB002"]
+
+
+def test_retry_fixture_corpus(tmp_path):
+    """The committed fixture yields exactly the documented findings."""
+    staged = tmp_path / "src" / "repro" / "rob_retry.py"
+    staged.parent.mkdir(parents=True)
+    staged.write_text((FIXTURES / "rob_retry.py").read_text())
+    report = lint_files([staged], LintConfig(), resolve_rules())
+    assert [f.rule_id for f in sorted(report.findings)] == ["ROB002"] * 2

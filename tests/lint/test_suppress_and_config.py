@@ -168,5 +168,5 @@ class TestRuleResolution:
             "FLOW001", "FLOW002", "FLOW003",
             "OBS001", "OBS002",
             "PERF001", "PERF002",
-            "ROB001",
+            "ROB001", "ROB002",
         ]

@@ -303,3 +303,32 @@ class TestServeSpatial:
     def test_reproduce_lists_ext_spatial(self, capsys):
         assert main(["reproduce", "list"]) == 0
         assert "ext-spatial" in capsys.readouterr().out
+
+
+class TestSoak:
+    def test_quick_soak_passes_and_reports(self, tmp_path, capsys):
+        out_path = tmp_path / "soak.json"
+        code = main([
+            "soak", "--quick", "--seed", "0", "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "soak  seed=0" in out
+        assert "resume digest:" in out
+        assert "soak digest:" in out
+        assert "VIOLATED" not in out
+
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert report["runs"][0]["scheduler"] == "fair"
+        assert report["runs"][0]["incarnations"] == 2
+
+    def test_soak_help_lists_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["soak", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--seed", "--quick", "--gpus", "--out"):
+            assert flag in out

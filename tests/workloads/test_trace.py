@@ -17,6 +17,9 @@ from repro.workloads import (
     TraceRequest,
     bursty_trace,
     diurnal_trace,
+    iter_bursty,
+    iter_diurnal,
+    iter_poisson,
     poisson_trace,
     replay,
 )
@@ -175,3 +178,62 @@ class TestReplay:
         sim.run()
         with pytest.raises(ValueError):
             outcome.slo_attainment()
+
+
+class TestLazyIterators:
+    """The iter_* generators: byte-equal to the eager builders, O(1)
+    memory regardless of stream length (the satellite audit of eager
+    arrival materialisation)."""
+
+    def test_iter_poisson_matches_eager(self):
+        eager = poisson_trace(50.0, 1.0, "m", 8, seed=3, slo=0.2)
+        lazy = list(iter_poisson(50.0, 1.0, "m", 8, seed=3, slo=0.2))
+        assert lazy == eager.requests
+
+    def test_iter_diurnal_matches_eager(self):
+        eager = diurnal_trace(20.0, 80.0, 1.0, "m", 8, seed=4)
+        lazy = list(iter_diurnal(20.0, 80.0, 1.0, "m", 8, seed=4))
+        assert lazy == eager.requests
+
+    def test_iter_bursty_matches_eager(self):
+        eager = bursty_trace(100.0, 5.0, 0.05, 0.1, 1.0, "m", 8, seed=5)
+        lazy = list(iter_bursty(100.0, 5.0, 0.05, 0.1, 1.0, "m", 8, seed=5))
+        assert lazy == eager.requests
+
+    def test_iterators_validate_like_eager(self):
+        with pytest.raises(ValueError):
+            next(iter_poisson(0.0, 1.0, "m", 1))
+        with pytest.raises(ValueError):
+            next(iter_diurnal(5.0, 1.0, 1.0, "m", 1))
+        with pytest.raises(ValueError):
+            next(iter_bursty(10.0, 1.0, 0.0, 0.1, 1.0, "m", 1))
+
+    def test_streaming_memory_is_constant(self):
+        import itertools
+        import tracemalloc
+
+        def peak(duration):
+            stream = iter_poisson(1000.0, duration, "m", 1, seed=0)
+            tracemalloc.start()
+            try:
+                for _ in itertools.islice(stream, 2000):
+                    pass
+                _current, peak_bytes = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            return peak_bytes
+
+        short = peak(duration=10.0)
+        long = peak(duration=10_000.0)
+        # A 1000x longer stream must not move the allocation peak.
+        assert long < 2 * short
+        assert long < 256 * 1024
+
+    def test_replay_accepts_a_lazy_stream(self, tiny_graph):
+        stack = TestReplay()
+        sim, server, _, _ = stack._stack(tiny_graph)
+        stream = iter_poisson(20.0, 1.0, tiny_graph.name, 100, seed=7)
+        outcome = replay(sim, server, stream)
+        sim.run()
+        eager = poisson_trace(20.0, 1.0, tiny_graph.name, 100, seed=7)
+        assert outcome.completed == len(eager)
